@@ -1,0 +1,71 @@
+// A1 — ablation: the inequitable (heavy-side) rule inside Algorithm 2 vs an
+// arbitrary per-component orientation.
+//
+// Definition 1 asks for V'_1 of maximum size; Algorithm 2 sends V'_2 to the
+// slow machine prefix, so inflating V'_2 (arbitrary orientations) should
+// hurt exactly when machine speeds are skewed. This table quantifies it.
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/alg_random.hpp"
+#include "graph/bipartite.hpp"
+#include "random/generators.hpp"
+#include "random/gilbert.hpp"
+#include "sched/lower_bounds.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+
+namespace bisched {
+namespace {
+
+void ablation_table(int n, int trials) {
+  TextTable t("Algorithm 2, inequitable vs arbitrary orientation, n = " + std::to_string(n));
+  t.set_header({"speeds", "a (p=a/n)", "ratio ineq", "ratio arb", "arb/ineq", "|V'2| ineq",
+                "|V'2| arb"});
+  const std::vector<std::pair<const char*, std::vector<std::int64_t>>> profiles{
+      {"one-fast (40,1x7)", {40, 1, 1, 1, 1, 1, 1, 1}},
+      {"flat (8x4)", std::vector<std::int64_t>(8, 4)},
+  };
+  for (const auto& [pname, speeds] : profiles) {
+    for (double a : {0.5, 1.0, 2.0, 4.0}) {
+      Welford ineq_ratio, arb_ratio, ratio_of_ratios;
+      Welford v2_ineq, v2_arb;
+      for (int trial = 0; trial < trials; ++trial) {
+        Rng rng(derive_seed(bench::kBenchSeed + static_cast<std::uint64_t>(n),
+                            static_cast<std::uint64_t>(trial) * 71 +
+                                static_cast<std::uint64_t>(a * 10)));
+        Graph g = gilbert_bipartite(n, a / n, rng);
+        const auto inst = make_uniform_instance(unit_weights(2 * n), speeds, std::move(g));
+        const double lb = lower_bound(inst).to_double();
+        const auto ineq = alg2_random_bipartite(inst, /*use_inequitable=*/true);
+        const auto arb = alg2_random_bipartite(inst, /*use_inequitable=*/false);
+        ineq_ratio.add(ineq.cmax.to_double() / lb);
+        arb_ratio.add(arb.cmax.to_double() / lb);
+        ratio_of_ratios.add(arb.cmax.to_double() / ineq.cmax.to_double());
+        const auto tci = inequitable_two_coloring(inst.conflicts, inst.p);
+        const auto tca = arbitrary_two_coloring(inst.conflicts, inst.p);
+        v2_ineq.add(static_cast<double>(tci->size[1]));
+        v2_arb.add(static_cast<double>(tca->size[1]));
+      }
+      t.add_row({pname, fmt_double(a, 1), fmt_ratio(ineq_ratio.mean()),
+                 fmt_ratio(arb_ratio.mean()), fmt_ratio(ratio_of_ratios.mean()),
+                 fmt_double(v2_ineq.mean(), 0), fmt_double(v2_arb.mean(), 0)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "Reading: arbitrary orientations roughly double |V'2|, which inflates the\n"
+               "slow-prefix load when one machine dominates (one-fast rows), while flat\n"
+               "profiles barely notice — the heavy-side rule matters exactly where the\n"
+               "paper's analysis places V'1 on the fast machine.\n";
+}
+
+}  // namespace
+}  // namespace bisched
+
+int main() {
+  bisched::bench::banner("A1 — ablation of the inequitable-coloring rule (Definition 1)",
+                         "heavy-side orientation vs arbitrary orientation inside Algorithm 2");
+  bisched::ablation_table(300, 8);
+  bisched::ablation_table(1200, 5);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// A2 — ablation of Algorithm 1's internals: the two-machine schedule S1
+// (Algorithm 5 with eps = 1) vs the I-based machine-prefix schedule S2, and
+// the best-of-both rule the pseudocode ends with.
+//
+// Reports, per instance family: how often S2 exists/wins, the mean ratio of
+// each branch to the certified lower bound, and the k/k' prefix statistics —
+// quantifying how much each structural ingredient contributes.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "core/alg_sqrt.hpp"
+#include "random/generators.hpp"
+#include "random/gilbert.hpp"
+#include "sched/lower_bounds.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+
+namespace bisched {
+namespace {
+
+struct Family {
+  const char* name;
+  UniformInstance (*build)(int n, Rng& rng);
+};
+
+UniformInstance sparse_one_fast(int n, Rng& rng) {
+  Graph g = gilbert_bipartite(n / 2, 2.0 / (n / 2), rng);
+  std::vector<std::int64_t> speeds{50, 3, 2};
+  for (int i = 3; i < 8; ++i) speeds.push_back(1);
+  return make_uniform_instance(uniform_weights(2 * (n / 2), 1, 9, rng), std::move(speeds),
+                               std::move(g));
+}
+
+UniformInstance dense_flat(int n, Rng& rng) {
+  Graph g = gilbert_bipartite(n / 2, 0.4, rng);
+  return make_uniform_instance(uniform_weights(2 * (n / 2), 1, 9, rng),
+                               std::vector<std::int64_t>(8, 3), std::move(g));
+}
+
+UniformInstance crown_heavy(int n, Rng& rng) {
+  const int half = std::max(2, n / 2);
+  return make_uniform_instance(bimodal_weights(2 * half, 1, 3, 30, 60, 0.2, rng),
+                               {20, 10, 5, 2, 1, 1}, crown(half));
+}
+
+constexpr Family kFamilies[] = {
+    {"sparse/one-fast", sparse_one_fast},
+    {"dense/flat", dense_flat},
+    {"crown/bimodal", crown_heavy},
+};
+
+void ablation_table(int n, int trials) {
+  TextTable t("Algorithm 1 branch contributions, n = " + std::to_string(n));
+  t.set_header({"family", "S2 exists", "S2 wins", "S1/LB", "S2/LB", "best/LB", "mean k",
+                "mean k'"});
+  for (const auto& family : kFamilies) {
+    int s2_exists = 0, s2_wins = 0;
+    Welford s1r, s2r, bestr, ks, kps;
+    for (int trial = 0; trial < trials; ++trial) {
+      Rng rng(derive_seed(bench::kBenchSeed + static_cast<std::uint64_t>(n),
+                          static_cast<std::uint64_t>(trial) * 17 +
+                              static_cast<std::uint64_t>(&family - kFamilies)));
+      const auto inst = family.build(n, rng);
+      const auto r = alg1_sqrt_approx(inst);
+      const double lb = lower_bound(inst).to_double();
+      bestr.add(r.cmax.to_double() / lb);
+      s1r.add(r.s1_cmax.to_double() / lb);
+      if (r.s2_built) {
+        ++s2_exists;
+        s2_wins += r.used_s2;
+        s2r.add(r.s2_cmax.to_double() / lb);
+        ks.add(r.k);
+        kps.add(r.k_prime);
+      }
+    }
+    t.add_row({family.name, fmt_count(s2_exists), fmt_count(s2_wins), fmt_ratio(s1r.mean()),
+               s2r.count() ? fmt_ratio(s2r.mean()) : "-", fmt_ratio(bestr.mean()),
+               ks.count() ? fmt_double(ks.mean(), 1) : "-",
+               kps.count() ? fmt_double(kps.mean(), 1) : "-"});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace bisched
+
+int main() {
+  bisched::bench::banner("A2 — Algorithm 1 branch ablation (S1 vs S2 vs best-of)",
+                         "S2 (machine-prefix + independent set) carries skewed-speed cases; "
+                         "S1 carries two-fast-machine cases");
+  bisched::ablation_table(60, 12);
+  bisched::ablation_table(240, 8);
+  return 0;
+}

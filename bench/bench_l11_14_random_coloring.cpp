@@ -1,0 +1,107 @@
+// L11-14 — Lemmas 11-14: structure of G(n,n,p) under inequitable coloring.
+//
+// Measures, per p(n) regime and growing n (Monte-Carlo over seeds):
+//   * |V'_2| / n      — the light class share (Corollary 11 / Lemma 12 say it
+//                       vanishes for p = o(1/n) and tends to <= 1 - e^{-a}
+//                       for p = a/n);
+//   * mu / n          — matching share (Lemma 13's Mastin–Jaillet bound
+//                       1 - e^{e^{-a} - 1} from below; -> 1 for p = w(1/n),
+//                       Theorem 15 / Corollary 18);
+//   * |V'_2| / mu     — the quantity Lemma 14 bounds by 1.6 a.a.s. (see
+//                       DESIGN.md for the n - alpha = mu reading).
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "graph/bipartite.hpp"
+#include "graph/matching.hpp"
+#include "random/gilbert.hpp"
+#include "util/parallel.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+
+namespace bisched {
+namespace {
+
+struct RegimeRow {
+  const char* label;
+  double (*p_of_n)(int n);
+  double a;  // > 0 only for the a/n rows (enables the closed-form columns)
+};
+
+double p_half_over_n(int n) { return 0.5 / n; }
+double p_one_over_n(int n) { return 1.0 / n; }
+double p_two_over_n(int n) { return 2.0 / n; }
+double p_four_over_n(int n) { return 4.0 / n; }
+double p_const(int) { return 0.3; }
+
+constexpr RegimeRow kRegimes[] = {
+    {"o(1/n): 1/(n log n)", p_below_critical, 0},
+    {"a/n, a=0.5", p_half_over_n, 0.5},
+    {"a/n, a=1", p_one_over_n, 1.0},
+    {"a/n, a=2", p_two_over_n, 2.0},
+    {"a/n, a=4", p_four_over_n, 4.0},
+    {"w(1/n): log n/n", p_log_over_n, 0},
+    {"w(1/n): n^-1/2", p_inv_sqrt, 0},
+    {"const 0.3", p_const, 0},
+};
+
+struct Measurement {
+  double v2_share;   // |V'2| / n
+  double mu_share;   // mu / n
+  double v2_over_mu; // |V'2| / mu (0 if mu == 0)
+};
+
+Measurement measure(int n, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  const Graph g = gilbert_bipartite(n, p, rng);
+  const auto tc = inequitable_two_coloring(g);
+  const auto bp = bipartition(g);
+  const auto matching = maximum_matching(g, *bp);
+  Measurement m;
+  m.v2_share = static_cast<double>(tc->size[1]) / n;
+  m.mu_share = static_cast<double>(matching.size) / n;
+  m.v2_over_mu =
+      matching.size == 0 ? 0.0 : static_cast<double>(tc->size[1]) / matching.size;
+  return m;
+}
+
+void regime_table(int n, int trials) {
+  TextTable t("G(n,n,p) structure at n = " + std::to_string(n) + " (" +
+              std::to_string(trials) + " trials)");
+  t.set_header({"p(n) regime", "|V'2|/n", "1-e^-a", "mu/n", "MJ bound", "|V'2|/mu",
+                "limit", "<=1.6"});
+  for (const auto& regime : kRegimes) {
+    const double p = regime.p_of_n(n);
+    Welford v2, mu, ratio;
+    for (int trial = 0; trial < trials; ++trial) {
+      const Measurement m =
+          measure(n, p, derive_seed(bench::kBenchSeed + static_cast<std::uint64_t>(n),
+                                    static_cast<std::uint64_t>(trial)));
+      v2.add(m.v2_share);
+      mu.add(m.mu_share);
+      ratio.add(m.v2_over_mu);
+    }
+    const bool critical = regime.a > 0;
+    const double coloring_bound = critical ? 1.0 - std::exp(-regime.a) : -1;
+    const double mj_bound = critical ? 1.0 - std::exp(std::exp(-regime.a) - 1.0) : -1;
+    const double limit = critical ? coloring_bound / mj_bound : -1;
+    t.add_row({regime.label, fmt_ratio(v2.mean()),
+               critical ? fmt_ratio(coloring_bound) : "-", fmt_ratio(mu.mean()),
+               critical ? fmt_ratio(mj_bound) : "-", fmt_ratio(ratio.mean()),
+               critical ? fmt_ratio(limit) : "-", fmt_bool(ratio.max() <= 1.6)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace bisched
+
+int main() {
+  bisched::bench::banner(
+      "L11-14 — inequitable coloring & matching on G(n,n,p)",
+      "|V'2|/n -> 1-e^-a, mu/n >= 1-e^(e^-a - 1), |V'2|/mu <= 1.6 a.a.s. (Lemma 14)");
+  bisched::regime_table(200, 10);
+  bisched::regime_table(1000, 6);
+  bisched::regime_table(4000, 3);
+  return 0;
+}

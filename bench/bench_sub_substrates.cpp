@@ -1,0 +1,120 @@
+// SUB — substrate microbenchmarks (google-benchmark): the building blocks
+// whose costs Lemma 10 accounts for — maximum matching, the min-cut
+// independent-set step, the cover-time heap sweep, inequitable coloring, the
+// Gilbert samplers, and the end-to-end Algorithms 2 and 4.
+#include <benchmark/benchmark.h>
+
+#include "core/alg_random.hpp"
+#include "core/r2_algorithms.hpp"
+#include "graph/bipartite.hpp"
+#include "graph/independent_set.hpp"
+#include "graph/matching.hpp"
+#include "random/generators.hpp"
+#include "random/gilbert.hpp"
+#include "sched/capacity.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+void BM_GilbertSparse(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gilbert_bipartite_sparse(n, 2.0 / n, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GilbertSparse)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_GilbertDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gilbert_bipartite_dense(n, 0.3, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_GilbertDense)->Arg(200)->Arg(1000);
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const Graph g = gilbert_bipartite(n, 3.0 / n, rng);
+  const auto bp = bipartition(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maximum_matching(g, *bp));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_MwisMinCut(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  const Graph g = gilbert_bipartite(n, 3.0 / n, rng);
+  const auto bp = bipartition(g);
+  std::vector<std::int64_t> w(static_cast<std::size_t>(2 * n));
+  for (auto& x : w) x = rng.uniform_int(1, 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_weight_independent_set(g, *bp, w));
+  }
+}
+BENCHMARK(BM_MwisMinCut)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_InequitableColoring(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  const Graph g = gilbert_bipartite(n, 2.0 / n, rng);
+  std::vector<std::int64_t> w(static_cast<std::size_t>(2 * n), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inequitable_two_coloring(g, w));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_InequitableColoring)->Arg(10000)->Arg(100000);
+
+void BM_MinCoverTime(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(6);
+  std::vector<std::int64_t> speeds(static_cast<std::size_t>(m));
+  for (auto& s : speeds) s = rng.uniform_int(1, 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_cover_time(speeds, 1000000));
+  }
+}
+BENCHMARK(BM_MinCoverTime)->Arg(10)->Arg(1000)->Arg(100000);
+
+void BM_Alg2EndToEnd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  Graph g = gilbert_bipartite(n, 2.0 / n, rng);
+  const auto inst =
+      make_uniform_instance(unit_weights(2 * n), {16, 8, 4, 2, 1, 1}, std::move(g));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alg2_random_bipartite(inst));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_Alg2EndToEnd)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_Alg4EndToEnd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(8);
+  Graph g = random_bipartite_edges(n, n, 2 * n, rng);
+  std::vector<std::vector<std::int64_t>> times(2, std::vector<std::int64_t>(2 * n));
+  for (auto& row : times) {
+    for (auto& x : row) x = rng.uniform_int(1, 100);
+  }
+  const auto inst = make_unrelated_instance(std::move(times), std::move(g));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r2_two_approx(inst));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_Alg4EndToEnd)->Arg(1000)->Arg(10000)->Arg(50000);
+
+}  // namespace
+}  // namespace bisched
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// T21 — Theorem 21 / Algorithm 4: the O(n)-time 2-approximation for
+// R2|G=bipartite|Cmax.
+//
+// Ratio against the certified exact optimum (reduction + pseudo-polynomial
+// DP) on random instances, plus the linear-time claim: the per-job cost must
+// stay flat as n grows.
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/r2_algorithms.hpp"
+#include "random/generators.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+
+namespace bisched {
+namespace {
+
+UnrelatedInstance build(int n_half, double edge_frac, bool correlated, std::int64_t tmax,
+                        Rng& rng) {
+  const std::int64_t max_edges = static_cast<std::int64_t>(n_half) * n_half;
+  Graph g = random_bipartite_edges(
+      n_half, n_half, static_cast<std::int64_t>(edge_frac * static_cast<double>(max_edges)),
+      rng);
+  std::vector<std::vector<std::int64_t>> times(2,
+                                               std::vector<std::int64_t>(2 * n_half));
+  for (int j = 0; j < 2 * n_half; ++j) {
+    const std::int64_t base = rng.uniform_int(1, tmax);
+    times[0][static_cast<std::size_t>(j)] = base;
+    times[1][static_cast<std::size_t>(j)] =
+        correlated ? base + rng.uniform_int(0, tmax / 4) : rng.uniform_int(1, tmax);
+  }
+  return make_unrelated_instance(std::move(times), std::move(g));
+}
+
+void ratio_table() {
+  TextTable t("Algorithm 4 vs exact optimum (10 trials per row)");
+  t.set_header({"n", "edge frac", "times", "mean ratio", "max ratio", "2.0 bound held"});
+  for (int n_half : {10, 50, 200}) {
+    for (double edge_frac : {0.1, 0.5}) {
+      for (bool correlated : {false, true}) {
+        Welford ratio;
+        bool held = true;
+        for (int trial = 0; trial < 10; ++trial) {
+          Rng rng(derive_seed(bench::kBenchSeed, static_cast<std::uint64_t>(n_half) * 1000 +
+                                                     static_cast<std::uint64_t>(edge_frac * 10) * 10 +
+                                                     static_cast<std::uint64_t>(correlated) * 5 +
+                                                     static_cast<std::uint64_t>(trial)));
+          const auto inst = build(n_half, edge_frac, correlated, 30, rng);
+          const auto approx = r2_two_approx(inst);
+          const auto exact = r2_exact_bipartite(inst);
+          const double r = exact.cmax == 0
+                               ? 1.0
+                               : static_cast<double>(approx.cmax) / exact.cmax;
+          ratio.add(r);
+          held = held && approx.cmax <= 2 * exact.cmax;
+        }
+        t.add_row({fmt_count(2 * n_half), fmt_double(edge_frac, 1),
+                   correlated ? "correlated" : "independent", fmt_ratio(ratio.mean()),
+                   fmt_ratio(ratio.max()), fmt_bool(held)});
+      }
+    }
+  }
+  t.print(std::cout);
+}
+
+void linear_time_table() {
+  TextTable t("Algorithm 4 runtime (O(n) claim): per-job cost stays flat");
+  t.set_header({"n", "total us", "us per job"});
+  for (int n_half : {1000, 4000, 16000, 64000}) {
+    Rng rng(derive_seed(bench::kBenchSeed + 1, static_cast<std::uint64_t>(n_half)));
+    const auto inst = build(n_half, 5.0 / n_half, false, 50, rng);
+    Timer timer;
+    const auto approx = r2_two_approx(inst);
+    const double us = timer.micros();
+    (void)approx;
+    t.add_row({fmt_count(2 * n_half), fmt_double(us, 0),
+               fmt_double(us / (2.0 * n_half), 3)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace bisched
+
+int main() {
+  bisched::bench::banner("T21 — Algorithm 4, 2-approximation for R2 (Theorem 21)",
+                         "ratio <= 2 always; O(n) runtime");
+  bisched::ratio_table();
+  bisched::linear_time_table();
+  return 0;
+}

@@ -1,0 +1,145 @@
+// T9 — Theorem 9 / Algorithm 1: the sqrt(sum p_j)-approximation for
+// Q|G=bipartite|Cmax.
+//
+// Part A compares Algorithm 1 against the certified exact optimum (branch and
+// bound) on small instances: the realized ratio must sit below sqrt(sum p)
+// and in practice sits far below. Part B scales up and reports ratios against
+// the certified lower bound (cover time / pmax / off-M1), side by side with
+// the baselines — this is the "who wins" series.
+#include <algorithm>
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "core/alg_sqrt.hpp"
+#include "core/baselines.hpp"
+#include "core/exact_bb.hpp"
+#include "random/generators.hpp"
+#include "random/gilbert.hpp"
+#include "sched/list_schedule.hpp"
+#include "sched/lower_bounds.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+
+namespace bisched {
+namespace {
+
+struct Family {
+  const char* name;
+  // Builds an instance with roughly `n` jobs on `m` machines.
+  UniformInstance (*build)(int n, int m, Rng& rng);
+};
+
+UniformInstance build_gilbert_unit(int n, int m, Rng& rng) {
+  Graph g = gilbert_bipartite(n / 2, 3.0 / (n / 2), rng);
+  std::vector<std::int64_t> speeds(static_cast<std::size_t>(m));
+  for (auto& s : speeds) s = rng.uniform_int(1, 6);
+  return make_uniform_instance(unit_weights(2 * (n / 2)), std::move(speeds), std::move(g));
+}
+
+UniformInstance build_gilbert_weighted(int n, int m, Rng& rng) {
+  Graph g = gilbert_bipartite(n / 2, 3.0 / (n / 2), rng);
+  auto p = uniform_weights(2 * (n / 2), 1, 20, rng);
+  std::vector<std::int64_t> speeds(static_cast<std::size_t>(m));
+  for (auto& s : speeds) s = rng.uniform_int(1, 6);
+  return make_uniform_instance(std::move(p), std::move(speeds), std::move(g));
+}
+
+UniformInstance build_crown_bimodal(int n, int m, Rng& rng) {
+  const int half = std::max(2, n / 2);
+  Graph g = crown(half);
+  auto p = bimodal_weights(2 * half, 1, 4, 40, 80, 0.15, rng);
+  std::vector<std::int64_t> speeds(static_cast<std::size_t>(m));
+  for (auto& s : speeds) s = rng.uniform_int(1, 6);
+  return make_uniform_instance(std::move(p), std::move(speeds), std::move(g));
+}
+
+UniformInstance build_big_job_adversary(int n, int m, Rng& rng) {
+  // A few huge jobs on one side of K_{2,n-2}, dust on the other: stresses the
+  // independent-superset step.
+  Graph g = complete_bipartite(2, n - 2);
+  std::vector<std::int64_t> p(static_cast<std::size_t>(n), 1);
+  p[0] = p[1] = 25 * n;
+  std::vector<std::int64_t> speeds(static_cast<std::size_t>(m));
+  for (auto& s : speeds) s = rng.uniform_int(1, 8);
+  return make_uniform_instance(std::move(p), std::move(speeds), std::move(g));
+}
+
+constexpr Family kFamilies[] = {
+    {"gilbert-unit", build_gilbert_unit},
+    {"gilbert-weighted", build_gilbert_weighted},
+    {"crown-bimodal", build_crown_bimodal},
+    {"bigjob-adversary", build_big_job_adversary},
+};
+
+void versus_exact_table() {
+  TextTable t("Part A: Algorithm 1 vs exact optimum (small instances, 12 trials each)");
+  t.set_header({"family", "n", "m", "mean ratio", "max ratio", "sqrt(sum p) bound",
+                "S2 wins"});
+  Rng rng(bench::kBenchSeed);
+  for (const auto& family : kFamilies) {
+    for (int m : {3, 5}) {
+      Welford ratio;
+      double bound = 0;
+      int s2_wins = 0;
+      const int n = 10;
+      for (int trial = 0; trial < 12; ++trial) {
+        const auto inst = family.build(n, m, rng);
+        const auto r = alg1_sqrt_approx(inst);
+        const auto exact = exact_uniform_bb(inst);
+        ratio.add(r.cmax.to_double() / exact.cmax.to_double());
+        bound = std::max(bound, std::sqrt(static_cast<double>(inst.total_work())));
+        s2_wins += r.used_s2;
+      }
+      t.add_row({family.name, fmt_count(n), fmt_count(m), fmt_ratio(ratio.mean()),
+                 fmt_ratio(ratio.max()), fmt_double(bound, 1), fmt_count(s2_wins)});
+    }
+  }
+  t.print(std::cout);
+}
+
+void versus_lb_table() {
+  TextTable t("Part B: ratios to certified lower bound at scale (8 trials each)");
+  t.set_header({"family", "n", "m", "Alg1", "2-color split", "proportional", "greedy LPT",
+                "Alg1 ms"});
+  Rng rng(bench::kBenchSeed + 13);
+  for (const auto& family : kFamilies) {
+    for (int n : {100, 400}) {
+      const int m = 8;
+      Welford a1r, splitr, propr, greedyr;
+      double ms = 0;
+      for (int trial = 0; trial < 8; ++trial) {
+        const auto inst = family.build(n, m, rng);
+        const double lb = lower_bound(inst).to_double();
+        Timer timer;
+        const auto a1 = alg1_sqrt_approx(inst);
+        ms += timer.millis();
+        a1r.add(a1.cmax.to_double() / lb);
+        splitr.add(two_color_split(inst).cmax.to_double() / lb);
+        propr.add(class_proportional_split(inst).cmax.to_double() / lb);
+        Schedule greedy;
+        if (greedy_conflict_lpt(inst, greedy)) {
+          greedyr.add(makespan(inst, greedy).to_double() / lb);
+        }
+      }
+      t.add_row({family.name, fmt_count(n), fmt_count(m), fmt_ratio(a1r.mean()),
+                 fmt_ratio(splitr.mean()), fmt_ratio(propr.mean()),
+                 greedyr.count() ? fmt_ratio(greedyr.mean()) : "failed",
+                 fmt_double(ms / 8, 2)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "Reading: Algorithm 1 stays near the lower bound (ratio close to 1-2) while\n"
+               "the two-machine split degrades with n — the sqrt(sum p) guarantee is a\n"
+               "worst-case cap, not typical behaviour (cf. Theorem 9 vs Theorem 8).\n";
+}
+
+}  // namespace
+}  // namespace bisched
+
+int main() {
+  bisched::bench::banner("T9 — Algorithm 1, sqrt(sum p_j)-approximation (Theorem 9)",
+                         "ratio to OPT bounded by sqrt(sum p); far better in practice");
+  bisched::versus_exact_table();
+  bisched::versus_lb_table();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Shared plumbing for the experiment binaries: banner printing and the
+// default Monte-Carlo settings. Every binary prints one or more TextTables —
+// the repository's reproduction of the paper's (theorem-level) results — and
+// exits 0; `for b in build/bench/*; do $b; done` runs the full harness.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace bisched::bench {
+
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::cout << "\n############################################################\n"
+            << "# " << experiment << "\n"
+            << "# " << claim << "\n"
+            << "############################################################\n";
+}
+
+// Seeds are fixed so that the printed tables are reproducible run-to-run.
+constexpr std::uint64_t kBenchSeed = 0xB15C4EDu;
+
+}  // namespace bisched::bench

@@ -1,0 +1,67 @@
+#include "core/alg_random.hpp"
+
+#include "graph/bipartite.hpp"
+#include "sched/capacity.hpp"
+#include "sched/list_schedule.hpp"
+#include "util/check.hpp"
+
+namespace bisched {
+
+Alg2Result alg2_random_bipartite(const UniformInstance& inst, bool use_inequitable) {
+  const int n = inst.num_jobs();
+  const int m = inst.num_machines();
+
+  const auto tc = use_inequitable ? inequitable_two_coloring(inst.conflicts, inst.p)
+                                  : arbitrary_two_coloring(inst.conflicts, inst.p);
+  BISCHED_CHECK(tc.has_value(), "Algorithm 2 requires a bipartite conflict graph");
+
+  Alg2Result result;
+  const auto cover = min_cover_time(inst.speeds, inst.total_work());
+  BISCHED_CHECK(cover.has_value(), "at least one machine");
+  result.cstarstar = *cover;
+
+  std::vector<int> v1, v2;
+  for (int j = 0; j < n; ++j) {
+    (tc->color[static_cast<std::size_t>(j)] == 0 ? v1 : v2).push_back(j);
+  }
+
+  if (m == 1) {
+    BISCHED_CHECK(inst.conflicts.num_edges() == 0,
+                  "single machine requires an edgeless conflict graph");
+    result.schedule.machine_of.assign(static_cast<std::size_t>(n), 0);
+    result.cmax = makespan(inst, result.schedule);
+    result.k = 1;
+    return result;
+  }
+
+  // Step 3: least k with capacities of M2..Mk at least w(V'_2)/2; k = m if
+  // no prefix reaches it.
+  const std::int64_t w2 = tc->weight[1];
+  int k = m;
+  std::int64_t cum = 0;
+  for (int i = 1; i < m; ++i) {
+    cum += machine_capacity(inst.speeds[static_cast<std::size_t>(i)], result.cstarstar);
+    if (2 * cum >= w2) {
+      k = i + 1;
+      break;
+    }
+  }
+  result.k = k;
+
+  // Step 4: V'_2 on M2..Mk; V'_1 on M1 and M(k+1)..Mm.
+  std::vector<int> group2, group1;
+  for (int i = 1; i < k; ++i) group2.push_back(i);
+  group1.push_back(0);
+  for (int i = k; i < m; ++i) group1.push_back(i);
+
+  result.schedule.machine_of.assign(static_cast<std::size_t>(n), -1);
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(m), 0);
+  list_schedule_uniform(inst, v2, group2, result.schedule, loads);
+  list_schedule_uniform(inst, v1, group1, result.schedule, loads);
+  BISCHED_DCHECK(validate(inst, result.schedule) == ScheduleStatus::kValid,
+                 "Algorithm 2 produced an invalid schedule");
+  result.cmax = makespan(inst, result.schedule);
+  return result;
+}
+
+}  // namespace bisched

@@ -1,0 +1,53 @@
+#include "core/alg_random_balanced.hpp"
+
+#include "graph/bipartite.hpp"
+#include "sched/capacity.hpp"
+#include "sched/list_schedule.hpp"
+#include "util/check.hpp"
+
+namespace bisched {
+
+Alg2BalancedResult alg2_balanced(const UniformInstance& inst) {
+  const int n = inst.num_jobs();
+  const int m = inst.num_machines();
+
+  std::vector<int> isolated, constrained;
+  for (int j = 0; j < n; ++j) {
+    (inst.conflicts.degree(j) == 0 ? isolated : constrained).push_back(j);
+  }
+
+  Alg2BalancedResult result;
+  result.isolated_jobs = static_cast<int>(isolated.size());
+  result.schedule.machine_of.assign(static_cast<std::size_t>(n), -1);
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(m), 0);
+
+  if (!constrained.empty()) {
+    // Algorithm 2 on the induced non-isolated instance, then copy the
+    // placement over (machine indices are shared).
+    std::vector<int> old_of_new;
+    Graph sub = induced_subgraph(inst.conflicts, constrained, &old_of_new);
+    std::vector<std::int64_t> subp(constrained.size());
+    for (std::size_t i = 0; i < constrained.size(); ++i) {
+      subp[i] = inst.p[static_cast<std::size_t>(constrained[i])];
+    }
+    const auto sub_inst = make_uniform_instance(std::move(subp), inst.speeds, std::move(sub));
+    const Alg2Result core = alg2_random_bipartite(sub_inst);
+    for (std::size_t i = 0; i < constrained.size(); ++i) {
+      const int machine = core.schedule.machine_of[i];
+      result.schedule.machine_of[static_cast<std::size_t>(old_of_new[i])] = machine;
+      loads[static_cast<std::size_t>(machine)] += inst.p[static_cast<std::size_t>(old_of_new[i])];
+    }
+  }
+
+  // Isolated jobs balance the whole machine park.
+  std::vector<int> all_machines(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) all_machines[static_cast<std::size_t>(i)] = i;
+  list_schedule_uniform(inst, isolated, all_machines, result.schedule, loads);
+
+  BISCHED_DCHECK(validate(inst, result.schedule) == ScheduleStatus::kValid,
+                 "Algorithm 2B produced an invalid schedule");
+  result.cmax = makespan(inst, result.schedule);
+  return result;
+}
+
+}  // namespace bisched

@@ -1,0 +1,31 @@
+// Algorithm 2B — the improvement sketched in the paper's open problems
+// (Section 6): "for p(n) = o(1/n) [Algorithm 2] could be improved, by better
+// assigning the isolated jobs and using them to 'balance' the schedule".
+//
+// In the sparse regimes most vertices of G(n,n,p) are isolated; Algorithm 2
+// nevertheless routes the whole heavy class V'_1 to M1 plus the machine tail
+// and reserves M2..Mk for V'_2. Algorithm 2B:
+//   1. peels off the isolated vertices (no constraints at all),
+//   2. runs Algorithm 2's placement on the non-isolated remainder,
+//   3. list-schedules the isolated jobs across ALL machines on top of the
+//      existing loads — using them as filler to even the finish times.
+// On instances without isolated vertices it degenerates to Algorithm 2
+// exactly; bench A3 quantifies the gain across p(n) regimes.
+#pragma once
+
+#include "core/alg_random.hpp"
+#include "sched/instance.hpp"
+#include "sched/schedule.hpp"
+#include "util/rational.hpp"
+
+namespace bisched {
+
+struct Alg2BalancedResult {
+  Schedule schedule;
+  Rational cmax;
+  int isolated_jobs = 0;
+};
+
+Alg2BalancedResult alg2_balanced(const UniformInstance& inst);
+
+}  // namespace bisched

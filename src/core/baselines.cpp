@@ -1,0 +1,75 @@
+#include "core/baselines.hpp"
+
+#include "graph/bipartite.hpp"
+#include "sched/list_schedule.hpp"
+#include "util/check.hpp"
+
+namespace bisched {
+
+namespace {
+
+std::pair<std::vector<int>, std::vector<int>> color_classes(const UniformInstance& inst) {
+  const auto tc = inequitable_two_coloring(inst.conflicts, inst.p);
+  BISCHED_CHECK(tc.has_value(), "baseline requires a bipartite conflict graph");
+  std::vector<int> heavy, light;
+  for (int j = 0; j < inst.num_jobs(); ++j) {
+    (tc->color[static_cast<std::size_t>(j)] == 0 ? heavy : light).push_back(j);
+  }
+  return {std::move(heavy), std::move(light)};
+}
+
+}  // namespace
+
+BaselineResult two_color_split(const UniformInstance& inst) {
+  BISCHED_CHECK(inst.num_machines() >= 2, "two_color_split needs two machines");
+  auto [heavy, light] = color_classes(inst);
+  BaselineResult r;
+  r.schedule.machine_of.assign(static_cast<std::size_t>(inst.num_jobs()), -1);
+  for (int j : heavy) r.schedule.machine_of[static_cast<std::size_t>(j)] = 0;
+  for (int j : light) r.schedule.machine_of[static_cast<std::size_t>(j)] = 1;
+  r.cmax = makespan(inst, r.schedule);
+  return r;
+}
+
+BaselineResult class_proportional_split(const UniformInstance& inst) {
+  const int m = inst.num_machines();
+  BISCHED_CHECK(m >= 2, "class_proportional_split needs two machines");
+  auto [heavy, light] = color_classes(inst);
+
+  std::int64_t w_heavy = 0, w_light = 0;
+  for (int j : heavy) w_heavy += inst.p[static_cast<std::size_t>(j)];
+  for (int j : light) w_light += inst.p[static_cast<std::size_t>(j)];
+  const std::int64_t w_total = w_heavy + w_light;
+
+  // Grow the heavy group (fastest machines first) until its speed share
+  // reaches the heavy weight share; keep at least one machine per group.
+  std::int64_t speed_total = 0;
+  for (std::int64_t s : inst.speeds) speed_total += s;
+  std::vector<int> group_heavy, group_light;
+  std::int64_t speed_heavy = 0;
+  for (int i = 0; i < m; ++i) {
+    const bool must_take = group_heavy.empty();
+    const bool must_leave = static_cast<int>(group_light.size()) == 0 && i == m - 1;
+    // Take while the heavy group's speed share is below the weight share.
+    const bool want = w_total > 0 &&
+                      static_cast<__int128>(speed_heavy) * w_total <
+                          static_cast<__int128>(w_heavy) * speed_total;
+    if ((must_take || want) && !must_leave) {
+      group_heavy.push_back(i);
+      speed_heavy += inst.speeds[static_cast<std::size_t>(i)];
+    } else {
+      group_light.push_back(i);
+    }
+  }
+  BISCHED_CHECK(!group_heavy.empty() && !group_light.empty(), "both groups populated");
+
+  BaselineResult r;
+  r.schedule.machine_of.assign(static_cast<std::size_t>(inst.num_jobs()), -1);
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(m), 0);
+  list_schedule_uniform(inst, heavy, group_heavy, r.schedule, loads);
+  list_schedule_uniform(inst, light, group_light, r.schedule, loads);
+  r.cmax = makespan(inst, r.schedule);
+  return r;
+}
+
+}  // namespace bisched

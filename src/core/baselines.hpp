@@ -1,0 +1,29 @@
+// Comparison baselines for the benchmark harness.
+//
+// * two_color_split — the naive "one side per fast machine" schedule: the
+//   heavy class of an inequitable coloring on M1, the light class on M2,
+//   remaining machines idle. Always feasible on bipartite G with m >= 2;
+//   this is what Algorithms 1/2 must beat by using the machine tail.
+// * class_proportional_split — the Bodlaender–Jansen–Woeginger-flavored
+//   2-approximation for identical machines [3], generalized to uniform
+//   speeds: split the machine set into two groups whose speed sums are
+//   proportional to the class weights (at least one machine each; m >= 2)
+//   and list-schedule each color class inside its group.
+// * greedy_conflict_lpt lives in sched/list_schedule.hpp (it may fail).
+#pragma once
+
+#include "sched/instance.hpp"
+#include "sched/schedule.hpp"
+#include "util/rational.hpp"
+
+namespace bisched {
+
+struct BaselineResult {
+  Schedule schedule;
+  Rational cmax;
+};
+
+BaselineResult two_color_split(const UniformInstance& inst);
+BaselineResult class_proportional_split(const UniformInstance& inst);
+
+}  // namespace bisched

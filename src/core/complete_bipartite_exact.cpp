@@ -1,0 +1,155 @@
+#include "core/complete_bipartite_exact.hpp"
+
+#include <algorithm>
+
+#include "graph/bipartite.hpp"
+#include "sched/capacity.hpp"
+#include "util/check.hpp"
+
+namespace bisched {
+
+bool complete_bipartite_feasible(std::span<const std::int64_t> speeds, std::int64_t n1,
+                                 std::int64_t n2, const Rational& t,
+                                 std::vector<std::uint8_t>* side_of_machine) {
+  BISCHED_CHECK(n1 >= 0 && n2 >= 0, "negative side sizes");
+  const auto m = speeds.size();
+  std::vector<std::int64_t> caps(m);
+  std::int64_t caps_total = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    caps[i] = machine_capacity(speeds[i], t);
+    caps_total += caps[i];
+  }
+
+  // g[c] = minimum total capacity of a machine subset S whose capacity sum is
+  // >= c (c clamped to n1); kInf when unreachable. Feasible iff some subset
+  // covers side 1 while leaving >= n2 capacity for side 2:
+  // g_final[n1] <= caps_total - n2. Parent pointers make the reconstruction
+  // exact (g is NOT monotone in c: capacity gaps leave unreachable states).
+  constexpr std::int64_t kInf = INT64_MAX / 4;
+  constexpr std::int32_t kUnreachable = -2;
+  constexpr std::int32_t kSkip = -1;
+  const auto width = static_cast<std::size_t>(n1) + 1;
+  BISCHED_CHECK(static_cast<double>(m + 1) * static_cast<double>(width) <= 2.5e8,
+                "complete-bipartite DP too large");
+  std::vector<std::vector<std::int64_t>> g(m + 1, std::vector<std::int64_t>(width, kInf));
+  std::vector<std::vector<std::int32_t>> parent(
+      m + 1, std::vector<std::int32_t>(width, kUnreachable));
+  g[0][0] = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t c = 0; c < width; ++c) {
+      if (g[i][c] == kInf) continue;
+      // Skip machine i (it will serve side 2).
+      if (g[i][c] < g[i + 1][c]) {
+        g[i + 1][c] = g[i][c];
+        parent[i + 1][c] = kSkip;
+      }
+      // Take machine i into the side-1 subset.
+      const std::size_t nc = std::min<std::size_t>(
+          width - 1, c + static_cast<std::size_t>(std::min<std::int64_t>(caps[i], n1)));
+      if (g[i][c] + caps[i] < g[i + 1][nc]) {
+        g[i + 1][nc] = g[i][c] + caps[i];
+        parent[i + 1][nc] = static_cast<std::int32_t>(c);
+      }
+    }
+  }
+  if (g[m][width - 1] == kInf || g[m][width - 1] > caps_total - n2) return false;
+
+  if (side_of_machine != nullptr) {
+    side_of_machine->assign(m, 1);
+    std::size_t c = width - 1;
+    for (std::size_t i = m; i-- > 0;) {
+      const std::int32_t p = parent[i + 1][c];
+      BISCHED_CHECK(p != kUnreachable, "DP reconstruction hit an unreachable state");
+      if (p != kSkip) {
+        (*side_of_machine)[i] = 0;
+        c = static_cast<std::size_t>(p);
+      }
+    }
+    BISCHED_CHECK(c == 0, "DP reconstruction did not consume the target");
+    // Verify the split covers both sides (defensive; cheap).
+    std::int64_t cover1 = 0, cover2 = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      ((*side_of_machine)[i] == 0 ? cover1 : cover2) += caps[i];
+    }
+    BISCHED_CHECK(cover1 >= n1 && cover2 >= n2, "reconstructed split does not cover");
+  }
+  return true;
+}
+
+CompleteBipartiteResult complete_bipartite_unit_exact(std::span<const std::int64_t> speeds,
+                                                      std::int64_t n1, std::int64_t n2) {
+  BISCHED_CHECK(!speeds.empty(), "need at least one machine");
+  BISCHED_CHECK(n1 == 0 || n2 == 0 || speeds.size() >= 2,
+                "two nonempty sides need two machines");
+
+  // Candidate makespans: capacity breakpoints c / s_i with c <= n1 + n2.
+  std::vector<Rational> candidates;
+  const std::int64_t total = n1 + n2;
+  for (std::int64_t s : speeds) {
+    for (std::int64_t c = 0; c <= total; ++c) candidates.emplace_back(c, s);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
+  // Binary search the first feasible breakpoint (feasibility is monotone in T).
+  std::size_t lo = 0, hi = candidates.size() - 1;
+  BISCHED_CHECK(complete_bipartite_feasible(speeds, n1, n2, candidates[hi]),
+                "total capacity must eventually cover both sides");
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (complete_bipartite_feasible(speeds, n1, n2, candidates[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  CompleteBipartiteResult result;
+  result.cmax = candidates[lo];
+  const bool ok =
+      complete_bipartite_feasible(speeds, n1, n2, result.cmax, &result.side_of_machine);
+  BISCHED_CHECK(ok, "binary search landed on infeasible time");
+  return result;
+}
+
+Q2CompleteBipartiteSchedule solve_complete_bipartite_instance(const UniformInstance& inst) {
+  for (std::int64_t pj : inst.p) BISCHED_CHECK(pj == 1, "unit jobs required");
+  const auto bp = bipartition(inst.conflicts);
+  BISCHED_CHECK(bp.has_value(), "complete bipartite graph expected");
+
+  // Identify the two sides and verify completeness: isolated vertices join
+  // side 0 arbitrarily; every cross pair must be an edge.
+  std::vector<int> side_jobs[2];
+  for (int v = 0; v < inst.num_jobs(); ++v) {
+    side_jobs[bp->side[static_cast<std::size_t>(v)]].push_back(v);
+  }
+  const auto expected_edges =
+      static_cast<std::int64_t>(side_jobs[0].size()) * static_cast<std::int64_t>(side_jobs[1].size());
+  BISCHED_CHECK(inst.conflicts.num_edges() == expected_edges,
+                "conflict graph is not complete bipartite");
+
+  const auto core = complete_bipartite_unit_exact(
+      inst.speeds, static_cast<std::int64_t>(side_jobs[0].size()),
+      static_cast<std::int64_t>(side_jobs[1].size()));
+
+  // Materialize: fill each machine with its side's jobs up to capacity.
+  Q2CompleteBipartiteSchedule out;
+  out.cmax = core.cmax;
+  out.schedule.machine_of.assign(static_cast<std::size_t>(inst.num_jobs()), -1);
+  for (int side = 0; side < 2; ++side) {
+    std::size_t cursor = 0;
+    for (int i = 0; i < inst.num_machines() && cursor < side_jobs[side].size(); ++i) {
+      if (core.side_of_machine[static_cast<std::size_t>(i)] != side) continue;
+      std::int64_t cap = machine_capacity(inst.speeds[static_cast<std::size_t>(i)], core.cmax);
+      while (cap-- > 0 && cursor < side_jobs[side].size()) {
+        out.schedule.machine_of[static_cast<std::size_t>(side_jobs[side][cursor++])] = i;
+      }
+    }
+    BISCHED_CHECK(cursor == side_jobs[side].size(), "side not fully scheduled");
+  }
+  BISCHED_CHECK(validate(inst, out.schedule) == ScheduleStatus::kValid,
+                "complete-bipartite schedule invalid");
+  BISCHED_CHECK(makespan(inst, out.schedule) <= out.cmax, "makespan exceeds target");
+  return out;
+}
+
+}  // namespace bisched

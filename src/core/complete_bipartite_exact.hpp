@@ -1,0 +1,53 @@
+// Exact polynomial algorithm for Q|G = complete bipartite, p_j = 1|Cmax
+// under unary encoding — the special case the paper cites from Pikies,
+// Turowski & Kubale [24] (and whose binary-encoding version Mallek et al.
+// [20] proved NP-hard). Included here because complete bipartite graphs are
+// the extreme instances of the paper's model: every machine serves one side
+// exclusively.
+//
+// With G = K_{n1,n2}, any two cross-side jobs conflict, so a schedule is a
+// 2-partition of the machines plus a per-side job count. Feasibility within
+// time T is a subset-sum question over the floored capacities c_i(T) =
+// floor(s_i * T): does a machine subset S exist with sum_{S} c_i >= n1 and
+// sum_{!S} c_i >= n2? A DP over f[c1-coverage] = max c2-coverage answers it
+// in O(m * n); the optimum T is found by binary search over the O(m * n)
+// capacity breakpoints c / s_i.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sched/instance.hpp"
+#include "sched/schedule.hpp"
+#include "util/rational.hpp"
+
+namespace bisched {
+
+struct CompleteBipartiteResult {
+  Rational cmax;
+  // side_of_machine[i] in {0, 1}: which side machine i serves (machines that
+  // serve nothing are assigned side 0).
+  std::vector<std::uint8_t> side_of_machine;
+};
+
+// Feasibility core: can machines `speeds` cover n1 side-0 jobs and n2 side-1
+// jobs within time T (each machine dedicated to one side)?
+// Fills `side_of_machine` on success.
+bool complete_bipartite_feasible(std::span<const std::int64_t> speeds, std::int64_t n1,
+                                 std::int64_t n2, const Rational& t,
+                                 std::vector<std::uint8_t>* side_of_machine = nullptr);
+
+// Minimal makespan for side sizes (n1, n2) on the given speeds.
+CompleteBipartiteResult complete_bipartite_unit_exact(std::span<const std::int64_t> speeds,
+                                                      std::int64_t n1, std::int64_t n2);
+
+// Convenience wrapper for a full instance whose conflict graph is complete
+// bipartite with unit jobs; returns the optimal schedule. Aborts if the graph
+// is not complete bipartite (checked exactly) or jobs are not unit.
+struct Q2CompleteBipartiteSchedule {
+  Schedule schedule;
+  Rational cmax;
+};
+Q2CompleteBipartiteSchedule solve_complete_bipartite_instance(const UniformInstance& inst);
+
+}  // namespace bisched

@@ -1,0 +1,38 @@
+// Exact branch-and-bound solvers for small instances (test/bench oracles).
+//
+// DFS over jobs in (processing time, degree)-descending order, assigning
+// machines under the independence constraint. Pruning: the partial makespan
+// and a fractional remaining-work bound against the incumbent; symmetry
+// breaking among equal-speed empty machines (uniform case). Exponential in
+// the worst case — these are the certified optimum providers for the
+// approximation-ratio experiments, not production solvers.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/instance.hpp"
+#include "sched/schedule.hpp"
+#include "util/rational.hpp"
+
+namespace bisched {
+
+struct ExactUniformResult {
+  bool feasible = false;
+  bool aborted = false;  // node budget exhausted before proving anything
+  Schedule schedule;
+  Rational cmax;
+};
+
+struct ExactUnrelatedResult {
+  bool feasible = false;
+  bool aborted = false;
+  Schedule schedule;
+  std::int64_t cmax = 0;
+};
+
+// max_nodes = 0 means unlimited.
+ExactUniformResult exact_uniform_bb(const UniformInstance& inst, std::uint64_t max_nodes = 0);
+ExactUnrelatedResult exact_unrelated_bb(const UnrelatedInstance& inst,
+                                        std::uint64_t max_nodes = 0);
+
+}  // namespace bisched

@@ -1,0 +1,84 @@
+#include "core/r2_reduction.hpp"
+
+#include <algorithm>
+
+#include "graph/bipartite.hpp"
+#include "util/check.hpp"
+
+namespace bisched {
+
+R2Reduction reduce_r2_bipartite(const UnrelatedInstance& inst) {
+  BISCHED_CHECK(inst.num_machines() == 2, "Algorithm 3 is defined for two machines");
+  const auto bp = bipartition(inst.conflicts);
+  BISCHED_CHECK(bp.has_value(), "Algorithm 3 requires a bipartite conflict graph");
+
+  R2Reduction red;
+  red.components.resize(static_cast<std::size_t>(bp->num_components));
+  for (int v = 0; v < inst.num_jobs(); ++v) {
+    auto& comp = red.components[static_cast<std::size_t>(bp->component[static_cast<std::size_t>(v)])];
+    const int side = bp->side[static_cast<std::size_t>(v)];
+    comp.side_jobs[side].push_back(v);
+    for (int i = 0; i < 2; ++i) {
+      comp.pstar[i][side] += inst.times[static_cast<std::size_t>(i)][static_cast<std::size_t>(v)];
+    }
+  }
+
+  for (auto& comp : red.components) {
+    const auto& ps = comp.pstar;
+    if (ps[0][0] <= ps[0][1] && ps[1][1] <= ps[1][0]) {
+      // Case A: side0 -> M1 dominates.
+      comp.forced = true;
+      comp.forced_orientation = 0;
+      red.base1 += ps[0][0];
+      red.base2 += ps[1][1];
+    } else if (ps[0][1] <= ps[0][0] && ps[1][0] <= ps[1][1]) {
+      // Case B: side0 -> M2 dominates.
+      comp.forced = true;
+      comp.forced_orientation = 1;
+      red.base1 += ps[0][1];
+      red.base2 += ps[1][0];
+    } else {
+      // Case C: genuine trade-off. Note max/min are strict on both machines
+      // here (equality on one machine would have made case A or B fire).
+      comp.forced = false;
+      comp.reduced.p1 = std::max(ps[0][0], ps[0][1]) - std::min(ps[0][0], ps[0][1]);
+      comp.reduced.p2 = std::max(ps[1][0], ps[1][1]) - std::min(ps[1][0], ps[1][1]);
+      red.base1 += std::min(ps[0][0], ps[0][1]);
+      red.base2 += std::min(ps[1][0], ps[1][1]);
+    }
+  }
+  return red;
+}
+
+int decode_orientation(const ReducedComponent& comp, bool reduced_on_machine2) {
+  BISCHED_CHECK(!comp.forced, "forced components carry no decision");
+  const auto& ps = comp.pstar;
+  if (!reduced_on_machine2) {
+    // Extra load on M1: the side with the LARGER machine-1 time goes to M1
+    // (its minimum is already in the base; the decision adds the difference),
+    // and the other side lands on M2 at its machine-2 minimum.
+    return ps[0][0] >= ps[0][1] ? 0 : 1;
+  }
+  // Extra load on M2: the side with the larger machine-2 time goes to M2.
+  return ps[1][0] >= ps[1][1] ? 1 : 0;
+}
+
+Schedule reconstruct_r2_schedule(const UnrelatedInstance& inst, const R2Reduction& red,
+                                 const std::vector<std::uint8_t>& reduced_on_m2) {
+  BISCHED_CHECK(reduced_on_m2.size() == red.components.size(),
+                "one decision per component expected");
+  Schedule s;
+  s.machine_of.assign(static_cast<std::size_t>(inst.num_jobs()), -1);
+  for (std::size_t c = 0; c < red.components.size(); ++c) {
+    const auto& comp = red.components[c];
+    const int o = comp.forced ? comp.forced_orientation
+                              : decode_orientation(comp, reduced_on_m2[c] != 0);
+    for (int v : comp.side_jobs[0]) s.machine_of[static_cast<std::size_t>(v)] = o;
+    for (int v : comp.side_jobs[1]) s.machine_of[static_cast<std::size_t>(v)] = 1 - o;
+  }
+  BISCHED_DCHECK(validate(inst, s) == ScheduleStatus::kValid,
+                 "reconstructed R2 schedule invalid");
+  return s;
+}
+
+}  // namespace bisched

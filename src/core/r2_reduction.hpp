@@ -1,0 +1,55 @@
+// Algorithm 3 of the paper: component reduction for R2|G=bipartite|Cmax.
+//
+// For two machines, every connected component of the bipartite
+// incompatibility graph has exactly two feasible placements: (side0 -> M1,
+// side1 -> M2) or the swap. Writing p*[i][l] for the total time of side l on
+// machine i, either one placement dominates (cases A/B — the component
+// contributes a zero "dummy" job and fixed base loads), or the component
+// reduces to a single binary decision job with times
+//   p1 = max(p*[1][0], p*[1][1]) - min(...),   p2 = analogous on machine 2,
+// on top of the unavoidable base loads P'_k = min(p*[1][·]) on M1 and
+// P''_k = min(p*[2][·]) on M2 (case C). Any schedule of the reduced jobs maps
+// back to a schedule of the original jobs with identical machine loads
+// (Theorem 21's proof), which is what Algorithms 4 and 5 exploit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/instance.hpp"
+#include "sched/makespan_solvers.hpp"
+#include "sched/schedule.hpp"
+
+namespace bisched {
+
+struct ReducedComponent {
+  // Jobs of the component by bipartition side.
+  std::vector<int> side_jobs[2];
+  // pstar[i][l] = total time on machine i of side l.
+  std::int64_t pstar[2][2] = {{0, 0}, {0, 0}};
+  // Cases A/B: the dominant orientation is forced.
+  bool forced = false;
+  // Orientation o: side0 goes to machine o, side1 to machine 1-o.
+  int forced_orientation = 0;
+  // Case C: the decision job (p1 = extra load if decided "extra on M1").
+  R2Job reduced;
+};
+
+struct R2Reduction {
+  std::vector<ReducedComponent> components;
+  std::int64_t base1 = 0;  // sum of P'_k  (mandatory load on M1)
+  std::int64_t base2 = 0;  // sum of P''_k (mandatory load on M2)
+};
+
+// Requires inst.num_machines() == 2 and a bipartite conflict graph.
+R2Reduction reduce_r2_bipartite(const UnrelatedInstance& inst);
+
+// Orientation implied by assigning a case-C reduced job to machine 1 or 2.
+int decode_orientation(const ReducedComponent& comp, bool reduced_on_machine2);
+
+// Maps per-component orientations back to a full job schedule.
+// reduced_on_m2[c] is meaningful only for non-forced components.
+Schedule reconstruct_r2_schedule(const UnrelatedInstance& inst, const R2Reduction& red,
+                                 const std::vector<std::uint8_t>& reduced_on_m2);
+
+}  // namespace bisched

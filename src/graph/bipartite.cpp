@@ -1,0 +1,128 @@
+#include "graph/bipartite.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace bisched {
+
+std::optional<Bipartition> bipartition(const Graph& g) {
+  const int n = g.num_vertices();
+  Bipartition bp;
+  bp.side.assign(static_cast<std::size_t>(n), 0);
+  bp.component.assign(static_cast<std::size_t>(n), -1);
+
+  std::queue<int> queue;
+  for (int start = 0; start < n; ++start) {
+    if (bp.component[static_cast<std::size_t>(start)] != -1) continue;
+    const int comp = bp.num_components++;
+    bp.component_vertices.emplace_back();
+    bp.component[static_cast<std::size_t>(start)] = comp;
+    bp.side[static_cast<std::size_t>(start)] = 0;
+    queue.push(start);
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      bp.component_vertices[static_cast<std::size_t>(comp)].push_back(u);
+      for (int v : g.neighbors(u)) {
+        auto& comp_v = bp.component[static_cast<std::size_t>(v)];
+        if (comp_v == -1) {
+          comp_v = comp;
+          bp.side[static_cast<std::size_t>(v)] =
+              static_cast<std::uint8_t>(1 - bp.side[static_cast<std::size_t>(u)]);
+          queue.push(v);
+        } else if (bp.side[static_cast<std::size_t>(v)] ==
+                   bp.side[static_cast<std::size_t>(u)]) {
+          return std::nullopt;  // odd cycle
+        }
+      }
+    }
+  }
+  // BFS pops vertices in nondecreasing discovery order but component lists
+  // should be sorted by vertex id for deterministic downstream behaviour.
+  for (auto& verts : bp.component_vertices) std::sort(verts.begin(), verts.end());
+  return bp;
+}
+
+Components connected_components(const Graph& g) {
+  const int n = g.num_vertices();
+  Components c;
+  c.component.assign(static_cast<std::size_t>(n), -1);
+  std::queue<int> queue;
+  for (int start = 0; start < n; ++start) {
+    if (c.component[static_cast<std::size_t>(start)] != -1) continue;
+    const int comp = c.num_components++;
+    c.component_vertices.emplace_back();
+    c.component[static_cast<std::size_t>(start)] = comp;
+    queue.push(start);
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      c.component_vertices[static_cast<std::size_t>(comp)].push_back(u);
+      for (int v : g.neighbors(u)) {
+        if (c.component[static_cast<std::size_t>(v)] == -1) {
+          c.component[static_cast<std::size_t>(v)] = comp;
+          queue.push(v);
+        }
+      }
+    }
+  }
+  for (auto& verts : c.component_vertices) std::sort(verts.begin(), verts.end());
+  return c;
+}
+
+namespace {
+
+std::optional<TwoColoring> two_coloring_impl(const Graph& g,
+                                             std::span<const std::int64_t> weights,
+                                             bool pick_heavy_side) {
+  BISCHED_CHECK(static_cast<int>(weights.size()) == g.num_vertices(),
+                "weights size mismatch");
+  for (std::int64_t w : weights) BISCHED_CHECK(w >= 0, "negative weight");
+
+  auto bp = bipartition(g);
+  if (!bp.has_value()) return std::nullopt;
+
+  TwoColoring tc;
+  tc.color.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (int comp = 0; comp < bp->num_components; ++comp) {
+    std::int64_t side_weight[2] = {0, 0};
+    for (int v : bp->component_vertices[static_cast<std::size_t>(comp)]) {
+      side_weight[bp->side[static_cast<std::size_t>(v)]] += weights[static_cast<std::size_t>(v)];
+    }
+    // heavy == side that goes into V'_1 (color 0). Ties keep side 0 (the side
+    // of the component's smallest vertex), which makes results deterministic.
+    std::uint8_t heavy = 0;
+    if (pick_heavy_side && side_weight[1] > side_weight[0]) heavy = 1;
+    for (int v : bp->component_vertices[static_cast<std::size_t>(comp)]) {
+      const std::uint8_t s = bp->side[static_cast<std::size_t>(v)];
+      tc.color[static_cast<std::size_t>(v)] = (s == heavy) ? 0 : 1;
+    }
+  }
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const std::uint8_t c = tc.color[static_cast<std::size_t>(v)];
+    tc.weight[c] += weights[static_cast<std::size_t>(v)];
+    tc.size[c] += 1;
+  }
+  return tc;
+}
+
+}  // namespace
+
+std::optional<TwoColoring> inequitable_two_coloring(const Graph& g,
+                                                    std::span<const std::int64_t> weights) {
+  return two_coloring_impl(g, weights, /*pick_heavy_side=*/true);
+}
+
+std::optional<TwoColoring> inequitable_two_coloring(const Graph& g) {
+  std::vector<std::int64_t> unit(static_cast<std::size_t>(g.num_vertices()), 1);
+  return inequitable_two_coloring(g, unit);
+}
+
+std::optional<TwoColoring> arbitrary_two_coloring(const Graph& g,
+                                                  std::span<const std::int64_t> weights) {
+  return two_coloring_impl(g, weights, /*pick_heavy_side=*/false);
+}
+
+}  // namespace bisched

@@ -1,0 +1,64 @@
+// Bipartiteness, connected components, and the paper's inequitable 2-coloring.
+//
+// Definition 1 of the paper: an *inequitable* 2-coloring of a (possibly
+// disconnected) bipartite graph is a proper 2-coloring (V'_1, V'_2) in which
+// V'_1 has maximum cardinality (maximum total weight in the weighted case).
+// Because each connected component admits exactly two proper 2-colorings,
+// the optimum simply puts the heavier side of every component into V'_1 —
+// computable in O(|V| + |E|), as the paper notes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace bisched {
+
+struct Bipartition {
+  // side[v] in {0,1}; sides are consistent within each component (side 0 is
+  // the side of the smallest-indexed vertex of the component).
+  std::vector<std::uint8_t> side;
+  // component[v] = id in [0, num_components).
+  std::vector<int> component;
+  int num_components = 0;
+  // Vertices of each component, in increasing vertex order.
+  std::vector<std::vector<int>> component_vertices;
+};
+
+// BFS 2-coloring; nullopt iff the graph has an odd cycle.
+std::optional<Bipartition> bipartition(const Graph& g);
+
+// Connected components only (defined for any graph).
+struct Components {
+  std::vector<int> component;
+  int num_components = 0;
+  std::vector<std::vector<int>> component_vertices;
+};
+Components connected_components(const Graph& g);
+
+struct TwoColoring {
+  // color[v] in {0,1}: 0 = V'_1 (heavy class), 1 = V'_2.
+  std::vector<std::uint8_t> color;
+  std::int64_t weight[2] = {0, 0};  // total weight per class
+  std::int64_t size[2] = {0, 0};    // cardinality per class
+};
+
+// Weighted inequitable 2-coloring (Definition 1). `weights` must be
+// non-negative; pass all-ones for the cardinality version. Returns nullopt iff
+// the graph is not bipartite. Ties inside a component resolve to the side of
+// its smallest-indexed vertex, making the result deterministic.
+std::optional<TwoColoring> inequitable_two_coloring(const Graph& g,
+                                                    std::span<const std::int64_t> weights);
+
+// Cardinality version (unit weights).
+std::optional<TwoColoring> inequitable_two_coloring(const Graph& g);
+
+// An *arbitrary* (non-optimized) proper 2-coloring: each component keeps its
+// BFS orientation. Used by the coloring ablation (bench A1).
+std::optional<TwoColoring> arbitrary_two_coloring(const Graph& g,
+                                                  std::span<const std::int64_t> weights);
+
+}  // namespace bisched

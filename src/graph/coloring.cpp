@@ -1,0 +1,164 @@
+#include "graph/coloring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace bisched {
+
+std::vector<int> greedy_coloring(const Graph& g, std::span<const int> order) {
+  const int n = g.num_vertices();
+  std::vector<int> sequence;
+  if (order.empty()) {
+    sequence.resize(static_cast<std::size_t>(n));
+    std::iota(sequence.begin(), sequence.end(), 0);
+  } else {
+    BISCHED_CHECK(static_cast<int>(order.size()) == n, "order size mismatch");
+    sequence.assign(order.begin(), order.end());
+  }
+
+  std::vector<int> colors(static_cast<std::size_t>(n), -1);
+  std::vector<std::uint8_t> used;
+  for (int v : sequence) {
+    used.assign(static_cast<std::size_t>(g.degree(v)) + 1, 0);
+    for (int u : g.neighbors(v)) {
+      const int c = colors[static_cast<std::size_t>(u)];
+      if (c >= 0 && c <= g.degree(v)) used[static_cast<std::size_t>(c)] = 1;
+    }
+    int c = 0;
+    while (used[static_cast<std::size_t>(c)]) ++c;
+    colors[static_cast<std::size_t>(v)] = c;
+  }
+  return colors;
+}
+
+int num_colors_used(std::span<const int> colors) {
+  int max_color = -1;
+  for (int c : colors) max_color = std::max(max_color, c);
+  return max_color + 1;
+}
+
+bool is_proper_coloring(const Graph& g, std::span<const int> colors) {
+  BISCHED_CHECK(static_cast<int>(colors.size()) == g.num_vertices(),
+                "colors size mismatch");
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    const int cu = colors[static_cast<std::size_t>(u)];
+    if (cu < 0) continue;
+    for (int v : g.neighbors(u)) {
+      if (v > u && colors[static_cast<std::size_t>(v)] == cu) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Backtracking state for k_coloring_extend: MRV (fewest remaining colors
+// first) with forward checking via per-vertex color-availability bitmasks.
+struct ColoringSearch {
+  const Graph& g;
+  int k;
+  std::vector<int> color;          // -1 = unassigned
+  std::vector<std::uint32_t> avail;  // bitmask of allowed colors
+  std::uint64_t nodes = 0;
+  std::uint64_t max_nodes;
+  bool aborted = false;
+
+  ColoringSearch(const Graph& graph, int colors, std::uint64_t node_limit)
+      : g(graph), k(colors), max_nodes(node_limit) {
+    color.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+    const std::uint32_t all = k >= 32 ? ~0u : ((1u << k) - 1);
+    avail.assign(static_cast<std::size_t>(g.num_vertices()), all);
+  }
+
+  int pick_vertex() const {
+    int best = -1;
+    int best_options = k + 1;
+    int best_degree = -1;
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      if (color[static_cast<std::size_t>(v)] != -1) continue;
+      const int options = __builtin_popcount(avail[static_cast<std::size_t>(v)]);
+      if (options < best_options ||
+          (options == best_options && g.degree(v) > best_degree)) {
+        best = v;
+        best_options = options;
+        best_degree = g.degree(v);
+      }
+    }
+    return best;
+  }
+
+  bool assign(int v, int c, std::vector<int>& touched) {
+    color[static_cast<std::size_t>(v)] = c;
+    for (int u : g.neighbors(v)) {
+      if (color[static_cast<std::size_t>(u)] != -1) continue;
+      auto& mask = avail[static_cast<std::size_t>(u)];
+      if (mask & (1u << c)) {
+        mask &= ~(1u << c);
+        touched.push_back(u);
+        if (mask == 0) return false;  // wipeout
+      }
+    }
+    return true;
+  }
+
+  void undo(int v, int c, const std::vector<int>& touched) {
+    color[static_cast<std::size_t>(v)] = -1;
+    for (int u : touched) avail[static_cast<std::size_t>(u)] |= (1u << c);
+  }
+
+  bool solve() {
+    if (max_nodes != 0 && ++nodes > max_nodes) {
+      aborted = true;
+      return false;
+    }
+    const int v = pick_vertex();
+    if (v == -1) return true;  // everything colored
+    std::uint32_t mask = avail[static_cast<std::size_t>(v)];
+    while (mask != 0) {
+      const int c = __builtin_ctz(mask);
+      mask &= mask - 1;
+      std::vector<int> touched;
+      if (assign(v, c, touched)) {
+        if (solve()) return true;
+        if (aborted) {
+          undo(v, c, touched);
+          return false;
+        }
+      }
+      undo(v, c, touched);
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<int>> k_coloring_extend(const Graph& g, int k,
+                                                  std::span<const int> precolor,
+                                                  std::uint64_t max_nodes, bool* aborted) {
+  BISCHED_CHECK(k >= 1 && k <= 31, "k_coloring_extend supports 1 <= k <= 31");
+  BISCHED_CHECK(precolor.empty() || static_cast<int>(precolor.size()) == g.num_vertices(),
+                "precolor size mismatch");
+  if (aborted != nullptr) *aborted = false;
+
+  ColoringSearch search(g, k, max_nodes);
+  // Seed the precoloring (with propagation); direct conflicts fail fast.
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const int c = precolor.empty() ? -1 : precolor[static_cast<std::size_t>(v)];
+    if (c == -1) continue;
+    BISCHED_CHECK(c >= 0 && c < k, "precolor out of range");
+    if ((search.avail[static_cast<std::size_t>(v)] & (1u << c)) == 0) return std::nullopt;
+    std::vector<int> touched;
+    if (!search.assign(v, c, touched)) return std::nullopt;
+  }
+  if (search.solve()) {
+    BISCHED_DCHECK(is_proper_coloring(g, search.color), "search produced improper coloring");
+    return search.color;
+  }
+  if (aborted != nullptr) *aborted = search.aborted;
+  return std::nullopt;
+}
+
+}  // namespace bisched

@@ -1,0 +1,41 @@
+// Proper vertex colorings: greedy heuristics and an exact backtracking
+// k-coloring engine with precoloring support.
+//
+// The exact engine is the workhorse behind the 1-PrExt problem (Definition 2
+// of the paper, NP-complete for bipartite graphs and k = 3 by Theorem 3 [3])
+// and behind the exhaustive verification of Lemmas 5–7 in the gadget tests.
+// It is exponential in the worst case and intended for the small instances
+// used by tests and hardness benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace bisched {
+
+// First-fit coloring in the given order (identity if empty). Returns colors
+// in [0, result_color_count).
+std::vector<int> greedy_coloring(const Graph& g, std::span<const int> order = {});
+
+int num_colors_used(std::span<const int> colors);
+
+// True iff adjacent vertices always have distinct colors (colors may be any
+// ints; -1 is treated as "uncolored" and never conflicts).
+bool is_proper_coloring(const Graph& g, std::span<const int> colors);
+
+// Exact k-coloring extending a partial assignment. `precolor[v]` is a color
+// in [0,k) or -1 for free vertices. Returns a full proper coloring extending
+// the precoloring, or nullopt if none exists. `max_nodes` bounds the search
+// tree (0 = unlimited); if the bound is hit the optional is empty AND
+// *aborted (if provided) is set — callers that must distinguish "proved
+// infeasible" from "gave up" pass the flag.
+std::optional<std::vector<int>> k_coloring_extend(const Graph& g, int k,
+                                                  std::span<const int> precolor,
+                                                  std::uint64_t max_nodes = 0,
+                                                  bool* aborted = nullptr);
+
+}  // namespace bisched

@@ -1,0 +1,117 @@
+#include "graph/independent_set.hpp"
+
+#include <algorithm>
+
+#include "graph/maxflow.hpp"
+#include "util/check.hpp"
+
+namespace bisched {
+
+MwisResult max_weight_independent_set(const Graph& g, const Bipartition& bp,
+                                      std::span<const std::int64_t> weights) {
+  const int n = g.num_vertices();
+  BISCHED_CHECK(static_cast<int>(weights.size()) == n, "weights size mismatch");
+  for (std::int64_t w : weights) BISCHED_CHECK(w >= 0, "negative weight");
+
+  // Nodes: 0..n-1 vertices, n = source, n+1 = sink.
+  Dinic network(n + 2);
+  const int source = n;
+  const int sink = n + 1;
+  for (int v = 0; v < n; ++v) {
+    if (bp.side[static_cast<std::size_t>(v)] == 0) {
+      network.add_edge(source, v, weights[static_cast<std::size_t>(v)]);
+      for (int u : g.neighbors(v)) network.add_edge(v, u, Dinic::kCapInfinity);
+    } else {
+      network.add_edge(v, sink, weights[static_cast<std::size_t>(v)]);
+    }
+  }
+  network.max_flow(source, sink);
+  const auto source_side = network.min_cut_source_side(source);
+
+  // Min vertex cover: side0 vertices NOT reachable (source edge cut) plus
+  // side1 vertices reachable (sink edge cut). The IS is the complement.
+  MwisResult result;
+  result.in_set.assign(static_cast<std::size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    const bool reach = source_side[static_cast<std::size_t>(v)] != 0;
+    const bool in_cover = bp.side[static_cast<std::size_t>(v)] == 0 ? !reach : reach;
+    if (!in_cover) {
+      result.in_set[static_cast<std::size_t>(v)] = 1;
+      result.weight += weights[static_cast<std::size_t>(v)];
+    }
+  }
+  BISCHED_DCHECK(g.is_independent_mask(result.in_set),
+                 "min-cut produced a dependent set");
+  return result;
+}
+
+std::optional<MwisResult> max_weight_independent_superset(
+    const Graph& g, const Bipartition& bp, std::span<const std::int64_t> weights,
+    std::span<const int> forced) {
+  const int n = g.num_vertices();
+  BISCHED_CHECK(static_cast<int>(weights.size()) == n, "weights size mismatch");
+
+  std::vector<std::uint8_t> forced_mask(static_cast<std::size_t>(n), 0);
+  for (int v : forced) {
+    BISCHED_CHECK(v >= 0 && v < n, "forced vertex out of range");
+    forced_mask[static_cast<std::size_t>(v)] = 1;
+  }
+  if (!g.is_independent_mask(forced_mask)) return std::nullopt;
+
+  // Zero out the closed neighborhood N[forced]: neighbors must stay out of
+  // the set, and forced vertices are added back afterwards. Setting weights
+  // to 0 and erasing set-membership afterwards is equivalent to deleting the
+  // vertices but avoids graph re-indexing.
+  std::vector<std::int64_t> reduced(weights.begin(), weights.end());
+  std::vector<std::uint8_t> excluded(static_cast<std::size_t>(n), 0);
+  for (int v : forced) {
+    reduced[static_cast<std::size_t>(v)] = 0;
+    excluded[static_cast<std::size_t>(v)] = 1;  // re-added below
+    for (int u : g.neighbors(v)) {
+      reduced[static_cast<std::size_t>(u)] = 0;
+      excluded[static_cast<std::size_t>(u)] = 1;
+    }
+  }
+
+  MwisResult inner = max_weight_independent_set(g, bp, reduced);
+  MwisResult result;
+  result.in_set.assign(static_cast<std::size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    if (!excluded[static_cast<std::size_t>(v)] && inner.in_set[static_cast<std::size_t>(v)]) {
+      result.in_set[static_cast<std::size_t>(v)] = 1;
+      result.weight += weights[static_cast<std::size_t>(v)];
+    }
+  }
+  for (int v : forced) {
+    result.in_set[static_cast<std::size_t>(v)] = 1;
+    result.weight += weights[static_cast<std::size_t>(v)];
+  }
+  BISCHED_DCHECK(g.is_independent_mask(result.in_set),
+                 "superset MWIS produced a dependent set");
+  return result;
+}
+
+MwisResult max_weight_independent_set_brute(const Graph& g,
+                                            std::span<const std::int64_t> weights) {
+  const int n = g.num_vertices();
+  BISCHED_CHECK(n <= 24, "brute-force MWIS limited to n <= 24");
+  MwisResult best;
+  best.in_set.assign(static_cast<std::size_t>(n), 0);
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(n), 0);
+    std::int64_t weight = 0;
+    for (int v = 0; v < n; ++v) {
+      if (mask & (1u << v)) {
+        bits[static_cast<std::size_t>(v)] = 1;
+        weight += weights[static_cast<std::size_t>(v)];
+      }
+    }
+    if (weight > best.weight && g.is_independent_mask(bits)) {
+      best.in_set = bits;
+      best.weight = weight;
+    }
+  }
+  return best;
+}
+
+}  // namespace bisched

@@ -1,0 +1,45 @@
+// Maximum-weight independent sets in bipartite graphs.
+//
+// Algorithm 1 (step 2) needs "an independent set of the highest weight
+// containing all jobs of processing requirement at least sqrt(sum p_j), if
+// such a set exists". For bipartite graphs this is polynomial: fix the forced
+// vertices, delete their closed neighborhood, and compute a maximum-weight
+// independent set of the rest via the min-cut / project-selection network
+// (source -> side0 vertex with capacity w, side1 vertex -> sink with
+// capacity w, infinite edges across). MWIS weight = total weight - min cut.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "graph/graph.hpp"
+
+namespace bisched {
+
+struct MwisResult {
+  std::vector<std::uint8_t> in_set;  // 0/1 per vertex
+  std::int64_t weight = 0;
+};
+
+// Maximum-weight independent set of a bipartite graph; weights must be >= 0.
+// Vertices of weight 0 may or may not be included (they never hurt; this
+// implementation includes every isolated-after-cut vertex it can).
+MwisResult max_weight_independent_set(const Graph& g, const Bipartition& bp,
+                                      std::span<const std::int64_t> weights);
+
+// Maximum-weight independent set containing every vertex of `forced`.
+// Returns nullopt iff `forced` is not itself independent. The result always
+// contains all forced vertices, none of their neighbors, and an MWIS of the
+// remaining graph.
+std::optional<MwisResult> max_weight_independent_superset(
+    const Graph& g, const Bipartition& bp, std::span<const std::int64_t> weights,
+    std::span<const int> forced);
+
+// Exponential oracle for tests (n <= ~24).
+MwisResult max_weight_independent_set_brute(const Graph& g,
+                                            std::span<const std::int64_t> weights);
+
+}  // namespace bisched

@@ -1,0 +1,151 @@
+#include "graph/matching.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace bisched {
+
+namespace {
+constexpr int kInf = std::numeric_limits<int>::max();
+}  // namespace
+
+MatchingResult maximum_matching(const Graph& g, const Bipartition& bp) {
+  const int n = g.num_vertices();
+  BISCHED_CHECK(static_cast<int>(bp.side.size()) == n, "bipartition size mismatch");
+
+  MatchingResult result;
+  result.mate.assign(static_cast<std::size_t>(n), -1);
+  auto& mate = result.mate;
+
+  std::vector<int> dist(static_cast<std::size_t>(n), kInf);
+
+  // Layered BFS from free side-0 vertices; returns true if an augmenting path
+  // exists.
+  auto bfs = [&]() {
+    std::queue<int> queue;
+    bool found = false;
+    for (int u = 0; u < n; ++u) {
+      if (bp.side[static_cast<std::size_t>(u)] != 0) continue;
+      if (mate[static_cast<std::size_t>(u)] == -1) {
+        dist[static_cast<std::size_t>(u)] = 0;
+        queue.push(u);
+      } else {
+        dist[static_cast<std::size_t>(u)] = kInf;
+      }
+    }
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      for (int v : g.neighbors(u)) {
+        const int w = mate[static_cast<std::size_t>(v)];
+        if (w == -1) {
+          found = true;
+        } else if (dist[static_cast<std::size_t>(w)] == kInf) {
+          dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(u)] + 1;
+          queue.push(w);
+        }
+      }
+    }
+    return found;
+  };
+
+  // DFS along the layering; augments if it reaches a free side-1 vertex.
+  auto dfs = [&](auto&& self, int u) -> bool {
+    for (int v : g.neighbors(u)) {
+      const int w = mate[static_cast<std::size_t>(v)];
+      if (w == -1 || (dist[static_cast<std::size_t>(w)] ==
+                          dist[static_cast<std::size_t>(u)] + 1 &&
+                      self(self, w))) {
+        mate[static_cast<std::size_t>(u)] = v;
+        mate[static_cast<std::size_t>(v)] = u;
+        return true;
+      }
+    }
+    dist[static_cast<std::size_t>(u)] = kInf;
+    return false;
+  };
+
+  while (bfs()) {
+    for (int u = 0; u < n; ++u) {
+      if (bp.side[static_cast<std::size_t>(u)] == 0 &&
+          mate[static_cast<std::size_t>(u)] == -1 && dfs(dfs, u)) {
+        ++result.size;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> minimum_vertex_cover(const Graph& g, const Bipartition& bp,
+                                               const MatchingResult& matching) {
+  const int n = g.num_vertices();
+  // Z = vertices reachable from free side-0 vertices along alternating paths
+  // (side0 -> side1 via non-matching edges, side1 -> side0 via matching edges).
+  std::vector<std::uint8_t> in_z(static_cast<std::size_t>(n), 0);
+  std::queue<int> queue;
+  for (int u = 0; u < n; ++u) {
+    if (bp.side[static_cast<std::size_t>(u)] == 0 &&
+        matching.mate[static_cast<std::size_t>(u)] == -1) {
+      in_z[static_cast<std::size_t>(u)] = 1;
+      queue.push(u);
+    }
+  }
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop();
+    if (bp.side[static_cast<std::size_t>(u)] == 0) {
+      for (int v : g.neighbors(u)) {
+        if (matching.mate[static_cast<std::size_t>(u)] == v) continue;
+        if (!in_z[static_cast<std::size_t>(v)]) {
+          in_z[static_cast<std::size_t>(v)] = 1;
+          queue.push(v);
+        }
+      }
+    } else {
+      const int w = matching.mate[static_cast<std::size_t>(u)];
+      if (w != -1 && !in_z[static_cast<std::size_t>(w)]) {
+        in_z[static_cast<std::size_t>(w)] = 1;
+        queue.push(w);
+      }
+    }
+  }
+  // Cover = (side0 \ Z) ∪ (side1 ∩ Z).
+  std::vector<std::uint8_t> cover(static_cast<std::size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    const bool side0 = bp.side[static_cast<std::size_t>(v)] == 0;
+    const bool z = in_z[static_cast<std::size_t>(v)] != 0;
+    cover[static_cast<std::size_t>(v)] = static_cast<std::uint8_t>(side0 ? !z : z);
+  }
+  return cover;
+}
+
+std::vector<std::uint8_t> maximum_independent_set_mask(const Graph& g, const Bipartition& bp,
+                                                       const MatchingResult& matching) {
+  auto cover = minimum_vertex_cover(g, bp, matching);
+  for (auto& bit : cover) bit = static_cast<std::uint8_t>(1 - bit);
+  return cover;
+}
+
+int maximum_matching_size_brute(const Graph& g) {
+  const int n = g.num_vertices();
+  BISCHED_CHECK(n <= 24, "brute-force matching oracle limited to n <= 24");
+  // α(G) via subset enumeration, then µ = n - α (König; caller guarantees
+  // bipartite input).
+  int best_alpha = 0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(n), 0);
+    int size = 0;
+    for (int v = 0; v < n; ++v) {
+      if (mask & (1u << v)) {
+        bits[static_cast<std::size_t>(v)] = 1;
+        ++size;
+      }
+    }
+    if (size > best_alpha && g.is_independent_mask(bits)) best_alpha = size;
+  }
+  return n - best_alpha;
+}
+
+}  // namespace bisched

@@ -1,0 +1,42 @@
+// Maximum matching in bipartite graphs (Hopcroft–Karp) and König duality.
+//
+// µ(G) — the maximum matching size — is the parameter the paper's random-
+// graph analysis revolves around (Lemmas 13–18): the minimum number of jobs
+// that must leave machine M1 in any schedule equals |V(G)| - α(G) = µ(G) by
+// König's theorem. The experiments measure µ on G(n,n,p) realizations and the
+// 2-machine exact algorithms use the α(G) = |V| - µ identity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "graph/graph.hpp"
+
+namespace bisched {
+
+struct MatchingResult {
+  // mate[v] = matched partner of v, or -1.
+  std::vector<int> mate;
+  int size = 0;
+};
+
+// Hopcroft–Karp, O(E * sqrt(V)).
+MatchingResult maximum_matching(const Graph& g, const Bipartition& bp);
+
+// König: a minimum vertex cover (as a 0/1 mask) derived from a maximum
+// matching via alternating reachability from free side-0 vertices.
+std::vector<std::uint8_t> minimum_vertex_cover(const Graph& g, const Bipartition& bp,
+                                               const MatchingResult& matching);
+
+// Complement of a minimum vertex cover: a maximum independent set.
+// α(G) = |V| - µ(G) for bipartite G.
+std::vector<std::uint8_t> maximum_independent_set_mask(const Graph& g, const Bipartition& bp,
+                                                       const MatchingResult& matching);
+
+// O(2^n * E) oracle for tests: size of the maximum matching by brute force
+// over edge subsets is infeasible, so this checks via maximum independent set
+// complement instead; n <= ~24.
+int maximum_matching_size_brute(const Graph& g);
+
+}  // namespace bisched

@@ -1,0 +1,106 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace bisched {
+
+Dinic::Dinic(int num_nodes)
+    : head_(static_cast<std::size_t>(num_nodes), -1),
+      level_(static_cast<std::size_t>(num_nodes), -1),
+      iter_(static_cast<std::size_t>(num_nodes), -1) {
+  BISCHED_CHECK(num_nodes >= 0, "negative node count");
+}
+
+int Dinic::add_edge(int u, int v, std::int64_t capacity) {
+  BISCHED_CHECK(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes(),
+                "flow edge endpoint out of range");
+  BISCHED_CHECK(capacity >= 0, "negative capacity");
+  const int id = static_cast<int>(edges_.size());
+  edges_.push_back({v, head_[static_cast<std::size_t>(u)], capacity});
+  head_[static_cast<std::size_t>(u)] = id;
+  edges_.push_back({u, head_[static_cast<std::size_t>(v)], 0});
+  head_[static_cast<std::size_t>(v)] = id + 1;
+  return id;
+}
+
+bool Dinic::bfs(int s, int t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<int> queue;
+  level_[static_cast<std::size_t>(s)] = 0;
+  queue.push(s);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop();
+    for (int e = head_[static_cast<std::size_t>(u)]; e != -1;
+         e = edges_[static_cast<std::size_t>(e)].next) {
+      const auto& edge = edges_[static_cast<std::size_t>(e)];
+      if (edge.cap > 0 && level_[static_cast<std::size_t>(edge.to)] == -1) {
+        level_[static_cast<std::size_t>(edge.to)] = level_[static_cast<std::size_t>(u)] + 1;
+        queue.push(edge.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(t)] != -1;
+}
+
+std::int64_t Dinic::dfs(int u, int t, std::int64_t limit) {
+  if (u == t) return limit;
+  std::int64_t pushed_total = 0;
+  for (int& e = iter_[static_cast<std::size_t>(u)]; e != -1;
+       e = edges_[static_cast<std::size_t>(e)].next) {
+    auto& edge = edges_[static_cast<std::size_t>(e)];
+    if (edge.cap <= 0 ||
+        level_[static_cast<std::size_t>(edge.to)] != level_[static_cast<std::size_t>(u)] + 1) {
+      continue;
+    }
+    const std::int64_t pushed = dfs(edge.to, t, std::min(limit, edge.cap));
+    if (pushed == 0) continue;
+    edge.cap -= pushed;
+    edges_[static_cast<std::size_t>(e ^ 1)].cap += pushed;
+    pushed_total += pushed;
+    limit -= pushed;
+    if (limit == 0) break;
+  }
+  if (pushed_total == 0) level_[static_cast<std::size_t>(u)] = -1;
+  return pushed_total;
+}
+
+std::int64_t Dinic::max_flow(int s, int t) {
+  BISCHED_CHECK(s != t, "source equals sink");
+  std::int64_t flow = 0;
+  while (bfs(s, t)) {
+    iter_ = head_;
+    flow += dfs(s, t, kCapInfinity);
+  }
+  return flow;
+}
+
+std::int64_t Dinic::flow_on(int id) const {
+  BISCHED_CHECK(id >= 0 && id + 1 < static_cast<int>(edges_.size()), "bad edge id");
+  return edges_[static_cast<std::size_t>(id ^ 1)].cap;
+}
+
+std::vector<std::uint8_t> Dinic::min_cut_source_side(int s) const {
+  std::vector<std::uint8_t> reachable(head_.size(), 0);
+  std::queue<int> queue;
+  reachable[static_cast<std::size_t>(s)] = 1;
+  queue.push(s);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop();
+    for (int e = head_[static_cast<std::size_t>(u)]; e != -1;
+         e = edges_[static_cast<std::size_t>(e)].next) {
+      const auto& edge = edges_[static_cast<std::size_t>(e)];
+      if (edge.cap > 0 && !reachable[static_cast<std::size_t>(edge.to)]) {
+        reachable[static_cast<std::size_t>(edge.to)] = 1;
+        queue.push(edge.to);
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace bisched

@@ -1,0 +1,53 @@
+// Dinic's maximum-flow algorithm with min-cut extraction.
+//
+// Algorithm 1 of the paper needs a maximum-weight independent set in a
+// bipartite graph, which it computes "by finding a minimum S−T cut with a
+// flow network corresponding to the bipartite graph" (Lemma 10; the paper
+// cites Orlin's O(nm) flow, we substitute Dinic — exactness is unaffected,
+// see DESIGN.md). Capacities are int64; kCapInfinity marks uncuttable edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bisched {
+
+class Dinic {
+ public:
+  static constexpr std::int64_t kCapInfinity = INT64_MAX / 4;
+
+  explicit Dinic(int num_nodes);
+
+  int num_nodes() const { return static_cast<int>(head_.size()); }
+
+  // Adds a directed edge u -> v with the given capacity. Returns an edge id
+  // usable with `flow_on`.
+  int add_edge(int u, int v, std::int64_t capacity);
+
+  // Computes the maximum s-t flow. May be called once per instance.
+  std::int64_t max_flow(int s, int t);
+
+  // After max_flow: flow pushed through edge `id`.
+  std::int64_t flow_on(int id) const;
+
+  // After max_flow: 0/1 mask of nodes reachable from s in the residual graph
+  // (the source side of a minimum cut).
+  std::vector<std::uint8_t> min_cut_source_side(int s) const;
+
+ private:
+  struct Edge {
+    int to;
+    int next;  // intrusive list
+    std::int64_t cap;
+  };
+
+  bool bfs(int s, int t);
+  std::int64_t dfs(int u, int t, std::int64_t limit);
+
+  std::vector<Edge> edges_;  // edge 2k and 2k+1 are a forward/backward pair
+  std::vector<int> head_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace bisched

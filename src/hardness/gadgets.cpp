@@ -1,0 +1,61 @@
+#include "hardness/gadgets.hpp"
+
+#include "util/check.hpp"
+
+namespace bisched {
+
+namespace {
+
+std::vector<int> new_row(Graph& g, int size) {
+  BISCHED_CHECK(size >= 0, "negative gadget row size");
+  std::vector<int> row(static_cast<std::size_t>(size));
+  const int first = g.add_vertices(size);
+  for (int i = 0; i < size; ++i) row[static_cast<std::size_t>(i)] = first + i;
+  return row;
+}
+
+void connect_complete(Graph& g, const std::vector<int>& left, const std::vector<int>& right) {
+  for (int u : left) {
+    for (int v : right) g.add_edge(u, v);
+  }
+}
+
+void connect_vertex(Graph& g, int v, const std::vector<int>& row) {
+  for (int u : row) g.add_edge(v, u);
+}
+
+}  // namespace
+
+GadgetRows attach_h1(Graph& g, int v, int x) {
+  BISCHED_CHECK(v >= 0 && v < g.num_vertices(), "attachment vertex out of range");
+  GadgetRows rows;
+  rows.row_a = new_row(g, x);
+  connect_vertex(g, v, rows.row_a);
+  return rows;
+}
+
+GadgetRows attach_h2(Graph& g, int v, int x_prime, int x) {
+  BISCHED_CHECK(v >= 0 && v < g.num_vertices(), "attachment vertex out of range");
+  GadgetRows rows;
+  rows.row_b = new_row(g, x_prime);
+  rows.row_a = new_row(g, x);
+  connect_vertex(g, v, rows.row_b);
+  connect_complete(g, rows.row_b, rows.row_a);
+  return rows;
+}
+
+GadgetRows attach_h3(Graph& g, int v, int x_dprime, int x_prime, int x) {
+  BISCHED_CHECK(v >= 0 && v < g.num_vertices(), "attachment vertex out of range");
+  GadgetRows rows;
+  rows.row_c = new_row(g, x_dprime);
+  rows.row_b = new_row(g, x_prime);
+  rows.row_a_star = new_row(g, x);
+  rows.row_a = new_row(g, x);
+  connect_vertex(g, v, rows.row_c);
+  connect_complete(g, rows.row_c, rows.row_b);
+  connect_complete(g, rows.row_c, rows.row_a_star);
+  connect_complete(g, rows.row_b, rows.row_a);
+  return rows;
+}
+
+}  // namespace bisched

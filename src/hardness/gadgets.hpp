@@ -1,0 +1,47 @@
+// The color-forcing components H1, H2, H3 of Figure 1 (used by Theorem 8).
+//
+// Each gadget hangs off an attachment vertex v of the host graph as a tree of
+// complete-bipartite layers; attaching preserves bipartiteness. Their
+// machine-checkable semantics, with C any color set (|C| >= 2 resp. 3):
+//
+//   H1(x)        rows: A(x).             Edges: v-A complete.
+//     Lemma 5: v is not colored c1, OR >= x vertices have colors != c1.
+//
+//   H2(x', x)    rows: B(x'), A(x).      Edges: v-B, B-A complete.
+//     Lemma 6: v != c2, OR >= x' vertices outside {c1,c2}, OR >= x
+//     vertices != c1.   (If v = c2 then B avoids c2; either all of B leaves
+//     {c1, c2}, or some b in B is c1 and wipes c1 from all of A.)
+//
+//   H3(x'', x', x)  rows: C(x''), B(x'), A*(x), A(x).
+//     Edges: v-C, C-B, C-A*, B-A complete (two rows of size x — this matches
+//     the vertex count n' = n + 48k^2n + 4kn + 2 in Theorem 8's proof).
+//     Lemma 7: v != c3, OR >= x'' vertices outside {c1,c2,c3}, OR >= x'
+//     outside {c1,c2}, OR >= x vertices != c1.
+//
+// YES-side colorings (used in Theorem 8's accounting): with v = c1,
+// H2 colors B = c2, A = c1; H3 colors C = c3, B = c2, A* = A = c1.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace bisched {
+
+struct GadgetRows {
+  // New vertex ids per row; empty rows for rows a gadget does not have.
+  std::vector<int> row_a;       // size x (the largest row)
+  std::vector<int> row_b;       // size x'
+  std::vector<int> row_c;       // size x''
+  std::vector<int> row_a_star;  // size x (H3 only)
+
+  int num_vertices() const {
+    return static_cast<int>(row_a.size() + row_b.size() + row_c.size() + row_a_star.size());
+  }
+};
+
+GadgetRows attach_h1(Graph& g, int v, int x);
+GadgetRows attach_h2(Graph& g, int v, int x_prime, int x);
+GadgetRows attach_h3(Graph& g, int v, int x_dprime, int x_prime, int x);
+
+}  // namespace bisched

@@ -1,0 +1,67 @@
+#include "hardness/oneprext.hpp"
+
+#include "graph/bipartite.hpp"
+#include "graph/coloring.hpp"
+#include "util/check.hpp"
+
+namespace bisched {
+
+PrExtSolution solve_one_prext(const OnePrExtInstance& inst, std::uint64_t max_nodes) {
+  std::vector<int> precolor(static_cast<std::size_t>(inst.g.num_vertices()), -1);
+  for (int c = 0; c < 3; ++c) {
+    const int v = inst.precolored[static_cast<std::size_t>(c)];
+    BISCHED_CHECK(v >= 0 && v < inst.g.num_vertices(), "precolored vertex out of range");
+    precolor[static_cast<std::size_t>(v)] = c;
+  }
+  bool aborted = false;
+  auto coloring = k_coloring_extend(inst.g, 3, precolor, max_nodes, &aborted);
+  PrExtSolution sol;
+  if (coloring.has_value()) {
+    sol.answer = PrExtAnswer::kYes;
+    sol.coloring = std::move(coloring);
+  } else {
+    sol.answer = aborted ? PrExtAnswer::kUnknown : PrExtAnswer::kNo;
+  }
+  return sol;
+}
+
+OnePrExtInstance random_yes_instance(int n, double p, Rng& rng) {
+  BISCHED_CHECK(n >= 3, "need at least the three precolored vertices");
+  // Planted structure: vertex v has side(v) and color(v); vertices 0,1,2 are
+  // the precolored ones — same side, colors 0,1,2.
+  std::vector<std::uint8_t> side(static_cast<std::size_t>(n));
+  std::vector<int> color(static_cast<std::size_t>(n));
+  for (int v = 0; v < 3; ++v) {
+    side[static_cast<std::size_t>(v)] = 0;
+    color[static_cast<std::size_t>(v)] = v;
+  }
+  for (int v = 3; v < n; ++v) {
+    side[static_cast<std::size_t>(v)] = static_cast<std::uint8_t>(rng.uniform_int(0, 1));
+    color[static_cast<std::size_t>(v)] = static_cast<int>(rng.uniform_int(0, 2));
+  }
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (side[static_cast<std::size_t>(u)] == side[static_cast<std::size_t>(v)]) continue;
+      if (color[static_cast<std::size_t>(u)] == color[static_cast<std::size_t>(v)]) continue;
+      if (rng.bernoulli(p)) g.add_edge(u, v);
+    }
+  }
+  OnePrExtInstance inst;
+  inst.g = std::move(g);
+  inst.precolored = {0, 1, 2};
+  BISCHED_DCHECK(bipartition(inst.g).has_value(), "planted instance not bipartite");
+  return inst;
+}
+
+OnePrExtInstance random_no_instance(int n, double p, Rng& rng) {
+  OnePrExtInstance inst = random_yes_instance(n, p, rng);
+  // Blocker on the opposite side of the (co-sided) precolored triple: it sees
+  // all three colors, so no extension can color it.
+  const int blocker = inst.g.add_vertex();
+  for (int c = 0; c < 3; ++c) inst.g.add_edge(blocker, inst.precolored[static_cast<std::size_t>(c)]);
+  BISCHED_DCHECK(bipartition(inst.g).has_value(), "blocker broke bipartiteness");
+  return inst;
+}
+
+}  // namespace bisched

@@ -1,0 +1,51 @@
+// 1-PrExt: precoloring extension with k = 3 on bipartite graphs.
+//
+// Definition 2 of the paper: given a graph and vertices (v1, v2, v3), decide
+// whether a proper 3-coloring with f(v_i) = c_i exists. NP-complete for
+// bipartite graphs (Theorem 3, due to Bodlaender–Jansen–Woeginger [3]); it is
+// the source problem of both inapproximability reductions (Theorems 8 and
+// 24). The exact solver delegates to the backtracking engine in
+// graph/coloring.hpp; the generators produce certified YES instances (planted
+// coloring) and certified NO instances (a blocker vertex adjacent to all
+// three precolored vertices has no color left).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+
+struct OnePrExtInstance {
+  Graph g;
+  // precolored[c] receives color c, c in {0, 1, 2}.
+  std::array<int, 3> precolored{0, 1, 2};
+};
+
+enum class PrExtAnswer { kYes, kNo, kUnknown };
+
+struct PrExtSolution {
+  PrExtAnswer answer = PrExtAnswer::kUnknown;
+  // A full proper 3-coloring extending the precoloring, when answer == kYes.
+  std::optional<std::vector<int>> coloring;
+};
+
+// Exact decision (exponential worst case; max_nodes = 0 means unlimited,
+// otherwise kUnknown may be returned).
+PrExtSolution solve_one_prext(const OnePrExtInstance& inst, std::uint64_t max_nodes = 0);
+
+// Certified-YES generator: bipartite graph with a planted proper 3-coloring;
+// the precolored vertices are 0, 1, 2 with planted colors 0, 1, 2 and all
+// three lie on the same side (so that hardness gadgets/blockers can attach to
+// all of them from the other side). n >= 3; p is the cross-pair edge rate.
+OnePrExtInstance random_yes_instance(int n, double p, Rng& rng);
+
+// Certified-NO generator: a YES instance plus a blocker vertex adjacent to
+// v1, v2, v3 — the blocker cannot take any of the three colors, so no
+// extension exists; the graph stays bipartite.
+OnePrExtInstance random_no_instance(int n, double p, Rng& rng);
+
+}  // namespace bisched

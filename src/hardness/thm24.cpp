@@ -1,0 +1,44 @@
+#include "hardness/thm24.hpp"
+
+#include "graph/bipartite.hpp"
+#include "util/check.hpp"
+
+namespace bisched {
+
+Thm24Instance build_thm24_instance(const OnePrExtInstance& prext, std::int64_t d, int m) {
+  BISCHED_CHECK(d >= 1, "stretch parameter d must be >= 1");
+  BISCHED_CHECK(m >= 3, "Theorem 24 concerns m >= 3");
+  BISCHED_CHECK(bipartition(prext.g).has_value(), "1-PrExt host graph must be bipartite");
+  const int n = prext.g.num_vertices();
+
+  std::vector<std::vector<std::int64_t>> times(
+      static_cast<std::size_t>(m), std::vector<std::int64_t>(static_cast<std::size_t>(n), d));
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < n; ++j) times[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = 1;
+  }
+  for (int c = 0; c < 3; ++c) {
+    const int v = prext.precolored[static_cast<std::size_t>(c)];
+    for (int i = 0; i < 3; ++i) {
+      times[static_cast<std::size_t>(i)][static_cast<std::size_t>(v)] = (i == c) ? 1 : d;
+    }
+  }
+
+  Thm24Instance out;
+  out.sched = make_unrelated_instance(std::move(times), prext.g);
+  out.d = d;
+  out.yes_threshold = n;
+  out.no_threshold = d;
+  return out;
+}
+
+Schedule thm24_yes_schedule(const Thm24Instance& inst, const std::vector<int>& coloring) {
+  BISCHED_CHECK(static_cast<int>(coloring.size()) == inst.sched.num_jobs(),
+                "coloring size mismatch");
+  Schedule s;
+  s.machine_of.assign(coloring.begin(), coloring.end());
+  BISCHED_CHECK(validate(inst.sched, s) == ScheduleStatus::kValid,
+                "YES certificate schedule invalid — coloring not proper?");
+  return s;
+}
+
+}  // namespace bisched

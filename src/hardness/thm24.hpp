@@ -1,0 +1,34 @@
+// The Theorem 24 reduction: 1-PrExt (bipartite, k=3)  ->  Rm|G=bipartite|Cmax
+// for fixed m >= 3.
+//
+// Jobs are the vertices of the 1-PrExt graph. With stretch parameter d:
+//   * precolored vertex v_j (j in {1,2,3}): time 1 on machine j, d on the
+//     other two of the first three machines;
+//   * every other vertex: time 1 on machines 1..3;
+//   * every vertex: time d on machines 4..m.
+// A YES instance admits a schedule of makespan <= n (color c -> machine c);
+// in a NO instance every proper schedule must either burn a d somewhere or
+// violate the (impossible) precoloring, so C*_max >= d.
+#pragma once
+
+#include <cstdint>
+
+#include "hardness/oneprext.hpp"
+#include "sched/instance.hpp"
+#include "sched/schedule.hpp"
+
+namespace bisched {
+
+struct Thm24Instance {
+  UnrelatedInstance sched;
+  std::int64_t d = 0;
+  std::int64_t yes_threshold = 0;  // n
+  std::int64_t no_threshold = 0;   // d
+};
+
+Thm24Instance build_thm24_instance(const OnePrExtInstance& prext, std::int64_t d, int m = 3);
+
+// Certificate for YES instances: color c -> machine c.
+Schedule thm24_yes_schedule(const Thm24Instance& inst, const std::vector<int>& coloring);
+
+}  // namespace bisched

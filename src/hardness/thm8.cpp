@@ -1,0 +1,102 @@
+#include "hardness/thm8.hpp"
+
+#include "graph/bipartite.hpp"
+#include "hardness/gadgets.hpp"
+#include "util/check.hpp"
+
+namespace bisched {
+
+namespace {
+
+// Bookkeeping for coloring the gadget rows in the YES certificate.
+struct AttachedGadgets {
+  GadgetRows h2_v1, h3_v1;  // on v1
+  GadgetRows h1_v2, h3_v2;  // on v2
+  GadgetRows h1_v3, h2_v3;  // on v3
+};
+
+AttachedGadgets attach_all(Graph& g, const std::array<int, 3>& v, int n, std::int64_t k) {
+  const int big = static_cast<int>(6 * k * k * n);   // 6k^2 n
+  const int mid = static_cast<int>(k * n);           // kn
+  AttachedGadgets a;
+  a.h2_v1 = attach_h2(g, v[0], mid, big);
+  a.h3_v1 = attach_h3(g, v[0], 1, mid, big);
+  a.h1_v2 = attach_h1(g, v[1], big);
+  a.h3_v2 = attach_h3(g, v[1], 1, mid, big);
+  a.h1_v3 = attach_h1(g, v[2], big);
+  a.h2_v3 = attach_h2(g, v[2], mid, big);
+  return a;
+}
+
+}  // namespace
+
+Thm8Instance build_thm8_instance(const OnePrExtInstance& prext, std::int64_t k,
+                                 int extra_slow_machines) {
+  BISCHED_CHECK(k >= 1, "stretch parameter k must be >= 1");
+  BISCHED_CHECK(extra_slow_machines >= 0, "negative machine count");
+  const int n = prext.g.num_vertices();
+  BISCHED_CHECK(n >= 3, "1-PrExt instance too small");
+  BISCHED_CHECK(bipartition(prext.g).has_value(), "1-PrExt host graph must be bipartite");
+
+  Graph g = prext.g;  // copy; gadget rows appended after the original ids
+  attach_all(g, prext.precolored, n, k);
+  const std::int64_t expected =
+      static_cast<std::int64_t>(n) + 48 * k * k * n + 4 * k * n + 2;
+  BISCHED_CHECK(g.num_vertices() == expected, "Theorem 8 vertex count mismatch");
+  BISCHED_CHECK(bipartition(g).has_value(), "gadgets must preserve bipartiteness");
+
+  // Speeds (49k^2, 5k, 1, 1/(kn) x extra) scaled by kn.
+  const std::int64_t scale = k * n;
+  std::vector<std::int64_t> speeds{49 * k * k * scale, 5 * k * scale, scale};
+  for (int i = 0; i < extra_slow_machines; ++i) speeds.push_back(1);
+
+  Thm8Instance out;
+  const auto num_jobs = static_cast<std::size_t>(g.num_vertices());
+  out.sched = make_uniform_instance(std::vector<std::int64_t>(num_jobs, 1), speeds,
+                                    std::move(g));
+  out.n_original = n;
+  out.k = k;
+  out.speed_scale = scale;
+  out.yes_threshold = Rational(n + 2, scale);
+  out.no_threshold = Rational(k * n, scale);
+  return out;
+}
+
+Schedule yes_certificate_schedule(const Thm8Instance& inst, const OnePrExtInstance& prext,
+                                  const std::vector<int>& coloring) {
+  const int n = inst.n_original;
+  BISCHED_CHECK(static_cast<int>(coloring.size()) == n, "coloring size mismatch");
+  for (int c = 0; c < 3; ++c) {
+    BISCHED_CHECK(coloring[static_cast<std::size_t>(prext.precolored[static_cast<std::size_t>(c)])] == c,
+                  "coloring does not extend the precoloring");
+  }
+
+  Schedule s;
+  s.machine_of.assign(static_cast<std::size_t>(inst.sched.num_jobs()), -1);
+  for (int v = 0; v < n; ++v) {
+    s.machine_of[static_cast<std::size_t>(v)] = coloring[static_cast<std::size_t>(v)];
+  }
+
+  // Rebuild the attachment order to color the rows; attach_all appends rows
+  // deterministically, so replaying it on a scratch copy yields the ids.
+  Graph scratch = prext.g;
+  const AttachedGadgets a = attach_all(scratch, prext.precolored, n, inst.k);
+  auto paint = [&s](const std::vector<int>& row, int machine) {
+    for (int v : row) s.machine_of[static_cast<std::size_t>(v)] = machine;
+  };
+  // YES-side colorings (see gadgets.hpp): A and A* -> c1 (M1), B -> c2 (M2),
+  // C -> c3 (M3). Every attachment vertex v_i holds color c_i, which is
+  // compatible: H2 hangs on v1 (c1) / v3 (c3) via its B row (c2); H3 hangs on
+  // v1 (c1) / v2 (c2) via its C row (c3); H1 hangs on v2/v3 via its A row (c1).
+  for (const GadgetRows* rows : {&a.h2_v1, &a.h3_v1, &a.h1_v2, &a.h3_v2, &a.h1_v3, &a.h2_v3}) {
+    paint(rows->row_a, 0);
+    paint(rows->row_a_star, 0);
+    paint(rows->row_b, 1);
+    paint(rows->row_c, 2);
+  }
+  BISCHED_CHECK(validate(inst.sched, s) == ScheduleStatus::kValid,
+                "YES certificate schedule invalid — coloring not proper?");
+  return s;
+}
+
+}  // namespace bisched

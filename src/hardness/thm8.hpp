@@ -1,0 +1,54 @@
+// The Theorem 8 reduction: 1-PrExt (bipartite, k=3)  ->  unit-job scheduling
+// on uniform machines with a bipartite incompatibility graph.
+//
+// Given a 1-PrExt instance ((V,E), (v1,v2,v3)) and a stretch parameter k, the
+// construction attaches
+//   v1: H2(kn, 6k^2 n)  and  H3(1, kn, 6k^2 n)
+//   v2: H1(6k^2 n)      and  H3(1, kn, 6k^2 n)
+//   v3: H1(6k^2 n)      and  H2(kn, 6k^2 n)
+// (n' = n + 48k^2 n + 4kn + 2 unit jobs) and schedules on machines with
+// speeds (49k^2, 5k, 1, 1/(kn), ..., 1/(kn)). We scale all speeds by kn to
+// keep them integral — every makespan below is kn times smaller than in the
+// paper's units; `speed_scale` lets callers convert back.
+//
+//   YES  =>  C*_max <= (n + 2) / speed_scale   (paper: "at most n"; the +2 is
+//            the two H3 singleton rows landing on M3, see DESIGN.md)
+//   NO   =>  C*_max >= kn / speed_scale.
+//
+// A machine-index interpretation of any schedule is a coloring (machine i =
+// color i), which is how the gadget lemmas bite.
+#pragma once
+
+#include <cstdint>
+
+#include "hardness/oneprext.hpp"
+#include "sched/instance.hpp"
+#include "sched/schedule.hpp"
+#include "util/rational.hpp"
+
+namespace bisched {
+
+struct Thm8Instance {
+  UniformInstance sched;
+  int n_original = 0;           // |V| of the 1-PrExt graph
+  std::int64_t k = 0;
+  std::int64_t speed_scale = 0;  // = k * n_original
+  // Makespan thresholds in the scaled units.
+  Rational yes_threshold;  // (n + 2) / speed_scale
+  Rational no_threshold;   // kn / speed_scale
+};
+
+// extra_slow_machines adds machines of (scaled) speed 1 beyond the first
+// three, i.e. m = 3 + extra_slow_machines; the paper's construction uses
+// m - 3 of them.
+Thm8Instance build_thm8_instance(const OnePrExtInstance& prext, std::int64_t k,
+                                 int extra_slow_machines = 1);
+
+// The certificate schedule for a YES instance: interprets a full 3-coloring
+// extending the precoloring, colors the gadget rows per their YES-side
+// colorings (A/A* -> c1, B -> c2, C -> c3) and maps color c to machine c.
+Schedule yes_certificate_schedule(const Thm8Instance& inst,
+                                  const OnePrExtInstance& prext,
+                                  const std::vector<int>& coloring);
+
+}  // namespace bisched

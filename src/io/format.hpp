@@ -1,0 +1,45 @@
+// Plain-text instance and schedule serialization.
+//
+// The on-disk format (comments start with '#', whitespace-separated):
+//
+//   bisched uniform v1          bisched unrelated v1        bisched schedule v1
+//   jobs <n>                    jobs <n>                    jobs <n>
+//   p <n ints>                  machines <m>                machine_of <n ints>
+//   speeds <m ints>             times                       # 0-based machines
+//   edges <k>                   <m rows of n ints>
+//   <k lines: u v>              edges <k>
+//                               <k lines: u v>
+//
+// Parsing never aborts: malformed input yields an error string (the CLI and
+// any downstream user gets a diagnosable failure, not a crash). Writers
+// produce output that parses back bit-identically (round-trip tested).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "sched/instance.hpp"
+#include "sched/schedule.hpp"
+
+namespace bisched {
+
+struct ParsedInstance {
+  // Exactly one of these is set on success.
+  std::optional<UniformInstance> uniform;
+  std::optional<UnrelatedInstance> unrelated;
+  std::string error;  // nonempty iff parsing failed
+
+  bool ok() const { return error.empty(); }
+};
+
+ParsedInstance parse_instance(std::istream& in);
+
+std::optional<Schedule> parse_schedule(std::istream& in, std::string* error);
+
+void write_instance(std::ostream& out, const UniformInstance& inst);
+void write_instance(std::ostream& out, const UnrelatedInstance& inst);
+void write_schedule(std::ostream& out, const Schedule& schedule);
+
+}  // namespace bisched

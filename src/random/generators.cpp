@@ -1,0 +1,129 @@
+#include "random/generators.hpp"
+
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace bisched {
+
+Graph complete_bipartite(int a, int b) {
+  BISCHED_CHECK(a >= 0 && b >= 0, "negative part size");
+  Graph g(a + b);
+  for (int u = 0; u < a; ++u) {
+    for (int v = 0; v < b; ++v) g.add_edge(u, a + v);
+  }
+  return g;
+}
+
+Graph crown(int n) {
+  BISCHED_CHECK(n >= 1, "crown requires n >= 1");
+  Graph g(2 * n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u != v) g.add_edge(u, n + v);
+    }
+  }
+  return g;
+}
+
+Graph path_graph(int n) {
+  BISCHED_CHECK(n >= 0, "negative size");
+  Graph g(n);
+  for (int v = 1; v < n; ++v) g.add_edge(v - 1, v);
+  return g;
+}
+
+Graph even_cycle(int n) {
+  BISCHED_CHECK(n >= 2, "even_cycle requires n >= 2");
+  Graph g(2 * n);
+  for (int v = 0; v < 2 * n; ++v) g.add_edge(v, (v + 1) % (2 * n));
+  return g;
+}
+
+Graph double_star(int a, int b) {
+  BISCHED_CHECK(a >= 0 && b >= 0, "negative leaf count");
+  Graph g(2 + a + b);
+  g.add_edge(0, 1);
+  for (int i = 0; i < a; ++i) g.add_edge(0, 2 + i);
+  for (int i = 0; i < b; ++i) g.add_edge(1, 2 + a + i);
+  return g;
+}
+
+Graph random_tree(int n, Rng& rng) {
+  BISCHED_CHECK(n >= 1, "random_tree requires n >= 1");
+  Graph g(n);
+  for (int v = 1; v < n; ++v) {
+    g.add_edge(v, static_cast<int>(rng.uniform_int(0, v - 1)));
+  }
+  return g;
+}
+
+Graph random_bipartite_edges(int a, int b, std::int64_t m, Rng& rng) {
+  BISCHED_CHECK(a >= 0 && b >= 0, "negative part size");
+  const std::int64_t max_edges = static_cast<std::int64_t>(a) * b;
+  BISCHED_CHECK(m >= 0 && m <= max_edges, "edge count out of range");
+  Graph g(a + b);
+  if (m == 0) return g;
+  // Dense request: permute all pair indices implicitly via Floyd's algorithm.
+  std::unordered_set<std::int64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(m) * 2);
+  for (std::int64_t t = max_edges - m; t < max_edges; ++t) {
+    const std::int64_t r = rng.uniform_int(0, t);
+    const std::int64_t pick = chosen.contains(r) ? t : r;
+    chosen.insert(pick);
+    const int u = static_cast<int>(pick / b);
+    const int v = static_cast<int>(pick % b);
+    g.add_edge(u, a + v);
+  }
+  return g;
+}
+
+Graph random_bipartite_planted_coloring(int n, int k, double p, Rng& rng,
+                                        std::vector<int>* colors,
+                                        std::vector<std::uint8_t>* sides) {
+  BISCHED_CHECK(n >= 0, "negative size");
+  BISCHED_CHECK(k >= 1, "need at least one color");
+  std::vector<int> planted(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> side(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    planted[static_cast<std::size_t>(v)] = static_cast<int>(rng.uniform_int(0, k - 1));
+    side[static_cast<std::size_t>(v)] = static_cast<std::uint8_t>(rng.uniform_int(0, 1));
+  }
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (side[static_cast<std::size_t>(u)] == side[static_cast<std::size_t>(v)]) continue;
+      if (planted[static_cast<std::size_t>(u)] == planted[static_cast<std::size_t>(v)]) continue;
+      if (rng.bernoulli(p)) g.add_edge(u, v);
+    }
+  }
+  if (colors != nullptr) *colors = std::move(planted);
+  if (sides != nullptr) *sides = std::move(side);
+  return g;
+}
+
+std::vector<std::int64_t> unit_weights(int n) {
+  return std::vector<std::int64_t>(static_cast<std::size_t>(n), 1);
+}
+
+std::vector<std::int64_t> uniform_weights(int n, std::int64_t lo, std::int64_t hi, Rng& rng) {
+  BISCHED_CHECK(lo >= 1 && lo <= hi, "weight range must be positive");
+  std::vector<std::int64_t> w(static_cast<std::size_t>(n));
+  for (auto& x : w) x = rng.uniform_int(lo, hi);
+  return w;
+}
+
+std::vector<std::int64_t> bimodal_weights(int n, std::int64_t light_lo, std::int64_t light_hi,
+                                          std::int64_t heavy_lo, std::int64_t heavy_hi,
+                                          double heavy_frac, Rng& rng) {
+  BISCHED_CHECK(light_lo >= 1 && light_lo <= light_hi, "light range must be positive");
+  BISCHED_CHECK(heavy_lo >= 1 && heavy_lo <= heavy_hi, "heavy range must be positive");
+  std::vector<std::int64_t> w(static_cast<std::size_t>(n));
+  for (auto& x : w) {
+    x = rng.bernoulli(heavy_frac) ? rng.uniform_int(heavy_lo, heavy_hi)
+                                  : rng.uniform_int(light_lo, light_hi);
+  }
+  return w;
+}
+
+}  // namespace bisched

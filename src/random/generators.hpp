@@ -1,0 +1,61 @@
+// Structured and random bipartite graph families for tests and experiments.
+//
+// These are the workloads of the benchmark harness: crowns and complete
+// bipartite graphs stress the "one machine must take a whole side" regime,
+// random trees exercise sparse instances (cf. the 5/3-approx for trees in
+// [3]), and the planted-coloring generator produces guaranteed-YES instances
+// of precoloring extension for the hardness reductions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+
+// K_{a,b}: part sizes a and b, all cross edges.
+Graph complete_bipartite(int a, int b);
+
+// Crown graph S_n^0: K_{n,n} minus a perfect matching (n >= 1).
+Graph crown(int n);
+
+// Path on n vertices (n-1 edges).
+Graph path_graph(int n);
+
+// Cycle on 2n vertices (bipartite for every n >= 2).
+Graph even_cycle(int n);
+
+// Two adjacent centers with `a` and `b` pendant leaves.
+Graph double_star(int a, int b);
+
+// Uniform random labelled tree on n vertices (attachment construction:
+// vertex i >= 1 picks a uniform parent among 0..i-1; not Prüfer-uniform but
+// spans all tree shapes and is what the experiments need).
+Graph random_tree(int n, Rng& rng);
+
+// Random bipartite graph with part sizes (a, b) and exactly m distinct edges
+// (m <= a*b), sampled uniformly. Part A = vertices 0..a-1.
+Graph random_bipartite_edges(int a, int b, std::int64_t m, Rng& rng);
+
+// Random bipartite graph with a planted proper k-coloring: every vertex gets
+// a random side and a random color; each cross-side, cross-color pair becomes
+// an edge independently with probability p. The planted coloring (returned
+// via `colors`) is proper by construction, so any precoloring consistent with
+// it is extendable.
+Graph random_bipartite_planted_coloring(int n, int k, double p, Rng& rng,
+                                        std::vector<int>* colors,
+                                        std::vector<std::uint8_t>* sides = nullptr);
+
+// ---- job weight generators -------------------------------------------------
+
+std::vector<std::int64_t> unit_weights(int n);
+std::vector<std::int64_t> uniform_weights(int n, std::int64_t lo, std::int64_t hi, Rng& rng);
+// A heavy/light mix: fraction `heavy_frac` of jobs uniform in the heavy range,
+// the rest in the light range. Exercises Algorithm 1's big-job threshold.
+std::vector<std::int64_t> bimodal_weights(int n, std::int64_t light_lo, std::int64_t light_hi,
+                                          std::int64_t heavy_lo, std::int64_t heavy_hi,
+                                          double heavy_frac, Rng& rng);
+
+}  // namespace bisched

@@ -1,0 +1,63 @@
+#include "random/gilbert.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace bisched {
+
+Graph gilbert_bipartite_dense(int n, double p, Rng& rng) {
+  BISCHED_CHECK(n >= 0, "negative part size");
+  Graph g(2 * n);
+  if (p <= 0.0) return g;
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (rng.bernoulli(p)) g.add_edge(u, n + v);
+    }
+  }
+  return g;
+}
+
+Graph gilbert_bipartite_sparse(int n, double p, Rng& rng) {
+  BISCHED_CHECK(n >= 0, "negative part size");
+  Graph g(2 * n);
+  if (p <= 0.0 || n == 0) return g;
+  if (p >= 1.0) {
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) g.add_edge(u, n + v);
+    }
+    return g;
+  }
+  // Walk the n^2 potential edges in row-major order, jumping geometric gaps.
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
+  std::uint64_t index = rng.geometric_skips(p);
+  while (index < total) {
+    const int u = static_cast<int>(index / static_cast<std::uint64_t>(n));
+    const int v = static_cast<int>(index % static_cast<std::uint64_t>(n));
+    g.add_edge(u, n + v);
+    index += 1 + rng.geometric_skips(p);
+  }
+  return g;
+}
+
+Graph gilbert_bipartite(int n, double p, Rng& rng) {
+  // Sparse sampling wins whenever the expected edge count is well below the
+  // n^2 sweep; the 0.05 threshold is a conservative crossover.
+  if (p < 0.05) return gilbert_bipartite_sparse(n, p, rng);
+  return gilbert_bipartite_dense(n, p, rng);
+}
+
+double p_below_critical(int n) {
+  return 1.0 / (static_cast<double>(n) * std::log2(static_cast<double>(n) + 2.0));
+}
+
+double p_critical(double a, int n) { return std::min(1.0, a / static_cast<double>(n)); }
+
+double p_log_over_n(int n) {
+  return std::min(1.0, std::log(static_cast<double>(n) + 1.0) / static_cast<double>(n));
+}
+
+double p_inv_sqrt(int n) { return std::min(1.0, 1.0 / std::sqrt(static_cast<double>(n))); }
+
+}  // namespace bisched

@@ -1,0 +1,36 @@
+// Gilbert's random bipartite graph model G_{n,n,p}.
+//
+// The probability space of Section 4.1 of the paper: all spanning subgraphs
+// of K_{n,n}, each edge present independently with probability p(n). Vertices
+// 0..n-1 form part V_1 and n..2n-1 part V_2. Two samplers with identical
+// distribution: a dense O(n^2) Bernoulli sweep and a sparse sampler that
+// geometric-skips over the n^2 potential edges (O(#edges) expected), chosen
+// automatically by expected density.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+
+// Sample G_{n,n,p}. Result has exactly 2n vertices.
+Graph gilbert_bipartite(int n, double p, Rng& rng);
+
+// Force a particular sampler (tests verify the two agree in distribution).
+Graph gilbert_bipartite_dense(int n, double p, Rng& rng);
+Graph gilbert_bipartite_sparse(int n, double p, Rng& rng);
+
+// The paper's three p(n) regimes (Section 4.1). `RegimeBelow` is
+// p(n) = o(1/n), `RegimeCritical` is p(n) = a/n, `RegimeAbove` is
+// p(n) = omega(1/n).
+enum class GilbertRegime { kBelow, kCritical, kAbove };
+
+// Handy p(n) evaluators used throughout the experiments.
+double p_below_critical(int n);            // 1 / (n * log2(n+2)) = o(1/n)
+double p_critical(double a, int n);        // a / n
+double p_log_over_n(int n);                // log(n) / n   (omega(1/n), o(1))
+double p_inv_sqrt(int n);                  // n^{-1/2}     (omega(1/n), o(1))
+
+}  // namespace bisched

@@ -1,0 +1,71 @@
+#include "sched/capacity.hpp"
+
+#include <queue>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace bisched {
+
+std::int64_t machine_capacity(std::int64_t speed, const Rational& time) {
+  BISCHED_CHECK(speed >= 1, "speed must be positive");
+  BISCHED_CHECK(!(time < Rational(0)), "negative time");
+  return floor_mul(speed, time);
+}
+
+std::int64_t group_capacity(std::span<const std::int64_t> speeds, const Rational& time) {
+  std::int64_t total = 0;
+  for (std::int64_t s : speeds) {
+    total += machine_capacity(s, time);
+    BISCHED_CHECK(total >= 0, "capacity overflow");
+  }
+  return total;
+}
+
+std::optional<Rational> min_cover_time(std::span<const std::int64_t> speeds,
+                                       std::int64_t demand) {
+  if (demand <= 0) return Rational(0);
+  if (speeds.empty()) return std::nullopt;
+
+  __int128 speed_sum = 0;
+  for (std::int64_t s : speeds) {
+    BISCHED_CHECK(s >= 1, "speed must be positive");
+    speed_sum += s;
+  }
+  BISCHED_CHECK(speed_sum <= INT64_MAX, "speed sum overflow");
+
+  // Fractional relaxation: T0 = demand / Σs. No T < T0 can cover the demand,
+  // because Σ floor(s_i T) <= Σ s_i T < demand there.
+  const Rational t0(demand, static_cast<std::int64_t>(speed_sum));
+
+  std::int64_t covered = 0;
+  std::vector<std::int64_t> caps(speeds.size());
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    caps[i] = machine_capacity(speeds[i], t0);
+    covered += caps[i];
+  }
+  if (covered >= demand) return t0;
+
+  // Event sweep: the next time any machine's capacity ticks up is
+  // (cap_i + 1) / s_i; pop events in time order until the deficit closes.
+  // The deficit is < |speeds| (each floor loses < 1 unit at T0).
+  using Event = std::pair<Rational, std::size_t>;
+  auto later = [](const Event& a, const Event& b) { return b.first < a.first; };
+  std::priority_queue<Event, std::vector<Event>, decltype(later)> heap(later);
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    heap.push({Rational(caps[i] + 1, speeds[i]), i});
+  }
+  Rational t = t0;
+  while (covered < demand) {
+    const auto [event_time, i] = heap.top();
+    heap.pop();
+    t = event_time;
+    ++caps[i];
+    ++covered;
+    heap.push({Rational(caps[i] + 1, speeds[i]), i});
+  }
+  BISCHED_DCHECK(group_capacity(speeds, t) >= demand, "cover-time sweep under-covered");
+  return t;
+}
+
+}  // namespace bisched

@@ -1,0 +1,35 @@
+// Machine capacity arithmetic — the paper's bin-covering view of makespan.
+//
+// The capacity of a speed-s machine within time T is floor(s*T): the maximum
+// total processing requirement of integral jobs it can complete by T. The
+// core primitive is `min_cover_time`: the least time T at which the
+// rounded-down capacities of a machine group sum to at least a demand — the
+// quantity Algorithm 1 calls C**_max (its step 5) and Algorithm 2 computes
+// in its step 2. Implemented exactly with the heap sweep described in the
+// paper's Lemma 10 proof: start from the fractional relaxation demand/Σs
+// (which is already a valid floor lower bound) and pop "next capacity
+// increment" events — at most one per unit of remaining deficit, and the
+// deficit at the relaxation point is < m.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "util/rational.hpp"
+
+namespace bisched {
+
+// floor(speed * time): jobs-worth of work a machine of integer `speed`
+// completes within rational `time` (time >= 0).
+std::int64_t machine_capacity(std::int64_t speed, const Rational& time);
+
+// Sum of machine capacities of `speeds` within `time`.
+std::int64_t group_capacity(std::span<const std::int64_t> speeds, const Rational& time);
+
+// Least T >= 0 with group_capacity(speeds, T) >= demand. nullopt iff the
+// group is empty and demand > 0. O(m log m).
+std::optional<Rational> min_cover_time(std::span<const std::int64_t> speeds,
+                                       std::int64_t demand);
+
+}  // namespace bisched

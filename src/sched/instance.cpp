@@ -1,0 +1,91 @@
+#include "sched/instance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace bisched {
+
+std::int64_t UniformInstance::total_work() const {
+  std::int64_t sum = 0;
+  for (std::int64_t x : p) {
+    sum += x;
+    BISCHED_CHECK(sum >= 0, "total work overflow");
+  }
+  return sum;
+}
+
+std::int64_t UniformInstance::pmax() const {
+  std::int64_t best = 0;
+  for (std::int64_t x : p) best = std::max(best, x);
+  return best;
+}
+
+UniformInstance make_uniform_instance(std::vector<std::int64_t> p,
+                                      std::vector<std::int64_t> speeds, Graph conflicts) {
+  BISCHED_CHECK(static_cast<int>(p.size()) == conflicts.num_vertices(),
+                "job count does not match conflict graph");
+  BISCHED_CHECK(!speeds.empty(), "need at least one machine");
+  for (std::int64_t x : p) BISCHED_CHECK(x >= 1, "processing requirements must be >= 1");
+  for (std::int64_t s : speeds) BISCHED_CHECK(s >= 1, "speeds must be >= 1");
+  std::sort(speeds.begin(), speeds.end(), std::greater<>());
+  UniformInstance inst;
+  inst.p = std::move(p);
+  inst.speeds = std::move(speeds);
+  inst.conflicts = std::move(conflicts);
+  return inst;
+}
+
+UniformInstance make_identical_instance(std::vector<std::int64_t> p, int m, Graph conflicts) {
+  BISCHED_CHECK(m >= 1, "need at least one machine");
+  return make_uniform_instance(std::move(p),
+                               std::vector<std::int64_t>(static_cast<std::size_t>(m), 1),
+                               std::move(conflicts));
+}
+
+UnrelatedInstance make_unrelated_instance(std::vector<std::vector<std::int64_t>> times,
+                                          Graph conflicts) {
+  BISCHED_CHECK(!times.empty(), "need at least one machine");
+  for (const auto& row : times) {
+    BISCHED_CHECK(row.size() == times[0].size(), "ragged time matrix");
+    for (std::int64_t t : row) BISCHED_CHECK(t >= 0, "negative processing time");
+  }
+  BISCHED_CHECK(static_cast<int>(times[0].size()) == conflicts.num_vertices(),
+                "job count does not match conflict graph");
+  UnrelatedInstance inst;
+  inst.times = std::move(times);
+  inst.conflicts = std::move(conflicts);
+  return inst;
+}
+
+UnrelatedInstance uniform_as_unrelated(const UniformInstance& q, int first_machine,
+                                       int last_machine, std::int64_t* scale_out) {
+  BISCHED_CHECK(0 <= first_machine && first_machine < last_machine &&
+                    last_machine <= q.num_machines(),
+                "machine range out of bounds");
+  std::int64_t l = 1;
+  for (int i = first_machine; i < last_machine; ++i) {
+    l = std::lcm(l, q.speeds[static_cast<std::size_t>(i)]);
+    BISCHED_CHECK(l > 0 && l < (INT64_C(1) << 40), "speed lcm overflow");
+  }
+  const int n = q.num_jobs();
+  std::vector<std::vector<std::int64_t>> times;
+  for (int i = first_machine; i < last_machine; ++i) {
+    const std::int64_t factor = l / q.speeds[static_cast<std::size_t>(i)];
+    std::vector<std::int64_t> row(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      const std::int64_t t = q.p[static_cast<std::size_t>(j)] * factor;
+      BISCHED_CHECK(t / factor == q.p[static_cast<std::size_t>(j)], "time scale overflow");
+      row[static_cast<std::size_t>(j)] = t;
+    }
+    times.push_back(std::move(row));
+  }
+  if (scale_out != nullptr) *scale_out = l;
+  UnrelatedInstance inst;
+  inst.times = std::move(times);
+  inst.conflicts = q.conflicts;
+  return inst;
+}
+
+}  // namespace bisched

@@ -1,0 +1,64 @@
+// Scheduling instances for the three machine environments of the paper.
+//
+// * Identical machines (P) are uniform machines with all speeds 1.
+// * Uniform machines (Q) carry integer speeds sorted non-increasingly
+//   (s_1 >= ... >= s_m >= 1 after scaling; see DESIGN.md — integer speeds are
+//   WLOG because scaling all speeds by the common denominator scales every
+//   makespan by the same factor).
+// * Unrelated machines (R) carry an m x n matrix of processing times.
+//
+// Processing requirements p_j are positive integers for P/Q (as in the
+// paper); unrelated times are non-negative (Algorithm 3 creates legitimate
+// zero-length dummy jobs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace bisched {
+
+struct UniformInstance {
+  std::vector<std::int64_t> p;       // processing requirement per job
+  std::vector<std::int64_t> speeds;  // sorted non-increasing, all >= 1
+  Graph conflicts;                   // one vertex per job
+
+  int num_jobs() const { return static_cast<int>(p.size()); }
+  int num_machines() const { return static_cast<int>(speeds.size()); }
+  std::int64_t total_work() const;
+  std::int64_t pmax() const;
+};
+
+// Validating factory. Sorts `speeds` non-increasingly (machine identity is
+// only a naming convention in the Q model).
+UniformInstance make_uniform_instance(std::vector<std::int64_t> p,
+                                      std::vector<std::int64_t> speeds, Graph conflicts);
+
+// Identical machines: m unit-speed machines.
+UniformInstance make_identical_instance(std::vector<std::int64_t> p, int m, Graph conflicts);
+
+struct UnrelatedInstance {
+  // times[i][j] = processing time of job j on machine i; all >= 0.
+  std::vector<std::vector<std::int64_t>> times;
+  Graph conflicts;
+
+  int num_machines() const { return static_cast<int>(times.size()); }
+  int num_jobs() const {
+    return times.empty() ? conflicts.num_vertices() : static_cast<int>(times[0].size());
+  }
+};
+
+UnrelatedInstance make_unrelated_instance(std::vector<std::vector<std::int64_t>> times,
+                                          Graph conflicts);
+
+// Embeds a Q instance restricted to machines [first, last) as an R instance
+// on the same jobs (times scaled by the product of the selected speeds'
+// common multiplier so that they stay integral): time of job j on selected
+// machine i is p_j * (L / s_i) where L = lcm of the selected speeds. Every
+// makespan of the produced R instance equals L times the Q makespan on those
+// machines. Used by Algorithm 1 (S1 runs an R2 algorithm on M1, M2).
+UnrelatedInstance uniform_as_unrelated(const UniformInstance& q, int first_machine,
+                                       int last_machine, std::int64_t* scale_out = nullptr);
+
+}  // namespace bisched

@@ -1,0 +1,85 @@
+#include "sched/list_schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace bisched {
+
+void list_schedule_uniform(const UniformInstance& inst, std::span<const int> jobs,
+                           std::span<const int> machines, Schedule& s,
+                           std::vector<std::int64_t>& loads) {
+  BISCHED_CHECK(!machines.empty() || jobs.empty(), "jobs but no machines");
+  BISCHED_CHECK(static_cast<int>(s.machine_of.size()) == inst.num_jobs(),
+                "schedule not sized");
+  BISCHED_CHECK(static_cast<int>(loads.size()) == inst.num_machines(), "loads not sized");
+
+  std::vector<int> order(jobs.begin(), jobs.end());
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto pa = inst.p[static_cast<std::size_t>(a)];
+    const auto pb = inst.p[static_cast<std::size_t>(b)];
+    return pa != pb ? pa > pb : a < b;  // LPT, deterministic ties
+  });
+
+  for (int j : order) {
+    int best_machine = -1;
+    Rational best_finish = 0;
+    for (int i : machines) {
+      const Rational finish(loads[static_cast<std::size_t>(i)] + inst.p[static_cast<std::size_t>(j)],
+                            inst.speeds[static_cast<std::size_t>(i)]);
+      if (best_machine == -1 || finish < best_finish) {
+        best_machine = i;
+        best_finish = finish;
+      }
+    }
+    s.machine_of[static_cast<std::size_t>(j)] = best_machine;
+    loads[static_cast<std::size_t>(best_machine)] += inst.p[static_cast<std::size_t>(j)];
+  }
+}
+
+bool greedy_conflict_lpt(const UniformInstance& inst, Schedule& s) {
+  const int n = inst.num_jobs();
+  const int m = inst.num_machines();
+  s.machine_of.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto pa = inst.p[static_cast<std::size_t>(a)];
+    const auto pb = inst.p[static_cast<std::size_t>(b)];
+    return pa != pb ? pa > pb : a < b;
+  });
+
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(m), 0);
+  // blocked[i*n + j] = number of already-assigned neighbors of job j on
+  // machine i; machine i is feasible for j iff the count is 0.
+  std::vector<int> blocked(static_cast<std::size_t>(m) * static_cast<std::size_t>(n), 0);
+
+  for (int j : order) {
+    int best_machine = -1;
+    Rational best_finish = 0;
+    for (int i = 0; i < m; ++i) {
+      if (blocked[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                  static_cast<std::size_t>(j)] > 0) {
+        continue;
+      }
+      const Rational finish(loads[static_cast<std::size_t>(i)] + inst.p[static_cast<std::size_t>(j)],
+                            inst.speeds[static_cast<std::size_t>(i)]);
+      if (best_machine == -1 || finish < best_finish) {
+        best_machine = i;
+        best_finish = finish;
+      }
+    }
+    if (best_machine == -1) return false;  // greedy dead end
+    s.machine_of[static_cast<std::size_t>(j)] = best_machine;
+    loads[static_cast<std::size_t>(best_machine)] += inst.p[static_cast<std::size_t>(j)];
+    for (int v : inst.conflicts.neighbors(j)) {
+      ++blocked[static_cast<std::size_t>(best_machine) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(v)];
+    }
+  }
+  return true;
+}
+
+}  // namespace bisched

@@ -1,0 +1,35 @@
+// Greedy list scheduling on uniform machine groups.
+//
+// Both Algorithm 1 and Algorithm 2 of the paper reduce, after their
+// structural decisions, to "schedule this independent job set on that group
+// of machines by simple list scheduling". Jobs within a group are mutually
+// compatible by construction (they come from one color class or one
+// independent set), so only load balancing matters: each job goes to the
+// machine in the group that finishes it earliest (LPT order, exact rational
+// completion-time comparisons).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sched/instance.hpp"
+#include "sched/schedule.hpp"
+
+namespace bisched {
+
+// Assigns `jobs` (job indices) to `machines` (machine indices of `inst`),
+// writing into s.machine_of and accumulating work into `loads` (indexed by
+// machine id, size m; caller may pre-seed loads to model machines that are
+// already busy). O(|jobs| log |jobs| + |jobs| * |machines|).
+void list_schedule_uniform(const UniformInstance& inst, std::span<const int> jobs,
+                           std::span<const int> machines, Schedule& s,
+                           std::vector<std::int64_t>& loads);
+
+// Convenience: conflict-aware LPT over the whole instance — each job (LPT
+// order) goes to the earliest-finishing machine *whose current job set stays
+// independent*. This is the natural greedy baseline for the benches; it can
+// fail on adversarial instances (returns false) when some job has no
+// conflict-free machine left, whereas the paper's algorithms cannot.
+bool greedy_conflict_lpt(const UniformInstance& inst, Schedule& s);
+
+}  // namespace bisched

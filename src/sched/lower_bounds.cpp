@@ -1,0 +1,41 @@
+#include "sched/lower_bounds.hpp"
+
+#include "graph/bipartite.hpp"
+#include "graph/independent_set.hpp"
+#include "sched/capacity.hpp"
+#include "util/check.hpp"
+
+namespace bisched {
+
+Rational lb_cover_all(const UniformInstance& inst) {
+  const auto t = min_cover_time(inst.speeds, inst.total_work());
+  BISCHED_CHECK(t.has_value(), "instance has machines");
+  return *t;
+}
+
+Rational lb_pmax(const UniformInstance& inst) {
+  return Rational(inst.pmax(), inst.speeds[0]);
+}
+
+std::optional<Rational> lb_off_machine1(const UniformInstance& inst) {
+  if (inst.num_machines() < 2) return std::nullopt;
+  const auto bp = bipartition(inst.conflicts);
+  if (!bp.has_value()) return std::nullopt;
+  const auto mis = max_weight_independent_set(inst.conflicts, *bp, inst.p);
+  const std::int64_t rest = inst.total_work() - mis.weight;
+  const std::span<const std::int64_t> tail(inst.speeds.data() + 1,
+                                           inst.speeds.size() - 1);
+  const auto t = min_cover_time(tail, rest);
+  BISCHED_CHECK(t.has_value(), "tail machine group nonempty");
+  return *t;
+}
+
+Rational lower_bound(const UniformInstance& inst) {
+  Rational best = rat_max(lb_cover_all(inst), lb_pmax(inst));
+  if (const auto off1 = lb_off_machine1(inst); off1.has_value()) {
+    best = rat_max(best, *off1);
+  }
+  return best;
+}
+
+}  // namespace bisched

@@ -1,0 +1,31 @@
+// Certified lower bounds on the optimal makespan C*_max.
+//
+// Every experiment reports algorithm makespans as ratios against the best of
+// these bounds, so the printed ratios are upper bounds on the true
+// approximation ratio achieved. For uniform machines:
+//   * cover-all: least T at which all machines' floored capacities cover the
+//     total work (the paper's first C** condition);
+//   * pmax: the largest job cannot finish before pmax / s_1;
+//   * off-M1: every schedule keeps machine M1's jobs independent, so work of
+//     total weight >= sum(p) - maxweight-IS(G) must run on M2..Mm (this is
+//     where König / matching enters for bipartite G; cf. Theorem 19's proof).
+#pragma once
+
+#include <optional>
+
+#include "sched/instance.hpp"
+#include "util/rational.hpp"
+
+namespace bisched {
+
+Rational lb_cover_all(const UniformInstance& inst);
+Rational lb_pmax(const UniformInstance& inst);
+
+// nullopt when the bound does not apply (m == 1, or G not bipartite —
+// computing a max-weight IS would be NP-hard in general).
+std::optional<Rational> lb_off_machine1(const UniformInstance& inst);
+
+// Best available bound (maximum of the above).
+Rational lower_bound(const UniformInstance& inst);
+
+}  // namespace bisched

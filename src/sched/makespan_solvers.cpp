@@ -1,0 +1,392 @@
+#include "sched/makespan_solvers.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace bisched {
+
+namespace {
+
+using i64 = std::int64_t;
+constexpr i64 kInf = std::numeric_limits<i64>::max() / 4;
+
+// Row-major bit matrix recording, for each (job, machine-1-load) DP state,
+// whether the winning transition placed the job on machine 1.
+class ChoiceBits {
+ public:
+  ChoiceBits(std::size_t rows, std::size_t cols)
+      : words_((cols + 63) / 64), data_(rows * words_, 0) {}
+
+  void set(std::size_t r, std::size_t c, bool bit) {
+    auto& word = data_[r * words_ + c / 64];
+    const std::uint64_t mask = 1ULL << (c % 64);
+    word = bit ? (word | mask) : (word & ~mask);
+  }
+  bool get(std::size_t r, std::size_t c) const {
+    return (data_[r * words_ + c / 64] >> (c % 64)) & 1ULL;
+  }
+
+ private:
+  std::size_t words_;
+  std::vector<std::uint64_t> data_;
+};
+
+R2Result finalize(std::span<const R2Job> jobs, std::vector<std::uint8_t> on_m2) {
+  R2Result r;
+  r.on_machine2 = std::move(on_m2);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (r.on_machine2[j]) {
+      r.load2 += jobs[j].p2;
+    } else {
+      r.load1 += jobs[j].p1;
+    }
+  }
+  r.cmax = std::max(r.load1, r.load2);
+  return r;
+}
+
+// DP feasibility oracle: is there an assignment with load1 <= budget and
+// load2 <= budget (in the given scaled units)? f_j[l1] = min achievable
+// load2 over the first j jobs with load1 == l1. On success reconstructs the
+// assignment from the recorded argmin transitions. O(n * budget) time,
+// n * budget bits + O(budget) words of memory.
+bool scaled_feasible(std::span<const i64> s1, std::span<const i64> s2, i64 budget,
+                     std::vector<std::uint8_t>& on_m2) {
+  BISCHED_CHECK(budget >= 0, "negative DP budget");
+  const std::size_t n = s1.size();
+  const auto width = static_cast<std::size_t>(budget) + 1;
+  BISCHED_CHECK(static_cast<double>(n) * static_cast<double>(width) <= 2e9,
+                "R2 DP table too large; reduce instance or raise eps");
+
+  std::vector<i64> cur(width, kInf);
+  std::vector<i64> next(width);
+  cur[0] = 0;
+  ChoiceBits choice(n, width);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    std::fill(next.begin(), next.end(), kInf);
+    for (std::size_t l1 = 0; l1 < width; ++l1) {
+      if (cur[l1] == kInf) continue;
+      // Place job j on machine 2: load1 unchanged.
+      const i64 via_m2 = cur[l1] + s2[j];
+      if (via_m2 < next[l1]) {
+        next[l1] = via_m2;
+        choice.set(j, l1, false);
+      }
+      // Place job j on machine 1.
+      const std::size_t nl1 = l1 + static_cast<std::size_t>(s1[j]);
+      if (nl1 < width && cur[l1] < next[nl1]) {
+        next[nl1] = cur[l1];
+        choice.set(j, nl1, true);
+      }
+    }
+    cur.swap(next);
+  }
+
+  std::size_t l1 = width;
+  for (std::size_t cand = 0; cand < width; ++cand) {
+    if (cur[cand] <= budget) {
+      l1 = cand;
+      break;
+    }
+  }
+  if (l1 == width) return false;
+
+  on_m2.assign(n, 0);
+  for (std::size_t j = n; j-- > 0;) {
+    if (choice.get(j, l1)) {
+      on_m2[j] = 0;
+      BISCHED_CHECK(l1 >= static_cast<std::size_t>(s1[j]), "DP reconstruction failed");
+      l1 -= static_cast<std::size_t>(s1[j]);
+    } else {
+      on_m2[j] = 1;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+R2Result r2_greedy(std::span<const R2Job> jobs) {
+  std::vector<std::uint8_t> on_m2(jobs.size(), 0);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    on_m2[j] = static_cast<std::uint8_t>(jobs[j].p2 < jobs[j].p1);
+  }
+  return finalize(jobs, std::move(on_m2));
+}
+
+R2Result r2_exact(std::span<const R2Job> jobs) {
+  for (const auto& job : jobs) BISCHED_CHECK(job.p1 >= 0 && job.p2 >= 0, "negative time");
+  const R2Result ub = r2_greedy(jobs);
+  if (ub.cmax == 0) return ub;
+
+  std::vector<i64> s1(jobs.size()), s2(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    s1[j] = jobs[j].p1;
+    s2[j] = jobs[j].p2;
+  }
+  // Exact binary search over the makespan with the delta = 1 oracle.
+  i64 lo = 0, hi = ub.cmax;
+  std::vector<std::uint8_t> best_assignment = ub.on_machine2;
+  while (lo < hi) {
+    const i64 mid = lo + (hi - lo) / 2;
+    std::vector<std::uint8_t> on_m2;
+    if (scaled_feasible(s1, s2, mid, on_m2)) {
+      hi = mid;
+      best_assignment = std::move(on_m2);
+    } else {
+      lo = mid + 1;
+    }
+  }
+  R2Result r = finalize(jobs, std::move(best_assignment));
+  BISCHED_CHECK(r.cmax == lo, "exact DP produced inconsistent optimum");
+  return r;
+}
+
+R2Result r2_fptas(std::span<const R2Job> jobs, double eps) {
+  BISCHED_CHECK(eps > 0, "eps must be positive");
+  for (const auto& job : jobs) BISCHED_CHECK(job.p1 >= 0 && job.p2 >= 0, "negative time");
+  const R2Result greedy = r2_greedy(jobs);
+  if (greedy.cmax == 0 || jobs.empty()) return greedy;
+
+  const auto n = static_cast<i64>(jobs.size());
+  // Lower bounds on OPT: the largest unavoidable job; half the unavoidable
+  // total (two machines cannot both dodge sum_j min(p1, p2)).
+  i64 lb = 1;
+  i64 sum_min = 0;
+  for (const auto& job : jobs) {
+    lb = std::max(lb, std::min(job.p1, job.p2));
+    sum_min += std::min(job.p1, job.p2);
+  }
+  lb = std::max(lb, (sum_min + 1) / 2);
+
+  // feasible(T) is true for every T >= OPT: scaling by delta only shrinks
+  // loads (floor), so OPT's assignment fits the scaled budget floor(T/delta).
+  // On acceptance the realized loads are <= T + n*delta <= (1+eps)T.
+  auto feasible = [&](i64 t, std::vector<std::uint8_t>* out) {
+    const i64 delta = std::max<i64>(
+        1, static_cast<i64>(eps * static_cast<double>(t) / static_cast<double>(n)));
+    const i64 budget = t / delta;
+    std::vector<i64> s1(jobs.size()), s2(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      s1[j] = jobs[j].p1 / delta;
+      s2[j] = jobs[j].p2 / delta;
+    }
+    std::vector<std::uint8_t> on_m2;
+    if (!scaled_feasible(s1, s2, budget, on_m2)) return false;
+    if (out != nullptr) *out = std::move(on_m2);
+    return true;
+  };
+
+  // Invariant: lo <= OPT (every rejected mid has OPT > mid); hence the final
+  // accepted budget is <= OPT and the realized makespan <= (1+eps) OPT.
+  i64 lo = std::min(lb, greedy.cmax), hi = greedy.cmax;
+  while (lo < hi) {
+    const i64 mid = lo + (hi - lo) / 2;
+    if (feasible(mid, nullptr)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  std::vector<std::uint8_t> on_m2;
+  const bool ok = feasible(lo, &on_m2);
+  BISCHED_CHECK(ok, "FPTAS terminal feasibility check failed");
+  return finalize(jobs, std::move(on_m2));
+}
+
+namespace {
+
+R3Result r3_finalize(std::span<const R3Job> jobs, std::vector<std::uint8_t> machine_of) {
+  R3Result r;
+  r.machine_of = std::move(machine_of);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    switch (r.machine_of[j]) {
+      case 0:
+        r.loads[0] += jobs[j].p1;
+        break;
+      case 1:
+        r.loads[1] += jobs[j].p2;
+        break;
+      default:
+        r.loads[2] += jobs[j].p3;
+        break;
+    }
+  }
+  r.cmax = std::max({r.loads[0], r.loads[1], r.loads[2]});
+  return r;
+}
+
+}  // namespace
+
+R3Result r3_greedy(std::span<const R3Job> jobs) {
+  std::vector<std::uint8_t> machine_of(jobs.size(), 0);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const i64 best = std::min({jobs[j].p1, jobs[j].p2, jobs[j].p3});
+    machine_of[j] = jobs[j].p1 == best ? 0 : (jobs[j].p2 == best ? 1 : 2);
+  }
+  return r3_finalize(jobs, std::move(machine_of));
+}
+
+namespace {
+
+// Two-dimensional trimmed DP: f[l1][l2] = min load3 over the first j jobs
+// with scaled loads (l1, l2) on machines 1 and 2; choices recorded per state.
+bool r3_scaled_feasible(std::span<const i64> s1, std::span<const i64> s2,
+                        std::span<const i64> s3, i64 budget,
+                        std::vector<std::uint8_t>& machine_of) {
+  const std::size_t n = s1.size();
+  const auto width = static_cast<std::size_t>(budget) + 1;
+  BISCHED_CHECK(static_cast<double>(n) * static_cast<double>(width) * width <= 4e8,
+                "R3 DP table too large; raise eps or shrink the instance");
+
+  const std::size_t cells = width * width;
+  constexpr std::uint8_t kNoChoice = 255;
+  std::vector<i64> cur(cells, kInf);
+  std::vector<i64> next(cells);
+  // choice[j * cells + state] = machine chosen for job j arriving at state.
+  std::vector<std::uint8_t> choice(n * cells, kNoChoice);
+  cur[0] = 0;
+
+  for (std::size_t j = 0; j < n; ++j) {
+    std::fill(next.begin(), next.end(), kInf);
+    std::uint8_t* choice_j = choice.data() + j * cells;
+    for (std::size_t l1 = 0; l1 < width; ++l1) {
+      for (std::size_t l2 = 0; l2 < width; ++l2) {
+        const i64 l3 = cur[l1 * width + l2];
+        if (l3 == kInf) continue;
+        // Machine 3.
+        const i64 n3 = l3 + s3[j];
+        if (n3 < next[l1 * width + l2]) {
+          next[l1 * width + l2] = n3;
+          choice_j[l1 * width + l2] = 2;
+        }
+        // Machine 1.
+        const std::size_t n1 = l1 + static_cast<std::size_t>(s1[j]);
+        if (n1 < width && l3 < next[n1 * width + l2]) {
+          next[n1 * width + l2] = l3;
+          choice_j[n1 * width + l2] = 0;
+        }
+        // Machine 2.
+        const std::size_t n2 = l2 + static_cast<std::size_t>(s2[j]);
+        if (n2 < width && l3 < next[l1 * width + n2]) {
+          next[l1 * width + n2] = l3;
+          choice_j[l1 * width + n2] = 1;
+        }
+      }
+    }
+    cur.swap(next);
+  }
+
+  std::size_t best = cells;
+  for (std::size_t state = 0; state < cells; ++state) {
+    if (cur[state] <= budget) {
+      best = state;
+      break;
+    }
+  }
+  if (best == cells) return false;
+
+  machine_of.assign(n, 0);
+  std::size_t l1 = best / width;
+  std::size_t l2 = best % width;
+  for (std::size_t j = n; j-- > 0;) {
+    const std::uint8_t c = choice[j * cells + l1 * width + l2];
+    BISCHED_CHECK(c != kNoChoice, "R3 DP reconstruction hit an unreachable state");
+    machine_of[j] = c;
+    if (c == 0) {
+      l1 -= static_cast<std::size_t>(s1[j]);
+    } else if (c == 1) {
+      l2 -= static_cast<std::size_t>(s2[j]);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+R3Result r3_fptas(std::span<const R3Job> jobs, double eps) {
+  BISCHED_CHECK(eps > 0, "eps must be positive");
+  for (const auto& job : jobs) {
+    BISCHED_CHECK(job.p1 >= 0 && job.p2 >= 0 && job.p3 >= 0, "negative time");
+  }
+  const R3Result greedy = r3_greedy(jobs);
+  if (greedy.cmax == 0 || jobs.empty()) return greedy;
+
+  const auto n = static_cast<i64>(jobs.size());
+  i64 lb = 1;
+  i64 sum_min = 0;
+  for (const auto& job : jobs) {
+    const i64 mn = std::min({job.p1, job.p2, job.p3});
+    lb = std::max(lb, mn);
+    sum_min += mn;
+  }
+  lb = std::max(lb, (sum_min + 2) / 3);
+
+  auto feasible = [&](i64 t, std::vector<std::uint8_t>* out) {
+    const i64 delta = std::max<i64>(
+        1, static_cast<i64>(eps * static_cast<double>(t) / static_cast<double>(n)));
+    const i64 budget = t / delta;
+    std::vector<i64> s1(jobs.size()), s2(jobs.size()), s3(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      s1[j] = jobs[j].p1 / delta;
+      s2[j] = jobs[j].p2 / delta;
+      s3[j] = jobs[j].p3 / delta;
+    }
+    std::vector<std::uint8_t> machine_of;
+    if (!r3_scaled_feasible(s1, s2, s3, budget, machine_of)) return false;
+    if (out != nullptr) *out = std::move(machine_of);
+    return true;
+  };
+
+  i64 lo = std::min(lb, greedy.cmax), hi = greedy.cmax;
+  while (lo < hi) {
+    const i64 mid = lo + (hi - lo) / 2;
+    if (feasible(mid, nullptr)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  std::vector<std::uint8_t> machine_of;
+  const bool ok = feasible(lo, &machine_of);
+  BISCHED_CHECK(ok, "R3 FPTAS terminal feasibility check failed");
+  return r3_finalize(jobs, std::move(machine_of));
+}
+
+std::int64_t rm_bruteforce_makespan(const std::vector<std::vector<std::int64_t>>& times,
+                                    std::vector<int>* assignment) {
+  BISCHED_CHECK(!times.empty(), "need at least one machine");
+  const int m = static_cast<int>(times.size());
+  const int n = static_cast<int>(times[0].size());
+  BISCHED_CHECK(n <= 16, "brute force limited to n <= 16 jobs");
+
+  std::vector<i64> loads(static_cast<std::size_t>(m), 0);
+  std::vector<int> current(static_cast<std::size_t>(n), -1);
+  std::vector<int> best_assignment;
+  i64 best = kInf;
+
+  auto dfs = [&](auto&& self, int j, i64 cmax_so_far) -> void {
+    if (cmax_so_far >= best) return;
+    if (j == n) {
+      best = cmax_so_far;
+      best_assignment = current;
+      return;
+    }
+    for (int i = 0; i < m; ++i) {
+      const i64 t = times[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      loads[static_cast<std::size_t>(i)] += t;
+      current[static_cast<std::size_t>(j)] = i;
+      self(self, j + 1, std::max(cmax_so_far, loads[static_cast<std::size_t>(i)]));
+      loads[static_cast<std::size_t>(i)] -= t;
+    }
+    current[static_cast<std::size_t>(j)] = -1;
+  };
+  dfs(dfs, 0, 0);
+  if (assignment != nullptr) *assignment = best_assignment;
+  return best;
+}
+
+}  // namespace bisched

@@ -1,0 +1,92 @@
+#include "sched/schedule.hpp"
+
+#include "util/check.hpp"
+
+namespace bisched {
+
+std::string to_string(ScheduleStatus status) {
+  switch (status) {
+    case ScheduleStatus::kValid:
+      return "valid";
+    case ScheduleStatus::kWrongJobCount:
+      return "wrong job count";
+    case ScheduleStatus::kMachineOutOfRange:
+      return "machine out of range";
+    case ScheduleStatus::kConflictViolated:
+      return "conflict violated";
+  }
+  return "unknown";
+}
+
+namespace {
+
+ScheduleStatus validate_assignment(const Graph& conflicts, int num_jobs, int num_machines,
+                                   const Schedule& s) {
+  if (static_cast<int>(s.machine_of.size()) != num_jobs) {
+    return ScheduleStatus::kWrongJobCount;
+  }
+  for (int m : s.machine_of) {
+    if (m < 0 || m >= num_machines) return ScheduleStatus::kMachineOutOfRange;
+  }
+  // Jobs sharing a machine must be pairwise non-adjacent.
+  for (int u = 0; u < num_jobs; ++u) {
+    for (int v : conflicts.neighbors(u)) {
+      if (v > u && s.machine_of[static_cast<std::size_t>(u)] ==
+                       s.machine_of[static_cast<std::size_t>(v)]) {
+        return ScheduleStatus::kConflictViolated;
+      }
+    }
+  }
+  return ScheduleStatus::kValid;
+}
+
+}  // namespace
+
+ScheduleStatus validate(const UniformInstance& inst, const Schedule& s) {
+  return validate_assignment(inst.conflicts, inst.num_jobs(), inst.num_machines(), s);
+}
+
+ScheduleStatus validate(const UnrelatedInstance& inst, const Schedule& s) {
+  return validate_assignment(inst.conflicts, inst.num_jobs(), inst.num_machines(), s);
+}
+
+std::vector<std::int64_t> machine_loads(const UniformInstance& inst, const Schedule& s) {
+  BISCHED_CHECK(validate(inst, s) != ScheduleStatus::kWrongJobCount, "schedule size mismatch");
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(inst.num_machines()), 0);
+  for (int j = 0; j < inst.num_jobs(); ++j) {
+    loads[static_cast<std::size_t>(s.machine_of[static_cast<std::size_t>(j)])] +=
+        inst.p[static_cast<std::size_t>(j)];
+  }
+  return loads;
+}
+
+std::vector<std::int64_t> machine_loads(const UnrelatedInstance& inst, const Schedule& s) {
+  BISCHED_CHECK(static_cast<int>(s.machine_of.size()) == inst.num_jobs(),
+                "schedule size mismatch");
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(inst.num_machines()), 0);
+  for (int j = 0; j < inst.num_jobs(); ++j) {
+    const int i = s.machine_of[static_cast<std::size_t>(j)];
+    loads[static_cast<std::size_t>(i)] += inst.times[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  }
+  return loads;
+}
+
+Rational makespan(const UniformInstance& inst, const Schedule& s) {
+  const auto loads = machine_loads(inst, s);
+  Rational best = 0;
+  for (int i = 0; i < inst.num_machines(); ++i) {
+    const Rational finish(loads[static_cast<std::size_t>(i)],
+                          inst.speeds[static_cast<std::size_t>(i)]);
+    best = rat_max(best, finish);
+  }
+  return best;
+}
+
+std::int64_t makespan(const UnrelatedInstance& inst, const Schedule& s) {
+  const auto loads = machine_loads(inst, s);
+  std::int64_t best = 0;
+  for (std::int64_t l : loads) best = std::max(best, l);
+  return best;
+}
+
+}  // namespace bisched

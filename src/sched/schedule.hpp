@@ -1,0 +1,45 @@
+// Schedules, validation, and exact makespan evaluation.
+//
+// A schedule is a total assignment of jobs to machines; per the model, the
+// jobs on every machine must form an independent set of the incompatibility
+// graph. Validation is part of the public contract: every algorithm in
+// src/core returns schedules that pass `validate`, and the test suite
+// enforces it on every emitted schedule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/instance.hpp"
+#include "util/rational.hpp"
+
+namespace bisched {
+
+struct Schedule {
+  // machine_of[j] in [0, m).
+  std::vector<int> machine_of;
+};
+
+enum class ScheduleStatus {
+  kValid,
+  kWrongJobCount,
+  kMachineOutOfRange,
+  kConflictViolated,
+};
+
+std::string to_string(ScheduleStatus status);
+
+ScheduleStatus validate(const UniformInstance& inst, const Schedule& s);
+ScheduleStatus validate(const UnrelatedInstance& inst, const Schedule& s);
+
+// Total processing requirement per machine (Q model: work, not time).
+std::vector<std::int64_t> machine_loads(const UniformInstance& inst, const Schedule& s);
+// Total processing time per machine (R model).
+std::vector<std::int64_t> machine_loads(const UnrelatedInstance& inst, const Schedule& s);
+
+// Exact makespan. For uniform machines this is max_i load_i / s_i as a
+// rational; for unrelated machines an integer.
+Rational makespan(const UniformInstance& inst, const Schedule& s);
+std::int64_t makespan(const UnrelatedInstance& inst, const Schedule& s);
+
+}  // namespace bisched

@@ -1,0 +1,40 @@
+// Contract-checking macros used across the library.
+//
+// BISCHED_CHECK fires in every build type: the algorithms in this library are
+// exact combinatorial procedures whose invariants must hold regardless of
+// optimization level, and the cost of the checks is negligible next to the
+// graph/DP work. A failed check prints the location and message and aborts.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace bisched::detail {
+
+[[noreturn]] inline void check_fail(const char* file, int line, const char* expr,
+                                    const std::string& msg) {
+  std::fprintf(stderr, "bisched check failed at %s:%d: (%s) %s\n", file, line, expr,
+               msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace bisched::detail
+
+#define BISCHED_CHECK(cond, msg)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::bisched::detail::check_fail(__FILE__, __LINE__, #cond, (msg));     \
+    }                                                                      \
+  } while (0)
+
+// Checks that are only about internal bookkeeping (cheap but redundant) can be
+// compiled out with -DBISCHED_NO_SLOW_CHECKS for benchmarking the substrate.
+#ifdef BISCHED_NO_SLOW_CHECKS
+#define BISCHED_DCHECK(cond, msg) \
+  do {                            \
+  } while (0)
+#else
+#define BISCHED_DCHECK(cond, msg) BISCHED_CHECK(cond, msg)
+#endif

@@ -1,0 +1,98 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+
+#include "util/prng.hpp"
+
+namespace bisched {
+
+unsigned default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  num_threads = std::max(1u, num_threads);
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  unsigned num_threads) {
+  if (count == 0) return;
+  num_threads = static_cast<unsigned>(
+      std::min<std::size_t>(std::max(1u, num_threads), count));
+  if (num_threads == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> team;
+  team.reserve(num_threads);
+  const std::size_t chunk = (count + num_threads - 1) / num_threads;
+  for (unsigned t = 0; t < num_threads; ++t) {
+    const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+    const std::size_t end = std::min(count, begin + chunk);
+    if (begin >= end) break;
+    team.emplace_back([&, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  for (auto& th : team) th.join();
+}
+
+std::vector<double> monte_carlo(std::size_t trials,
+                                const std::function<double(std::uint64_t)>& task,
+                                std::uint64_t base_seed, unsigned num_threads) {
+  std::vector<double> results(trials, 0.0);
+  parallel_for(
+      trials,
+      [&](std::size_t t) { results[t] = task(derive_seed(base_seed, t)); },
+      num_threads);
+  return results;
+}
+
+}  // namespace bisched

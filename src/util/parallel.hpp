@@ -1,0 +1,66 @@
+// Shared-memory parallel execution substrate.
+//
+// The random-graph experiments (Section 4.1 of the paper) are Monte-Carlo
+// studies over many independent G(n,n,p) realizations — embarrassingly
+// parallel. `ThreadPool` is a conventional mutex/condvar work queue;
+// `parallel_for` block-partitions an index range across a transient thread
+// team; `monte_carlo` runs `trials` deterministic tasks (per-task seeds are
+// derived from the base seed, so results are identical at any thread count).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bisched {
+
+// Number of worker threads to use by default: hardware concurrency, at least 1.
+unsigned default_thread_count();
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads = default_thread_count());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue a task. Tasks must not throw (the library is exception-free);
+  // a throwing task aborts via the terminate handler.
+  void submit(std::function<void()> task);
+
+  // Block until every submitted task has finished.
+  void wait_idle();
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  unsigned active_ = 0;
+  bool stop_ = false;
+};
+
+// Invokes fn(i) for i in [0, count) using up to `num_threads` threads.
+// Static block partition; fn must be safe to call concurrently for distinct i.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  unsigned num_threads = default_thread_count());
+
+// Runs `trials` independent tasks; task t receives derive_seed(base_seed, t)
+// and writes its result into slot t of the returned vector. Deterministic in
+// (base_seed, trials) regardless of thread count.
+std::vector<double> monte_carlo(std::size_t trials,
+                                const std::function<double(std::uint64_t seed)>& task,
+                                std::uint64_t base_seed,
+                                unsigned num_threads = default_thread_count());
+
+}  // namespace bisched

@@ -1,0 +1,136 @@
+#include "util/rational.hpp"
+
+#include <cstdlib>
+#include <ostream>
+
+namespace bisched {
+
+namespace {
+
+using i64 = std::int64_t;
+using i128 = __int128;
+
+i64 checked_narrow(i128 v, const char* what) {
+  BISCHED_CHECK(v >= static_cast<i128>(INT64_MIN) && v <= static_cast<i128>(INT64_MAX),
+                std::string("rational overflow in ") + what);
+  return static_cast<i64>(v);
+}
+
+i128 gcd128(i128 a, i128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    i128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+Rational::Rational(i64 num, i64 den) : num_(num), den_(den) {
+  BISCHED_CHECK(den != 0, "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    BISCHED_CHECK(den_ != INT64_MIN && num_ != INT64_MIN, "rational overflow in negate");
+    den_ = -den_;
+    num_ = -num_;
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  const i64 g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  num_ /= g;
+  den_ /= g;
+}
+
+std::int64_t Rational::floor() const {
+  if (num_ >= 0) return num_ / den_;
+  return -(((-num_) + den_ - 1) / den_);
+}
+
+std::int64_t Rational::ceil() const {
+  if (num_ >= 0) return (num_ + den_ - 1) / den_;
+  return -((-num_) / den_);
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator-() const {
+  Rational r = *this;
+  BISCHED_CHECK(r.num_ != INT64_MIN, "rational overflow in unary minus");
+  r.num_ = -r.num_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& o) {
+  const i128 n = static_cast<i128>(num_) * o.den_ + static_cast<i128>(o.num_) * den_;
+  const i128 d = static_cast<i128>(den_) * o.den_;
+  const i128 g = n == 0 ? d : gcd128(n, d);
+  num_ = checked_narrow(n / g, "operator+=");
+  den_ = checked_narrow(d / g, "operator+=");
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& o) {
+  const i128 n = static_cast<i128>(num_) * o.den_ - static_cast<i128>(o.num_) * den_;
+  const i128 d = static_cast<i128>(den_) * o.den_;
+  const i128 g = n == 0 ? d : gcd128(n, d);
+  num_ = checked_narrow(n / g, "operator-=");
+  den_ = checked_narrow(d / g, "operator-=");
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& o) {
+  const i128 n = static_cast<i128>(num_) * o.num_;
+  const i128 d = static_cast<i128>(den_) * o.den_;
+  const i128 g = n == 0 ? d : gcd128(n, d);
+  num_ = checked_narrow(n / g, "operator*=");
+  den_ = checked_narrow(d / g, "operator*=");
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& o) {
+  BISCHED_CHECK(o.num_ != 0, "rational division by zero");
+  const i128 n = static_cast<i128>(num_) * o.den_;
+  const i128 d = static_cast<i128>(den_) * o.num_;
+  i128 nn = n, dd = d;
+  if (dd < 0) {
+    nn = -nn;
+    dd = -dd;
+  }
+  const i128 g = nn == 0 ? dd : gcd128(nn, dd);
+  num_ = checked_narrow(nn / g, "operator/=");
+  den_ = checked_narrow(dd / g, "operator/=");
+  return *this;
+}
+
+bool operator<(const Rational& a, const Rational& b) {
+  return static_cast<i128>(a.num_) * b.den_ < static_cast<i128>(b.num_) * a.den_;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) { return os << r.to_string(); }
+
+std::int64_t floor_mul(std::int64_t factor, const Rational& r) {
+  const i128 prod = static_cast<i128>(factor) * r.num();
+  const i128 den = r.den();
+  i128 q = prod / den;
+  if (prod % den != 0 && ((prod < 0) != (den < 0))) --q;
+  return checked_narrow(q, "floor_mul");
+}
+
+Rational next_capacity_time(std::int64_t factor, const Rational& r) {
+  BISCHED_CHECK(factor > 0, "next_capacity_time requires positive speed");
+  const i64 cap = floor_mul(factor, r);
+  return Rational(cap + 1, factor);
+}
+
+}  // namespace bisched

@@ -1,0 +1,87 @@
+// Exact rational arithmetic on int64 numerator/denominator.
+//
+// Every feasibility and optimality decision in this library (machine
+// capacities, cover times C**, makespans on uniform machines) is taken in
+// exact arithmetic; doubles appear only when printing report tables. The
+// class keeps values normalized (gcd-reduced, denominator > 0) and performs
+// intermediate products in __int128, aborting on results that do not fit back
+// into int64 — for the instance sizes in this repository (p_j, speeds and
+// their sums well below 2^40) overflow indicates a logic error, not a data
+// regime we need to support.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <numeric>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace bisched {
+
+class Rational {
+ public:
+  constexpr Rational() : num_(0), den_(1) {}
+  // Intentionally implicit: integers embed exactly into the rationals and the
+  // scheduling code freely mixes `Rational` times with integer loads.
+  constexpr Rational(std::int64_t value) : num_(value), den_(1) {}  // NOLINT
+  Rational(std::int64_t num, std::int64_t den);
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  bool is_zero() const { return num_ == 0; }
+  bool is_integer() const { return den_ == 1; }
+
+  // floor(num/den) as an integer (works for negative values too).
+  std::int64_t floor() const;
+  // ceil(num/den).
+  std::int64_t ceil() const;
+
+  double to_double() const { return static_cast<double>(num_) / static_cast<double>(den_); }
+  std::string to_string() const;
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& o);
+  Rational& operator-=(const Rational& o);
+  Rational& operator*=(const Rational& o);
+  Rational& operator/=(const Rational& o);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;  // both normalized
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) { return !(a == b); }
+  friend bool operator<(const Rational& a, const Rational& b);
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator<=(const Rational& a, const Rational& b) { return !(b < a); }
+  friend bool operator>=(const Rational& a, const Rational& b) { return !(a < b); }
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+ private:
+  void normalize();
+
+  std::int64_t num_;
+  std::int64_t den_;  // > 0
+};
+
+// floor(factor * r) computed exactly in __int128. This is the machine-capacity
+// primitive of the paper: capacity of a speed-s machine in time T is
+// floor(s * T).
+std::int64_t floor_mul(std::int64_t factor, const Rational& r);
+
+// Smallest Rational t >= r such that factor * t is an integer >= 1 more than
+// floor(factor * r); i.e. the next time at which a speed-`factor` machine's
+// rounded-down capacity increases. Used by the cover-time heap sweep.
+Rational next_capacity_time(std::int64_t factor, const Rational& r);
+
+// max / min helpers (std::max works too, these read better at call sites).
+inline const Rational& rat_max(const Rational& a, const Rational& b) { return a < b ? b : a; }
+inline const Rational& rat_min(const Rational& a, const Rational& b) { return b < a ? b : a; }
+
+}  // namespace bisched

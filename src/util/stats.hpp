@@ -1,0 +1,53 @@
+// Streaming and batch descriptive statistics for the experiment harness.
+//
+// `Welford` is the numerically stable one-pass mean/variance accumulator; the
+// Monte-Carlo drivers in bench/ feed it per-trial ratios. `summarize` and
+// `percentile` operate on collected samples when order statistics are needed.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bisched {
+
+class Welford {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  // Merge another accumulator (parallel reduction), Chan et al. formula.
+  void merge(const Welford& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+Summary summarize(std::span<const double> samples);
+
+// q in [0,1]; linear interpolation between order statistics.
+double percentile(std::vector<double> samples, double q);
+
+}  // namespace bisched

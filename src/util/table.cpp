@@ -1,0 +1,93 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace bisched {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    BISCHED_CHECK(row.size() == header_.size(), "table row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << cell;
+      os << std::string(widths[i] - cell.size(), ' ');
+      os << (i + 1 < widths.size() ? " | " : " |\n");
+    }
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    print_row(header_);
+    os << "|";
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << "|";
+    os << "\n";
+  }
+  for (const auto& r : rows_) print_row(r);
+  os.flush();
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << quote(row[i]);
+      if (i + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) print_row(header_);
+  for (const auto& r : rows_) print_row(r);
+  os.flush();
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_ratio(double v) { return fmt_double(v, 4); }
+
+std::string fmt_count(long long v) { return std::to_string(v); }
+
+std::string fmt_sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2e", v);
+  return buf;
+}
+
+std::string fmt_bool(bool v) { return v ? "yes" : "no"; }
+
+}  // namespace bisched

@@ -1,0 +1,40 @@
+// Plain-text report tables for the benchmark harness.
+//
+// Every experiment binary in bench/ prints its results as one or more of
+// these tables (the repository's stand-in for the paper's tables/figures) and
+// can additionally dump CSV for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bisched {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "");
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  std::size_t rows() const { return rows_.size(); }
+
+  // Renders with column alignment and a rule under the header.
+  void print(std::ostream& os) const;
+  // RFC-4180-ish CSV (fields with commas/quotes get quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers for table cells.
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_ratio(double v);          // 4 significant decimals, e.g. "1.0312"
+std::string fmt_count(long long v);       // plain integer
+std::string fmt_sci(double v);            // compact scientific, e.g. "3.2e-04"
+std::string fmt_bool(bool v);             // "yes"/"no"
+
+}  // namespace bisched

@@ -1,0 +1,98 @@
+#include "core/alg_random_balanced.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_bb.hpp"
+#include "random/generators.hpp"
+#include "random/gilbert.hpp"
+#include "sched/lower_bounds.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+UniformInstance gilbert_instance(int n, double p, std::vector<std::int64_t> speeds, Rng& rng) {
+  Graph g = gilbert_bipartite(n, p, rng);
+  return make_uniform_instance(unit_weights(2 * n), std::move(speeds), std::move(g));
+}
+
+TEST(Alg2Balanced, ValidAcrossRegimes) {
+  Rng rng(1);
+  for (double p : {0.0, 0.002, 0.05, 0.5}) {
+    const auto inst = gilbert_instance(40, p, {9, 3, 1, 1}, rng);
+    const auto r = alg2_balanced(inst);
+    EXPECT_EQ(validate(inst, r.schedule), ScheduleStatus::kValid) << "p=" << p;
+    EXPECT_EQ(makespan(inst, r.schedule), r.cmax);
+    EXPECT_TRUE(lower_bound(inst) <= r.cmax);
+  }
+}
+
+TEST(Alg2Balanced, CountsIsolatedJobs) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  const auto inst = make_uniform_instance({1, 1, 1, 1, 1}, {2, 1}, std::move(g));
+  const auto r = alg2_balanced(inst);
+  EXPECT_EQ(r.isolated_jobs, 3);
+  EXPECT_EQ(validate(inst, r.schedule), ScheduleStatus::kValid);
+}
+
+TEST(Alg2Balanced, EqualsAlg2WhenNoIsolatedVertices) {
+  // Crown graphs have no isolated vertices: 2B must coincide with Algorithm 2
+  // in makespan (the constrained placement is identical and nothing remains
+  // to balance).
+  Rng rng(2);
+  const auto inst = make_uniform_instance(unit_weights(12), {5, 2, 1}, crown(6));
+  const auto a = alg2_random_bipartite(inst);
+  const auto b = alg2_balanced(inst);
+  EXPECT_EQ(b.isolated_jobs, 0);
+  EXPECT_EQ(a.cmax, b.cmax);
+}
+
+// The Section-6 claim: in the sparse regime (p = o(1/n), almost everything
+// isolated), balancing the isolated jobs across all machines beats pushing
+// the whole heavy class to M1 + tail.
+TEST(Alg2Balanced, BeatsAlg2InSparseRegime) {
+  Rng rng(3);
+  int wins = 0, ties = 0, losses = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 60;
+    const auto inst = gilbert_instance(n, p_below_critical(n), {7, 5, 3, 2, 1}, rng);
+    const auto a = alg2_random_bipartite(inst);
+    const auto b = alg2_balanced(inst);
+    if (b.cmax < a.cmax) {
+      ++wins;
+    } else if (b.cmax == a.cmax) {
+      ++ties;
+    } else {
+      ++losses;
+    }
+  }
+  EXPECT_GT(wins + ties, losses) << "wins=" << wins << " ties=" << ties;
+  EXPECT_GT(wins, 0);
+}
+
+TEST(Alg2Balanced, NearOptimalOnFullyIsolatedGraphs) {
+  // Edgeless graph: 2B is plain LPT on all machines; compare to exact.
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto inst = make_uniform_instance(uniform_weights(10, 1, 9, rng),
+                                            {rng.uniform_int(1, 4), rng.uniform_int(1, 4),
+                                             rng.uniform_int(1, 4)},
+                                            Graph(10));
+    const auto b = alg2_balanced(inst);
+    const auto exact = exact_uniform_bb(inst);
+    ASSERT_TRUE(exact.feasible);
+    // LPT on uniform machines is well within 2x optimal.
+    EXPECT_TRUE(b.cmax <= exact.cmax * Rational(2));
+  }
+}
+
+TEST(Alg2Balanced, SingleMachineEdgeless) {
+  const auto inst = make_uniform_instance({3, 2, 1}, {2}, Graph(3));
+  const auto r = alg2_balanced(inst);
+  EXPECT_EQ(r.cmax, Rational(3));
+  EXPECT_EQ(r.isolated_jobs, 3);
+}
+
+}  // namespace
+}  // namespace bisched

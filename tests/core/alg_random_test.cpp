@@ -1,0 +1,96 @@
+#include "core/alg_random.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_bb.hpp"
+#include "random/generators.hpp"
+#include "random/gilbert.hpp"
+#include "sched/lower_bounds.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+UniformInstance gilbert_instance(int n, double p, std::vector<std::int64_t> speeds, Rng& rng) {
+  Graph g = gilbert_bipartite(n, p, rng);
+  return make_uniform_instance(unit_weights(2 * n), std::move(speeds), std::move(g));
+}
+
+TEST(Alg2, ValidOnGilbertAcrossRegimes) {
+  Rng rng(11);
+  for (double p : {0.0, 0.05, 0.3, 1.0}) {
+    const auto inst = gilbert_instance(20, p, {5, 2, 1, 1}, rng);
+    const auto r = alg2_random_bipartite(inst);
+    EXPECT_EQ(validate(inst, r.schedule), ScheduleStatus::kValid) << "p=" << p;
+    EXPECT_EQ(makespan(inst, r.schedule), r.cmax);
+    EXPECT_TRUE(lower_bound(inst) <= r.cmax);
+    EXPECT_GE(r.k, 2);
+    EXPECT_LE(r.k, 4);
+  }
+}
+
+TEST(Alg2, SingleMachineEdgeless) {
+  const auto inst = make_uniform_instance({1, 1, 1}, {2}, Graph(3));
+  const auto r = alg2_random_bipartite(inst);
+  EXPECT_EQ(r.cmax, Rational(3, 2));
+  EXPECT_EQ(r.k, 1);
+}
+
+TEST(Alg2, TwoMachinesSplitsClasses) {
+  const auto inst = make_uniform_instance(unit_weights(8), {1, 1}, complete_bipartite(4, 4));
+  const auto r = alg2_random_bipartite(inst);
+  EXPECT_EQ(validate(inst, r.schedule), ScheduleStatus::kValid);
+  EXPECT_EQ(r.cmax, Rational(4));  // one side per machine is forced & optimal
+}
+
+TEST(Alg2, EmptyGraphBalancesAllMachines) {
+  // No conflicts: V'_2 empty; everything on M1 + tail machines.
+  const auto inst = make_uniform_instance(unit_weights(12), {1, 1, 1}, Graph(12));
+  const auto r = alg2_random_bipartite(inst);
+  EXPECT_EQ(validate(inst, r.schedule), ScheduleStatus::kValid);
+  EXPECT_EQ(r.cmax, Rational(6));  // V'1 on M1 and M3 (k=2 reserves M2)
+}
+
+// Statistical check of Theorem 19: mean ratio to the certified lower bound
+// stays near 2 (the a.a.s. bound) for moderately large n in the a/n regime.
+TEST(Alg2, RatioStatisticallyNearTwoInCriticalRegime) {
+  Rng rng(2718);
+  double worst = 0, sum = 0;
+  const int trials = 20;
+  const int n = 60;
+  for (int t = 0; t < trials; ++t) {
+    const auto inst = gilbert_instance(n, 2.0 / n, {6, 3, 2, 1, 1, 1}, rng);
+    const auto r = alg2_random_bipartite(inst);
+    EXPECT_EQ(validate(inst, r.schedule), ScheduleStatus::kValid);
+    const double ratio = r.cmax.to_double() / lower_bound(inst).to_double();
+    worst = std::max(worst, ratio);
+    sum += ratio;
+  }
+  EXPECT_LE(sum / trials, 2.2);
+  EXPECT_LE(worst, 3.5);  // generous; a.a.s. statements allow finite-n outliers
+}
+
+TEST(Alg2, ExactlyOptimalWhenGraphIsEmptyAndMachinesEqual) {
+  const auto inst = make_uniform_instance(unit_weights(8), {1, 1, 1, 1}, Graph(8));
+  const auto r = alg2_random_bipartite(inst);
+  const auto exact = exact_uniform_bb(inst);
+  ASSERT_TRUE(exact.feasible);
+  EXPECT_TRUE(r.cmax <= exact.cmax * Rational(2));
+}
+
+TEST(Alg2, AblationInequitableNotWorseOnAverage) {
+  Rng rng(99);
+  double ineq = 0, arb = 0;
+  for (int t = 0; t < 15; ++t) {
+    const auto inst = gilbert_instance(40, 1.5 / 40, {8, 2, 1, 1}, rng);
+    ineq += alg2_random_bipartite(inst, /*use_inequitable=*/true).cmax.to_double();
+    arb += alg2_random_bipartite(inst, /*use_inequitable=*/false).cmax.to_double();
+    // Both variants must stay valid.
+    EXPECT_EQ(validate(inst, alg2_random_bipartite(inst, false).schedule),
+              ScheduleStatus::kValid);
+  }
+  EXPECT_LE(ineq, arb * 1.05);  // the heavy-side rule should not lose on average
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,83 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_bb.hpp"
+#include "random/generators.hpp"
+#include "testing_util.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(TwoColorSplit, ValidAndUsesTwoFastestMachines) {
+  Rng rng(12);
+  const auto inst = testing::random_uniform_instance(5, 5, 4, 9, 3, rng);
+  const auto r = two_color_split(inst);
+  EXPECT_EQ(validate(inst, r.schedule), ScheduleStatus::kValid);
+  for (int machine : r.schedule.machine_of) EXPECT_LE(machine, 1);
+  EXPECT_EQ(makespan(inst, r.schedule), r.cmax);
+}
+
+TEST(TwoColorSplit, HeavyClassOnFastMachine) {
+  // Star: center vs 4 leaves; heavy class (leaves, weight 4) on M1.
+  Graph g = complete_bipartite(1, 4);
+  const auto inst = make_uniform_instance(unit_weights(5), {10, 1}, std::move(g));
+  const auto r = two_color_split(inst);
+  EXPECT_EQ(r.schedule.machine_of[1], 0);
+  EXPECT_EQ(r.schedule.machine_of[0], 1);
+  EXPECT_EQ(r.cmax, Rational(1));  // max(4/10, 1/1)
+}
+
+TEST(ClassProportionalSplit, ValidAndBetterThanTwoColorOnWideMachines) {
+  Rng rng(13);
+  double split2 = 0, proportional = 0;
+  for (int t = 0; t < 20; ++t) {
+    const auto inst = testing::random_uniform_instance(8, 8, 6, 9, 2, rng);
+    const auto a = two_color_split(inst);
+    const auto b = class_proportional_split(inst);
+    EXPECT_EQ(validate(inst, b.schedule), ScheduleStatus::kValid);
+    split2 += a.cmax.to_double();
+    proportional += b.cmax.to_double();
+  }
+  // With 6 machines the proportional split must beat the 2-machine squeeze
+  // on average by a wide margin.
+  EXPECT_LT(proportional, split2);
+}
+
+TEST(ClassProportionalSplit, TwoApproxOnIdenticalMachines) {
+  // The BJW guarantee [3] is for identical machines and m >= 3.
+  Rng rng(14);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int a = 2 + static_cast<int>(rng.uniform_int(0, 3));
+    const int b = 2 + static_cast<int>(rng.uniform_int(0, 3));
+    const std::int64_t max_m = static_cast<std::int64_t>(a) * b;
+    Graph g = random_bipartite_edges(a, b, rng.uniform_int(0, max_m / 2), rng);
+    std::vector<std::int64_t> p(static_cast<std::size_t>(a + b));
+    for (auto& x : p) x = rng.uniform_int(1, 6);
+    const auto inst = make_identical_instance(std::move(p),
+                                              3 + static_cast<int>(rng.uniform_int(0, 2)),
+                                              std::move(g));
+    const auto r = class_proportional_split(inst);
+    const auto exact = exact_uniform_bb(inst);
+    ASSERT_TRUE(exact.feasible);
+    EXPECT_TRUE(r.cmax <= exact.cmax * Rational(2))
+        << "got " << r.cmax.to_string() << " vs opt " << exact.cmax.to_string();
+  }
+}
+
+TEST(ClassProportionalSplit, BothGroupsNonEmptyEvenWhenOneClassEmpty) {
+  // Edgeless graph: light class empty; machines must still split 1/1.
+  const auto inst = make_uniform_instance(unit_weights(4), {1, 1}, Graph(4));
+  const auto r = class_proportional_split(inst);
+  EXPECT_EQ(validate(inst, r.schedule), ScheduleStatus::kValid);
+}
+
+TEST(BaselinesDeath, NeedTwoMachines) {
+  const auto inst = make_uniform_instance({1}, {1}, Graph(1));
+  EXPECT_DEATH(two_color_split(inst), "two machines");
+  EXPECT_DEATH(class_proportional_split(inst), "two machines");
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,108 @@
+#include "core/complete_bipartite_exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_bb.hpp"
+#include "core/q2_unit_exact.hpp"
+#include "random/generators.hpp"
+#include "sched/capacity.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(CompleteBipartiteFeasible, BasicSplits) {
+  const std::vector<std::int64_t> speeds{3, 2};
+  // At T=2: caps (6, 4). Sides (5, 4): machine 1 -> side 1, machine 2 -> side 2.
+  std::vector<std::uint8_t> sides;
+  EXPECT_TRUE(complete_bipartite_feasible(speeds, 5, 4, Rational(2), &sides));
+  EXPECT_NE(sides[0], sides[1]);
+  // Sides (7, 4) need more than caps allow on one side.
+  EXPECT_FALSE(complete_bipartite_feasible(speeds, 7, 4, Rational(2)));
+  // Sides (6, 4) exactly fit.
+  EXPECT_TRUE(complete_bipartite_feasible(speeds, 6, 4, Rational(2)));
+}
+
+TEST(CompleteBipartiteFeasible, EmptySidesTrivial) {
+  const std::vector<std::int64_t> speeds{2};
+  EXPECT_TRUE(complete_bipartite_feasible(speeds, 0, 0, Rational(0)));
+  EXPECT_TRUE(complete_bipartite_feasible(speeds, 4, 0, Rational(2)));
+  EXPECT_FALSE(complete_bipartite_feasible(speeds, 5, 0, Rational(2)));
+}
+
+TEST(CompleteBipartiteExact, KnownOptimum) {
+  // K_{3,5} on speeds (1,1): one machine per side -> Cmax 5.
+  const std::vector<std::int64_t> equal{1, 1};
+  EXPECT_EQ(complete_bipartite_unit_exact(equal, 3, 5).cmax, Rational(5));
+  // Speeds (5,1): the 5-side on the fast machine, Cmax 3 (3 jobs at speed 1).
+  const std::vector<std::int64_t> skewed{5, 1};
+  EXPECT_EQ(complete_bipartite_unit_exact(skewed, 3, 5).cmax, Rational(3));
+  // Three machines (2,1,1), sides (4,4): fast machine + one slow per ... e.g.
+  // side1 -> {2}, side2 -> {1,1}: max(4/2, ceil split 2+2) = 2... side2 covers
+  // 4 jobs across two speed-1 machines in time 2. Optimum 2.
+  const std::vector<std::int64_t> three{2, 1, 1};
+  EXPECT_EQ(complete_bipartite_unit_exact(three, 4, 4).cmax, Rational(2));
+}
+
+TEST(CompleteBipartiteExact, MatchesBranchAndBoundOnInstances) {
+  Rng rng(7);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int a = 1 + static_cast<int>(rng.uniform_int(0, 4));
+    const int b = 1 + static_cast<int>(rng.uniform_int(0, 4));
+    const int m = 2 + static_cast<int>(rng.uniform_int(0, 2));
+    std::vector<std::int64_t> speeds(static_cast<std::size_t>(m));
+    for (auto& s : speeds) s = rng.uniform_int(1, 5);
+    const auto inst =
+        make_uniform_instance(unit_weights(a + b), speeds, complete_bipartite(a, b));
+    const auto fast = solve_complete_bipartite_instance(inst);
+    const auto bb = exact_uniform_bb(inst);
+    ASSERT_TRUE(bb.feasible);
+    EXPECT_EQ(fast.cmax, bb.cmax) << "a=" << a << " b=" << b << " m=" << m;
+    EXPECT_EQ(validate(inst, fast.schedule), ScheduleStatus::kValid);
+  }
+}
+
+TEST(CompleteBipartiteExact, AgreesWithTheorem4OnTwoMachines) {
+  Rng rng(8);
+  for (int iter = 0; iter < 20; ++iter) {
+    const int a = 1 + static_cast<int>(rng.uniform_int(0, 6));
+    const int b = 1 + static_cast<int>(rng.uniform_int(0, 6));
+    std::vector<std::int64_t> speeds{rng.uniform_int(1, 6), rng.uniform_int(1, 6)};
+    const auto inst =
+        make_uniform_instance(unit_weights(a + b), speeds, complete_bipartite(a, b));
+    const auto kab = solve_complete_bipartite_instance(inst);
+    const auto q2 = q2_unit_exact_dp(inst);
+    EXPECT_EQ(kab.cmax, q2.cmax);
+  }
+}
+
+TEST(CompleteBipartiteExact, ScalesToLargeSides) {
+  // Unary-encoding polynomiality: thousands of jobs are fine.
+  const std::vector<std::int64_t> speeds{40, 20, 10, 5, 1};
+  const auto r = complete_bipartite_unit_exact(speeds, 5000, 3000);
+  // Total capacity per unit time = 76; lower bound 8000/76 ≈ 105.3.
+  EXPECT_GE(r.cmax.to_double(), 8000.0 / 76.0 - 1e-9);
+  EXPECT_LE(r.cmax.to_double(), 2 * 8000.0 / 76.0);
+  // The split must cover both sides.
+  std::int64_t cover[2] = {0, 0};
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    cover[r.side_of_machine[i]] += machine_capacity(speeds[i], r.cmax);
+  }
+  EXPECT_GE(cover[0], 5000);
+  EXPECT_GE(cover[1], 3000);
+}
+
+TEST(CompleteBipartiteExactDeath, RejectsIncompleteGraphs) {
+  Graph sparse(4);
+  sparse.add_edge(0, 2);
+  const auto inst = make_uniform_instance(unit_weights(4), {1, 1}, std::move(sparse));
+  EXPECT_DEATH(solve_complete_bipartite_instance(inst), "not complete bipartite");
+}
+
+TEST(CompleteBipartiteExactDeath, RejectsNonUnitJobs) {
+  const auto inst = make_uniform_instance({2, 1}, {1, 1}, complete_bipartite(1, 1));
+  EXPECT_DEATH(solve_complete_bipartite_instance(inst), "unit jobs");
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,127 @@
+#include "core/exact_bb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "random/generators.hpp"
+#include "sched/makespan_solvers.hpp"
+#include "testing_util.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(ExactUniform, KnownOptimum) {
+  // Two conflicting jobs, speeds (2,1): put the bigger on the fast machine.
+  Graph g(2);
+  g.add_edge(0, 1);
+  const auto inst = make_uniform_instance({6, 2}, {2, 1}, std::move(g));
+  const auto r = exact_uniform_bb(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.cmax, Rational(3));  // 6/2 on M1, 2/1 on M2
+}
+
+TEST(ExactUniform, InfeasibleWhenColorsExceedMachines) {
+  // K_{1,1} needs 2 machines.
+  Graph g(2);
+  g.add_edge(0, 1);
+  const auto inst = make_uniform_instance({1, 1}, {5}, std::move(g));
+  const auto r = exact_uniform_bb(inst);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.aborted);
+}
+
+TEST(ExactUniform, MatchesFullEnumeration) {
+  Rng rng(55);
+  for (int iter = 0; iter < 30; ++iter) {
+    const auto inst = testing::random_uniform_instance(
+        1 + static_cast<int>(rng.uniform_int(0, 2)), 1 + static_cast<int>(rng.uniform_int(0, 2)),
+        2 + static_cast<int>(rng.uniform_int(0, 1)), 7, 3, rng);
+    const int n = inst.num_jobs();
+    const int m = inst.num_machines();
+    // Full enumeration without any pruning/symmetry, as ground truth.
+    Rational best(-1);
+    std::vector<int> assign(static_cast<std::size_t>(n), 0);
+    for (;;) {
+      Schedule s{assign};
+      if (validate(inst, s) == ScheduleStatus::kValid) {
+        const Rational cm = makespan(inst, s);
+        if (best < Rational(0) || cm < best) best = cm;
+      }
+      int pos = n - 1;
+      while (pos >= 0 && assign[static_cast<std::size_t>(pos)] == m - 1) {
+        assign[static_cast<std::size_t>(pos)] = 0;
+        --pos;
+      }
+      if (pos < 0) break;
+      ++assign[static_cast<std::size_t>(pos)];
+    }
+    const auto r = exact_uniform_bb(inst);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.cmax, best);
+  }
+}
+
+TEST(ExactUniform, NodeLimitReportsAborted) {
+  Rng rng(66);
+  const auto inst = testing::random_uniform_instance(6, 6, 4, 9, 3, rng);
+  const auto r = exact_uniform_bb(inst, /*max_nodes=*/2);
+  EXPECT_TRUE(r.aborted || r.feasible);
+  if (r.aborted) {
+    EXPECT_FALSE(r.feasible);
+  }
+}
+
+TEST(ExactUnrelated, KnownOptimum) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  const auto inst = make_unrelated_instance({{4, 9}, {7, 3}}, std::move(g));
+  const auto r = exact_unrelated_bb(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.cmax, 4);  // job0 -> M1 (4), job1 -> M2 (3)
+}
+
+TEST(ExactUnrelated, MatchesBruteForceWithoutConflicts) {
+  Rng rng(77);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 7));
+    const int m = 2 + static_cast<int>(rng.uniform_int(0, 1));
+    std::vector<std::vector<std::int64_t>> times(
+        static_cast<std::size_t>(m), std::vector<std::int64_t>(static_cast<std::size_t>(n)));
+    for (auto& row : times) {
+      for (auto& t : row) t = rng.uniform_int(0, 12);
+    }
+    const auto inst = make_unrelated_instance(times, Graph(n));
+    const auto r = exact_unrelated_bb(inst);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.cmax, rm_bruteforce_makespan(times));
+  }
+}
+
+TEST(ExactUnrelated, ConflictsRaiseOptimum) {
+  // Without the conflict, both jobs would take machine 1 (cost 1+1).
+  Graph g(2);
+  g.add_edge(0, 1);
+  const auto with_conflict =
+      make_unrelated_instance({{1, 1}, {10, 10}}, std::move(g));
+  const auto r = exact_unrelated_bb(with_conflict);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.cmax, 10);
+  const auto no_conflict = make_unrelated_instance({{1, 1}, {10, 10}}, Graph(2));
+  const auto r2 = exact_unrelated_bb(no_conflict);
+  ASSERT_TRUE(r2.feasible);
+  EXPECT_EQ(r2.cmax, 2);
+}
+
+TEST(ExactUniform, SymmetryBreakingPreservesOptimum) {
+  // Many equal machines: symmetry pruning must not lose the optimum.
+  const auto inst =
+      make_uniform_instance({4, 3, 2, 1}, {1, 1, 1, 1}, complete_bipartite(2, 2));
+  const auto r = exact_uniform_bb(inst);
+  ASSERT_TRUE(r.feasible);
+  // Sides {0,1} and {2,3}: machine sets must separate sides; best split:
+  // {4},{3},{2,1} -> 4... or {4},{3},{2},{1} -> 4.
+  EXPECT_EQ(r.cmax, Rational(4));
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,119 @@
+#include "core/r2_reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_bb.hpp"
+#include "random/generators.hpp"
+#include "testing_util.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(R2Reduction, SingleEdgeComponentCases) {
+  // Jobs 0-1 conflict. times chosen so that orientation side0->M1 dominates:
+  // p*[0][0]=1 <= p*[0][1]=5 and p*[1][1]=2 <= p*[1][0]=9.
+  Graph g(2);
+  g.add_edge(0, 1);
+  const auto inst = make_unrelated_instance({{1, 5}, {9, 2}}, std::move(g));
+  const auto red = reduce_r2_bipartite(inst);
+  ASSERT_EQ(red.components.size(), 1u);
+  EXPECT_TRUE(red.components[0].forced);
+  EXPECT_EQ(red.components[0].forced_orientation, 0);
+  EXPECT_EQ(red.base1, 1);
+  EXPECT_EQ(red.base2, 2);
+}
+
+TEST(R2Reduction, CaseCProducesDecisionJob) {
+  // p*[0][0]=4 > p*[0][1]=1 and p*[1][0]=6 > p*[1][1]=2: neither orientation
+  // dominates (extra on M1 vs extra on M2).
+  Graph g(2);
+  g.add_edge(0, 1);
+  const auto inst = make_unrelated_instance({{4, 1}, {6, 2}}, std::move(g));
+  const auto red = reduce_r2_bipartite(inst);
+  ASSERT_EQ(red.components.size(), 1u);
+  const auto& comp = red.components[0];
+  EXPECT_FALSE(comp.forced);
+  EXPECT_EQ(comp.reduced.p1, 3);  // 4 - 1
+  EXPECT_EQ(comp.reduced.p2, 4);  // 6 - 2
+  EXPECT_EQ(red.base1, 1);
+  EXPECT_EQ(red.base2, 2);
+  // Decision on M1 -> the side with larger machine-1 time (side 0) to M1.
+  EXPECT_EQ(decode_orientation(comp, false), 0);
+  EXPECT_EQ(decode_orientation(comp, true), 1);
+}
+
+TEST(R2Reduction, IsolatedVerticesAreComponents) {
+  const auto inst = make_unrelated_instance({{3, 1}, {1, 3}}, Graph(2));
+  const auto red = reduce_r2_bipartite(inst);
+  EXPECT_EQ(red.components.size(), 2u);
+}
+
+// The load identity of Theorem 21: for EVERY orientation vector, the loads of
+// the reconstructed schedule equal base + chosen extras of the reduction.
+TEST(R2Reduction, LoadIdentityOverAllOrientations) {
+  Rng rng(99);
+  for (int iter = 0; iter < 40; ++iter) {
+    const auto inst = testing::random_r2_instance(
+        1 + static_cast<int>(rng.uniform_int(0, 3)), 1 + static_cast<int>(rng.uniform_int(0, 3)),
+        9, rng);
+    const auto red = reduce_r2_bipartite(inst);
+    const auto c = red.components.size();
+    ASSERT_LE(c, 8u);
+    for (std::uint32_t mask = 0; mask < (1u << c); ++mask) {
+      std::vector<std::uint8_t> on_m2(c, 0);
+      std::int64_t extra1 = 0, extra2 = 0;
+      for (std::size_t i = 0; i < c; ++i) {
+        if (red.components[i].forced) continue;
+        on_m2[i] = (mask >> i) & 1;
+        (on_m2[i] ? extra2 : extra1) +=
+            on_m2[i] ? red.components[i].reduced.p2 : red.components[i].reduced.p1;
+      }
+      const Schedule s = reconstruct_r2_schedule(inst, red, on_m2);
+      EXPECT_EQ(validate(inst, s), ScheduleStatus::kValid);
+      const auto loads = machine_loads(inst, s);
+      EXPECT_EQ(loads[0], red.base1 + extra1);
+      EXPECT_EQ(loads[1], red.base2 + extra2);
+    }
+  }
+}
+
+// Optimizing over orientations equals the true conflict-respecting optimum.
+TEST(R2Reduction, OrientationOptimumEqualsExact) {
+  Rng rng(123);
+  for (int iter = 0; iter < 30; ++iter) {
+    const auto inst = testing::random_r2_instance(
+        2 + static_cast<int>(rng.uniform_int(0, 2)), 2 + static_cast<int>(rng.uniform_int(0, 2)),
+        7, rng);
+    const auto red = reduce_r2_bipartite(inst);
+    const auto c = red.components.size();
+    ASSERT_LE(c, 10u);
+    std::int64_t best = INT64_MAX;
+    for (std::uint32_t mask = 0; mask < (1u << c); ++mask) {
+      std::vector<std::uint8_t> on_m2(c, 0);
+      for (std::size_t i = 0; i < c; ++i) on_m2[i] = (mask >> i) & 1;
+      const Schedule s = reconstruct_r2_schedule(inst, red, on_m2);
+      best = std::min(best, makespan(inst, s));
+    }
+    const auto exact = exact_unrelated_bb(inst);
+    ASSERT_TRUE(exact.feasible);
+    EXPECT_EQ(best, exact.cmax);
+  }
+}
+
+TEST(R2ReductionDeath, RequiresTwoMachines) {
+  const auto inst = make_unrelated_instance({{1}, {1}, {1}}, Graph(1));
+  EXPECT_DEATH(reduce_r2_bipartite(inst), "two machines");
+}
+
+TEST(R2ReductionDeath, RequiresBipartite) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  const auto inst = make_unrelated_instance({{1, 1, 1}, {1, 1, 1}}, std::move(g));
+  EXPECT_DEATH(reduce_r2_bipartite(inst), "bipartite");
+}
+
+}  // namespace
+}  // namespace bisched

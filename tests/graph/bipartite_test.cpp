@@ -1,0 +1,163 @@
+#include "graph/bipartite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "random/generators.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(Bipartition, PathIsBipartite) {
+  const Graph g = path_graph(5);
+  const auto bp = bipartition(g);
+  ASSERT_TRUE(bp.has_value());
+  EXPECT_EQ(bp->num_components, 1);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(bp->side[v], v % 2);
+}
+
+TEST(Bipartition, OddCycleIsNot) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_FALSE(bipartition(g).has_value());
+}
+
+TEST(Bipartition, EvenCycleIs) {
+  EXPECT_TRUE(bipartition(even_cycle(4)).has_value());
+}
+
+TEST(Bipartition, ComponentsOfForest) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  // 4 and 5 isolated
+  const auto bp = bipartition(g);
+  ASSERT_TRUE(bp.has_value());
+  EXPECT_EQ(bp->num_components, 4);
+  EXPECT_EQ(bp->component[0], bp->component[1]);
+  EXPECT_NE(bp->component[0], bp->component[2]);
+  EXPECT_EQ(bp->component_vertices[bp->component[2]], (std::vector<int>{2, 3}));
+}
+
+TEST(ConnectedComponents, WorksOnNonBipartite) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);  // triangle
+  g.add_edge(3, 4);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.num_components, 2);
+  EXPECT_EQ(c.component_vertices[0], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(c.component_vertices[1], (std::vector<int>{3, 4}));
+}
+
+TEST(InequitableColoring, PutsHeavySideFirstPerComponent) {
+  // Component 1: star with center 0 and leaves 1..3 (leaves heavier side).
+  // Component 2: single edge 4-5 with vertex 5 heavier.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(4, 5);
+  const std::vector<std::int64_t> w{1, 1, 1, 1, 1, 10};
+  const auto tc = inequitable_two_coloring(g, w);
+  ASSERT_TRUE(tc.has_value());
+  // Leaves of the star in V'_1, center in V'_2.
+  EXPECT_EQ(tc->color[1], 0);
+  EXPECT_EQ(tc->color[2], 0);
+  EXPECT_EQ(tc->color[3], 0);
+  EXPECT_EQ(tc->color[0], 1);
+  // Heavy endpoint 5 in V'_1.
+  EXPECT_EQ(tc->color[5], 0);
+  EXPECT_EQ(tc->color[4], 1);
+  EXPECT_EQ(tc->weight[0], 13);
+  EXPECT_EQ(tc->weight[1], 2);
+  EXPECT_EQ(tc->size[0], 4);
+  EXPECT_EQ(tc->size[1], 2);
+}
+
+TEST(InequitableColoring, UnitWeightsOverloadCountsCardinality) {
+  const Graph g = complete_bipartite(2, 5);
+  const auto tc = inequitable_two_coloring(g);
+  ASSERT_TRUE(tc.has_value());
+  EXPECT_EQ(tc->size[0], 5);
+  EXPECT_EQ(tc->size[1], 2);
+}
+
+TEST(InequitableColoring, NulloptForOddCycle) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  std::vector<std::int64_t> w{1, 1, 1};
+  EXPECT_FALSE(inequitable_two_coloring(g, w).has_value());
+}
+
+// Property: the inequitable coloring is optimal among all proper 2-colorings.
+// Verified against exhaustive orientation enumeration on random forests.
+TEST(InequitableColoring, OptimalAgainstExhaustiveOrientations) {
+  Rng rng(1234);
+  for (int iter = 0; iter < 50; ++iter) {
+    const int n = 2 + static_cast<int>(rng.uniform_int(0, 10));
+    const Graph g = random_tree(n, rng);
+    std::vector<std::int64_t> w(n);
+    for (auto& x : w) x = rng.uniform_int(0, 20);
+
+    const auto tc = inequitable_two_coloring(g, w);
+    ASSERT_TRUE(tc.has_value());
+
+    const auto bp = bipartition(g);
+    ASSERT_TRUE(bp.has_value());
+    // A tree is one component: best V'_1 weight = max(side0, side1).
+    std::int64_t side_weight[2] = {0, 0};
+    for (int v = 0; v < n; ++v) side_weight[bp->side[v]] += w[v];
+    EXPECT_EQ(tc->weight[0], std::max(side_weight[0], side_weight[1]));
+    EXPECT_EQ(tc->weight[0] + tc->weight[1], side_weight[0] + side_weight[1]);
+    EXPECT_GE(tc->weight[0], tc->weight[1]);
+  }
+}
+
+// Property: V'_1 is always at least as heavy as V'_2 and the coloring is
+// proper, on random multi-component bipartite graphs.
+TEST(InequitableColoring, ProperAndHeavyOnRandomBipartite) {
+  Rng rng(77);
+  for (int iter = 0; iter < 30; ++iter) {
+    const int a = 1 + static_cast<int>(rng.uniform_int(0, 8));
+    const int b = 1 + static_cast<int>(rng.uniform_int(0, 8));
+    const std::int64_t max_m = static_cast<std::int64_t>(a) * b;
+    const Graph g = random_bipartite_edges(a, b, rng.uniform_int(0, max_m / 2), rng);
+    std::vector<std::int64_t> w(a + b);
+    for (auto& x : w) x = rng.uniform_int(1, 9);
+    const auto tc = inequitable_two_coloring(g, w);
+    ASSERT_TRUE(tc.has_value());
+    EXPECT_GE(tc->weight[0], tc->weight[1]);
+    // Proper: no edge within a class.
+    for (int u = 0; u < g.num_vertices(); ++u) {
+      for (int v : g.neighbors(u)) {
+        EXPECT_NE(tc->color[u], tc->color[v]);
+      }
+    }
+  }
+}
+
+TEST(ArbitraryColoring, ProperButNotNecessarilyHeavy) {
+  // Single edge with the heavy vertex on side 1: arbitrary coloring keeps the
+  // BFS orientation (vertex 0 -> color 0), so V'_1 is lighter here.
+  Graph g(2);
+  g.add_edge(0, 1);
+  const std::vector<std::int64_t> w{1, 10};
+  const auto tc = arbitrary_two_coloring(g, w);
+  ASSERT_TRUE(tc.has_value());
+  EXPECT_EQ(tc->color[0], 0);
+  EXPECT_EQ(tc->color[1], 1);
+  EXPECT_EQ(tc->weight[0], 1);
+  EXPECT_EQ(tc->weight[1], 10);
+}
+
+}  // namespace
+}  // namespace bisched

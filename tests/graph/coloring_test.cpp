@@ -1,0 +1,138 @@
+#include "graph/coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "random/generators.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(GreedyColoring, ProperOnRandomGraphs) {
+  Rng rng(12);
+  for (int iter = 0; iter < 20; ++iter) {
+    const int a = 1 + static_cast<int>(rng.uniform_int(0, 6));
+    const int b = 1 + static_cast<int>(rng.uniform_int(0, 6));
+    const std::int64_t max_m = static_cast<std::int64_t>(a) * b;
+    const Graph g = random_bipartite_edges(a, b, rng.uniform_int(0, max_m), rng);
+    const auto colors = greedy_coloring(g);
+    EXPECT_TRUE(is_proper_coloring(g, colors));
+    EXPECT_LE(num_colors_used(colors), 2);  // greedy is optimal-ish on bipartite order
+  }
+}
+
+TEST(GreedyColoring, RespectsCustomOrder) {
+  const Graph g = path_graph(3);
+  std::vector<int> order{1, 0, 2};
+  const auto colors = greedy_coloring(g, order);
+  EXPECT_TRUE(is_proper_coloring(g, colors));
+  EXPECT_EQ(colors[1], 0);  // first in order gets color 0
+}
+
+TEST(IsProperColoring, DetectsViolations) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(is_proper_coloring(g, std::vector<int>{0, 0}));
+  EXPECT_TRUE(is_proper_coloring(g, std::vector<int>{0, 1}));
+  EXPECT_TRUE(is_proper_coloring(g, std::vector<int>{-1, -1}));  // uncolored never conflicts
+  EXPECT_TRUE(is_proper_coloring(g, std::vector<int>{0, -1}));
+}
+
+TEST(KColoring, BipartiteNeedsTwo) {
+  const Graph g = even_cycle(5);
+  std::vector<int> pre(g.num_vertices(), -1);
+  EXPECT_TRUE(k_coloring_extend(g, 2, pre).has_value());
+  EXPECT_FALSE(k_coloring_extend(g, 1, pre).has_value());
+}
+
+TEST(KColoring, OddCycleNeedsThree) {
+  Graph g(5);
+  for (int i = 0; i < 5; ++i) g.add_edge(i, (i + 1) % 5);
+  std::vector<int> pre(5, -1);
+  EXPECT_FALSE(k_coloring_extend(g, 2, pre).has_value());
+  const auto c3 = k_coloring_extend(g, 3, pre);
+  ASSERT_TRUE(c3.has_value());
+  EXPECT_TRUE(is_proper_coloring(g, *c3));
+}
+
+TEST(KColoring, CompleteGraphNeedsN) {
+  Graph k4(4);
+  for (int u = 0; u < 4; ++u) {
+    for (int v = u + 1; v < 4; ++v) k4.add_edge(u, v);
+  }
+  std::vector<int> pre(4, -1);
+  EXPECT_FALSE(k_coloring_extend(k4, 3, pre).has_value());
+  EXPECT_TRUE(k_coloring_extend(k4, 4, pre).has_value());
+}
+
+TEST(KColoring, HonorsPrecoloring) {
+  const Graph g = path_graph(3);
+  std::vector<int> pre{2, -1, 2};
+  const auto c = k_coloring_extend(g, 3, pre);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ((*c)[0], 2);
+  EXPECT_EQ((*c)[2], 2);
+  EXPECT_NE((*c)[1], 2);
+}
+
+TEST(KColoring, DirectPrecolorConflictInfeasible) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  std::vector<int> pre{1, 1};
+  EXPECT_FALSE(k_coloring_extend(g, 3, pre).has_value());
+}
+
+TEST(KColoring, PrecoloringExtensionCanBeInfeasibleOnBipartite) {
+  // 1-PrExt flavor: u adjacent to three differently-precolored vertices has
+  // no color left among k=3.
+  Graph g(4);
+  g.add_edge(3, 0);
+  g.add_edge(3, 1);
+  g.add_edge(3, 2);
+  std::vector<int> pre{0, 1, 2, -1};
+  EXPECT_FALSE(k_coloring_extend(g, 3, pre).has_value());
+  EXPECT_TRUE(k_coloring_extend(g, 4, pre).has_value());
+}
+
+TEST(KColoring, PlantedColoringAlwaysExtendable) {
+  Rng rng(88);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<int> planted;
+    const Graph g =
+        random_bipartite_planted_coloring(12, 3, 0.5, rng, &planted);
+    // Precolor three random vertices with their planted colors.
+    std::vector<int> pre(12, -1);
+    for (int j = 0; j < 3; ++j) {
+      const int v = static_cast<int>(rng.uniform_int(0, 11));
+      pre[v] = planted[v];
+    }
+    const auto c = k_coloring_extend(g, 3, pre);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_TRUE(is_proper_coloring(g, *c));
+  }
+}
+
+TEST(KColoring, NodeLimitSetsAbortedFlag) {
+  // A graph requiring search: random 3-colorable-ish instance with a
+  // one-node budget must abort, not report infeasible.
+  Rng rng(3);
+  std::vector<int> planted;
+  const Graph g = random_bipartite_planted_coloring(30, 3, 0.4, rng, &planted);
+  std::vector<int> pre(30, -1);
+  bool aborted = false;
+  const auto c = k_coloring_extend(g, 3, pre, /*max_nodes=*/1, &aborted);
+  if (!c.has_value()) {
+    EXPECT_TRUE(aborted);
+  }
+}
+
+TEST(KColoring, EmptyGraphTrivial) {
+  Graph g(3);
+  std::vector<int> pre(3, -1);
+  const auto c = k_coloring_extend(g, 1, pre);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, (std::vector<int>{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace bisched

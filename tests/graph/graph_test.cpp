@@ -1,0 +1,102 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bisched {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Graph, AddEdgesAndDegrees) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 3);
+  EXPECT_EQ(g.degree(2), 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(2, 3));
+}
+
+TEST(Graph, AddVertexGrows) {
+  Graph g(2);
+  const int v = g.add_vertex();
+  EXPECT_EQ(v, 2);
+  EXPECT_EQ(g.num_vertices(), 3);
+  const int first = g.add_vertices(5);
+  EXPECT_EQ(first, 3);
+  EXPECT_EQ(g.num_vertices(), 8);
+  g.add_edge(v, first + 4);
+  EXPECT_TRUE(g.has_edge(2, 7));
+}
+
+TEST(Graph, IndependenceMask) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const std::vector<std::uint8_t> independent{1, 0, 1, 0};
+  const std::vector<std::uint8_t> dependent{1, 1, 0, 0};
+  EXPECT_TRUE(g.is_independent_mask(independent));
+  EXPECT_FALSE(g.is_independent_mask(dependent));
+  const std::vector<int> list_ok{0, 2};
+  const std::vector<int> list_bad{2, 3};
+  EXPECT_TRUE(g.is_independent_list(list_ok));
+  EXPECT_FALSE(g.is_independent_list(list_bad));
+}
+
+TEST(Graph, EmptySubsetIsIndependent) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.is_independent_list(std::vector<int>{}));
+}
+
+TEST(Graph, InducedSubgraph) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  std::vector<int> keep{1, 2, 4};
+  std::vector<int> old_of_new;
+  const Graph sub = induced_subgraph(g, keep, &old_of_new);
+  EXPECT_EQ(sub.num_vertices(), 3);
+  EXPECT_EQ(sub.num_edges(), 1);  // only (1,2) survives
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_EQ(old_of_new, keep);
+}
+
+TEST(Graph, AppendDisjoint) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  Graph other(3);
+  other.add_edge(0, 2);
+  const int offset = append_disjoint(g, other);
+  EXPECT_EQ(offset, 2);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(2, 4));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(GraphDeath, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_DEATH(g.add_edge(1, 1), "self-loop");
+}
+
+TEST(GraphDeath, OutOfRangeRejected) {
+  Graph g(2);
+  EXPECT_DEATH(g.add_edge(0, 2), "out of range");
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,156 @@
+#include "graph/independent_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "random/generators.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(Mwis, SingleEdgePicksHeavierEndpoint) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  const auto bp = bipartition(g);
+  ASSERT_TRUE(bp.has_value());
+  std::vector<std::int64_t> w{3, 8};
+  const auto r = max_weight_independent_set(g, *bp, w);
+  EXPECT_EQ(r.weight, 8);
+  EXPECT_FALSE(r.in_set[0]);
+  EXPECT_TRUE(r.in_set[1]);
+}
+
+TEST(Mwis, CompleteBipartitePicksHeavierSide) {
+  const Graph g = complete_bipartite(2, 3);
+  const auto bp = bipartition(g);
+  ASSERT_TRUE(bp.has_value());
+  std::vector<std::int64_t> w{10, 10, 1, 1, 1};  // side A heavy
+  const auto r = max_weight_independent_set(g, *bp, w);
+  EXPECT_EQ(r.weight, 20);
+}
+
+TEST(Mwis, IsolatedVerticesAlwaysIncludable) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  const auto bp = bipartition(g);
+  ASSERT_TRUE(bp.has_value());
+  std::vector<std::int64_t> w{5, 5, 7, 7};
+  const auto r = max_weight_independent_set(g, *bp, w);
+  EXPECT_EQ(r.weight, 5 + 7 + 7);
+}
+
+TEST(Mwis, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(4242);
+  for (int iter = 0; iter < 60; ++iter) {
+    const int a = 1 + static_cast<int>(rng.uniform_int(0, 5));
+    const int b = 1 + static_cast<int>(rng.uniform_int(0, 5));
+    const std::int64_t max_m = static_cast<std::int64_t>(a) * b;
+    const Graph g = random_bipartite_edges(a, b, rng.uniform_int(0, max_m), rng);
+    std::vector<std::int64_t> w(a + b);
+    for (auto& x : w) x = rng.uniform_int(0, 15);
+    const auto bp = bipartition(g);
+    ASSERT_TRUE(bp.has_value());
+    const auto fast = max_weight_independent_set(g, *bp, w);
+    const auto brute = max_weight_independent_set_brute(g, w);
+    EXPECT_EQ(fast.weight, brute.weight);
+    EXPECT_TRUE(g.is_independent_mask(fast.in_set));
+    // Reported weight matches the actual set content.
+    std::int64_t recomputed = 0;
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      if (fast.in_set[v]) recomputed += w[v];
+    }
+    EXPECT_EQ(recomputed, fast.weight);
+  }
+}
+
+TEST(MwisSuperset, NulloptWhenForcedSetNotIndependent) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  const auto bp = bipartition(g);
+  ASSERT_TRUE(bp.has_value());
+  std::vector<std::int64_t> w{1, 1};
+  std::vector<int> forced{0, 1};
+  EXPECT_FALSE(max_weight_independent_superset(g, *bp, w, forced).has_value());
+}
+
+TEST(MwisSuperset, ContainsForcedExcludesNeighbors) {
+  // Path 0-1-2-3; force vertex 1. Its neighbors 0 and 2 must be excluded;
+  // vertex 3 remains free and should be included.
+  const Graph g = path_graph(4);
+  const auto bp = bipartition(g);
+  ASSERT_TRUE(bp.has_value());
+  std::vector<std::int64_t> w{100, 1, 100, 4};
+  std::vector<int> forced{1};
+  const auto r = max_weight_independent_superset(g, *bp, w, forced);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->in_set[1]);
+  EXPECT_FALSE(r->in_set[0]);
+  EXPECT_FALSE(r->in_set[2]);
+  EXPECT_TRUE(r->in_set[3]);
+  EXPECT_EQ(r->weight, 5);
+}
+
+TEST(MwisSuperset, EmptyForcedEqualsPlainMwis) {
+  Rng rng(9);
+  const Graph g = random_bipartite_edges(5, 5, 12, rng);
+  std::vector<std::int64_t> w(10);
+  for (auto& x : w) x = rng.uniform_int(1, 9);
+  const auto bp = bipartition(g);
+  ASSERT_TRUE(bp.has_value());
+  const auto plain = max_weight_independent_set(g, *bp, w);
+  const auto sup = max_weight_independent_superset(g, *bp, w, {});
+  ASSERT_TRUE(sup.has_value());
+  EXPECT_EQ(sup->weight, plain.weight);
+}
+
+// Optimality of the constrained variant against a constrained brute force.
+TEST(MwisSuperset, OptimalAgainstConstrainedBruteForce) {
+  Rng rng(606);
+  for (int iter = 0; iter < 40; ++iter) {
+    const int a = 1 + static_cast<int>(rng.uniform_int(0, 4));
+    const int b = 1 + static_cast<int>(rng.uniform_int(0, 4));
+    const int n = a + b;
+    const std::int64_t max_m = static_cast<std::int64_t>(a) * b;
+    const Graph g = random_bipartite_edges(a, b, rng.uniform_int(0, max_m), rng);
+    std::vector<std::int64_t> w(n);
+    for (auto& x : w) x = rng.uniform_int(0, 9);
+
+    // Random forced set (possibly dependent).
+    std::vector<int> forced;
+    for (int v = 0; v < n; ++v) {
+      if (rng.bernoulli(0.25)) forced.push_back(v);
+    }
+
+    const auto bp = bipartition(g);
+    ASSERT_TRUE(bp.has_value());
+    const auto fast = max_weight_independent_superset(g, *bp, w, forced);
+
+    // Constrained brute force.
+    std::int64_t best = -1;
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+      std::vector<std::uint8_t> bits(n, 0);
+      std::int64_t weight = 0;
+      for (int v = 0; v < n; ++v) {
+        if (mask & (1u << v)) {
+          bits[v] = 1;
+          weight += w[v];
+        }
+      }
+      bool has_forced = true;
+      for (int v : forced) has_forced = has_forced && bits[v];
+      if (has_forced && g.is_independent_mask(bits)) best = std::max(best, weight);
+    }
+
+    if (best == -1) {
+      EXPECT_FALSE(fast.has_value());
+    } else {
+      ASSERT_TRUE(fast.has_value());
+      EXPECT_EQ(fast->weight, best);
+      for (int v : forced) EXPECT_TRUE(fast->in_set[v]);
+      EXPECT_TRUE(g.is_independent_mask(fast->in_set));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,120 @@
+#include "graph/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "random/generators.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+MatchingResult match_of(const Graph& g) {
+  const auto bp = bipartition(g);
+  EXPECT_TRUE(bp.has_value());
+  return maximum_matching(g, *bp);
+}
+
+void expect_valid_matching(const Graph& g, const MatchingResult& m) {
+  int matched_pairs = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const int u = m.mate[v];
+    if (u == -1) continue;
+    EXPECT_EQ(m.mate[u], v) << "mate symmetry broken";
+    EXPECT_TRUE(g.has_edge(u, v)) << "matched pair not an edge";
+    if (u > v) ++matched_pairs;
+  }
+  EXPECT_EQ(matched_pairs, m.size);
+}
+
+TEST(Matching, CompleteBipartiteIsPartMinimum) {
+  const Graph g = complete_bipartite(3, 5);
+  const auto m = match_of(g);
+  EXPECT_EQ(m.size, 3);
+  expect_valid_matching(g, m);
+}
+
+TEST(Matching, CrownHasPerfectMatching) {
+  const Graph g = crown(4);
+  const auto m = match_of(g);
+  EXPECT_EQ(m.size, 4);
+  expect_valid_matching(g, m);
+}
+
+TEST(Matching, PathMatching) {
+  EXPECT_EQ(match_of(path_graph(2)).size, 1);
+  EXPECT_EQ(match_of(path_graph(3)).size, 1);
+  EXPECT_EQ(match_of(path_graph(4)).size, 2);
+  EXPECT_EQ(match_of(path_graph(7)).size, 3);
+}
+
+TEST(Matching, EmptyGraph) {
+  const Graph g(5);
+  const auto m = match_of(g);
+  EXPECT_EQ(m.size, 0);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(m.mate[v], -1);
+}
+
+TEST(Matching, AgreesWithBruteForceOnRandomGraphs) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 60; ++iter) {
+    const int a = 1 + static_cast<int>(rng.uniform_int(0, 5));
+    const int b = 1 + static_cast<int>(rng.uniform_int(0, 5));
+    const std::int64_t max_m = static_cast<std::int64_t>(a) * b;
+    const Graph g = random_bipartite_edges(a, b, rng.uniform_int(0, max_m), rng);
+    const auto m = match_of(g);
+    expect_valid_matching(g, m);
+    EXPECT_EQ(m.size, maximum_matching_size_brute(g)) << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(Konig, CoverCoversAllEdgesAndMatchesMu) {
+  Rng rng(31337);
+  for (int iter = 0; iter < 40; ++iter) {
+    const int a = 1 + static_cast<int>(rng.uniform_int(0, 6));
+    const int b = 1 + static_cast<int>(rng.uniform_int(0, 6));
+    const std::int64_t max_m = static_cast<std::int64_t>(a) * b;
+    const Graph g = random_bipartite_edges(a, b, rng.uniform_int(0, max_m), rng);
+    const auto bp = bipartition(g);
+    ASSERT_TRUE(bp.has_value());
+    const auto m = maximum_matching(g, *bp);
+    const auto cover = minimum_vertex_cover(g, *bp, m);
+
+    int cover_size = 0;
+    for (auto bit : cover) cover_size += bit;
+    EXPECT_EQ(cover_size, m.size) << "König: |cover| must equal µ";
+
+    for (int u = 0; u < g.num_vertices(); ++u) {
+      for (int v : g.neighbors(u)) {
+        EXPECT_TRUE(cover[u] || cover[v]) << "edge uncovered";
+      }
+    }
+  }
+}
+
+TEST(Konig, IndependentSetIsComplementAndMaximum) {
+  Rng rng(555);
+  for (int iter = 0; iter < 40; ++iter) {
+    const int a = 1 + static_cast<int>(rng.uniform_int(0, 6));
+    const int b = 1 + static_cast<int>(rng.uniform_int(0, 6));
+    const std::int64_t max_m = static_cast<std::int64_t>(a) * b;
+    const Graph g = random_bipartite_edges(a, b, rng.uniform_int(0, max_m), rng);
+    const auto bp = bipartition(g);
+    ASSERT_TRUE(bp.has_value());
+    const auto m = maximum_matching(g, *bp);
+    const auto mis = maximum_independent_set_mask(g, *bp, m);
+
+    EXPECT_TRUE(g.is_independent_mask(mis));
+    int size = 0;
+    for (auto bit : mis) size += bit;
+    EXPECT_EQ(size, g.num_vertices() - m.size) << "α = |V| - µ violated";
+  }
+}
+
+TEST(Matching, StarGraph) {
+  // Star K_{1,5}: matching size 1 regardless of leaves.
+  const Graph g = complete_bipartite(1, 5);
+  EXPECT_EQ(match_of(g).size, 1);
+}
+
+}  // namespace
+}  // namespace bisched

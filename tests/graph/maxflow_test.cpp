@@ -1,0 +1,121 @@
+#include "graph/maxflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/matching.hpp"
+#include "random/generators.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(Dinic, SingleEdge) {
+  Dinic d(2);
+  d.add_edge(0, 1, 7);
+  EXPECT_EQ(d.max_flow(0, 1), 7);
+}
+
+TEST(Dinic, SeriesBottleneck) {
+  Dinic d(3);
+  d.add_edge(0, 1, 10);
+  d.add_edge(1, 2, 4);
+  EXPECT_EQ(d.max_flow(0, 2), 4);
+}
+
+TEST(Dinic, ParallelPathsSum) {
+  Dinic d(4);
+  d.add_edge(0, 1, 3);
+  d.add_edge(1, 3, 3);
+  d.add_edge(0, 2, 5);
+  d.add_edge(2, 3, 5);
+  EXPECT_EQ(d.max_flow(0, 3), 8);
+}
+
+TEST(Dinic, ClassicDiamondWithCrossEdge) {
+  // The textbook example where augmenting must route through the cross edge.
+  Dinic d(4);
+  d.add_edge(0, 1, 1000);
+  d.add_edge(0, 2, 1000);
+  d.add_edge(1, 2, 1);
+  d.add_edge(1, 3, 1000);
+  d.add_edge(2, 3, 1000);
+  EXPECT_EQ(d.max_flow(0, 3), 2000);
+}
+
+TEST(Dinic, DisconnectedSinkGivesZero) {
+  Dinic d(3);
+  d.add_edge(0, 1, 5);
+  EXPECT_EQ(d.max_flow(0, 2), 0);
+}
+
+TEST(Dinic, FlowOnEdgeReporting) {
+  Dinic d(3);
+  const int e1 = d.add_edge(0, 1, 10);
+  const int e2 = d.add_edge(1, 2, 4);
+  d.max_flow(0, 2);
+  EXPECT_EQ(d.flow_on(e1), 4);
+  EXPECT_EQ(d.flow_on(e2), 4);
+}
+
+TEST(Dinic, MinCutSeparatesAndMatchesFlowValue) {
+  Rng rng(99);
+  for (int iter = 0; iter < 30; ++iter) {
+    const int n = 2 + static_cast<int>(rng.uniform_int(0, 6));
+    Dinic d(n);
+    struct E {
+      int u, v, id;
+      std::int64_t cap;
+    };
+    std::vector<E> edges;
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        if (u == v) continue;
+        if (rng.bernoulli(0.4)) {
+          const std::int64_t cap = rng.uniform_int(0, 10);
+          edges.push_back({u, v, d.add_edge(u, v, cap), cap});
+        }
+      }
+    }
+    const std::int64_t flow = d.max_flow(0, n - 1);
+    const auto side = d.min_cut_source_side(0);
+    EXPECT_TRUE(side[0]);
+    EXPECT_FALSE(side[n - 1]);
+    // Capacity of the cut (original caps of edges source-side -> sink-side)
+    // must equal the max flow (max-flow min-cut theorem).
+    std::int64_t cut = 0;
+    for (const auto& e : edges) {
+      if (side[e.u] && !side[e.v]) cut += e.cap;
+    }
+    EXPECT_EQ(cut, flow);
+  }
+}
+
+TEST(Dinic, ReproducesBipartiteMatchingSizes) {
+  Rng rng(2718);
+  for (int iter = 0; iter < 30; ++iter) {
+    const int a = 1 + static_cast<int>(rng.uniform_int(0, 6));
+    const int b = 1 + static_cast<int>(rng.uniform_int(0, 6));
+    const std::int64_t max_m = static_cast<std::int64_t>(a) * b;
+    const Graph g = random_bipartite_edges(a, b, rng.uniform_int(0, max_m), rng);
+
+    Dinic d(a + b + 2);
+    const int source = a + b;
+    const int sink = a + b + 1;
+    for (int u = 0; u < a; ++u) d.add_edge(source, u, 1);
+    for (int v = 0; v < b; ++v) d.add_edge(a + v, sink, 1);
+    for (int u = 0; u < a; ++u) {
+      for (int v : g.neighbors(u)) d.add_edge(u, v, 1);
+    }
+    const auto bp = bipartition(g);
+    ASSERT_TRUE(bp.has_value());
+    EXPECT_EQ(d.max_flow(source, sink), maximum_matching(g, *bp).size);
+  }
+}
+
+TEST(DinicDeath, SourceEqualsSink) {
+  Dinic d(2);
+  EXPECT_DEATH(d.max_flow(1, 1), "source equals sink");
+}
+
+}  // namespace
+}  // namespace bisched

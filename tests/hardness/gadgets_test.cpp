@@ -1,0 +1,244 @@
+#include "hardness/gadgets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "graph/bipartite.hpp"
+#include "graph/coloring.hpp"
+
+namespace bisched {
+namespace {
+
+// Enumerate every proper coloring of g with `k` colors and invoke `check`.
+void for_each_proper_coloring(const Graph& g, int k,
+                              const std::function<void(const std::vector<int>&)>& check) {
+  std::vector<int> colors(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::function<void(int)> rec = [&](int v) {
+    if (v == g.num_vertices()) {
+      check(colors);
+      return;
+    }
+    for (int c = 0; c < k; ++c) {
+      bool ok = true;
+      for (int u : g.neighbors(v)) {
+        if (u < v && colors[static_cast<std::size_t>(u)] == c) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        colors[static_cast<std::size_t>(v)] = c;
+        rec(v + 1);
+        colors[static_cast<std::size_t>(v)] = -1;
+      }
+    }
+  };
+  rec(0);
+}
+
+int count_where(const std::vector<int>& colors, const std::function<bool(int)>& pred) {
+  int count = 0;
+  for (int c : colors) count += pred(c);
+  return count;
+}
+
+TEST(Gadgets, SizesAndBipartiteness) {
+  Graph g(1);
+  const auto h1 = attach_h1(g, 0, 5);
+  EXPECT_EQ(h1.num_vertices(), 5);
+  const auto h2 = attach_h2(g, 0, 3, 7);
+  EXPECT_EQ(h2.num_vertices(), 10);
+  const auto h3 = attach_h3(g, 0, 1, 3, 7);
+  EXPECT_EQ(h3.num_vertices(), 1 + 3 + 7 + 7);
+  EXPECT_TRUE(bipartition(g).has_value());
+}
+
+TEST(Gadgets, EdgeCounts) {
+  Graph g(1);
+  attach_h2(g, 0, 3, 4);
+  // v-B: 3, B-A: 12.
+  EXPECT_EQ(g.num_edges(), 15);
+  Graph g2(1);
+  attach_h3(g2, 0, 2, 3, 4);
+  // v-C: 2, C-B: 6, C-A*: 8, B-A: 12.
+  EXPECT_EQ(g2.num_edges(), 28);
+}
+
+// Lemma 5: in every proper coloring, v != c1 OR >= x vertices colored != c1.
+TEST(Gadgets, Lemma5HoldsExhaustively) {
+  const int x = 3;
+  Graph g(1);
+  attach_h1(g, 0, x);
+  int colorings = 0;
+  for_each_proper_coloring(g, 3, [&](const std::vector<int>& colors) {
+    ++colorings;
+    const bool v_not_c1 = colors[0] != 0;
+    const int off_c1 = count_where(colors, [](int c) { return c != 0; }) - (colors[0] != 0);
+    EXPECT_TRUE(v_not_c1 || off_c1 >= x) << "Lemma 5 violated";
+  });
+  EXPECT_GT(colorings, 0);
+}
+
+// Lemma 6: v != c2 OR >= x' vertices outside {c1,c2} OR >= x vertices != c1.
+TEST(Gadgets, Lemma6HoldsExhaustively) {
+  const int x_prime = 2, x = 3;
+  Graph g(1);
+  attach_h2(g, 0, x_prime, x);
+  int colorings = 0;
+  for_each_proper_coloring(g, 3, [&](const std::vector<int>& colors) {
+    ++colorings;
+    const bool v_not_c2 = colors[0] != 1;
+    // Counts over the gadget vertices (exclude the attachment vertex, which
+    // only strengthens the statement if included).
+    int outside12 = 0, not1 = 0;
+    for (std::size_t i = 1; i < colors.size(); ++i) {
+      outside12 += colors[i] != 0 && colors[i] != 1;
+      not1 += colors[i] != 0;
+    }
+    EXPECT_TRUE(v_not_c2 || outside12 >= x_prime || not1 >= x) << "Lemma 6 violated";
+  });
+  EXPECT_GT(colorings, 0);
+}
+
+// Lemma 7: v != c3 OR >= x'' outside {c1,c2,c3} OR >= x' outside {c1,c2}
+// OR >= x vertices != c1. Checked with 4 colors so the "outside {c1,c2,c3}"
+// branch is reachable.
+TEST(Gadgets, Lemma7HoldsExhaustively) {
+  const int x_dprime = 1, x_prime = 2, x = 2;
+  Graph g(1);
+  attach_h3(g, 0, x_dprime, x_prime, x);
+  int colorings = 0;
+  for_each_proper_coloring(g, 4, [&](const std::vector<int>& colors) {
+    ++colorings;
+    const bool v_not_c3 = colors[0] != 2;
+    int outside123 = 0, outside12 = 0, not1 = 0;
+    for (std::size_t i = 1; i < colors.size(); ++i) {
+      outside123 += colors[i] > 2;
+      outside12 += colors[i] != 0 && colors[i] != 1;
+      not1 += colors[i] != 0;
+    }
+    EXPECT_TRUE(v_not_c3 || outside123 >= x_dprime || outside12 >= x_prime || not1 >= x)
+        << "Lemma 7 violated";
+  });
+  EXPECT_GT(colorings, 0);
+}
+
+// The YES-side colorings promised in gadgets.hpp exist and are proper.
+TEST(Gadgets, YesSideColoringsExist) {
+  {
+    // H2 attached to a c1 vertex: B = c2, A = c1.
+    Graph g(1);
+    const auto rows = attach_h2(g, 0, 2, 3);
+    std::vector<int> colors(static_cast<std::size_t>(g.num_vertices()), -1);
+    colors[0] = 0;
+    for (int v : rows.row_b) colors[static_cast<std::size_t>(v)] = 1;
+    for (int v : rows.row_a) colors[static_cast<std::size_t>(v)] = 0;
+    EXPECT_TRUE(is_proper_coloring(g, colors));
+  }
+  {
+    // H3 attached to a c1 vertex: C = c3, B = c2, A = A* = c1.
+    Graph g(1);
+    const auto rows = attach_h3(g, 0, 1, 2, 3);
+    std::vector<int> colors(static_cast<std::size_t>(g.num_vertices()), -1);
+    colors[0] = 0;
+    for (int v : rows.row_c) colors[static_cast<std::size_t>(v)] = 2;
+    for (int v : rows.row_b) colors[static_cast<std::size_t>(v)] = 1;
+    for (int v : rows.row_a) colors[static_cast<std::size_t>(v)] = 0;
+    for (int v : rows.row_a_star) colors[static_cast<std::size_t>(v)] = 0;
+    EXPECT_TRUE(is_proper_coloring(g, colors));
+  }
+  {
+    // H3 attached to a c2 vertex works identically (C = c3 avoids it).
+    Graph g(1);
+    const auto rows = attach_h3(g, 0, 1, 2, 3);
+    std::vector<int> colors(static_cast<std::size_t>(g.num_vertices()), -1);
+    colors[0] = 1;
+    for (int v : rows.row_c) colors[static_cast<std::size_t>(v)] = 2;
+    for (int v : rows.row_b) colors[static_cast<std::size_t>(v)] = 1;
+    for (int v : rows.row_a) colors[static_cast<std::size_t>(v)] = 0;
+    for (int v : rows.row_a_star) colors[static_cast<std::size_t>(v)] = 0;
+    EXPECT_TRUE(is_proper_coloring(g, colors));
+  }
+}
+
+// Parameterized sweeps: the lemma disjunctions hold exhaustively for every
+// small parameter combination, not just the single sizes above.
+class H1Sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(H1Sweep, Lemma5Exhaustive) {
+  const int x = GetParam();
+  Graph g(1);
+  attach_h1(g, 0, x);
+  int colorings = 0;
+  for_each_proper_coloring(g, 3, [&](const std::vector<int>& colors) {
+    ++colorings;
+    int off1 = 0;
+    for (std::size_t i = 1; i < colors.size(); ++i) off1 += colors[i] != 0;
+    EXPECT_TRUE(colors[0] != 0 || off1 >= x);
+  });
+  EXPECT_GT(colorings, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, H1Sweep, ::testing::Values(1, 2, 3, 4, 5));
+
+class H2Sweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(H2Sweep, Lemma6Exhaustive) {
+  const auto [x_prime, x] = GetParam();
+  Graph g(1);
+  attach_h2(g, 0, x_prime, x);
+  int colorings = 0;
+  for_each_proper_coloring(g, 3, [&](const std::vector<int>& colors) {
+    ++colorings;
+    int out12 = 0, off1 = 0;
+    for (std::size_t i = 1; i < colors.size(); ++i) {
+      out12 += colors[i] != 0 && colors[i] != 1;
+      off1 += colors[i] != 0;
+    }
+    EXPECT_TRUE(colors[0] != 1 || out12 >= x_prime || off1 >= x);
+  });
+  EXPECT_GT(colorings, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, H2Sweep,
+                         ::testing::Values(std::pair{1, 1}, std::pair{1, 3}, std::pair{2, 2},
+                                           std::pair{2, 4}, std::pair{3, 3}));
+
+class H3Sweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(H3Sweep, Lemma7Exhaustive) {
+  const auto [x_dp, x_p, x] = GetParam();
+  Graph g(1);
+  attach_h3(g, 0, x_dp, x_p, x);
+  int colorings = 0;
+  for_each_proper_coloring(g, 4, [&](const std::vector<int>& colors) {
+    ++colorings;
+    int out123 = 0, out12 = 0, off1 = 0;
+    for (std::size_t i = 1; i < colors.size(); ++i) {
+      out123 += colors[i] > 2;
+      out12 += colors[i] != 0 && colors[i] != 1;
+      off1 += colors[i] != 0;
+    }
+    EXPECT_TRUE(colors[0] != 2 || out123 >= x_dp || out12 >= x_p || off1 >= x);
+  });
+  EXPECT_GT(colorings, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, H3Sweep,
+                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 2, 2},
+                                           std::tuple{1, 1, 3}, std::tuple{2, 1, 2}));
+
+TEST(Gadgets, AttachmentPreservesHostBipartiteness) {
+  Graph g = Graph(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  attach_h1(g, 0, 4);
+  attach_h2(g, 1, 2, 3);
+  attach_h3(g, 3, 1, 2, 4);
+  EXPECT_TRUE(bipartition(g).has_value());
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,96 @@
+#include "hardness/oneprext.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/bipartite.hpp"
+#include "graph/coloring.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(OnePrExt, TrivialYes) {
+  // Three isolated precolored vertices extend trivially.
+  OnePrExtInstance inst;
+  inst.g = Graph(5);
+  inst.precolored = {0, 1, 2};
+  const auto sol = solve_one_prext(inst);
+  EXPECT_EQ(sol.answer, PrExtAnswer::kYes);
+  ASSERT_TRUE(sol.coloring.has_value());
+  EXPECT_EQ((*sol.coloring)[0], 0);
+  EXPECT_EQ((*sol.coloring)[1], 1);
+  EXPECT_EQ((*sol.coloring)[2], 2);
+  EXPECT_TRUE(is_proper_coloring(inst.g, *sol.coloring));
+}
+
+TEST(OnePrExt, BlockerMakesNo) {
+  OnePrExtInstance inst;
+  inst.g = Graph(4);
+  inst.g.add_edge(3, 0);
+  inst.g.add_edge(3, 1);
+  inst.g.add_edge(3, 2);
+  inst.precolored = {0, 1, 2};
+  EXPECT_EQ(solve_one_prext(inst).answer, PrExtAnswer::kNo);
+}
+
+TEST(OnePrExt, PropagationChainNo) {
+  // v1(c0) - a - v2? Build: a adjacent to v1 and v2 and v3: same blocker but
+  // also an extra vertex chained behind a; still NO.
+  OnePrExtInstance inst;
+  inst.g = Graph(5);
+  inst.g.add_edge(3, 0);
+  inst.g.add_edge(3, 1);
+  inst.g.add_edge(3, 2);
+  inst.g.add_edge(3, 4);
+  inst.precolored = {0, 1, 2};
+  EXPECT_EQ(solve_one_prext(inst).answer, PrExtAnswer::kNo);
+}
+
+TEST(OnePrExt, RandomYesInstancesAreYes) {
+  Rng rng(21);
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto inst = random_yes_instance(10 + static_cast<int>(rng.uniform_int(0, 20)),
+                                          0.4, rng);
+    EXPECT_TRUE(bipartition(inst.g).has_value());
+    const auto sol = solve_one_prext(inst);
+    EXPECT_EQ(sol.answer, PrExtAnswer::kYes);
+    ASSERT_TRUE(sol.coloring.has_value());
+    EXPECT_TRUE(is_proper_coloring(inst.g, *sol.coloring));
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ((*sol.coloring)[inst.precolored[c]], c);
+    }
+  }
+}
+
+TEST(OnePrExt, RandomNoInstancesAreNo) {
+  Rng rng(22);
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto inst = random_no_instance(8 + static_cast<int>(rng.uniform_int(0, 15)),
+                                         0.4, rng);
+    EXPECT_TRUE(bipartition(inst.g).has_value());
+    EXPECT_EQ(solve_one_prext(inst).answer, PrExtAnswer::kNo);
+  }
+}
+
+TEST(OnePrExt, NodeLimitCanReturnUnknown) {
+  Rng rng(23);
+  // Large-ish instance with a 1-node budget: either solved instantly by
+  // propagation or reported unknown; never a wrong NO.
+  const auto inst = random_yes_instance(40, 0.3, rng);
+  const auto sol = solve_one_prext(inst, /*max_nodes=*/1);
+  EXPECT_NE(sol.answer, PrExtAnswer::kNo);
+}
+
+TEST(OnePrExt, PrecoloredVerticesShareSideInGenerators) {
+  Rng rng(24);
+  const auto inst = random_yes_instance(12, 0.5, rng);
+  const auto bp = bipartition(inst.g);
+  ASSERT_TRUE(bp.has_value());
+  // By construction vertices 0,1,2 are co-sided (so gadgets can attach).
+  // They may fall into different components; check no edges among them.
+  EXPECT_FALSE(inst.g.has_edge(0, 1));
+  EXPECT_FALSE(inst.g.has_edge(0, 2));
+  EXPECT_FALSE(inst.g.has_edge(1, 2));
+}
+
+}  // namespace
+}  // namespace bisched

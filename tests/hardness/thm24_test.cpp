@@ -1,0 +1,108 @@
+#include "hardness/thm24.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_bb.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(Thm24, ConstructionShape) {
+  Rng rng(1);
+  const auto prext = random_yes_instance(6, 0.4, rng);
+  const auto inst = build_thm24_instance(prext, /*d=*/50, /*m=*/4);
+  EXPECT_EQ(inst.sched.num_machines(), 4);
+  EXPECT_EQ(inst.sched.num_jobs(), 6);
+  // Precolored vertex 0 runs in 1 only on machine 0.
+  EXPECT_EQ(inst.sched.times[0][0], 1);
+  EXPECT_EQ(inst.sched.times[1][0], 50);
+  EXPECT_EQ(inst.sched.times[2][0], 50);
+  EXPECT_EQ(inst.sched.times[3][0], 50);
+  // Ordinary vertex 4 runs in 1 on the first three machines.
+  EXPECT_EQ(inst.sched.times[0][4], 1);
+  EXPECT_EQ(inst.sched.times[1][4], 1);
+  EXPECT_EQ(inst.sched.times[2][4], 1);
+  EXPECT_EQ(inst.sched.times[3][4], 50);
+}
+
+TEST(Thm24, YesInstancesAdmitCheapSchedules) {
+  Rng rng(2);
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto prext = random_yes_instance(5 + static_cast<int>(rng.uniform_int(0, 5)),
+                                           0.5, rng);
+    const auto sol = solve_one_prext(prext);
+    ASSERT_EQ(sol.answer, PrExtAnswer::kYes);
+    const auto inst = build_thm24_instance(prext, /*d=*/100);
+    const Schedule cert = thm24_yes_schedule(inst, *sol.coloring);
+    EXPECT_EQ(validate(inst.sched, cert), ScheduleStatus::kValid);
+    EXPECT_LE(makespan(inst.sched, cert), inst.yes_threshold);
+  }
+}
+
+// The NO direction, verified EXACTLY: for small NO instances the optimal
+// schedule (branch and bound) must cost at least d.
+TEST(Thm24, NoInstancesHaveOptimumAtLeastD) {
+  Rng rng(3);
+  for (int iter = 0; iter < 8; ++iter) {
+    const auto prext = random_no_instance(4 + static_cast<int>(rng.uniform_int(0, 4)),
+                                          0.5, rng);
+    ASSERT_EQ(solve_one_prext(prext).answer, PrExtAnswer::kNo);
+    const auto inst = build_thm24_instance(prext, /*d=*/77);
+    const auto exact = exact_unrelated_bb(inst.sched);
+    ASSERT_TRUE(exact.feasible);
+    EXPECT_GE(exact.cmax, inst.no_threshold)
+        << "NO instance scheduled below d — reduction broken";
+  }
+}
+
+// Conversely, on YES instances the optimum is at most n (and far below d).
+TEST(Thm24, YesInstancesHaveOptimumBelowD) {
+  Rng rng(4);
+  for (int iter = 0; iter < 8; ++iter) {
+    const auto prext = random_yes_instance(5 + static_cast<int>(rng.uniform_int(0, 3)),
+                                           0.5, rng);
+    ASSERT_EQ(solve_one_prext(prext).answer, PrExtAnswer::kYes);
+    const auto inst = build_thm24_instance(prext, /*d=*/77);
+    const auto exact = exact_unrelated_bb(inst.sched);
+    ASSERT_TRUE(exact.feasible);
+    EXPECT_LE(exact.cmax, inst.yes_threshold);
+    EXPECT_LT(exact.cmax, inst.no_threshold);
+  }
+}
+
+TEST(Thm24, GapScalesWithD) {
+  Rng rng(5);
+  const auto prext = random_no_instance(5, 0.5, rng);
+  std::int64_t prev = 0;
+  for (std::int64_t d : {10, 100, 1000}) {
+    const auto inst = build_thm24_instance(prext, d);
+    const auto exact = exact_unrelated_bb(inst.sched);
+    ASSERT_TRUE(exact.feasible);
+    EXPECT_GE(exact.cmax, d);
+    EXPECT_GT(exact.cmax, prev);
+    prev = exact.cmax;
+  }
+}
+
+TEST(Thm24, ExtraMachinesStayUseless) {
+  // Machines beyond the third cost d for every job; the optimum never
+  // improves by adding them.
+  Rng rng(6);
+  const auto prext = random_yes_instance(6, 0.5, rng);
+  const auto inst3 = build_thm24_instance(prext, 50, 3);
+  const auto inst5 = build_thm24_instance(prext, 50, 5);
+  const auto e3 = exact_unrelated_bb(inst3.sched);
+  const auto e5 = exact_unrelated_bb(inst5.sched);
+  ASSERT_TRUE(e3.feasible && e5.feasible);
+  EXPECT_EQ(e3.cmax, e5.cmax);
+}
+
+TEST(Thm24Death, RejectsSmallM) {
+  Rng rng(7);
+  const auto prext = random_yes_instance(4, 0.5, rng);
+  EXPECT_DEATH(build_thm24_instance(prext, 10, 2), "m >= 3");
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,137 @@
+#include "hardness/thm8.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/alg_random.hpp"
+#include "core/alg_sqrt.hpp"
+#include "core/baselines.hpp"
+#include "graph/bipartite.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(Thm8, ConstructionCounts) {
+  Rng rng(1);
+  const auto prext = random_yes_instance(6, 0.4, rng);
+  const auto inst = build_thm8_instance(prext, /*k=*/2, /*extra_slow=*/2);
+  const std::int64_t n = 6, k = 2;
+  EXPECT_EQ(inst.sched.num_jobs(), n + 48 * k * k * n + 4 * k * n + 2);
+  EXPECT_EQ(inst.sched.num_machines(), 5);
+  // Speeds scaled by kn = 12: (49*4*12, 5*2*12, 12, 1, 1).
+  EXPECT_EQ(inst.sched.speeds,
+            (std::vector<std::int64_t>{2352, 120, 12, 1, 1}));
+  EXPECT_TRUE(bipartition(inst.sched.conflicts).has_value());
+  EXPECT_EQ(inst.speed_scale, 12);
+}
+
+TEST(Thm8, YesCertificateMeetsThreshold) {
+  Rng rng(2);
+  for (int iter = 0; iter < 5; ++iter) {
+    const auto prext = random_yes_instance(5 + iter, 0.4, rng);
+    const auto sol = solve_one_prext(prext);
+    ASSERT_EQ(sol.answer, PrExtAnswer::kYes);
+    const auto inst = build_thm8_instance(prext, /*k=*/2);
+    const Schedule cert = yes_certificate_schedule(inst, prext, *sol.coloring);
+    EXPECT_EQ(validate(inst.sched, cert), ScheduleStatus::kValid);
+    const Rational cm = makespan(inst.sched, cert);
+    EXPECT_TRUE(cm <= inst.yes_threshold)
+        << "certificate " << cm.to_string() << " > " << inst.yes_threshold.to_string();
+  }
+}
+
+TEST(Thm8, YesGapIsWideAgainstNoThreshold) {
+  Rng rng(3);
+  const auto prext = random_yes_instance(8, 0.4, rng);
+  const auto inst = build_thm8_instance(prext, /*k=*/3);
+  // yes_threshold = (n+2)/scale, no_threshold = kn/scale: ratio ~ k*n/(n+2).
+  const Rational gap = inst.no_threshold / inst.yes_threshold;
+  EXPECT_GT(gap.to_double(), 2.0);
+}
+
+// The NO direction of Theorem 8: EVERY schedule of a NO instance has makespan
+// >= kn (in original units). We machine-check it on the schedules our
+// polynomial algorithms emit.
+TEST(Thm8, AlgorithmicSchedulesOnNoInstancesRespectLowerBound) {
+  Rng rng(4);
+  for (int iter = 0; iter < 3; ++iter) {
+    const auto prext = random_no_instance(5 + iter, 0.4, rng);
+    ASSERT_EQ(solve_one_prext(prext).answer, PrExtAnswer::kNo);
+    const auto inst = build_thm8_instance(prext, /*k=*/2);
+
+    const auto a2 = alg2_random_bipartite(inst.sched);
+    EXPECT_EQ(validate(inst.sched, a2.schedule), ScheduleStatus::kValid);
+    EXPECT_TRUE(inst.no_threshold <= a2.cmax)
+        << "Alg2 found " << a2.cmax.to_string() << " < " << inst.no_threshold.to_string();
+
+    const auto split = two_color_split(inst.sched);
+    EXPECT_TRUE(inst.no_threshold <= split.cmax);
+
+    const auto a1 = alg1_sqrt_approx(inst.sched);
+    EXPECT_EQ(validate(inst.sched, a1.schedule), ScheduleStatus::kValid);
+    EXPECT_TRUE(inst.no_threshold <= a1.cmax);
+  }
+}
+
+// On YES instances the low-makespan schedule exists; our approximation
+// algorithms need not find it (that is the whole point of Theorem 8 — the
+// gap is what an approximation algorithm cannot close), but the certificate
+// threshold must separate from the NO threshold by the factor ~k.
+TEST(Thm8, ThresholdSeparationGrowsWithK) {
+  Rng rng(5);
+  const auto prext = random_yes_instance(6, 0.4, rng);
+  double prev_gap = 0;
+  for (std::int64_t k : {1, 2, 3, 4}) {
+    const auto inst = build_thm8_instance(prext, k);
+    const double gap = (inst.no_threshold / inst.yes_threshold).to_double();
+    EXPECT_GT(gap, prev_gap);
+    prev_gap = gap;
+  }
+}
+
+TEST(Thm8, VertexCountFormulaAcrossParameters) {
+  Rng rng(11);
+  for (int n : {4, 7, 11}) {
+    for (std::int64_t k : {1, 2, 5}) {
+      const auto prext = random_yes_instance(n, 0.3, rng);
+      const auto inst = build_thm8_instance(prext, k);
+      EXPECT_EQ(inst.sched.num_jobs(), n + 48 * k * k * n + 4 * k * n + 2)
+          << "n=" << n << " k=" << k;
+      EXPECT_TRUE(bipartition(inst.sched.conflicts).has_value());
+    }
+  }
+}
+
+TEST(Thm8, ExtraSlowMachinesDoNotBreakTheNoBound) {
+  // The paper's construction uses m - 3 speed-1/(kn) machines; more of them
+  // must not let any schedule dip below kn on a NO instance.
+  Rng rng(12);
+  const auto prext = random_no_instance(5, 0.4, rng);
+  ASSERT_EQ(solve_one_prext(prext).answer, PrExtAnswer::kNo);
+  for (int extra : {0, 1, 4}) {
+    const auto inst = build_thm8_instance(prext, /*k=*/2, extra);
+    EXPECT_EQ(inst.sched.num_machines(), 3 + extra);
+    const auto a2 = alg2_random_bipartite(inst.sched);
+    EXPECT_TRUE(inst.no_threshold <= a2.cmax) << "extra=" << extra;
+  }
+}
+
+TEST(Thm8, CertificateUsesOnlyThreeMachines) {
+  Rng rng(13);
+  const auto prext = random_yes_instance(6, 0.4, rng);
+  const auto sol = solve_one_prext(prext);
+  ASSERT_EQ(sol.answer, PrExtAnswer::kYes);
+  const auto inst = build_thm8_instance(prext, 2, /*extra_slow=*/3);
+  const Schedule cert = yes_certificate_schedule(inst, prext, *sol.coloring);
+  for (int machine : cert.machine_of) EXPECT_LT(machine, 3);
+}
+
+TEST(Thm8Death, RejectsTinyInstances) {
+  OnePrExtInstance prext;
+  prext.g = Graph(2);
+  prext.precolored = {0, 1, 1};
+  EXPECT_DEATH(build_thm8_instance(prext, 1), "too small");
+}
+
+}  // namespace
+}  // namespace bisched

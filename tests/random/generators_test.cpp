@@ -1,0 +1,133 @@
+#include "random/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/bipartite.hpp"
+#include "graph/coloring.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(Generators, CompleteBipartiteCounts) {
+  const Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_vertices(), 7);
+  EXPECT_EQ(g.num_edges(), 12);
+  EXPECT_TRUE(bipartition(g).has_value());
+}
+
+TEST(Generators, CrownCounts) {
+  const Graph g = crown(4);
+  EXPECT_EQ(g.num_vertices(), 8);
+  EXPECT_EQ(g.num_edges(), 4 * 3);
+  for (int u = 0; u < 4; ++u) EXPECT_FALSE(g.has_edge(u, 4 + u));
+  EXPECT_TRUE(bipartition(g).has_value());
+}
+
+TEST(Generators, PathAndCycle) {
+  EXPECT_EQ(path_graph(1).num_edges(), 0);
+  EXPECT_EQ(path_graph(5).num_edges(), 4);
+  const Graph c = even_cycle(3);
+  EXPECT_EQ(c.num_vertices(), 6);
+  EXPECT_EQ(c.num_edges(), 6);
+  for (int v = 0; v < 6; ++v) EXPECT_EQ(c.degree(v), 2);
+  EXPECT_TRUE(bipartition(c).has_value());
+}
+
+TEST(Generators, DoubleStar) {
+  const Graph g = double_star(2, 3);
+  EXPECT_EQ(g.num_vertices(), 7);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_EQ(g.degree(0), 3);
+  EXPECT_EQ(g.degree(1), 4);
+  EXPECT_TRUE(bipartition(g).has_value());
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(42);
+  for (int n : {1, 2, 5, 20, 100}) {
+    const Graph g = random_tree(n, rng);
+    EXPECT_EQ(g.num_vertices(), n);
+    EXPECT_EQ(g.num_edges(), n - 1);
+    const auto bp = bipartition(g);
+    ASSERT_TRUE(bp.has_value());
+    EXPECT_EQ(bp->num_components, 1);  // connected + n-1 edges => tree
+  }
+}
+
+TEST(Generators, RandomBipartiteEdgesExactCountDistinct) {
+  Rng rng(7);
+  for (int iter = 0; iter < 20; ++iter) {
+    const int a = 2 + static_cast<int>(rng.uniform_int(0, 5));
+    const int b = 2 + static_cast<int>(rng.uniform_int(0, 5));
+    const std::int64_t m = rng.uniform_int(0, static_cast<std::int64_t>(a) * b);
+    const Graph g = random_bipartite_edges(a, b, m, rng);
+    EXPECT_EQ(g.num_edges(), m);
+    // Distinctness: adjacency of each left vertex has no duplicates.
+    for (int u = 0; u < a; ++u) {
+      std::set<int> uniq(g.neighbors(u).begin(), g.neighbors(u).end());
+      EXPECT_EQ(uniq.size(), g.neighbors(u).size());
+    }
+    EXPECT_TRUE(bipartition(g).has_value());
+  }
+}
+
+TEST(Generators, RandomBipartiteEdgesFullGraph) {
+  Rng rng(8);
+  const Graph g = random_bipartite_edges(3, 3, 9, rng);
+  EXPECT_EQ(g.num_edges(), 9);
+  for (int u = 0; u < 3; ++u) {
+    for (int v = 0; v < 3; ++v) EXPECT_TRUE(g.has_edge(u, 3 + v));
+  }
+}
+
+TEST(Generators, PlantedColoringIsProperAndBipartite) {
+  Rng rng(11);
+  for (int iter = 0; iter < 10; ++iter) {
+    std::vector<int> colors;
+    std::vector<std::uint8_t> sides;
+    const Graph g = random_bipartite_planted_coloring(40, 3, 0.5, rng, &colors, &sides);
+    EXPECT_TRUE(is_proper_coloring(g, colors));
+    EXPECT_TRUE(bipartition(g).has_value());
+    // Edges only between distinct sides.
+    for (int u = 0; u < g.num_vertices(); ++u) {
+      for (int v : g.neighbors(u)) EXPECT_NE(sides[u], sides[v]);
+    }
+  }
+}
+
+TEST(Weights, UnitWeights) {
+  const auto w = unit_weights(5);
+  EXPECT_EQ(w, (std::vector<std::int64_t>{1, 1, 1, 1, 1}));
+}
+
+TEST(Weights, UniformWeightsInRange) {
+  Rng rng(3);
+  const auto w = uniform_weights(500, 5, 9, rng);
+  EXPECT_EQ(w.size(), 500u);
+  for (auto x : w) {
+    EXPECT_GE(x, 5);
+    EXPECT_LE(x, 9);
+  }
+  // All values appear.
+  std::set<std::int64_t> seen(w.begin(), w.end());
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Weights, BimodalWeightsRespectRangesAndFraction) {
+  Rng rng(4);
+  const auto w = bimodal_weights(2000, 1, 10, 1000, 2000, 0.25, rng);
+  int heavy = 0;
+  for (auto x : w) {
+    const bool in_light = x >= 1 && x <= 10;
+    const bool in_heavy = x >= 1000 && x <= 2000;
+    EXPECT_TRUE(in_light || in_heavy);
+    heavy += in_heavy;
+  }
+  EXPECT_NEAR(static_cast<double>(heavy) / 2000.0, 0.25, 0.05);
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,116 @@
+#include "random/gilbert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/bipartite.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(Gilbert, ZeroProbabilityGivesEmptyGraph) {
+  Rng rng(1);
+  const Graph g = gilbert_bipartite(10, 0.0, rng);
+  EXPECT_EQ(g.num_vertices(), 20);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Gilbert, ProbabilityOneGivesCompleteBipartite) {
+  Rng rng(1);
+  for (auto* sampler : {&gilbert_bipartite_dense, &gilbert_bipartite_sparse}) {
+    const Graph g = (*sampler)(6, 1.0, rng);
+    EXPECT_EQ(g.num_vertices(), 12);
+    EXPECT_EQ(g.num_edges(), 36);
+  }
+}
+
+TEST(Gilbert, AllEdgesCrossTheParts) {
+  Rng rng(5);
+  const int n = 40;
+  const Graph g = gilbert_bipartite(n, 0.2, rng);
+  for (int u = 0; u < n; ++u) {
+    for (int v : g.neighbors(u)) {
+      EXPECT_GE(v, n);
+      EXPECT_LT(v, 2 * n);
+    }
+  }
+  EXPECT_TRUE(bipartition(g).has_value());
+}
+
+TEST(Gilbert, DeterministicForSeed) {
+  Rng a(77), b(77);
+  const Graph ga = gilbert_bipartite(30, 0.1, a);
+  const Graph gb = gilbert_bipartite(30, 0.1, b);
+  ASSERT_EQ(ga.num_edges(), gb.num_edges());
+  for (int v = 0; v < ga.num_vertices(); ++v) {
+    EXPECT_EQ(ga.neighbors(v), gb.neighbors(v));
+  }
+}
+
+TEST(Gilbert, DenseSamplerEdgeCountNearExpectation) {
+  Rng rng(13);
+  const int n = 100;
+  const double p = 0.3;
+  double total = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    total += static_cast<double>(gilbert_bipartite_dense(n, p, rng).num_edges());
+  }
+  const double mean = total / trials;
+  const double expected = p * n * n;
+  // stddev of one draw ~ sqrt(n^2 p (1-p)) ~ 46; mean of 30 draws ~ 8.4.
+  EXPECT_NEAR(mean, expected, 40.0);
+}
+
+TEST(Gilbert, SparseSamplerEdgeCountNearExpectation) {
+  Rng rng(17);
+  const int n = 400;
+  const double p = 2.0 / n;  // regime a/n with a=2
+  double total = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    total += static_cast<double>(gilbert_bipartite_sparse(n, p, rng).num_edges());
+  }
+  const double mean = total / trials;
+  const double expected = p * n * n;  // = 800
+  EXPECT_NEAR(mean, expected, 30.0);
+}
+
+TEST(Gilbert, SparseAndDenseAgreeInDistribution) {
+  // Compare edge-count means of the two samplers at the same (n, p).
+  Rng r1(23), r2(29);
+  const int n = 120;
+  const double p = 0.04;
+  double dense = 0, sparse = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    dense += static_cast<double>(gilbert_bipartite_dense(n, p, r1).num_edges());
+    sparse += static_cast<double>(gilbert_bipartite_sparse(n, p, r2).num_edges());
+  }
+  const double expected = p * n * n;  // 576
+  EXPECT_NEAR(dense / trials, expected, 40);
+  EXPECT_NEAR(sparse / trials, expected, 40);
+}
+
+TEST(Gilbert, TrivialSizes) {
+  Rng rng(3);
+  EXPECT_EQ(gilbert_bipartite(0, 0.5, rng).num_vertices(), 0);
+  const Graph g1 = gilbert_bipartite(1, 1.0, rng);
+  EXPECT_EQ(g1.num_vertices(), 2);
+  EXPECT_EQ(g1.num_edges(), 1);
+}
+
+TEST(GilbertRegimes, EvaluatorsInRange) {
+  for (int n : {2, 10, 100, 10000}) {
+    EXPECT_GT(p_below_critical(n), 0.0);
+    EXPECT_LT(p_below_critical(n), 1.0 / n);  // o(1/n) indeed below 1/n here
+    EXPECT_DOUBLE_EQ(p_critical(2.0, n), std::min(1.0, 2.0 / n));
+    EXPECT_GE(p_log_over_n(n), 0.0);
+    EXPECT_LE(p_log_over_n(n), 1.0);
+    EXPECT_LE(p_inv_sqrt(n), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,69 @@
+#include "sched/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "random/generators.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(UniformInstance, FactorySortsSpeeds) {
+  const auto inst =
+      make_uniform_instance({1, 2, 3}, {1, 5, 3}, Graph(3));
+  EXPECT_EQ(inst.speeds, (std::vector<std::int64_t>{5, 3, 1}));
+  EXPECT_EQ(inst.num_jobs(), 3);
+  EXPECT_EQ(inst.num_machines(), 3);
+  EXPECT_EQ(inst.total_work(), 6);
+  EXPECT_EQ(inst.pmax(), 3);
+}
+
+TEST(UniformInstance, IdenticalHelper) {
+  const auto inst = make_identical_instance({1, 1}, 4, Graph(2));
+  EXPECT_EQ(inst.speeds, (std::vector<std::int64_t>{1, 1, 1, 1}));
+}
+
+TEST(UniformInstanceDeath, RejectsNonPositiveWork) {
+  EXPECT_DEATH(make_uniform_instance({0}, {1}, Graph(1)), "must be >= 1");
+  EXPECT_DEATH(make_uniform_instance({1}, {0}, Graph(1)), "must be >= 1");
+}
+
+TEST(UniformInstanceDeath, RejectsJobGraphMismatch) {
+  EXPECT_DEATH(make_uniform_instance({1, 1}, {1}, Graph(3)), "does not match");
+}
+
+TEST(UnrelatedInstance, FactoryBasics) {
+  const auto inst = make_unrelated_instance({{1, 2}, {3, 0}}, Graph(2));
+  EXPECT_EQ(inst.num_machines(), 2);
+  EXPECT_EQ(inst.num_jobs(), 2);
+}
+
+TEST(UnrelatedInstanceDeath, RaggedMatrixRejected) {
+  EXPECT_DEATH(make_unrelated_instance({{1, 2}, {3}}, Graph(2)), "ragged");
+}
+
+TEST(UnrelatedInstanceDeath, NegativeTimeRejected) {
+  EXPECT_DEATH(make_unrelated_instance({{-1}}, Graph(1)), "negative");
+}
+
+TEST(UniformAsUnrelated, ScalesBySpeedLcm) {
+  // speeds 3 and 2 -> lcm 6; job of size p runs p*2 on M1, p*3 on M2.
+  const auto q = make_uniform_instance({5, 7}, {3, 2}, path_graph(2));
+  std::int64_t scale = 0;
+  const auto r = uniform_as_unrelated(q, 0, 2, &scale);
+  EXPECT_EQ(scale, 6);
+  EXPECT_EQ(r.times[0], (std::vector<std::int64_t>{10, 14}));
+  EXPECT_EQ(r.times[1], (std::vector<std::int64_t>{15, 21}));
+  EXPECT_EQ(r.conflicts.num_edges(), 1);
+}
+
+TEST(UniformAsUnrelated, SubrangeOfMachines) {
+  const auto q = make_uniform_instance({4}, {8, 4, 2}, Graph(1));
+  const auto r = uniform_as_unrelated(q, 1, 3);
+  EXPECT_EQ(r.num_machines(), 2);
+  // lcm(4,2)=4: times 4*1=4 on the speed-4 machine, 4*2=8 on the speed-2 one.
+  EXPECT_EQ(r.times[0][0], 4);
+  EXPECT_EQ(r.times[1][0], 8);
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,98 @@
+#include "sched/list_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "random/generators.hpp"
+#include "testing_util.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(ListSchedule, BalancesOnEqualSpeeds) {
+  const auto inst = make_identical_instance({5, 4, 3, 2, 1}, 3, Graph(5));
+  Schedule s;
+  s.machine_of.assign(5, -1);
+  std::vector<std::int64_t> loads(3, 0);
+  const std::vector<int> jobs{0, 1, 2, 3, 4};
+  const std::vector<int> machines{0, 1, 2};
+  list_schedule_uniform(inst, jobs, machines, s, loads);
+  // LPT on identical machines: 5 | 4+1 | 3+2 = loads {5,5,5}.
+  EXPECT_EQ(loads, (std::vector<std::int64_t>{5, 5, 5}));
+  EXPECT_EQ(makespan(inst, s), Rational(5));
+}
+
+TEST(ListSchedule, PrefersFasterMachine) {
+  const auto inst = make_uniform_instance({6, 6}, {3, 1}, Graph(2));
+  Schedule s;
+  s.machine_of.assign(2, -1);
+  std::vector<std::int64_t> loads(2, 0);
+  list_schedule_uniform(inst, std::vector<int>{0, 1}, std::vector<int>{0, 1}, s, loads);
+  // First job -> M1 (finish 2 vs 6). Second: M1 finishes at 4, M2 at 6 -> M1.
+  EXPECT_EQ(s.machine_of, (std::vector<int>{0, 0}));
+  EXPECT_EQ(makespan(inst, s), Rational(4));
+}
+
+TEST(ListSchedule, RespectsMachineSubset) {
+  const auto inst = make_uniform_instance({1, 1, 1}, {10, 1, 1}, Graph(3));
+  Schedule s;
+  s.machine_of.assign(3, -1);
+  std::vector<std::int64_t> loads(3, 0);
+  list_schedule_uniform(inst, std::vector<int>{0, 1, 2}, std::vector<int>{1, 2}, s, loads);
+  for (int j = 0; j < 3; ++j) EXPECT_NE(s.machine_of[j], 0);  // fastest never used
+  EXPECT_EQ(loads[0], 0);
+}
+
+TEST(ListSchedule, AccumulatesOntoSeededLoads) {
+  const auto inst = make_uniform_instance({3}, {1, 1}, Graph(1));
+  Schedule s;
+  s.machine_of.assign(1, -1);
+  std::vector<std::int64_t> loads{10, 0};  // machine 0 pre-loaded
+  list_schedule_uniform(inst, std::vector<int>{0}, std::vector<int>{0, 1}, s, loads);
+  EXPECT_EQ(s.machine_of[0], 1);  // goes to the idle machine
+  EXPECT_EQ(loads, (std::vector<std::int64_t>{10, 3}));
+}
+
+TEST(ListSchedule, EmptyJobListIsNoop) {
+  const auto inst = make_uniform_instance({1}, {1}, Graph(1));
+  Schedule s;
+  s.machine_of.assign(1, -1);
+  std::vector<std::int64_t> loads(1, 0);
+  list_schedule_uniform(inst, {}, {}, s, loads);
+  EXPECT_EQ(loads[0], 0);
+}
+
+TEST(GreedyConflictLpt, ValidOnRandomBipartite) {
+  Rng rng(42);
+  for (int iter = 0; iter < 30; ++iter) {
+    const auto inst = testing::random_uniform_instance(
+        4 + static_cast<int>(rng.uniform_int(0, 4)), 4 + static_cast<int>(rng.uniform_int(0, 4)),
+        3 + static_cast<int>(rng.uniform_int(0, 3)), 9, 4, rng);
+    Schedule s;
+    if (greedy_conflict_lpt(inst, s)) {
+      EXPECT_EQ(validate(inst, s), ScheduleStatus::kValid);
+    }
+  }
+}
+
+TEST(GreedyConflictLpt, FailsWhenMachinesTooFew) {
+  // Single machine, one conflict edge: no feasible greedy placement.
+  Graph g(2);
+  g.add_edge(0, 1);
+  const auto inst = make_uniform_instance({1, 1}, {1}, std::move(g));
+  Schedule s;
+  EXPECT_FALSE(greedy_conflict_lpt(inst, s));
+}
+
+TEST(GreedyConflictLpt, TwoMachinesSplitEdge) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  const auto inst = make_uniform_instance({5, 5}, {1, 1}, std::move(g));
+  Schedule s;
+  ASSERT_TRUE(greedy_conflict_lpt(inst, s));
+  EXPECT_NE(s.machine_of[0], s.machine_of[1]);
+  EXPECT_EQ(makespan(inst, s), Rational(5));
+}
+
+}  // namespace
+}  // namespace bisched

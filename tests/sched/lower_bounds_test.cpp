@@ -1,0 +1,67 @@
+#include "sched/lower_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_bb.hpp"
+#include "random/generators.hpp"
+#include "testing_util.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(LowerBounds, PmaxBound) {
+  const auto inst = make_uniform_instance({7, 1}, {2, 1}, Graph(2));
+  EXPECT_EQ(lb_pmax(inst), Rational(7, 2));
+}
+
+TEST(LowerBounds, CoverAllBound) {
+  // total 8, speeds (3,1): t=2 gives caps (6,2)=8.
+  const auto inst = make_uniform_instance({4, 4}, {3, 1}, Graph(2));
+  EXPECT_EQ(lb_cover_all(inst), Rational(2));
+}
+
+TEST(LowerBounds, OffMachine1UsesIndependentSet) {
+  // K_{2,2} with unit jobs on speeds (100, 1, 1): M1 can hold at most one
+  // side (2 jobs); the other 2 jobs need the two speed-1 machines >= 1 time.
+  const auto inst =
+      make_uniform_instance({1, 1, 1, 1}, {100, 1, 1}, complete_bipartite(2, 2));
+  const auto off1 = lb_off_machine1(inst);
+  ASSERT_TRUE(off1.has_value());
+  EXPECT_EQ(*off1, Rational(1));
+  // The cover-all bound alone would be tiny (4/102-ish); off-M1 dominates.
+  EXPECT_TRUE(lb_cover_all(inst) < *off1);
+  EXPECT_EQ(lower_bound(inst), Rational(1));
+}
+
+TEST(LowerBounds, OffMachine1NulloptForSingleMachine) {
+  const auto inst = make_uniform_instance({1}, {1}, Graph(1));
+  EXPECT_FALSE(lb_off_machine1(inst).has_value());
+  EXPECT_EQ(lower_bound(inst), Rational(1));
+}
+
+TEST(LowerBounds, NeverExceedsOptimum) {
+  Rng rng(2025);
+  for (int iter = 0; iter < 40; ++iter) {
+    const auto inst = testing::random_uniform_instance(
+        2 + static_cast<int>(rng.uniform_int(0, 3)), 2 + static_cast<int>(rng.uniform_int(0, 3)),
+        2 + static_cast<int>(rng.uniform_int(0, 2)), 6, 4, rng);
+    const auto exact = exact_uniform_bb(inst);
+    ASSERT_TRUE(exact.feasible);
+    const Rational lb = lower_bound(inst);
+    EXPECT_TRUE(lb <= exact.cmax)
+        << "lb=" << lb.to_string() << " opt=" << exact.cmax.to_string();
+  }
+}
+
+TEST(LowerBounds, TightOnSymmetricInstances) {
+  // n unit jobs, no conflicts, m unit machines: LB = ceil(n/m) = OPT.
+  const auto inst = make_identical_instance(std::vector<std::int64_t>(6, 1), 3, Graph(6));
+  EXPECT_EQ(lower_bound(inst), Rational(2));
+  const auto exact = exact_uniform_bb(inst);
+  ASSERT_TRUE(exact.feasible);
+  EXPECT_EQ(exact.cmax, Rational(2));
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,61 @@
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "random/generators.hpp"
+
+namespace bisched {
+namespace {
+
+UniformInstance demo_uniform() {
+  Graph g(3);
+  g.add_edge(0, 1);
+  return make_uniform_instance({2, 3, 4}, {2, 1}, std::move(g));
+}
+
+TEST(Validate, DetectsAllStatuses) {
+  const auto inst = demo_uniform();
+  EXPECT_EQ(validate(inst, Schedule{{0, 1, 0}}), ScheduleStatus::kValid);
+  EXPECT_EQ(validate(inst, Schedule{{0, 1}}), ScheduleStatus::kWrongJobCount);
+  EXPECT_EQ(validate(inst, Schedule{{0, 2, 0}}), ScheduleStatus::kMachineOutOfRange);
+  EXPECT_EQ(validate(inst, Schedule{{0, -1, 0}}), ScheduleStatus::kMachineOutOfRange);
+  EXPECT_EQ(validate(inst, Schedule{{0, 0, 1}}), ScheduleStatus::kConflictViolated);
+}
+
+TEST(Validate, StatusToString) {
+  EXPECT_EQ(to_string(ScheduleStatus::kValid), "valid");
+  EXPECT_EQ(to_string(ScheduleStatus::kConflictViolated), "conflict violated");
+}
+
+TEST(MakespanUniform, ExactRational) {
+  const auto inst = demo_uniform();
+  // M1 (speed 2): jobs 0,2 -> load 6 -> 3; M2 (speed 1): job 1 -> 3.
+  const Schedule s{{0, 1, 0}};
+  EXPECT_EQ(makespan(inst, s), Rational(3));
+  const auto loads = machine_loads(inst, s);
+  EXPECT_EQ(loads, (std::vector<std::int64_t>{6, 3}));
+}
+
+TEST(MakespanUniform, FractionalResult) {
+  const auto inst = make_uniform_instance({5}, {2}, Graph(1));
+  EXPECT_EQ(makespan(inst, Schedule{{0}}), Rational(5, 2));
+}
+
+TEST(MakespanUnrelated, PerMachineTimes) {
+  Graph g(3);
+  g.add_edge(0, 2);
+  const auto inst = make_unrelated_instance({{1, 10, 2}, {5, 1, 5}}, std::move(g));
+  const Schedule s{{0, 0, 1}};  // conflicting jobs 0 and 2 separated
+  EXPECT_EQ(validate(inst, s), ScheduleStatus::kValid);
+  EXPECT_EQ(makespan(inst, s), 11);
+  EXPECT_EQ(machine_loads(inst, s), (std::vector<std::int64_t>{11, 5}));
+  EXPECT_EQ(validate(inst, Schedule{{0, 1, 0}}), ScheduleStatus::kConflictViolated);
+}
+
+TEST(MakespanUniform, EmptyInstance) {
+  const auto inst = make_uniform_instance({}, {1, 1}, Graph(0));
+  EXPECT_EQ(makespan(inst, Schedule{{}}), Rational(0));
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,52 @@
+// Shared helpers for the test suites: random instance builders and exact
+// ratio assertions.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "random/generators.hpp"
+#include "sched/instance.hpp"
+#include "sched/schedule.hpp"
+#include "util/prng.hpp"
+#include "util/rational.hpp"
+
+namespace bisched::testing {
+
+// Random bipartite uniform instance: part sizes a x b, edge count up to half
+// of a*b, weights in [1, wmax], speeds in [1, smax].
+inline UniformInstance random_uniform_instance(int a, int b, int m, std::int64_t wmax,
+                                               std::int64_t smax, Rng& rng) {
+  const std::int64_t max_edges = static_cast<std::int64_t>(a) * b;
+  Graph g = random_bipartite_edges(a, b, rng.uniform_int(0, max_edges / 2), rng);
+  std::vector<std::int64_t> p(static_cast<std::size_t>(a + b));
+  for (auto& x : p) x = rng.uniform_int(1, wmax);
+  std::vector<std::int64_t> speeds(static_cast<std::size_t>(m));
+  for (auto& s : speeds) s = rng.uniform_int(1, smax);
+  return make_uniform_instance(std::move(p), std::move(speeds), std::move(g));
+}
+
+// Random bipartite unrelated instance on two machines.
+inline UnrelatedInstance random_r2_instance(int a, int b, std::int64_t tmax, Rng& rng) {
+  const std::int64_t max_edges = static_cast<std::int64_t>(a) * b;
+  Graph g = random_bipartite_edges(a, b, rng.uniform_int(0, max_edges / 2), rng);
+  std::vector<std::vector<std::int64_t>> times(2);
+  for (auto& row : times) {
+    row.resize(static_cast<std::size_t>(a + b));
+    for (auto& t : row) t = rng.uniform_int(0, tmax);
+  }
+  return make_unrelated_instance(std::move(times), std::move(g));
+}
+
+// Asserts x <= sqrt(bound) * y exactly: x^2 <= bound * y^2 over rationals.
+inline void expect_le_sqrt_times(const Rational& x, std::int64_t bound, const Rational& y,
+                                 const char* context) {
+  const Rational lhs = x * x;
+  const Rational rhs = y * y * Rational(bound);
+  EXPECT_LE(lhs.to_double(), rhs.to_double() * (1 + 1e-12)) << context;
+  EXPECT_TRUE(lhs <= rhs) << context << ": " << x.to_string() << "^2 > " << bound << " * "
+                          << y.to_string() << "^2";
+}
+
+}  // namespace bisched::testing

@@ -1,0 +1,90 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 4u, 7u}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, threads);
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; }, 4);
+}
+
+TEST(ParallelFor, MoreThreadsThanWork) {
+  std::atomic<int> sum{0};
+  parallel_for(3, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); }, 64);
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(MonteCarlo, DeterministicAcrossThreadCounts) {
+  auto task = [](std::uint64_t seed) {
+    Rng rng(seed);
+    return rng.uniform_real01();
+  };
+  const auto r1 = monte_carlo(100, task, /*base_seed=*/99, /*num_threads=*/1);
+  const auto r4 = monte_carlo(100, task, /*base_seed=*/99, /*num_threads=*/4);
+  EXPECT_EQ(r1, r4);
+}
+
+TEST(MonteCarlo, DistinctSeedsPerTrial) {
+  auto task = [](std::uint64_t seed) { return static_cast<double>(seed % 100003); };
+  const auto r = monte_carlo(50, task, 7, 2);
+  // If the seeds were identical, every slot would match slot 0.
+  int distinct = 0;
+  for (double x : r) distinct += (x != r[0]);
+  EXPECT_GT(distinct, 40);
+}
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, SizeClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(DefaultThreadCount, Positive) { EXPECT_GE(default_thread_count(), 1u); }
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,107 @@
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace bisched {
+namespace {
+
+TEST(Prng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Prng, UniformU64StaysBelowBound) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform_u64(bound), bound);
+  }
+}
+
+TEST(Prng, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit with overwhelming probability
+}
+
+TEST(Prng, UniformIntSingletonRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Prng, UniformReal01MeanIsHalf) {
+  Rng rng(17);
+  double sum = 0;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) {
+    const double u = rng.uniform_real01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / samples, 0.5, 0.01);
+}
+
+TEST(Prng, BernoulliFrequency) {
+  Rng rng(19);
+  const int samples = 50000;
+  int hits = 0;
+  for (int i = 0; i < samples; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / samples, 0.3, 0.02);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Prng, GeometricSkipsMeanMatchesTheory) {
+  Rng rng(23);
+  const double p = 0.05;
+  const int samples = 50000;
+  double sum = 0;
+  for (int i = 0; i < samples; ++i) sum += static_cast<double>(rng.geometric_skips(p));
+  // E[failures before success] = (1-p)/p = 19.
+  EXPECT_NEAR(sum / samples, (1.0 - p) / p, 0.5);
+}
+
+TEST(Prng, GeometricSkipsWithPOneIsZero) {
+  Rng rng(29);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.geometric_skips(1.0), 0u);
+}
+
+TEST(Prng, DeriveSeedGivesDistinctStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+    seeds.insert(derive_seed(42, stream));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+  EXPECT_NE(derive_seed(42, 0), derive_seed(43, 0));
+}
+
+TEST(Prng, WorksWithStdShuffleInterface) {
+  Rng rng(31);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::shuffle(v.begin(), v.end(), rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,141 @@
+#include "util/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(Rational, NormalizesOnConstruction) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, 4), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, -4), Rational(-1, 2));
+  EXPECT_EQ(Rational(-2, -4), Rational(1, 2));
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+  EXPECT_EQ(Rational(0, 7).den(), 1);
+}
+
+TEST(Rational, ImplicitFromInt) {
+  Rational r = 5;
+  EXPECT_EQ(r.num(), 5);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.is_integer());
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(9, 4), Rational(3, 2));
+  EXPECT_EQ(Rational(2, 3) / Rational(4, 9), Rational(3, 2));
+  EXPECT_EQ(-Rational(3, 7), Rational(-3, 7));
+}
+
+TEST(Rational, DivisionBySignedValueKeepsDenominatorPositive) {
+  const Rational r = Rational(1, 2) / Rational(-1, 3);
+  EXPECT_EQ(r, Rational(-3, 2));
+  EXPECT_GT(r.den(), 0);
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GE(Rational(7, 2), Rational(3));
+  EXPECT_GT(Rational(7, 2), Rational(3));
+  EXPECT_NE(Rational(1, 3), Rational(1, 4));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(6, 2).floor(), 3);
+  EXPECT_EQ(Rational(6, 2).ceil(), 3);
+  EXPECT_EQ(Rational(0).floor(), 0);
+  EXPECT_EQ(Rational(0).ceil(), 0);
+}
+
+TEST(Rational, FloorMulMatchesDefinition) {
+  // floor(5 * 7/3) = floor(35/3) = 11
+  EXPECT_EQ(floor_mul(5, Rational(7, 3)), 11);
+  EXPECT_EQ(floor_mul(3, Rational(1, 3)), 1);
+  EXPECT_EQ(floor_mul(2, Rational(-7, 3)), -5);  // floor(-14/3) = -5
+  EXPECT_EQ(floor_mul(1, Rational(0)), 0);
+}
+
+TEST(Rational, NextCapacityTimeIsStrictIncrease) {
+  // speed 3, time 5/3 -> capacity floor(5) = 5; next capacity at 6/3 = 2.
+  const Rational t = next_capacity_time(3, Rational(5, 3));
+  EXPECT_EQ(t, Rational(2));
+  EXPECT_EQ(floor_mul(3, t), 6);
+  // Generic property: capacity at next time is exactly old capacity + 1.
+  const Rational t2 = next_capacity_time(7, Rational(10, 3));
+  EXPECT_EQ(floor_mul(7, t2), floor_mul(7, Rational(10, 3)) + 1);
+  EXPECT_GT(t2, Rational(10, 3));
+}
+
+TEST(Rational, ToStringAndDouble) {
+  EXPECT_EQ(Rational(3, 4).to_string(), "3/4");
+  EXPECT_EQ(Rational(5).to_string(), "5");
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+}
+
+TEST(Rational, RandomizedArithmeticAgainstInt128) {
+  Rng rng(42);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::int64_t a = rng.uniform_int(-1000, 1000);
+    const std::int64_t b = rng.uniform_int(1, 1000);
+    const std::int64_t c = rng.uniform_int(-1000, 1000);
+    const std::int64_t d = rng.uniform_int(1, 1000);
+    const Rational x(a, b), y(c, d);
+
+    const Rational sum = x + y;
+    // a/b + c/d == (ad + cb) / bd, compared cross-multiplied in 128 bits.
+    const __int128 lhs = static_cast<__int128>(sum.num()) * (b * d);
+    const __int128 rhs = static_cast<__int128>(a * d + c * b) * sum.den();
+    EXPECT_EQ(lhs, rhs);
+
+    const Rational prod = x * y;
+    const __int128 lhs2 = static_cast<__int128>(prod.num()) * (b * d);
+    const __int128 rhs2 = static_cast<__int128>(a) * c * prod.den();
+    EXPECT_EQ(lhs2, rhs2);
+
+    // Ordering agrees with long double approximation away from ties.
+    const long double fx = static_cast<long double>(a) / b;
+    const long double fy = static_cast<long double>(c) / d;
+    if (fx + 1e-12 < fy) {
+      EXPECT_LT(x, y);
+    }
+    if (fy + 1e-12 < fx) {
+      EXPECT_GT(x, y);
+    }
+  }
+}
+
+TEST(Rational, RandomizedFloorMul) {
+  Rng rng(7);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::int64_t s = rng.uniform_int(1, 100000);
+    const std::int64_t num = rng.uniform_int(0, 1000000);
+    const std::int64_t den = rng.uniform_int(1, 1000000);
+    const Rational t(num, den);
+    const std::int64_t expect =
+        static_cast<std::int64_t>(static_cast<__int128>(s) * num / den);
+    EXPECT_EQ(floor_mul(s, t), expect);
+  }
+}
+
+TEST(RationalDeath, ZeroDenominatorAborts) {
+  EXPECT_DEATH(Rational(1, 0), "zero denominator");
+}
+
+TEST(RationalDeath, DivisionByZeroAborts) {
+  EXPECT_DEATH(Rational(1, 2) / Rational(0), "division by zero");
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,97 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+TEST(Welford, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  Welford w;
+  for (double x : xs) w.add(x);
+  EXPECT_EQ(w.count(), 5u);
+  EXPECT_DOUBLE_EQ(w.mean(), 6.2);
+  double m = 0;
+  for (double x : xs) m += (x - 6.2) * (x - 6.2);
+  EXPECT_NEAR(w.variance(), m / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(w.min(), 1.0);
+  EXPECT_DOUBLE_EQ(w.max(), 16.0);
+}
+
+TEST(Welford, VarianceOfFewSamplesIsZero) {
+  Welford w;
+  EXPECT_EQ(w.variance(), 0.0);
+  w.add(3.0);
+  EXPECT_EQ(w.variance(), 0.0);
+  EXPECT_EQ(w.mean(), 3.0);
+}
+
+TEST(Welford, MergeEqualsSequential) {
+  Rng rng(5);
+  Welford whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real01() * 10 - 5;
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Welford, MergeWithEmpty) {
+  Welford a, b;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Percentile, KnownValues) {
+  std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 50);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 30);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 20);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.125), 15);  // interpolated
+}
+
+TEST(Percentile, SingleSample) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.9), 7.0);
+}
+
+TEST(Summarize, FullSummary) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+}
+
+TEST(Summarize, EmptyIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,57 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bisched {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(out.find("| long-name | 22    |"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesSpecials) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"x,y", "he said \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t;
+  t.set_header({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTableDeath, WidthMismatchAborts) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width mismatch");
+}
+
+TEST(Formatters, Render) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_ratio(1.03125), "1.0312");  // round-to-even banker's is fine
+  EXPECT_EQ(fmt_count(12345), "12345");
+  EXPECT_EQ(fmt_sci(0.00032), "3.20e-04");
+  EXPECT_EQ(fmt_bool(true), "yes");
+  EXPECT_EQ(fmt_bool(false), "no");
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,273 @@
+// bisched_cli — command-line front end for the library.
+//
+//   bisched_cli solve --alg=<name> [file]     schedule an instance
+//   bisched_cli gen <family> [options]        generate an instance to stdout
+//   bisched_cli eval <instance> <schedule>    validate + makespan
+//
+// Algorithms (uniform instances): alg1 (Theorem 9), alg2 (Theorem 19),
+// alg2b (balanced extension), split, proportional, greedy, exact (B&B, small
+// n), q2exact (Theorem 4, unit jobs / two machines), kab (complete bipartite
+// exact). Unrelated two-machine instances: alg4 (Theorem 21), alg5
+// (Theorem 22, --eps=), r2exact.
+//
+// Instances are read from the given file or stdin ('-'); the schedule is
+// written to stdout in the bisched schedule format, with a summary on stderr.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/alg_random.hpp"
+#include "core/alg_random_balanced.hpp"
+#include "core/alg_sqrt.hpp"
+#include "core/baselines.hpp"
+#include "core/complete_bipartite_exact.hpp"
+#include "core/exact_bb.hpp"
+#include "core/q2_unit_exact.hpp"
+#include "core/r2_algorithms.hpp"
+#include "io/format.hpp"
+#include "random/generators.hpp"
+#include "random/gilbert.hpp"
+#include "sched/list_schedule.hpp"
+#include "sched/lower_bounds.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace bisched;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  bisched_cli solve --alg=NAME [--eps=E] [FILE|-]\n"
+      "  bisched_cli gen gilbert --n=N --a=A --m=M [--smax=S] [--seed=SEED]\n"
+      "  bisched_cli gen crown --n=N --m=M [--wmax=W] [--seed=SEED]\n"
+      "  bisched_cli gen r2 --n=N --tmax=T [--edges=K] [--seed=SEED]\n"
+      "  bisched_cli eval INSTANCE SCHEDULE\n";
+  return 2;
+}
+
+bool flag_value(int argc, char** argv, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      *out = argv[i] + prefix.size();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int64_t flag_int(int argc, char** argv, const char* name, std::int64_t fallback) {
+  std::string value;
+  if (!flag_value(argc, argv, name, &value)) return fallback;
+  return std::atoll(value.c_str());
+}
+
+double flag_double(int argc, char** argv, const char* name, double fallback) {
+  std::string value;
+  if (!flag_value(argc, argv, name, &value)) return fallback;
+  return std::atof(value.c_str());
+}
+
+ParsedInstance read_instance(const std::string& path) {
+  if (path == "-" || path.empty()) return parse_instance(std::cin);
+  std::ifstream file(path);
+  if (!file) {
+    ParsedInstance bad;
+    bad.error = "cannot open '" + path + "'";
+    return bad;
+  }
+  return parse_instance(file);
+}
+
+int emit(const Schedule& schedule, const std::string& what, const Rational& cmax) {
+  write_schedule(std::cout, schedule);
+  std::cerr << what << ": makespan " << cmax.to_string() << " (" << cmax.to_double()
+            << ")\n";
+  return 0;
+}
+
+int cmd_solve(int argc, char** argv) {
+  std::string alg;
+  if (!flag_value(argc, argv, "alg", &alg)) return usage();
+  const double eps = flag_double(argc, argv, "eps", 0.1);
+  std::string path = "-";
+  for (int i = 2; i < argc; ++i) {
+    if (argv[i][0] != '-' || std::strcmp(argv[i], "-") == 0) path = argv[i];
+  }
+
+  const ParsedInstance parsed = read_instance(path);
+  if (!parsed.ok()) {
+    std::cerr << "parse error: " << parsed.error << "\n";
+    return 1;
+  }
+
+  if (parsed.uniform.has_value()) {
+    const UniformInstance& inst = *parsed.uniform;
+    std::cerr << "uniform instance: " << inst.num_jobs() << " jobs, "
+              << inst.num_machines() << " machines, lower bound "
+              << lower_bound(inst).to_string() << "\n";
+    if (alg == "alg1") {
+      const auto r = alg1_sqrt_approx(inst);
+      return emit(r.schedule, "Algorithm 1", r.cmax);
+    }
+    if (alg == "alg2") {
+      const auto r = alg2_random_bipartite(inst);
+      return emit(r.schedule, "Algorithm 2", r.cmax);
+    }
+    if (alg == "alg2b") {
+      const auto r = alg2_balanced(inst);
+      return emit(r.schedule, "Algorithm 2B", r.cmax);
+    }
+    if (alg == "split") {
+      const auto r = two_color_split(inst);
+      return emit(r.schedule, "two-color split", r.cmax);
+    }
+    if (alg == "proportional") {
+      const auto r = class_proportional_split(inst);
+      return emit(r.schedule, "proportional split", r.cmax);
+    }
+    if (alg == "greedy") {
+      Schedule s;
+      if (!greedy_conflict_lpt(inst, s)) {
+        std::cerr << "greedy dead end (no conflict-free machine for some job)\n";
+        return 1;
+      }
+      return emit(s, "greedy LPT", makespan(inst, s));
+    }
+    if (alg == "exact") {
+      const auto r = exact_uniform_bb(inst);
+      if (!r.feasible) {
+        std::cerr << "infeasible (graph needs more machines)\n";
+        return 1;
+      }
+      return emit(r.schedule, "exact (B&B)", r.cmax);
+    }
+    if (alg == "q2exact") {
+      const auto r = q2_unit_exact_dp(inst);
+      return emit(r.schedule, "Theorem 4 exact", r.cmax);
+    }
+    if (alg == "kab") {
+      const auto r = solve_complete_bipartite_instance(inst);
+      return emit(r.schedule, "complete-bipartite exact", r.cmax);
+    }
+    std::cerr << "unknown uniform-instance algorithm '" << alg << "'\n";
+    return usage();
+  }
+
+  const UnrelatedInstance& inst = *parsed.unrelated;
+  std::cerr << "unrelated instance: " << inst.num_jobs() << " jobs, "
+            << inst.num_machines() << " machines\n";
+  auto emit_r = [&](const Schedule& s, const std::string& what, std::int64_t cmax) {
+    write_schedule(std::cout, s);
+    std::cerr << what << ": makespan " << cmax << "\n";
+    return 0;
+  };
+  if (alg == "alg4") {
+    const auto r = r2_two_approx(inst);
+    return emit_r(r.schedule, "Algorithm 4", r.cmax);
+  }
+  if (alg == "alg5") {
+    const auto r = r2_fptas_bipartite(inst, eps);
+    return emit_r(r.schedule, "Algorithm 5 (eps=" + std::to_string(eps) + ")", r.cmax);
+  }
+  if (alg == "r2exact") {
+    const auto r = r2_exact_bipartite(inst);
+    return emit_r(r.schedule, "exact (reduction + DP)", r.cmax);
+  }
+  if (alg == "exact") {
+    const auto r = exact_unrelated_bb(inst);
+    if (!r.feasible) {
+      std::cerr << "infeasible\n";
+      return 1;
+    }
+    return emit_r(r.schedule, "exact (B&B)", r.cmax);
+  }
+  std::cerr << "unknown unrelated-instance algorithm '" << alg << "'\n";
+  return usage();
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string family = argv[2];
+  Rng rng(static_cast<std::uint64_t>(flag_int(argc, argv, "seed", 1)));
+  if (family == "gilbert") {
+    const int n = static_cast<int>(flag_int(argc, argv, "n", 100));
+    const double a = flag_double(argc, argv, "a", 2.0);
+    const int m = static_cast<int>(flag_int(argc, argv, "m", 4));
+    const std::int64_t smax = flag_int(argc, argv, "smax", 8);
+    Graph g = gilbert_bipartite(n, a / n, rng);
+    std::vector<std::int64_t> speeds(static_cast<std::size_t>(m));
+    for (auto& s : speeds) s = rng.uniform_int(1, smax);
+    write_instance(std::cout,
+                   make_uniform_instance(unit_weights(2 * n), std::move(speeds), std::move(g)));
+    return 0;
+  }
+  if (family == "crown") {
+    const int n = static_cast<int>(flag_int(argc, argv, "n", 20));
+    const int m = static_cast<int>(flag_int(argc, argv, "m", 4));
+    const std::int64_t wmax = flag_int(argc, argv, "wmax", 10);
+    write_instance(std::cout,
+                   make_uniform_instance(uniform_weights(2 * n, 1, wmax, rng),
+                                         std::vector<std::int64_t>(static_cast<std::size_t>(m), 2),
+                                         crown(n)));
+    return 0;
+  }
+  if (family == "r2") {
+    const int n = static_cast<int>(flag_int(argc, argv, "n", 50));
+    const std::int64_t tmax = flag_int(argc, argv, "tmax", 50);
+    const std::int64_t edges = flag_int(argc, argv, "edges", n / 2);
+    Graph g = random_bipartite_edges(n, n, edges, rng);
+    std::vector<std::vector<std::int64_t>> times(2,
+                                                 std::vector<std::int64_t>(2 * static_cast<std::size_t>(n)));
+    for (auto& row : times) {
+      for (auto& x : row) x = rng.uniform_int(0, tmax);
+    }
+    write_instance(std::cout, make_unrelated_instance(std::move(times), std::move(g)));
+    return 0;
+  }
+  std::cerr << "unknown family '" << family << "'\n";
+  return usage();
+}
+
+int cmd_eval(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const ParsedInstance parsed = read_instance(argv[2]);
+  if (!parsed.ok()) {
+    std::cerr << "parse error: " << parsed.error << "\n";
+    return 1;
+  }
+  std::ifstream sched_file(argv[3]);
+  std::string error;
+  const auto schedule = parse_schedule(sched_file, &error);
+  if (!schedule.has_value()) {
+    std::cerr << "schedule parse error: " << error << "\n";
+    return 1;
+  }
+  if (parsed.uniform.has_value()) {
+    const auto status = validate(*parsed.uniform, *schedule);
+    std::cout << "status: " << to_string(status) << "\n";
+    if (status != ScheduleStatus::kValid) return 1;
+    std::cout << "makespan: " << makespan(*parsed.uniform, *schedule).to_string() << "\n";
+    std::cout << "lower_bound: " << lower_bound(*parsed.uniform).to_string() << "\n";
+    return 0;
+  }
+  const auto status = validate(*parsed.unrelated, *schedule);
+  std::cout << "status: " << to_string(status) << "\n";
+  if (status != ScheduleStatus::kValid) return 1;
+  std::cout << "makespan: " << makespan(*parsed.unrelated, *schedule) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  if (command == "solve") return cmd_solve(argc, argv);
+  if (command == "gen") return cmd_gen(argc, argv);
+  if (command == "eval") return cmd_eval(argc, argv);
+  return usage();
+}
