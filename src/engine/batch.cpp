@@ -1,0 +1,179 @@
+#include "engine/batch.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "engine/portfolio.hpp"
+#include "io/format.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace bisched::engine {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> collect_instance_paths(const std::string& path, std::string* error) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      if (entry.is_regular_file()) out.push_back(entry.path().string());
+    }
+    if (ec) {
+      if (error != nullptr) *error = "cannot list '" + path + "': " + ec.message();
+      return {};
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::ifstream manifest(path);
+  if (!manifest) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return {};
+  }
+  const fs::path base = fs::path(path).parent_path();
+  std::string line;
+  while (std::getline(manifest, line)) {
+    const auto start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const auto end = line.find_last_not_of(" \t\r");
+    const std::string entry = line.substr(start, end - start + 1);
+    const fs::path p(entry);
+    out.push_back(p.is_absolute() ? p.string() : (base / p).string());
+  }
+  return out;
+}
+
+BatchRunner::BatchRunner(const SolverRegistry& registry, BatchOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+
+BatchRow BatchRunner::run_one(const std::string& path) const {
+  BatchRow row;
+  row.file = path;
+  Timer timer;
+
+  std::ifstream file(path);
+  if (!file) {
+    row.error = "cannot open file";
+    return row;
+  }
+  const ParsedInstance parsed = parse_instance(file);
+  if (!parsed.ok()) {
+    row.error = "parse error: " + parsed.error;
+    return row;
+  }
+
+  SolveResult result;
+  const auto dispatch = [&](const auto& inst) {
+    row.jobs = inst.num_jobs();
+    row.machines = inst.num_machines();
+    return options_.alg == "auto" ? solve_auto(registry_, inst, options_.solve)
+                                  : solve_named(registry_, options_.alg, inst,
+                                                options_.solve);
+  };
+  if (parsed.uniform.has_value()) {
+    row.model = "uniform";
+    result = dispatch(*parsed.uniform);
+  } else {
+    row.model = "unrelated";
+    result = dispatch(*parsed.unrelated);
+  }
+
+  row.wall_ms = timer.millis();
+  if (!result.ok) {
+    row.error = result.error;
+    return row;
+  }
+  row.ok = true;
+  row.solver = result.solver;
+  row.guarantee = result.guarantee;
+  row.makespan = result.cmax.to_string();
+  row.makespan_value = result.cmax.to_double();
+  return row;
+}
+
+std::vector<BatchRow> BatchRunner::run(const std::vector<std::string>& paths) const {
+  std::vector<BatchRow> rows(paths.size());
+  const unsigned threads =
+      options_.threads != 0 ? options_.threads : default_thread_count();
+  ThreadPool pool(threads);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    pool.submit([this, &paths, &rows, i] { rows[i] = run_one(paths[i]); });
+  }
+  pool.wait_idle();
+  return rows;
+}
+
+namespace {
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void write_rows_csv(std::ostream& out, std::span<const BatchRow> rows) {
+  out << "file,status,model,jobs,machines,solver,guarantee,makespan,makespan_value,"
+         "wall_ms,error\n";
+  for (const BatchRow& row : rows) {
+    out << csv_quote(row.file) << ',' << (row.ok ? "ok" : "error") << ',' << row.model
+        << ',' << row.jobs << ',' << row.machines << ',' << csv_quote(row.solver) << ','
+        << csv_quote(row.guarantee) << ',' << csv_quote(row.makespan) << ','
+        << fmt_double_exact(row.makespan_value) << ',' << fmt_double_exact(row.wall_ms)
+        << ',' << csv_quote(row.error) << '\n';
+  }
+}
+
+void write_rows_json(std::ostream& out, std::span<const BatchRow> rows) {
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BatchRow& row = rows[i];
+    out << "  {\"file\": " << json_string(row.file)
+        << ", \"status\": " << (row.ok ? "\"ok\"" : "\"error\"")
+        << ", \"model\": " << json_string(row.model) << ", \"jobs\": " << row.jobs
+        << ", \"machines\": " << row.machines
+        << ", \"solver\": " << json_string(row.solver)
+        << ", \"guarantee\": " << json_string(row.guarantee)
+        << ", \"makespan\": " << json_string(row.makespan)
+        << ", \"makespan_value\": " << fmt_double_exact(row.makespan_value)
+        << ", \"wall_ms\": " << fmt_double_exact(row.wall_ms)
+        << ", \"error\": " << json_string(row.error) << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+}  // namespace bisched::engine

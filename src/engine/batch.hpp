@@ -1,0 +1,68 @@
+// BatchRunner: solve a directory or manifest of instances concurrently.
+//
+// Built on util/parallel.hpp's ThreadPool: one task per instance, each
+// writing into its own result slot, so the solver-result fields (order,
+// status, solver, makespan) are identical at any thread count — the
+// acceptance bar for deterministic batch serving. wall_ms is measured, not
+// deterministic.
+// Rows carry everything a downstream aggregation needs — instance shape,
+// winning solver, guarantee, exact makespan (rational string) plus a double
+// for quick plotting, and per-instance wall time — and serialize to CSV or
+// JSON.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/registry.hpp"
+#include "engine/solver.hpp"
+
+namespace bisched::engine {
+
+struct BatchOptions {
+  // Registry solver name, or "auto" for portfolio dispatch per instance.
+  std::string alg = "auto";
+  SolveOptions solve;
+  unsigned threads = 0;  // 0 = default_thread_count()
+};
+
+struct BatchRow {
+  std::string file;
+  bool ok = false;
+  std::string error;          // parse or solve failure
+  std::string model;          // "uniform" | "unrelated" | "" on parse failure
+  int jobs = 0;
+  int machines = 0;
+  std::string solver;         // winning solver (empty on failure)
+  std::string guarantee;
+  std::string makespan;       // exact rational string (empty on failure)
+  double makespan_value = 0;  // the same as a double
+  double wall_ms = 0;
+};
+
+// Expands `path`: a directory yields every regular file in it (sorted by
+// name); a manifest file yields one instance path per non-comment line,
+// resolved relative to the manifest's directory. Returns an empty vector and
+// sets *error on failure.
+std::vector<std::string> collect_instance_paths(const std::string& path, std::string* error);
+
+class BatchRunner {
+ public:
+  BatchRunner(const SolverRegistry& registry, BatchOptions options);
+
+  // One row per path, in input order.
+  std::vector<BatchRow> run(const std::vector<std::string>& paths) const;
+
+ private:
+  BatchRow run_one(const std::string& path) const;
+
+  const SolverRegistry& registry_;
+  BatchOptions options_;
+};
+
+void write_rows_csv(std::ostream& out, std::span<const BatchRow> rows);
+void write_rows_json(std::ostream& out, std::span<const BatchRow> rows);
+
+}  // namespace bisched::engine

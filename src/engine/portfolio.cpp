@@ -1,0 +1,94 @@
+#include "engine/portfolio.hpp"
+
+#include <string>
+#include <utility>
+
+#include "util/timer.hpp"
+
+namespace bisched::engine {
+
+namespace {
+
+template <typename Instance>
+SolveResult solve_auto_impl(const SolverRegistry& registry, const Instance& inst,
+                            const SolveOptions& options) {
+  const InstanceProfile profile = probe(inst);
+  const auto eligible = registry.applicable(profile);
+  if (eligible.empty()) {
+    SolveResult r;
+    r.error = "no applicable solver (model/machine-count/graph-class mismatch)";
+    return r;
+  }
+
+  Timer timer;
+  SolveResult best;
+  int tried = 0;
+  std::string first_error;
+  for (const Solver* solver : eligible) {
+    if (tried > 0) {
+      if (!options.run_all && best.ok) break;  // best-guarantee solver succeeded
+      if (options.run_all && options.budget_ms > 0 && timer.millis() >= options.budget_ms) {
+        break;
+      }
+    }
+    SolveResult r = solver->solve(inst, options);
+    ++tried;
+    if (r.ok && (!best.ok || r.cmax < best.cmax)) {
+      best = std::move(r);
+    } else if (!r.ok && first_error.empty()) {
+      first_error = r.solver + ": " + r.error;
+    }
+  }
+  if (!best.ok) {
+    SolveResult r;
+    r.error = "every applicable solver failed (first: " + first_error + ")";
+    r.solvers_tried = tried;
+    return r;
+  }
+  best.solvers_tried = tried;
+  best.wall_ms = timer.millis();
+  return best;
+}
+
+template <typename Instance>
+SolveResult solve_named_impl(const SolverRegistry& registry, std::string_view name,
+                             const Instance& inst, const SolveOptions& options) {
+  const Solver* solver = registry.find(name);
+  SolveResult r;
+  if (solver == nullptr) {
+    r.error = "unknown solver '" + std::string(name) + "'";
+    return r;
+  }
+  const InstanceProfile profile = probe(inst);
+  std::string why;
+  if (!is_applicable(solver->capabilities(), profile, &why) ||
+      !solver->admits(profile, &why)) {
+    r.error = "solver '" + std::string(name) + "' is not applicable: " + why;
+    return r;
+  }
+  return solver->solve(inst, options);
+}
+
+}  // namespace
+
+SolveResult solve_auto(const SolverRegistry& registry, const UniformInstance& inst,
+                       const SolveOptions& options) {
+  return solve_auto_impl(registry, inst, options);
+}
+
+SolveResult solve_auto(const SolverRegistry& registry, const UnrelatedInstance& inst,
+                       const SolveOptions& options) {
+  return solve_auto_impl(registry, inst, options);
+}
+
+SolveResult solve_named(const SolverRegistry& registry, std::string_view name,
+                        const UniformInstance& inst, const SolveOptions& options) {
+  return solve_named_impl(registry, name, inst, options);
+}
+
+SolveResult solve_named(const SolverRegistry& registry, std::string_view name,
+                        const UnrelatedInstance& inst, const SolveOptions& options) {
+  return solve_named_impl(registry, name, inst, options);
+}
+
+}  // namespace bisched::engine

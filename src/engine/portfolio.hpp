@@ -1,0 +1,35 @@
+// Auto-dispatch portfolio over a SolverRegistry.
+//
+// `solve_auto` probes the instance once, ranks the applicable solvers by
+// guarantee strength (exact < fptas < 2-approx < sqrt < heuristic), and runs
+// the best one; solvers that can fail at runtime (greedy, branch-and-bound)
+// are only reached when everything stronger has failed. With
+// `options.run_all` it instead runs every applicable solver — newest-best
+// kept by exact makespan comparison — optionally under a wall-clock budget
+// (`options.budget_ms`): once the budget is spent no further solver is
+// started (the first always runs, so run_all never returns empty-handed on a
+// solvable instance).
+//
+// `solve_named` runs one specific solver, after checking applicability, so a
+// mismatched request returns a diagnosable error instead of tripping the
+// library's BISCHED_CHECK aborts.
+#pragma once
+
+#include <string_view>
+
+#include "engine/registry.hpp"
+#include "engine/solver.hpp"
+
+namespace bisched::engine {
+
+SolveResult solve_auto(const SolverRegistry& registry, const UniformInstance& inst,
+                       const SolveOptions& options);
+SolveResult solve_auto(const SolverRegistry& registry, const UnrelatedInstance& inst,
+                       const SolveOptions& options);
+
+SolveResult solve_named(const SolverRegistry& registry, std::string_view name,
+                        const UniformInstance& inst, const SolveOptions& options);
+SolveResult solve_named(const SolverRegistry& registry, std::string_view name,
+                        const UnrelatedInstance& inst, const SolveOptions& options);
+
+}  // namespace bisched::engine

@@ -1,0 +1,48 @@
+// SolverRegistry: the engine's catalog of algorithms.
+//
+// `builtin()` registers every scheduling algorithm the library implements —
+// the paper's suite (Algorithms 1/2/4/5, the Theorem-4 and complete-
+// bipartite exact routines), the exact oracles (branch-and-bound, the Q2 and
+// R2 pseudo-polynomial DPs), and the baselines — each with capability
+// metadata describing exactly when it applies. New algorithms (new graph
+// classes, new machine models) plug in by registering one more Solver; the
+// CLI's usage text, `list-algs` table, applicability checks, and the `auto`
+// portfolio all derive from the registry, so they cannot drift.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/solver.hpp"
+
+namespace bisched::engine {
+
+class SolverRegistry {
+ public:
+  SolverRegistry() = default;
+  SolverRegistry(const SolverRegistry&) = delete;
+  SolverRegistry& operator=(const SolverRegistry&) = delete;
+
+  // Registration order is the tie-break order for `applicable`; names must
+  // be unique (checked).
+  void add(std::unique_ptr<Solver> solver);
+
+  const Solver* find(std::string_view name) const;  // nullptr when absent
+  std::vector<const Solver*> solvers() const;       // registration order
+  std::vector<std::string> names() const;
+
+  // Solvers eligible for `profile` (is_applicable AND Solver::admits),
+  // sorted strongest-guarantee first; among equal guarantees, solvers that
+  // cannot fail sort before may_fail ones, then registration order.
+  std::vector<const Solver*> applicable(const InstanceProfile& profile) const;
+
+  // The process-wide registry of built-in algorithms.
+  static const SolverRegistry& builtin();
+
+ private:
+  std::vector<std::unique_ptr<Solver>> solvers_;
+};
+
+}  // namespace bisched::engine

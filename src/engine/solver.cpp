@@ -1,0 +1,133 @@
+#include "engine/solver.hpp"
+
+#include <algorithm>
+
+#include "graph/bipartite.hpp"
+
+namespace bisched::engine {
+
+int guarantee_rank(Guarantee g) { return static_cast<int>(g); }
+
+const char* to_string(GraphClass c) {
+  switch (c) {
+    case GraphClass::kAny:
+      return "any";
+    case GraphClass::kBipartite:
+      return "bipartite";
+    case GraphClass::kCompleteBipartite:
+      return "complete-bipartite";
+  }
+  return "?";
+}
+
+const char* to_string(Guarantee g) {
+  switch (g) {
+    case Guarantee::kExact:
+      return "exact";
+    case Guarantee::kFptas:
+      return "fptas";
+    case Guarantee::kTwoApprox:
+      return "2-approx";
+    case Guarantee::kSqrtApprox:
+      return "sqrt-approx";
+    case Guarantee::kHeuristic:
+      return "heuristic";
+  }
+  return "?";
+}
+
+namespace {
+
+void probe_graph(const Graph& g, InstanceProfile* profile) {
+  profile->num_edges = g.num_edges();
+  const auto bp = bipartition(g);
+  profile->bipartite = bp.has_value();
+  if (bp.has_value()) {
+    // Complete bipartite = every cross pair present. Sides are counted the
+    // same way solve_complete_bipartite_instance counts them, so the probe
+    // and the solver's own expected-edge check agree.
+    std::int64_t n1 = 0;
+    for (std::uint8_t s : bp->side) n1 += (s == 0);
+    const std::int64_t n2 = static_cast<std::int64_t>(bp->side.size()) - n1;
+    profile->complete_bipartite = profile->num_edges == n1 * n2;
+  }
+}
+
+}  // namespace
+
+InstanceProfile probe(const UniformInstance& inst) {
+  InstanceProfile profile;
+  profile.model = kModelUniform;
+  profile.jobs = inst.num_jobs();
+  profile.machines = inst.num_machines();
+  profile.unit_jobs = std::all_of(inst.p.begin(), inst.p.end(),
+                                  [](std::int64_t pj) { return pj == 1; });
+  profile.total_work = inst.total_work();
+  probe_graph(inst.conflicts, &profile);
+  return profile;
+}
+
+InstanceProfile probe(const UnrelatedInstance& inst) {
+  InstanceProfile profile;
+  profile.model = kModelUnrelated;
+  profile.jobs = inst.num_jobs();
+  profile.machines = inst.num_machines();
+  for (int j = 0; j < profile.jobs; ++j) {
+    std::int64_t worst = 0;
+    for (const auto& row : inst.times) {
+      worst = std::max(worst, row[static_cast<std::size_t>(j)]);
+    }
+    profile.total_work += worst;
+  }
+  probe_graph(inst.conflicts, &profile);
+  return profile;
+}
+
+SolveResult Solver::solve(const UniformInstance& inst, const SolveOptions& options) const {
+  (void)inst;
+  (void)options;
+  SolveResult r;
+  r.error = "solver '" + name() + "' does not handle uniform instances";
+  return r;
+}
+
+SolveResult Solver::solve(const UnrelatedInstance& inst, const SolveOptions& options) const {
+  (void)inst;
+  (void)options;
+  SolveResult r;
+  r.error = "solver '" + name() + "' does not handle unrelated instances";
+  return r;
+}
+
+bool is_applicable(const SolverCapabilities& caps, const InstanceProfile& profile,
+                   std::string* why) {
+  const auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if ((caps.models & profile.model) == 0) return fail("wrong machine model");
+  if (profile.machines < caps.min_machines) {
+    return fail("needs >= " + std::to_string(caps.min_machines) + " machines");
+  }
+  if (caps.max_machines != 0 && profile.machines > caps.max_machines) {
+    return fail("handles <= " + std::to_string(caps.max_machines) + " machines");
+  }
+  if (caps.max_jobs != 0 && profile.jobs > caps.max_jobs) {
+    return fail("handles <= " + std::to_string(caps.max_jobs) + " jobs");
+  }
+  if (caps.unit_jobs_only && !profile.unit_jobs) return fail("requires unit jobs");
+  if (caps.graph == GraphClass::kBipartite && !profile.bipartite) {
+    return fail("requires a bipartite conflict graph");
+  }
+  if (caps.graph == GraphClass::kCompleteBipartite && !profile.complete_bipartite) {
+    return fail("requires a complete bipartite conflict graph");
+  }
+  // A single machine with any conflict edge admits no schedule at all; only
+  // solvers that can report failure may be offered such an instance.
+  if (profile.machines == 1 && profile.num_edges > 0 && !caps.may_fail) {
+    return fail("single machine with conflicts is infeasible");
+  }
+  return true;
+}
+
+}  // namespace bisched::engine

@@ -1,6 +1,7 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <ostream>
 
@@ -49,20 +50,21 @@ void TextTable::print(std::ostream& os) const {
   os.flush();
 }
 
+std::string csv_quote(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 void TextTable::print_csv(std::ostream& os) const {
-  auto quote = [](const std::string& s) {
-    if (s.find_first_of(",\"\n") == std::string::npos) return s;
-    std::string out = "\"";
-    for (char c : s) {
-      if (c == '"') out += '"';
-      out += c;
-    }
-    out += '"';
-    return out;
-  };
   auto print_row = [&](const std::vector<std::string>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
-      os << quote(row[i]);
+      os << csv_quote(row[i]);
       if (i + 1 < row.size()) os << ',';
     }
     os << '\n';
@@ -76,6 +78,13 @@ std::string fmt_double(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", precision, v);
   return buf;
+}
+
+std::string fmt_double_exact(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  BISCHED_CHECK(ec == std::errc(), "to_chars cannot fail on a 64-byte buffer");
+  return std::string(buf, ptr);
 }
 
 std::string fmt_ratio(double v) { return fmt_double(v, 4); }

@@ -31,7 +31,14 @@ class TextTable {
 };
 
 // Formatting helpers for table cells.
+// RFC-4180 CSV field quoting: quoted only when the field contains a comma,
+// quote, or newline; embedded quotes doubled. Shared by TextTable::print_csv
+// and the engine's batch-row writer.
+std::string csv_quote(const std::string& s);
+
 std::string fmt_double(double v, int precision = 3);
+// Shortest decimal form that round-trips to exactly `v` (std::to_chars).
+std::string fmt_double_exact(double v);
 std::string fmt_ratio(double v);          // 4 significant decimals, e.g. "1.0312"
 std::string fmt_count(long long v);       // plain integer
 std::string fmt_sci(double v);            // compact scientific, e.g. "3.2e-04"

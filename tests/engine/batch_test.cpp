@@ -1,0 +1,176 @@
+#include "engine/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/format.hpp"
+#include "random/generators.hpp"
+#include "testing_util.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+namespace fs = std::filesystem;
+
+using engine::BatchOptions;
+using engine::BatchRow;
+using engine::BatchRunner;
+using engine::SolverRegistry;
+
+class BatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("bisched_batch_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string write_file(const std::string& name, const std::string& content) {
+    const auto path = dir_ / name;
+    std::ofstream out(path);
+    out << content;
+    return path.string();
+  }
+
+  template <typename Instance>
+  std::string write_inst(const std::string& name, const Instance& inst) {
+    const auto path = dir_ / name;
+    std::ofstream out(path);
+    write_instance(out, inst);
+    return path.string();
+  }
+
+  // Six uniform + six unrelated instances, named so directory order
+  // interleaves the models.
+  std::vector<std::string> write_mixed_instances() {
+    Rng rng(99);
+    std::vector<std::string> paths;
+    for (int i = 0; i < 6; ++i) {
+      paths.push_back(write_inst("a" + std::to_string(i) + ".inst",
+                                 testing::random_uniform_instance(5, 5, 3, 4, 3, rng)));
+      paths.push_back(write_inst("b" + std::to_string(i) + ".inst",
+                                 testing::random_r2_instance(6, 6, 12, rng)));
+    }
+    return paths;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(BatchTest, IdenticalRowsAtAnyThreadCount) {
+  const auto paths = write_mixed_instances();
+  ASSERT_GE(paths.size(), 10u);
+
+  BatchOptions options;
+  std::vector<std::vector<BatchRow>> runs;
+  for (unsigned threads : {1u, 2u, 7u}) {
+    options.threads = threads;
+    runs.push_back(BatchRunner(SolverRegistry::builtin(), options).run(paths));
+  }
+  for (const auto& rows : runs) {
+    ASSERT_EQ(rows.size(), paths.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_TRUE(rows[i].ok) << rows[i].error;
+      EXPECT_EQ(rows[i].file, paths[i]);  // input order preserved
+      EXPECT_EQ(rows[i].makespan, runs[0][i].makespan);
+      EXPECT_EQ(rows[i].solver, runs[0][i].solver);
+      EXPECT_EQ(rows[i].model, runs[0][i].model);
+    }
+  }
+}
+
+TEST_F(BatchTest, MalformedInstanceYieldsErrorRowNotCrash) {
+  Rng rng(5);
+  const std::vector<std::string> paths = {
+      write_inst("good.inst", testing::random_uniform_instance(4, 4, 2, 3, 3, rng)),
+      write_file("bad.inst", "bisched uniform v1\njobs 3\np 1 2\n"),
+      write_file("missing.inst", "") + ".does_not_exist",
+  };
+  const auto rows = BatchRunner(SolverRegistry::builtin(), {}).run(paths);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_TRUE(rows[0].ok);
+  EXPECT_FALSE(rows[1].ok);
+  EXPECT_NE(rows[1].error.find("parse error"), std::string::npos);
+  EXPECT_FALSE(rows[2].ok);
+  EXPECT_NE(rows[2].error.find("cannot open"), std::string::npos);
+}
+
+TEST_F(BatchTest, NamedSolverAppliesPerRow) {
+  Rng rng(6);
+  const std::vector<std::string> paths = {
+      write_inst("r2.inst", testing::random_r2_instance(5, 5, 10, rng)),
+      write_inst("q.inst", testing::random_uniform_instance(4, 4, 3, 3, 2, rng)),
+  };
+  BatchOptions options;
+  options.alg = "alg4";
+  const auto rows = BatchRunner(SolverRegistry::builtin(), options).run(paths);
+  EXPECT_TRUE(rows[0].ok);
+  EXPECT_EQ(rows[0].solver, "alg4");
+  EXPECT_FALSE(rows[1].ok);  // alg4 is unrelated-only
+  EXPECT_NE(rows[1].error.find("not applicable"), std::string::npos);
+}
+
+TEST_F(BatchTest, CollectFromDirectorySortsAndFromManifestResolvesRelative) {
+  Rng rng(7);
+  write_inst("z.inst", testing::random_uniform_instance(3, 3, 2, 2, 2, rng));
+  write_inst("a.inst", testing::random_uniform_instance(3, 3, 2, 2, 2, rng));
+
+  std::string error;
+  const auto from_dir = engine::collect_instance_paths(dir_.string(), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_EQ(from_dir.size(), 2u);
+  EXPECT_LT(from_dir[0], from_dir[1]);  // sorted
+
+  const auto manifest =
+      write_file("manifest.txt", "# instances\n  a.inst\n\nz.inst\n");
+  const auto from_manifest = engine::collect_instance_paths(manifest, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_EQ(from_manifest.size(), 2u);
+  EXPECT_EQ(fs::path(from_manifest[0]).filename(), "a.inst");
+  EXPECT_TRUE(fs::exists(from_manifest[0]));
+
+  engine::collect_instance_paths((dir_ / "nope.txt").string(), &error);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(BatchTest, CsvAndJsonSerializeAllRows) {
+  BatchRow ok_row;
+  ok_row.file = "with,comma.inst";
+  ok_row.ok = true;
+  ok_row.model = "uniform";
+  ok_row.jobs = 4;
+  ok_row.machines = 2;
+  ok_row.solver = "alg1";
+  ok_row.guarantee = "sqrt(sum p)";
+  ok_row.makespan = "7/2";
+  ok_row.makespan_value = 3.5;
+  BatchRow bad_row;
+  bad_row.file = "bad.inst";
+  bad_row.error = "parse error: expected \"p\"";
+  const std::vector<BatchRow> rows = {ok_row, bad_row};
+
+  std::ostringstream csv;
+  engine::write_rows_csv(csv, rows);
+  const std::string csv_text = csv.str();
+  EXPECT_NE(csv_text.find("\"with,comma.inst\""), std::string::npos);
+  EXPECT_NE(csv_text.find("7/2"), std::string::npos);
+  EXPECT_EQ(std::count(csv_text.begin(), csv_text.end(), '\n'), 3);  // header + 2 rows
+
+  std::ostringstream json;
+  engine::write_rows_json(json, rows);
+  const std::string json_text = json.str();
+  EXPECT_NE(json_text.find("\"makespan\": \"7/2\""), std::string::npos);
+  EXPECT_NE(json_text.find("\\\"p\\\""), std::string::npos);  // escaped quotes
+  EXPECT_EQ(json_text.front(), '[');
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,118 @@
+#include "engine/portfolio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_bb.hpp"
+#include "core/r2_algorithms.hpp"
+#include "random/generators.hpp"
+#include "sched/schedule.hpp"
+#include "testing_util.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+using engine::SolveOptions;
+using engine::SolverRegistry;
+
+TEST(Portfolio, AutoMatchesExactOracleOnSmallUniformInstances) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto inst = testing::random_uniform_instance(4, 4, 3, 6, 4, rng);
+    const auto result = engine::solve_auto(SolverRegistry::builtin(), inst, {});
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(validate(inst, result.schedule), ScheduleStatus::kValid);
+    EXPECT_EQ(makespan(inst, result.schedule), result.cmax);
+    // n = 8 <= 64: an exact solver is applicable, so auto must be optimal.
+    const auto oracle = exact_uniform_bb(inst);
+    ASSERT_TRUE(oracle.feasible);
+    EXPECT_EQ(result.cmax, oracle.cmax);
+  }
+}
+
+TEST(Portfolio, AutoPicksAlg1WhenExactSolversAreOutOfReach) {
+  Rng rng(12);
+  // 100 jobs on 3 machines: beyond the B&B cap, not Q2, not unit-complete-
+  // bipartite — the strongest remaining guarantee is Algorithm 1's sqrt.
+  const auto inst = testing::random_uniform_instance(50, 50, 3, 5, 4, rng);
+  const auto result = engine::solve_auto(SolverRegistry::builtin(), inst, {});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.solver, "alg1");
+  EXPECT_EQ(validate(inst, result.schedule), ScheduleStatus::kValid);
+}
+
+TEST(Portfolio, AutoSolvesR2ExactlyWithinDpBudget) {
+  Rng rng(13);
+  const auto inst = testing::random_r2_instance(15, 15, 20, rng);
+  const auto result = engine::solve_auto(SolverRegistry::builtin(), inst, {});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.solver, "r2exact");
+  EXPECT_EQ(validate(inst, result.schedule), ScheduleStatus::kValid);
+  const auto oracle = r2_exact_bipartite(inst);
+  EXPECT_EQ(result.cmax, Rational(oracle.cmax));
+}
+
+TEST(Portfolio, RunAllNeverLosesToAnySingleSolver) {
+  Rng rng(14);
+  const auto inst = testing::random_r2_instance(10, 10, 15, rng);
+  SolveOptions run_all;
+  run_all.run_all = true;
+  const auto best = engine::solve_auto(SolverRegistry::builtin(), inst, run_all);
+  ASSERT_TRUE(best.ok) << best.error;
+  EXPECT_GE(best.solvers_tried, 2);
+  const auto two_approx =
+      engine::solve_named(SolverRegistry::builtin(), "alg4", inst, {});
+  ASSERT_TRUE(two_approx.ok);
+  EXPECT_TRUE(best.cmax <= two_approx.cmax);
+}
+
+TEST(Portfolio, NamedSolverChecksApplicabilityInsteadOfAborting) {
+  Rng rng(15);
+  const auto r2 = testing::random_r2_instance(5, 5, 10, rng);
+  const auto wrong_model =
+      engine::solve_named(SolverRegistry::builtin(), "alg1", r2, {});
+  EXPECT_FALSE(wrong_model.ok);
+  EXPECT_NE(wrong_model.error.find("not applicable"), std::string::npos);
+
+  const auto unknown = engine::solve_named(SolverRegistry::builtin(), "nope", r2, {});
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_NE(unknown.error.find("unknown solver"), std::string::npos);
+
+  const auto uniform = testing::random_uniform_instance(3, 3, 3, 4, 3, rng);
+  const auto q2_on_q3 =
+      engine::solve_named(SolverRegistry::builtin(), "q2exact", uniform, {});
+  EXPECT_FALSE(q2_on_q3.ok);
+
+  SolveOptions bad_eps;
+  bad_eps.eps = 0;
+  const auto eps = engine::solve_named(SolverRegistry::builtin(), "alg5", r2, bad_eps);
+  EXPECT_FALSE(eps.ok);
+  EXPECT_NE(eps.error.find("eps"), std::string::npos);
+}
+
+TEST(Portfolio, InfeasibleInstanceReportsFailureNotAbort) {
+  Graph edge(2);
+  edge.add_edge(0, 1);
+  const auto inst = make_uniform_instance({1, 1}, {1}, std::move(edge));
+  const auto result = engine::solve_auto(SolverRegistry::builtin(), inst, {});
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(Portfolio, UnitCompleteBipartiteRoutesToPolynomialExactSolver) {
+  // K_{8,12} with unit jobs on 4 machines: both kab and the B&B oracle are
+  // applicable exact solvers, but kab (polynomial, cannot fail) must win the
+  // tie against the may_fail branch-and-bound.
+  const auto inst = make_uniform_instance(std::vector<std::int64_t>(20, 1), {3, 2, 2, 1},
+                                          complete_bipartite(8, 12));
+  const auto result = engine::solve_auto(SolverRegistry::builtin(), inst, {});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.solver, "kab");
+  EXPECT_EQ(validate(inst, result.schedule), ScheduleStatus::kValid);
+  const auto oracle = exact_uniform_bb(inst);
+  ASSERT_TRUE(oracle.feasible);
+  EXPECT_EQ(result.cmax, oracle.cmax);
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,183 @@
+#include "engine/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "random/generators.hpp"
+#include "sched/instance.hpp"
+#include "testing_util.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+using engine::GraphClass;
+using engine::Guarantee;
+using engine::InstanceProfile;
+using engine::SolverRegistry;
+
+// The algorithm names the CLI advertises (usage text and `list-algs` both
+// derive from the registry, so this list is the single drift check: a solver
+// renamed, dropped, or added without updating the CLI-facing contract fails
+// here).
+const std::set<std::string> kAdvertised = {
+    "alg1", "alg2", "alg2b", "alg4",  "alg5",         "q2exact", "kab",
+    "q2dp", "r2exact", "exact", "split", "proportional", "greedy",
+};
+
+TEST(Registry, EveryAdvertisedNameResolves) {
+  const auto& reg = SolverRegistry::builtin();
+  for (const auto& name : kAdvertised) {
+    const auto* solver = reg.find(name);
+    ASSERT_NE(solver, nullptr) << name;
+    EXPECT_EQ(solver->name(), name);
+    EXPECT_FALSE(solver->summary().empty()) << name;
+    EXPECT_FALSE(solver->capabilities().guarantee_label.empty()) << name;
+    EXPECT_NE(solver->capabilities().models, 0u) << name;
+  }
+}
+
+TEST(Registry, NoUnadvertisedSolvers) {
+  const auto names = SolverRegistry::builtin().names();
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), kAdvertised);
+}
+
+TEST(Registry, CapabilityMetadataMatchesPaperPreconditions) {
+  const auto& reg = SolverRegistry::builtin();
+
+  const auto& q2exact = reg.find("q2exact")->capabilities();
+  EXPECT_EQ(q2exact.models, engine::kModelUniform);
+  EXPECT_EQ(q2exact.min_machines, 2);
+  EXPECT_EQ(q2exact.max_machines, 2);
+  EXPECT_TRUE(q2exact.unit_jobs_only);
+  EXPECT_EQ(q2exact.graph, GraphClass::kBipartite);
+  EXPECT_EQ(q2exact.guarantee, Guarantee::kExact);
+
+  const auto& kab = reg.find("kab")->capabilities();
+  EXPECT_TRUE(kab.unit_jobs_only);
+  EXPECT_EQ(kab.graph, GraphClass::kCompleteBipartite);
+  EXPECT_EQ(kab.guarantee, Guarantee::kExact);
+
+  const auto& alg1 = reg.find("alg1")->capabilities();
+  EXPECT_EQ(alg1.models, engine::kModelUniform);
+  EXPECT_EQ(alg1.graph, GraphClass::kBipartite);
+  EXPECT_EQ(alg1.guarantee, Guarantee::kSqrtApprox);
+  EXPECT_FALSE(alg1.unit_jobs_only);
+
+  const auto& alg4 = reg.find("alg4")->capabilities();
+  EXPECT_EQ(alg4.models, engine::kModelUnrelated);
+  EXPECT_EQ(alg4.min_machines, 2);
+  EXPECT_EQ(alg4.max_machines, 2);
+  EXPECT_EQ(alg4.guarantee, Guarantee::kTwoApprox);
+
+  const auto& alg5 = reg.find("alg5")->capabilities();
+  EXPECT_EQ(alg5.guarantee, Guarantee::kFptas);
+
+  const auto& exact = reg.find("exact")->capabilities();
+  EXPECT_EQ(exact.models, engine::kModelUniform | engine::kModelUnrelated);
+  EXPECT_EQ(exact.max_jobs, 64);
+  EXPECT_EQ(exact.graph, GraphClass::kAny);
+  EXPECT_TRUE(exact.may_fail);
+
+  const auto& greedy = reg.find("greedy")->capabilities();
+  EXPECT_EQ(greedy.graph, GraphClass::kAny);
+  EXPECT_TRUE(greedy.may_fail);
+}
+
+TEST(Probe, RecognizesStructure) {
+  // K_{2,3}, unit jobs.
+  const auto complete = make_uniform_instance({1, 1, 1, 1, 1}, {2, 1},
+                                              complete_bipartite(2, 3));
+  const auto profile = engine::probe(complete);
+  EXPECT_EQ(profile.model, engine::kModelUniform);
+  EXPECT_EQ(profile.jobs, 5);
+  EXPECT_EQ(profile.machines, 2);
+  EXPECT_TRUE(profile.unit_jobs);
+  EXPECT_TRUE(profile.bipartite);
+  EXPECT_TRUE(profile.complete_bipartite);
+  EXPECT_EQ(profile.total_work, 5);
+
+  // Two disjoint edges: bipartite but not one spanning K_{a,b}.
+  Graph two_edges(4);
+  two_edges.add_edge(0, 1);
+  two_edges.add_edge(2, 3);
+  const auto sparse = make_uniform_instance({2, 1, 1, 1}, {1, 1}, std::move(two_edges));
+  const auto sparse_profile = engine::probe(sparse);
+  EXPECT_TRUE(sparse_profile.bipartite);
+  EXPECT_FALSE(sparse_profile.complete_bipartite);
+  EXPECT_FALSE(sparse_profile.unit_jobs);
+  EXPECT_EQ(sparse_profile.total_work, 5);
+
+  // Triangle: not bipartite.
+  Graph triangle(3);
+  triangle.add_edge(0, 1);
+  triangle.add_edge(1, 2);
+  triangle.add_edge(0, 2);
+  const auto odd = make_uniform_instance({1, 1, 1}, {1, 1, 1}, std::move(triangle));
+  EXPECT_FALSE(engine::probe(odd).bipartite);
+
+  // Unrelated probe: total_work is the sum of per-job worst-case times.
+  const auto r2 = make_unrelated_instance({{3, 1}, {2, 5}}, Graph(2));
+  const auto r2_profile = engine::probe(r2);
+  EXPECT_EQ(r2_profile.model, engine::kModelUnrelated);
+  EXPECT_EQ(r2_profile.total_work, 3 + 5);
+}
+
+TEST(Applicability, RankedByGuaranteeStrength) {
+  Rng rng(42);
+  // Unit-job Q2 bipartite instance: q2exact should outrank every
+  // approximation, and the may_fail branch-and-bound must not come first.
+  const auto inst = testing::random_uniform_instance(6, 6, 2, 1, 4, rng);
+  const auto eligible = SolverRegistry::builtin().applicable(engine::probe(inst));
+  ASSERT_FALSE(eligible.empty());
+  EXPECT_EQ(eligible.front()->name(), "q2exact");
+  EXPECT_FALSE(eligible.front()->capabilities().may_fail);
+  for (std::size_t i = 1; i < eligible.size(); ++i) {
+    EXPECT_LE(engine::guarantee_rank(eligible[i - 1]->capabilities().guarantee),
+              engine::guarantee_rank(eligible[i]->capabilities().guarantee));
+  }
+}
+
+TEST(Applicability, NonBipartiteFallsBackToGeneralSolvers) {
+  Graph triangle(3);
+  triangle.add_edge(0, 1);
+  triangle.add_edge(1, 2);
+  triangle.add_edge(0, 2);
+  const auto inst = make_uniform_instance({2, 3, 4}, {1, 1, 1}, std::move(triangle));
+  const auto eligible = SolverRegistry::builtin().applicable(engine::probe(inst));
+  std::set<std::string> names;
+  for (const auto* s : eligible) names.insert(s->name());
+  EXPECT_EQ(names, (std::set<std::string>{"exact", "greedy"}));
+}
+
+TEST(Applicability, SingleMachineWithConflictsOnlyOffersFailureAwareSolvers) {
+  Graph edge(2);
+  edge.add_edge(0, 1);
+  const auto inst = make_uniform_instance({1, 1}, {1}, std::move(edge));
+  const auto eligible = SolverRegistry::builtin().applicable(engine::probe(inst));
+  for (const auto* s : eligible) {
+    EXPECT_TRUE(s->capabilities().may_fail) << s->name();
+  }
+}
+
+TEST(Applicability, ExplainsRejections) {
+  Rng rng(7);
+  const auto r2 = testing::random_r2_instance(4, 4, 10, rng);
+  const auto profile = engine::probe(r2);
+  std::string why;
+  EXPECT_FALSE(engine::is_applicable(
+      SolverRegistry::builtin().find("alg1")->capabilities(), profile, &why));
+  EXPECT_EQ(why, "wrong machine model");
+
+  const auto big = testing::random_uniform_instance(40, 40, 3, 5, 4, rng);
+  std::string why_big;
+  EXPECT_FALSE(engine::is_applicable(
+      SolverRegistry::builtin().find("exact")->capabilities(), engine::probe(big),
+      &why_big));
+  EXPECT_EQ(why_big, "handles <= 64 jobs");
+}
+
+}  // namespace
+}  // namespace bisched

@@ -1,0 +1,142 @@
+// Round-trip and malformed-input coverage beyond format_test.cpp's basics:
+// randomized unrelated instances (including zero times and isolated
+// vertices), schedule extremes, and the specific parser error paths the
+// engine's batch runner relies on for per-row diagnostics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/format.hpp"
+#include "random/generators.hpp"
+#include "testing_util.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+template <typename Instance>
+ParsedInstance reparse(const Instance& inst) {
+  std::ostringstream out;
+  write_instance(out, inst);
+  std::istringstream in(out.str());
+  return parse_instance(in);
+}
+
+TEST(IoRoundTrip, RandomUnrelatedInstancesSurviveExactly) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto inst = testing::random_r2_instance(1 + static_cast<int>(rng.uniform_int(0, 12)),
+                                                  1 + static_cast<int>(rng.uniform_int(0, 12)),
+                                                  rng.uniform_int(0, 30), rng);
+    const auto parsed = reparse(inst);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    ASSERT_TRUE(parsed.unrelated.has_value());
+    EXPECT_EQ(parsed.unrelated->times, inst.times);
+    EXPECT_EQ(parsed.unrelated->conflicts.num_edges(), inst.conflicts.num_edges());
+    EXPECT_EQ(parsed.unrelated->conflicts.num_vertices(), inst.conflicts.num_vertices());
+  }
+}
+
+TEST(IoRoundTrip, ZeroTimesAndIsolatedVerticesSurvive) {
+  // Zero processing times are legitimate for unrelated instances (Algorithm 3
+  // creates zero-length dummy jobs); vertex 3 is isolated.
+  Graph g(4);
+  g.add_edge(0, 2);
+  const auto inst = make_unrelated_instance({{0, 5, 0, 1}, {2, 0, 3, 0}}, std::move(g));
+  const auto parsed = reparse(inst);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.unrelated->times, inst.times);
+  EXPECT_EQ(parsed.unrelated->conflicts.num_vertices(), 4);
+  EXPECT_TRUE(parsed.unrelated->conflicts.has_edge(0, 2));
+}
+
+TEST(IoRoundTrip, ManyMachineUnrelatedInstanceSurvives) {
+  Rng rng(3);
+  std::vector<std::vector<std::int64_t>> times(5, std::vector<std::int64_t>(7));
+  for (auto& row : times) {
+    for (auto& t : row) t = rng.uniform_int(0, 100);
+  }
+  const auto inst = make_unrelated_instance(std::move(times), Graph(7));
+  const auto parsed = reparse(inst);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.unrelated->num_machines(), 5);
+  EXPECT_EQ(parsed.unrelated->times, inst.times);
+}
+
+TEST(IoRoundTrip, SchedulesSurviveIncludingEmpty) {
+  for (const Schedule& schedule :
+       {Schedule{}, Schedule{{0, 3, 1, 0, 2}}, Schedule{{7}}}) {
+    std::ostringstream out;
+    write_schedule(out, schedule);
+    std::istringstream in(out.str());
+    std::string error;
+    const auto parsed = parse_schedule(in, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->machine_of, schedule.machine_of);
+  }
+}
+
+TEST(IoRoundTrip, UniformRoundTripPreservesSortedSpeeds) {
+  // make_uniform_instance sorts speeds non-increasingly; the writer emits the
+  // sorted order, so write -> parse is a fixed point.
+  Rng rng(4);
+  const auto inst = testing::random_uniform_instance(6, 5, 4, 9, 6, rng);
+  const auto parsed = reparse(inst);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.uniform->p, inst.p);
+  EXPECT_EQ(parsed.uniform->speeds, inst.speeds);
+
+  std::ostringstream first, second;
+  write_instance(first, inst);
+  write_instance(second, *parsed.uniform);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(IoMalformed, UnrelatedErrorPaths) {
+  const auto expect_error = [](const std::string& text, const std::string& needle) {
+    std::istringstream in(text);
+    const auto parsed = parse_instance(in);
+    EXPECT_FALSE(parsed.ok()) << text;
+    EXPECT_NE(parsed.error.find(needle), std::string::npos)
+        << "error '" << parsed.error << "' does not mention '" << needle << "'";
+  };
+  // Truncated times matrix.
+  expect_error("bisched unrelated v1\njobs 3\nmachines 2\ntimes\n1 2 3\n4 5\n",
+               "times row");
+  // Negative processing time.
+  expect_error("bisched unrelated v1\njobs 2\nmachines 1\ntimes\n1 -2\nedges 0\n",
+               ">= 0");
+  // Edge endpoint out of range.
+  expect_error(
+      "bisched unrelated v1\njobs 2\nmachines 1\ntimes\n1 2\nedges 1\n0 5\n",
+      "bad edge");
+  // Self-loop.
+  expect_error(
+      "bisched unrelated v1\njobs 2\nmachines 1\ntimes\n1 2\nedges 1\n1 1\n",
+      "bad edge");
+  // Zero machines.
+  expect_error("bisched unrelated v1\njobs 1\nmachines 0\ntimes\nedges 0\n",
+               "out of range");
+  // Unknown model keyword.
+  expect_error("bisched identical v1\njobs 1\n", "uniform");
+  // Non-numeric token where a count is expected.
+  expect_error("bisched unrelated v1\njobs x\n", "integer");
+}
+
+TEST(IoMalformed, ScheduleErrorPaths) {
+  const auto expect_error = [](const std::string& text, const std::string& needle) {
+    std::istringstream in(text);
+    std::string error;
+    const auto parsed = parse_schedule(in, &error);
+    EXPECT_FALSE(parsed.has_value()) << text;
+    EXPECT_NE(error.find(needle), std::string::npos)
+        << "error '" << error << "' does not mention '" << needle << "'";
+  };
+  expect_error("bisched schedule v1\njobs 2\nmachine_of 0\n", "machine_of");
+  expect_error("bisched schedule v1\njobs 1\nmachine_of -3\n", "out of range");
+  expect_error("bisched schedule v2\n", "v1");
+  expect_error("", "bisched");
+}
+
+}  // namespace
+}  // namespace bisched

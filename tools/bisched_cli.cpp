@@ -1,37 +1,37 @@
-// bisched_cli — command-line front end for the library.
+// bisched_cli — command-line front end for the library, built on the solver
+// engine (src/engine): the registry supplies every algorithm, `auto` picks
+// the strongest applicable one, and `batch` fans a whole directory or
+// manifest of instances across a thread pool.
 //
-//   bisched_cli solve --alg=<name> [file]     schedule an instance
-//   bisched_cli gen <family> [options]        generate an instance to stdout
-//   bisched_cli eval <instance> <schedule>    validate + makespan
+//   bisched_cli solve --alg=NAME|auto [--eps=E] [--all] [--budget-ms=B] [FILE|-]
+//   bisched_cli batch (--dir=D | --manifest=F) [--alg=NAME|auto] [--threads=N]
+//                     [--format=csv|json] [--out=FILE] [--eps=E]
+//   bisched_cli list-algs
+//   bisched_cli gen <family> [options]
+//   bisched_cli eval INSTANCE SCHEDULE
 //
-// Algorithms (uniform instances): alg1 (Theorem 9), alg2 (Theorem 19),
-// alg2b (balanced extension), split, proportional, greedy, exact (B&B, small
-// n), q2exact (Theorem 4, unit jobs / two machines), kab (complete bipartite
-// exact). Unrelated two-machine instances: alg4 (Theorem 21), alg5
-// (Theorem 22, --eps=), r2exact.
-//
-// Instances are read from the given file or stdin ('-'); the schedule is
-// written to stdout in the bisched schedule format, with a summary on stderr.
+// Instances are read from the given file or stdin ('-'); schedules are
+// written to stdout in the bisched schedule format, with a summary on
+// stderr. Malformed flag values are reported, never silently parsed as 0.
+#include <charconv>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
-#include "core/alg_random.hpp"
-#include "core/alg_random_balanced.hpp"
-#include "core/alg_sqrt.hpp"
-#include "core/baselines.hpp"
-#include "core/complete_bipartite_exact.hpp"
-#include "core/exact_bb.hpp"
-#include "core/q2_unit_exact.hpp"
-#include "core/r2_algorithms.hpp"
+#include "engine/batch.hpp"
+#include "engine/portfolio.hpp"
+#include "engine/registry.hpp"
 #include "io/format.hpp"
 #include "random/generators.hpp"
 #include "random/gilbert.hpp"
-#include "sched/list_schedule.hpp"
 #include "sched/lower_bounds.hpp"
+#include "util/parallel.hpp"
 #include "util/prng.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -40,12 +40,34 @@ using namespace bisched;
 int usage() {
   std::cerr <<
       "usage:\n"
-      "  bisched_cli solve --alg=NAME [--eps=E] [FILE|-]\n"
+      "  bisched_cli solve --alg=NAME|auto [--eps=E] [--all] [--budget-ms=B] [FILE|-]\n"
+      "  bisched_cli batch (--dir=DIR | --manifest=FILE) [--alg=NAME|auto]\n"
+      "              [--threads=N] [--format=csv|json] [--out=FILE] [--eps=E]\n"
+      "              [--all] [--budget-ms=B]\n"
+      "  bisched_cli list-algs\n"
       "  bisched_cli gen gilbert --n=N --a=A --m=M [--smax=S] [--seed=SEED]\n"
       "  bisched_cli gen crown --n=N --m=M [--wmax=W] [--seed=SEED]\n"
       "  bisched_cli gen r2 --n=N --tmax=T [--edges=K] [--seed=SEED]\n"
-      "  bisched_cli eval INSTANCE SCHEDULE\n";
+      "  bisched_cli eval INSTANCE SCHEDULE\n"
+      "algorithms (see `list-algs` for applicability):\n  ";
+  bool first = true;
+  for (const auto& name : engine::SolverRegistry::builtin().names()) {
+    std::cerr << (first ? "" : ", ") << name;
+    first = false;
+  }
+  std::cerr << "\n";
   return 2;
+}
+
+// ------------------------------------------------------------------ flags ---
+// std::from_chars-based parsing: a malformed or trailing-garbage value is a
+// hard error (exit 2 with a message), never a silent 0.
+
+[[noreturn]] void flag_error(const char* name, const std::string& value,
+                             const char* expected) {
+  std::cerr << "bad value for --" << name << ": '" << value << "' (expected "
+            << expected << ")\n";
+  std::exit(2);
 }
 
 bool flag_value(int argc, char** argv, const char* name, std::string* out) {
@@ -59,17 +81,47 @@ bool flag_value(int argc, char** argv, const char* name, std::string* out) {
   return false;
 }
 
+bool flag_present(int argc, char** argv, const char* name) {
+  const std::string bare = std::string("--") + name;
+  for (int i = 2; i < argc; ++i) {
+    if (bare == argv[i]) return true;
+  }
+  return false;
+}
+
 std::int64_t flag_int(int argc, char** argv, const char* name, std::int64_t fallback) {
   std::string value;
   if (!flag_value(argc, argv, name, &value)) return fallback;
-  return std::atoll(value.c_str());
+  std::int64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    flag_error(name, value, "an integer");
+  }
+  return parsed;
 }
 
 double flag_double(int argc, char** argv, const char* name, double fallback) {
   std::string value;
   if (!flag_value(argc, argv, name, &value)) return fallback;
-  return std::atof(value.c_str());
+  double parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    flag_error(name, value, "a number");
+  }
+  return parsed;
 }
+
+unsigned flag_threads(int argc, char** argv) {
+  const std::int64_t threads = flag_int(argc, argv, "threads", 0);
+  if (threads < 0 || threads > 4096) {
+    flag_error("threads", std::to_string(threads), "a count in [0, 4096]");
+  }
+  return threads == 0 ? default_thread_count() : static_cast<unsigned>(threads);
+}
+
+// --------------------------------------------------------------------- io ---
 
 ParsedInstance read_instance(const std::string& path) {
   if (path == "-" || path.empty()) return parse_instance(std::cin);
@@ -82,17 +134,24 @@ ParsedInstance read_instance(const std::string& path) {
   return parse_instance(file);
 }
 
-int emit(const Schedule& schedule, const std::string& what, const Rational& cmax) {
-  write_schedule(std::cout, schedule);
-  std::cerr << what << ": makespan " << cmax.to_string() << " (" << cmax.to_double()
-            << ")\n";
-  return 0;
-}
+// ------------------------------------------------------------------ solve ---
 
 int cmd_solve(int argc, char** argv) {
   std::string alg;
   if (!flag_value(argc, argv, "alg", &alg)) return usage();
-  const double eps = flag_double(argc, argv, "eps", 0.1);
+  engine::SolveOptions options;
+  options.eps = flag_double(argc, argv, "eps", 0.1);
+  options.run_all = flag_present(argc, argv, "all");
+  options.budget_ms = flag_double(argc, argv, "budget-ms", 0);
+  // Portfolio-only flags must not be silently ignored on a named solver.
+  if (options.run_all && alg != "auto") {
+    std::cerr << "--all requires --alg=auto\n";
+    return 2;
+  }
+  if (options.budget_ms != 0 && !options.run_all) {
+    std::cerr << "--budget-ms requires --all (it bounds the run-all portfolio)\n";
+    return 2;
+  }
   std::string path = "-";
   for (int i = 2; i < argc; ++i) {
     if (argv[i][0] != '-' || std::strcmp(argv[i], "-") == 0) path = argv[i];
@@ -104,90 +163,146 @@ int cmd_solve(int argc, char** argv) {
     return 1;
   }
 
+  const auto& registry = engine::SolverRegistry::builtin();
+  engine::SolveResult result;
   if (parsed.uniform.has_value()) {
     const UniformInstance& inst = *parsed.uniform;
     std::cerr << "uniform instance: " << inst.num_jobs() << " jobs, "
               << inst.num_machines() << " machines, lower bound "
               << lower_bound(inst).to_string() << "\n";
-    if (alg == "alg1") {
-      const auto r = alg1_sqrt_approx(inst);
-      return emit(r.schedule, "Algorithm 1", r.cmax);
-    }
-    if (alg == "alg2") {
-      const auto r = alg2_random_bipartite(inst);
-      return emit(r.schedule, "Algorithm 2", r.cmax);
-    }
-    if (alg == "alg2b") {
-      const auto r = alg2_balanced(inst);
-      return emit(r.schedule, "Algorithm 2B", r.cmax);
-    }
-    if (alg == "split") {
-      const auto r = two_color_split(inst);
-      return emit(r.schedule, "two-color split", r.cmax);
-    }
-    if (alg == "proportional") {
-      const auto r = class_proportional_split(inst);
-      return emit(r.schedule, "proportional split", r.cmax);
-    }
-    if (alg == "greedy") {
-      Schedule s;
-      if (!greedy_conflict_lpt(inst, s)) {
-        std::cerr << "greedy dead end (no conflict-free machine for some job)\n";
-        return 1;
-      }
-      return emit(s, "greedy LPT", makespan(inst, s));
-    }
-    if (alg == "exact") {
-      const auto r = exact_uniform_bb(inst);
-      if (!r.feasible) {
-        std::cerr << "infeasible (graph needs more machines)\n";
-        return 1;
-      }
-      return emit(r.schedule, "exact (B&B)", r.cmax);
-    }
-    if (alg == "q2exact") {
-      const auto r = q2_unit_exact_dp(inst);
-      return emit(r.schedule, "Theorem 4 exact", r.cmax);
-    }
-    if (alg == "kab") {
-      const auto r = solve_complete_bipartite_instance(inst);
-      return emit(r.schedule, "complete-bipartite exact", r.cmax);
-    }
-    std::cerr << "unknown uniform-instance algorithm '" << alg << "'\n";
-    return usage();
+    result = alg == "auto" ? engine::solve_auto(registry, inst, options)
+                           : engine::solve_named(registry, alg, inst, options);
+  } else {
+    const UnrelatedInstance& inst = *parsed.unrelated;
+    std::cerr << "unrelated instance: " << inst.num_jobs() << " jobs, "
+              << inst.num_machines() << " machines\n";
+    result = alg == "auto" ? engine::solve_auto(registry, inst, options)
+                           : engine::solve_named(registry, alg, inst, options);
   }
 
-  const UnrelatedInstance& inst = *parsed.unrelated;
-  std::cerr << "unrelated instance: " << inst.num_jobs() << " jobs, "
-            << inst.num_machines() << " machines\n";
-  auto emit_r = [&](const Schedule& s, const std::string& what, std::int64_t cmax) {
-    write_schedule(std::cout, s);
-    std::cerr << what << ": makespan " << cmax << "\n";
-    return 0;
-  };
-  if (alg == "alg4") {
-    const auto r = r2_two_approx(inst);
-    return emit_r(r.schedule, "Algorithm 4", r.cmax);
+  if (!result.ok) {
+    std::cerr << "solve failed: " << result.error << "\n";
+    return 1;
   }
-  if (alg == "alg5") {
-    const auto r = r2_fptas_bipartite(inst, eps);
-    return emit_r(r.schedule, "Algorithm 5 (eps=" + std::to_string(eps) + ")", r.cmax);
+  write_schedule(std::cout, result.schedule);
+  std::cerr << result.solver << " (guarantee " << result.guarantee << "): makespan "
+            << result.cmax.to_string() << " (" << result.cmax.to_double() << "), "
+            << result.wall_ms << " ms";
+  if (result.solvers_tried > 1) std::cerr << ", " << result.solvers_tried << " solvers tried";
+  std::cerr << "\n";
+  return 0;
+}
+
+// ------------------------------------------------------------------ batch ---
+
+int cmd_batch(int argc, char** argv) {
+  engine::BatchOptions options;
+  flag_value(argc, argv, "alg", &options.alg);
+  options.solve.eps = flag_double(argc, argv, "eps", 0.1);
+  options.solve.run_all = flag_present(argc, argv, "all");
+  options.solve.budget_ms = flag_double(argc, argv, "budget-ms", 0);
+  options.threads = flag_threads(argc, argv);
+  if (options.solve.run_all && options.alg != "auto") {
+    std::cerr << "--all requires --alg=auto\n";
+    return 2;
   }
-  if (alg == "r2exact") {
-    const auto r = r2_exact_bipartite(inst);
-    return emit_r(r.schedule, "exact (reduction + DP)", r.cmax);
+  if (options.solve.budget_ms != 0 && !options.solve.run_all) {
+    std::cerr << "--budget-ms requires --all (it bounds the run-all portfolio)\n";
+    return 2;
   }
-  if (alg == "exact") {
-    const auto r = exact_unrelated_bb(inst);
-    if (!r.feasible) {
-      std::cerr << "infeasible\n";
+
+  std::string source;
+  std::string manifest;
+  const bool have_dir = flag_value(argc, argv, "dir", &source);
+  const bool have_manifest = flag_value(argc, argv, "manifest", &manifest);
+  if (have_dir && have_manifest) {
+    std::cerr << "--dir and --manifest are mutually exclusive\n";
+    return 2;
+  }
+  if (have_manifest) source = manifest;
+  if (!have_dir && !have_manifest) {
+    std::cerr << "batch needs --dir=DIR or --manifest=FILE\n";
+    return usage();
+  }
+  std::string format = "csv";
+  flag_value(argc, argv, "format", &format);
+  if (format != "csv" && format != "json") {
+    flag_error("format", format, "'csv' or 'json'");
+  }
+
+  std::string error;
+  auto paths = engine::collect_instance_paths(source, &error);
+  if (!error.empty()) {
+    std::cerr << "batch: " << error << "\n";
+    return 1;
+  }
+
+  // Open the output before solving anything: an unwritable path must not
+  // cost a full batch run. The output file is excluded from the sweep so
+  // `--dir=D --out=D/results.csv` doesn't re-read last run's results as a
+  // (failing) instance.
+  std::string out_path;
+  std::ofstream out_file;
+  if (flag_value(argc, argv, "out", &out_path)) {
+    std::erase_if(paths, [&](const std::string& p) {
+      std::error_code ec;
+      return std::filesystem::equivalent(p, out_path, ec);
+    });
+    out_file.open(out_path);
+    if (!out_file) {
+      std::cerr << "cannot open '" << out_path << "' for writing\n";
       return 1;
     }
-    return emit_r(r.schedule, "exact (B&B)", r.cmax);
   }
-  std::cerr << "unknown unrelated-instance algorithm '" << alg << "'\n";
-  return usage();
+  if (paths.empty()) {
+    std::cerr << "batch: no instances found in '" << source << "'\n";
+    return 1;
+  }
+
+  const engine::BatchRunner runner(engine::SolverRegistry::builtin(), options);
+  const auto rows = runner.run(paths);
+  std::ostream& out = out_file.is_open() ? out_file : std::cout;
+  if (format == "csv") {
+    engine::write_rows_csv(out, rows);
+  } else {
+    engine::write_rows_json(out, rows);
+  }
+  out.flush();
+  if (!out) {
+    std::cerr << "write error on " << (out_file.is_open() ? "'" + out_path + "'" : "stdout")
+              << " (results may be truncated)\n";
+    return 1;
+  }
+
+  std::size_t failures = 0;
+  for (const auto& row : rows) failures += row.ok ? 0 : 1;
+  std::cerr << "batch: " << rows.size() << " instances, " << failures << " failures, "
+            << options.threads << " threads\n";
+  return failures == 0 ? 0 : 1;
 }
+
+// -------------------------------------------------------------- list-algs ---
+
+int cmd_list_algs() {
+  TextTable t("Registered solvers");
+  t.set_header({"name", "models", "machines", "jobs", "graph", "guarantee", "summary"});
+  for (const engine::Solver* s : engine::SolverRegistry::builtin().solvers()) {
+    const auto& c = s->capabilities();
+    std::string models;
+    if ((c.models & engine::kModelUniform) != 0) models = "Q";
+    if ((c.models & engine::kModelUnrelated) != 0) models += models.empty() ? "R" : "+R";
+    std::string machines = std::to_string(c.min_machines) + "..";
+    machines += c.max_machines == 0 ? "m" : std::to_string(c.max_machines);
+    std::string jobs = c.max_jobs == 0 ? "any" : "<=" + std::to_string(c.max_jobs);
+    if (c.unit_jobs_only) jobs += " unit";
+    t.add_row({s->name(), models, machines, jobs, engine::to_string(c.graph),
+               c.guarantee_label, s->summary()});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+// -------------------------------------------------------------------- gen ---
 
 int cmd_gen(int argc, char** argv) {
   if (argc < 3) return usage();
@@ -232,6 +347,8 @@ int cmd_gen(int argc, char** argv) {
   return usage();
 }
 
+// ------------------------------------------------------------------- eval ---
+
 int cmd_eval(int argc, char** argv) {
   if (argc < 4) return usage();
   const ParsedInstance parsed = read_instance(argv[2]);
@@ -267,6 +384,8 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   if (command == "solve") return cmd_solve(argc, argv);
+  if (command == "batch") return cmd_batch(argc, argv);
+  if (command == "list-algs") return cmd_list_algs();
   if (command == "gen") return cmd_gen(argc, argv);
   if (command == "eval") return cmd_eval(argc, argv);
   return usage();

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# One-command tier-1 verify: configure the `ci` preset (-Wall -Wextra -Werror
+# plus ASan/UBSan), build everything, and run the full ctest suite.
+#
+#   $ tools/ci.sh [extra ctest args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+cmake --preset ci
+cmake --build --preset ci -j "$(nproc)"
+ctest --preset ci "$@"
