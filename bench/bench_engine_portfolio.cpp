@@ -10,8 +10,6 @@
 // Monte-Carlo trials run through util/parallel.hpp's monte_carlo, so
 // `--threads=N` controls the worker count (default: all hardware threads);
 // results are deterministic at any thread count.
-#include <charconv>
-#include <cstring>
 #include <functional>
 #include <map>
 #include <string>
@@ -29,20 +27,6 @@
 
 namespace bisched {
 namespace {
-
-unsigned parse_threads(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const char* prefix = "--threads=";
-    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
-      const char* value = argv[i] + std::strlen(prefix);
-      unsigned parsed = 0;
-      const auto [ptr, ec] = std::from_chars(value, value + std::strlen(value), parsed);
-      if (ec == std::errc() && *ptr == '\0' && parsed > 0) return parsed;
-      std::cerr << "bad --threads value '" << value << "', using default\n";
-    }
-  }
-  return default_thread_count();
-}
 
 UniformInstance gilbert_uniform(int n, double a, int m, std::int64_t smax, Rng& rng) {
   Graph g = gilbert_bipartite(n, a / n, rng);
@@ -178,7 +162,7 @@ void run_all_table(unsigned threads) {
 
 int main(int argc, char** argv) {
   using namespace bisched;
-  const unsigned threads = parse_threads(argc, argv);
+  const unsigned threads = bench::parse_threads(argc, argv);
   bench::banner("ENGINE — auto-dispatch portfolio",
                 "Registry routes each regime to the strongest applicable solver; "
                 "run-all only helps when guarantees are loose");

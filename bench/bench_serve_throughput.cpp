@@ -1,0 +1,97 @@
+// SERVE — long-lived request loop throughput, cold vs. warm probe cache.
+//
+// The serve loop's pitch is that a resident process amortizes everything but
+// the solve itself: one registry, one thread pool, and a probe cache that
+// turns the per-request O(|V| + |E|) bipartition into a hash lookup for
+// repeated traffic. This harness drives engine::serve in-process with framed
+// inline-instance requests and reports requests/sec for a cold cache (every
+// instance new) against a warm one (the same corpus requested again through
+// the same cache), at 1 thread and at the default pool width.
+//
+//   --threads=N   default-pool width for the wide rows (default: all cores)
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "engine/profile_cache.hpp"
+#include "engine/registry.hpp"
+#include "engine/serve.hpp"
+#include "io/format.hpp"
+#include "random/generators.hpp"
+#include "random/gilbert.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+// A request stream of `count` distinct framed instances (native text).
+std::string build_request_stream(int count, int n_half, std::uint64_t seed) {
+  std::ostringstream out;
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    Graph g = gilbert_bipartite(n_half, 2.0 / n_half, rng);
+    std::vector<std::int64_t> speeds(3);
+    for (auto& s : speeds) s = rng.uniform_int(1, 6);
+    const auto inst =
+        make_uniform_instance(unit_weights(2 * n_half), std::move(speeds), std::move(g));
+    out << "instance r" << i << "\n";
+    write_instance(out, inst);
+  }
+  return out.str();
+}
+
+double run_pass(const std::string& requests, unsigned threads,
+                engine::ProfileCache& cache, std::uint64_t* answered) {
+  std::istringstream in(requests);
+  std::ostringstream sink;
+  engine::ServeOptions options;
+  options.threads = threads;
+  Timer timer;
+  const auto stats =
+      engine::serve(engine::SolverRegistry::builtin(), in, sink, options, &cache);
+  const double seconds = timer.seconds();
+  *answered = stats.ok;
+  return seconds;
+}
+
+void throughput_table(unsigned wide_threads) {
+  TextTable t("serve throughput: cold vs. warm probe cache (Q gilbert, unit jobs)");
+  t.set_header({"jobs", "requests", "threads", "cold req/s", "warm req/s", "warm/cold",
+                "cache hits"});
+  const int kRequests = 200;
+  for (int n_half : {50, 200}) {
+    const std::string requests =
+        build_request_stream(kRequests, n_half, bench::kBenchSeed + n_half);
+    for (unsigned threads : {1u, wide_threads}) {
+      engine::ProfileCache cache;
+      std::uint64_t cold_ok = 0;
+      std::uint64_t warm_ok = 0;
+      const double cold_s = run_pass(requests, threads, cache, &cold_ok);
+      const double warm_s = run_pass(requests, threads, cache, &warm_ok);
+      const auto stats = cache.stats();
+      t.add_row({fmt_count(2 * n_half), fmt_count(kRequests), fmt_count(threads),
+                 fmt_count(static_cast<long long>(cold_ok / cold_s)),
+                 fmt_count(static_cast<long long>(warm_ok / warm_s)),
+                 fmt_ratio(cold_s / warm_s),
+                 fmt_count(static_cast<long long>(stats.hits))});
+      if (threads == wide_threads) break;  // wide == 1: avoid a duplicate row
+    }
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace bisched
+
+int main(int argc, char** argv) {
+  using namespace bisched;
+  const unsigned threads = bench::parse_threads(argc, argv);
+  bench::banner("SERVE — streaming request-loop throughput",
+                "A resident serve process answers repeated traffic without "
+                "re-probing: warm-cache passes skip every bipartition");
+  std::cout << "threads (wide rows): " << threads << "\n";
+  throughput_table(threads);
+  return 0;
+}

@@ -4,14 +4,32 @@
 // exits 0; `for b in build/bench/*; do $b; done` runs the full harness.
 #pragma once
 
+#include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace bisched::bench {
+
+// --threads=N from argv; malformed values warn and fall back to all cores.
+inline unsigned parse_threads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* prefix = "--threads=";
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      const char* value = argv[i] + std::strlen(prefix);
+      unsigned parsed = 0;
+      const auto [ptr, ec] = std::from_chars(value, value + std::strlen(value), parsed);
+      if (ec == std::errc() && *ptr == '\0' && parsed > 0) return parsed;
+      std::cerr << "bad --threads value '" << value << "', using default\n";
+    }
+  }
+  return default_thread_count();
+}
 
 inline void banner(const std::string& experiment, const std::string& claim) {
   std::cout << "\n############################################################\n"

@@ -9,6 +9,16 @@ namespace bisched {
 
 namespace {
 
+// Deadline polling cadence: steady_clock::now() costs ~20ns, a DFS node a
+// few ns, so checking every 4096 nodes keeps the overhead under 1% while
+// bounding deadline overshoot to microseconds.
+constexpr std::uint64_t kDeadlinePollMask = 4095;
+
+bool past_deadline(std::uint64_t nodes, std::chrono::steady_clock::time_point deadline) {
+  return deadline != std::chrono::steady_clock::time_point::max() &&
+         (nodes & kDeadlinePollMask) == 0 && std::chrono::steady_clock::now() >= deadline;
+}
+
 std::vector<int> job_order_by_size(const std::vector<std::int64_t>& size, const Graph& g) {
   std::vector<int> order(size.size());
   std::iota(order.begin(), order.end(), 0);
@@ -51,7 +61,8 @@ class ConflictTracker {
 
 }  // namespace
 
-ExactUniformResult exact_uniform_bb(const UniformInstance& inst, std::uint64_t max_nodes) {
+ExactUniformResult exact_uniform_bb(const UniformInstance& inst, std::uint64_t max_nodes,
+                                    std::chrono::steady_clock::time_point deadline) {
   const int n = inst.num_jobs();
   const int m = inst.num_machines();
   BISCHED_CHECK(n <= 64, "exact B&B oracle sized for n <= 64");
@@ -68,7 +79,8 @@ ExactUniformResult exact_uniform_bb(const UniformInstance& inst, std::uint64_t m
 
   auto dfs = [&](auto&& self, int depth, const Rational& cmax_so_far) -> void {
     if (aborted) return;
-    if (max_nodes != 0 && ++nodes > max_nodes) {
+    ++nodes;
+    if ((max_nodes != 0 && nodes > max_nodes) || past_deadline(nodes, deadline)) {
       aborted = true;
       return;
     }
@@ -101,6 +113,7 @@ ExactUniformResult exact_uniform_bb(const UniformInstance& inst, std::uint64_t m
     }
   };
   dfs(dfs, 0, Rational(0));
+  best.truncated = aborted;
   best.aborted = aborted && !best.feasible;
   if (best.feasible) {
     BISCHED_DCHECK(validate(inst, best.schedule) == ScheduleStatus::kValid,
@@ -110,7 +123,8 @@ ExactUniformResult exact_uniform_bb(const UniformInstance& inst, std::uint64_t m
 }
 
 ExactUnrelatedResult exact_unrelated_bb(const UnrelatedInstance& inst,
-                                        std::uint64_t max_nodes) {
+                                        std::uint64_t max_nodes,
+                                        std::chrono::steady_clock::time_point deadline) {
   const int n = inst.num_jobs();
   const int m = inst.num_machines();
   BISCHED_CHECK(n <= 64, "exact B&B oracle sized for n <= 64");
@@ -135,7 +149,8 @@ ExactUnrelatedResult exact_unrelated_bb(const UnrelatedInstance& inst,
 
   auto dfs = [&](auto&& self, int depth, std::int64_t cmax_so_far) -> void {
     if (aborted) return;
-    if (max_nodes != 0 && ++nodes > max_nodes) {
+    ++nodes;
+    if ((max_nodes != 0 && nodes > max_nodes) || past_deadline(nodes, deadline)) {
       aborted = true;
       return;
     }
@@ -161,6 +176,7 @@ ExactUnrelatedResult exact_unrelated_bb(const UnrelatedInstance& inst,
     }
   };
   dfs(dfs, 0, 0);
+  best.truncated = aborted;
   best.aborted = aborted && !best.feasible;
   if (best.feasible) {
     BISCHED_DCHECK(validate(inst, best.schedule) == ScheduleStatus::kValid,

@@ -8,6 +8,7 @@
 // approximation-ratio experiments, not production solvers.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 
 #include "sched/instance.hpp"
@@ -18,7 +19,9 @@ namespace bisched {
 
 struct ExactUniformResult {
   bool feasible = false;
-  bool aborted = false;  // node budget exhausted before proving anything
+  bool aborted = false;    // budget exhausted before finding any schedule
+  bool truncated = false;  // search stopped early: an incumbent in
+                           // `schedule` is valid but NOT proven optimal
   Schedule schedule;
   Rational cmax;
 };
@@ -26,13 +29,22 @@ struct ExactUniformResult {
 struct ExactUnrelatedResult {
   bool feasible = false;
   bool aborted = false;
+  bool truncated = false;
   Schedule schedule;
   std::int64_t cmax = 0;
 };
 
-// max_nodes = 0 means unlimited.
-ExactUniformResult exact_uniform_bb(const UniformInstance& inst, std::uint64_t max_nodes = 0);
-ExactUnrelatedResult exact_unrelated_bb(const UnrelatedInstance& inst,
-                                        std::uint64_t max_nodes = 0);
+// max_nodes = 0 means unlimited. `deadline` (max() = none) is polled every
+// few thousand nodes: past it the search aborts like a node-budget
+// exhaustion, keeping any incumbent found so far — how the engine's run-all
+// budget binds inside this solver rather than only between solvers.
+ExactUniformResult exact_uniform_bb(
+    const UniformInstance& inst, std::uint64_t max_nodes = 0,
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max());
+ExactUnrelatedResult exact_unrelated_bb(
+    const UnrelatedInstance& inst, std::uint64_t max_nodes = 0,
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max());
 
 }  // namespace bisched

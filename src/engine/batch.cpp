@@ -1,15 +1,17 @@
 #include "engine/batch.hpp"
 
 #include <algorithm>
-#include <cstdio>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <ostream>
-#include <sstream>
 #include <utility>
 
 #include "engine/portfolio.hpp"
-#include "io/format.hpp"
+#include "io/jsonl.hpp"
+#include "sched/instance_hash.hpp"
+#include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -51,20 +53,23 @@ std::vector<std::string> collect_instance_paths(const std::string& path, std::st
   return out;
 }
 
-BatchRunner::BatchRunner(const SolverRegistry& registry, BatchOptions options)
-    : registry_(registry), options_(std::move(options)) {}
-
-BatchRow BatchRunner::run_one(const std::string& path) const {
-  BatchRow row;
-  row.file = path;
-  Timer timer;
-
-  std::ifstream file(path);
-  if (!file) {
-    row.error = "cannot open file";
-    return row;
+std::vector<std::string> shard_paths(const std::vector<std::string>& paths,
+                                     const Shard& shard) {
+  BISCHED_CHECK(shard.valid(), "invalid shard assignment");
+  std::vector<std::string> out;
+  out.reserve(paths.size() / static_cast<std::size_t>(shard.count) + 1);
+  for (std::size_t i = static_cast<std::size_t>(shard.index); i < paths.size();
+       i += static_cast<std::size_t>(shard.count)) {
+    out.push_back(paths[i]);
   }
-  const ParsedInstance parsed = parse_instance(file);
+  return out;
+}
+
+BatchRow solve_to_row(const SolverRegistry& registry, ProfileCache& cache,
+                      const std::string& alg, const SolveOptions& solve,
+                      const ParsedInstance& parsed) {
+  BatchRow row;
+  Timer timer;
   if (!parsed.ok()) {
     row.error = "parse error: " + parsed.error;
     return row;
@@ -74,9 +79,11 @@ BatchRow BatchRunner::run_one(const std::string& path) const {
   const auto dispatch = [&](const auto& inst) {
     row.jobs = inst.num_jobs();
     row.machines = inst.num_machines();
-    return options_.alg == "auto" ? solve_auto(registry_, inst, options_.solve)
-                                  : solve_named(registry_, options_.alg, inst,
-                                                options_.solve);
+    const CachedProfile cached = cache.profile(inst);
+    row.instance_hash = hash_hex(cached.hash);
+    row.cache_hit = cached.hit;
+    return alg == "auto" ? solve_auto(registry, inst, solve, cached.profile)
+                         : solve_named(registry, alg, inst, solve, cached.profile);
   };
   if (parsed.uniform.has_value()) {
     row.model = "uniform";
@@ -99,81 +106,117 @@ BatchRow BatchRunner::run_one(const std::string& path) const {
   return row;
 }
 
-std::vector<BatchRow> BatchRunner::run(const std::vector<std::string>& paths) const {
-  std::vector<BatchRow> rows(paths.size());
+BatchRunner::BatchRunner(const SolverRegistry& registry, BatchOptions options,
+                         ProfileCache* cache)
+    : registry_(registry), options_(std::move(options)), cache_(cache) {
+  if (cache_ == nullptr) {
+    owned_cache_ = std::make_unique<ProfileCache>();
+    cache_ = owned_cache_.get();
+  }
+}
+
+BatchRow BatchRunner::run_one(const std::string& path, std::int64_t seq) const {
+  BatchRow row;
+  std::ifstream file(path);
+  if (!file) {
+    row.error = "cannot open file";
+  } else {
+    row = solve_to_row(registry_, *cache_, options_.alg, options_.solve,
+                       parse_instance(file));
+  }
+  row.seq = seq;
+  row.file = path;
+  if (options_.stable_output) row.wall_ms = 0;
+  return row;
+}
+
+void BatchRunner::run_streaming(const std::vector<std::string>& paths,
+                                const std::function<void(const BatchRow&)>& sink) const {
+  const std::vector<std::string> mine = shard_paths(paths, options_.shard);
   const unsigned threads =
       options_.threads != 0 ? options_.threads : default_thread_count();
+
+  // Bounded work queue: workers race on a shared cursor instead of the pool
+  // queuing one closure per instance, so in-flight state is O(threads) and
+  // the first finished rows reach the sink while the corpus is still being
+  // consumed. `seq` is the *global* pre-shard index of the instance — shard
+  // outputs of one corpus therefore merge without seq collisions, and every
+  // row keeps the same seq it would get in an unsharded run.
+  std::atomic<std::size_t> next{0};
+  std::mutex sink_mu;
   ThreadPool pool(threads);
-  for (std::size_t i = 0; i < paths.size(); ++i) {
-    pool.submit([this, &paths, &rows, i] { rows[i] = run_one(paths[i]); });
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= mine.size()) return;
+        const std::size_t global = static_cast<std::size_t>(options_.shard.index) +
+                                   i * static_cast<std::size_t>(options_.shard.count);
+        const BatchRow row = run_one(mine[i], static_cast<std::int64_t>(global));
+        std::lock_guard<std::mutex> lock(sink_mu);
+        sink(row);
+      }
+    });
   }
   pool.wait_idle();
+}
+
+std::vector<BatchRow> BatchRunner::run(const std::vector<std::string>& paths) const {
+  std::vector<BatchRow> rows;
+  run_streaming(paths, [&rows](const BatchRow& row) { rows.push_back(row); });
+  std::sort(rows.begin(), rows.end(),
+            [](const BatchRow& a, const BatchRow& b) { return a.seq < b.seq; });
   return rows;
+}
+
+void write_row_header_csv(std::ostream& out) {
+  out << "seq,file,status,model,jobs,machines,hash,cache,solver,guarantee,makespan,"
+         "makespan_value,wall_ms,error\n";
 }
 
 namespace {
 
-std::string json_string(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
+// Empty when the instance never reached the cache (open/parse failure).
+const char* cache_label(const BatchRow& row) {
+  if (row.instance_hash.empty()) return "";
+  return row.cache_hit ? "hit" : "miss";
 }
 
 }  // namespace
 
+void write_row_csv(std::ostream& out, const BatchRow& row) {
+  out << row.seq << ',' << csv_quote(row.file) << ',' << (row.ok ? "ok" : "error") << ','
+      << csv_quote(row.model) << ',' << row.jobs << ',' << row.machines << ','
+      << csv_quote(row.instance_hash) << ',' << cache_label(row) << ','
+      << csv_quote(row.solver) << ',' << csv_quote(row.guarantee) << ','
+      << csv_quote(row.makespan) << ',' << fmt_double_exact(row.makespan_value) << ','
+      << fmt_double_exact(row.wall_ms) << ',' << csv_quote(row.error) << '\n';
+}
+
+void write_row_json(std::ostream& out, const BatchRow& row, const std::string* id) {
+  out << '{';
+  if (id != nullptr) out << "\"id\": " << json_quote(*id) << ", ";
+  out << "\"seq\": " << row.seq << ", \"file\": " << json_quote(row.file)
+      << ", \"status\": " << (row.ok ? "\"ok\"" : "\"error\"")
+      << ", \"model\": " << json_quote(row.model) << ", \"jobs\": " << row.jobs
+      << ", \"machines\": " << row.machines
+      << ", \"hash\": " << json_quote(row.instance_hash)
+      << ", \"cache\": " << json_quote(cache_label(row))
+      << ", \"solver\": " << json_quote(row.solver)
+      << ", \"guarantee\": " << json_quote(row.guarantee)
+      << ", \"makespan\": " << json_quote(row.makespan)
+      << ", \"makespan_value\": " << fmt_double_exact(row.makespan_value)
+      << ", \"wall_ms\": " << fmt_double_exact(row.wall_ms)
+      << ", \"error\": " << json_quote(row.error) << "}\n";
+}
+
 void write_rows_csv(std::ostream& out, std::span<const BatchRow> rows) {
-  out << "file,status,model,jobs,machines,solver,guarantee,makespan,makespan_value,"
-         "wall_ms,error\n";
-  for (const BatchRow& row : rows) {
-    out << csv_quote(row.file) << ',' << (row.ok ? "ok" : "error") << ',' << row.model
-        << ',' << row.jobs << ',' << row.machines << ',' << csv_quote(row.solver) << ','
-        << csv_quote(row.guarantee) << ',' << csv_quote(row.makespan) << ','
-        << fmt_double_exact(row.makespan_value) << ',' << fmt_double_exact(row.wall_ms)
-        << ',' << csv_quote(row.error) << '\n';
-  }
+  write_row_header_csv(out);
+  for (const BatchRow& row : rows) write_row_csv(out, row);
 }
 
 void write_rows_json(std::ostream& out, std::span<const BatchRow> rows) {
-  out << "[\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const BatchRow& row = rows[i];
-    out << "  {\"file\": " << json_string(row.file)
-        << ", \"status\": " << (row.ok ? "\"ok\"" : "\"error\"")
-        << ", \"model\": " << json_string(row.model) << ", \"jobs\": " << row.jobs
-        << ", \"machines\": " << row.machines
-        << ", \"solver\": " << json_string(row.solver)
-        << ", \"guarantee\": " << json_string(row.guarantee)
-        << ", \"makespan\": " << json_string(row.makespan)
-        << ", \"makespan_value\": " << fmt_double_exact(row.makespan_value)
-        << ", \"wall_ms\": " << fmt_double_exact(row.wall_ms)
-        << ", \"error\": " << json_string(row.error) << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
-  }
-  out << "]\n";
+  for (const BatchRow& row : rows) write_row_json(out, row);
 }
 
 }  // namespace bisched::engine

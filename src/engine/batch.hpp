@@ -1,40 +1,82 @@
-// BatchRunner: solve a directory or manifest of instances concurrently.
+// BatchRunner: solve a directory or manifest of instances concurrently,
+// streaming result rows as they complete.
 //
-// Built on util/parallel.hpp's ThreadPool: one task per instance, each
-// writing into its own result slot, so the solver-result fields (order,
-// status, solver, makespan) are identical at any thread count — the
-// acceptance bar for deterministic batch serving. wall_ms is measured, not
-// deterministic.
-// Rows carry everything a downstream aggregation needs — instance shape,
-// winning solver, guarantee, exact makespan (rational string) plus a double
-// for quick plotting, and per-instance wall time — and serialize to CSV or
-// JSON.
+// The pipeline is a bounded work queue, not collect-then-write: `threads`
+// workers pull the next input index from a shared atomic cursor, solve it,
+// and hand the finished `BatchRow` to a sink under a serialization mutex —
+// so the first rows reach the output while later instances are still
+// solving, and memory stays O(threads), independent of corpus size. Rows
+// carry their input-order sequence id (`seq`), which makes output order a
+// presentation detail: row *content* (seq, hash, solver, makespan, ...) is
+// identical at any thread count; only completion order, the measured
+// wall_ms (BatchOptions::stable_output zeroes it for byte-level
+// comparisons), and — for corpora with duplicate-content instances — the
+// per-row cache hit/miss attribution vary (which duplicate probes first
+// depends on worker scheduling; the hash and every solver field still
+// match).
+//
+// Probing goes through a ProfileCache (engine/profile_cache.hpp): each row
+// records the instance's stable content hash and whether its profile was a
+// cache hit, so repeated traffic is visible in the output.
+//
+// Sharding: `--shard=i/n` fleets split a corpus by taking every n-th entry
+// of the expanded path list (round-robin by index, after the deterministic
+// directory sort) — shards are disjoint, exhaustive, and balanced even when
+// a manifest is sorted by instance size.
+//
+// Rows serialize to CSV (header + one line per row, util/table.hpp's
+// csv_quote on every string field) or JSON Lines (one object per line,
+// io/jsonl.hpp's json_quote on every string field) — the same two formats,
+// and the same escaping, the serve loop emits.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "engine/profile_cache.hpp"
 #include "engine/registry.hpp"
 #include "engine/solver.hpp"
+#include "io/format.hpp"
 
 namespace bisched::engine {
+
+// A shard assignment i/n: this runner handles entries {i, i+n, i+2n, ...} of
+// the expanded path list. The n shards partition any corpus (disjoint and
+// exhaustive); index 0/1 is the whole corpus.
+struct Shard {
+  int index = 0;
+  int count = 1;
+
+  bool valid() const { return count >= 1 && index >= 0 && index < count; }
+};
 
 struct BatchOptions {
   // Registry solver name, or "auto" for portfolio dispatch per instance.
   std::string alg = "auto";
   SolveOptions solve;
   unsigned threads = 0;  // 0 = default_thread_count()
+  Shard shard;
+  // Zero the measured wall_ms in rows so output is byte-identical (modulo
+  // row order) across thread counts — for diffing and the determinism tests.
+  bool stable_output = false;
 };
 
 struct BatchRow {
-  std::string file;
+  std::int64_t seq = 0;       // global input-order id (pre-shard index into the
+                              // path list, so shard outputs merge collision-free)
+  std::string file;           // instance path ("" for inline serve requests)
   bool ok = false;
   std::string error;          // parse or solve failure
   std::string model;          // "uniform" | "unrelated" | "" on parse failure
   int jobs = 0;
   int machines = 0;
+  std::string instance_hash;  // 16-hex stable content hash ("" on parse failure)
+  bool cache_hit = false;     // profile served from the cache?
   std::string solver;         // winning solver (empty on failure)
   std::string guarantee;
   std::string makespan;       // exact rational string (empty on failure)
@@ -48,20 +90,58 @@ struct BatchRow {
 // sets *error on failure.
 std::vector<std::string> collect_instance_paths(const std::string& path, std::string* error);
 
+// Entries of `paths` assigned to `shard`, in input order. Requires
+// shard.valid().
+std::vector<std::string> shard_paths(const std::vector<std::string>& paths,
+                                     const Shard& shard);
+
+// Solves one already-parsed instance into a row through the cache + the
+// portfolio. Shared by the batch workers and the serve loop; `seq`, `file`,
+// and parse errors are the caller's to fill in (a !parsed.ok() input yields
+// an error row). Thread-safe for concurrent calls sharing one cache.
+BatchRow solve_to_row(const SolverRegistry& registry, ProfileCache& cache,
+                      const std::string& alg, const SolveOptions& solve,
+                      const ParsedInstance& parsed);
+
 class BatchRunner {
  public:
-  BatchRunner(const SolverRegistry& registry, BatchOptions options);
+  // `cache` may be shared with other runners / the serve loop; nullptr gives
+  // the runner a private one.
+  BatchRunner(const SolverRegistry& registry, BatchOptions options,
+              ProfileCache* cache = nullptr);
 
-  // One row per path, in input order.
+  // Streams each finished row to `sink` as it completes (arbitrary
+  // completion order; `row.seq` is the input index). `sink` calls are
+  // serialized by an internal mutex. Applies options.shard to `paths`.
+  void run_streaming(const std::vector<std::string>& paths,
+                     const std::function<void(const BatchRow&)>& sink) const;
+
+  // One row per (sharded) path, sorted back into input order — the
+  // collect-everything convenience built on run_streaming.
   std::vector<BatchRow> run(const std::vector<std::string>& paths) const;
 
+  const ProfileCache& cache() const { return *cache_; }
+
  private:
-  BatchRow run_one(const std::string& path) const;
+  BatchRow run_one(const std::string& path, std::int64_t seq) const;
 
   const SolverRegistry& registry_;
   BatchOptions options_;
+  ProfileCache* cache_;                     // points at owned_cache_ or a shared one
+  std::unique_ptr<ProfileCache> owned_cache_;
 };
 
+// Streaming row serialization. CSV needs the header exactly once, then one
+// line per row; JSON output is JSON Lines (one object per line), so rows
+// concatenate without array framing.
+void write_row_header_csv(std::ostream& out);
+void write_row_csv(std::ostream& out, const BatchRow& row);
+// `id` (serve mode: the request's id) is emitted as a leading "id" member
+// when non-null; batch rows omit it.
+void write_row_json(std::ostream& out, const BatchRow& row,
+                    const std::string* id = nullptr);
+
+// Whole-slice convenience used by tests and collect-style callers.
 void write_rows_csv(std::ostream& out, std::span<const BatchRow> rows);
 void write_rows_json(std::ostream& out, std::span<const BatchRow> rows);
 

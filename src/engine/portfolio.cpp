@@ -1,5 +1,7 @@
 #include "engine/portfolio.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <string>
 #include <utility>
 
@@ -11,8 +13,7 @@ namespace {
 
 template <typename Instance>
 SolveResult solve_auto_impl(const SolverRegistry& registry, const Instance& inst,
-                            const SolveOptions& options) {
-  const InstanceProfile profile = probe(inst);
+                            const SolveOptions& options, const InstanceProfile& profile) {
   const auto eligible = registry.applicable(profile);
   if (eligible.empty()) {
     SolveResult r;
@@ -21,17 +22,31 @@ SolveResult solve_auto_impl(const SolverRegistry& registry, const Instance& inst
   }
 
   Timer timer;
+  SolveOptions per_solver = options;
+  if (options.run_all && options.budget_ms > 0) {
+    // The budget becomes a hard deadline each solver sees (and the B&B
+    // oracle polls); an explicit caller deadline still wins if tighter.
+    // Clamped to ~115 days so an absurd --budget-ms cannot overflow the
+    // duration cast (UB) into a deadline in the past.
+    const double budget_ms = std::min(options.budget_ms, 1e10);
+    per_solver.deadline = std::min(
+        options.deadline,
+        std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(budget_ms)));
+  }
   SolveResult best;
   int tried = 0;
   std::string first_error;
   for (const Solver* solver : eligible) {
     if (tried > 0) {
       if (!options.run_all && best.ok) break;  // best-guarantee solver succeeded
-      if (options.run_all && options.budget_ms > 0 && timer.millis() >= options.budget_ms) {
+      if (options.run_all && options.budget_ms > 0 &&
+          std::chrono::steady_clock::now() >= per_solver.deadline) {
         break;
       }
     }
-    SolveResult r = solver->solve(inst, options);
+    SolveResult r = solver->solve(inst, per_solver);
     ++tried;
     if (r.ok && (!best.ok || r.cmax < best.cmax)) {
       best = std::move(r);
@@ -52,14 +67,14 @@ SolveResult solve_auto_impl(const SolverRegistry& registry, const Instance& inst
 
 template <typename Instance>
 SolveResult solve_named_impl(const SolverRegistry& registry, std::string_view name,
-                             const Instance& inst, const SolveOptions& options) {
+                             const Instance& inst, const SolveOptions& options,
+                             const InstanceProfile& profile) {
   const Solver* solver = registry.find(name);
   SolveResult r;
   if (solver == nullptr) {
     r.error = "unknown solver '" + std::string(name) + "'";
     return r;
   }
-  const InstanceProfile profile = probe(inst);
   std::string why;
   if (!is_applicable(solver->capabilities(), profile, &why) ||
       !solver->admits(profile, &why)) {
@@ -73,22 +88,44 @@ SolveResult solve_named_impl(const SolverRegistry& registry, std::string_view na
 
 SolveResult solve_auto(const SolverRegistry& registry, const UniformInstance& inst,
                        const SolveOptions& options) {
-  return solve_auto_impl(registry, inst, options);
+  return solve_auto_impl(registry, inst, options, probe(inst));
+}
+
+SolveResult solve_auto(const SolverRegistry& registry, const UniformInstance& inst,
+                       const SolveOptions& options, const InstanceProfile& profile) {
+  return solve_auto_impl(registry, inst, options, profile);
 }
 
 SolveResult solve_auto(const SolverRegistry& registry, const UnrelatedInstance& inst,
                        const SolveOptions& options) {
-  return solve_auto_impl(registry, inst, options);
+  return solve_auto_impl(registry, inst, options, probe(inst));
+}
+
+SolveResult solve_auto(const SolverRegistry& registry, const UnrelatedInstance& inst,
+                       const SolveOptions& options, const InstanceProfile& profile) {
+  return solve_auto_impl(registry, inst, options, profile);
 }
 
 SolveResult solve_named(const SolverRegistry& registry, std::string_view name,
                         const UniformInstance& inst, const SolveOptions& options) {
-  return solve_named_impl(registry, name, inst, options);
+  return solve_named_impl(registry, name, inst, options, probe(inst));
+}
+
+SolveResult solve_named(const SolverRegistry& registry, std::string_view name,
+                        const UniformInstance& inst, const SolveOptions& options,
+                        const InstanceProfile& profile) {
+  return solve_named_impl(registry, name, inst, options, profile);
 }
 
 SolveResult solve_named(const SolverRegistry& registry, std::string_view name,
                         const UnrelatedInstance& inst, const SolveOptions& options) {
-  return solve_named_impl(registry, name, inst, options);
+  return solve_named_impl(registry, name, inst, options, probe(inst));
+}
+
+SolveResult solve_named(const SolverRegistry& registry, std::string_view name,
+                        const UnrelatedInstance& inst, const SolveOptions& options,
+                        const InstanceProfile& profile) {
+  return solve_named_impl(registry, name, inst, options, profile);
 }
 
 }  // namespace bisched::engine

@@ -1,0 +1,58 @@
+#include "engine/profile_cache.hpp"
+
+#include <algorithm>
+
+#include "sched/instance_hash.hpp"
+
+namespace bisched::engine {
+
+ProfileCache::ProfileCache(std::size_t max_entries)
+    : max_entries_(std::max<std::size_t>(1, max_entries)) {}
+
+template <typename Instance>
+CachedProfile ProfileCache::lookup(const Instance& inst) {
+  CachedProfile out;
+  out.hash = instance_hash(inst);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(out.hash);
+    if (it != map_.end()) {
+      ++hits_;
+      out.profile = it->second;
+      out.hit = true;
+      return out;
+    }
+  }
+  // Probe outside the lock: concurrent misses on the same instance race
+  // benignly (both compute the same profile; the second insert is a no-op).
+  out.profile = probe(inst);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+    if (map_.size() >= max_entries_) map_.clear();
+    map_.emplace(out.hash, out.profile);
+  }
+  return out;
+}
+
+CachedProfile ProfileCache::profile(const UniformInstance& inst) { return lookup(inst); }
+
+CachedProfile ProfileCache::profile(const UnrelatedInstance& inst) { return lookup(inst); }
+
+ProfileCache::Stats ProfileCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.entries = map_.size();
+  return s;
+}
+
+void ProfileCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace bisched::engine

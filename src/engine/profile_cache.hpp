@@ -1,0 +1,66 @@
+// ProfileCache: instance-hash-keyed memoization of probe() results.
+//
+// Probing an instance costs O(|V| + |E|) — a BFS 2-coloring plus scans — and
+// under repeated traffic (a serve loop answering the same corpus, a run-all
+// batch, fleets re-solving hot instances) the same bipartition was being
+// recomputed on every solve. The cache keys the full InstanceProfile by
+// sched/instance_hash's stable 64-bit content hash, so the batch and serve
+// paths probe each distinct instance exactly once per process.
+//
+// Thread-safe: one mutex around an unordered_map. Lookups are cheap relative
+// to a solve, and the batch/serve workers only touch the cache once per
+// request. Capacity-bounded for long-lived serve processes: when the map
+// reaches `max_entries` it is cleared wholesale (a generation cache — O(1)
+// amortized, no LRU bookkeeping; the next requests re-probe and refill).
+//
+// Keying by the 64-bit hash alone means a hash collision would serve the
+// wrong profile; at ~2^-64 per pair that is the standard content-hash cache
+// trade and is documented rather than defended against.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "engine/solver.hpp"
+
+namespace bisched::engine {
+
+// A profile plus its cache provenance: `hash` is the instance's stable
+// content hash (the cache key, surfaced in result rows) and `hit` says
+// whether the profile was served from the cache or probed fresh.
+struct CachedProfile {
+  InstanceProfile profile;
+  std::uint64_t hash = 0;
+  bool hit = false;
+};
+
+class ProfileCache {
+ public:
+  explicit ProfileCache(std::size_t max_entries = 1 << 20);
+  ProfileCache(const ProfileCache&) = delete;
+  ProfileCache& operator=(const ProfileCache&) = delete;
+
+  CachedProfile profile(const UniformInstance& inst);
+  CachedProfile profile(const UnrelatedInstance& inst);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+  void clear();
+
+ private:
+  template <typename Instance>
+  CachedProfile lookup(const Instance& inst);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, InstanceProfile> map_;
+  std::size_t max_entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace bisched::engine

@@ -65,6 +65,7 @@ class FunctionSolver final : public Solver {
 
   SolveResult solve(const UniformInstance& inst, const SolveOptions& options) const override {
     if (uniform_ == nullptr) return stamp(Solver::solve(inst, options), 0);
+    if (past_deadline(options)) return stamp(deadline_failure(), 0);
     Timer timer;
     SolveResult r = uniform_(inst, options);
     return stamp(std::move(r), timer.millis());
@@ -73,12 +74,21 @@ class FunctionSolver final : public Solver {
   SolveResult solve(const UnrelatedInstance& inst,
                     const SolveOptions& options) const override {
     if (unrelated_ == nullptr) return stamp(Solver::solve(inst, options), 0);
+    if (past_deadline(options)) return stamp(deadline_failure(), 0);
     Timer timer;
     SolveResult r = unrelated_(inst, options);
     return stamp(std::move(r), timer.millis());
   }
 
  private:
+  static bool past_deadline(const SolveOptions& options) {
+    return options.deadline != std::chrono::steady_clock::time_point::max() &&
+           std::chrono::steady_clock::now() >= options.deadline;
+  }
+
+  static SolveResult deadline_failure() {
+    return failure("deadline exceeded before solver started");
+  }
   SolveResult stamp(SolveResult r, double wall_ms) const {
     r.solver = name_;
     r.guarantee = caps_.guarantee_label;
@@ -248,23 +258,98 @@ void register_builtin(SolverRegistry& reg) {
   }
 
   {
+    SolverCapabilities c = caps(kModelUniform, GraphClass::kBipartite, Guarantee::kExact,
+                                "exact (via R2 reduction)");
+    c.min_machines = 2;
+    c.max_machines = 2;
+    add_solver(reg, "q2r2exact",
+               "Exact optimum for Q2 via the R2 embedding + Algorithm-3 reduction",
+               std::move(c),
+               [](const UniformInstance& inst, const SolveOptions&) {
+                 auto r = q2_exact_via_r2(inst);
+                 return success(std::move(r.schedule), r.cmax);
+               },
+               nullptr,
+               [](const InstanceProfile& profile, std::string* why) {
+                 // The embedding scales times by lcm(s1, s2); the R2 DP is
+                 // O(n * scaled makespan) and total_work * lcm bounds the
+                 // scaled makespan from above.
+                 const double scaled = static_cast<double>(profile.total_work) *
+                                       static_cast<double>(std::max<std::int64_t>(
+                                           1, profile.speed_lcm));
+                 const double state =
+                     (static_cast<double>(profile.jobs) + 1) * (scaled + 1);
+                 if (state <= 2.5e8) return true;
+                 if (why != nullptr) *why = "jobs x speed-scaled makespan DP too large";
+                 return false;
+               });
+  }
+
+  {
+    SolverCapabilities c = caps(kModelUniform, GraphClass::kBipartite, Guarantee::kExact,
+                                "exact (Thm 4 via FPTAS)");
+    c.min_machines = 2;
+    c.max_machines = 2;
+    c.unit_jobs_only = true;
+    // The proof route runs O(n) FPTAS invocations at eps = 1/(n+1) — O(n^3)
+    // overall; bounded so `auto` never routes a huge corpus through it (the
+    // split DP `q2exact` outranks it by registration order anyway).
+    c.max_jobs = 400;
+    add_solver(reg, "q2unitfptas",
+               "Theorem 4 proof route: unit-job Q2 optimum by FPTAS feasibility probes",
+               std::move(c),
+               [](const UniformInstance& inst, const SolveOptions&) {
+                 auto r = q2_unit_exact_via_fptas(inst);
+                 return success(std::move(r.schedule), r.cmax);
+               });
+  }
+
+  {
+    SolverCapabilities c = caps(kModelUniform, GraphClass::kBipartite, Guarantee::kFptas,
+                                "1+eps");
+    c.min_machines = 2;
+    c.max_machines = 2;
+    add_solver(reg, "q2fptas",
+               "Algorithm 5 on the speed-scaled R2 embedding: FPTAS for Q2|G=bipartite|Cmax",
+               std::move(c),
+               [](const UniformInstance& inst, const SolveOptions& options) {
+                 if (!(options.eps > 0)) {
+                   return failure("q2fptas requires eps > 0");
+                 }
+                 auto r = q2_fptas(inst, options.eps);
+                 return success(std::move(r.schedule), r.cmax);
+               });
+  }
+
+  {
     SolverCapabilities c = caps(kModelUniform | kModelUnrelated, GraphClass::kAny,
                                 Guarantee::kExact, "exact (B&B)");
     c.max_jobs = 64;
     c.may_fail = true;  // infeasible instances, node-budget exhaustion
     add_solver(reg, "exact", "Branch-and-bound oracle for small instances (n <= 64)",
                std::move(c),
-               [](const UniformInstance& inst, const SolveOptions&) {
-                 auto r = exact_uniform_bb(inst, kEngineBbNodeBudget);
-                 if (r.aborted) return failure("branch-and-bound node budget exhausted");
+               [](const UniformInstance& inst, const SolveOptions& options) {
+                 auto r = exact_uniform_bb(inst, kEngineBbNodeBudget, options.deadline);
+                 // A truncated search may hold a valid incumbent, but this
+                 // solver is advertised "exact": claiming an unproven
+                 // schedule under that label would poison downstream rows,
+                 // so truncation is a failure and the portfolio falls
+                 // through to guaranteed solvers.
+                 if (r.truncated) {
+                   return failure("branch-and-bound budget exhausted before "
+                                  "proving optimality");
+                 }
                  if (!r.feasible) {
                    return failure("infeasible (conflict graph needs more machines)");
                  }
                  return success(std::move(r.schedule), r.cmax);
                },
-               [](const UnrelatedInstance& inst, const SolveOptions&) {
-                 auto r = exact_unrelated_bb(inst, kEngineBbNodeBudget);
-                 if (r.aborted) return failure("branch-and-bound node budget exhausted");
+               [](const UnrelatedInstance& inst, const SolveOptions& options) {
+                 auto r = exact_unrelated_bb(inst, kEngineBbNodeBudget, options.deadline);
+                 if (r.truncated) {
+                   return failure("branch-and-bound budget exhausted before "
+                                  "proving optimality");
+                 }
                  if (!r.feasible) {
                    return failure("infeasible (conflict graph needs more machines)");
                  }

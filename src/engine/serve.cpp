@@ -1,0 +1,229 @@
+#include "engine/serve.hpp"
+
+#include <charconv>
+#include <condition_variable>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "io/jsonl.hpp"
+#include "util/parallel.hpp"
+
+namespace bisched::engine {
+
+namespace {
+
+// One admitted frame. The reader thread decodes only what must come off the
+// shared request stream: a native `instance` body is parsed in place (into
+// `parsed`), while file requests (`path`) and inline JSON instance text
+// (`inline_text`) defer their IO/parse work to the worker so the reader
+// keeps admitting frames.
+struct Request {
+  std::int64_t seq = 0;
+  std::string id;
+  std::string path;                        // nonempty for file requests
+  std::shared_ptr<ParsedInstance> parsed;  // set for native inline frames
+  std::string inline_text;                 // JSON "instance" value
+  bool has_inline_text = false;
+  std::string alg;
+  SolveOptions solve;
+  std::string bad;  // nonempty: malformed frame, answer with this error
+};
+
+// Strips every character istream extraction also treats as whitespace
+// (\v and \f included), so a whitespace-only line is always classified as a
+// blank frame here and can never reach split_words as an empty word list.
+std::string trimmed(const std::string& line) {
+  const auto start = line.find_first_not_of(" \t\r\v\f");
+  if (start == std::string::npos) return "";
+  const auto end = line.find_last_not_of(" \t\r\v\f");
+  return line.substr(start, end - start + 1);
+}
+
+// Splits "solve PATH [ID]" / "instance [ID]" style frames on whitespace.
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream stream(line);
+  std::string word;
+  while (stream >> word) words.push_back(word);
+  return words;
+}
+
+void decode_json_frame(const std::string& line, Request* req) {
+  std::string error;
+  const auto object = parse_flat_json_object(line, &error);
+  if (!object.has_value()) {
+    req->bad = "bad request: " + error;
+    return;
+  }
+  // Unknown keys are rejected, not skipped: a typo like "ep" or "algo"
+  // would otherwise solve with defaults and report success.
+  for (const auto& [key, value] : *object) {
+    if (key != "id" && key != "path" && key != "instance" && key != "alg" &&
+        key != "eps") {
+      req->bad = "bad request: unknown key \"" + key + "\"";
+      return;
+    }
+  }
+  const auto get = [&](const char* key) -> const std::string* {
+    const auto it = object->find(key);
+    return it != object->end() ? &it->second : nullptr;
+  };
+  if (const auto* id = get("id")) req->id = *id;
+  if (const auto* alg = get("alg")) req->alg = *alg;
+  if (const auto* eps = get("eps")) {
+    double parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(eps->data(), eps->data() + eps->size(), parsed);
+    if (ec != std::errc() || ptr != eps->data() + eps->size()) {
+      req->bad = "bad request: eps is not a number";
+      return;
+    }
+    req->solve.eps = parsed;
+  }
+  const auto* path = get("path");
+  const auto* inline_text = get("instance");
+  if ((path != nullptr) == (inline_text != nullptr)) {
+    req->bad = "bad request: exactly one of \"path\" / \"instance\" required";
+    return;
+  }
+  if (path != nullptr) {
+    req->path = *path;
+    return;
+  }
+  req->inline_text = *inline_text;
+  req->has_inline_text = true;
+}
+
+}  // namespace
+
+ServeStats serve(const SolverRegistry& registry, std::istream& in, std::ostream& out,
+                 const ServeOptions& options, ProfileCache* cache) {
+  ProfileCache own_cache;
+  ProfileCache& the_cache = cache != nullptr ? *cache : own_cache;
+
+  const unsigned threads =
+      options.threads != 0 ? options.threads : default_thread_count();
+  const std::size_t max_inflight =
+      options.max_inflight != 0 ? options.max_inflight : 4 * threads;
+
+  ServeStats stats;
+  std::mutex mu;  // guards out, inflight, and the ok/error tallies
+  std::condition_variable cv;
+  std::size_t inflight = 0;
+  ThreadPool pool(threads);
+
+  const auto answer = [&](const Request& req, const BatchRow& raw) {
+    BatchRow row = raw;
+    row.seq = req.seq;
+    if (row.file.empty()) row.file = req.path;
+    if (options.stable_output) row.wall_ms = 0;
+    std::lock_guard<std::mutex> lock(mu);
+    (row.ok ? stats.ok : stats.errors) += 1;
+    write_row_json(out, row, &req.id);
+    out.flush();
+  };
+
+  const auto run_request = [&](const Request& req) {
+    if (!req.bad.empty()) {
+      BatchRow row;
+      row.error = req.bad;
+      answer(req, row);
+      return;
+    }
+    if (req.parsed != nullptr) {
+      answer(req, solve_to_row(registry, the_cache, req.alg, req.solve, *req.parsed));
+      return;
+    }
+    if (req.has_inline_text) {
+      std::istringstream text(req.inline_text);
+      answer(req, solve_to_row(registry, the_cache, req.alg, req.solve,
+                               parse_instance(text)));
+      return;
+    }
+    std::ifstream file(req.path);
+    if (!file) {
+      BatchRow row;
+      row.error = "cannot open file";
+      answer(req, row);
+      return;
+    }
+    answer(req, solve_to_row(registry, the_cache, req.alg, req.solve,
+                             parse_instance(file)));
+  };
+
+  // Admission control: the reader blocks once max_inflight requests are in
+  // the pool, so an arbitrarily long stdin never piles up closures.
+  const auto submit = [&](Request req) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return inflight < max_inflight; });
+      ++inflight;
+    }
+    pool.submit([&run_request, &mu, &cv, &inflight, req = std::move(req)] {
+      run_request(req);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        --inflight;
+      }
+      cv.notify_one();
+    });
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string frame = trimmed(line);
+    if (frame.empty() || frame[0] == '#') continue;
+    if (frame == "quit") break;
+
+    Request req;
+    req.seq = static_cast<std::int64_t>(stats.requests++);
+    req.id = "#" + std::to_string(req.seq);
+    req.alg = options.alg;
+    req.solve = options.solve;
+
+    if (frame[0] == '{') {
+      decode_json_frame(frame, &req);
+    } else {
+      const auto words = split_words(frame);
+      if (words[0] == "solve") {
+        if (words.size() == 2 || words.size() == 3) {
+          req.path = words[1];
+          if (words.size() == 3) req.id = words[2];
+        } else {
+          req.bad = "bad request: solve takes PATH [ID] (paths with spaces "
+                    "need the JSON form)";
+        }
+      } else if (words[0] == "instance") {
+        // The native text follows on the stream, so every `instance` header
+        // — even one with a malformed id list — must consume its body, or
+        // the body lines would be misread as frames. The parser consumes
+        // exactly one well-formed instance; on a parse error it stops
+        // mid-stream, so the damage is contained by discarding input up to
+        // the next blank line (instance bodies contain none).
+        if (words.size() == 2) req.id = words[1];
+        if (words.size() > 2) req.bad = "bad request: instance takes at most one id";
+        auto parsed = std::make_shared<ParsedInstance>(parse_instance(in));
+        if (!parsed->ok()) {
+          std::string skip;
+          while (std::getline(in, skip) && !trimmed(skip).empty()) {
+          }
+        }
+        if (req.bad.empty()) req.parsed = std::move(parsed);
+      } else {
+        req.bad = "bad request: unrecognized frame '" + words[0] + "'";
+      }
+    }
+    submit(std::move(req));
+  }
+
+  pool.wait_idle();
+  stats.cache = the_cache.stats();
+  return stats;
+}
+
+}  // namespace bisched::engine

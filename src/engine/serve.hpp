@@ -1,0 +1,64 @@
+// Long-lived serve mode: framed instance requests in, streamed responses out.
+//
+// `serve` is the process-resident counterpart of BatchRunner: one registry,
+// one ProfileCache, and one thread pool live across every request, so
+// repeated traffic pays parse + dispatch but never a second probe (the cache
+// hit shows up in the response's "cache" member). Requests are read from
+// `in` one frame at a time and fanned across the pool under an in-flight
+// bound; responses are written to `out` as each solve finishes — one JSON
+// Lines object per request, flushed per line so a pipe peer can drive the
+// loop request-by-request. Completion order is arbitrary; every response
+// carries the request's `id` and admission `seq` for correlation. Requests
+// without an id get `#<seq>` — `seq` is the collision-free correlation key;
+// clients that pick their own ids should avoid the `#<digits>` form.
+//
+// Request framing (one frame per line unless noted; blank lines and `#`
+// comments are skipped):
+//
+//   {"id": "r1", "path": "a.inst"}        solve the instance file `path`
+//   {"id": "r2", "instance": "bisched uniform v1\n..."}
+//                                         solve an inline native-format text
+//   solve PATH [ID]                       plain-text form of the first
+//   instance [ID]                         native instance text follows
+//                                         directly on the stream (the parser
+//                                         consumes exactly one instance)
+//   quit                                  stop reading; drain and return
+//
+// JSON requests may also override "alg" (registry name or "auto") and "eps"
+// per request. A malformed frame yields an error response, never a crash or
+// a dropped request; after a malformed native `instance` body the loop
+// discards input up to the next blank line (bodies contain none) so the
+// remainder of the broken body is not misread as frames.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "engine/batch.hpp"
+#include "engine/profile_cache.hpp"
+#include "engine/registry.hpp"
+
+namespace bisched::engine {
+
+struct ServeOptions {
+  std::string alg = "auto";  // default per-request algorithm
+  SolveOptions solve;
+  unsigned threads = 0;        // 0 = default_thread_count()
+  std::size_t max_inflight = 0;  // admission bound; 0 = 4 * threads
+  bool stable_output = false;    // zero wall_ms in responses
+};
+
+struct ServeStats {
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;  // bad frames + failed solves
+  ProfileCache::Stats cache;
+};
+
+// Runs the loop until EOF or a `quit` frame, then drains in-flight requests.
+// `cache` may be shared (e.g. pre-warmed by a batch run); nullptr uses a
+// private one.
+ServeStats serve(const SolverRegistry& registry, std::istream& in, std::ostream& out,
+                 const ServeOptions& options, ProfileCache* cache = nullptr);
+
+}  // namespace bisched::engine

@@ -1,6 +1,7 @@
 #include "engine/solver.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "graph/bipartite.hpp"
 
@@ -63,6 +64,13 @@ InstanceProfile probe(const UniformInstance& inst) {
   profile.unit_jobs = std::all_of(inst.p.begin(), inst.p.end(),
                                   [](std::int64_t pj) { return pj == 1; });
   profile.total_work = inst.total_work();
+  if (profile.machines == 2) {
+    const std::int64_t s1 = inst.speeds[0];
+    const std::int64_t s2 = inst.speeds[1];
+    const std::int64_t g = std::gcd(s1, s2);
+    const std::int64_t a = s1 / g;
+    profile.speed_lcm = a <= INT64_MAX / s2 ? a * s2 : INT64_MAX;
+  }
   probe_graph(inst.conflicts, &profile);
   return profile;
 }

@@ -11,6 +11,7 @@
 // portfolio (engine/portfolio.hpp) can rank eligible solvers by guarantee.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -62,6 +63,11 @@ struct InstanceProfile {
   // Uniform: sum p_j. Unrelated: sum_j max_i t_ij — an upper bound on the
   // makespan of any schedule, used to budget pseudo-polynomial DPs.
   std::int64_t total_work = 0;
+  // Uniform two-machine instances only: lcm(s_1, s_2), the scale factor of
+  // the Q2 -> R2 embedding (instance.hpp's uniform_as_unrelated); 0
+  // otherwise. Saturates at INT64_MAX on overflow so admits guards that
+  // multiply by it reject instead of wrapping.
+  std::int64_t speed_lcm = 0;
 };
 
 InstanceProfile probe(const UniformInstance& inst);
@@ -86,6 +92,12 @@ struct SolveOptions {
   double eps = 0.1;       // FPTAS precision (alg5)
   bool run_all = false;   // portfolio: run every applicable solver, keep best
   double budget_ms = 0;   // run_all wall-clock budget; 0 = unlimited
+  // Absolute deadline for a single Solver::solve call; max() = none. run_all
+  // derives it from budget_ms so the budget binds *inside* a solver (the
+  // branch-and-bound oracle polls it), not just between solvers. A solver
+  // invoked past its deadline fails fast instead of starting.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 struct SolveResult {

@@ -1,0 +1,31 @@
+// Line-oriented JSON helpers for the streaming batch/serve pipeline.
+//
+// The engine emits result rows and serve responses as JSON Lines (one object
+// per line) and accepts serve requests as flat JSON objects on one line.
+// `json_quote` is the single escaping routine every JSON writer in the
+// repository goes through — batch rows and serve responses escape names,
+// paths, and error strings identically (the CSV side is util/table.hpp's
+// csv_quote). `parse_flat_json_object` is the deliberately minimal inverse
+// for the request side: one object, string/number/bool/null members, no
+// nesting — enough for `{"id": "x", "path": "a.inst", "eps": 0.2}` framed
+// requests without pulling in a JSON library.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bisched {
+
+// `s` as a double-quoted JSON string: ", \, and control characters escaped
+// (\n, \t, \uXXXX for the rest).
+std::string json_quote(const std::string& s);
+
+// Parses a single flat JSON object. String values are unescaped; numbers,
+// true/false/null are returned as their literal text. Nested objects/arrays,
+// duplicate keys, and trailing garbage are errors (message in *error).
+std::optional<std::map<std::string, std::string>> parse_flat_json_object(
+    std::string_view text, std::string* error);
+
+}  // namespace bisched

@@ -1,0 +1,89 @@
+#include "sched/instance_hash.hpp"
+
+namespace bisched {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+class Fnv1a {
+ public:
+  void mix(std::uint64_t v) {
+    // Fixed little-endian byte order, independent of the host.
+    for (int b = 0; b < 8; ++b) {
+      state_ = (state_ ^ ((v >> (8 * b)) & 0xff)) * kFnvPrime;
+    }
+  }
+  void mix_signed(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kFnvOffset;
+};
+
+// splitmix64-style finalizer: each (min, max) edge pair gets a well-mixed
+// 64-bit value of its own.
+std::uint64_t edge_hash(int u, int v) {
+  std::uint64_t x =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+      static_cast<std::uint32_t>(v);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Edge insertion order is not part of instance identity. Instead of
+// materializing and sorting the edge list (O(E log E) and an allocation on
+// every cache lookup), combine the per-edge hashes with a commutative
+// wrapping sum — order-independent by construction, one pass, no memory.
+void mix_edges(Fnv1a& h, const Graph& g) {
+  h.mix_signed(g.num_edges());
+  std::uint64_t acc = 0;
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    for (int v : g.neighbors(u)) {
+      if (v > u) acc += edge_hash(u, v);
+    }
+  }
+  h.mix(acc);
+}
+
+}  // namespace
+
+std::uint64_t instance_hash(const UniformInstance& inst) {
+  Fnv1a h;
+  h.mix(0x51u);  // 'Q' model tag: a uniform and an unrelated instance never collide
+  h.mix_signed(inst.num_jobs());
+  h.mix_signed(inst.num_machines());
+  for (std::int64_t pj : inst.p) h.mix_signed(pj);
+  for (std::int64_t s : inst.speeds) h.mix_signed(s);
+  mix_edges(h, inst.conflicts);
+  return h.value();
+}
+
+std::uint64_t instance_hash(const UnrelatedInstance& inst) {
+  Fnv1a h;
+  h.mix(0x52u);  // 'R' model tag
+  h.mix_signed(inst.num_jobs());
+  h.mix_signed(inst.num_machines());
+  for (const auto& row : inst.times) {
+    for (std::int64_t t : row) h.mix_signed(t);
+  }
+  mix_edges(h, inst.conflicts);
+  return h.value();
+}
+
+std::string hash_hex(std::uint64_t h) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace bisched

@@ -1,0 +1,32 @@
+// Stable content hashing for scheduling instances.
+//
+// `instance_hash` is a 64-bit FNV-1a over a canonical serialization of the
+// instance: a model tag, the job/machine counts, the processing requirements
+// (or the full time matrix), and the conflict edge set folded in as a
+// commutative sum of per-edge (min, max) hashes — order-independent without
+// sorting. Two instances hash equally iff they have identical content —
+// independent of edge insertion order, of the object's address, and of the
+// process (no pointer or ASLR input) — so the value is a valid cross-run,
+// cross-process cache key. The engine's profile cache
+// (engine/profile_cache.hpp) keys probe() results by it, and batch/serve
+// result rows surface it so repeated traffic is attributable downstream.
+//
+// The function is part of the serving contract: changing it invalidates every
+// persisted key derived from it, so the golden value pinned in
+// tests/engine/profile_cache_test.cpp must only change intentionally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sched/instance.hpp"
+
+namespace bisched {
+
+std::uint64_t instance_hash(const UniformInstance& inst);
+std::uint64_t instance_hash(const UnrelatedInstance& inst);
+
+// 16 lowercase hex digits, zero-padded — the form result rows carry.
+std::string hash_hex(std::uint64_t h);
+
+}  // namespace bisched

@@ -2,12 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "core/exact_bb.hpp"
 #include "core/r2_algorithms.hpp"
 #include "random/generators.hpp"
 #include "sched/schedule.hpp"
 #include "testing_util.hpp"
 #include "util/prng.hpp"
+#include "util/timer.hpp"
 
 namespace bisched {
 namespace {
@@ -97,6 +100,56 @@ TEST(Portfolio, InfeasibleInstanceReportsFailureNotAbort) {
   const auto result = engine::solve_auto(SolverRegistry::builtin(), inst, {});
   EXPECT_FALSE(result.ok);
   EXPECT_FALSE(result.error.empty());
+}
+
+TEST(Portfolio, ExpiredDeadlineFailsFastInsteadOfStartingTheSolver) {
+  Rng rng(16);
+  const auto inst = testing::random_uniform_instance(6, 6, 3, 5, 3, rng);
+  SolveOptions options;
+  options.deadline = std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  const auto result = engine::solve_named(SolverRegistry::builtin(), "exact", inst, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("deadline"), std::string::npos);
+}
+
+TEST(Portfolio, DeadlineBindsInsideTheBranchAndBound) {
+  // 48 unit jobs, no conflicts, 3 equal machines: the B&B explores a huge
+  // symmetric space (its 20M-node engine budget runs for seconds), so only
+  // an in-solver deadline can stop it quickly.
+  const auto inst =
+      make_uniform_instance(std::vector<std::int64_t>(48, 1), {1, 1, 1}, Graph(48));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(30);
+  const auto result = exact_uniform_bb(inst, 0, deadline);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - deadline);
+  // Well under the seconds the full search needs (generous bound: CI noise).
+  EXPECT_LT(elapsed.count(), 2000);
+  // Aborted, or solved-to-optimality if this machine got lucky — never hung.
+  if (!result.feasible) {
+    EXPECT_TRUE(result.aborted);
+  }
+}
+
+TEST(Portfolio, RunAllBudgetDerivesPerSolverDeadlines) {
+  // On a conflict-free instance every uniform solver is applicable; with a
+  // near-zero budget the first solver starts (contract) but its deadline is
+  // already spent, so the whole run returns quickly either way.
+  const auto inst =
+      make_uniform_instance(std::vector<std::int64_t>(48, 1), {2, 1, 1}, Graph(48));
+  SolveOptions options;
+  options.run_all = true;
+  options.budget_ms = 20;
+  Timer timer;
+  const auto result = engine::solve_auto(SolverRegistry::builtin(), inst, options);
+  EXPECT_LT(timer.millis(), 5000.0);
+  // The strongest eligible solver is the deadline-aware B&B; whether it
+  // finished or aborted, the budget must not have been ignored.
+  if (result.ok) {
+    EXPECT_EQ(validate(inst, result.schedule), ScheduleStatus::kValid);
+  } else {
+    EXPECT_NE(result.error.find("failed"), std::string::npos);
+  }
 }
 
 TEST(Portfolio, UnitCompleteBipartiteRoutesToPolynomialExactSolver) {

@@ -1,0 +1,137 @@
+#include "engine/profile_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/instance_hash.hpp"
+#include "testing_util.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+using engine::CachedProfile;
+using engine::InstanceProfile;
+using engine::ProfileCache;
+
+UniformInstance small_uniform() {
+  Graph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  return make_uniform_instance({2, 1, 1, 3}, {3, 1}, std::move(g));
+}
+
+TEST(InstanceHash, StableAcrossObjectIdentityAndEdgeOrder) {
+  const auto a = small_uniform();
+  // Same content, separately constructed, edges inserted in the other order.
+  Graph g(4);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  const auto b = make_uniform_instance({2, 1, 1, 3}, {3, 1}, std::move(g));
+  EXPECT_EQ(instance_hash(a), instance_hash(b));
+  EXPECT_EQ(instance_hash(a), instance_hash(a));
+}
+
+TEST(InstanceHash, GoldenValueIsPartOfTheServingContract) {
+  // The hash keys cross-process caches and appears in result rows; an
+  // accidental change to the canonical serialization must fail loudly here.
+  EXPECT_EQ(hash_hex(instance_hash(small_uniform())), "b4f2633d9d7c540c");
+}
+
+TEST(InstanceHash, DistinguishesContentAndModel) {
+  const auto base = small_uniform();
+  auto heavier = small_uniform();
+  heavier.p[0] += 1;
+  EXPECT_NE(instance_hash(base), instance_hash(heavier));
+
+  auto faster = small_uniform();
+  faster.speeds = {4, 1};
+  EXPECT_NE(instance_hash(base), instance_hash(faster));
+
+  auto rewired = small_uniform();
+  rewired.conflicts = Graph(4);
+  rewired.conflicts.add_edge(0, 2);
+  EXPECT_NE(instance_hash(base), instance_hash(rewired));
+
+  // A uniform and an unrelated instance never collide (model tag).
+  const auto r2 = make_unrelated_instance({{1, 1}, {1, 1}}, Graph(2));
+  const auto q2 = make_uniform_instance({1, 1}, {1, 1}, Graph(2));
+  EXPECT_NE(instance_hash(r2), instance_hash(q2));
+}
+
+TEST(InstanceHash, HexIsFixedWidthLowercase) {
+  EXPECT_EQ(hash_hex(0), "0000000000000000");
+  EXPECT_EQ(hash_hex(0xabcdef0123456789ULL), "abcdef0123456789");
+}
+
+TEST(ProfileCache, MissThenHitReturnsTheProbedProfile) {
+  ProfileCache cache;
+  const auto inst = small_uniform();
+  const InstanceProfile direct = engine::probe(inst);
+
+  const CachedProfile first = cache.profile(inst);
+  EXPECT_FALSE(first.hit);
+  EXPECT_EQ(first.hash, instance_hash(inst));
+  EXPECT_EQ(first.profile.bipartite, direct.bipartite);
+  EXPECT_EQ(first.profile.total_work, direct.total_work);
+  EXPECT_EQ(first.profile.speed_lcm, direct.speed_lcm);
+
+  const CachedProfile second = cache.profile(inst);
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(second.hash, first.hash);
+  EXPECT_EQ(second.profile.jobs, direct.jobs);
+  EXPECT_EQ(second.profile.machines, direct.machines);
+  EXPECT_EQ(second.profile.unit_jobs, direct.unit_jobs);
+  EXPECT_EQ(second.profile.complete_bipartite, direct.complete_bipartite);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ProfileCache, DistinctInstancesDoNotAlias) {
+  Rng rng(31);
+  ProfileCache cache;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto q = testing::random_uniform_instance(4, 4, 2, 5, 3, rng);
+    const auto cached = cache.profile(q);
+    EXPECT_FALSE(cached.hit) << "trial " << trial;
+    EXPECT_EQ(cached.profile.total_work, engine::probe(q).total_work);
+  }
+  EXPECT_EQ(cache.stats().misses, 10u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(ProfileCache, ServesBothModelsAndClearResets) {
+  ProfileCache cache;
+  const auto q = small_uniform();
+  const auto r = make_unrelated_instance({{3, 1}, {2, 5}}, Graph(2));
+  cache.profile(q);
+  cache.profile(r);
+  EXPECT_TRUE(cache.profile(q).hit);
+  EXPECT_TRUE(cache.profile(r).hit);
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.profile(q).hit);
+}
+
+TEST(ProfileCache, CapacityBoundTriggersGenerationReset) {
+  Rng rng(32);
+  ProfileCache cache(2);  // tiny: the third distinct insert clears the map
+  const auto a = testing::random_uniform_instance(3, 3, 2, 3, 2, rng);
+  const auto b = testing::random_uniform_instance(3, 3, 2, 3, 2, rng);
+  const auto c = testing::random_uniform_instance(3, 3, 2, 3, 2, rng);
+  cache.profile(a);
+  cache.profile(b);
+  cache.profile(c);  // map was full: cleared, then c inserted
+  EXPECT_LE(cache.stats().entries, 2u);
+  // Correctness is unaffected by eviction — only hit rate.
+  const auto again = cache.profile(a);
+  EXPECT_EQ(again.profile.total_work, engine::probe(a).total_work);
+}
+
+}  // namespace
+}  // namespace bisched

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/portfolio.hpp"
+
 #include <algorithm>
 #include <set>
 
@@ -23,8 +25,9 @@ using engine::SolverRegistry;
 // renamed, dropped, or added without updating the CLI-facing contract fails
 // here).
 const std::set<std::string> kAdvertised = {
-    "alg1", "alg2", "alg2b", "alg4",  "alg5",         "q2exact", "kab",
-    "q2dp", "r2exact", "exact", "split", "proportional", "greedy",
+    "alg1",      "alg2",    "alg2b",       "alg4",  "alg5",  "q2exact",
+    "kab",       "q2dp",    "r2exact",     "exact", "split", "proportional",
+    "greedy",    "q2r2exact", "q2unitfptas", "q2fptas",
 };
 
 TEST(Registry, EveryAdvertisedNameResolves) {
@@ -84,6 +87,56 @@ TEST(Registry, CapabilityMetadataMatchesPaperPreconditions) {
   const auto& greedy = reg.find("greedy")->capabilities();
   EXPECT_EQ(greedy.graph, GraphClass::kAny);
   EXPECT_TRUE(greedy.may_fail);
+
+  // The Q2 companions registered from src/core's remaining entry points.
+  const auto& q2r2 = reg.find("q2r2exact")->capabilities();
+  EXPECT_EQ(q2r2.models, engine::kModelUniform);
+  EXPECT_EQ(q2r2.min_machines, 2);
+  EXPECT_EQ(q2r2.max_machines, 2);
+  EXPECT_FALSE(q2r2.unit_jobs_only);
+  EXPECT_EQ(q2r2.guarantee, Guarantee::kExact);
+
+  const auto& q2unit = reg.find("q2unitfptas")->capabilities();
+  EXPECT_TRUE(q2unit.unit_jobs_only);
+  EXPECT_EQ(q2unit.max_machines, 2);
+  EXPECT_EQ(q2unit.guarantee, Guarantee::kExact);
+  EXPECT_GT(q2unit.max_jobs, 0);  // the O(n^3) proof route must stay bounded
+
+  const auto& q2fptas = reg.find("q2fptas")->capabilities();
+  EXPECT_EQ(q2fptas.models, engine::kModelUniform);
+  EXPECT_EQ(q2fptas.max_machines, 2);
+  EXPECT_EQ(q2fptas.guarantee, Guarantee::kFptas);
+}
+
+TEST(Registry, Q2CompanionsAgreeWithTheSplitDp) {
+  Rng rng(77);
+  const auto& reg = SolverRegistry::builtin();
+  for (int trial = 0; trial < 8; ++trial) {
+    // General weights: q2r2exact must match q2dp's optimum; the FPTAS stays
+    // within 1 + eps of it.
+    const auto inst = testing::random_uniform_instance(5, 5, 2, 4, 3, rng);
+    const auto dp = engine::solve_named(reg, "q2dp", inst, {});
+    ASSERT_TRUE(dp.ok) << dp.error;
+    const auto via_r2 = engine::solve_named(reg, "q2r2exact", inst, {});
+    ASSERT_TRUE(via_r2.ok) << via_r2.error;
+    EXPECT_EQ(dp.cmax, via_r2.cmax);
+
+    engine::SolveOptions options;
+    options.eps = 0.05;
+    const auto fptas = engine::solve_named(reg, "q2fptas", inst, options);
+    ASSERT_TRUE(fptas.ok) << fptas.error;
+    EXPECT_LE(fptas.cmax.to_double(), dp.cmax.to_double() * 1.05 + 1e-9);
+
+    // Unit weights: the Theorem-4 proof route matches the split DP exactly.
+    const auto unit = make_uniform_instance(
+        std::vector<std::int64_t>(static_cast<std::size_t>(inst.num_jobs()), 1),
+        inst.speeds, inst.conflicts);
+    const auto split = engine::solve_named(reg, "q2exact", unit, {});
+    ASSERT_TRUE(split.ok) << split.error;
+    const auto proof = engine::solve_named(reg, "q2unitfptas", unit, {});
+    ASSERT_TRUE(proof.ok) << proof.error;
+    EXPECT_EQ(split.cmax, proof.cmax);
+  }
 }
 
 TEST(Probe, RecognizesStructure) {
@@ -98,6 +151,7 @@ TEST(Probe, RecognizesStructure) {
   EXPECT_TRUE(profile.bipartite);
   EXPECT_TRUE(profile.complete_bipartite);
   EXPECT_EQ(profile.total_work, 5);
+  EXPECT_EQ(profile.speed_lcm, 2);  // lcm(2, 1); set only for two machines
 
   // Two disjoint edges: bipartite but not one spanning K_{a,b}.
   Graph two_edges(4);
@@ -117,6 +171,7 @@ TEST(Probe, RecognizesStructure) {
   triangle.add_edge(0, 2);
   const auto odd = make_uniform_instance({1, 1, 1}, {1, 1, 1}, std::move(triangle));
   EXPECT_FALSE(engine::probe(odd).bipartite);
+  EXPECT_EQ(engine::probe(odd).speed_lcm, 0);  // three machines: no Q2 embedding
 
   // Unrelated probe: total_work is the sum of per-job worst-case times.
   const auto r2 = make_unrelated_instance({{3, 1}, {2, 5}}, Graph(2));

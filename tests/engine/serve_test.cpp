@@ -1,0 +1,302 @@
+// Serve-mode tests: the in-process loop (protocol, cache reuse, error
+// frames) and a full subprocess round trip driving `bisched_cli serve`
+// through pipes — the acceptance path: two sequential framed requests
+// answered by one process, the second a recorded probe-cache hit, each
+// response streamed back before the next request is even written.
+#include "engine/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/format.hpp"
+#include "testing_util.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+namespace fs = std::filesystem;
+
+using engine::ServeOptions;
+using engine::SolverRegistry;
+
+std::string instance_text(const UniformInstance& inst) {
+  std::ostringstream out;
+  write_instance(out, inst);
+  return out.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Serve, AnswersEveryFrameFormAndReusesTheCache) {
+  Rng rng(41);
+  const auto inst = testing::random_uniform_instance(4, 4, 2, 3, 3, rng);
+  const std::string text = instance_text(inst);
+
+  // Frame 1: inline native text. Frame 2: the same instance as an inline
+  // JSON string (same content hash -> cache hit). Frame 3: bad frame.
+  std::string escaped = text;
+  std::string json_text;
+  for (char c : escaped) {
+    if (c == '\n') {
+      json_text += "\\n";
+    } else if (c == '"') {
+      json_text += "\\\"";
+    } else {
+      json_text += c;
+    }
+  }
+  std::ostringstream in_text;
+  in_text << "# warm-up comment\n\n";
+  in_text << "instance first\n" << text;
+  in_text << "{\"id\": \"second\", \"instance\": \"" << json_text << "\"}\n";
+  in_text << "bogus frame\n";
+  in_text << "quit\n";
+  in_text << "instance after-quit\n";  // must never be read
+
+  std::istringstream in(in_text.str());
+  std::ostringstream out;
+  ServeOptions options;
+  options.threads = 1;
+  options.stable_output = true;
+  const auto stats = engine::serve(SolverRegistry::builtin(), in, out, options);
+
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.ok, 2u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  std::string first;
+  std::string second;
+  std::string bogus;
+  for (const auto& line : lines) {
+    if (line.find("\"id\": \"first\"") != std::string::npos) first = line;
+    if (line.find("\"id\": \"second\"") != std::string::npos) second = line;
+    if (line.find("unrecognized frame") != std::string::npos) bogus = line;
+  }
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(second.empty());
+  ASSERT_FALSE(bogus.empty());
+  EXPECT_NE(first.find("\"cache\": \"miss\""), std::string::npos);
+  EXPECT_NE(second.find("\"cache\": \"hit\""), std::string::npos);
+  EXPECT_NE(bogus.find("\"status\": \"error\""), std::string::npos);
+
+  // Identical content: both responses carry the same hash and makespan.
+  const auto field = [](const std::string& line, const char* key) {
+    const auto at = line.find(key);
+    if (at == std::string::npos) return std::string();
+    return line.substr(at, line.find(',', at) - at);
+  };
+  EXPECT_EQ(field(first, "\"hash\": "), field(second, "\"hash\": "));
+  EXPECT_EQ(field(first, "\"makespan\": "), field(second, "\"makespan\": "));
+}
+
+TEST(Serve, MalformedInlineBodyYieldsOneErrorAndResynchronizes) {
+  Rng rng(44);
+  const auto good = testing::random_uniform_instance(4, 4, 2, 3, 3, rng);
+  // A body with a typo mid-file: the parser stops there; the loop must skip
+  // the rest of the body (to the blank line) instead of answering each
+  // leftover body line as a bogus frame.
+  std::ostringstream in_text;
+  in_text << "instance broken\n"
+          << "bisched uniform v1\njobs 3\np 1 2 3\nspeds 2\n2 1\nedges 0\n"
+          << "\n"  // resynchronization point
+          << "instance good\n"
+          << instance_text(good);
+  std::istringstream in(in_text.str());
+  std::ostringstream out;
+  ServeOptions options;
+  options.threads = 1;
+  const auto stats = engine::serve(SolverRegistry::builtin(), in, out, options);
+
+  EXPECT_EQ(stats.requests, 2u);  // broken + good, nothing in between
+  EXPECT_EQ(stats.ok, 1u);
+  EXPECT_EQ(stats.errors, 1u);
+  // An `instance` header with extra tokens must also consume its body.
+  std::istringstream in2("instance too many ids\n" + instance_text(good) +
+                         "instance fine\n" + instance_text(good));
+  std::ostringstream out2;
+  const auto stats2 = engine::serve(SolverRegistry::builtin(), in2, out2, options);
+  EXPECT_EQ(stats2.requests, 2u);
+  EXPECT_EQ(stats2.ok, 1u);
+  EXPECT_EQ(stats2.errors, 1u);
+  EXPECT_NE(out2.str().find("at most one id"), std::string::npos);
+  EXPECT_NE(out2.str().find("\"id\": \"fine\""), std::string::npos);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  const auto text = out.str();
+  const auto broken = text.find("\"id\": \"broken\"");
+  ASSERT_NE(broken, std::string::npos);
+  EXPECT_NE(text.find("parse error", broken), std::string::npos);
+  const auto goodr = text.find("\"id\": \"good\"");
+  ASSERT_NE(goodr, std::string::npos);
+  EXPECT_NE(text.find("\"status\": \"ok\"", goodr), std::string::npos);
+}
+
+TEST(Serve, PathRequestsAndPerRequestAlgOverrides) {
+  Rng rng(42);
+  const auto q2 = testing::random_uniform_instance(4, 4, 2, 3, 3, rng);
+  const auto dir = fs::temp_directory_path() / "bisched_serve_inproc";
+  fs::create_directories(dir);
+  const auto path = (dir / "q2.inst").string();
+  {
+    std::ofstream f(path);
+    write_instance(f, q2);
+  }
+
+  std::ostringstream in_text;
+  in_text << "solve " << path << " by-line\n";
+  in_text << "{\"id\": \"by-json\", \"path\": \"" << path << "\", \"alg\": \"split\"}\n";
+  in_text << "{\"id\": \"missing\", \"path\": \"" << path << ".nope\"}\n";
+  std::istringstream in(in_text.str());
+  std::ostringstream out;
+  ServeOptions options;
+  options.threads = 1;
+  const auto stats = engine::serve(SolverRegistry::builtin(), in, out, options);
+  fs::remove_all(dir);
+
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.ok, 2u);
+  EXPECT_EQ(stats.errors, 1u);
+
+  const auto text = out.str();
+  EXPECT_NE(text.find("\"id\": \"by-line\""), std::string::npos);
+  const auto by_json = text.find("\"id\": \"by-json\"");
+  ASSERT_NE(by_json, std::string::npos);
+  EXPECT_NE(text.find("\"solver\": \"split\"", by_json), std::string::npos);
+  const auto missing = text.find("\"id\": \"missing\"");
+  ASSERT_NE(missing, std::string::npos);
+  EXPECT_NE(text.find("cannot open file", missing), std::string::npos);
+
+  // A typo'd key must be rejected, not silently solved with defaults.
+  std::istringstream in2("{\"id\": \"typo\", \"path\": \"" + path +
+                         "\", \"ep\": 0.01}\n");
+  std::ostringstream out2;
+  const auto stats2 = engine::serve(SolverRegistry::builtin(), in2, out2, options);
+  EXPECT_EQ(stats2.errors, 1u);
+  EXPECT_NE(out2.str().find("unknown key \\\"ep\\\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Subprocess round trip. BISCHED_CLI_PATH is injected by CMake as the
+// absolute path of the bisched_cli target.
+
+#ifdef BISCHED_CLI_PATH
+
+class ServeCliTest : public ::testing::Test {
+ protected:
+  // Launches `bisched_cli serve --stable --threads=1` with both ends piped.
+  void SetUp() override {
+    ASSERT_EQ(::pipe(to_child_), 0);
+    ASSERT_EQ(::pipe(from_child_), 0);
+    child_ = ::fork();
+    ASSERT_GE(child_, 0);
+    if (child_ == 0) {
+      ::dup2(to_child_[0], STDIN_FILENO);
+      ::dup2(from_child_[1], STDOUT_FILENO);
+      ::close(to_child_[0]);
+      ::close(to_child_[1]);
+      ::close(from_child_[0]);
+      ::close(from_child_[1]);
+      ::execl(BISCHED_CLI_PATH, BISCHED_CLI_PATH, "serve", "--stable",
+              "--threads=1", static_cast<char*>(nullptr));
+      ::_exit(127);  // exec failed
+    }
+    ::close(to_child_[0]);
+    ::close(from_child_[1]);
+  }
+
+  void TearDown() override {
+    if (to_child_[1] >= 0) ::close(to_child_[1]);
+    ::close(from_child_[0]);
+    if (child_ > 0) {
+      int status = 0;
+      ::waitpid(child_, &status, 0);
+    }
+  }
+
+  void send(const std::string& text) {
+    ASSERT_EQ(::write(to_child_[1], text.data(), text.size()),
+              static_cast<ssize_t>(text.size()));
+  }
+
+  void close_stdin() {
+    ::close(to_child_[1]);
+    to_child_[1] = -1;
+  }
+
+  // Blocks until the child emits one full response line.
+  std::string read_line() {
+    std::string line;
+    char c = 0;
+    while (::read(from_child_[0], &c, 1) == 1) {
+      if (c == '\n') return line;
+      line += c;
+    }
+    return line;
+  }
+
+  int to_child_[2] = {-1, -1};
+  int from_child_[2] = {-1, -1};
+  pid_t child_ = -1;
+};
+
+TEST_F(ServeCliTest, TwoSequentialRequestsOneProcessWarmCacheHit) {
+  Rng rng(43);
+  const auto inst = testing::random_uniform_instance(5, 5, 2, 4, 3, rng);
+  const std::string text = instance_text(inst);
+
+  // Request 1, then *wait for its response* before sending request 2: the
+  // response must stream back while the server still holds the connection —
+  // a collect-then-write loop would deadlock right here.
+  send("instance r1\n" + text);
+  const std::string first = read_line();
+  ASSERT_NE(first.find("\"id\": \"r1\""), std::string::npos) << first;
+  EXPECT_NE(first.find("\"status\": \"ok\""), std::string::npos) << first;
+  EXPECT_NE(first.find("\"cache\": \"miss\""), std::string::npos) << first;
+
+  // Request 2: the same instance again. One process, same registry + cache:
+  // the probe must be served from the warm cache.
+  send("instance r2\n" + text);
+  const std::string second = read_line();
+  ASSERT_NE(second.find("\"id\": \"r2\""), std::string::npos) << second;
+  EXPECT_NE(second.find("\"status\": \"ok\""), std::string::npos) << second;
+  EXPECT_NE(second.find("\"cache\": \"hit\""), std::string::npos) << second;
+
+  // Same content -> byte-identical result fields apart from id, seq, and
+  // the cache provenance.
+  const auto strip = [](std::string line) {
+    const auto seq = line.find("\"seq\"");
+    const auto comma = line.find(',', seq);
+    line.erase(0, comma);  // drops {"id": ..., "seq": N
+    const auto cache = line.find("\"cache\": \"hit\"");
+    if (cache != std::string::npos) line.replace(cache, 14, "\"cache\": \"miss\"");
+    return line;
+  };
+  EXPECT_EQ(strip(first), strip(second));
+
+  close_stdin();  // EOF: the server drains and exits
+}
+
+#endif  // BISCHED_CLI_PATH
+
+}  // namespace
+}  // namespace bisched

@@ -1,11 +1,16 @@
 // bisched_cli — command-line front end for the library, built on the solver
 // engine (src/engine): the registry supplies every algorithm, `auto` picks
-// the strongest applicable one, and `batch` fans a whole directory or
-// manifest of instances across a thread pool.
+// the strongest applicable one, `batch` streams a directory or manifest of
+// instances across a thread pool (sharded with --shard=i/n for fleets), and
+// `serve` keeps one registry + probe cache + pool alive answering framed
+// requests over stdin.
 //
 //   bisched_cli solve --alg=NAME|auto [--eps=E] [--all] [--budget-ms=B] [FILE|-]
 //   bisched_cli batch (--dir=D | --manifest=F) [--alg=NAME|auto] [--threads=N]
-//                     [--format=csv|json] [--out=FILE] [--eps=E]
+//                     [--shard=i/n] [--format=csv|json] [--out=FILE] [--eps=E]
+//                     [--stable]
+//   bisched_cli serve [--alg=NAME|auto] [--threads=N] [--max-inflight=K]
+//                     [--eps=E] [--stable]
 //   bisched_cli list-algs
 //   bisched_cli gen <family> [options]
 //   bisched_cli eval INSTANCE SCHEDULE
@@ -25,6 +30,7 @@
 #include "engine/batch.hpp"
 #include "engine/portfolio.hpp"
 #include "engine/registry.hpp"
+#include "engine/serve.hpp"
 #include "io/format.hpp"
 #include "random/generators.hpp"
 #include "random/gilbert.hpp"
@@ -42,8 +48,10 @@ int usage() {
       "usage:\n"
       "  bisched_cli solve --alg=NAME|auto [--eps=E] [--all] [--budget-ms=B] [FILE|-]\n"
       "  bisched_cli batch (--dir=DIR | --manifest=FILE) [--alg=NAME|auto]\n"
-      "              [--threads=N] [--format=csv|json] [--out=FILE] [--eps=E]\n"
-      "              [--all] [--budget-ms=B]\n"
+      "              [--threads=N] [--shard=i/n] [--format=csv|json] [--out=FILE]\n"
+      "              [--eps=E] [--all] [--budget-ms=B] [--stable]\n"
+      "  bisched_cli serve [--alg=NAME|auto] [--threads=N] [--max-inflight=K]\n"
+      "              [--eps=E] [--stable]   (framed requests on stdin; see docs/engine.md)\n"
       "  bisched_cli list-algs\n"
       "  bisched_cli gen gilbert --n=N --a=A --m=M [--smax=S] [--seed=SEED]\n"
       "  bisched_cli gen crown --n=N --m=M [--wmax=W] [--seed=SEED]\n"
@@ -195,6 +203,25 @@ int cmd_solve(int argc, char** argv) {
 
 // ------------------------------------------------------------------ batch ---
 
+// Parses "--shard=i/n" into a Shard; exits 2 on a malformed value.
+engine::Shard flag_shard(int argc, char** argv) {
+  engine::Shard shard;
+  std::string value;
+  if (!flag_value(argc, argv, "shard", &value)) return shard;
+  const auto slash = value.find('/');
+  bool ok = slash != std::string::npos;
+  if (ok) {
+    const auto parse_part = [&](std::size_t from, std::size_t to, int* out) {
+      const auto [ptr, ec] = std::from_chars(value.data() + from, value.data() + to, *out);
+      return ec == std::errc() && ptr == value.data() + to;
+    };
+    ok = parse_part(0, slash, &shard.index) &&
+         parse_part(slash + 1, value.size(), &shard.count) && shard.valid();
+  }
+  if (!ok) flag_error("shard", value, "i/n with 0 <= i < n");
+  return shard;
+}
+
 int cmd_batch(int argc, char** argv) {
   engine::BatchOptions options;
   flag_value(argc, argv, "alg", &options.alg);
@@ -202,6 +229,8 @@ int cmd_batch(int argc, char** argv) {
   options.solve.run_all = flag_present(argc, argv, "all");
   options.solve.budget_ms = flag_double(argc, argv, "budget-ms", 0);
   options.threads = flag_threads(argc, argv);
+  options.shard = flag_shard(argc, argv);
+  options.stable_output = flag_present(argc, argv, "stable");
   if (options.solve.run_all && options.alg != "auto") {
     std::cerr << "--all requires --alg=auto\n";
     return 2;
@@ -259,14 +288,28 @@ int cmd_batch(int argc, char** argv) {
     return 1;
   }
 
+  // Rows stream to the output as each solve completes (row.seq is the
+  // input-order id); nothing is collected. The sink runs under the runner's
+  // serialization mutex, so the writes need no further locking.
   const engine::BatchRunner runner(engine::SolverRegistry::builtin(), options);
-  const auto rows = runner.run(paths);
   std::ostream& out = out_file.is_open() ? out_file : std::cout;
-  if (format == "csv") {
-    engine::write_rows_csv(out, rows);
-  } else {
-    engine::write_rows_json(out, rows);
-  }
+  const bool csv = format == "csv";
+  if (csv) engine::write_row_header_csv(out);
+  std::size_t total = 0;
+  std::size_t failures = 0;
+  // Per-row flushing only matters when a pipe/stdout peer consumes rows
+  // live; a file keeps its buffering (one flush at the end).
+  const bool flush_rows = !out_file.is_open();
+  runner.run_streaming(paths, [&](const engine::BatchRow& row) {
+    ++total;
+    failures += row.ok ? 0 : 1;
+    if (csv) {
+      engine::write_row_csv(out, row);
+    } else {
+      engine::write_row_json(out, row);
+    }
+    if (flush_rows) out.flush();
+  });
   out.flush();
   if (!out) {
     std::cerr << "write error on " << (out_file.is_open() ? "'" + out_path + "'" : "stdout")
@@ -274,11 +317,35 @@ int cmd_batch(int argc, char** argv) {
     return 1;
   }
 
-  std::size_t failures = 0;
-  for (const auto& row : rows) failures += row.ok ? 0 : 1;
-  std::cerr << "batch: " << rows.size() << " instances, " << failures << " failures, "
-            << options.threads << " threads\n";
+  const auto cache = runner.cache().stats();
+  std::cerr << "batch: " << total << " instances (shard " << options.shard.index << "/"
+            << options.shard.count << "), " << failures << " failures, "
+            << options.threads << " threads, probe cache " << cache.hits << " hits / "
+            << cache.misses << " misses\n";
   return failures == 0 ? 0 : 1;
+}
+
+// ------------------------------------------------------------------ serve ---
+
+int cmd_serve(int argc, char** argv) {
+  engine::ServeOptions options;
+  flag_value(argc, argv, "alg", &options.alg);
+  options.solve.eps = flag_double(argc, argv, "eps", 0.1);
+  options.threads = flag_threads(argc, argv);
+  options.stable_output = flag_present(argc, argv, "stable");
+  const std::int64_t inflight = flag_int(argc, argv, "max-inflight", 0);
+  if (inflight < 0 || inflight > 1 << 20) {
+    flag_error("max-inflight", std::to_string(inflight), "a count in [0, 2^20]");
+  }
+  options.max_inflight = static_cast<std::size_t>(inflight);
+
+  const auto stats =
+      engine::serve(engine::SolverRegistry::builtin(), std::cin, std::cout, options);
+  std::cerr << "serve: " << stats.requests << " requests, " << stats.ok << " ok, "
+            << stats.errors << " errors, probe cache " << stats.cache.hits << " hits / "
+            << stats.cache.misses << " misses (" << stats.cache.entries
+            << " entries)\n";
+  return stats.errors == 0 ? 0 : 1;
 }
 
 // -------------------------------------------------------------- list-algs ---
@@ -385,6 +452,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "solve") return cmd_solve(argc, argv);
   if (command == "batch") return cmd_batch(argc, argv);
+  if (command == "serve") return cmd_serve(argc, argv);
   if (command == "list-algs") return cmd_list_algs();
   if (command == "gen") return cmd_gen(argc, argv);
   if (command == "eval") return cmd_eval(argc, argv);

@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
 # One-command tier-1 verify: configure the `ci` preset (-Wall -Wextra -Werror
-# plus ASan/UBSan), build everything, and run the full ctest suite.
+# plus ASan/UBSan), build everything, run the full ctest suite, then smoke
+# the streaming batch pipeline (sharded) and the serve loop end to end with
+# the sanitized CLI.
 #
 #   $ tools/ci.sh [extra ctest args...]
 set -eu
@@ -9,3 +11,37 @@ cd "$(dirname "$0")/.."
 cmake --preset ci
 cmake --build --preset ci -j "$(nproc)"
 ctest --preset ci "$@"
+
+# ---------------------------------------------------------------- smoke ---
+# Shards must partition the corpus (3 + 2 = 5 data rows) and serve must
+# answer two framed requests — the second a warm probe-cache hit — from one
+# process.
+CLI=build-ci/bisched_cli
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+mkdir "$SMOKE/corpus"
+
+for i in 1 2 3 4 5; do
+  "$CLI" gen gilbert --n=12 --a=2 --m=3 --seed="$i" > "$SMOKE/corpus/q$i.inst"
+done
+
+"$CLI" batch --dir="$SMOKE/corpus" --shard=0/2 --stable --out="$SMOKE/s0.csv"
+"$CLI" batch --dir="$SMOKE/corpus" --shard=1/2 --stable --out="$SMOKE/s1.csv"
+rows0=$(($(wc -l < "$SMOKE/s0.csv") - 1))
+rows1=$(($(wc -l < "$SMOKE/s1.csv") - 1))
+[ "$((rows0 + rows1))" -eq 5 ] || {
+  echo "ci.sh: shard smoke failed: $rows0 + $rows1 != 5 rows" >&2
+  exit 1
+}
+
+{
+  printf 'solve %s warm-up\n' "$SMOKE/corpus/q1.inst"
+  printf 'solve %s repeat\n' "$SMOKE/corpus/q1.inst"
+  printf 'quit\n'
+} | "$CLI" serve --stable --threads=1 > "$SMOKE/serve.out"
+grep -q '"id": "repeat".*"cache": "hit"' "$SMOKE/serve.out" || {
+  echo "ci.sh: serve smoke failed: no warm cache hit recorded" >&2
+  cat "$SMOKE/serve.out" >&2
+  exit 1
+}
+echo "ci.sh: batch --shard and serve smoke OK"
