@@ -1,0 +1,221 @@
+// HOTPATHS — before/after microbenches for the two profiled hot paths: the
+// R2/R3 FPTAS DP grid (the workhorse behind Theorem 22, Algorithm 1 step 3,
+// and every Q2 solver) and Dinic's min-cut (Algorithm 1's independent-set
+// step). "Before" is the seed kernel preserved verbatim in
+// tests/reference_kernels.hpp; "after" is the shipped library. Every
+// comparison also asserts the outputs are bit-identical — the differential
+// tests prove it exhaustively, this is the tripwire in the timing loop.
+//
+// Emits BENCH_hotpaths.json (override with --json-out=PATH) with one row per
+// configuration: wall times, instance size, and the speedup — the repo's
+// perf trajectory, validated by tools/ci.sh. --quick shrinks sizes and
+// repetitions for the 1-CPU sanitized CI runner.
+//
+//   --quick          CI-sized run (seconds, not minutes)
+//   --json-out=PATH  where to write the JSON report
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "graph/maxflow.hpp"
+#include "random/generators.hpp"
+#include "reference_kernels.hpp"
+#include "sched/makespan_solvers.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+std::vector<R2Job> random_r2_jobs(int n, std::int64_t tmax, Rng& rng) {
+  std::vector<R2Job> jobs(static_cast<std::size_t>(n));
+  for (auto& job : jobs) {
+    job.p1 = rng.uniform_int(1, tmax);
+    job.p2 = rng.uniform_int(1, tmax);
+  }
+  return jobs;
+}
+
+std::vector<R3Job> random_r3_jobs(int n, std::int64_t tmax, Rng& rng) {
+  std::vector<R3Job> jobs(static_cast<std::size_t>(n));
+  for (auto& job : jobs) {
+    job.p1 = rng.uniform_int(1, tmax);
+    job.p2 = rng.uniform_int(1, tmax);
+    job.p3 = rng.uniform_int(1, tmax);
+  }
+  return jobs;
+}
+
+void r2_kernel_bench(bench::JsonReport& report, bool quick) {
+  TextTable t("R2 FPTAS binary search: seed kernel vs arena + window pruning");
+  t.set_header({"n", "eps", "trials", "seed ms", "opt ms", "speedup", "identical"});
+  const int trials = quick ? 2 : 5;
+  const std::vector<std::pair<int, double>> configs =
+      quick ? std::vector<std::pair<int, double>>{{60, 0.1}, {120, 0.05}}
+            : std::vector<std::pair<int, double>>{
+                  {200, 0.1}, {200, 0.05}, {400, 0.05}, {400, 0.02}};
+  for (const auto& [n, eps] : configs) {
+    double seed_ms = 0;
+    double opt_ms = 0;
+    bool identical = true;
+    for (int trial = 0; trial < trials; ++trial) {
+      Rng rng(derive_seed(bench::kBenchSeed + 17,
+                          static_cast<std::uint64_t>(n) * 131 +
+                              static_cast<std::uint64_t>(trial) * 7 +
+                              static_cast<std::uint64_t>(eps * 1e4)));
+      const auto jobs = random_r2_jobs(n, 1000, rng);
+      Timer timer;
+      const R2Result before = reference::r2_fptas(jobs, eps);
+      seed_ms += timer.millis();
+      timer.reset();
+      const R2Result after = r2_fptas(jobs, eps);
+      opt_ms += timer.millis();
+      identical = identical && before.cmax == after.cmax &&
+                  before.on_machine2 == after.on_machine2;
+    }
+    const double speedup = opt_ms > 0 ? seed_ms / opt_ms : 0;
+    t.add_row({fmt_count(n), fmt_double(eps, 2), fmt_count(trials),
+               fmt_double(seed_ms, 2), fmt_double(opt_ms, 2), fmt_ratio(speedup),
+               fmt_bool(identical)});
+    report.add({{"kernel", "r2_fptas"},
+                {"n", n},
+                {"eps", eps},
+                {"trials", trials},
+                {"seed_ms", seed_ms},
+                {"opt_ms", opt_ms},
+                {"speedup", speedup},
+                {"identical", identical}});
+  }
+  t.print(std::cout);
+}
+
+void r3_kernel_bench(bench::JsonReport& report, bool quick) {
+  TextTable t("R3 FPTAS binary search: seed kernel vs arena + window pruning");
+  t.set_header({"n", "eps", "trials", "seed ms", "opt ms", "speedup", "identical"});
+  const int trials = quick ? 2 : 4;
+  const std::vector<std::pair<int, double>> configs =
+      quick ? std::vector<std::pair<int, double>>{{16, 0.4}}
+            : std::vector<std::pair<int, double>>{{24, 0.4}, {32, 0.3}};
+  for (const auto& [n, eps] : configs) {
+    double seed_ms = 0;
+    double opt_ms = 0;
+    bool identical = true;
+    for (int trial = 0; trial < trials; ++trial) {
+      Rng rng(derive_seed(bench::kBenchSeed + 23,
+                          static_cast<std::uint64_t>(n) * 131 +
+                              static_cast<std::uint64_t>(trial) * 7 +
+                              static_cast<std::uint64_t>(eps * 1e4)));
+      const auto jobs = random_r3_jobs(n, 200, rng);
+      Timer timer;
+      const R3Result before = reference::r3_fptas(jobs, eps);
+      seed_ms += timer.millis();
+      timer.reset();
+      const R3Result after = r3_fptas(jobs, eps);
+      opt_ms += timer.millis();
+      identical = identical && before.cmax == after.cmax &&
+                  before.machine_of == after.machine_of;
+    }
+    const double speedup = opt_ms > 0 ? seed_ms / opt_ms : 0;
+    t.add_row({fmt_count(n), fmt_double(eps, 2), fmt_count(trials),
+               fmt_double(seed_ms, 2), fmt_double(opt_ms, 2), fmt_ratio(speedup),
+               fmt_bool(identical)});
+    report.add({{"kernel", "r3_fptas"},
+                {"n", n},
+                {"eps", eps},
+                {"trials", trials},
+                {"seed_ms", seed_ms},
+                {"opt_ms", opt_ms},
+                {"speedup", speedup},
+                {"identical", identical}});
+  }
+  t.print(std::cout);
+}
+
+// The Algorithm-1 min-cut shape: a bipartite conflict graph turned into a
+// flow network — source -> side-0 vertex (weight), side-0 -> side-1 neighbor
+// (infinite), side-1 vertex -> sink (weight) — then max_flow + the residual
+// BFS for the cut side.
+template <typename DinicT>
+std::pair<std::int64_t, std::int64_t> run_mincut(const Graph& g, int a,
+                                                 const std::vector<std::int64_t>& w) {
+  const int n = g.num_vertices();
+  DinicT network(n + 2);
+  const int source = n;
+  const int sink = n + 1;
+  for (int v = 0; v < n; ++v) {
+    if (v < a) {
+      network.add_edge(source, v, w[static_cast<std::size_t>(v)]);
+      for (int u : g.neighbors(v)) network.add_edge(v, u, DinicT::kCapInfinity);
+    } else {
+      network.add_edge(v, sink, w[static_cast<std::size_t>(v)]);
+    }
+  }
+  const std::int64_t flow = network.max_flow(source, sink);
+  const auto side = network.min_cut_source_side(source);
+  std::int64_t side_sum = 0;
+  for (std::size_t v = 0; v < side.size(); ++v) {
+    if (side[v]) side_sum += static_cast<std::int64_t>(v) + 1;
+  }
+  return {flow, side_sum};
+}
+
+void dinic_bench(bench::JsonReport& report, bool quick) {
+  TextTable t("Dinic min-cut (Algorithm 1 shape): intrusive lists vs CSR");
+  t.set_header({"vertices", "edges", "reps", "seed ms", "opt ms", "speedup", "identical"});
+  const std::vector<std::pair<int, int>> configs =
+      quick ? std::vector<std::pair<int, int>>{{200, 2}}
+            : std::vector<std::pair<int, int>>{{500, 4}, {2000, 4}, {2000, 16}};
+  const int reps = quick ? 10 : 30;
+  for (const auto& [a, degree] : configs) {
+    Rng rng(derive_seed(bench::kBenchSeed + 31,
+                        static_cast<std::uint64_t>(a) * 67 +
+                            static_cast<std::uint64_t>(degree)));
+    const Graph g =
+        random_bipartite_edges(a, a, static_cast<std::int64_t>(a) * degree, rng);
+    std::vector<std::int64_t> w(static_cast<std::size_t>(2 * a));
+    for (auto& x : w) x = rng.uniform_int(1, 50);
+
+    double seed_ms = 0;
+    double opt_ms = 0;
+    bool identical = true;
+    for (int rep = 0; rep < reps; ++rep) {
+      Timer timer;
+      const auto before = run_mincut<reference::Dinic>(g, a, w);
+      seed_ms += timer.millis();
+      timer.reset();
+      const auto after = run_mincut<Dinic>(g, a, w);
+      opt_ms += timer.millis();
+      identical = identical && before == after;
+    }
+    const double speedup = opt_ms > 0 ? seed_ms / opt_ms : 0;
+    const auto edges = static_cast<long long>(g.num_edges());
+    t.add_row({fmt_count(2 * a), fmt_count(edges), fmt_count(reps),
+               fmt_double(seed_ms, 2), fmt_double(opt_ms, 2), fmt_ratio(speedup),
+               fmt_bool(identical)});
+    report.add({{"kernel", "dinic_mincut"},
+                {"vertices", 2 * a},
+                {"edges", edges},
+                {"reps", reps},
+                {"seed_ms", seed_ms},
+                {"opt_ms", opt_ms},
+                {"speedup", speedup},
+                {"identical", identical}});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace bisched
+
+int main(int argc, char** argv) {
+  using namespace bisched;
+  const bool quick = bench::parse_switch(argc, argv, "quick");
+  bench::banner("HOTPATHS — DP-grid and min-cut kernels, before vs. after",
+                "Arena + in-place window-pruned DP and CSR Dinic return "
+                "bit-identical results at a fraction of the seed cost");
+  bench::JsonReport report("hotpaths", argc, argv);
+  r2_kernel_bench(report, quick);
+  r3_kernel_bench(report, quick);
+  dinic_bench(report, quick);
+  return report.write() ? 0 : 1;
+}

@@ -1,12 +1,17 @@
-// SERVE — long-lived request loop throughput, cold vs. warm probe cache.
+// SERVE — long-lived request loop throughput, cold vs. warm caches.
 //
 // The serve loop's pitch is that a resident process amortizes everything but
-// the solve itself: one registry, one thread pool, and a probe cache that
-// turns the per-request O(|V| + |E|) bipartition into a hash lookup for
-// repeated traffic. This harness drives engine::serve in-process with framed
-// inline-instance requests and reports requests/sec for a cold cache (every
-// instance new) against a warm one (the same corpus requested again through
-// the same cache), at 1 thread and at the default pool width.
+// the solve itself: one registry, one thread pool, a probe cache that turns
+// the per-request O(|V| + |E|) bipartition into a hash lookup, and — since
+// PR 3 — a result cache that turns an *identical repeated request* into a
+// memoized SolveResult. This harness drives engine::serve in-process with
+// framed inline-instance requests and reports requests/sec for a cold pass
+// (every instance new) against a warm one (the same corpus requested again
+// through the same caches), at 1 thread and at the default pool width. The
+// warm rows show the result cache absorbing every solve (hits == requests).
+//
+// Emits BENCH_serve_throughput.json (--json-out=PATH to override) with one
+// row per configuration including both caches' hit counters.
 //
 //   --threads=N   default-pool width for the wide rows (default: all cores)
 #include <iostream>
@@ -17,6 +22,7 @@
 #include "bench_util.hpp"
 #include "engine/profile_cache.hpp"
 #include "engine/registry.hpp"
+#include "engine/result_cache.hpp"
 #include "engine/serve.hpp"
 #include "io/format.hpp"
 #include "random/generators.hpp"
@@ -43,39 +49,54 @@ std::string build_request_stream(int count, int n_half, std::uint64_t seed) {
 }
 
 double run_pass(const std::string& requests, unsigned threads,
-                engine::ProfileCache& cache, std::uint64_t* answered) {
+                engine::ProfileCache& cache, engine::ResultCache& results,
+                std::uint64_t* answered) {
   std::istringstream in(requests);
   std::ostringstream sink;
   engine::ServeOptions options;
   options.threads = threads;
   Timer timer;
-  const auto stats =
-      engine::serve(engine::SolverRegistry::builtin(), in, sink, options, &cache);
+  const auto stats = engine::serve(engine::SolverRegistry::builtin(), in, sink, options,
+                                   &cache, &results);
   const double seconds = timer.seconds();
   *answered = stats.ok;
   return seconds;
 }
 
-void throughput_table(unsigned wide_threads) {
-  TextTable t("serve throughput: cold vs. warm probe cache (Q gilbert, unit jobs)");
+void throughput_table(unsigned wide_threads, bench::JsonReport& report) {
+  TextTable t("serve throughput: cold vs. warm caches (Q gilbert, unit jobs)");
   t.set_header({"jobs", "requests", "threads", "cold req/s", "warm req/s", "warm/cold",
-                "cache hits"});
+                "probe hits", "result hits"});
   const int kRequests = 200;
   for (int n_half : {50, 200}) {
     const std::string requests =
         build_request_stream(kRequests, n_half, bench::kBenchSeed + n_half);
     for (unsigned threads : {1u, wide_threads}) {
       engine::ProfileCache cache;
+      engine::ResultCache results;
       std::uint64_t cold_ok = 0;
       std::uint64_t warm_ok = 0;
-      const double cold_s = run_pass(requests, threads, cache, &cold_ok);
-      const double warm_s = run_pass(requests, threads, cache, &warm_ok);
-      const auto stats = cache.stats();
+      const double cold_s = run_pass(requests, threads, cache, results, &cold_ok);
+      const double warm_s = run_pass(requests, threads, cache, results, &warm_ok);
+      const auto probe_stats = cache.stats();
+      const auto result_stats = results.stats();
       t.add_row({fmt_count(2 * n_half), fmt_count(kRequests), fmt_count(threads),
                  fmt_count(static_cast<long long>(cold_ok / cold_s)),
                  fmt_count(static_cast<long long>(warm_ok / warm_s)),
                  fmt_ratio(cold_s / warm_s),
-                 fmt_count(static_cast<long long>(stats.hits))});
+                 fmt_count(static_cast<long long>(probe_stats.hits)),
+                 fmt_count(static_cast<long long>(result_stats.hits))});
+      report.add({{"bench_case", "serve_cold_warm"},
+                  {"jobs", 2 * n_half},
+                  {"requests", kRequests},
+                  {"threads", static_cast<long long>(threads)},
+                  {"cold_s", cold_s},
+                  {"warm_s", warm_s},
+                  {"warm_over_cold", cold_s / warm_s},
+                  {"probe_hits", probe_stats.hits},
+                  {"probe_misses", probe_stats.misses},
+                  {"result_hits", result_stats.hits},
+                  {"result_misses", result_stats.misses}});
       if (threads == wide_threads) break;  // wide == 1: avoid a duplicate row
     }
   }
@@ -90,8 +111,9 @@ int main(int argc, char** argv) {
   const unsigned threads = bench::parse_threads(argc, argv);
   bench::banner("SERVE — streaming request-loop throughput",
                 "A resident serve process answers repeated traffic without "
-                "re-probing: warm-cache passes skip every bipartition");
+                "re-probing or re-solving: warm passes are cache lookups");
   std::cout << "threads (wide rows): " << threads << "\n";
-  throughput_table(threads);
-  return 0;
+  bench::JsonReport report("serve_throughput", argc, argv);
+  throughput_table(threads, report);
+  return report.write() ? 0 : 1;
 }

@@ -66,8 +66,8 @@ std::vector<std::string> shard_paths(const std::vector<std::string>& paths,
 }
 
 BatchRow solve_to_row(const SolverRegistry& registry, ProfileCache& cache,
-                      const std::string& alg, const SolveOptions& solve,
-                      const ParsedInstance& parsed) {
+                      ResultCache* results, const std::string& alg,
+                      const SolveOptions& solve, const ParsedInstance& parsed) {
   BatchRow row;
   Timer timer;
   if (!parsed.ok()) {
@@ -82,8 +82,20 @@ BatchRow solve_to_row(const SolverRegistry& registry, ProfileCache& cache,
     const CachedProfile cached = cache.profile(inst);
     row.instance_hash = hash_hex(cached.hash);
     row.cache_hit = cached.hit;
-    return alg == "auto" ? solve_auto(registry, inst, solve, cached.profile)
-                         : solve_named(registry, alg, inst, solve, cached.profile);
+    const auto run = [&] {
+      return alg == "auto" ? solve_auto(registry, inst, solve, cached.profile)
+                           : solve_named(registry, alg, inst, solve, cached.profile);
+    };
+    if (results == nullptr) return run();
+    row.result_cache_used = true;
+    const ResultKey key = make_result_key(cached.hash, alg, solve);
+    if (auto warm = results->lookup(key)) {
+      row.result_cache_hit = true;
+      return std::move(*warm);
+    }
+    SolveResult fresh = run();
+    results->store(key, fresh);  // failures are not memoized
+    return fresh;
   };
   if (parsed.uniform.has_value()) {
     row.model = "uniform";
@@ -107,11 +119,15 @@ BatchRow solve_to_row(const SolverRegistry& registry, ProfileCache& cache,
 }
 
 BatchRunner::BatchRunner(const SolverRegistry& registry, BatchOptions options,
-                         ProfileCache* cache)
-    : registry_(registry), options_(std::move(options)), cache_(cache) {
+                         ProfileCache* cache, ResultCache* results)
+    : registry_(registry), options_(std::move(options)), cache_(cache), results_(results) {
   if (cache_ == nullptr) {
     owned_cache_ = std::make_unique<ProfileCache>();
     cache_ = owned_cache_.get();
+  }
+  if (results_ == nullptr) {
+    owned_results_ = std::make_unique<ResultCache>();
+    results_ = owned_results_.get();
   }
 }
 
@@ -121,7 +137,7 @@ BatchRow BatchRunner::run_one(const std::string& path, std::int64_t seq) const {
   if (!file) {
     row.error = "cannot open file";
   } else {
-    row = solve_to_row(registry_, *cache_, options_.alg, options_.solve,
+    row = solve_to_row(registry_, *cache_, results_, options_.alg, options_.solve,
                        parse_instance(file));
   }
   row.seq = seq;
@@ -170,8 +186,8 @@ std::vector<BatchRow> BatchRunner::run(const std::vector<std::string>& paths) co
 }
 
 void write_row_header_csv(std::ostream& out) {
-  out << "seq,file,status,model,jobs,machines,hash,cache,solver,guarantee,makespan,"
-         "makespan_value,wall_ms,error\n";
+  out << "seq,file,status,model,jobs,machines,hash,cache,solve_cache,solver,guarantee,"
+         "makespan,makespan_value,wall_ms,error\n";
 }
 
 namespace {
@@ -182,15 +198,22 @@ const char* cache_label(const BatchRow& row) {
   return row.cache_hit ? "hit" : "miss";
 }
 
+// Empty when no result cache was consulted (none wired, or parse failure).
+const char* solve_cache_label(const BatchRow& row) {
+  if (row.instance_hash.empty() || !row.result_cache_used) return "";
+  return row.result_cache_hit ? "hit" : "miss";
+}
+
 }  // namespace
 
 void write_row_csv(std::ostream& out, const BatchRow& row) {
   out << row.seq << ',' << csv_quote(row.file) << ',' << (row.ok ? "ok" : "error") << ','
       << csv_quote(row.model) << ',' << row.jobs << ',' << row.machines << ','
       << csv_quote(row.instance_hash) << ',' << cache_label(row) << ','
-      << csv_quote(row.solver) << ',' << csv_quote(row.guarantee) << ','
-      << csv_quote(row.makespan) << ',' << fmt_double_exact(row.makespan_value) << ','
-      << fmt_double_exact(row.wall_ms) << ',' << csv_quote(row.error) << '\n';
+      << solve_cache_label(row) << ',' << csv_quote(row.solver) << ','
+      << csv_quote(row.guarantee) << ',' << csv_quote(row.makespan) << ','
+      << fmt_double_exact(row.makespan_value) << ',' << fmt_double_exact(row.wall_ms)
+      << ',' << csv_quote(row.error) << '\n';
 }
 
 void write_row_json(std::ostream& out, const BatchRow& row, const std::string* id) {
@@ -202,6 +225,7 @@ void write_row_json(std::ostream& out, const BatchRow& row, const std::string* i
       << ", \"machines\": " << row.machines
       << ", \"hash\": " << json_quote(row.instance_hash)
       << ", \"cache\": " << json_quote(cache_label(row))
+      << ", \"solve_cache\": " << json_quote(solve_cache_label(row))
       << ", \"solver\": " << json_quote(row.solver)
       << ", \"guarantee\": " << json_quote(row.guarantee)
       << ", \"makespan\": " << json_quote(row.makespan)

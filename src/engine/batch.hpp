@@ -15,9 +15,11 @@
 // depends on worker scheduling; the hash and every solver field still
 // match).
 //
-// Probing goes through a ProfileCache (engine/profile_cache.hpp): each row
-// records the instance's stable content hash and whether its profile was a
-// cache hit, so repeated traffic is visible in the output.
+// Probing goes through a ProfileCache (engine/profile_cache.hpp) and solving
+// through a ResultCache (engine/result_cache.hpp): each row records the
+// instance's stable content hash and whether its profile (`cache`) and its
+// full solve (`solve_cache`) were served warm, so repeated traffic — and what
+// it cost — is visible in the output.
 //
 // Sharding: `--shard=i/n` fleets split a corpus by taking every n-th entry
 // of the expanded path list (round-robin by index, after the deterministic
@@ -40,6 +42,7 @@
 
 #include "engine/profile_cache.hpp"
 #include "engine/registry.hpp"
+#include "engine/result_cache.hpp"
 #include "engine/solver.hpp"
 #include "io/format.hpp"
 
@@ -77,6 +80,8 @@ struct BatchRow {
   int machines = 0;
   std::string instance_hash;  // 16-hex stable content hash ("" on parse failure)
   bool cache_hit = false;     // profile served from the cache?
+  bool result_cache_used = false;  // was a result cache consulted for this row?
+  bool result_cache_hit = false;   // full solve served from the result cache?
   std::string solver;         // winning solver (empty on failure)
   std::string guarantee;
   std::string makespan;       // exact rational string (empty on failure)
@@ -95,20 +100,21 @@ std::vector<std::string> collect_instance_paths(const std::string& path, std::st
 std::vector<std::string> shard_paths(const std::vector<std::string>& paths,
                                      const Shard& shard);
 
-// Solves one already-parsed instance into a row through the cache + the
+// Solves one already-parsed instance into a row through the caches + the
 // portfolio. Shared by the batch workers and the serve loop; `seq`, `file`,
 // and parse errors are the caller's to fill in (a !parsed.ok() input yields
-// an error row). Thread-safe for concurrent calls sharing one cache.
+// an error row). `results` may be null to skip result memoization.
+// Thread-safe for concurrent calls sharing the caches.
 BatchRow solve_to_row(const SolverRegistry& registry, ProfileCache& cache,
-                      const std::string& alg, const SolveOptions& solve,
-                      const ParsedInstance& parsed);
+                      ResultCache* results, const std::string& alg,
+                      const SolveOptions& solve, const ParsedInstance& parsed);
 
 class BatchRunner {
  public:
-  // `cache` may be shared with other runners / the serve loop; nullptr gives
-  // the runner a private one.
+  // `cache` / `results` may be shared with other runners / the serve loop;
+  // nullptr gives the runner private ones.
   BatchRunner(const SolverRegistry& registry, BatchOptions options,
-              ProfileCache* cache = nullptr);
+              ProfileCache* cache = nullptr, ResultCache* results = nullptr);
 
   // Streams each finished row to `sink` as it completes (arbitrary
   // completion order; `row.seq` is the input index). `sink` calls are
@@ -121,6 +127,7 @@ class BatchRunner {
   std::vector<BatchRow> run(const std::vector<std::string>& paths) const;
 
   const ProfileCache& cache() const { return *cache_; }
+  const ResultCache& results() const { return *results_; }
 
  private:
   BatchRow run_one(const std::string& path, std::int64_t seq) const;
@@ -128,7 +135,9 @@ class BatchRunner {
   const SolverRegistry& registry_;
   BatchOptions options_;
   ProfileCache* cache_;                     // points at owned_cache_ or a shared one
+  ResultCache* results_;                    // likewise
   std::unique_ptr<ProfileCache> owned_cache_;
+  std::unique_ptr<ResultCache> owned_results_;
 };
 
 // Streaming row serialization. CSV needs the header exactly once, then one

@@ -7,7 +7,7 @@
 namespace bisched::engine {
 
 ProfileCache::ProfileCache(std::size_t max_entries)
-    : max_entries_(std::max<std::size_t>(1, max_entries)) {}
+    : map_(std::max<std::size_t>(1, max_entries)) {}
 
 template <typename Instance>
 CachedProfile ProfileCache::lookup(const Instance& inst) {
@@ -15,22 +15,21 @@ CachedProfile ProfileCache::lookup(const Instance& inst) {
   out.hash = instance_hash(inst);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    const auto it = map_.find(out.hash);
-    if (it != map_.end()) {
+    if (const InstanceProfile* found = map_.get(out.hash)) {
       ++hits_;
-      out.profile = it->second;
+      out.profile = *found;
       out.hit = true;
       return out;
     }
   }
   // Probe outside the lock: concurrent misses on the same instance race
-  // benignly (both compute the same profile; the second insert is a no-op).
+  // benignly (both compute the same profile; the second insert overwrites
+  // with an identical value).
   out.profile = probe(inst);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++misses_;
-    if (map_.size() >= max_entries_) map_.clear();
-    map_.emplace(out.hash, out.profile);
+    map_.put(out.hash, out.profile);
   }
   return out;
 }
@@ -44,6 +43,7 @@ ProfileCache::Stats ProfileCache::stats() const {
   Stats s;
   s.hits = hits_;
   s.misses = misses_;
+  s.evictions = map_.evictions();
   s.entries = map_.size();
   return s;
 }

@@ -7,11 +7,12 @@
 // sched/instance_hash's stable 64-bit content hash, so the batch and serve
 // paths probe each distinct instance exactly once per process.
 //
-// Thread-safe: one mutex around an unordered_map. Lookups are cheap relative
-// to a solve, and the batch/serve workers only touch the cache once per
-// request. Capacity-bounded for long-lived serve processes: when the map
-// reaches `max_entries` it is cleared wholesale (a generation cache — O(1)
-// amortized, no LRU bookkeeping; the next requests re-probe and refill).
+// Thread-safe: one mutex around an LruMap (engine/lru_map.hpp — the same
+// bounded-map policy as the result cache). Lookups are cheap relative to a
+// solve, and the batch/serve workers only touch the cache once per request.
+// Capacity-bounded for long-lived serve processes: past `max_entries` the
+// least-recently-used profile is evicted; evictions are counted in Stats and
+// surfaced on the CLI stats line.
 //
 // Keying by the 64-bit hash alone means a hash collision would serve the
 // wrong profile; at ~2^-64 per pair that is the standard content-hash cache
@@ -20,8 +21,8 @@
 
 #include <cstdint>
 #include <mutex>
-#include <unordered_map>
 
+#include "engine/lru_map.hpp"
 #include "engine/solver.hpp"
 
 namespace bisched::engine {
@@ -47,6 +48,7 @@ class ProfileCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
     std::size_t entries = 0;
   };
   Stats stats() const;
@@ -57,8 +59,7 @@ class ProfileCache {
   CachedProfile lookup(const Instance& inst);
 
   mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, InstanceProfile> map_;
-  std::size_t max_entries_;
+  LruMap<std::uint64_t, InstanceProfile> map_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -1,0 +1,79 @@
+#include "engine/result_cache.hpp"
+
+#include <bit>
+#include <functional>
+
+namespace bisched::engine {
+
+ResultKey make_result_key(std::uint64_t instance_hash, const std::string& alg,
+                          const SolveOptions& solve) {
+  ResultKey key;
+  key.hash = instance_hash;
+  key.alg = alg;
+  key.eps = solve.eps;
+  key.run_all = solve.run_all;
+  key.budget_ms = solve.budget_ms;
+  return key;
+}
+
+std::size_t ResultKeyHash::operator()(const ResultKey& k) const {
+  // splitmix64-style mixing over the fields; doubles hashed by bit pattern
+  // (the key compares them exactly, so NaN/-0.0 subtleties don't arise from
+  // the flag-parsed values that reach here).
+  auto mix = [](std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  };
+  std::uint64_t h = mix(k.hash);
+  h = mix(h ^ std::hash<std::string>{}(k.alg));
+  h = mix(h ^ std::bit_cast<std::uint64_t>(k.eps));
+  h = mix(h ^ std::bit_cast<std::uint64_t>(k.budget_ms));
+  h = mix(h ^ static_cast<std::uint64_t>(k.run_all));
+  return static_cast<std::size_t>(h);
+}
+
+ResultCache::ResultCache(std::size_t max_entries)
+    : map_(max_entries < 1 ? 1 : max_entries) {}
+
+std::optional<SolveResult> ResultCache::lookup(const ResultKey& key) {
+  std::shared_ptr<const SolveResult> found;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto* entry = map_.get(key)) {
+      ++hits_;
+      found = *entry;
+    } else {
+      ++misses_;
+    }
+  }
+  if (found == nullptr) return std::nullopt;
+  return *found;  // the schedule copy happens outside the lock
+}
+
+void ResultCache::store(const ResultKey& key, const SolveResult& result) {
+  if (!result.ok) return;
+  auto entry = std::make_shared<const SolveResult>(result);
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.put(key, std::move(entry));
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = map_.evictions();
+  s.entries = map_.size();
+  return s;
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace bisched::engine

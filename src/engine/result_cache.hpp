@@ -1,0 +1,93 @@
+// ResultCache: LRU memoization of full SolveResults.
+//
+// The profile cache (engine/profile_cache.hpp) removed the per-request probe
+// from repeated traffic; this cache removes the *solve*. A key is the
+// complete determinant of a solve through the engine: the instance's stable
+// content hash (sched/instance_hash), the requested algorithm name ("auto"
+// included — dispatch is a pure function of the profile), and the SolveOptions
+// that can change the answer (eps, run_all, budget_ms). Batch and serve
+// consult it before dispatching and store every successful result after, so
+// a serve loop answering the same corpus returns warm solves at hash-lookup
+// cost; every result row surfaces the outcome in its `solve_cache` field.
+//
+// Policy:
+//  - Only ok results are stored. Failures may be transient (deadline hit,
+//    budget exhausted) and must be retried, not replayed.
+//  - budget_ms is part of the key, not a reason to bypass: a result computed
+//    under a budget is a valid answer for that budget, and identical requests
+//    should not pay for the portfolio twice.
+//  - Bounded by the same LruMap policy as the profile cache (true LRU,
+//    eviction counter in the stats), so long-lived serve sessions stay flat.
+//  - Keyed by the 64-bit content hash; a collision (~2^-64 per pair) would
+//    alias, the standard content-hash cache trade (see profile_cache.hpp).
+//
+// Thread-safe: one mutex, held only for lookup/insert bookkeeping — entries
+// are stored as shared_ptr, so a hit takes a refcount under the lock and the
+// caller's copy of the (schedule-carrying) result happens outside it, keeping
+// the warm path parallel across a wide pool. Concurrent misses on the same
+// key race benignly (both solve, last insert wins).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "engine/lru_map.hpp"
+#include "engine/solver.hpp"
+
+namespace bisched::engine {
+
+struct ResultKey {
+  std::uint64_t hash = 0;  // instance content hash
+  std::string alg;         // registry name or "auto"
+  double eps = 0;
+  bool run_all = false;
+  double budget_ms = 0;
+
+  bool operator==(const ResultKey& other) const = default;
+};
+
+// Construction point used by batch/serve: everything in `solve` that can
+// change the outcome is folded in (the derived `deadline` is deliberately
+// excluded — it restates budget_ms as an absolute time).
+ResultKey make_result_key(std::uint64_t instance_hash, const std::string& alg,
+                          const SolveOptions& solve);
+
+struct ResultKeyHash {
+  std::size_t operator()(const ResultKey& k) const;
+};
+
+class ResultCache {
+ public:
+  static constexpr std::size_t kDefaultMaxEntries = 1 << 16;
+
+  explicit ResultCache(std::size_t max_entries = kDefaultMaxEntries);
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // The memoized result, or nullopt. A hit is a copy: callers own their
+  // result and may stamp wall_ms etc. without racing the cache.
+  std::optional<SolveResult> lookup(const ResultKey& key);
+
+  // Stores ok results; not-ok results are ignored (see policy above).
+  void store(const ResultKey& key, const SolveResult& result);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  LruMap<ResultKey, std::shared_ptr<const SolveResult>, ResultKeyHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace bisched::engine

@@ -102,9 +102,12 @@ void decode_json_frame(const std::string& line, Request* req) {
 }  // namespace
 
 ServeStats serve(const SolverRegistry& registry, std::istream& in, std::ostream& out,
-                 const ServeOptions& options, ProfileCache* cache) {
+                 const ServeOptions& options, ProfileCache* cache,
+                 ResultCache* results) {
   ProfileCache own_cache;
   ProfileCache& the_cache = cache != nullptr ? *cache : own_cache;
+  ResultCache own_results;
+  ResultCache& the_results = results != nullptr ? *results : own_results;
 
   const unsigned threads =
       options.threads != 0 ? options.threads : default_thread_count();
@@ -136,12 +139,13 @@ ServeStats serve(const SolverRegistry& registry, std::istream& in, std::ostream&
       return;
     }
     if (req.parsed != nullptr) {
-      answer(req, solve_to_row(registry, the_cache, req.alg, req.solve, *req.parsed));
+      answer(req, solve_to_row(registry, the_cache, &the_results, req.alg, req.solve,
+                               *req.parsed));
       return;
     }
     if (req.has_inline_text) {
       std::istringstream text(req.inline_text);
-      answer(req, solve_to_row(registry, the_cache, req.alg, req.solve,
+      answer(req, solve_to_row(registry, the_cache, &the_results, req.alg, req.solve,
                                parse_instance(text)));
       return;
     }
@@ -152,7 +156,7 @@ ServeStats serve(const SolverRegistry& registry, std::istream& in, std::ostream&
       answer(req, row);
       return;
     }
-    answer(req, solve_to_row(registry, the_cache, req.alg, req.solve,
+    answer(req, solve_to_row(registry, the_cache, &the_results, req.alg, req.solve,
                              parse_instance(file)));
   };
 
@@ -223,6 +227,7 @@ ServeStats serve(const SolverRegistry& registry, std::istream& in, std::ostream&
 
   pool.wait_idle();
   stats.cache = the_cache.stats();
+  stats.results = the_results.stats();
   return stats;
 }
 

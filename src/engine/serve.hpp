@@ -1,9 +1,11 @@
 // Long-lived serve mode: framed instance requests in, streamed responses out.
 //
 // `serve` is the process-resident counterpart of BatchRunner: one registry,
-// one ProfileCache, and one thread pool live across every request, so
-// repeated traffic pays parse + dispatch but never a second probe (the cache
-// hit shows up in the response's "cache" member). Requests are read from
+// one ProfileCache, one ResultCache, and one thread pool live across every
+// request, so repeated traffic pays parse + dispatch but never a second probe
+// (the "cache" member of the response) nor — for an identical
+// (instance, alg, options) request — a second solve (the "solve_cache"
+// member). Requests are read from
 // `in` one frame at a time and fanned across the pool under an in-flight
 // bound; responses are written to `out` as each solve finishes — one JSON
 // Lines object per request, flushed per line so a pipe peer can drive the
@@ -37,6 +39,7 @@
 #include "engine/batch.hpp"
 #include "engine/profile_cache.hpp"
 #include "engine/registry.hpp"
+#include "engine/result_cache.hpp"
 
 namespace bisched::engine {
 
@@ -53,12 +56,14 @@ struct ServeStats {
   std::uint64_t ok = 0;
   std::uint64_t errors = 0;  // bad frames + failed solves
   ProfileCache::Stats cache;
+  ResultCache::Stats results;
 };
 
 // Runs the loop until EOF or a `quit` frame, then drains in-flight requests.
-// `cache` may be shared (e.g. pre-warmed by a batch run); nullptr uses a
-// private one.
+// `cache` / `results` may be shared (e.g. pre-warmed by a batch run);
+// nullptr uses private ones.
 ServeStats serve(const SolverRegistry& registry, std::istream& in, std::ostream& out,
-                 const ServeOptions& options, ProfileCache* cache = nullptr);
+                 const ServeOptions& options, ProfileCache* cache = nullptr,
+                 ResultCache* results = nullptr);
 
 }  // namespace bisched::engine

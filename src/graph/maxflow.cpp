@@ -1,45 +1,76 @@
 #include "graph/maxflow.hpp"
 
 #include <algorithm>
-#include <queue>
 
 #include "util/check.hpp"
 
 namespace bisched {
 
-Dinic::Dinic(int num_nodes)
-    : head_(static_cast<std::size_t>(num_nodes), -1),
-      level_(static_cast<std::size_t>(num_nodes), -1),
-      iter_(static_cast<std::size_t>(num_nodes), -1) {
+Dinic::Dinic(int num_nodes) : num_nodes_(num_nodes) {
   BISCHED_CHECK(num_nodes >= 0, "negative node count");
 }
 
 int Dinic::add_edge(int u, int v, std::int64_t capacity) {
-  BISCHED_CHECK(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes(),
+  BISCHED_CHECK(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_,
                 "flow edge endpoint out of range");
   BISCHED_CHECK(capacity >= 0, "negative capacity");
-  const int id = static_cast<int>(edges_.size());
-  edges_.push_back({v, head_[static_cast<std::size_t>(u)], capacity});
-  head_[static_cast<std::size_t>(u)] = id;
-  edges_.push_back({u, head_[static_cast<std::size_t>(v)], 0});
-  head_[static_cast<std::size_t>(v)] = id + 1;
+  BISCHED_CHECK(!frozen_, "add_edge after max_flow");
+  const int id = static_cast<int>(raw_.size());
+  raw_.push_back({u, v, capacity});
+  raw_.push_back({v, u, 0});
   return id;
+}
+
+void Dinic::freeze() {
+  const auto n = static_cast<std::size_t>(num_nodes_);
+  const std::size_t m = raw_.size();
+  start_.assign(n + 1, 0);
+  for (const RawEdge& e : raw_) ++start_[static_cast<std::size_t>(e.u) + 1];
+  for (std::size_t u = 0; u < n; ++u) start_[u + 1] += start_[u];
+
+  // Fill each node's slab in reverse insertion order: the previous intrusive
+  // list iterated from the most recently added edge, and reproducing that
+  // order keeps every augmenting-path decision — and hence the residual
+  // graph, flow_on, and min_cut_source_side — bit-identical.
+  to_.resize(m);
+  cap_.resize(m);
+  rev_.resize(m);
+  pos_.resize(m);
+  std::vector<int> fill(start_.begin(), start_.begin() + static_cast<long>(n));
+  for (std::size_t id = m; id-- > 0;) {
+    const RawEdge& e = raw_[id];
+    const int at = fill[static_cast<std::size_t>(e.u)]++;
+    to_[static_cast<std::size_t>(at)] = e.v;
+    cap_[static_cast<std::size_t>(at)] = e.cap;
+    pos_[id] = at;
+  }
+  for (std::size_t id = 0; id < m; id += 2) {
+    rev_[static_cast<std::size_t>(pos_[id])] = pos_[id + 1];
+    rev_[static_cast<std::size_t>(pos_[id + 1])] = pos_[id];
+  }
+  raw_.clear();
+  raw_.shrink_to_fit();
+
+  level_.assign(n, -1);
+  iter_.assign(n, 0);
+  queue_.assign(n, 0);
+  frozen_ = true;
 }
 
 bool Dinic::bfs(int s, int t) {
   std::fill(level_.begin(), level_.end(), -1);
-  std::queue<int> queue;
+  std::size_t head = 0;
+  std::size_t tail = 0;
   level_[static_cast<std::size_t>(s)] = 0;
-  queue.push(s);
-  while (!queue.empty()) {
-    const int u = queue.front();
-    queue.pop();
-    for (int e = head_[static_cast<std::size_t>(u)]; e != -1;
-         e = edges_[static_cast<std::size_t>(e)].next) {
-      const auto& edge = edges_[static_cast<std::size_t>(e)];
-      if (edge.cap > 0 && level_[static_cast<std::size_t>(edge.to)] == -1) {
-        level_[static_cast<std::size_t>(edge.to)] = level_[static_cast<std::size_t>(u)] + 1;
-        queue.push(edge.to);
+  queue_[tail++] = s;
+  while (head < tail) {
+    const int u = queue_[head++];
+    const int end = start_[static_cast<std::size_t>(u) + 1];
+    for (int e = start_[static_cast<std::size_t>(u)]; e < end; ++e) {
+      const int v = to_[static_cast<std::size_t>(e)];
+      if (cap_[static_cast<std::size_t>(e)] > 0 && level_[static_cast<std::size_t>(v)] == -1) {
+        level_[static_cast<std::size_t>(v)] = level_[static_cast<std::size_t>(u)] + 1;
+        queue_[tail++] = v;
       }
     }
   }
@@ -49,17 +80,18 @@ bool Dinic::bfs(int s, int t) {
 std::int64_t Dinic::dfs(int u, int t, std::int64_t limit) {
   if (u == t) return limit;
   std::int64_t pushed_total = 0;
-  for (int& e = iter_[static_cast<std::size_t>(u)]; e != -1;
-       e = edges_[static_cast<std::size_t>(e)].next) {
-    auto& edge = edges_[static_cast<std::size_t>(e)];
-    if (edge.cap <= 0 ||
-        level_[static_cast<std::size_t>(edge.to)] != level_[static_cast<std::size_t>(u)] + 1) {
+  const int end = start_[static_cast<std::size_t>(u) + 1];
+  for (int& e = iter_[static_cast<std::size_t>(u)]; e < end; ++e) {
+    const int v = to_[static_cast<std::size_t>(e)];
+    const std::int64_t cap = cap_[static_cast<std::size_t>(e)];
+    if (cap <= 0 ||
+        level_[static_cast<std::size_t>(v)] != level_[static_cast<std::size_t>(u)] + 1) {
       continue;
     }
-    const std::int64_t pushed = dfs(edge.to, t, std::min(limit, edge.cap));
+    const std::int64_t pushed = dfs(v, t, std::min(limit, cap));
     if (pushed == 0) continue;
-    edge.cap -= pushed;
-    edges_[static_cast<std::size_t>(e ^ 1)].cap += pushed;
+    cap_[static_cast<std::size_t>(e)] -= pushed;
+    cap_[static_cast<std::size_t>(rev_[static_cast<std::size_t>(e)])] += pushed;
     pushed_total += pushed;
     limit -= pushed;
     if (limit == 0) break;
@@ -70,33 +102,54 @@ std::int64_t Dinic::dfs(int u, int t, std::int64_t limit) {
 
 std::int64_t Dinic::max_flow(int s, int t) {
   BISCHED_CHECK(s != t, "source equals sink");
+  if (!frozen_) freeze();
   std::int64_t flow = 0;
   while (bfs(s, t)) {
-    iter_ = head_;
+    std::copy(start_.begin(), start_.begin() + static_cast<long>(num_nodes_),
+              iter_.begin());
     flow += dfs(s, t, kCapInfinity);
   }
   return flow;
 }
 
 std::int64_t Dinic::flow_on(int id) const {
-  BISCHED_CHECK(id >= 0 && id + 1 < static_cast<int>(edges_.size()), "bad edge id");
-  return edges_[static_cast<std::size_t>(id ^ 1)].cap;
+  const auto edge_count =
+      frozen_ ? pos_.size() : raw_.size();
+  BISCHED_CHECK(id >= 0 && id + 1 < static_cast<int>(edge_count), "bad edge id");
+  if (!frozen_) return 0;  // no flow pushed yet
+  return cap_[static_cast<std::size_t>(pos_[static_cast<std::size_t>(id) ^ 1])];
 }
 
 std::vector<std::uint8_t> Dinic::min_cut_source_side(int s) const {
-  std::vector<std::uint8_t> reachable(head_.size(), 0);
-  std::queue<int> queue;
+  std::vector<std::uint8_t> reachable(static_cast<std::size_t>(num_nodes_), 0);
   reachable[static_cast<std::size_t>(s)] = 1;
-  queue.push(s);
-  while (!queue.empty()) {
-    const int u = queue.front();
-    queue.pop();
-    for (int e = head_[static_cast<std::size_t>(u)]; e != -1;
-         e = edges_[static_cast<std::size_t>(e)].next) {
-      const auto& edge = edges_[static_cast<std::size_t>(e)];
-      if (edge.cap > 0 && !reachable[static_cast<std::size_t>(edge.to)]) {
-        reachable[static_cast<std::size_t>(edge.to)] = 1;
-        queue.push(edge.to);
+  if (!frozen_) {
+    // No max_flow yet: residual == original; staged edges with capacity.
+    // (The engine never takes this path, but the old API allowed it.)
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const RawEdge& e : raw_) {
+        if (e.cap > 0 && reachable[static_cast<std::size_t>(e.u)] &&
+            !reachable[static_cast<std::size_t>(e.v)]) {
+          reachable[static_cast<std::size_t>(e.v)] = 1;
+          changed = true;
+        }
+      }
+    }
+    return reachable;
+  }
+  std::size_t head = 0;
+  std::size_t tail = 0;
+  queue_[tail++] = s;
+  while (head < tail) {
+    const int u = queue_[head++];
+    const int end = start_[static_cast<std::size_t>(u) + 1];
+    for (int e = start_[static_cast<std::size_t>(u)]; e < end; ++e) {
+      const int v = to_[static_cast<std::size_t>(e)];
+      if (cap_[static_cast<std::size_t>(e)] > 0 && !reachable[static_cast<std::size_t>(v)]) {
+        reachable[static_cast<std::size_t>(v)] = 1;
+        queue_[tail++] = v;
       }
     }
   }

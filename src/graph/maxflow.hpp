@@ -5,6 +5,16 @@
 // flow network corresponding to the bipartite graph" (Lemma 10; the paper
 // cites Orlin's O(nm) flow, we substitute Dinic — exactness is unaffected,
 // see DESIGN.md). Capacities are int64; kCapInfinity marks uncuttable edges.
+//
+// Edges are staged by `add_edge` and frozen into a CSR adjacency (offset
+// array + contiguous per-node edge slabs) on the first `max_flow` call: the
+// per-edge intrusive-list hop of the previous layout becomes a sequential
+// scan, and the BFS runs on an index ring buffer instead of a heap-allocating
+// std::queue — the min-cut path of alg1_sqrt_approx allocates nothing per
+// call beyond the one-time freeze (docs/perf.md has the measurements). The
+// CSR slabs keep each node's edges in *reverse* insertion order, exactly the
+// traversal order of the old intrusive list, so flows, residual graphs, and
+// min-cut sides are bit-identical to the previous implementation.
 #pragma once
 
 #include <cstdint>
@@ -18,10 +28,11 @@ class Dinic {
 
   explicit Dinic(int num_nodes);
 
-  int num_nodes() const { return static_cast<int>(head_.size()); }
+  int num_nodes() const { return num_nodes_; }
 
   // Adds a directed edge u -> v with the given capacity. Returns an edge id
-  // usable with `flow_on`.
+  // usable with `flow_on`. Must not be called after `max_flow` (the CSR form
+  // is frozen then).
   int add_edge(int u, int v, std::int64_t capacity);
 
   // Computes the maximum s-t flow. May be called once per instance.
@@ -35,19 +46,32 @@ class Dinic {
   std::vector<std::uint8_t> min_cut_source_side(int s) const;
 
  private:
-  struct Edge {
-    int to;
-    int next;  // intrusive list
+  struct RawEdge {
+    int u;
+    int v;
     std::int64_t cap;
   };
 
+  void freeze();  // build the CSR arrays from raw_
   bool bfs(int s, int t);
   std::int64_t dfs(int u, int t, std::int64_t limit);
 
-  std::vector<Edge> edges_;  // edge 2k and 2k+1 are a forward/backward pair
-  std::vector<int> head_;
+  int num_nodes_ = 0;
+  bool frozen_ = false;
+  std::vector<RawEdge> raw_;  // staging; raw ids 2k / 2k+1 are a fwd/bwd pair
+
+  // CSR form (valid once frozen_): edges of node u live at [start_[u],
+  // start_[u+1]) in to_/cap_; rev_[e] is the paired reverse edge; pos_ maps a
+  // raw edge id to its CSR index.
+  std::vector<int> start_;
+  std::vector<int> to_;
+  std::vector<std::int64_t> cap_;
+  std::vector<int> rev_;
+  std::vector<int> pos_;
+
   std::vector<int> level_;
   std::vector<int> iter_;
+  mutable std::vector<int> queue_;  // BFS ring buffer (reused by min-cut)
 };
 
 }  // namespace bisched

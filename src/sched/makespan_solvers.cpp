@@ -1,6 +1,7 @@
 #include "sched/makespan_solvers.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 
 #include "util/check.hpp"
@@ -12,26 +13,208 @@ namespace {
 using i64 = std::int64_t;
 constexpr i64 kInf = std::numeric_limits<i64>::max() / 4;
 
-// Row-major bit matrix recording, for each (job, machine-1-load) DP state,
-// whether the winning transition placed the job on machine 1.
-class ChoiceBits {
- public:
-  ChoiceBits(std::size_t rows, std::size_t cols)
-      : words_((cols + 63) / 64), data_(rows * words_, 0) {}
-
-  void set(std::size_t r, std::size_t c, bool bit) {
-    auto& word = data_[r * words_ + c / 64];
-    const std::uint64_t mask = 1ULL << (c % 64);
-    word = bit ? (word | mask) : (word & ~mask);
-  }
-  bool get(std::size_t r, std::size_t c) const {
-    return (data_[r * words_ + c / 64] >> (c % 64)) & 1ULL;
-  }
-
- private:
-  std::size_t words_;
-  std::vector<std::uint64_t> data_;
+// Caller-owned scratch for the R2/R3 feasibility kernels. One arena is
+// threaded through every probe of a binary search, so the DP row, the packed
+// choice matrix, and the scaled-time vectors are allocated once at the
+// high-water size and then reused; `assignment` retains the reconstruction of
+// the last *accepted* probe, which lets the searches return it directly
+// instead of re-running a terminal feasible(lo) probe (docs/perf.md).
+struct DpArena {
+  std::vector<i64> cur;                  // R2: one row, updated in place; R3: grid
+  std::vector<i64> next;                 // R3 only (the 2-D kernel pushes)
+  std::vector<std::uint64_t> choice;     // R2: 1 bit/state/job; R3: 2 bits
+  std::vector<i64> s1, s2, s3;           // scaled processing times
+  std::vector<std::uint8_t> assignment;  // reconstruction of the last accept
 };
+
+// One row transition of the R2 kernel inside the old window [0, hi]: both
+// origins exist, so f_new[l1] = min(f[l1] + s2, f[l1 - s1]) with the seed's
+// tie rule (machine 1 wins unless s1 == 0), visiting l1 top-down so the
+// in-place reads still see the previous row. A dead origin's value is kInf,
+// and kInf + s2 still compares above every real load (kInf is max/4, s2 is
+// clamped by the caller), so no liveness branch is needed; dead states store
+// back exactly kInf via the min. The choice bits of one word are accumulated
+// in a register and stored once.
+void r2_row_scalar(i64* cur, std::uint64_t* choice_j, std::size_t hi, std::size_t s1,
+                   i64 s2, bool m1_wins_ties) {
+  std::uint64_t word = choice_j[hi / 64];
+  for (std::size_t l1 = hi + 1; l1-- > 0;) {
+    const i64 via_m2 = cur[l1] + s2;
+    const i64 via_m1 = l1 >= s1 ? cur[l1 - s1] : kInf;
+    const bool on_m1 = m1_wins_ties ? !(via_m2 < via_m1) : via_m1 < via_m2;
+    cur[l1] = on_m1 ? via_m1 : via_m2;
+    const std::uint64_t mask = 1ULL << (l1 % 64);
+    word = on_m1 ? (word | mask) : (word & ~mask);
+    if (l1 % 64 == 0) {
+      choice_j[l1 / 64] = word;
+      if (l1 != 0) word = choice_j[l1 / 64 - 1];
+    }
+  }
+}
+
+#if defined(__x86_64__)
+// Four-lane version of the same transition, in GCC vector-extension form so
+// the tie semantics read off the scalar code (lane compares yield all-ones /
+// all-zero masks; the blend and the 4 choice bits derive from them). Blocks
+// are walked top-down like the scalar loop: each block's loads (its own old
+// values and the lagged ones at -s1, both at indices <= the block top) happen
+// before its store, so in-place safety is preserved for every s1, including
+// 0. Compiled for AVX2 in this one function; callers dispatch at runtime via
+// cpu_supports, so the build stays baseline-x86-64 and non-AVX2 hosts take
+// the scalar row.
+typedef i64 V4 __attribute__((vector_size(32)));
+
+__attribute__((target("avx2"))) void r2_row_avx2(i64* cur, std::uint64_t* choice_j,
+                                                 std::size_t hi, std::size_t s1, i64 s2,
+                                                 bool m1_wins_ties) {
+  // Vector blocks must be 4-aligned (so their choice nibble stays inside one
+  // word) and lag-safe (base >= s1 keeps the lagged load in bounds).
+  const std::size_t lo_v = (s1 + 3) & ~static_cast<std::size_t>(3);
+  if (hi < 3 || lo_v + 3 > hi) {
+    r2_row_scalar(cur, choice_j, hi, s1, s2, m1_wins_ties);
+    return;
+  }
+  const std::size_t top = (hi - 3) & ~static_cast<std::size_t>(3);
+  for (std::size_t l1 = hi; l1 > top + 3; --l1) {  // unaligned head; l1 > s1 here
+    const i64 via_m2 = cur[l1] + s2;
+    const i64 via_m1 = cur[l1 - s1];
+    const bool on_m1 = m1_wins_ties ? !(via_m2 < via_m1) : via_m1 < via_m2;
+    cur[l1] = on_m1 ? via_m1 : via_m2;
+    const std::uint64_t mask = 1ULL << (l1 % 64);
+    std::uint64_t& word = choice_j[l1 / 64];
+    word = on_m1 ? (word | mask) : (word & ~mask);
+  }
+  const V4 s2v = {s2, s2, s2, s2};
+  for (std::size_t base = top;; base -= 4) {
+    V4 here;
+    V4 lag;
+    std::memcpy(&here, cur + base, sizeof(V4));
+    std::memcpy(&lag, cur + base - s1, sizeof(V4));
+    const V4 via_m2 = here + s2v;
+    const V4 on_m1 = m1_wins_ties ? ~(via_m2 < lag) : (lag < via_m2);
+    const V4 out = (lag & on_m1) | (via_m2 & ~on_m1);
+    std::memcpy(cur + base, &out, sizeof(V4));
+    const std::uint64_t bits =
+        static_cast<std::uint64_t>(on_m1[0] & 1) |
+        (static_cast<std::uint64_t>(on_m1[1] & 1) << 1) |
+        (static_cast<std::uint64_t>(on_m1[2] & 1) << 2) |
+        (static_cast<std::uint64_t>(on_m1[3] & 1) << 3);
+    const std::size_t shift = base % 64;
+    choice_j[base / 64] =
+        (choice_j[base / 64] & ~(0xFULL << shift)) | (bits << shift);
+    if (base == lo_v) break;
+  }
+  for (std::size_t l1 = lo_v; l1-- > 0;) {  // tail below the lag-safe region
+    const i64 via_m2 = cur[l1] + s2;
+    const i64 via_m1 = l1 >= s1 ? cur[l1 - s1] : kInf;
+    const bool on_m1 = m1_wins_ties ? !(via_m2 < via_m1) : via_m1 < via_m2;
+    cur[l1] = on_m1 ? via_m1 : via_m2;
+    const std::uint64_t mask = 1ULL << (l1 % 64);
+    std::uint64_t& word = choice_j[l1 / 64];
+    word = on_m1 ? (word | mask) : (word & ~mask);
+  }
+}
+
+bool r2_row_use_avx2() {
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+}
+#endif  // __x86_64__
+
+void r2_row(i64* cur, std::uint64_t* choice_j, std::size_t hi, std::size_t s1, i64 s2,
+            bool m1_wins_ties) {
+#if defined(__x86_64__)
+  if (r2_row_use_avx2()) {
+    r2_row_avx2(cur, choice_j, hi, s1, s2, m1_wins_ties);
+    return;
+  }
+#endif
+  r2_row_scalar(cur, choice_j, hi, s1, s2, m1_wins_ties);
+}
+
+// DP feasibility oracle: is there an assignment with load1 <= budget and
+// load2 <= budget (in the given scaled units, arena.s1/s2)? f_j[l1] = min
+// achievable load2 over the first j jobs with load1 == l1.
+//
+// The kernel is the in-place "pull" form of the textbook two-row DP: states
+// are visited in descending l1, each new f_j[l1] reads f_{j-1} at l1 (place
+// job j on machine 2) and l1 - s1[j] (machine 1), both of which still hold
+// the previous row when writing top-down — so there is no second row, no
+// per-row fill to infinity, and the only per-probe work is the reachable
+// window itself. That window [0, hi] (0 is always reachable: every job on
+// machine 2 keeps l1 at 0) grows by at most s1[j] per row instead of
+// spanning the full budget width.
+//
+// Tie-breaking matches the seed push kernel bit for bit: there, the machine-1
+// write into state l1 happened at origin l1 - s1[j] — *before* the machine-2
+// write at origin l1 — so machine 1 won ties unless s1[j] == 0, in which case
+// both writes happened at the same origin in body order (machine 2 first).
+// On success the assignment is reconstructed into arena.assignment.
+// O(n * hi) time, n * budget bits + O(budget) words of arena memory.
+bool scaled_feasible(DpArena& arena, i64 budget) {
+  BISCHED_CHECK(budget >= 0, "negative DP budget");
+  const std::size_t n = arena.s1.size();
+  const auto width = static_cast<std::size_t>(budget) + 1;
+  BISCHED_CHECK(static_cast<double>(n) * static_cast<double>(width) <= 2e9,
+                "R2 DP table too large; reduce instance or raise eps");
+
+  const std::size_t words = (width + 63) / 64;
+  arena.cur.resize(width);
+  arena.choice.resize(n * words);
+  // No clearing: every state inside the window is written each row, and the
+  // reconstruction only reads (job, state) pairs on the reachable path —
+  // stale arena contents outside the window are never observed.
+  i64* cur = arena.cur.data();
+  cur[0] = 0;
+  std::size_t hi = 0;
+
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto s1 = static_cast<std::size_t>(arena.s1[j]);
+    // Clamped so kInf + s2 cannot overflow; a time at kInf scale is already
+    // infeasible for any budget the size guard admits.
+    const i64 s2 = std::min(arena.s2[j], kInf);
+    const std::size_t hi_next = std::min(width - 1, hi + s1);
+    std::uint64_t* choice_j = arena.choice.data() + j * words;
+
+    // States above the old window are reachable only via machine 1 (their
+    // machine-2 origin was unreachable last row) — and only those with an
+    // origin at all (l1 >= s1); the rest of the grown window is dead.
+    // Nonempty only when s1 > 0.
+    for (std::size_t l1 = hi_next; l1 > hi && l1 >= s1; --l1) {
+      cur[l1] = cur[l1 - s1];
+      choice_j[l1 / 64] |= 1ULL << (l1 % 64);
+    }
+    for (std::size_t l1 = std::min(hi_next, s1 - 1) + 1; l1 > hi + 1;) {
+      cur[--l1] = kInf;
+    }
+    // Inside the old window both origins exist; r2_row_scalar documents the
+    // transition, r2_row_avx2 is its four-lane form.
+    r2_row(cur, choice_j, hi, s1, s2, /*m1_wins_ties=*/s1 > 0);
+    hi = hi_next;
+  }
+
+  std::size_t l1 = width;
+  for (std::size_t cand = 0; cand <= hi; ++cand) {
+    if (arena.cur[cand] <= budget) {
+      l1 = cand;
+      break;
+    }
+  }
+  if (l1 == width) return false;
+
+  arena.assignment.assign(n, 0);
+  for (std::size_t j = n; j-- > 0;) {
+    if ((arena.choice[j * words + l1 / 64] >> (l1 % 64)) & 1ULL) {
+      arena.assignment[j] = 0;
+      BISCHED_CHECK(l1 >= static_cast<std::size_t>(arena.s1[j]),
+                    "DP reconstruction failed");
+      l1 -= static_cast<std::size_t>(arena.s1[j]);
+    } else {
+      arena.assignment[j] = 1;
+    }
+  }
+  return true;
+}
 
 R2Result finalize(std::span<const R2Job> jobs, std::vector<std::uint8_t> on_m2) {
   R2Result r;
@@ -45,66 +228,6 @@ R2Result finalize(std::span<const R2Job> jobs, std::vector<std::uint8_t> on_m2) 
   }
   r.cmax = std::max(r.load1, r.load2);
   return r;
-}
-
-// DP feasibility oracle: is there an assignment with load1 <= budget and
-// load2 <= budget (in the given scaled units)? f_j[l1] = min achievable
-// load2 over the first j jobs with load1 == l1. On success reconstructs the
-// assignment from the recorded argmin transitions. O(n * budget) time,
-// n * budget bits + O(budget) words of memory.
-bool scaled_feasible(std::span<const i64> s1, std::span<const i64> s2, i64 budget,
-                     std::vector<std::uint8_t>& on_m2) {
-  BISCHED_CHECK(budget >= 0, "negative DP budget");
-  const std::size_t n = s1.size();
-  const auto width = static_cast<std::size_t>(budget) + 1;
-  BISCHED_CHECK(static_cast<double>(n) * static_cast<double>(width) <= 2e9,
-                "R2 DP table too large; reduce instance or raise eps");
-
-  std::vector<i64> cur(width, kInf);
-  std::vector<i64> next(width);
-  cur[0] = 0;
-  ChoiceBits choice(n, width);
-
-  for (std::size_t j = 0; j < n; ++j) {
-    std::fill(next.begin(), next.end(), kInf);
-    for (std::size_t l1 = 0; l1 < width; ++l1) {
-      if (cur[l1] == kInf) continue;
-      // Place job j on machine 2: load1 unchanged.
-      const i64 via_m2 = cur[l1] + s2[j];
-      if (via_m2 < next[l1]) {
-        next[l1] = via_m2;
-        choice.set(j, l1, false);
-      }
-      // Place job j on machine 1.
-      const std::size_t nl1 = l1 + static_cast<std::size_t>(s1[j]);
-      if (nl1 < width && cur[l1] < next[nl1]) {
-        next[nl1] = cur[l1];
-        choice.set(j, nl1, true);
-      }
-    }
-    cur.swap(next);
-  }
-
-  std::size_t l1 = width;
-  for (std::size_t cand = 0; cand < width; ++cand) {
-    if (cur[cand] <= budget) {
-      l1 = cand;
-      break;
-    }
-  }
-  if (l1 == width) return false;
-
-  on_m2.assign(n, 0);
-  for (std::size_t j = n; j-- > 0;) {
-    if (choice.get(j, l1)) {
-      on_m2[j] = 0;
-      BISCHED_CHECK(l1 >= static_cast<std::size_t>(s1[j]), "DP reconstruction failed");
-      l1 -= static_cast<std::size_t>(s1[j]);
-    } else {
-      on_m2[j] = 1;
-    }
-  }
-  return true;
 }
 
 }  // namespace
@@ -122,25 +245,30 @@ R2Result r2_exact(std::span<const R2Job> jobs) {
   const R2Result ub = r2_greedy(jobs);
   if (ub.cmax == 0) return ub;
 
-  std::vector<i64> s1(jobs.size()), s2(jobs.size());
+  DpArena arena;
+  arena.s1.resize(jobs.size());
+  arena.s2.resize(jobs.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
-    s1[j] = jobs[j].p1;
-    s2[j] = jobs[j].p2;
+    arena.s1[j] = jobs[j].p1;
+    arena.s2[j] = jobs[j].p2;
   }
-  // Exact binary search over the makespan with the delta = 1 oracle.
+  // Exact binary search over the makespan with the delta = 1 oracle. Every
+  // accepted probe leaves its reconstruction in the arena, so the assignment
+  // for the final hi (== the optimum) is already in hand when the search
+  // ends — no extra DP pass.
   i64 lo = 0, hi = ub.cmax;
-  std::vector<std::uint8_t> best_assignment = ub.on_machine2;
+  bool accepted = false;
   while (lo < hi) {
     const i64 mid = lo + (hi - lo) / 2;
-    std::vector<std::uint8_t> on_m2;
-    if (scaled_feasible(s1, s2, mid, on_m2)) {
+    if (scaled_feasible(arena, mid)) {
       hi = mid;
-      best_assignment = std::move(on_m2);
+      accepted = true;
     } else {
       lo = mid + 1;
     }
   }
-  R2Result r = finalize(jobs, std::move(best_assignment));
+  R2Result r = finalize(jobs, accepted ? std::move(arena.assignment)
+                                       : std::vector<std::uint8_t>(ub.on_machine2));
   BISCHED_CHECK(r.cmax == lo, "exact DP produced inconsistent optimum");
   return r;
 }
@@ -165,36 +293,41 @@ R2Result r2_fptas(std::span<const R2Job> jobs, double eps) {
   // feasible(T) is true for every T >= OPT: scaling by delta only shrinks
   // loads (floor), so OPT's assignment fits the scaled budget floor(T/delta).
   // On acceptance the realized loads are <= T + n*delta <= (1+eps)T.
-  auto feasible = [&](i64 t, std::vector<std::uint8_t>* out) {
+  DpArena arena;
+  arena.s1.resize(jobs.size());
+  arena.s2.resize(jobs.size());
+  auto feasible = [&](i64 t) {
     const i64 delta = std::max<i64>(
         1, static_cast<i64>(eps * static_cast<double>(t) / static_cast<double>(n)));
     const i64 budget = t / delta;
-    std::vector<i64> s1(jobs.size()), s2(jobs.size());
     for (std::size_t j = 0; j < jobs.size(); ++j) {
-      s1[j] = jobs[j].p1 / delta;
-      s2[j] = jobs[j].p2 / delta;
+      arena.s1[j] = jobs[j].p1 / delta;
+      arena.s2[j] = jobs[j].p2 / delta;
     }
-    std::vector<std::uint8_t> on_m2;
-    if (!scaled_feasible(s1, s2, budget, on_m2)) return false;
-    if (out != nullptr) *out = std::move(on_m2);
-    return true;
+    return scaled_feasible(arena, budget);
   };
 
   // Invariant: lo <= OPT (every rejected mid has OPT > mid); hence the final
-  // accepted budget is <= OPT and the realized makespan <= (1+eps) OPT.
+  // accepted budget is <= OPT and the realized makespan <= (1+eps) OPT. The
+  // arena keeps the assignment of the last accepted probe — which is exactly
+  // feasible(lo)'s — so the terminal reconstruction probe only runs when the
+  // search never accepted (then lo is the untested initial hi).
   i64 lo = std::min(lb, greedy.cmax), hi = greedy.cmax;
+  bool accepted = false;
   while (lo < hi) {
     const i64 mid = lo + (hi - lo) / 2;
-    if (feasible(mid, nullptr)) {
+    if (feasible(mid)) {
       hi = mid;
+      accepted = true;
     } else {
       lo = mid + 1;
     }
   }
-  std::vector<std::uint8_t> on_m2;
-  const bool ok = feasible(lo, &on_m2);
-  BISCHED_CHECK(ok, "FPTAS terminal feasibility check failed");
-  return finalize(jobs, std::move(on_m2));
+  if (!accepted) {
+    const bool ok = feasible(lo);
+    BISCHED_CHECK(ok, "FPTAS terminal feasibility check failed");
+  }
+  return finalize(jobs, std::move(arena.assignment));
 }
 
 namespace {
@@ -232,74 +365,111 @@ R3Result r3_greedy(std::span<const R3Job> jobs) {
 
 namespace {
 
-// Two-dimensional trimmed DP: f[l1][l2] = min load3 over the first j jobs
-// with scaled loads (l1, l2) on machines 1 and 2; choices recorded per state.
-bool r3_scaled_feasible(std::span<const i64> s1, std::span<const i64> s2,
-                        std::span<const i64> s3, i64 budget,
-                        std::vector<std::uint8_t>& machine_of) {
-  const std::size_t n = s1.size();
+// Two-dimensional trimmed DP in the seed's push form — kept deliberately:
+// the reachable set of a 2-D load grid is sparse, so the `l3 == kInf`
+// fast-skip beats recomputing three pull candidates per state (measured in
+// bench_hotpaths; the 1-D R2 grid is dense and pulls). What changes against
+// the seed: both rows and the packed choice matrix live in the caller's
+// arena (no per-probe allocation or zeroing), the infinity-fill and the scan
+// cover only the reachable box [0, hi1] x [0, hi2] — which grows by at most
+// (s1[j], s2[j]) per row instead of spanning the full budget² grid — and
+// choices are packed 2 bits per state (75% smaller, so more of the matrix
+// stays in cache). Write order is the seed's, so outputs are bit-identical.
+bool r3_scaled_feasible(DpArena& arena, i64 budget) {
+  const std::size_t n = arena.s1.size();
   const auto width = static_cast<std::size_t>(budget) + 1;
   BISCHED_CHECK(static_cast<double>(n) * static_cast<double>(width) * width <= 4e8,
                 "R3 DP table too large; raise eps or shrink the instance");
 
   const std::size_t cells = width * width;
-  constexpr std::uint8_t kNoChoice = 255;
-  std::vector<i64> cur(cells, kInf);
-  std::vector<i64> next(cells);
-  // choice[j * cells + state] = machine chosen for job j arriving at state.
-  std::vector<std::uint8_t> choice(n * cells, kNoChoice);
-  cur[0] = 0;
+  const std::size_t words = (cells + 31) / 32;  // 2 bits per state
+  arena.cur.resize(cells);
+  arena.next.resize(cells);
+  arena.choice.resize(n * words);
+  arena.cur[0] = 0;
+  std::size_t hi1 = 0, hi2 = 0;
+
+  const auto set_choice = [](std::uint64_t* row, std::size_t state, std::uint64_t c) {
+    const std::size_t shift = 2 * (state % 32);
+    std::uint64_t& word = row[state / 32];
+    word = (word & ~(3ULL << shift)) | (c << shift);
+  };
 
   for (std::size_t j = 0; j < n; ++j) {
-    std::fill(next.begin(), next.end(), kInf);
-    std::uint8_t* choice_j = choice.data() + j * cells;
-    for (std::size_t l1 = 0; l1 < width; ++l1) {
-      for (std::size_t l2 = 0; l2 < width; ++l2) {
+    const auto s1 = static_cast<std::size_t>(arena.s1[j]);
+    const auto s2 = static_cast<std::size_t>(arena.s2[j]);
+    const i64 s3 = std::min(arena.s3[j], kInf);  // kInf + s3 must not overflow
+    const std::size_t hi1n = std::min(width - 1, hi1 + s1);
+    const std::size_t hi2n = std::min(width - 1, hi2 + s2);
+    std::uint64_t* choice_j = arena.choice.data() + j * words;
+    i64* cur = arena.cur.data();
+    i64* next = arena.next.data();
+
+    // Only the box a transition can land in needs the infinity fill; the
+    // grid beyond it holds stale probes and is never read.
+    for (std::size_t l1 = 0; l1 <= hi1n; ++l1) {
+      std::fill(next + l1 * width, next + l1 * width + hi2n + 1, kInf);
+    }
+    for (std::size_t l1 = 0; l1 <= hi1; ++l1) {
+      for (std::size_t l2 = 0; l2 <= hi2; ++l2) {
         const i64 l3 = cur[l1 * width + l2];
         if (l3 == kInf) continue;
-        // Machine 3.
-        const i64 n3 = l3 + s3[j];
-        if (n3 < next[l1 * width + l2]) {
+        // Machine 3. A load3 beyond the budget is a dead end — no later job
+        // shrinks it — so it is pruned to kInf here rather than propagated.
+        // Feasibility, the accepted state scan, and every choice bit the
+        // reconstruction can read are unchanged (a state is only ever on the
+        // reconstruction path while its load3 is within budget); what the
+        // pruning buys is more kInf states for the skip above. The seed
+        // kernel propagated these dead loads through every remaining row.
+        const i64 n3 = l3 + s3;
+        if (n3 <= budget && n3 < next[l1 * width + l2]) {
           next[l1 * width + l2] = n3;
-          choice_j[l1 * width + l2] = 2;
+          set_choice(choice_j, l1 * width + l2, 2);
         }
         // Machine 1.
-        const std::size_t n1 = l1 + static_cast<std::size_t>(s1[j]);
+        const std::size_t n1 = l1 + s1;
         if (n1 < width && l3 < next[n1 * width + l2]) {
           next[n1 * width + l2] = l3;
-          choice_j[n1 * width + l2] = 0;
+          set_choice(choice_j, n1 * width + l2, 0);
         }
         // Machine 2.
-        const std::size_t n2 = l2 + static_cast<std::size_t>(s2[j]);
+        const std::size_t n2 = l2 + s2;
         if (n2 < width && l3 < next[l1 * width + n2]) {
           next[l1 * width + n2] = l3;
-          choice_j[l1 * width + n2] = 1;
+          set_choice(choice_j, l1 * width + n2, 1);
         }
       }
     }
-    cur.swap(next);
+    arena.cur.swap(arena.next);
+    hi1 = hi1n;
+    hi2 = hi2n;
   }
 
-  std::size_t best = cells;
-  for (std::size_t state = 0; state < cells; ++state) {
-    if (cur[state] <= budget) {
-      best = state;
-      break;
+  std::size_t best_l1 = width, best_l2 = width;
+  for (std::size_t l1 = 0; l1 <= hi1 && best_l1 == width; ++l1) {
+    for (std::size_t l2 = 0; l2 <= hi2; ++l2) {
+      if (arena.cur[l1 * width + l2] <= budget) {
+        best_l1 = l1;
+        best_l2 = l2;
+        break;
+      }
     }
   }
-  if (best == cells) return false;
+  if (best_l1 == width) return false;
 
-  machine_of.assign(n, 0);
-  std::size_t l1 = best / width;
-  std::size_t l2 = best % width;
+  arena.assignment.assign(n, 0);
+  std::size_t l1 = best_l1;
+  std::size_t l2 = best_l2;
   for (std::size_t j = n; j-- > 0;) {
-    const std::uint8_t c = choice[j * cells + l1 * width + l2];
-    BISCHED_CHECK(c != kNoChoice, "R3 DP reconstruction hit an unreachable state");
-    machine_of[j] = c;
+    const std::size_t state = l1 * width + l2;
+    const auto c = static_cast<std::uint8_t>(
+        (arena.choice[j * words + state / 32] >> (2 * (state % 32))) & 3ULL);
+    BISCHED_CHECK(c <= 2, "R3 DP reconstruction hit an unreachable state");
+    arena.assignment[j] = c;
     if (c == 0) {
-      l1 -= static_cast<std::size_t>(s1[j]);
+      l1 -= static_cast<std::size_t>(arena.s1[j]);
     } else if (c == 1) {
-      l2 -= static_cast<std::size_t>(s2[j]);
+      l2 -= static_cast<std::size_t>(arena.s2[j]);
     }
   }
   return true;
@@ -325,35 +495,38 @@ R3Result r3_fptas(std::span<const R3Job> jobs, double eps) {
   }
   lb = std::max(lb, (sum_min + 2) / 3);
 
-  auto feasible = [&](i64 t, std::vector<std::uint8_t>* out) {
+  DpArena arena;
+  arena.s1.resize(jobs.size());
+  arena.s2.resize(jobs.size());
+  arena.s3.resize(jobs.size());
+  auto feasible = [&](i64 t) {
     const i64 delta = std::max<i64>(
         1, static_cast<i64>(eps * static_cast<double>(t) / static_cast<double>(n)));
     const i64 budget = t / delta;
-    std::vector<i64> s1(jobs.size()), s2(jobs.size()), s3(jobs.size());
     for (std::size_t j = 0; j < jobs.size(); ++j) {
-      s1[j] = jobs[j].p1 / delta;
-      s2[j] = jobs[j].p2 / delta;
-      s3[j] = jobs[j].p3 / delta;
+      arena.s1[j] = jobs[j].p1 / delta;
+      arena.s2[j] = jobs[j].p2 / delta;
+      arena.s3[j] = jobs[j].p3 / delta;
     }
-    std::vector<std::uint8_t> machine_of;
-    if (!r3_scaled_feasible(s1, s2, s3, budget, machine_of)) return false;
-    if (out != nullptr) *out = std::move(machine_of);
-    return true;
+    return r3_scaled_feasible(arena, budget);
   };
 
   i64 lo = std::min(lb, greedy.cmax), hi = greedy.cmax;
+  bool accepted = false;
   while (lo < hi) {
     const i64 mid = lo + (hi - lo) / 2;
-    if (feasible(mid, nullptr)) {
+    if (feasible(mid)) {
       hi = mid;
+      accepted = true;
     } else {
       lo = mid + 1;
     }
   }
-  std::vector<std::uint8_t> machine_of;
-  const bool ok = feasible(lo, &machine_of);
-  BISCHED_CHECK(ok, "R3 FPTAS terminal feasibility check failed");
-  return r3_finalize(jobs, std::move(machine_of));
+  if (!accepted) {
+    const bool ok = feasible(lo);
+    BISCHED_CHECK(ok, "R3 FPTAS terminal feasibility check failed");
+  }
+  return r3_finalize(jobs, std::move(arena.assignment));
 }
 
 std::int64_t rm_bruteforce_makespan(const std::vector<std::vector<std::int64_t>>& times,

@@ -11,6 +11,11 @@
 //   r2_greedy  — makespan <= sum_j min(p1_j, p2_j) <= 2 * OPT.
 //   r2_exact   — optimal; O(n * UB) time/space with UB the greedy makespan.
 //   r2_fptas   — makespan <= (1+eps) * OPT; O(n^2/eps * log UB) time.
+//
+// The binary searches share one scratch arena across all feasibility probes
+// (no per-probe allocation), the DP kernels run in place over the reachable
+// load window only, and the last accepted probe's reconstruction is returned
+// directly — see docs/perf.md for the kernel design and measurements.
 #pragma once
 
 #include <cstdint>

@@ -212,6 +212,39 @@ TEST_F(BatchTest, RepeatedInstancesHitTheSharedProfileCache) {
   EXPECT_EQ(runner.cache().stats().misses, 1u);
 }
 
+TEST_F(BatchTest, RepeatedInstancesHitTheResultCache) {
+  Rng rng(22);
+  const auto inst = testing::random_uniform_instance(5, 5, 2, 4, 3, rng);
+  const std::vector<std::string> paths = {
+      write_inst("one.inst", inst),
+      write_inst("two.inst", inst),  // same content, different file
+  };
+  BatchOptions options;
+  options.threads = 1;
+  const BatchRunner runner(SolverRegistry::builtin(), options);
+  const auto rows = runner.run(paths);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0].result_cache_used);
+  EXPECT_FALSE(rows[0].result_cache_hit);
+  EXPECT_TRUE(rows[1].result_cache_hit);  // full solve served warm
+  EXPECT_EQ(rows[1].solver, rows[0].solver);
+  EXPECT_EQ(rows[1].makespan, rows[0].makespan);
+  EXPECT_EQ(runner.results().stats().hits, 1u);
+  EXPECT_EQ(runner.results().stats().misses, 1u);
+
+  // A shared cache carries warmth across runners, like the serve loop.
+  engine::ProfileCache shared_probes;
+  engine::ResultCache shared_results;
+  const BatchRunner first(SolverRegistry::builtin(), options, &shared_probes,
+                          &shared_results);
+  (void)first.run(paths);
+  const BatchRunner second(SolverRegistry::builtin(), options, &shared_probes,
+                           &shared_results);
+  const auto warm_rows = second.run(paths);
+  EXPECT_TRUE(warm_rows[0].result_cache_hit);
+  EXPECT_TRUE(warm_rows[1].result_cache_hit);
+}
+
 TEST_F(BatchTest, MalformedInstanceYieldsErrorRowNotCrash) {
   Rng rng(5);
   const std::vector<std::string> paths = {
@@ -276,6 +309,8 @@ TEST_F(BatchTest, CsvAndJsonSerializeAllRows) {
   ok_row.machines = 2;
   ok_row.instance_hash = "00000000deadbeef";
   ok_row.cache_hit = true;
+  ok_row.result_cache_used = true;
+  ok_row.result_cache_hit = true;
   ok_row.solver = "alg1";
   ok_row.guarantee = "sqrt(sum p)";
   ok_row.makespan = "7/2";
@@ -291,7 +326,7 @@ TEST_F(BatchTest, CsvAndJsonSerializeAllRows) {
   const std::string csv_text = csv.str();
   EXPECT_NE(csv_text.find("\"with,comma.inst\""), std::string::npos);
   EXPECT_NE(csv_text.find("7/2"), std::string::npos);
-  EXPECT_NE(csv_text.find(",hit,"), std::string::npos);
+  EXPECT_NE(csv_text.find(",hit,hit,"), std::string::npos);  // cache + solve_cache
   EXPECT_EQ(std::count(csv_text.begin(), csv_text.end(), '\n'), 3);  // header + 2 rows
 
   // JSON output is JSON Lines: one self-contained object per row, no array
@@ -303,6 +338,9 @@ TEST_F(BatchTest, CsvAndJsonSerializeAllRows) {
   EXPECT_EQ(std::count(json_text.begin(), json_text.end(), '\n'), 2);  // 2 rows
   EXPECT_NE(json_text.find("\"makespan\": \"7/2\""), std::string::npos);
   EXPECT_NE(json_text.find("\"cache\": \"hit\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"solve_cache\": \"hit\""), std::string::npos);
+  // The error row never reached the caches: both provenance fields stay "".
+  EXPECT_NE(json_text.find("\"solve_cache\": \"\""), std::string::npos);
   EXPECT_NE(json_text.find("\\\"p\\\""), std::string::npos);  // escaped quotes
 }
 

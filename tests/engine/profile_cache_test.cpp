@@ -118,19 +118,24 @@ TEST(ProfileCache, ServesBothModelsAndClearResets) {
   EXPECT_FALSE(cache.profile(q).hit);
 }
 
-TEST(ProfileCache, CapacityBoundTriggersGenerationReset) {
+TEST(ProfileCache, CapacityBoundEvictsLeastRecentlyUsed) {
   Rng rng(32);
-  ProfileCache cache(2);  // tiny: the third distinct insert clears the map
+  ProfileCache cache(2);  // tiny: the third distinct insert evicts the LRU entry
   const auto a = testing::random_uniform_instance(3, 3, 2, 3, 2, rng);
   const auto b = testing::random_uniform_instance(3, 3, 2, 3, 2, rng);
   const auto c = testing::random_uniform_instance(3, 3, 2, 3, 2, rng);
   cache.profile(a);
   cache.profile(b);
-  cache.profile(c);  // map was full: cleared, then c inserted
-  EXPECT_LE(cache.stats().entries, 2u);
+  EXPECT_TRUE(cache.profile(a).hit);  // promotes a: b is now the LRU entry
+  cache.profile(c);                   // evicts b
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.profile(a).hit);
+  EXPECT_TRUE(cache.profile(c).hit);
   // Correctness is unaffected by eviction — only hit rate.
-  const auto again = cache.profile(a);
-  EXPECT_EQ(again.profile.total_work, engine::probe(a).total_work);
+  const auto again = cache.profile(b);
+  EXPECT_FALSE(again.hit);
+  EXPECT_EQ(again.profile.total_work, engine::probe(b).total_work);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "graph/matching.hpp"
 #include "random/generators.hpp"
+#include "reference_kernels.hpp"
 #include "util/prng.hpp"
 
 namespace bisched {
@@ -115,6 +116,80 @@ TEST(Dinic, ReproducesBipartiteMatchingSizes) {
 TEST(DinicDeath, SourceEqualsSink) {
   Dinic d(2);
   EXPECT_DEATH(d.max_flow(1, 1), "source equals sink");
+}
+
+// The CSR rewrite freezes each node's edges in reverse insertion order —
+// exactly the old intrusive-list traversal — so not just the (unique) flow
+// value but the whole residual graph must match the seed implementation
+// preserved in tests/reference_kernels.hpp: per-edge flows and the min-cut
+// source side are compared bit for bit on random digraphs.
+TEST(DinicDifferential, CsrMatchesSeedResidualsBitForBit) {
+  Rng rng(777);
+  for (int iter = 0; iter < 60; ++iter) {
+    const int n = 2 + static_cast<int>(rng.uniform_int(0, 10));
+    Dinic csr(n);
+    reference::Dinic seed(n);
+    std::vector<int> ids;
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        if (u == v) continue;
+        if (rng.bernoulli(0.35)) {
+          const std::int64_t cap =
+              rng.bernoulli(0.15) ? Dinic::kCapInfinity : rng.uniform_int(0, 12);
+          const int id = csr.add_edge(u, v, cap);
+          ASSERT_EQ(id, seed.add_edge(u, v, cap));
+          ids.push_back(id);
+        }
+      }
+    }
+    const int s = 0;
+    const int t = n - 1;
+    EXPECT_EQ(csr.max_flow(s, t), seed.max_flow(s, t)) << "iter " << iter;
+    for (const int id : ids) {
+      EXPECT_EQ(csr.flow_on(id), seed.flow_on(id)) << "iter " << iter << " edge " << id;
+    }
+    EXPECT_EQ(csr.min_cut_source_side(s), seed.min_cut_source_side(s))
+        << "iter " << iter;
+  }
+}
+
+// The MWIS shape Algorithm 1 actually min-cuts on: weighted bipartite sides
+// with infinite middle edges.
+TEST(DinicDifferential, CsrMatchesSeedOnMwisNetworks) {
+  Rng rng(778);
+  for (int iter = 0; iter < 30; ++iter) {
+    const int a = 1 + static_cast<int>(rng.uniform_int(0, 8));
+    const int b = 1 + static_cast<int>(rng.uniform_int(0, 8));
+    const Graph g = random_bipartite_edges(
+        a, b, rng.uniform_int(0, static_cast<std::int64_t>(a) * b), rng);
+    const int n = a + b;
+    Dinic csr(n + 2);
+    reference::Dinic seed(n + 2);
+    const int source = n;
+    const int sink = n + 1;
+    const auto add_both = [&](int u, int v, std::int64_t cap) {
+      ASSERT_EQ(csr.add_edge(u, v, cap), seed.add_edge(u, v, cap));
+    };
+    for (int v = 0; v < n; ++v) {
+      if (v < a) {
+        add_both(source, v, rng.uniform_int(0, 20));
+        for (int u : g.neighbors(v)) add_both(v, u, Dinic::kCapInfinity);
+      } else {
+        add_both(v, sink, rng.uniform_int(0, 20));
+      }
+    }
+    EXPECT_EQ(csr.max_flow(source, sink), seed.max_flow(source, sink)) << "iter " << iter;
+    EXPECT_EQ(csr.min_cut_source_side(source), seed.min_cut_source_side(source))
+        << "iter " << iter;
+  }
+}
+
+TEST(DinicDeath, AddEdgeAfterMaxFlowIsRejected) {
+  Dinic d(3);
+  d.add_edge(0, 1, 2);
+  d.add_edge(1, 2, 2);
+  d.max_flow(0, 2);
+  EXPECT_DEATH(d.add_edge(0, 2, 1), "add_edge after max_flow");
 }
 
 }  // namespace

@@ -1,0 +1,449 @@
+// Pre-optimization reference kernels, verbatim from the seed tree.
+//
+// PR 3 rewrote the R2/R3 FPTAS DP kernels (arena-backed, in-place pull form,
+// window-pruned — src/sched/makespan_solvers.cpp) and Dinic (CSR adjacency,
+// ring-buffer BFS — src/graph/maxflow.cpp) with the contract that results
+// stay *bit-identical*: same makespans, same assignments, same residual
+// graphs and min-cut sides. This header preserves the seed implementations
+// as the ground truth for that contract; the differential tests
+// (tests/sched/kernel_differential_test.cpp, tests/graph/maxflow_test.cpp)
+// compare the optimized library against it on randomized instances, and
+// bench/bench_hotpaths.cpp measures the speedup against it. Deliberately
+// unoptimized — do not "fix" or speed these up; their value is being the old
+// behavior.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "sched/makespan_solvers.hpp"
+#include "util/check.hpp"
+
+namespace bisched::reference {
+
+using i64 = std::int64_t;
+inline constexpr i64 kInf = std::numeric_limits<i64>::max() / 4;
+
+// ---- seed R2 kernel --------------------------------------------------------
+
+class ChoiceBits {
+ public:
+  ChoiceBits(std::size_t rows, std::size_t cols)
+      : words_((cols + 63) / 64), data_(rows * words_, 0) {}
+
+  void set(std::size_t r, std::size_t c, bool bit) {
+    auto& word = data_[r * words_ + c / 64];
+    const std::uint64_t mask = 1ULL << (c % 64);
+    word = bit ? (word | mask) : (word & ~mask);
+  }
+  bool get(std::size_t r, std::size_t c) const {
+    return (data_[r * words_ + c / 64] >> (c % 64)) & 1ULL;
+  }
+
+ private:
+  std::size_t words_;
+  std::vector<std::uint64_t> data_;
+};
+
+inline R2Result finalize(std::span<const R2Job> jobs, std::vector<std::uint8_t> on_m2) {
+  R2Result r;
+  r.on_machine2 = std::move(on_m2);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (r.on_machine2[j]) {
+      r.load2 += jobs[j].p2;
+    } else {
+      r.load1 += jobs[j].p1;
+    }
+  }
+  r.cmax = std::max(r.load1, r.load2);
+  return r;
+}
+
+inline bool scaled_feasible(std::span<const i64> s1, std::span<const i64> s2,
+                            i64 budget, std::vector<std::uint8_t>& on_m2) {
+  BISCHED_CHECK(budget >= 0, "negative DP budget");
+  const std::size_t n = s1.size();
+  const auto width = static_cast<std::size_t>(budget) + 1;
+  BISCHED_CHECK(static_cast<double>(n) * static_cast<double>(width) <= 2e9,
+                "R2 DP table too large; reduce instance or raise eps");
+
+  std::vector<i64> cur(width, kInf);
+  std::vector<i64> next(width);
+  cur[0] = 0;
+  ChoiceBits choice(n, width);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    std::fill(next.begin(), next.end(), kInf);
+    for (std::size_t l1 = 0; l1 < width; ++l1) {
+      if (cur[l1] == kInf) continue;
+      const i64 via_m2 = cur[l1] + s2[j];
+      if (via_m2 < next[l1]) {
+        next[l1] = via_m2;
+        choice.set(j, l1, false);
+      }
+      const std::size_t nl1 = l1 + static_cast<std::size_t>(s1[j]);
+      if (nl1 < width && cur[l1] < next[nl1]) {
+        next[nl1] = cur[l1];
+        choice.set(j, nl1, true);
+      }
+    }
+    cur.swap(next);
+  }
+
+  std::size_t l1 = width;
+  for (std::size_t cand = 0; cand < width; ++cand) {
+    if (cur[cand] <= budget) {
+      l1 = cand;
+      break;
+    }
+  }
+  if (l1 == width) return false;
+
+  on_m2.assign(n, 0);
+  for (std::size_t j = n; j-- > 0;) {
+    if (choice.get(j, l1)) {
+      on_m2[j] = 0;
+      BISCHED_CHECK(l1 >= static_cast<std::size_t>(s1[j]), "DP reconstruction failed");
+      l1 -= static_cast<std::size_t>(s1[j]);
+    } else {
+      on_m2[j] = 1;
+    }
+  }
+  return true;
+}
+
+inline R2Result r2_exact(std::span<const R2Job> jobs) {
+  for (const auto& job : jobs) BISCHED_CHECK(job.p1 >= 0 && job.p2 >= 0, "negative time");
+  const R2Result ub = bisched::r2_greedy(jobs);
+  if (ub.cmax == 0) return ub;
+
+  std::vector<i64> s1(jobs.size()), s2(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    s1[j] = jobs[j].p1;
+    s2[j] = jobs[j].p2;
+  }
+  i64 lo = 0, hi = ub.cmax;
+  std::vector<std::uint8_t> best_assignment = ub.on_machine2;
+  while (lo < hi) {
+    const i64 mid = lo + (hi - lo) / 2;
+    std::vector<std::uint8_t> on_m2;
+    if (scaled_feasible(s1, s2, mid, on_m2)) {
+      hi = mid;
+      best_assignment = std::move(on_m2);
+    } else {
+      lo = mid + 1;
+    }
+  }
+  R2Result r = finalize(jobs, std::move(best_assignment));
+  BISCHED_CHECK(r.cmax == lo, "exact DP produced inconsistent optimum");
+  return r;
+}
+
+inline R2Result r2_fptas(std::span<const R2Job> jobs, double eps) {
+  BISCHED_CHECK(eps > 0, "eps must be positive");
+  for (const auto& job : jobs) BISCHED_CHECK(job.p1 >= 0 && job.p2 >= 0, "negative time");
+  const R2Result greedy = bisched::r2_greedy(jobs);
+  if (greedy.cmax == 0 || jobs.empty()) return greedy;
+
+  const auto n = static_cast<i64>(jobs.size());
+  i64 lb = 1;
+  i64 sum_min = 0;
+  for (const auto& job : jobs) {
+    lb = std::max(lb, std::min(job.p1, job.p2));
+    sum_min += std::min(job.p1, job.p2);
+  }
+  lb = std::max(lb, (sum_min + 1) / 2);
+
+  auto feasible = [&](i64 t, std::vector<std::uint8_t>* out) {
+    const i64 delta = std::max<i64>(
+        1, static_cast<i64>(eps * static_cast<double>(t) / static_cast<double>(n)));
+    const i64 budget = t / delta;
+    std::vector<i64> s1(jobs.size()), s2(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      s1[j] = jobs[j].p1 / delta;
+      s2[j] = jobs[j].p2 / delta;
+    }
+    std::vector<std::uint8_t> on_m2;
+    if (!scaled_feasible(s1, s2, budget, on_m2)) return false;
+    if (out != nullptr) *out = std::move(on_m2);
+    return true;
+  };
+
+  i64 lo = std::min(lb, greedy.cmax), hi = greedy.cmax;
+  while (lo < hi) {
+    const i64 mid = lo + (hi - lo) / 2;
+    if (feasible(mid, nullptr)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  std::vector<std::uint8_t> on_m2;
+  const bool ok = feasible(lo, &on_m2);
+  BISCHED_CHECK(ok, "FPTAS terminal feasibility check failed");
+  return finalize(jobs, std::move(on_m2));
+}
+
+// ---- seed R3 kernel --------------------------------------------------------
+
+inline R3Result r3_finalize(std::span<const R3Job> jobs,
+                            std::vector<std::uint8_t> machine_of) {
+  R3Result r;
+  r.machine_of = std::move(machine_of);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    switch (r.machine_of[j]) {
+      case 0:
+        r.loads[0] += jobs[j].p1;
+        break;
+      case 1:
+        r.loads[1] += jobs[j].p2;
+        break;
+      default:
+        r.loads[2] += jobs[j].p3;
+        break;
+    }
+  }
+  r.cmax = std::max({r.loads[0], r.loads[1], r.loads[2]});
+  return r;
+}
+
+inline bool r3_scaled_feasible(std::span<const i64> s1, std::span<const i64> s2,
+                               std::span<const i64> s3, i64 budget,
+                               std::vector<std::uint8_t>& machine_of) {
+  const std::size_t n = s1.size();
+  const auto width = static_cast<std::size_t>(budget) + 1;
+  BISCHED_CHECK(static_cast<double>(n) * static_cast<double>(width) * width <= 4e8,
+                "R3 DP table too large; raise eps or shrink the instance");
+
+  const std::size_t cells = width * width;
+  constexpr std::uint8_t kNoChoice = 255;
+  std::vector<i64> cur(cells, kInf);
+  std::vector<i64> next(cells);
+  std::vector<std::uint8_t> choice(n * cells, kNoChoice);
+  cur[0] = 0;
+
+  for (std::size_t j = 0; j < n; ++j) {
+    std::fill(next.begin(), next.end(), kInf);
+    std::uint8_t* choice_j = choice.data() + j * cells;
+    for (std::size_t l1 = 0; l1 < width; ++l1) {
+      for (std::size_t l2 = 0; l2 < width; ++l2) {
+        const i64 l3 = cur[l1 * width + l2];
+        if (l3 == kInf) continue;
+        const i64 n3 = l3 + s3[j];
+        if (n3 < next[l1 * width + l2]) {
+          next[l1 * width + l2] = n3;
+          choice_j[l1 * width + l2] = 2;
+        }
+        const std::size_t n1 = l1 + static_cast<std::size_t>(s1[j]);
+        if (n1 < width && l3 < next[n1 * width + l2]) {
+          next[n1 * width + l2] = l3;
+          choice_j[n1 * width + l2] = 0;
+        }
+        const std::size_t n2 = l2 + static_cast<std::size_t>(s2[j]);
+        if (n2 < width && l3 < next[l1 * width + n2]) {
+          next[l1 * width + n2] = l3;
+          choice_j[l1 * width + n2] = 1;
+        }
+      }
+    }
+    cur.swap(next);
+  }
+
+  std::size_t best = cells;
+  for (std::size_t state = 0; state < cells; ++state) {
+    if (cur[state] <= budget) {
+      best = state;
+      break;
+    }
+  }
+  if (best == cells) return false;
+
+  machine_of.assign(n, 0);
+  std::size_t l1 = best / width;
+  std::size_t l2 = best % width;
+  for (std::size_t j = n; j-- > 0;) {
+    const std::uint8_t c = choice[j * cells + l1 * width + l2];
+    BISCHED_CHECK(c != kNoChoice, "R3 DP reconstruction hit an unreachable state");
+    machine_of[j] = c;
+    if (c == 0) {
+      l1 -= static_cast<std::size_t>(s1[j]);
+    } else if (c == 1) {
+      l2 -= static_cast<std::size_t>(s2[j]);
+    }
+  }
+  return true;
+}
+
+inline R3Result r3_fptas(std::span<const R3Job> jobs, double eps) {
+  BISCHED_CHECK(eps > 0, "eps must be positive");
+  for (const auto& job : jobs) {
+    BISCHED_CHECK(job.p1 >= 0 && job.p2 >= 0 && job.p3 >= 0, "negative time");
+  }
+  const R3Result greedy = bisched::r3_greedy(jobs);
+  if (greedy.cmax == 0 || jobs.empty()) return greedy;
+
+  const auto n = static_cast<i64>(jobs.size());
+  i64 lb = 1;
+  i64 sum_min = 0;
+  for (const auto& job : jobs) {
+    const i64 mn = std::min({job.p1, job.p2, job.p3});
+    lb = std::max(lb, mn);
+    sum_min += mn;
+  }
+  lb = std::max(lb, (sum_min + 2) / 3);
+
+  auto feasible = [&](i64 t, std::vector<std::uint8_t>* out) {
+    const i64 delta = std::max<i64>(
+        1, static_cast<i64>(eps * static_cast<double>(t) / static_cast<double>(n)));
+    const i64 budget = t / delta;
+    std::vector<i64> s1(jobs.size()), s2(jobs.size()), s3(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      s1[j] = jobs[j].p1 / delta;
+      s2[j] = jobs[j].p2 / delta;
+      s3[j] = jobs[j].p3 / delta;
+    }
+    std::vector<std::uint8_t> machine_of;
+    if (!r3_scaled_feasible(s1, s2, s3, budget, machine_of)) return false;
+    if (out != nullptr) *out = std::move(machine_of);
+    return true;
+  };
+
+  i64 lo = std::min(lb, greedy.cmax), hi = greedy.cmax;
+  while (lo < hi) {
+    const i64 mid = lo + (hi - lo) / 2;
+    if (feasible(mid, nullptr)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  std::vector<std::uint8_t> machine_of;
+  const bool ok = feasible(lo, &machine_of);
+  BISCHED_CHECK(ok, "R3 FPTAS terminal feasibility check failed");
+  return r3_finalize(jobs, std::move(machine_of));
+}
+
+// ---- seed Dinic (intrusive adjacency lists + std::queue BFS) ---------------
+
+class Dinic {
+ public:
+  static constexpr std::int64_t kCapInfinity = INT64_MAX / 4;
+
+  explicit Dinic(int num_nodes)
+      : head_(static_cast<std::size_t>(num_nodes), -1),
+        level_(static_cast<std::size_t>(num_nodes), -1),
+        iter_(static_cast<std::size_t>(num_nodes), -1) {
+    BISCHED_CHECK(num_nodes >= 0, "negative node count");
+  }
+
+  int num_nodes() const { return static_cast<int>(head_.size()); }
+
+  int add_edge(int u, int v, std::int64_t capacity) {
+    BISCHED_CHECK(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes(),
+                  "flow edge endpoint out of range");
+    BISCHED_CHECK(capacity >= 0, "negative capacity");
+    const int id = static_cast<int>(edges_.size());
+    edges_.push_back({v, head_[static_cast<std::size_t>(u)], capacity});
+    head_[static_cast<std::size_t>(u)] = id;
+    edges_.push_back({u, head_[static_cast<std::size_t>(v)], 0});
+    head_[static_cast<std::size_t>(v)] = id + 1;
+    return id;
+  }
+
+  std::int64_t max_flow(int s, int t) {
+    BISCHED_CHECK(s != t, "source equals sink");
+    std::int64_t flow = 0;
+    while (bfs(s, t)) {
+      iter_ = head_;
+      flow += dfs(s, t, kCapInfinity);
+    }
+    return flow;
+  }
+
+  std::int64_t flow_on(int id) const {
+    BISCHED_CHECK(id >= 0 && id + 1 < static_cast<int>(edges_.size()), "bad edge id");
+    return edges_[static_cast<std::size_t>(id ^ 1)].cap;
+  }
+
+  std::vector<std::uint8_t> min_cut_source_side(int s) const {
+    std::vector<std::uint8_t> reachable(head_.size(), 0);
+    std::queue<int> queue;
+    reachable[static_cast<std::size_t>(s)] = 1;
+    queue.push(s);
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      for (int e = head_[static_cast<std::size_t>(u)]; e != -1;
+           e = edges_[static_cast<std::size_t>(e)].next) {
+        const auto& edge = edges_[static_cast<std::size_t>(e)];
+        if (edge.cap > 0 && !reachable[static_cast<std::size_t>(edge.to)]) {
+          reachable[static_cast<std::size_t>(edge.to)] = 1;
+          queue.push(edge.to);
+        }
+      }
+    }
+    return reachable;
+  }
+
+ private:
+  struct Edge {
+    int to;
+    int next;
+    std::int64_t cap;
+  };
+
+  bool bfs(int s, int t) {
+    std::fill(level_.begin(), level_.end(), -1);
+    std::queue<int> queue;
+    level_[static_cast<std::size_t>(s)] = 0;
+    queue.push(s);
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      for (int e = head_[static_cast<std::size_t>(u)]; e != -1;
+           e = edges_[static_cast<std::size_t>(e)].next) {
+        const auto& edge = edges_[static_cast<std::size_t>(e)];
+        if (edge.cap > 0 && level_[static_cast<std::size_t>(edge.to)] == -1) {
+          level_[static_cast<std::size_t>(edge.to)] =
+              level_[static_cast<std::size_t>(u)] + 1;
+          queue.push(edge.to);
+        }
+      }
+    }
+    return level_[static_cast<std::size_t>(t)] != -1;
+  }
+
+  std::int64_t dfs(int u, int t, std::int64_t limit) {
+    if (u == t) return limit;
+    std::int64_t pushed_total = 0;
+    for (int& e = iter_[static_cast<std::size_t>(u)]; e != -1;
+         e = edges_[static_cast<std::size_t>(e)].next) {
+      auto& edge = edges_[static_cast<std::size_t>(e)];
+      if (edge.cap <= 0 ||
+          level_[static_cast<std::size_t>(edge.to)] !=
+              level_[static_cast<std::size_t>(u)] + 1) {
+        continue;
+      }
+      const std::int64_t pushed = dfs(edge.to, t, std::min(limit, edge.cap));
+      if (pushed == 0) continue;
+      edge.cap -= pushed;
+      edges_[static_cast<std::size_t>(e ^ 1)].cap += pushed;
+      pushed_total += pushed;
+      limit -= pushed;
+      if (limit == 0) break;
+    }
+    if (pushed_total == 0) level_[static_cast<std::size_t>(u)] = -1;
+    return pushed_total;
+  }
+
+  std::vector<Edge> edges_;
+  std::vector<int> head_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace bisched::reference

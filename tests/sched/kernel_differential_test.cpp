@@ -1,0 +1,127 @@
+// Differential tests for the PR-3 kernel rewrite: the arena-backed,
+// window-pruned R2/R3 DP kernels must return *bit-identical* results — same
+// cmax, same loads, same per-job assignment — as the seed kernels preserved
+// in tests/reference_kernels.hpp, across randomized instances that exercise
+// the rewrite's edge cases (zero processing times, which flip the tie-break
+// priority; duplicate times, which create ties; tiny and empty instances;
+// and eps values from coarse to fine, which move the scaled-size-0
+// boundary).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "reference_kernels.hpp"
+#include "sched/makespan_solvers.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+std::vector<R2Job> random_r2_jobs(int n, std::int64_t tmin, std::int64_t tmax, Rng& rng) {
+  std::vector<R2Job> jobs(static_cast<std::size_t>(n));
+  for (auto& job : jobs) {
+    job.p1 = rng.uniform_int(tmin, tmax);
+    job.p2 = rng.uniform_int(tmin, tmax);
+  }
+  return jobs;
+}
+
+std::vector<R3Job> random_r3_jobs(int n, std::int64_t tmin, std::int64_t tmax, Rng& rng) {
+  std::vector<R3Job> jobs(static_cast<std::size_t>(n));
+  for (auto& job : jobs) {
+    job.p1 = rng.uniform_int(tmin, tmax);
+    job.p2 = rng.uniform_int(tmin, tmax);
+    job.p3 = rng.uniform_int(tmin, tmax);
+  }
+  return jobs;
+}
+
+void expect_r2_identical(const R2Result& want, const R2Result& got, const char* what,
+                         int trial) {
+  EXPECT_EQ(want.cmax, got.cmax) << what << " trial " << trial;
+  EXPECT_EQ(want.load1, got.load1) << what << " trial " << trial;
+  EXPECT_EQ(want.load2, got.load2) << what << " trial " << trial;
+  EXPECT_EQ(want.on_machine2, got.on_machine2) << what << " trial " << trial;
+}
+
+TEST(KernelDifferential, R2ExactMatchesSeedBitForBit) {
+  Rng rng(1001);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 30));
+    // tmin 0 exercises zero-size jobs (the s1 == 0 tie-break flip); a small
+    // range forces many exact ties.
+    const std::int64_t tmax = 1 + rng.uniform_int(0, 40);
+    const auto jobs = random_r2_jobs(n, 0, tmax, rng);
+    expect_r2_identical(reference::r2_exact(jobs), r2_exact(jobs), "r2_exact", trial);
+  }
+}
+
+TEST(KernelDifferential, R2FptasMatchesSeedBitForBit) {
+  Rng rng(1002);
+  const double epsilons[] = {1.0, 0.5, 0.2, 0.1, 0.03};
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 40));
+    const std::int64_t tmax = 1 + rng.uniform_int(0, 200);
+    const auto jobs = random_r2_jobs(n, 0, tmax, rng);
+    const double eps = epsilons[trial % 5];
+    expect_r2_identical(reference::r2_fptas(jobs, eps), r2_fptas(jobs, eps), "r2_fptas",
+                        trial);
+  }
+}
+
+TEST(KernelDifferential, R2EdgeCases) {
+  // Empty, single-job, all-zero, and identical-jobs instances.
+  const std::vector<R2Job> empty;
+  expect_r2_identical(reference::r2_fptas(empty, 0.1), r2_fptas(empty, 0.1), "empty", 0);
+
+  const std::vector<R2Job> zeros(5, R2Job{0, 0});
+  expect_r2_identical(reference::r2_fptas(zeros, 0.1), r2_fptas(zeros, 0.1), "zeros", 0);
+  expect_r2_identical(reference::r2_exact(zeros), r2_exact(zeros), "zeros", 0);
+
+  const std::vector<R2Job> same(7, R2Job{4, 4});
+  expect_r2_identical(reference::r2_exact(same), r2_exact(same), "same", 0);
+  expect_r2_identical(reference::r2_fptas(same, 0.5), r2_fptas(same, 0.5), "same", 0);
+
+  const std::vector<R2Job> one = {{9, 2}};
+  expect_r2_identical(reference::r2_exact(one), r2_exact(one), "one", 0);
+}
+
+TEST(KernelDifferential, R3FptasMatchesSeedBitForBit) {
+  Rng rng(1003);
+  const double epsilons[] = {1.0, 0.6, 0.4, 0.25};
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 14));
+    const std::int64_t tmax = 1 + rng.uniform_int(0, 60);
+    const auto jobs = random_r3_jobs(n, 0, tmax, rng);
+    const double eps = epsilons[trial % 4];
+    const R3Result want = reference::r3_fptas(jobs, eps);
+    const R3Result got = r3_fptas(jobs, eps);
+    EXPECT_EQ(want.cmax, got.cmax) << "trial " << trial;
+    EXPECT_EQ(want.loads[0], got.loads[0]) << "trial " << trial;
+    EXPECT_EQ(want.loads[1], got.loads[1]) << "trial " << trial;
+    EXPECT_EQ(want.loads[2], got.loads[2]) << "trial " << trial;
+    EXPECT_EQ(want.machine_of, got.machine_of) << "trial " << trial;
+  }
+}
+
+TEST(KernelDifferential, R3ZeroSizeJobsFlipTieOrder) {
+  // Scaled sizes of 0 reorder the seed's write sequence per machine; feed
+  // literal zeros so every priority permutation is exercised.
+  Rng rng(1004);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 10));
+    std::vector<R3Job> jobs(static_cast<std::size_t>(n));
+    for (auto& job : jobs) {
+      job.p1 = rng.uniform_int(0, 3);
+      job.p2 = rng.uniform_int(0, 3);
+      job.p3 = rng.uniform_int(0, 3);
+    }
+    const R3Result want = reference::r3_fptas(jobs, 0.3);
+    const R3Result got = r3_fptas(jobs, 0.3);
+    EXPECT_EQ(want.cmax, got.cmax) << "trial " << trial;
+    EXPECT_EQ(want.machine_of, got.machine_of) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace bisched

@@ -318,10 +318,13 @@ int cmd_batch(int argc, char** argv) {
   }
 
   const auto cache = runner.cache().stats();
+  const auto results = runner.results().stats();
   std::cerr << "batch: " << total << " instances (shard " << options.shard.index << "/"
             << options.shard.count << "), " << failures << " failures, "
             << options.threads << " threads, probe cache " << cache.hits << " hits / "
-            << cache.misses << " misses\n";
+            << cache.misses << " misses / " << cache.evictions << " evictions, "
+            << "result cache " << results.hits << " hits / " << results.misses
+            << " misses / " << results.evictions << " evictions\n";
   return failures == 0 ? 0 : 1;
 }
 
@@ -343,7 +346,10 @@ int cmd_serve(int argc, char** argv) {
       engine::serve(engine::SolverRegistry::builtin(), std::cin, std::cout, options);
   std::cerr << "serve: " << stats.requests << " requests, " << stats.ok << " ok, "
             << stats.errors << " errors, probe cache " << stats.cache.hits << " hits / "
-            << stats.cache.misses << " misses (" << stats.cache.entries
+            << stats.cache.misses << " misses / " << stats.cache.evictions
+            << " evictions (" << stats.cache.entries << " entries), result cache "
+            << stats.results.hits << " hits / " << stats.results.misses << " misses / "
+            << stats.results.evictions << " evictions (" << stats.results.entries
             << " entries)\n";
   return stats.errors == 0 ? 0 : 1;
 }

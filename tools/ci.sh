@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # One-command tier-1 verify: configure the `ci` preset (-Wall -Wextra -Werror
 # plus ASan/UBSan), build everything, run the full ctest suite, then smoke
-# the streaming batch pipeline (sharded) and the serve loop end to end with
-# the sanitized CLI.
+# the streaming batch pipeline (sharded), the serve loop (probe + result
+# cache hits), and the hot-path bench's JSON report end to end with the
+# sanitized binaries. Single-threaded where it matters: the CI runner has
+# one CPU.
 #
 #   $ tools/ci.sh [extra ctest args...]
 set -eu
@@ -40,8 +42,42 @@ rows1=$(($(wc -l < "$SMOKE/s1.csv") - 1))
   printf 'quit\n'
 } | "$CLI" serve --stable --threads=1 > "$SMOKE/serve.out"
 grep -q '"id": "repeat".*"cache": "hit"' "$SMOKE/serve.out" || {
-  echo "ci.sh: serve smoke failed: no warm cache hit recorded" >&2
+  echo "ci.sh: serve smoke failed: no warm probe-cache hit recorded" >&2
   cat "$SMOKE/serve.out" >&2
   exit 1
 }
-echo "ci.sh: batch --shard and serve smoke OK"
+grep -q '"id": "repeat".*"solve_cache": "hit"' "$SMOKE/serve.out" || {
+  echo "ci.sh: serve smoke failed: no warm result-cache hit recorded" >&2
+  cat "$SMOKE/serve.out" >&2
+  exit 1
+}
+
+# ---------------------------------------------------------- bench smoke ---
+# The perf trajectory must stay machine-readable: the hot-path microbench
+# runs in its CI-sized --quick shape on one thread and has to emit a valid
+# BENCH_hotpaths.json with a nonempty rows array. (Timings under ASan/UBSan
+# are meaningless; this validates the harness, not the speedup — see
+# docs/perf.md for how the real numbers are produced.)
+BENCH_JSON="$SMOKE/BENCH_hotpaths.json"
+build-ci/bench/bench_hotpaths --quick --json-out="$BENCH_JSON" > "$SMOKE/bench.out" || {
+  echo "ci.sh: bench smoke failed: bench_hotpaths exited nonzero" >&2
+  cat "$SMOKE/bench.out" >&2
+  exit 1
+}
+[ -s "$BENCH_JSON" ] || {
+  echo "ci.sh: bench smoke failed: $BENCH_JSON missing or empty" >&2
+  exit 1
+}
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$BENCH_JSON" > /dev/null || {
+    echo "ci.sh: bench smoke failed: $BENCH_JSON is not valid JSON" >&2
+    cat "$BENCH_JSON" >&2
+    exit 1
+  }
+fi
+grep -q '"rows": \[' "$BENCH_JSON" && grep -q '"kernel": "r2_fptas"' "$BENCH_JSON" || {
+  echo "ci.sh: bench smoke failed: $BENCH_JSON has no kernel rows" >&2
+  cat "$BENCH_JSON" >&2
+  exit 1
+}
+echo "ci.sh: batch --shard, serve, and bench smoke OK"
