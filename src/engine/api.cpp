@@ -1,0 +1,274 @@
+#include "engine/api.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "engine/portfolio.hpp"
+#include "io/jsonl.hpp"
+#include "sched/instance_hash.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace bisched::engine {
+
+SolveOptions resolved_options(const SolveRequest& req, const SolveOptions& defaults) {
+  SolveOptions out = defaults;
+  if (req.has_eps) out.eps = req.eps;
+  if (req.has_run_all) out.run_all = req.run_all;
+  if (req.has_budget_ms) out.budget_ms = req.budget_ms;
+  return out;
+}
+
+// ----------------------------------------------------------------- codec ---
+
+std::string encode_request_json(const SolveRequest& req) {
+  std::ostringstream out;
+  out << "{\"v\": " << kApiVersion;
+  if (!req.id.empty()) out << ", \"id\": " << json_quote(req.id);
+  if (!req.path.empty()) out << ", \"path\": " << json_quote(req.path);
+  if (req.has_inline_text) out << ", \"instance\": " << json_quote(req.inline_text);
+  if (!req.alg.empty()) out << ", \"alg\": " << json_quote(req.alg);
+  if (req.has_eps) out << ", \"eps\": " << fmt_double_exact(req.eps);
+  if (req.has_run_all) out << ", \"all\": " << (req.run_all ? "true" : "false");
+  if (req.has_budget_ms) out << ", \"budget_ms\": " << fmt_double_exact(req.budget_ms);
+  out << '}';
+  return out.str();
+}
+
+namespace {
+
+bool parse_double_field(const std::string& text, double* out) {
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+std::optional<SolveRequest> decode_request_json(const std::string& line,
+                                                std::string* error,
+                                                std::string* salvaged_id) {
+  std::string local;
+  std::string& err = error != nullptr ? *error : local;
+  const auto object = parse_flat_json_object(line, &err);
+  if (!object.has_value()) return std::nullopt;
+  if (salvaged_id != nullptr) {
+    const auto id_it = object->find("id");
+    if (id_it != object->end()) *salvaged_id = id_it->second;
+  }
+
+  // Unknown keys are rejected, not skipped: a typo like "ep" or "algo"
+  // would otherwise solve with defaults and report success.
+  for (const auto& [key, value] : *object) {
+    if (key != "v" && key != "id" && key != "path" && key != "instance" &&
+        key != "alg" && key != "eps" && key != "all" && key != "budget_ms") {
+      err = "unknown key \"" + key + "\"";
+      return std::nullopt;
+    }
+  }
+  const auto get = [&](const char* key) -> const std::string* {
+    const auto it = object->find(key);
+    return it != object->end() ? &it->second : nullptr;
+  };
+
+  SolveRequest req;
+  if (const auto* v = get("v")) {
+    if (*v != std::to_string(kApiVersion)) {
+      err = "unsupported api version \"" + *v + "\" (this engine speaks v" +
+            std::to_string(kApiVersion) + ")";
+      return std::nullopt;
+    }
+  }
+  if (const auto* id = get("id")) req.id = *id;
+  if (const auto* alg = get("alg")) req.alg = *alg;
+  if (const auto* eps = get("eps")) {
+    if (!parse_double_field(*eps, &req.eps)) {
+      err = "eps is not a number";
+      return std::nullopt;
+    }
+    req.has_eps = true;
+  }
+  if (const auto* all = get("all")) {
+    if (*all != "true" && *all != "false") {
+      err = "all must be true or false";
+      return std::nullopt;
+    }
+    req.has_run_all = true;
+    req.run_all = *all == "true";
+  }
+  if (const auto* budget = get("budget_ms")) {
+    if (!parse_double_field(*budget, &req.budget_ms)) {
+      err = "budget_ms is not a number";
+      return std::nullopt;
+    }
+    req.has_budget_ms = true;
+  }
+  const auto* path = get("path");
+  const auto* inline_text = get("instance");
+  if ((path != nullptr) == (inline_text != nullptr)) {
+    err = "exactly one of \"path\" / \"instance\" required";
+    return std::nullopt;
+  }
+  if (path != nullptr) {
+    req.path = *path;
+  } else {
+    req.inline_text = *inline_text;
+    req.has_inline_text = true;
+  }
+  return req;
+}
+
+namespace {
+
+// Empty when the instance never reached the cache (open/parse failure).
+const char* cache_label(const SolveResponse& r) {
+  if (r.instance_hash.empty()) return "";
+  return r.cache_hit ? "hit" : "miss";
+}
+
+// Empty when no result cache was consulted (none wired, or parse failure).
+const char* solve_cache_label(const SolveResponse& r) {
+  if (r.instance_hash.empty() || !r.result_cache_used) return "";
+  return r.result_cache_hit ? "hit" : "miss";
+}
+
+}  // namespace
+
+void write_response_json(std::ostream& out, const SolveResponse& r) {
+  out << "{\"v\": " << kApiVersion;
+  if (!r.id.empty()) out << ", \"id\": " << json_quote(r.id);
+  out << ", \"seq\": " << r.seq << ", \"file\": " << json_quote(r.file)
+      << ", \"status\": " << (r.ok ? "\"ok\"" : "\"error\"")
+      << ", \"model\": " << json_quote(r.model) << ", \"jobs\": " << r.jobs
+      << ", \"machines\": " << r.machines
+      << ", \"hash\": " << json_quote(r.instance_hash)
+      << ", \"cache\": " << json_quote(cache_label(r))
+      << ", \"solve_cache\": " << json_quote(solve_cache_label(r))
+      << ", \"solver\": " << json_quote(r.solver)
+      << ", \"guarantee\": " << json_quote(r.guarantee)
+      << ", \"makespan\": " << json_quote(r.makespan)
+      << ", \"makespan_value\": " << fmt_double_exact(r.makespan_value)
+      << ", \"wall_ms\": " << fmt_double_exact(r.wall_ms)
+      << ", \"error\": " << json_quote(r.error) << "}\n";
+}
+
+std::string encode_response_json(const SolveResponse& r) {
+  std::ostringstream out;
+  write_response_json(out, r);
+  return out.str();
+}
+
+void write_response_header_csv(std::ostream& out) {
+  out << "seq,file,status,model,jobs,machines,hash,cache,solve_cache,solver,guarantee,"
+         "makespan,makespan_value,wall_ms,error\n";
+}
+
+void write_response_csv(std::ostream& out, const SolveResponse& r) {
+  out << r.seq << ',' << csv_quote(r.file) << ',' << (r.ok ? "ok" : "error") << ','
+      << csv_quote(r.model) << ',' << r.jobs << ',' << r.machines << ','
+      << csv_quote(r.instance_hash) << ',' << cache_label(r) << ','
+      << solve_cache_label(r) << ',' << csv_quote(r.solver) << ','
+      << csv_quote(r.guarantee) << ',' << csv_quote(r.makespan) << ','
+      << fmt_double_exact(r.makespan_value) << ',' << fmt_double_exact(r.wall_ms)
+      << ',' << csv_quote(r.error) << '\n';
+}
+
+// ------------------------------------------------------------- execution ---
+
+SolveResponse run_parsed(const SolverRegistry& registry, ProfileCache& cache,
+                         ResultCache* results, const std::string& alg,
+                         const SolveOptions& solve, const ParsedInstance& parsed,
+                         SolveResult* full) {
+  SolveResponse row;
+  Timer timer;
+  if (!parsed.ok()) {
+    row.error = "parse error: " + parsed.error;
+    return row;
+  }
+
+  SolveResult result;
+  const auto dispatch = [&](const auto& inst) {
+    row.jobs = inst.num_jobs();
+    row.machines = inst.num_machines();
+    const CachedProfile cached = cache.profile(inst);
+    row.instance_hash = hash_hex(cached.hash);
+    row.cache_hit = cached.hit;
+    const auto run = [&] {
+      return alg == "auto" ? solve_auto(registry, inst, solve, cached.profile)
+                           : solve_named(registry, alg, inst, solve, cached.profile);
+    };
+    if (results == nullptr) return run();
+    row.result_cache_used = true;
+    const ResultKey key = make_result_key(cached.hash, alg, solve);
+    if (auto warm = results->lookup(key)) {
+      row.result_cache_hit = true;
+      return std::move(*warm);
+    }
+    SolveResult fresh = run();
+    results->store(key, fresh);  // failures are not memoized
+    return fresh;
+  };
+  if (parsed.uniform.has_value()) {
+    row.model = "uniform";
+    result = dispatch(*parsed.uniform);
+  } else {
+    row.model = "unrelated";
+    result = dispatch(*parsed.unrelated);
+  }
+
+  row.wall_ms = timer.millis();
+  if (!result.ok) {
+    row.error = result.error;
+    return row;
+  }
+  row.ok = true;
+  row.solver = result.solver;
+  row.guarantee = result.guarantee;
+  row.makespan = result.cmax.to_string();
+  row.makespan_value = result.cmax.to_double();
+  if (full != nullptr) *full = std::move(result);
+  return row;
+}
+
+SolveResponse run_request(const SolverRegistry& registry, ProfileCache& cache,
+                          ResultCache* results, const SolveRequest& req,
+                          const std::string& default_alg,
+                          const SolveOptions& defaults, SolveResult* full) {
+  const std::string& alg = req.alg.empty() ? default_alg : req.alg;
+  const SolveOptions options = resolved_options(req, defaults);
+
+  SolveResponse r;
+  // The portfolio-only options must not be silently ignored on a named
+  // solver — the same rule the CLI enforces on its flags, applied here so
+  // every boundary (wire requests included) gets it: a request asking for
+  // run-all or a budget that cannot take effect is an error, not an "ok"
+  // that quietly solved something else.
+  if (options.run_all && alg != "auto") {
+    r.error = "\"all\" requires alg \"auto\" (it runs the portfolio)";
+  } else if (options.budget_ms != 0 && !options.run_all) {
+    r.error = "\"budget_ms\" requires \"all\" (it bounds the run-all portfolio)";
+  } else if (req.parsed != nullptr) {
+    r = run_parsed(registry, cache, results, alg, options, *req.parsed, full);
+  } else if (req.has_inline_text) {
+    std::istringstream text(req.inline_text);
+    r = run_parsed(registry, cache, results, alg, options, parse_instance(text), full);
+  } else if (!req.path.empty()) {
+    std::ifstream file(req.path);
+    if (!file) {
+      r.error = "cannot open file";
+    } else {
+      r = run_parsed(registry, cache, results, alg, options, parse_instance(file), full);
+    }
+  } else {
+    r.error = "no instance source in request";
+  }
+  // A path is the instance's label even when the caller pre-parsed it
+  // (CLI solve parses up front for its summary line but still names the file).
+  if (!req.path.empty()) r.file = req.path;
+  r.id = req.id;
+  return r;
+}
+
+}  // namespace bisched::engine

@@ -1,0 +1,151 @@
+// Engine API v1: the typed request/response boundary of the solver engine.
+//
+// Before this module the engine had three parallel dialects for the same
+// conversation — CLI flags, batch CSV/JSON rows, and serve's hand-rolled
+// frame fields — each emitting and parsing its own field list. This header
+// makes the boundary two value types plus one schema-stable JSON codec, and
+// every entry point (CLI `solve`, `BatchRunner`, the serve sessions) now
+// constructs a `SolveRequest` and emits a `SolveResponse` through it.
+//
+// Wire schema, version 1 (flat JSON objects, one per line):
+//
+//   request   {"v": 1, "id": "r1", "path": "a.inst" | "instance": "...",
+//              "alg": "auto", "eps": 0.1, "all": true, "budget_ms": 50}
+//             `v` is optional on requests (absent = 1; anything else is
+//             rejected). Exactly one of `path` / `instance`. Every other
+//             member is optional and overrides the server/runner default.
+//             Unknown keys are rejected, never skipped: a typo like "ep"
+//             must not solve with defaults and report success.
+//
+//   response  {"v": 1, "id": ..., "seq": N, "file": ..., "status":
+//              "ok"|"error", "model": ..., "jobs": N, "machines": N,
+//              "hash": ..., "cache": "hit"|"miss"|"", "solve_cache": ...,
+//              "solver": ..., "guarantee": ..., "makespan": ...,
+//              "makespan_value": X, "wall_ms": X, "error": ...}
+//             `id` is present iff the request carried (or was assigned) an
+//             id; batch rows omit it. The field set is pinned by the golden
+//             wire-schema test (tests/engine/golden/solve_response_v1.json):
+//             growing the schema is a deliberate, versioned act, not a
+//             side effect of an edit to some writer.
+//
+// The CSV row emitted by `batch --format=csv` is the same value type through
+// the same module (write_response_csv) — one field list, two encodings.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "engine/profile_cache.hpp"
+#include "engine/registry.hpp"
+#include "engine/result_cache.hpp"
+#include "engine/solver.hpp"
+#include "io/format.hpp"
+
+namespace bisched::engine {
+
+inline constexpr int kApiVersion = 1;
+
+// One solve request. In-process callers may hand an already-parsed instance
+// (`parsed`); the wire forms carry a file path or the inline native text.
+struct SolveRequest {
+  std::string id;  // empty = the executor/serve session assigns one
+
+  // Exactly one source. `has_inline_text` disambiguates an empty inline
+  // body (a parse-error response) from "no inline text".
+  std::string path;
+  std::string inline_text;
+  bool has_inline_text = false;
+  std::shared_ptr<const ParsedInstance> parsed;  // never on the wire
+
+  std::string alg;  // registry name or "auto"; empty = caller default
+
+  // Optional SolveOptions overrides; the has_* flags keep "absent" distinct
+  // from an explicit default value so resolved_options can layer correctly.
+  bool has_eps = false;
+  double eps = 0;
+  bool has_run_all = false;
+  bool run_all = false;
+  bool has_budget_ms = false;
+  double budget_ms = 0;
+
+  bool has_source() const {
+    return !path.empty() || has_inline_text || parsed != nullptr;
+  }
+};
+
+// `defaults` overlaid with the request's explicit overrides.
+SolveOptions resolved_options(const SolveRequest& req, const SolveOptions& defaults);
+
+// One solve outcome — the single response value type of the engine. A batch
+// row is a SolveResponse with an empty id; a serve response always has one.
+struct SolveResponse {
+  std::string id;        // correlation id; omitted from the wire when empty
+  std::int64_t seq = 0;  // batch: global input-order index; serve: admission order
+  std::string file;      // instance path ("" for inline requests)
+  bool ok = false;
+  std::string error;  // parse or solve failure; nonempty iff !ok
+  std::string model;  // "uniform" | "unrelated" | "" on parse failure
+  int jobs = 0;
+  int machines = 0;
+  std::string instance_hash;  // 16-hex stable content hash ("" on parse failure)
+  bool cache_hit = false;     // profile served from the probe cache?
+  bool result_cache_used = false;  // was a result cache consulted?
+  bool result_cache_hit = false;   // full solve served warm?
+  std::string solver;              // winning solver (empty on failure)
+  std::string guarantee;
+  std::string makespan;  // exact rational string (empty on failure)
+  double makespan_value = 0;
+  double wall_ms = 0;
+};
+
+// ----------------------------------------------------------------- codec ---
+
+// The request as one v1 JSON line (no trailing newline). A `parsed`-only
+// request has no wire form; its source is simply absent from the output.
+std::string encode_request_json(const SolveRequest& req);
+
+// Decodes one v1 request line. nullopt + *error on a malformed frame; the
+// caller owns turning that into an error response. When the frame is at
+// least a parseable JSON object, *salvaged_id (if non-null) receives its
+// "id" member even on validation failure — so the error response can still
+// reach the client under the id it is correlating by.
+std::optional<SolveRequest> decode_request_json(const std::string& line,
+                                                std::string* error,
+                                                std::string* salvaged_id = nullptr);
+
+// The response as one v1 JSON object ending in '\n'.
+std::string encode_response_json(const SolveResponse& r);
+void write_response_json(std::ostream& out, const SolveResponse& r);
+
+// The same response as a CSV row (util/table.hpp csv_quote escaping); the
+// header matches the field order exactly once per stream.
+void write_response_header_csv(std::ostream& out);
+void write_response_csv(std::ostream& out, const SolveResponse& r);
+
+// ------------------------------------------------------------- execution ---
+
+// Solves one already-parsed instance through the caches + the portfolio.
+// `seq`, `id`, `file`, and parse errors are the caller's to fill in (a
+// !parsed.ok() input yields an error response). `results` may be null to
+// skip result memoization. If `full` is non-null it receives the complete
+// SolveResult (schedule included) on success — the CLI prints the schedule
+// from it. Thread-safe for concurrent calls sharing the caches.
+SolveResponse run_parsed(const SolverRegistry& registry, ProfileCache& cache,
+                         ResultCache* results, const std::string& alg,
+                         const SolveOptions& solve, const ParsedInstance& parsed,
+                         SolveResult* full = nullptr);
+
+// Executes a full request: resolves its source (parsed > inline text > file
+// path), layers its option overrides over `defaults`, dispatches through
+// run_parsed, and stamps id/file. `default_alg` applies when req.alg is
+// empty. The one entry point CLI solve, batch workers, and serve sessions
+// all call.
+SolveResponse run_request(const SolverRegistry& registry, ProfileCache& cache,
+                          ResultCache* results, const SolveRequest& req,
+                          const std::string& default_alg,
+                          const SolveOptions& defaults, SolveResult* full = nullptr);
+
+}  // namespace bisched::engine

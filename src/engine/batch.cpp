@@ -8,13 +8,8 @@
 #include <ostream>
 #include <utility>
 
-#include "engine/portfolio.hpp"
-#include "io/jsonl.hpp"
-#include "sched/instance_hash.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
 
 namespace bisched::engine {
 
@@ -65,57 +60,39 @@ std::vector<std::string> shard_paths(const std::vector<std::string>& paths,
   return out;
 }
 
-BatchRow solve_to_row(const SolverRegistry& registry, ProfileCache& cache,
-                      ResultCache* results, const std::string& alg,
-                      const SolveOptions& solve, const ParsedInstance& parsed) {
-  BatchRow row;
-  Timer timer;
-  if (!parsed.ok()) {
-    row.error = "parse error: " + parsed.error;
-    return row;
-  }
+namespace {
 
-  SolveResult result;
-  const auto dispatch = [&](const auto& inst) {
-    row.jobs = inst.num_jobs();
-    row.machines = inst.num_machines();
-    const CachedProfile cached = cache.profile(inst);
-    row.instance_hash = hash_hex(cached.hash);
-    row.cache_hit = cached.hit;
-    const auto run = [&] {
-      return alg == "auto" ? solve_auto(registry, inst, solve, cached.profile)
-                           : solve_named(registry, alg, inst, solve, cached.profile);
-    };
-    if (results == nullptr) return run();
-    row.result_cache_used = true;
-    const ResultKey key = make_result_key(cached.hash, alg, solve);
-    if (auto warm = results->lookup(key)) {
-      row.result_cache_hit = true;
-      return std::move(*warm);
-    }
-    SolveResult fresh = run();
-    results->store(key, fresh);  // failures are not memoized
-    return fresh;
-  };
-  if (parsed.uniform.has_value()) {
-    row.model = "uniform";
-    result = dispatch(*parsed.uniform);
-  } else {
-    row.model = "unrelated";
-    result = dispatch(*parsed.unrelated);
-  }
+// Best-effort canonical form: resolves symlinks/.. for the existing prefix
+// of the path and normalizes the rest, so two spellings of one location
+// compare equal whether or not the file exists yet.
+fs::path normalized(const std::string& path) {
+  std::error_code ec;
+  const fs::path abs = fs::absolute(path, ec);
+  if (ec) return fs::path(path).lexically_normal();
+  fs::path canon = fs::weakly_canonical(abs, ec);
+  if (ec) return abs.lexically_normal();
+  return canon;
+}
 
-  row.wall_ms = timer.millis();
-  if (!result.ok) {
-    row.error = result.error;
-    return row;
-  }
-  row.ok = true;
-  row.solver = result.solver;
-  row.guarantee = result.guarantee;
-  row.makespan = result.cmax.to_string();
-  row.makespan_value = result.cmax.to_double();
-  return row;
+}  // namespace
+
+std::size_t exclude_output_path(std::vector<std::string>& paths,
+                                const std::string& out_path) {
+  const fs::path target = normalized(out_path);
+  return std::erase_if(paths, [&](const std::string& p) {
+    std::error_code ec;
+    if (fs::equivalent(p, out_path, ec)) return true;
+    return normalized(p) == target;
+  });
+}
+
+bool path_inside_directory(const std::string& path, const std::string& dir) {
+  const fs::path file = normalized(path);
+  const fs::path base = normalized(dir);
+  if (file == base) return false;
+  const auto mismatch =
+      std::mismatch(base.begin(), base.end(), file.begin(), file.end());
+  return mismatch.first == base.end();
 }
 
 BatchRunner::BatchRunner(const SolverRegistry& registry, BatchOptions options,
@@ -132,16 +109,11 @@ BatchRunner::BatchRunner(const SolverRegistry& registry, BatchOptions options,
 }
 
 BatchRow BatchRunner::run_one(const std::string& path, std::int64_t seq) const {
-  BatchRow row;
-  std::ifstream file(path);
-  if (!file) {
-    row.error = "cannot open file";
-  } else {
-    row = solve_to_row(registry_, *cache_, results_, options_.alg, options_.solve,
-                       parse_instance(file));
-  }
+  SolveRequest request;
+  request.path = path;
+  BatchRow row = run_request(registry_, *cache_, results_, request, options_.alg,
+                             options_.solve);
   row.seq = seq;
-  row.file = path;
   if (options_.stable_output) row.wall_ms = 0;
   return row;
 }
@@ -183,55 +155,6 @@ std::vector<BatchRow> BatchRunner::run(const std::vector<std::string>& paths) co
   std::sort(rows.begin(), rows.end(),
             [](const BatchRow& a, const BatchRow& b) { return a.seq < b.seq; });
   return rows;
-}
-
-void write_row_header_csv(std::ostream& out) {
-  out << "seq,file,status,model,jobs,machines,hash,cache,solve_cache,solver,guarantee,"
-         "makespan,makespan_value,wall_ms,error\n";
-}
-
-namespace {
-
-// Empty when the instance never reached the cache (open/parse failure).
-const char* cache_label(const BatchRow& row) {
-  if (row.instance_hash.empty()) return "";
-  return row.cache_hit ? "hit" : "miss";
-}
-
-// Empty when no result cache was consulted (none wired, or parse failure).
-const char* solve_cache_label(const BatchRow& row) {
-  if (row.instance_hash.empty() || !row.result_cache_used) return "";
-  return row.result_cache_hit ? "hit" : "miss";
-}
-
-}  // namespace
-
-void write_row_csv(std::ostream& out, const BatchRow& row) {
-  out << row.seq << ',' << csv_quote(row.file) << ',' << (row.ok ? "ok" : "error") << ','
-      << csv_quote(row.model) << ',' << row.jobs << ',' << row.machines << ','
-      << csv_quote(row.instance_hash) << ',' << cache_label(row) << ','
-      << solve_cache_label(row) << ',' << csv_quote(row.solver) << ','
-      << csv_quote(row.guarantee) << ',' << csv_quote(row.makespan) << ','
-      << fmt_double_exact(row.makespan_value) << ',' << fmt_double_exact(row.wall_ms)
-      << ',' << csv_quote(row.error) << '\n';
-}
-
-void write_row_json(std::ostream& out, const BatchRow& row, const std::string* id) {
-  out << '{';
-  if (id != nullptr) out << "\"id\": " << json_quote(*id) << ", ";
-  out << "\"seq\": " << row.seq << ", \"file\": " << json_quote(row.file)
-      << ", \"status\": " << (row.ok ? "\"ok\"" : "\"error\"")
-      << ", \"model\": " << json_quote(row.model) << ", \"jobs\": " << row.jobs
-      << ", \"machines\": " << row.machines
-      << ", \"hash\": " << json_quote(row.instance_hash)
-      << ", \"cache\": " << json_quote(cache_label(row))
-      << ", \"solve_cache\": " << json_quote(solve_cache_label(row))
-      << ", \"solver\": " << json_quote(row.solver)
-      << ", \"guarantee\": " << json_quote(row.guarantee)
-      << ", \"makespan\": " << json_quote(row.makespan)
-      << ", \"makespan_value\": " << fmt_double_exact(row.makespan_value)
-      << ", \"wall_ms\": " << fmt_double_exact(row.wall_ms)
-      << ", \"error\": " << json_quote(row.error) << "}\n";
 }
 
 void write_rows_csv(std::ostream& out, std::span<const BatchRow> rows) {

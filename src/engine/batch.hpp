@@ -1,19 +1,24 @@
 // BatchRunner: solve a directory or manifest of instances concurrently,
 // streaming result rows as they complete.
 //
+// A batch row IS a v1 SolveResponse (engine/api.hpp): the runner constructs
+// a SolveRequest per instance path, executes it through api::run_request —
+// the same path CLI `solve` and the serve sessions take — and stamps the
+// input-order `seq`. Serialization (CSV and JSON Lines) is the api codec;
+// this module adds no field emission of its own.
+//
 // The pipeline is a bounded work queue, not collect-then-write: `threads`
 // workers pull the next input index from a shared atomic cursor, solve it,
-// and hand the finished `BatchRow` to a sink under a serialization mutex —
-// so the first rows reach the output while later instances are still
-// solving, and memory stays O(threads), independent of corpus size. Rows
-// carry their input-order sequence id (`seq`), which makes output order a
-// presentation detail: row *content* (seq, hash, solver, makespan, ...) is
-// identical at any thread count; only completion order, the measured
-// wall_ms (BatchOptions::stable_output zeroes it for byte-level
-// comparisons), and — for corpora with duplicate-content instances — the
-// per-row cache hit/miss attribution vary (which duplicate probes first
-// depends on worker scheduling; the hash and every solver field still
-// match).
+// and hand the finished row to a sink under a serialization mutex — so the
+// first rows reach the output while later instances are still solving, and
+// memory stays O(threads), independent of corpus size. Rows carry their
+// input-order sequence id (`seq`), which makes output order a presentation
+// detail: row *content* (seq, hash, solver, makespan, ...) is identical at
+// any thread count; only completion order, the measured wall_ms
+// (BatchOptions::stable_output zeroes it for byte-level comparisons), and —
+// for corpora with duplicate-content instances — the per-row cache hit/miss
+// attribution vary (which duplicate probes first depends on worker
+// scheduling; the hash and every solver field still match).
 //
 // Probing goes through a ProfileCache (engine/profile_cache.hpp) and solving
 // through a ResultCache (engine/result_cache.hpp): each row records the
@@ -25,11 +30,6 @@
 // of the expanded path list (round-robin by index, after the deterministic
 // directory sort) — shards are disjoint, exhaustive, and balanced even when
 // a manifest is sorted by instance size.
-//
-// Rows serialize to CSV (header + one line per row, util/table.hpp's
-// csv_quote on every string field) or JSON Lines (one object per line,
-// io/jsonl.hpp's json_quote on every string field) — the same two formats,
-// and the same escaping, the serve loop emits.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/api.hpp"
 #include "engine/profile_cache.hpp"
 #include "engine/registry.hpp"
 #include "engine/result_cache.hpp"
@@ -47,6 +48,10 @@
 #include "io/format.hpp"
 
 namespace bisched::engine {
+
+// A batch row is exactly the engine's response value type; the alias keeps
+// the batch-side vocabulary (and a decade of call sites) intact.
+using BatchRow = SolveResponse;
 
 // A shard assignment i/n: this runner handles entries {i, i+n, i+2n, ...} of
 // the expanded path list. The n shards partition any corpus (disjoint and
@@ -69,26 +74,6 @@ struct BatchOptions {
   bool stable_output = false;
 };
 
-struct BatchRow {
-  std::int64_t seq = 0;       // global input-order id (pre-shard index into the
-                              // path list, so shard outputs merge collision-free)
-  std::string file;           // instance path ("" for inline serve requests)
-  bool ok = false;
-  std::string error;          // parse or solve failure
-  std::string model;          // "uniform" | "unrelated" | "" on parse failure
-  int jobs = 0;
-  int machines = 0;
-  std::string instance_hash;  // 16-hex stable content hash ("" on parse failure)
-  bool cache_hit = false;     // profile served from the cache?
-  bool result_cache_used = false;  // was a result cache consulted for this row?
-  bool result_cache_hit = false;   // full solve served from the result cache?
-  std::string solver;         // winning solver (empty on failure)
-  std::string guarantee;
-  std::string makespan;       // exact rational string (empty on failure)
-  double makespan_value = 0;  // the same as a double
-  double wall_ms = 0;
-};
-
 // Expands `path`: a directory yields every regular file in it (sorted by
 // name); a manifest file yields one instance path per non-comment line,
 // resolved relative to the manifest's directory. Returns an empty vector and
@@ -100,14 +85,29 @@ std::vector<std::string> collect_instance_paths(const std::string& path, std::st
 std::vector<std::string> shard_paths(const std::vector<std::string>& paths,
                                      const Shard& shard);
 
+// Removes every entry of `paths` that refers to `out_path` — by filesystem
+// equivalence when both exist, and by normalized absolute path otherwise, so
+// a differently-spelled or not-yet-created output file can never be swept up
+// as an instance. Returns the number of entries removed.
+std::size_t exclude_output_path(std::vector<std::string>& paths,
+                                const std::string& out_path);
+
+// True when `path` resolves to a location inside directory `dir` (proper
+// descendant, after normalization). The CLI warns on --out inside --dir:
+// this run excludes the file, but the *next* sweep of the directory would
+// read last run's results as a (failing) instance.
+bool path_inside_directory(const std::string& path, const std::string& dir);
+
 // Solves one already-parsed instance into a row through the caches + the
-// portfolio. Shared by the batch workers and the serve loop; `seq`, `file`,
-// and parse errors are the caller's to fill in (a !parsed.ok() input yields
-// an error row). `results` may be null to skip result memoization.
-// Thread-safe for concurrent calls sharing the caches.
-BatchRow solve_to_row(const SolverRegistry& registry, ProfileCache& cache,
-                      ResultCache* results, const std::string& alg,
-                      const SolveOptions& solve, const ParsedInstance& parsed);
+// portfolio — api::run_parsed under its historical batch-side name. `seq`,
+// `file`, and parse errors are the caller's to fill in. `results` may be
+// null to skip result memoization. Thread-safe for concurrent calls sharing
+// the caches.
+inline BatchRow solve_to_row(const SolverRegistry& registry, ProfileCache& cache,
+                             ResultCache* results, const std::string& alg,
+                             const SolveOptions& solve, const ParsedInstance& parsed) {
+  return run_parsed(registry, cache, results, alg, solve, parsed);
+}
 
 class BatchRunner {
  public:
@@ -140,15 +140,19 @@ class BatchRunner {
   std::unique_ptr<ResultCache> owned_results_;
 };
 
-// Streaming row serialization. CSV needs the header exactly once, then one
-// line per row; JSON output is JSON Lines (one object per line), so rows
-// concatenate without array framing.
-void write_row_header_csv(std::ostream& out);
-void write_row_csv(std::ostream& out, const BatchRow& row);
-// `id` (serve mode: the request's id) is emitted as a leading "id" member
-// when non-null; batch rows omit it.
-void write_row_json(std::ostream& out, const BatchRow& row,
-                    const std::string* id = nullptr);
+// Streaming row serialization — thin historical names over the api codec
+// (engine/api.hpp), which owns the field list in both formats. CSV needs the
+// header exactly once, then one line per row; JSON output is JSON Lines (one
+// object per line), so rows concatenate without array framing.
+inline void write_row_header_csv(std::ostream& out) { write_response_header_csv(out); }
+inline void write_row_csv(std::ostream& out, const BatchRow& row) {
+  write_response_csv(out, row);
+}
+// Rows carry their own (possibly empty) id; serve stamps it on the response
+// before encoding, batch rows leave it empty and the member is omitted.
+inline void write_row_json(std::ostream& out, const BatchRow& row) {
+  write_response_json(out, row);
+}
 
 // Whole-slice convenience used by tests and collect-style callers.
 void write_rows_csv(std::ostream& out, std::span<const BatchRow> rows);

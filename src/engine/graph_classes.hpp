@@ -1,0 +1,137 @@
+// The engine's open graph-structure lattice.
+//
+// The paper's algorithms are gated by conflict-graph structure, and the
+// engine used to hardcode that structure as a closed enum (any / bipartite /
+// complete-bipartite) with the nesting baked into is_applicable. This module
+// makes the class family *data*: a registry of named classes, each with a
+// detector and explicit subsumption edges to the classes it specializes, so
+// new structure from related work (complete multipartite graphs,
+// Pikies–Turowski 2020; block-type conflict graphs, Furmańczyk et al. 2022)
+// is a registration, not a core edit.
+//
+// The lattice is a DAG under "every member graph of C is also a member of
+// each parent of C" — a chain was never enough: complete-bipartite
+// specializes *both* bipartite and complete-multipartite, which are
+// themselves incomparable:
+//
+//     any ── bipartite ──────────┐
+//      └──── complete-multipartite ── complete-bipartite
+//
+// `detect` runs every registered detector in registration order (parents
+// first, enforced at registration) and returns a bitmask of the classes the
+// graph belongs to. A detector only runs once all of its parents matched, so
+// the expensive specialized checks are skipped on graphs that already failed
+// a more general one, and the returned mask is closed under subsumption by
+// construction. probe() stores the mask in InstanceProfile::graph_classes;
+// applicability is then one bit test, whatever the class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "graph/graph.hpp"
+
+namespace bisched::engine {
+
+// Index into the lattice; stable for the lifetime of the registry. The
+// builtin classes have fixed, documented ids (they are wire-visible through
+// `list-algs --json` by *name*, never by number).
+using GraphClassId = int;
+
+inline constexpr GraphClassId kGraphClassInvalid = -1;
+inline constexpr GraphClassId kGraphAny = 0;
+inline constexpr GraphClassId kGraphBipartite = 1;
+inline constexpr GraphClassId kGraphCompleteMultipartite = 2;
+inline constexpr GraphClassId kGraphCompleteBipartite = 3;
+
+// Handed to detectors: the conflict graph, the verdicts of every class
+// registered before this one, and shared partial results so related
+// detectors do not recompute them (today: the BFS bipartition, which both
+// the bipartite and complete-bipartite detectors need).
+class DetectContext {
+ public:
+  explicit DetectContext(const Graph& g) : graph_(g) {}
+
+  const Graph& graph() const { return graph_; }
+
+  // Verdict of an earlier-registered class (parents are always decided
+  // before their children run).
+  bool detected(GraphClassId id) const { return ((mask_ >> id) & 1u) != 0; }
+
+  // The graph's 2-coloring, computed at most once per probe; nullopt when
+  // the graph is not bipartite.
+  const std::optional<Bipartition>& bipartition();
+
+ private:
+  friend class GraphClassLattice;
+  const Graph& graph_;
+  std::uint64_t mask_ = 0;
+  bool bipartition_computed_ = false;
+  std::optional<Bipartition> bipartition_;
+};
+
+// True iff the graph belongs to the class, assuming every parent already
+// matched (the lattice skips the call otherwise).
+using DetectFn = std::function<bool(DetectContext&)>;
+
+class GraphClassLattice {
+ public:
+  // Classes are a bitmask in InstanceProfile::graph_classes.
+  static constexpr int kMaxClasses = 64;
+
+  GraphClassLattice() = default;
+  GraphClassLattice(const GraphClassLattice&) = delete;
+  GraphClassLattice& operator=(const GraphClassLattice&) = delete;
+
+  // Registers a class. `parents` are the classes this one specializes
+  // (every member graph is also a member of each parent); they must already
+  // be registered, which forces registration order to be topological and
+  // keeps the subsumption relation acyclic by construction. Names must be
+  // unique. Returns the new class id.
+  GraphClassId register_class(std::string name, std::vector<GraphClassId> parents,
+                              DetectFn detect);
+
+  GraphClassId find(std::string_view name) const;  // kGraphClassInvalid when absent
+  const std::string& name(GraphClassId id) const;
+  const std::vector<GraphClassId>& parents(GraphClassId id) const;
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  // Reflexive-transitive subsumption: every graph of class `special` is
+  // also a graph of class `general`.
+  bool subsumes(GraphClassId general, GraphClassId special) const;
+
+  // Runs the detectors over `g`; bit i of the result is set iff the graph
+  // belongs to class i. Closed under subsumption (see file comment).
+  std::uint64_t detect(const Graph& g) const;
+
+  // The process-wide lattice: any, bipartite, complete-multipartite, and
+  // complete-bipartite, at the fixed kGraph* ids above.
+  static const GraphClassLattice& builtin();
+
+ private:
+  struct Node {
+    std::string name;
+    std::vector<GraphClassId> parents;
+    std::uint64_t ancestors = 0;  // self + transitive parents, as a bitmask
+    DetectFn detect;
+  };
+  std::vector<Node> nodes_;
+};
+
+// Shorthand for GraphClassLattice::builtin().name(id) — the engine's own
+// call sites (capability tables, error messages, list-algs) read better.
+const std::string& graph_class_name(GraphClassId id);
+
+// Standalone structural test shared by the lattice's builtin detector and
+// tests: true iff `g` is complete multipartite (vertices partition into
+// groups with every cross-group pair adjacent and no intra-group edge) —
+// equivalently, iff every vertex is adjacent to exactly the vertices outside
+// its twin class (vertices sharing its neighborhood). O(sum deg log deg).
+bool is_complete_multipartite(const Graph& g);
+
+}  // namespace bisched::engine

@@ -112,7 +112,7 @@ void add_solver(SolverRegistry& reg, std::string name, std::string summary,
                                            std::move(unrelated), std::move(admits)));
 }
 
-SolverCapabilities caps(unsigned models, GraphClass graph, Guarantee guarantee,
+SolverCapabilities caps(unsigned models, GraphClassId graph, Guarantee guarantee,
                         std::string label) {
   SolverCapabilities c;
   c.models = models;
@@ -126,7 +126,7 @@ void register_builtin(SolverRegistry& reg) {
   // --- the paper's algorithm suite -----------------------------------------
   add_solver(reg, "alg1",
              "Algorithm 1 (Thm 9): sqrt(sum p)-approx for Q|G=bipartite|Cmax",
-             caps(kModelUniform, GraphClass::kBipartite, Guarantee::kSqrtApprox,
+             caps(kModelUniform, kGraphBipartite, Guarantee::kSqrtApprox,
                   "sqrt(sum p)"),
              [](const UniformInstance& inst, const SolveOptions&) {
                auto r = alg1_sqrt_approx(inst);
@@ -135,7 +135,7 @@ void register_builtin(SolverRegistry& reg) {
 
   add_solver(reg, "alg2",
              "Algorithm 2 (Thm 19): inequitable 2-coloring + prefix fill",
-             caps(kModelUniform, GraphClass::kBipartite, Guarantee::kHeuristic,
+             caps(kModelUniform, kGraphBipartite, Guarantee::kHeuristic,
                   "additive whp on G(n,n,p)"),
              [](const UniformInstance& inst, const SolveOptions&) {
                auto r = alg2_random_bipartite(inst);
@@ -143,7 +143,7 @@ void register_builtin(SolverRegistry& reg) {
              });
 
   add_solver(reg, "alg2b", "Algorithm 2 with the balanced isolated-job extension",
-             caps(kModelUniform, GraphClass::kBipartite, Guarantee::kHeuristic,
+             caps(kModelUniform, kGraphBipartite, Guarantee::kHeuristic,
                   "additive whp on G(n,n,p)"),
              [](const UniformInstance& inst, const SolveOptions&) {
                auto r = alg2_balanced(inst);
@@ -151,7 +151,7 @@ void register_builtin(SolverRegistry& reg) {
              });
 
   {
-    SolverCapabilities c = caps(kModelUnrelated, GraphClass::kBipartite,
+    SolverCapabilities c = caps(kModelUnrelated, kGraphBipartite,
                                 Guarantee::kTwoApprox, "2");
     c.min_machines = 2;
     c.max_machines = 2;
@@ -164,7 +164,7 @@ void register_builtin(SolverRegistry& reg) {
   }
 
   {
-    SolverCapabilities c = caps(kModelUnrelated, GraphClass::kBipartite, Guarantee::kFptas,
+    SolverCapabilities c = caps(kModelUnrelated, kGraphBipartite, Guarantee::kFptas,
                                 "1+eps");
     c.min_machines = 2;
     c.max_machines = 2;
@@ -181,7 +181,7 @@ void register_builtin(SolverRegistry& reg) {
 
   // --- exact routines ------------------------------------------------------
   {
-    SolverCapabilities c = caps(kModelUniform, GraphClass::kBipartite, Guarantee::kExact,
+    SolverCapabilities c = caps(kModelUniform, kGraphBipartite, Guarantee::kExact,
                                 "exact (Thm 4 DP)");
     c.min_machines = 2;
     c.max_machines = 2;
@@ -196,7 +196,7 @@ void register_builtin(SolverRegistry& reg) {
   }
 
   {
-    SolverCapabilities c = caps(kModelUniform, GraphClass::kCompleteBipartite,
+    SolverCapabilities c = caps(kModelUniform, kGraphCompleteBipartite,
                                 Guarantee::kExact, "exact (capacity DP)");
     c.unit_jobs_only = true;
     add_solver(reg, "kab", "Exact routine for Q|G=complete bipartite, unit jobs|Cmax",
@@ -217,7 +217,7 @@ void register_builtin(SolverRegistry& reg) {
   }
 
   {
-    SolverCapabilities c = caps(kModelUnrelated, GraphClass::kBipartite, Guarantee::kExact,
+    SolverCapabilities c = caps(kModelUnrelated, kGraphBipartite, Guarantee::kExact,
                                 "exact (reduction + DP)");
     c.min_machines = 2;
     c.max_machines = 2;
@@ -239,7 +239,7 @@ void register_builtin(SolverRegistry& reg) {
   }
 
   {
-    SolverCapabilities c = caps(kModelUniform, GraphClass::kBipartite, Guarantee::kExact,
+    SolverCapabilities c = caps(kModelUniform, kGraphBipartite, Guarantee::kExact,
                                 "exact (load DP)");
     c.min_machines = 2;
     c.max_machines = 2;
@@ -258,7 +258,7 @@ void register_builtin(SolverRegistry& reg) {
   }
 
   {
-    SolverCapabilities c = caps(kModelUniform, GraphClass::kBipartite, Guarantee::kExact,
+    SolverCapabilities c = caps(kModelUniform, kGraphBipartite, Guarantee::kExact,
                                 "exact (via R2 reduction)");
     c.min_machines = 2;
     c.max_machines = 2;
@@ -286,7 +286,7 @@ void register_builtin(SolverRegistry& reg) {
   }
 
   {
-    SolverCapabilities c = caps(kModelUniform, GraphClass::kBipartite, Guarantee::kExact,
+    SolverCapabilities c = caps(kModelUniform, kGraphBipartite, Guarantee::kExact,
                                 "exact (Thm 4 via FPTAS)");
     c.min_machines = 2;
     c.max_machines = 2;
@@ -305,7 +305,7 @@ void register_builtin(SolverRegistry& reg) {
   }
 
   {
-    SolverCapabilities c = caps(kModelUniform, GraphClass::kBipartite, Guarantee::kFptas,
+    SolverCapabilities c = caps(kModelUniform, kGraphBipartite, Guarantee::kFptas,
                                 "1+eps");
     c.min_machines = 2;
     c.max_machines = 2;
@@ -322,7 +322,7 @@ void register_builtin(SolverRegistry& reg) {
   }
 
   {
-    SolverCapabilities c = caps(kModelUniform | kModelUnrelated, GraphClass::kAny,
+    SolverCapabilities c = caps(kModelUniform | kModelUnrelated, kGraphAny,
                                 Guarantee::kExact, "exact (B&B)");
     c.max_jobs = 64;
     c.may_fail = true;  // infeasible instances, node-budget exhaustion
@@ -359,7 +359,7 @@ void register_builtin(SolverRegistry& reg) {
 
   // --- baselines -----------------------------------------------------------
   {
-    SolverCapabilities c = caps(kModelUniform, GraphClass::kBipartite,
+    SolverCapabilities c = caps(kModelUniform, kGraphBipartite,
                                 Guarantee::kHeuristic, "heuristic");
     c.min_machines = 2;
     add_solver(reg, "split", "Baseline: fastest machine vs. rest by 2-coloring",
@@ -371,7 +371,7 @@ void register_builtin(SolverRegistry& reg) {
   }
 
   {
-    SolverCapabilities c = caps(kModelUniform, GraphClass::kBipartite,
+    SolverCapabilities c = caps(kModelUniform, kGraphBipartite,
                                 Guarantee::kHeuristic, "heuristic");
     c.min_machines = 2;
     add_solver(reg, "proportional", "Baseline: capacity-proportional machine split",
@@ -383,7 +383,7 @@ void register_builtin(SolverRegistry& reg) {
   }
 
   {
-    SolverCapabilities c = caps(kModelUniform, GraphClass::kAny, Guarantee::kHeuristic,
+    SolverCapabilities c = caps(kModelUniform, kGraphAny, Guarantee::kHeuristic,
                                 "heuristic");
     c.may_fail = true;  // can dead-end on adversarial instances
     add_solver(reg, "greedy", "Baseline: conflict-aware LPT (any conflict graph)",

@@ -1,38 +1,19 @@
 #include "engine/serve.hpp"
 
-#include <charconv>
-#include <condition_variable>
-#include <fstream>
-#include <istream>
+#include <algorithm>
+#include <cctype>
+#include <csignal>
 #include <memory>
-#include <mutex>
-#include <ostream>
 #include <sstream>
+#include <thread>
 #include <utility>
+#include <vector>
 
-#include "io/jsonl.hpp"
 #include "util/parallel.hpp"
 
 namespace bisched::engine {
 
 namespace {
-
-// One admitted frame. The reader thread decodes only what must come off the
-// shared request stream: a native `instance` body is parsed in place (into
-// `parsed`), while file requests (`path`) and inline JSON instance text
-// (`inline_text`) defer their IO/parse work to the worker so the reader
-// keeps admitting frames.
-struct Request {
-  std::int64_t seq = 0;
-  std::string id;
-  std::string path;                        // nonempty for file requests
-  std::shared_ptr<ParsedInstance> parsed;  // set for native inline frames
-  std::string inline_text;                 // JSON "instance" value
-  bool has_inline_text = false;
-  std::string alg;
-  SolveOptions solve;
-  std::string bad;  // nonempty: malformed frame, answer with this error
-};
 
 // Strips every character istream extraction also treats as whitespace
 // (\v and \f included), so a whitespace-only line is always classified as a
@@ -53,154 +34,141 @@ std::vector<std::string> split_words(const std::string& line) {
   return words;
 }
 
-void decode_json_frame(const std::string& line, Request* req) {
-  std::string error;
-  const auto object = parse_flat_json_object(line, &error);
-  if (!object.has_value()) {
-    req->bad = "bad request: " + error;
-    return;
-  }
-  // Unknown keys are rejected, not skipped: a typo like "ep" or "algo"
-  // would otherwise solve with defaults and report success.
-  for (const auto& [key, value] : *object) {
-    if (key != "id" && key != "path" && key != "instance" && key != "alg" &&
-        key != "eps") {
-      req->bad = "bad request: unknown key \"" + key + "\"";
-      return;
-    }
-  }
-  const auto get = [&](const char* key) -> const std::string* {
-    const auto it = object->find(key);
-    return it != object->end() ? &it->second : nullptr;
-  };
-  if (const auto* id = get("id")) req->id = *id;
-  if (const auto* alg = get("alg")) req->alg = *alg;
-  if (const auto* eps = get("eps")) {
-    double parsed = 0;
-    const auto [ptr, ec] =
-        std::from_chars(eps->data(), eps->data() + eps->size(), parsed);
-    if (ec != std::errc() || ptr != eps->data() + eps->size()) {
-      req->bad = "bad request: eps is not a number";
-      return;
-    }
-    req->solve.eps = parsed;
-  }
-  const auto* path = get("path");
-  const auto* inline_text = get("instance");
-  if ((path != nullptr) == (inline_text != nullptr)) {
-    req->bad = "bad request: exactly one of \"path\" / \"instance\" required";
-    return;
-  }
-  if (path != nullptr) {
-    req->path = *path;
-    return;
-  }
-  req->inline_text = *inline_text;
-  req->has_inline_text = true;
+// The auto-assigned id form `#<digits>`; client-supplied ids must not use it.
+bool is_reserved_id(const std::string& id) {
+  if (id.size() < 2 || id[0] != '#') return false;
+  return std::all_of(id.begin() + 1, id.end(), [](unsigned char c) {
+    return std::isdigit(c) != 0;
+  });
 }
 
 }  // namespace
 
-ServeStats serve(const SolverRegistry& registry, std::istream& in, std::ostream& out,
-                 const ServeOptions& options, ProfileCache* cache,
-                 ResultCache* results) {
-  ProfileCache own_cache;
-  ProfileCache& the_cache = cache != nullptr ? *cache : own_cache;
-  ResultCache own_results;
-  ResultCache& the_results = results != nullptr ? *results : own_results;
+// One admitted frame. The session thread decodes only what must come off the
+// shared request stream: a native `instance` body is parsed in place (into
+// req.parsed), while file requests and inline instance text defer their
+// IO/parse work to the worker so the session keeps admitting frames.
+struct Server::PendingRequest {
+  SolveRequest req;
+  std::int64_t seq = 0;
+  std::string bad;  // nonempty: malformed frame, answer with this error
+};
 
-  const unsigned threads =
-      options.threads != 0 ? options.threads : default_thread_count();
-  const std::size_t max_inflight =
-      options.max_inflight != 0 ? options.max_inflight : 4 * threads;
-
-  ServeStats stats;
-  std::mutex mu;  // guards out, inflight, and the ok/error tallies
-  std::condition_variable cv;
+// Per-client state: the response stream lock and this session's share of the
+// in-flight count (so `quit`/EOF drains one client without waiting on the
+// others').
+struct Server::SessionState {
+  std::mutex out_mu;
   std::size_t inflight = 0;
-  ThreadPool pool(threads);
+};
 
-  const auto answer = [&](const Request& req, const BatchRow& raw) {
-    BatchRow row = raw;
-    row.seq = req.seq;
-    if (row.file.empty()) row.file = req.path;
-    if (options.stable_output) row.wall_ms = 0;
-    std::lock_guard<std::mutex> lock(mu);
-    (row.ok ? stats.ok : stats.errors) += 1;
-    write_row_json(out, row, &req.id);
-    out.flush();
-  };
+Server::Server(const SolverRegistry& registry, const ServeOptions& options,
+               ProfileCache* cache, ResultCache* results)
+    : registry_(registry), options_(options), cache_(cache), results_(results) {
+  if (cache_ == nullptr) {
+    owned_cache_ = std::make_unique<ProfileCache>();
+    cache_ = owned_cache_.get();
+  }
+  if (results_ == nullptr) {
+    owned_results_ = std::make_unique<ResultCache>();
+    results_ = owned_results_.get();
+  }
+  const unsigned threads =
+      options_.threads != 0 ? options_.threads : default_thread_count();
+  max_inflight_ = options_.max_inflight != 0 ? options_.max_inflight : 4 * threads;
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
 
-  const auto run_request = [&](const Request& req) {
-    if (!req.bad.empty()) {
-      BatchRow row;
-      row.error = req.bad;
-      answer(req, row);
-      return;
-    }
-    if (req.parsed != nullptr) {
-      answer(req, solve_to_row(registry, the_cache, &the_results, req.alg, req.solve,
-                               *req.parsed));
-      return;
-    }
-    if (req.has_inline_text) {
-      std::istringstream text(req.inline_text);
-      answer(req, solve_to_row(registry, the_cache, &the_results, req.alg, req.solve,
-                               parse_instance(text)));
-      return;
-    }
-    std::ifstream file(req.path);
-    if (!file) {
-      BatchRow row;
-      row.error = "cannot open file";
-      answer(req, row);
-      return;
-    }
-    answer(req, solve_to_row(registry, the_cache, &the_results, req.alg, req.solve,
-                             parse_instance(file)));
-  };
+Server::~Server() { pool_->wait_idle(); }
 
-  // Admission control: the reader blocks once max_inflight requests are in
-  // the pool, so an arbitrarily long stdin never piles up closures.
-  const auto submit = [&](Request req) {
+void Server::answer(Transport& transport, SessionState& state,
+                    const PendingRequest& pending) {
+  SolveResponse response;
+  if (!pending.bad.empty()) {
+    response.error = pending.bad;
+    response.id = pending.req.id;
+  } else {
+    response = run_request(registry_, *cache_, results_, pending.req, options_.alg,
+                           options_.solve);
+  }
+  response.seq = pending.seq;
+  if (options_.stable_output) response.wall_ms = 0;
+  {
+    std::lock_guard<std::mutex> out_lock(state.out_mu);
+    write_response_json(transport.out(), response);
+    transport.out().flush();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  (response.ok ? ok_ : errors_) += 1;
+}
+
+// Admission control: the session thread blocks once max_inflight_ requests
+// are in the pool (across all sessions), so arbitrarily fast clients never
+// pile up closures.
+void Server::submit(Transport& transport, SessionState& state, PendingRequest pending) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return inflight_ < max_inflight_; });
+    ++inflight_;
+    ++state.inflight;
+  }
+  pool_->submit([this, &transport, &state, pending = std::move(pending)] {
+    answer(transport, state, pending);
     {
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] { return inflight < max_inflight; });
-      ++inflight;
+      std::lock_guard<std::mutex> lock(mu_);
+      --inflight_;
+      --state.inflight;
     }
-    pool.submit([&run_request, &mu, &cv, &inflight, req = std::move(req)] {
-      run_request(req);
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        --inflight;
-      }
-      cv.notify_one();
-    });
-  };
+    cv_.notify_all();
+  });
+}
 
+void Server::session(Transport& transport) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++sessions_;
+  }
+  SessionState state;
+  std::istream& in = transport.in();
   std::string line;
   while (std::getline(in, line)) {
     const std::string frame = trimmed(line);
     if (frame.empty() || frame[0] == '#') continue;
     if (frame == "quit") break;
+    if (frame == "shutdown") {
+      shutdown_.store(true);
+      break;
+    }
 
-    Request req;
-    req.seq = static_cast<std::int64_t>(stats.requests++);
-    req.id = "#" + std::to_string(req.seq);
-    req.alg = options.alg;
-    req.solve = options.solve;
+    PendingRequest pending;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending.seq = static_cast<std::int64_t>(requests_++);
+    }
+    const std::string auto_id = "#" + std::to_string(pending.seq);
 
     if (frame[0] == '{') {
-      decode_json_frame(frame, &req);
+      std::string error;
+      std::string salvaged_id;
+      if (auto decoded = decode_request_json(frame, &error, &salvaged_id)) {
+        pending.req = std::move(*decoded);
+      } else {
+        pending.bad = "bad request: " + error;
+        // Answer under the client's own id when the broken frame still
+        // yielded one — a client correlating strictly by its ids would
+        // otherwise never match the error to its request. (A salvaged id in
+        // the reserved form stays unused; the auto id applies.)
+        if (!is_reserved_id(salvaged_id)) pending.req.id = std::move(salvaged_id);
+      }
     } else {
       const auto words = split_words(frame);
       if (words[0] == "solve") {
         if (words.size() == 2 || words.size() == 3) {
-          req.path = words[1];
-          if (words.size() == 3) req.id = words[2];
+          pending.req.path = words[1];
+          if (words.size() == 3) pending.req.id = words[2];
         } else {
-          req.bad = "bad request: solve takes PATH [ID] (paths with spaces "
-                    "need the JSON form)";
+          pending.bad = "bad request: solve takes PATH [ID] (paths with spaces "
+                        "need the JSON form)";
         }
       } else if (words[0] == "instance") {
         // The native text follows on the stream, so every `instance` header
@@ -209,26 +177,124 @@ ServeStats serve(const SolverRegistry& registry, std::istream& in, std::ostream&
         // exactly one well-formed instance; on a parse error it stops
         // mid-stream, so the damage is contained by discarding input up to
         // the next blank line (instance bodies contain none).
-        if (words.size() == 2) req.id = words[1];
-        if (words.size() > 2) req.bad = "bad request: instance takes at most one id";
+        if (words.size() == 2) pending.req.id = words[1];
+        if (words.size() > 2) pending.bad = "bad request: instance takes at most one id";
         auto parsed = std::make_shared<ParsedInstance>(parse_instance(in));
         if (!parsed->ok()) {
           std::string skip;
           while (std::getline(in, skip) && !trimmed(skip).empty()) {
           }
         }
-        if (req.bad.empty()) req.parsed = std::move(parsed);
+        if (pending.bad.empty()) pending.req.parsed = std::move(parsed);
       } else {
-        req.bad = "bad request: unrecognized frame '" + words[0] + "'";
+        pending.bad = "bad request: unrecognized frame '" + words[0] + "'";
       }
     }
-    submit(std::move(req));
+
+    // Client-supplied ids must stay out of the server's `#<seq>` namespace —
+    // a colliding correlation key is worse than an error response.
+    if (pending.bad.empty() && is_reserved_id(pending.req.id)) {
+      pending.bad = "bad request: id '" + pending.req.id +
+                    "' uses the reserved #<digits> form (server-assigned ids)";
+      pending.req.id.clear();
+    }
+    if (pending.req.id.empty()) pending.req.id = auto_id;
+    submit(transport, state, std::move(pending));
   }
 
-  pool.wait_idle();
-  stats.cache = the_cache.stats();
-  stats.results = the_results.stats();
+  // Drain THIS session's in-flight work before the caller may tear the
+  // transport down; concurrent sessions keep running on the shared pool.
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return state.inflight == 0; });
+}
+
+ServeStats Server::stats() const {
+  ServeStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.requests = requests_;
+    stats.ok = ok_;
+    stats.errors = errors_;
+    stats.sessions = sessions_;
+  }
+  stats.cache = cache_->stats();
+  stats.results = results_->stats();
   return stats;
+}
+
+ServeStats serve(const SolverRegistry& registry, std::istream& in, std::ostream& out,
+                 const ServeOptions& options, ProfileCache* cache,
+                 ResultCache* results) {
+  Server server(registry, options, cache, results);
+  IostreamTransport transport(in, out);
+  server.session(transport);
+  return server.stats();
+}
+
+ServeStats serve_unix(const SolverRegistry& registry, const std::string& socket_path,
+                      const ServeOptions& options, std::string* error,
+                      ProfileCache* cache, ResultCache* results) {
+  // A client that disconnects mid-response must cost one session, not the
+  // process: without this, the first write into its dead socket raises
+  // SIGPIPE and kills the server. Ignored process-wide; the failed flush
+  // surfaces as a stream error and the session ends on the EOF that follows.
+  ::signal(SIGPIPE, SIG_IGN);
+  auto listener = UnixListener::open(socket_path, error);
+  if (listener == nullptr) return {};
+
+  Server server(registry, options, cache, results);
+  // Session threads are detached and tracked by a live count, not collected
+  // in a vector: a long-lived server handling many short connections must
+  // not accumulate one joinable zombie thread per client ever served. The
+  // count (not the threads) is what shutdown waits on; the transport
+  // pointers are kept so shutdown can interrupt sessions whose clients are
+  // idle but still connected (a blocked getline would otherwise hold the
+  // server open forever).
+  std::mutex live_mu;
+  std::condition_variable live_cv;
+  std::size_t live_sessions = 0;
+  std::vector<Transport*> live_transports;
+  while (!server.shutdown_requested() && listener->ok()) {
+    auto client = listener->accept(/*poll_ms=*/200);
+    if (client == nullptr) continue;
+    {
+      std::lock_guard<std::mutex> lock(live_mu);
+      ++live_sessions;
+      live_transports.push_back(client.get());
+    }
+    // The thread owns its transport: destroying it when the session drains
+    // closes the fd, which is the client's cue that its conversation is
+    // complete.
+    std::thread([&server, &live_mu, &live_cv, &live_sessions, &live_transports,
+                 client = std::move(client)]() mutable {
+      server.session(*client);
+      {
+        // Deregister before destroying: past this block the shutdown path
+        // can no longer reach the transport.
+        std::lock_guard<std::mutex> lock(live_mu);
+        std::erase(live_transports, client.get());
+      }
+      client.reset();
+      // Release the count only once teardown is complete (serve_unix — and
+      // the process — may proceed the moment it hits zero), and notify
+      // under the lock: serve_unix's locals (this cv included) may be
+      // destroyed as soon as the waiter sees zero.
+      std::lock_guard<std::mutex> lock(live_mu);
+      --live_sessions;
+      live_cv.notify_all();
+    }).detach();
+  }
+  {
+    // Force EOF on every still-connected session so shutdown means "drain
+    // in-flight work and stop", not "wait for every idle client to leave".
+    std::unique_lock<std::mutex> lock(live_mu);
+    for (Transport* transport : live_transports) transport->interrupt();
+    live_cv.wait(lock, [&] { return live_sessions == 0; });
+  }
+  if (!listener->ok() && !server.shutdown_requested() && error != nullptr) {
+    *error = "listener on '" + socket_path + "' failed";
+  }
+  return server.stats();
 }
 
 }  // namespace bisched::engine

@@ -1,52 +1,76 @@
-// Long-lived serve mode: framed instance requests in, streamed responses out.
+// Long-lived serve mode: framed solve requests in, streamed v1 responses out.
 //
-// `serve` is the process-resident counterpart of BatchRunner: one registry,
-// one ProfileCache, one ResultCache, and one thread pool live across every
-// request, so repeated traffic pays parse + dispatch but never a second probe
-// (the "cache" member of the response) nor — for an identical
-// (instance, alg, options) request — a second solve (the "solve_cache"
-// member). Requests are read from
-// `in` one frame at a time and fanned across the pool under an in-flight
-// bound; responses are written to `out` as each solve finishes — one JSON
-// Lines object per request, flushed per line so a pipe peer can drive the
-// loop request-by-request. Completion order is arbitrary; every response
-// carries the request's `id` and admission `seq` for correlation. Requests
-// without an id get `#<seq>` — `seq` is the collision-free correlation key;
-// clients that pick their own ids should avoid the `#<digits>` form.
+// The resident state — one registry, one ProfileCache, one ResultCache, one
+// thread pool — lives in a transport-agnostic `Server`. A *session* is one
+// client's framed conversation over a `Transport` (engine/transport.hpp):
+// `Server::session` reads frames, decodes them through the engine/api v1
+// codec, fans the solves across the shared pool under a global in-flight
+// bound, and streams each response back on that client's transport as it
+// completes (one JSON Lines object per request, flushed per line). Sessions
+// may run concurrently — every client is answered from the same caches and
+// pool, so traffic from one client warms the next.
+//
+//   serve(...)       one session over borrowed iostreams — the classic
+//                    stdin/stdout framed loop, unchanged in behavior.
+//   serve_unix(...)  a unix-domain-socket listener: accepts any number of
+//                    concurrent clients (one session thread each) until a
+//                    client sends `shutdown`.
 //
 // Request framing (one frame per line unless noted; blank lines and `#`
 // comments are skipped):
 //
-//   {"id": "r1", "path": "a.inst"}        solve the instance file `path`
+//   {"v": 1, "id": "r1", "path": "a.inst"}   solve the instance file `path`
 //   {"id": "r2", "instance": "bisched uniform v1\n..."}
-//                                         solve an inline native-format text
-//   solve PATH [ID]                       plain-text form of the first
-//   instance [ID]                         native instance text follows
-//                                         directly on the stream (the parser
-//                                         consumes exactly one instance)
-//   quit                                  stop reading; drain and return
+//                                            solve inline native-format text
+//   solve PATH [ID]                          plain-text form of the first
+//   instance [ID]                            native instance text follows
+//                                            directly on the stream (the
+//                                            parser consumes one instance)
+//   quit                                     end THIS session; drain and
+//                                            close (the server keeps
+//                                            accepting other clients)
+//   shutdown                                 end this session AND stop the
+//                                            listener; serve_unix returns
+//                                            once active sessions drain
 //
-// JSON requests may also override "alg" (registry name or "auto") and "eps"
-// per request. A malformed frame yields an error response, never a crash or
-// a dropped request; after a malformed native `instance` body the loop
-// discards input up to the next blank line (bodies contain none) so the
-// remainder of the broken body is not misread as frames.
+// JSON requests may override "alg", "eps", "all", and "budget_ms" per
+// request (engine/api.hpp documents the full v1 schema). A malformed frame
+// yields an error response, never a crash or a dropped request; after a
+// malformed native `instance` body the session discards input up to the
+// next blank line (bodies contain none) so the remainder of the broken body
+// is not misread as frames.
+//
+// Ids: requests without an id get `#<seq>`, where `seq` is the server-wide
+// admission counter — the collision-free correlation key across all
+// concurrent sessions. The `#<digits>` form is therefore *reserved*: a
+// client-supplied id matching it is rejected with an error response instead
+// of silently risking collision with an auto-assigned one.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
 
-#include "engine/batch.hpp"
+#include "engine/api.hpp"
 #include "engine/profile_cache.hpp"
 #include "engine/registry.hpp"
 #include "engine/result_cache.hpp"
+#include "engine/transport.hpp"
+
+namespace bisched {
+class ThreadPool;
+}  // namespace bisched
 
 namespace bisched::engine {
 
 struct ServeOptions {
   std::string alg = "auto";  // default per-request algorithm
   SolveOptions solve;
-  unsigned threads = 0;        // 0 = default_thread_count()
+  unsigned threads = 0;          // 0 = default_thread_count()
   std::size_t max_inflight = 0;  // admission bound; 0 = 4 * threads
   bool stable_output = false;    // zero wall_ms in responses
 };
@@ -55,15 +79,73 @@ struct ServeStats {
   std::uint64_t requests = 0;
   std::uint64_t ok = 0;
   std::uint64_t errors = 0;  // bad frames + failed solves
+  std::uint64_t sessions = 0;
   ProfileCache::Stats cache;
   ResultCache::Stats results;
 };
 
-// Runs the loop until EOF or a `quit` frame, then drains in-flight requests.
-// `cache` / `results` may be shared (e.g. pre-warmed by a batch run);
-// nullptr uses private ones.
+// The resident, transport-agnostic core. Construct once; run one session
+// per connected client (concurrently if desired); read stats() at the end.
+class Server {
+ public:
+  // `cache` / `results` may be shared (e.g. pre-warmed by a batch run);
+  // nullptr uses private ones.
+  Server(const SolverRegistry& registry, const ServeOptions& options,
+         ProfileCache* cache = nullptr, ResultCache* results = nullptr);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Runs one client session on `transport` until EOF, `quit`, or
+  // `shutdown`, then drains that session's in-flight requests before
+  // returning (other sessions' work is unaffected). Thread-safe: call
+  // concurrently with one transport per thread.
+  void session(Transport& transport);
+
+  // Set once a session consumes a `shutdown` frame; the accept loop polls it.
+  bool shutdown_requested() const { return shutdown_.load(); }
+
+  ServeStats stats() const;
+
+ private:
+  struct SessionState;
+  struct PendingRequest;
+
+  void submit(Transport& transport, SessionState& state, PendingRequest pending);
+  void answer(Transport& transport, SessionState& state, const PendingRequest& pending);
+
+  const SolverRegistry& registry_;
+  ServeOptions options_;
+  std::size_t max_inflight_;
+  ProfileCache* cache_;
+  ResultCache* results_;
+  std::unique_ptr<ProfileCache> owned_cache_;
+  std::unique_ptr<ResultCache> owned_results_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mu_;  // guards the counters below
+  std::condition_variable cv_;
+  std::size_t inflight_ = 0;  // global admission bound across sessions
+  std::uint64_t requests_ = 0;
+  std::uint64_t ok_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t sessions_ = 0;
+  std::atomic<bool> shutdown_{false};
+};
+
+// One session over borrowed streams: runs until EOF or a `quit`/`shutdown`
+// frame, drains, and returns the stats. The stdin/stdout framed loop and the
+// in-process tests/benches use this.
 ServeStats serve(const SolverRegistry& registry, std::istream& in, std::ostream& out,
                  const ServeOptions& options, ProfileCache* cache = nullptr,
                  ResultCache* results = nullptr);
+
+// Listens on a unix-domain socket and serves concurrent clients from one
+// resident Server until a client sends `shutdown` (or the listener fails).
+// Returns aggregate stats; on listener setup failure returns zero stats with
+// *error set.
+ServeStats serve_unix(const SolverRegistry& registry, const std::string& socket_path,
+                      const ServeOptions& options, std::string* error,
+                      ProfileCache* cache = nullptr, ResultCache* results = nullptr);
 
 }  // namespace bisched::engine

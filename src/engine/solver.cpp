@@ -3,23 +3,11 @@
 #include <algorithm>
 #include <numeric>
 
-#include "graph/bipartite.hpp"
+#include "engine/graph_classes.hpp"
 
 namespace bisched::engine {
 
 int guarantee_rank(Guarantee g) { return static_cast<int>(g); }
-
-const char* to_string(GraphClass c) {
-  switch (c) {
-    case GraphClass::kAny:
-      return "any";
-    case GraphClass::kBipartite:
-      return "bipartite";
-    case GraphClass::kCompleteBipartite:
-      return "complete-bipartite";
-  }
-  return "?";
-}
 
 const char* to_string(Guarantee g) {
   switch (g) {
@@ -41,17 +29,7 @@ namespace {
 
 void probe_graph(const Graph& g, InstanceProfile* profile) {
   profile->num_edges = g.num_edges();
-  const auto bp = bipartition(g);
-  profile->bipartite = bp.has_value();
-  if (bp.has_value()) {
-    // Complete bipartite = every cross pair present. Sides are counted the
-    // same way solve_complete_bipartite_instance counts them, so the probe
-    // and the solver's own expected-edge check agree.
-    std::int64_t n1 = 0;
-    for (std::uint8_t s : bp->side) n1 += (s == 0);
-    const std::int64_t n2 = static_cast<std::int64_t>(bp->side.size()) - n1;
-    profile->complete_bipartite = profile->num_edges == n1 * n2;
-  }
+  profile->graph_classes = GraphClassLattice::builtin().detect(g);
 }
 
 }  // namespace
@@ -124,11 +102,8 @@ bool is_applicable(const SolverCapabilities& caps, const InstanceProfile& profil
     return fail("handles <= " + std::to_string(caps.max_jobs) + " jobs");
   }
   if (caps.unit_jobs_only && !profile.unit_jobs) return fail("requires unit jobs");
-  if (caps.graph == GraphClass::kBipartite && !profile.bipartite) {
-    return fail("requires a bipartite conflict graph");
-  }
-  if (caps.graph == GraphClass::kCompleteBipartite && !profile.complete_bipartite) {
-    return fail("requires a complete bipartite conflict graph");
+  if (!profile.has_class(caps.graph)) {
+    return fail("requires a " + graph_class_name(caps.graph) + " conflict graph");
   }
   // A single machine with any conflict edge admits no schedule at all; only
   // solvers that can report failure may be offered such an instance.

@@ -5,16 +5,18 @@
 // jobs, conflict-graph class). The engine makes those preconditions explicit
 // data: every algorithm is wrapped as a `Solver` carrying declarative
 // `SolverCapabilities`, an instance is summarized once into an
-// `InstanceProfile` (bipartiteness via src/graph/bipartite), and
-// `is_applicable` decides eligibility *before* the call — so the library's
-// BISCHED_CHECK aborts become unreachable through the engine, and the `auto`
-// portfolio (engine/portfolio.hpp) can rank eligible solvers by guarantee.
+// `InstanceProfile` (graph structure via the engine/graph_classes lattice),
+// and `is_applicable` decides eligibility *before* the call — so the
+// library's BISCHED_CHECK aborts become unreachable through the engine, and
+// the `auto` portfolio (engine/portfolio.hpp) can rank eligible solvers by
+// guarantee.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <string>
 
+#include "engine/graph_classes.hpp"
 #include "sched/instance.hpp"
 #include "sched/schedule.hpp"
 #include "util/rational.hpp"
@@ -28,14 +30,6 @@ enum ModelMask : unsigned {
   kModelUnrelated = 2u,
 };
 
-// Conflict-graph class a solver requires. Classes are nested: a complete
-// bipartite graph is bipartite, and everything is kAny.
-enum class GraphClass {
-  kAny,
-  kBipartite,
-  kCompleteBipartite,
-};
-
 // Approximation guarantee, strongest first; `guarantee_rank` gives the total
 // order the portfolio sorts by.
 enum class Guarantee {
@@ -47,19 +41,22 @@ enum class Guarantee {
 };
 
 int guarantee_rank(Guarantee g);
-const char* to_string(GraphClass c);
 const char* to_string(Guarantee g);
 
 // One-pass structural summary of an instance; computed by `probe`, consumed
-// by applicability checks. Probing costs O(|V| + |E|) (a BFS 2-coloring).
+// by applicability checks. Probing costs O(|V| + |E| log) (a BFS 2-coloring
+// plus the lattice's twin-class scan).
 struct InstanceProfile {
   unsigned model = 0;  // exactly one ModelMask bit
   int jobs = 0;
   int machines = 0;
   std::int64_t num_edges = 0;
-  bool unit_jobs = false;           // uniform model: all p_j == 1
-  bool bipartite = false;
-  bool complete_bipartite = false;  // one K_{a,b} spanning all jobs
+  bool unit_jobs = false;  // uniform model: all p_j == 1
+  // Bit i = the conflict graph belongs to class i of
+  // GraphClassLattice::builtin(); filled by probe() via the detector
+  // registry and closed under subsumption (a complete-bipartite graph also
+  // has the bipartite, complete-multipartite, and any bits set).
+  std::uint64_t graph_classes = 0;
   // Uniform: sum p_j. Unrelated: sum_j max_i t_ij — an upper bound on the
   // makespan of any schedule, used to budget pseudo-polynomial DPs.
   std::int64_t total_work = 0;
@@ -68,6 +65,10 @@ struct InstanceProfile {
   // otherwise. Saturates at INT64_MAX on overflow so admits guards that
   // multiply by it reject instead of wrapping.
   std::int64_t speed_lcm = 0;
+
+  bool has_class(GraphClassId id) const {
+    return id >= 0 && id < 64 && ((graph_classes >> id) & 1u) != 0;
+  }
 };
 
 InstanceProfile probe(const UniformInstance& inst);
@@ -79,7 +80,11 @@ struct SolverCapabilities {
   int max_machines = 0;        // 0 = unbounded
   int max_jobs = 0;            // 0 = unbounded
   bool unit_jobs_only = false;
-  GraphClass graph = GraphClass::kAny;
+  // Required conflict-graph class, as a lattice id. An instance qualifies
+  // when its detected class set contains this class — so a solver declared
+  // for complete-multipartite graphs automatically accepts complete-
+  // bipartite instances (subsumption lives in the lattice, not here).
+  GraphClassId graph = kGraphAny;
   Guarantee guarantee = Guarantee::kHeuristic;
   std::string guarantee_label;  // human-readable, e.g. "1+eps", "sqrt(sum p)"
   // True when the solver may fail at runtime even on applicable instances

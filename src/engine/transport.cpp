@@ -1,0 +1,196 @@
+#include "engine/transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bisched::engine {
+
+namespace {
+
+// Fills a sockaddr_un; false when the path exceeds sun_path (no silent
+// truncation into some other socket).
+bool make_address(const std::string& path, sockaddr_un* addr, std::string* error) {
+  if (path.size() >= sizeof(addr->sun_path)) {
+    if (error != nullptr) {
+      *error = "socket path '" + path + "' is too long (max " +
+               std::to_string(sizeof(addr->sun_path) - 1) + " bytes)";
+    }
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ FdStreambuf ---
+
+FdStreambuf::FdStreambuf(int fd)
+    : fd_(fd), in_buf_(new char[kBufSize]), out_buf_(new char[kBufSize]) {
+  setg(in_buf_.get(), in_buf_.get(), in_buf_.get());
+  setp(out_buf_.get(), out_buf_.get() + kBufSize);
+}
+
+FdStreambuf::int_type FdStreambuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  ssize_t n;
+  do {
+    n = ::read(fd_, in_buf_.get(), kBufSize);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return traits_type::eof();
+  setg(in_buf_.get(), in_buf_.get(), in_buf_.get() + n);
+  return traits_type::to_int_type(*gptr());
+}
+
+bool FdStreambuf::flush_output() {
+  const char* data = pbase();
+  std::size_t left = static_cast<std::size_t>(pptr() - pbase());
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  setp(out_buf_.get(), out_buf_.get() + kBufSize);
+  return true;
+}
+
+FdStreambuf::int_type FdStreambuf::overflow(int_type c) {
+  if (!flush_output()) return traits_type::eof();
+  if (!traits_type::eq_int_type(c, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(c);
+    pbump(1);
+  }
+  return traits_type::not_eof(c);
+}
+
+int FdStreambuf::sync() { return flush_output() ? 0 : -1; }
+
+// ------------------------------------------------------------ FdTransport ---
+
+FdTransport::FdTransport(int fd, std::string peer)
+    : fd_(fd), peer_(std::move(peer)), buf_(fd), in_(&buf_), out_(&buf_) {}
+
+FdTransport::~FdTransport() {
+  out_.flush();
+  ::close(fd_);
+}
+
+void FdTransport::interrupt() { ::shutdown(fd_, SHUT_RD); }
+
+// ------------------------------------------------------------ UnixListener ---
+
+std::unique_ptr<UnixListener> UnixListener::open(const std::string& path,
+                                                 std::string* error) {
+  sockaddr_un addr;
+  if (!make_address(path, &addr, error)) return nullptr;
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return nullptr;
+  }
+  int rc = ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EADDRINUSE) {
+    // Distinguish a live server from a stale socket file left by a crashed
+    // process: if the path holds a *socket* nobody answers on, unlink and
+    // rebind. Anything that is not a socket (a user's regular file at a
+    // mistyped --listen path) is never deleted.
+    struct stat st;
+    if (::lstat(path.c_str(), &st) != 0 || !S_ISSOCK(st.st_mode)) {
+      ::close(fd);
+      if (error != nullptr) {
+        *error = "'" + path + "' exists and is not a socket";
+      }
+      return nullptr;
+    }
+    std::string probe_error;
+    const int probe = unix_connect(path, &probe_error);
+    if (probe >= 0) {
+      ::close(probe);
+      ::close(fd);
+      if (error != nullptr) *error = "'" + path + "' already has a live server";
+      return nullptr;
+    }
+    ::unlink(path.c_str());
+    rc = ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  }
+  if (rc != 0) {
+    if (error != nullptr) {
+      *error = "bind '" + path + "': " + std::strerror(errno);
+    }
+    ::close(fd);
+    return nullptr;
+  }
+  if (::listen(fd, 64) != 0) {
+    if (error != nullptr) {
+      *error = "listen '" + path + "': " + std::strerror(errno);
+    }
+    ::close(fd);
+    ::unlink(path.c_str());
+    return nullptr;
+  }
+  return std::unique_ptr<UnixListener>(new UnixListener(fd, path));
+}
+
+UnixListener::~UnixListener() {
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+std::unique_ptr<FdTransport> UnixListener::accept(int poll_ms) {
+  if (fd_ < 0) return nullptr;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, poll_ms);
+  if (ready <= 0) {
+    if (ready < 0 && errno != EINTR && errno != EAGAIN) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return nullptr;
+  }
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    if (errno != EINTR && errno != EAGAIN && errno != ECONNABORTED) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return nullptr;
+  }
+  return std::make_unique<FdTransport>(client, "unix:" + std::to_string(++accepted_));
+}
+
+int unix_connect(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (!make_address(path, &addr, error)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (error != nullptr) {
+      *error = "connect '" + path + "': " + std::strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace bisched::engine

@@ -1,0 +1,141 @@
+// Transports: how a serve session talks to one client.
+//
+// The serve loop used to *be* its transport — a while(getline(stdin)) with
+// responses on stdout. This module splits the byte channel out behind a tiny
+// interface (one std::istream for frames in, one std::ostream for responses
+// out), so the session logic in engine/serve is written once and runs
+// unchanged over:
+//
+//   IostreamTransport — borrowed streams: the classic stdin/stdout framed
+//                       loop, in-process tests over stringstreams, benches.
+//   FdTransport       — an owned POSIX fd (socket or pipe) grown into
+//                       streams by FdStreambuf; one per accepted client.
+//
+// UnixListener binds a unix-domain socket and accepts FdTransports; it polls
+// with a short timeout so the accept loop can observe a shutdown flag
+// without signals. unix_connect is the matching client side (CLI `client`,
+// tests, the CI smoke).
+//
+// Streams were chosen over a read(buf)/write(buf) interface deliberately:
+// the native `instance` frame hands the stream to the instance parser
+// mid-session (the body follows the header directly), which only works when
+// the transport *is* an istream.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <streambuf>
+#include <string>
+
+namespace bisched::engine {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual std::istream& in() = 0;
+  virtual std::ostream& out() = 0;
+  // Human-readable peer label for stats/log lines ("stdio", "unix:3", ...).
+  virtual const std::string& peer() const = 0;
+
+  // Unblocks a reader stuck in in() by forcing EOF, from another thread —
+  // how a server shutdown ends sessions whose clients are idle but still
+  // connected. Default: no-op (borrowed iostreams have no such lever).
+  virtual void interrupt() {}
+};
+
+// Borrows caller-owned streams; lifetime is the caller's problem.
+class IostreamTransport final : public Transport {
+ public:
+  IostreamTransport(std::istream& in, std::ostream& out, std::string peer = "stdio")
+      : in_(&in), out_(&out), peer_(std::move(peer)) {}
+
+  std::istream& in() override { return *in_; }
+  std::ostream& out() override { return *out_; }
+  const std::string& peer() const override { return peer_; }
+
+ private:
+  std::istream* in_;
+  std::ostream* out_;
+  std::string peer_;
+};
+
+// Duplex streambuf over one fd: buffered reads (underflow -> ::read) and
+// buffered writes (sync -> full ::write loop, EINTR-safe). The serve session
+// flushes after every response line, so a pipe/socket peer can drive the
+// conversation request-by-request.
+class FdStreambuf final : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd);
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type c) override;
+  int sync() override;
+
+ private:
+  bool flush_output();
+
+  static constexpr std::size_t kBufSize = 1 << 16;
+  int fd_;
+  std::unique_ptr<char[]> in_buf_;
+  std::unique_ptr<char[]> out_buf_;
+};
+
+// Owns the fd: closes it on destruction (which is what ends the client's
+// read loop after a session drains).
+class FdTransport final : public Transport {
+ public:
+  FdTransport(int fd, std::string peer);
+  ~FdTransport() override;
+  FdTransport(const FdTransport&) = delete;
+  FdTransport& operator=(const FdTransport&) = delete;
+
+  std::istream& in() override { return in_; }
+  std::ostream& out() override { return out_; }
+  const std::string& peer() const override { return peer_; }
+  // shutdown(SHUT_RD): a blocked read returns 0 (EOF); pending writes still
+  // flush. Safe to call from another thread while the session reads.
+  void interrupt() override;
+
+ private:
+  int fd_;
+  std::string peer_;
+  FdStreambuf buf_;
+  std::istream in_;
+  std::ostream out_;
+};
+
+class UnixListener {
+ public:
+  // Binds + listens on `path`. A stale socket file (bind says "in use" but
+  // nothing answers a connect) is unlinked and rebound; a *live* one is an
+  // error. Returns nullptr with *error set on failure.
+  static std::unique_ptr<UnixListener> open(const std::string& path, std::string* error);
+  ~UnixListener();
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  // Waits up to poll_ms for a connection. nullptr on timeout or transient
+  // error — callers loop on a stop flag. Fatal listener errors set ok() to
+  // false.
+  std::unique_ptr<FdTransport> accept(int poll_ms);
+
+  bool ok() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+ private:
+  UnixListener(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_;
+  std::string path_;
+  std::uint64_t accepted_ = 0;
+};
+
+// Client side: connects to a unix-domain socket; returns the fd, or -1 with
+// *error set.
+int unix_connect(const std::string& path, std::string* error);
+
+}  // namespace bisched::engine

@@ -299,6 +299,42 @@ TEST_F(BatchTest, CollectFromDirectorySortsAndFromManifestResolvesRelative) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST_F(BatchTest, OutputPathIsExcludedFromTheSweepByPathNotJustEquivalence) {
+  Rng rng(8);
+  write_inst("a.inst", testing::random_uniform_instance(3, 3, 2, 2, 2, rng));
+  write_inst("b.inst", testing::random_uniform_instance(3, 3, 2, 2, 2, rng));
+  write_file("results.csv", "seq,file,status\n");  // last run's output
+
+  std::string error;
+  auto paths = engine::collect_instance_paths(dir_.string(), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_EQ(paths.size(), 3u);
+
+  // A differently-spelled path to the same file is still excluded
+  // (filesystem equivalence).
+  auto spelled = paths;
+  const std::string dotted = (dir_ / "." / "results.csv").string();
+  EXPECT_EQ(engine::exclude_output_path(spelled, dotted), 1u);
+  EXPECT_EQ(spelled.size(), 2u);
+
+  // A NOT-YET-CREATED output resolves by normalized path — the case plain
+  // equivalence misses entirely.
+  std::vector<std::string> future = {(dir_ / "sub" / ".." / "next.csv").string(),
+                                     (dir_ / "a.inst").string()};
+  EXPECT_EQ(engine::exclude_output_path(future, (dir_ / "next.csv").string()), 1u);
+  ASSERT_EQ(future.size(), 1u);
+  EXPECT_EQ(future[0], (dir_ / "a.inst").string());
+
+  // path_inside_directory powers the CLI warning.
+  EXPECT_TRUE(engine::path_inside_directory((dir_ / "results.csv").string(),
+                                            dir_.string()));
+  EXPECT_TRUE(engine::path_inside_directory((dir_ / "deep" / "r.csv").string(),
+                                            dir_.string()));
+  EXPECT_FALSE(engine::path_inside_directory(
+      (fs::temp_directory_path() / "elsewhere.csv").string(), dir_.string()));
+  EXPECT_FALSE(engine::path_inside_directory(dir_.string(), dir_.string()));
+}
+
 TEST_F(BatchTest, CsvAndJsonSerializeAllRows) {
   BatchRow ok_row;
   ok_row.seq = 0;
@@ -367,10 +403,11 @@ TEST_F(BatchTest, WritersEscapeDelimitersConsistentlyAcrossFormats) {
   // One line per row even when fields contain newlines.
   EXPECT_EQ(std::count(json_text.begin(), json_text.end(), '\n'), 1);
 
-  // The serve-mode id goes through the same escaping.
-  const std::string id = "req \"1\",\n2";
+  // The serve-mode id (a row member, stamped before encoding) goes through
+  // the same escaping.
+  row.id = "req \"1\",\n2";
   std::ostringstream with_id;
-  engine::write_row_json(with_id, row, &id);
+  engine::write_row_json(with_id, row);
   EXPECT_NE(with_id.str().find("\"id\": \"req \\\"1\\\",\\n2\""), std::string::npos);
 }
 

@@ -1,0 +1,233 @@
+// Graph-class lattice tests: subsumption as data, detector-driven probe(),
+// the complete-multipartite detector, and the acceptance path for new
+// classes — a solver registered against a *new* class becomes applicable to
+// every subsumed instance with zero edits to the engine core.
+#include "engine/graph_classes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "engine/portfolio.hpp"
+#include "engine/registry.hpp"
+#include "engine/solver.hpp"
+#include "random/generators.hpp"
+#include "sched/instance.hpp"
+#include "sched/schedule.hpp"
+#include "testing_util.hpp"
+#include "util/prng.hpp"
+
+namespace bisched {
+namespace {
+
+using engine::GraphClassId;
+using engine::GraphClassLattice;
+
+// Complete multipartite with the given part sizes: all cross-part edges.
+Graph complete_multipartite_graph(const std::vector<int>& parts) {
+  int n = 0;
+  for (int p : parts) n += p;
+  Graph g(n);
+  int a_base = 0;
+  for (std::size_t a = 0; a < parts.size(); ++a) {
+    int b_base = a_base + parts[a];
+    for (std::size_t b = a + 1; b < parts.size(); ++b) {
+      for (int u = 0; u < parts[a]; ++u) {
+        for (int v = 0; v < parts[b]; ++v) g.add_edge(a_base + u, b_base + v);
+      }
+      b_base += parts[b];
+    }
+    a_base += parts[a];
+  }
+  return g;
+}
+
+TEST(GraphClassLattice, BuiltinShapeAndSubsumption) {
+  const auto& lattice = GraphClassLattice::builtin();
+  ASSERT_GE(lattice.size(), 4);
+  EXPECT_EQ(lattice.find("any"), engine::kGraphAny);
+  EXPECT_EQ(lattice.find("bipartite"), engine::kGraphBipartite);
+  EXPECT_EQ(lattice.find("complete-multipartite"), engine::kGraphCompleteMultipartite);
+  EXPECT_EQ(lattice.find("complete-bipartite"), engine::kGraphCompleteBipartite);
+  EXPECT_EQ(lattice.find("no-such-class"), engine::kGraphClassInvalid);
+
+  // The acceptance chain: complete bipartite ⊂ complete multipartite ⊂ any.
+  EXPECT_TRUE(lattice.subsumes(engine::kGraphCompleteMultipartite,
+                               engine::kGraphCompleteBipartite));
+  EXPECT_TRUE(lattice.subsumes(engine::kGraphAny, engine::kGraphCompleteMultipartite));
+  EXPECT_TRUE(lattice.subsumes(engine::kGraphAny, engine::kGraphCompleteBipartite));
+  // ... and the bipartite edge of the diamond.
+  EXPECT_TRUE(lattice.subsumes(engine::kGraphBipartite, engine::kGraphCompleteBipartite));
+  EXPECT_TRUE(lattice.subsumes(engine::kGraphAny, engine::kGraphBipartite));
+  // Reflexive; and bipartite vs complete-multipartite are incomparable.
+  EXPECT_TRUE(lattice.subsumes(engine::kGraphBipartite, engine::kGraphBipartite));
+  EXPECT_FALSE(lattice.subsumes(engine::kGraphBipartite,
+                                engine::kGraphCompleteMultipartite));
+  EXPECT_FALSE(lattice.subsumes(engine::kGraphCompleteMultipartite,
+                                engine::kGraphBipartite));
+  EXPECT_FALSE(lattice.subsumes(engine::kGraphCompleteBipartite, engine::kGraphAny));
+
+  // Parents are data, visible for docs/list-algs.
+  const auto& parents = lattice.parents(engine::kGraphCompleteBipartite);
+  EXPECT_EQ(parents.size(), 2u);
+}
+
+TEST(GraphClassLattice, DetectsTheBuiltinClasses) {
+  const auto& lattice = GraphClassLattice::builtin();
+  const auto classes_of = [&](const Graph& g) {
+    std::set<std::string> names;
+    const std::uint64_t mask = lattice.detect(g);
+    for (GraphClassId id = 0; id < lattice.size(); ++id) {
+      if ((mask >> id) & 1u) names.insert(lattice.name(id));
+    }
+    return names;
+  };
+
+  EXPECT_EQ(classes_of(complete_bipartite(2, 3)),
+            (std::set<std::string>{"any", "bipartite", "complete-multipartite",
+                                   "complete-bipartite"}));
+
+  // K_{2,2,2}: complete multipartite, not bipartite (odd cycles through the
+  // three parts).
+  EXPECT_EQ(classes_of(complete_multipartite_graph({2, 2, 2})),
+            (std::set<std::string>{"any", "complete-multipartite"}));
+
+  // A triangle is K_{1,1,1}.
+  Graph triangle(3);
+  triangle.add_edge(0, 1);
+  triangle.add_edge(1, 2);
+  triangle.add_edge(0, 2);
+  EXPECT_EQ(classes_of(triangle),
+            (std::set<std::string>{"any", "complete-multipartite"}));
+
+  // Two disjoint edges: bipartite only.
+  Graph two_edges(4);
+  two_edges.add_edge(0, 1);
+  two_edges.add_edge(2, 3);
+  EXPECT_EQ(classes_of(two_edges), (std::set<std::string>{"any", "bipartite"}));
+
+  // C5: neither.
+  Graph c5(5);
+  for (int i = 0; i < 5; ++i) c5.add_edge(i, (i + 1) % 5);
+  EXPECT_EQ(classes_of(c5), (std::set<std::string>{"any"}));
+
+  // Edgeless: one part, vacuously everything.
+  EXPECT_EQ(classes_of(Graph(4)),
+            (std::set<std::string>{"any", "bipartite", "complete-multipartite",
+                                   "complete-bipartite"}));
+}
+
+TEST(GraphClassLattice, CompleteMultipartiteDetectorEdgeCases) {
+  EXPECT_TRUE(engine::is_complete_multipartite(Graph()));
+  EXPECT_TRUE(engine::is_complete_multipartite(Graph(1)));
+  EXPECT_TRUE(engine::is_complete_multipartite(complete_multipartite_graph({3, 1, 2})));
+  EXPECT_TRUE(engine::is_complete_multipartite(complete_multipartite_graph({4})));
+
+  // K2 plus an isolated vertex: the isolated vertex would need to be a part
+  // of its own, but it misses both cross edges.
+  Graph k2_plus(3);
+  k2_plus.add_edge(0, 1);
+  EXPECT_FALSE(engine::is_complete_multipartite(k2_plus));
+
+  // P4 (path on 4): bipartite but not complete multipartite.
+  Graph p4(4);
+  p4.add_edge(0, 1);
+  p4.add_edge(1, 2);
+  p4.add_edge(2, 3);
+  EXPECT_FALSE(engine::is_complete_multipartite(p4));
+
+  // P3 IS K_{1,2}.
+  Graph p3(3);
+  p3.add_edge(0, 1);
+  p3.add_edge(1, 2);
+  EXPECT_TRUE(engine::is_complete_multipartite(p3));
+
+  // Randomized closure check: whenever the complete-bipartite bit is on, the
+  // whole ancestor set is on — detectors agree with the declared edges.
+  Rng rng(61);
+  const auto& lattice = GraphClassLattice::builtin();
+  for (int trial = 0; trial < 40; ++trial) {
+    const int a = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    const int b = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    const std::uint64_t mask = lattice.detect(complete_bipartite(a, b));
+    for (GraphClassId id : {engine::kGraphAny, engine::kGraphBipartite,
+                            engine::kGraphCompleteMultipartite,
+                            engine::kGraphCompleteBipartite}) {
+      EXPECT_TRUE((mask >> id) & 1u) << "a=" << a << " b=" << b << " id=" << id;
+    }
+  }
+}
+
+// A toy solver registered against the complete-multipartite class — the
+// related-work registration path. It must become applicable to complete
+// BIPARTITE instances purely through lattice subsumption.
+class MultipartiteTestSolver final : public engine::Solver {
+ public:
+  MultipartiteTestSolver()
+      : name_("cmp-test"), summary_("test solver for complete multipartite graphs") {
+    caps_.models = engine::kModelUniform;
+    caps_.graph = engine::kGraphCompleteMultipartite;
+    caps_.guarantee = engine::Guarantee::kHeuristic;
+    caps_.guarantee_label = "test";
+  }
+
+  const std::string& name() const override { return name_; }
+  const std::string& summary() const override { return summary_; }
+  const engine::SolverCapabilities& capabilities() const override { return caps_; }
+
+  engine::SolveResult solve(const UniformInstance& inst,
+                            const engine::SolveOptions&) const override {
+    engine::SolveResult r;
+    r.ok = true;
+    r.solver = name_;
+    r.guarantee = caps_.guarantee_label;
+    // Round-robin over machines in part order is enough for a wiring test.
+    r.schedule.machine_of.assign(static_cast<std::size_t>(inst.num_jobs()), 0);
+    r.cmax = Rational(0);
+    return r;
+  }
+
+ private:
+  std::string name_;
+  std::string summary_;
+  engine::SolverCapabilities caps_;
+};
+
+TEST(GraphClassLattice, NewClassSolverIsAReachableRegistrationNotACoreEdit) {
+  engine::SolverRegistry registry;
+  registry.add(std::make_unique<MultipartiteTestSolver>());
+
+  // Complete bipartite instance: subsumption makes the solver eligible.
+  const auto kab = make_uniform_instance({1, 1, 1, 1, 1}, {2, 1},
+                                         complete_bipartite(2, 3));
+  const auto kab_profile = engine::probe(kab);
+  std::string why;
+  EXPECT_TRUE(engine::is_applicable(MultipartiteTestSolver().capabilities(),
+                                    kab_profile, &why))
+      << why;
+  EXPECT_EQ(registry.applicable(kab_profile).size(), 1u);
+
+  // Complete tripartite instance: eligible directly (and NOT bipartite, so
+  // the paper's bipartite suite would refuse it).
+  const auto k222 = make_uniform_instance(
+      std::vector<std::int64_t>(6, 1), {1, 1, 1}, complete_multipartite_graph({2, 2, 2}));
+  const auto k222_profile = engine::probe(k222);
+  EXPECT_TRUE(k222_profile.has_class(engine::kGraphCompleteMultipartite));
+  EXPECT_FALSE(k222_profile.has_class(engine::kGraphBipartite));
+  EXPECT_EQ(registry.applicable(k222_profile).size(), 1u);
+
+  // Sparse bipartite instance: NOT eligible, and the rejection names the
+  // lattice class.
+  Graph two_edges(4);
+  two_edges.add_edge(0, 1);
+  two_edges.add_edge(2, 3);
+  const auto sparse =
+      make_uniform_instance({1, 1, 1, 1}, {1, 1}, std::move(two_edges));
+  EXPECT_FALSE(engine::is_applicable(MultipartiteTestSolver().capabilities(),
+                                     engine::probe(sparse), &why));
+  EXPECT_NE(why.find("complete-multipartite"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bisched

@@ -71,7 +71,7 @@ TEST(ProfileCache, MissThenHitReturnsTheProbedProfile) {
   const CachedProfile first = cache.profile(inst);
   EXPECT_FALSE(first.hit);
   EXPECT_EQ(first.hash, instance_hash(inst));
-  EXPECT_EQ(first.profile.bipartite, direct.bipartite);
+  EXPECT_EQ(first.profile.graph_classes, direct.graph_classes);
   EXPECT_EQ(first.profile.total_work, direct.total_work);
   EXPECT_EQ(first.profile.speed_lcm, direct.speed_lcm);
 
@@ -81,7 +81,8 @@ TEST(ProfileCache, MissThenHitReturnsTheProbedProfile) {
   EXPECT_EQ(second.profile.jobs, direct.jobs);
   EXPECT_EQ(second.profile.machines, direct.machines);
   EXPECT_EQ(second.profile.unit_jobs, direct.unit_jobs);
-  EXPECT_EQ(second.profile.complete_bipartite, direct.complete_bipartite);
+  EXPECT_EQ(second.profile.has_class(engine::kGraphCompleteBipartite),
+            direct.has_class(engine::kGraphCompleteBipartite));
 
   const auto stats = cache.stats();
   EXPECT_EQ(stats.hits, 1u);

@@ -15,7 +15,6 @@
 namespace bisched {
 namespace {
 
-using engine::GraphClass;
 using engine::Guarantee;
 using engine::InstanceProfile;
 using engine::SolverRegistry;
@@ -55,17 +54,17 @@ TEST(Registry, CapabilityMetadataMatchesPaperPreconditions) {
   EXPECT_EQ(q2exact.min_machines, 2);
   EXPECT_EQ(q2exact.max_machines, 2);
   EXPECT_TRUE(q2exact.unit_jobs_only);
-  EXPECT_EQ(q2exact.graph, GraphClass::kBipartite);
+  EXPECT_EQ(q2exact.graph, engine::kGraphBipartite);
   EXPECT_EQ(q2exact.guarantee, Guarantee::kExact);
 
   const auto& kab = reg.find("kab")->capabilities();
   EXPECT_TRUE(kab.unit_jobs_only);
-  EXPECT_EQ(kab.graph, GraphClass::kCompleteBipartite);
+  EXPECT_EQ(kab.graph, engine::kGraphCompleteBipartite);
   EXPECT_EQ(kab.guarantee, Guarantee::kExact);
 
   const auto& alg1 = reg.find("alg1")->capabilities();
   EXPECT_EQ(alg1.models, engine::kModelUniform);
-  EXPECT_EQ(alg1.graph, GraphClass::kBipartite);
+  EXPECT_EQ(alg1.graph, engine::kGraphBipartite);
   EXPECT_EQ(alg1.guarantee, Guarantee::kSqrtApprox);
   EXPECT_FALSE(alg1.unit_jobs_only);
 
@@ -81,11 +80,11 @@ TEST(Registry, CapabilityMetadataMatchesPaperPreconditions) {
   const auto& exact = reg.find("exact")->capabilities();
   EXPECT_EQ(exact.models, engine::kModelUniform | engine::kModelUnrelated);
   EXPECT_EQ(exact.max_jobs, 64);
-  EXPECT_EQ(exact.graph, GraphClass::kAny);
+  EXPECT_EQ(exact.graph, engine::kGraphAny);
   EXPECT_TRUE(exact.may_fail);
 
   const auto& greedy = reg.find("greedy")->capabilities();
-  EXPECT_EQ(greedy.graph, GraphClass::kAny);
+  EXPECT_EQ(greedy.graph, engine::kGraphAny);
   EXPECT_TRUE(greedy.may_fail);
 
   // The Q2 companions registered from src/core's remaining entry points.
@@ -148,8 +147,12 @@ TEST(Probe, RecognizesStructure) {
   EXPECT_EQ(profile.jobs, 5);
   EXPECT_EQ(profile.machines, 2);
   EXPECT_TRUE(profile.unit_jobs);
-  EXPECT_TRUE(profile.bipartite);
-  EXPECT_TRUE(profile.complete_bipartite);
+  EXPECT_TRUE(profile.has_class(engine::kGraphBipartite));
+  EXPECT_TRUE(profile.has_class(engine::kGraphCompleteBipartite));
+  // Lattice closure: a complete bipartite graph is also complete
+  // multipartite (two parts) and trivially "any".
+  EXPECT_TRUE(profile.has_class(engine::kGraphCompleteMultipartite));
+  EXPECT_TRUE(profile.has_class(engine::kGraphAny));
   EXPECT_EQ(profile.total_work, 5);
   EXPECT_EQ(profile.speed_lcm, 2);  // lcm(2, 1); set only for two machines
 
@@ -159,8 +162,9 @@ TEST(Probe, RecognizesStructure) {
   two_edges.add_edge(2, 3);
   const auto sparse = make_uniform_instance({2, 1, 1, 1}, {1, 1}, std::move(two_edges));
   const auto sparse_profile = engine::probe(sparse);
-  EXPECT_TRUE(sparse_profile.bipartite);
-  EXPECT_FALSE(sparse_profile.complete_bipartite);
+  EXPECT_TRUE(sparse_profile.has_class(engine::kGraphBipartite));
+  EXPECT_FALSE(sparse_profile.has_class(engine::kGraphCompleteBipartite));
+  EXPECT_FALSE(sparse_profile.has_class(engine::kGraphCompleteMultipartite));
   EXPECT_FALSE(sparse_profile.unit_jobs);
   EXPECT_EQ(sparse_profile.total_work, 5);
 
@@ -170,7 +174,10 @@ TEST(Probe, RecognizesStructure) {
   triangle.add_edge(1, 2);
   triangle.add_edge(0, 2);
   const auto odd = make_uniform_instance({1, 1, 1}, {1, 1, 1}, std::move(triangle));
-  EXPECT_FALSE(engine::probe(odd).bipartite);
+  EXPECT_FALSE(engine::probe(odd).has_class(engine::kGraphBipartite));
+  // A triangle is K_{1,1,1}: complete multipartite without being bipartite —
+  // the classes are incomparable in the lattice, not nested.
+  EXPECT_TRUE(engine::probe(odd).has_class(engine::kGraphCompleteMultipartite));
   EXPECT_EQ(engine::probe(odd).speed_lcm, 0);  // three machines: no Q2 embedding
 
   // Unrelated probe: total_work is the sum of per-job worst-case times.

@@ -7,10 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
+#include <thread>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -193,6 +196,159 @@ TEST(Serve, PathRequestsAndPerRequestAlgOverrides) {
   const auto stats2 = engine::serve(SolverRegistry::builtin(), in2, out2, options);
   EXPECT_EQ(stats2.errors, 1u);
   EXPECT_NE(out2.str().find("unknown key \\\"ep\\\""), std::string::npos);
+}
+
+TEST(Serve, MalformedJsonFramesAreAnsweredUnderTheClientsId) {
+  // The id is salvageable whenever the frame is a parseable object, even
+  // when a later field fails validation — a client correlating strictly by
+  // its own ids must still see the error.
+  std::istringstream in(
+      "{\"id\": \"r9\", \"path\": \"a.inst\", \"eps\": \"fast\"}\n"
+      "{\"id\": \"r10\"}\n"
+      "{\"id\": \"#3\", \"ep\": 1}\n");  // reserved id: auto id applies
+  std::ostringstream out;
+  ServeOptions options;
+  options.threads = 1;
+  const auto stats = engine::serve(SolverRegistry::builtin(), in, out, options);
+  EXPECT_EQ(stats.errors, 3u);
+  const auto text = out.str();
+  const auto r9 = text.find("\"id\": \"r9\"");
+  ASSERT_NE(r9, std::string::npos) << text;
+  EXPECT_NE(text.find("eps is not a number", r9), std::string::npos);
+  const auto r10 = text.find("\"id\": \"r10\"");
+  ASSERT_NE(r10, std::string::npos) << text;
+  EXPECT_NE(text.find("exactly one of", r10), std::string::npos);
+  EXPECT_EQ(text.find("\"id\": \"#3\""), std::string::npos);
+  EXPECT_NE(text.find("\"id\": \"#2\""), std::string::npos);  // auto id instead
+}
+
+TEST(Serve, RejectsClientIdsInTheReservedForm) {
+  Rng rng(45);
+  const auto inst = testing::random_uniform_instance(4, 4, 2, 3, 3, rng);
+  const std::string text = instance_text(inst);
+  const auto dir = fs::temp_directory_path() / "bisched_serve_reserved";
+  fs::create_directories(dir);
+  const auto path = (dir / "q.inst").string();
+  {
+    std::ofstream f(path);
+    write_instance(f, inst);
+  }
+
+  // `#<digits>` is the server's auto-id namespace: both frame forms must be
+  // rejected with an error response; `#x7` (not all digits) stays legal.
+  std::ostringstream in_text;
+  in_text << "{\"id\": \"#7\", \"path\": \"" << path << "\"}\n";
+  in_text << "solve " << path << " #12\n";
+  in_text << "solve " << path << " #x7\n";
+  std::istringstream in(in_text.str());
+  std::ostringstream out;
+  ServeOptions options;
+  options.threads = 1;
+  const auto stats = engine::serve(SolverRegistry::builtin(), in, out, options);
+  fs::remove_all(dir);
+
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.ok, 1u);
+  EXPECT_EQ(stats.errors, 2u);
+  const auto text_out = out.str();
+  EXPECT_NE(text_out.find("reserved #<digits> form"), std::string::npos);
+  // The rejected requests are answered under their auto-assigned ids.
+  EXPECT_NE(text_out.find("\"id\": \"#0\""), std::string::npos);
+  EXPECT_NE(text_out.find("\"id\": \"#1\""), std::string::npos);
+  const auto legal = text_out.find("\"id\": \"#x7\"");
+  ASSERT_NE(legal, std::string::npos);
+  EXPECT_NE(text_out.find("\"status\": \"ok\"", legal), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Unix-socket transport: one in-process Server, a listener thread, and two
+// concurrent raw-socket clients — the multi-client proof the Transport
+// abstraction exists for.
+
+TEST(ServeUnix, TwoConcurrentClientsShareOneResidentServer) {
+  Rng rng(46);
+  const auto inst = testing::random_uniform_instance(5, 5, 2, 4, 3, rng);
+  const std::string text = instance_text(inst);
+
+  const auto dir = fs::temp_directory_path() / "bisched_serve_unix";
+  fs::create_directories(dir);
+  const std::string socket_path = (dir / "serve.sock").string();
+
+  engine::ServeStats stats;
+  std::string serve_error;
+  ServeOptions options;
+  options.threads = 1;
+  options.stable_output = true;
+  std::thread server([&] {
+    stats = engine::serve_unix(SolverRegistry::builtin(), socket_path, options,
+                               &serve_error);
+  });
+
+  // Wait for the socket to exist, then for connects to succeed.
+  const auto connect_client = [&] {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      std::string error;
+      const int fd = engine::unix_connect(socket_path, &error);
+      if (fd >= 0) return fd;
+      ::usleep(10'000);
+    }
+    return -1;
+  };
+
+  // Both clients connect BEFORE either sends — the sessions are
+  // demonstrably concurrent, not serialized accept-handle-accept.
+  const int c1 = connect_client();
+  const int c2 = connect_client();
+  ASSERT_GE(c1, 0) << serve_error;
+  ASSERT_GE(c2, 0) << serve_error;
+
+  const auto talk = [&](int fd, const std::string& id) {
+    const std::string frame = "instance " + id + "\n" + text;
+    size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
+      ASSERT_GT(n, 0);
+      off += static_cast<size_t>(n);
+    }
+    ::shutdown(fd, SHUT_WR);  // EOF: the session drains and closes
+    std::string response;
+    char c = 0;
+    while (::read(fd, &c, 1) == 1) response += c;
+    ::close(fd);
+    EXPECT_NE(response.find("\"id\": \"" + id + "\""), std::string::npos) << response;
+    EXPECT_NE(response.find("\"status\": \"ok\""), std::string::npos) << response;
+    EXPECT_NE(response.find("\"v\": 1"), std::string::npos) << response;
+  };
+  std::thread t1([&] { talk(c1, "client-one"); });
+  std::thread t2([&] { talk(c2, "client-two"); });
+  t1.join();
+  t2.join();
+
+  // An idle client that holds its connection open must NOT be able to hang
+  // shutdown: the server interrupts still-connected sessions once the
+  // listener stops, drains, and returns.
+  const int idle = connect_client();
+  ASSERT_GE(idle, 0);
+
+  // Another client shuts the listener down; serve_unix returns even though
+  // `idle` never sent a byte and never disconnected.
+  const int c3 = connect_client();
+  ASSERT_GE(c3, 0);
+  const char* bye = "shutdown\n";
+  ASSERT_EQ(::write(c3, bye, strlen(bye)), static_cast<ssize_t>(strlen(bye)));
+  ::close(c3);
+  server.join();
+  ::close(idle);
+  fs::remove_all(dir);
+
+  EXPECT_TRUE(serve_error.empty()) << serve_error;
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.ok, 2u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.sessions, 4u);  // two talkers + the idle holdout + shutdown
+  // One resident cache across clients: the second identical instance probes warm.
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses, 2u);
+  EXPECT_EQ(stats.cache.hits, 1u);
 }
 
 // ---------------------------------------------------------------------------

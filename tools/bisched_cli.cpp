@@ -3,35 +3,48 @@
 // the strongest applicable one, `batch` streams a directory or manifest of
 // instances across a thread pool (sharded with --shard=i/n for fleets), and
 // `serve` keeps one registry + probe cache + pool alive answering framed
-// requests over stdin.
+// requests over stdin or a unix-domain socket. Every solve goes through the
+// engine/api v1 SolveRequest/SolveResponse boundary, so `solve --json`,
+// batch rows, and serve responses are the same schema.
 //
-//   bisched_cli solve --alg=NAME|auto [--eps=E] [--all] [--budget-ms=B] [FILE|-]
+//   bisched_cli solve --alg=NAME|auto [--eps=E] [--all] [--budget-ms=B]
+//                     [--json] [FILE|-]
 //   bisched_cli batch (--dir=D | --manifest=F) [--alg=NAME|auto] [--threads=N]
 //                     [--shard=i/n] [--format=csv|json] [--out=FILE] [--eps=E]
 //                     [--stable]
 //   bisched_cli serve [--alg=NAME|auto] [--threads=N] [--max-inflight=K]
-//                     [--eps=E] [--stable]
-//   bisched_cli list-algs
+//                     [--eps=E] [--stable] [--listen=unix:PATH]
+//   bisched_cli client --connect=unix:PATH
+//   bisched_cli list-algs [--json]
 //   bisched_cli gen <family> [options]
 //   bisched_cli eval INSTANCE SCHEDULE
 //
 // Instances are read from the given file or stdin ('-'); schedules are
 // written to stdout in the bisched schedule format, with a summary on
 // stderr. Malformed flag values are reported, never silently parsed as 0.
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <charconv>
+#include <csignal>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "engine/api.hpp"
 #include "engine/batch.hpp"
+#include "engine/graph_classes.hpp"
 #include "engine/portfolio.hpp"
 #include "engine/registry.hpp"
 #include "engine/serve.hpp"
+#include "engine/transport.hpp"
 #include "io/format.hpp"
+#include "io/jsonl.hpp"
 #include "random/generators.hpp"
 #include "random/gilbert.hpp"
 #include "sched/lower_bounds.hpp"
@@ -46,13 +59,16 @@ using namespace bisched;
 int usage() {
   std::cerr <<
       "usage:\n"
-      "  bisched_cli solve --alg=NAME|auto [--eps=E] [--all] [--budget-ms=B] [FILE|-]\n"
+      "  bisched_cli solve --alg=NAME|auto [--eps=E] [--all] [--budget-ms=B]\n"
+      "              [--json] [FILE|-]\n"
       "  bisched_cli batch (--dir=DIR | --manifest=FILE) [--alg=NAME|auto]\n"
       "              [--threads=N] [--shard=i/n] [--format=csv|json] [--out=FILE]\n"
       "              [--eps=E] [--all] [--budget-ms=B] [--stable]\n"
       "  bisched_cli serve [--alg=NAME|auto] [--threads=N] [--max-inflight=K]\n"
-      "              [--eps=E] [--stable]   (framed requests on stdin; see docs/engine.md)\n"
-      "  bisched_cli list-algs\n"
+      "              [--eps=E] [--stable] [--listen=unix:PATH]\n"
+      "              (framed requests on stdin or the socket; see docs/api.md)\n"
+      "  bisched_cli client --connect=unix:PATH   (frames on stdin -> responses)\n"
+      "  bisched_cli list-algs [--json]\n"
       "  bisched_cli gen gilbert --n=N --a=A --m=M [--smax=S] [--seed=SEED]\n"
       "  bisched_cli gen crown --n=N --m=M [--wmax=W] [--seed=SEED]\n"
       "  bisched_cli gen r2 --n=N --tmax=T [--edges=K] [--seed=SEED]\n"
@@ -145,18 +161,21 @@ ParsedInstance read_instance(const std::string& path) {
 // ------------------------------------------------------------------ solve ---
 
 int cmd_solve(int argc, char** argv) {
-  std::string alg;
-  if (!flag_value(argc, argv, "alg", &alg)) return usage();
-  engine::SolveOptions options;
-  options.eps = flag_double(argc, argv, "eps", 0.1);
-  options.run_all = flag_present(argc, argv, "all");
-  options.budget_ms = flag_double(argc, argv, "budget-ms", 0);
+  engine::SolveRequest request;
+  if (!flag_value(argc, argv, "alg", &request.alg)) return usage();
+  request.has_eps = true;
+  request.eps = flag_double(argc, argv, "eps", 0.1);
+  request.has_run_all = true;
+  request.run_all = flag_present(argc, argv, "all");
+  request.has_budget_ms = true;
+  request.budget_ms = flag_double(argc, argv, "budget-ms", 0);
+  const bool json = flag_present(argc, argv, "json");
   // Portfolio-only flags must not be silently ignored on a named solver.
-  if (options.run_all && alg != "auto") {
+  if (request.run_all && request.alg != "auto") {
     std::cerr << "--all requires --alg=auto\n";
     return 2;
   }
-  if (options.budget_ms != 0 && !options.run_all) {
+  if (request.budget_ms != 0 && !request.run_all) {
     std::cerr << "--budget-ms requires --all (it bounds the run-all portfolio)\n";
     return 2;
   }
@@ -165,34 +184,44 @@ int cmd_solve(int argc, char** argv) {
     if (argv[i][0] != '-' || std::strcmp(argv[i], "-") == 0) path = argv[i];
   }
 
-  const ParsedInstance parsed = read_instance(path);
-  if (!parsed.ok()) {
-    std::cerr << "parse error: " << parsed.error << "\n";
-    return 1;
-  }
-
+  // One request through the engine API — the same construct/execute/emit
+  // path batch rows and serve responses take. The instance is parsed up
+  // front (once) for the stderr summary line; the request carries the
+  // parsed form plus the path as its label.
   const auto& registry = engine::SolverRegistry::builtin();
-  engine::SolveResult result;
-  if (parsed.uniform.has_value()) {
-    const UniformInstance& inst = *parsed.uniform;
-    std::cerr << "uniform instance: " << inst.num_jobs() << " jobs, "
-              << inst.num_machines() << " machines, lower bound "
-              << lower_bound(inst).to_string() << "\n";
-    result = alg == "auto" ? engine::solve_auto(registry, inst, options)
-                           : engine::solve_named(registry, alg, inst, options);
-  } else {
-    const UnrelatedInstance& inst = *parsed.unrelated;
-    std::cerr << "unrelated instance: " << inst.num_jobs() << " jobs, "
-              << inst.num_machines() << " machines\n";
-    result = alg == "auto" ? engine::solve_auto(registry, inst, options)
-                           : engine::solve_named(registry, alg, inst, options);
+  engine::ProfileCache cache;
+  auto parsed = std::make_shared<ParsedInstance>(read_instance(path));
+  request.parsed = parsed;
+  if (path != "-" && !path.empty()) request.path = path;
+
+  if (parsed->ok()) {
+    if (parsed->uniform.has_value()) {
+      const UniformInstance& inst = *parsed->uniform;
+      std::cerr << "uniform instance: " << inst.num_jobs() << " jobs, "
+                << inst.num_machines() << " machines, lower bound "
+                << lower_bound(inst).to_string() << "\n";
+    } else {
+      std::cerr << "unrelated instance: " << parsed->unrelated->num_jobs()
+                << " jobs, " << parsed->unrelated->num_machines() << " machines\n";
+    }
   }
 
-  if (!result.ok) {
-    std::cerr << "solve failed: " << result.error << "\n";
+  // Parse errors take the same path as every other failure: run_request
+  // turns them into an error response, so --json always emits exactly one
+  // v1 row — identical to what batch or serve would say about this input.
+  engine::SolveResult result;
+  const engine::SolveResponse response = engine::run_request(
+      registry, cache, /*results=*/nullptr, request, "auto", {}, &result);
+
+  if (json) {
+    // The v1 response row, exactly as batch/serve would emit it.
+    engine::write_response_json(std::cout, response);
+  }
+  if (!response.ok) {
+    std::cerr << (parsed->ok() ? "solve failed: " : "") << response.error << "\n";
     return 1;
   }
-  write_schedule(std::cout, result.schedule);
+  if (!json) write_schedule(std::cout, result.schedule);
   std::cerr << result.solver << " (guarantee " << result.guarantee << "): makespan "
             << result.cmax.to_string() << " (" << result.cmax.to_double() << "), "
             << result.wall_ms << " ms";
@@ -267,16 +296,22 @@ int cmd_batch(int argc, char** argv) {
   }
 
   // Open the output before solving anything: an unwritable path must not
-  // cost a full batch run. The output file is excluded from the sweep so
-  // `--dir=D --out=D/results.csv` doesn't re-read last run's results as a
-  // (failing) instance.
+  // cost a full batch run. The output file is excluded from the sweep — by
+  // path, not just filesystem equivalence, so a not-yet-created or
+  // differently-spelled `--out` inside `--dir` can never be read back as a
+  // (failing) instance — and an output inside the scanned directory draws a
+  // warning: this run protects itself, but the *next* sweep would pick last
+  // run's results up.
   std::string out_path;
   std::ofstream out_file;
   if (flag_value(argc, argv, "out", &out_path)) {
-    std::erase_if(paths, [&](const std::string& p) {
-      std::error_code ec;
-      return std::filesystem::equivalent(p, out_path, ec);
-    });
+    engine::exclude_output_path(paths, out_path);
+    if (have_dir && engine::path_inside_directory(out_path, source)) {
+      std::cerr << "warning: --out='" << out_path << "' is inside --dir='" << source
+                << "'; excluded from this sweep, but later sweeps of the directory "
+                   "will read it as an instance — prefer an output path outside "
+                   "the corpus\n";
+    }
     out_file.open(out_path);
     if (!out_file) {
       std::cerr << "cannot open '" << out_path << "' for writing\n";
@@ -330,6 +365,19 @@ int cmd_batch(int argc, char** argv) {
 
 // ------------------------------------------------------------------ serve ---
 
+// Parses "--listen=unix:PATH" / "--connect=unix:PATH"; exits 2 on a value
+// with an unknown transport scheme.
+bool flag_unix_endpoint(int argc, char** argv, const char* name, std::string* path) {
+  std::string value;
+  if (!flag_value(argc, argv, name, &value)) return false;
+  const std::string prefix = "unix:";
+  if (value.rfind(prefix, 0) != 0 || value.size() == prefix.size()) {
+    flag_error(name, value, "unix:PATH");
+  }
+  *path = value.substr(prefix.size());
+  return true;
+}
+
 int cmd_serve(int argc, char** argv) {
   engine::ServeOptions options;
   flag_value(argc, argv, "alg", &options.alg);
@@ -342,10 +390,24 @@ int cmd_serve(int argc, char** argv) {
   }
   options.max_inflight = static_cast<std::size_t>(inflight);
 
-  const auto stats =
-      engine::serve(engine::SolverRegistry::builtin(), std::cin, std::cout, options);
+  engine::ServeStats stats;
+  std::string socket_path;
+  if (flag_unix_endpoint(argc, argv, "listen", &socket_path)) {
+    // Socket mode: one resident Server, concurrent client sessions, until a
+    // client sends `shutdown`.
+    std::string error;
+    stats = engine::serve_unix(engine::SolverRegistry::builtin(), socket_path, options,
+                               &error);
+    if (!error.empty()) {
+      std::cerr << "serve: " << error << "\n";
+      return 1;
+    }
+  } else {
+    stats = engine::serve(engine::SolverRegistry::builtin(), std::cin, std::cout, options);
+  }
   std::cerr << "serve: " << stats.requests << " requests, " << stats.ok << " ok, "
-            << stats.errors << " errors, probe cache " << stats.cache.hits << " hits / "
+            << stats.errors << " errors, " << stats.sessions << " sessions, "
+            << "probe cache " << stats.cache.hits << " hits / "
             << stats.cache.misses << " misses / " << stats.cache.evictions
             << " evictions (" << stats.cache.entries << " entries), result cache "
             << stats.results.hits << " hits / " << stats.results.misses << " misses / "
@@ -354,22 +416,111 @@ int cmd_serve(int argc, char** argv) {
   return stats.errors == 0 ? 0 : 1;
 }
 
+// ----------------------------------------------------------------- client ---
+
+// Minimal peer for socket serve: pumps stdin frames to the server and echoes
+// response lines to stdout until the server closes the connection. Used by
+// the CI smoke and handy for manual poking; any language with a unix-socket
+// client can do the same.
+int cmd_client(int argc, char** argv) {
+  std::string socket_path;
+  if (!flag_unix_endpoint(argc, argv, "connect", &socket_path)) {
+    std::cerr << "client needs --connect=unix:PATH\n";
+    return usage();
+  }
+  std::string error;
+  const int fd = engine::unix_connect(socket_path, &error);
+  if (fd < 0) {
+    std::cerr << "client: " << error << "\n";
+    return 1;
+  }
+  // A server that goes away mid-conversation should surface as EOF/write
+  // failure, not kill the client with SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  engine::FdTransport transport(fd, "unix:" + socket_path);
+  // Responses complete in the server's order, not ours, so read and write
+  // concurrently: a response-per-request peer would otherwise deadlock on
+  // full pipes.
+  std::thread reader([&transport] {
+    std::string line;
+    while (std::getline(transport.in(), line)) {
+      std::cout << line << '\n';
+      std::cout.flush();
+    }
+  });
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    transport.out() << line << '\n';
+    transport.out().flush();
+  }
+  // Half-close: the server sees EOF, drains this session, and closes the
+  // socket — which ends the reader above.
+  ::shutdown(fd, SHUT_WR);
+  reader.join();
+  return 0;
+}
+
 // -------------------------------------------------------------- list-algs ---
 
-int cmd_list_algs() {
+std::string models_label(unsigned models) {
+  std::string out;
+  if ((models & engine::kModelUniform) != 0) out = "Q";
+  if ((models & engine::kModelUnrelated) != 0) out += out.empty() ? "R" : "+R";
+  return out;
+}
+
+int cmd_list_algs(int argc, char** argv) {
+  const auto& registry = engine::SolverRegistry::builtin();
+  const auto& lattice = engine::GraphClassLattice::builtin();
+
+  if (flag_present(argc, argv, "json")) {
+    // Machine-readable catalog: the graph-class lattice (names + subsumption
+    // edges, straight from the detector registry) and every solver's
+    // capability row. One JSON object on one line.
+    std::cout << "{\"v\": 1, \"graph_classes\": [";
+    for (engine::GraphClassId id = 0; id < lattice.size(); ++id) {
+      if (id != 0) std::cout << ", ";
+      std::cout << "{\"name\": " << json_quote(lattice.name(id)) << ", \"parents\": [";
+      const auto& parents = lattice.parents(id);
+      for (std::size_t i = 0; i < parents.size(); ++i) {
+        if (i != 0) std::cout << ", ";
+        std::cout << json_quote(lattice.name(parents[i]));
+      }
+      std::cout << "]}";
+    }
+    std::cout << "], \"solvers\": [";
+    bool first = true;
+    for (const engine::Solver* s : registry.solvers()) {
+      const auto& c = s->capabilities();
+      if (!first) std::cout << ", ";
+      first = false;
+      std::cout << "{\"name\": " << json_quote(s->name())
+                << ", \"models\": " << json_quote(models_label(c.models))
+                << ", \"min_machines\": " << c.min_machines
+                << ", \"max_machines\": " << c.max_machines
+                << ", \"max_jobs\": " << c.max_jobs
+                << ", \"unit_jobs_only\": " << (c.unit_jobs_only ? "true" : "false")
+                << ", \"graph\": " << json_quote(engine::graph_class_name(c.graph))
+                << ", \"guarantee\": " << json_quote(engine::to_string(c.guarantee))
+                << ", \"guarantee_label\": " << json_quote(c.guarantee_label)
+                << ", \"may_fail\": " << (c.may_fail ? "true" : "false")
+                << ", \"summary\": " << json_quote(s->summary()) << "}";
+    }
+    std::cout << "]}\n";
+    return 0;
+  }
+
   TextTable t("Registered solvers");
   t.set_header({"name", "models", "machines", "jobs", "graph", "guarantee", "summary"});
-  for (const engine::Solver* s : engine::SolverRegistry::builtin().solvers()) {
+  for (const engine::Solver* s : registry.solvers()) {
     const auto& c = s->capabilities();
-    std::string models;
-    if ((c.models & engine::kModelUniform) != 0) models = "Q";
-    if ((c.models & engine::kModelUnrelated) != 0) models += models.empty() ? "R" : "+R";
     std::string machines = std::to_string(c.min_machines) + "..";
     machines += c.max_machines == 0 ? "m" : std::to_string(c.max_machines);
     std::string jobs = c.max_jobs == 0 ? "any" : "<=" + std::to_string(c.max_jobs);
     if (c.unit_jobs_only) jobs += " unit";
-    t.add_row({s->name(), models, machines, jobs, engine::to_string(c.graph),
-               c.guarantee_label, s->summary()});
+    t.add_row({s->name(), models_label(c.models), machines, jobs,
+               engine::graph_class_name(c.graph), c.guarantee_label, s->summary()});
   }
   t.print(std::cout);
   return 0;
@@ -459,7 +610,8 @@ int main(int argc, char** argv) {
   if (command == "solve") return cmd_solve(argc, argv);
   if (command == "batch") return cmd_batch(argc, argv);
   if (command == "serve") return cmd_serve(argc, argv);
-  if (command == "list-algs") return cmd_list_algs();
+  if (command == "client") return cmd_client(argc, argv);
+  if (command == "list-algs") return cmd_list_algs(argc, argv);
   if (command == "gen") return cmd_gen(argc, argv);
   if (command == "eval") return cmd_eval(argc, argv);
   return usage();

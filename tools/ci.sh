@@ -2,9 +2,10 @@
 # One-command tier-1 verify: configure the `ci` preset (-Wall -Wextra -Werror
 # plus ASan/UBSan), build everything, run the full ctest suite, then smoke
 # the streaming batch pipeline (sharded), the serve loop (probe + result
-# cache hits), and the hot-path bench's JSON report end to end with the
-# sanitized binaries. Single-threaded where it matters: the CI runner has
-# one CPU.
+# cache hits), the unix-socket serve mode (two concurrent clients), the
+# graph-class lattice via `list-algs --json`, and the hot-path bench's JSON
+# report end to end with the sanitized binaries. Single-threaded where it
+# matters: the CI runner has one CPU.
 #
 #   $ tools/ci.sh [extra ctest args...]
 set -eu
@@ -20,7 +21,8 @@ ctest --preset ci "$@"
 # process.
 CLI=build-ci/bisched_cli
 SMOKE=$(mktemp -d)
-trap 'rm -rf "$SMOKE"' EXIT
+SERVER_PID=
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
 mkdir "$SMOKE/corpus"
 
 for i in 1 2 3 4 5; do
@@ -52,6 +54,86 @@ grep -q '"id": "repeat".*"solve_cache": "hit"' "$SMOKE/serve.out" || {
   exit 1
 }
 
+# ---------------------------------------------------- socket serve smoke ---
+# serve --listen=unix:PATH must answer two CONCURRENT clients (both
+# connected via `client` before either finishes) from one resident server,
+# then exit cleanly on a `shutdown` frame. 1-CPU friendly: --threads=1, and
+# the whole exchange is a handful of tiny solves.
+SOCK="$SMOKE/serve.sock"
+"$CLI" serve --listen="unix:$SOCK" --threads=1 --stable > "$SMOKE/server.log" 2>&1 &
+SERVER_PID=$!
+tries=0
+while [ ! -S "$SOCK" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || {
+    echo "ci.sh: socket smoke failed: $SOCK never appeared" >&2
+    cat "$SMOKE/server.log" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+printf 'solve %s c1\n' "$SMOKE/corpus/q1.inst" \
+  | "$CLI" client --connect="unix:$SOCK" > "$SMOKE/c1.out" &
+CLIENT1=$!
+printf 'solve %s c2\n' "$SMOKE/corpus/q2.inst" \
+  | "$CLI" client --connect="unix:$SOCK" > "$SMOKE/c2.out" &
+CLIENT2=$!
+wait "$CLIENT1" && wait "$CLIENT2" || {
+  echo "ci.sh: socket smoke failed: a client exited nonzero" >&2
+  cat "$SMOKE/server.log" >&2
+  exit 1
+}
+grep -q '"id": "c1".*"status": "ok"' "$SMOKE/c1.out" || {
+  echo "ci.sh: socket smoke failed: client 1 got no ok response" >&2
+  cat "$SMOKE/c1.out" "$SMOKE/server.log" >&2
+  exit 1
+}
+grep -q '"id": "c2".*"status": "ok"' "$SMOKE/c2.out" || {
+  echo "ci.sh: socket smoke failed: client 2 got no ok response" >&2
+  cat "$SMOKE/c2.out" "$SMOKE/server.log" >&2
+  exit 1
+}
+printf 'shutdown\n' | "$CLI" client --connect="unix:$SOCK" > /dev/null
+wait "$SERVER_PID" || {
+  echo "ci.sh: socket smoke failed: server exited nonzero" >&2
+  cat "$SMOKE/server.log" >&2
+  exit 1
+}
+SERVER_PID=
+grep -q '3 sessions' "$SMOKE/server.log" || {
+  echo "ci.sh: socket smoke failed: expected 3 sessions in the stats line" >&2
+  cat "$SMOKE/server.log" >&2
+  exit 1
+}
+
+# ------------------------------------------------------- lattice smoke ---
+# The graph-class lattice must be what list-algs --json advertises: the new
+# complete-multipartite class with its subsumption edges, and solver rows
+# whose graph requirement prints a lattice class name.
+"$CLI" list-algs --json > "$SMOKE/algs.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$SMOKE/algs.json" > /dev/null || {
+    echo "ci.sh: lattice smoke failed: list-algs --json is not valid JSON" >&2
+    cat "$SMOKE/algs.json" >&2
+    exit 1
+  }
+fi
+grep -q '"name": "complete-multipartite", "parents": \["any"\]' "$SMOKE/algs.json" || {
+  echo "ci.sh: lattice smoke failed: complete-multipartite class not advertised" >&2
+  cat "$SMOKE/algs.json" >&2
+  exit 1
+}
+grep -q '"name": "complete-bipartite", "parents": \["bipartite", "complete-multipartite"\]' "$SMOKE/algs.json" || {
+  echo "ci.sh: lattice smoke failed: complete-bipartite subsumption edges missing" >&2
+  cat "$SMOKE/algs.json" >&2
+  exit 1
+}
+grep -q '"name": "kab".*"graph": "complete-bipartite"' "$SMOKE/algs.json" || {
+  echo "ci.sh: lattice smoke failed: kab does not print its lattice class" >&2
+  cat "$SMOKE/algs.json" >&2
+  exit 1
+}
+
 # ---------------------------------------------------------- bench smoke ---
 # The perf trajectory must stay machine-readable: the hot-path microbench
 # runs in its CI-sized --quick shape on one thread and has to emit a valid
@@ -80,4 +162,4 @@ grep -q '"rows": \[' "$BENCH_JSON" && grep -q '"kernel": "r2_fptas"' "$BENCH_JSO
   cat "$BENCH_JSON" >&2
   exit 1
 }
-echo "ci.sh: batch --shard, serve, and bench smoke OK"
+echo "ci.sh: batch --shard, serve, socket serve, lattice, and bench smoke OK"
