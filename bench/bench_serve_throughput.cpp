@@ -20,10 +20,9 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "engine/profile_cache.hpp"
 #include "engine/registry.hpp"
-#include "engine/result_cache.hpp"
 #include "engine/serve.hpp"
+#include "engine/store/warm_state.hpp"
 #include "io/format.hpp"
 #include "random/generators.hpp"
 #include "random/gilbert.hpp"
@@ -48,16 +47,15 @@ std::string build_request_stream(int count, int n_half, std::uint64_t seed) {
   return out.str();
 }
 
-double run_pass(const std::string& requests, unsigned threads,
-                engine::ProfileCache& cache, engine::ResultCache& results,
+double run_pass(const std::string& requests, unsigned threads, engine::WarmState& warm,
                 std::uint64_t* answered) {
   std::istringstream in(requests);
   std::ostringstream sink;
   engine::ServeOptions options;
   options.threads = threads;
   Timer timer;
-  const auto stats = engine::serve(engine::SolverRegistry::builtin(), in, sink, options,
-                                   &cache, &results);
+  const auto stats =
+      engine::serve(engine::SolverRegistry::builtin(), in, sink, options, &warm);
   const double seconds = timer.seconds();
   *answered = stats.ok;
   return seconds;
@@ -72,14 +70,13 @@ void throughput_table(unsigned wide_threads, bench::JsonReport& report) {
     const std::string requests =
         build_request_stream(kRequests, n_half, bench::kBenchSeed + n_half);
     for (unsigned threads : {1u, wide_threads}) {
-      engine::ProfileCache cache;
-      engine::ResultCache results;
+      engine::WarmState warm;
       std::uint64_t cold_ok = 0;
       std::uint64_t warm_ok = 0;
-      const double cold_s = run_pass(requests, threads, cache, results, &cold_ok);
-      const double warm_s = run_pass(requests, threads, cache, results, &warm_ok);
-      const auto probe_stats = cache.stats();
-      const auto result_stats = results.stats();
+      const double cold_s = run_pass(requests, threads, warm, &cold_ok);
+      const double warm_s = run_pass(requests, threads, warm, &warm_ok);
+      const auto probe_stats = warm.profiles().stats();
+      const auto result_stats = warm.results().stats();
       t.add_row({fmt_count(2 * n_half), fmt_count(kRequests), fmt_count(threads),
                  fmt_count(static_cast<long long>(cold_ok / cold_s)),
                  fmt_count(static_cast<long long>(warm_ok / warm_s)),

@@ -122,16 +122,17 @@ std::optional<SolveRequest> decode_request_json(const std::string& line,
 
 namespace {
 
-// Empty when the instance never reached the cache (open/parse failure).
+// Empty when the instance never reached the cache (open/parse failure);
+// otherwise the serving tier: "hit-memory" / "hit-disk" / "miss".
 const char* cache_label(const SolveResponse& r) {
   if (r.instance_hash.empty()) return "";
-  return r.cache_hit ? "hit" : "miss";
+  return tier_label(r.cache_tier);
 }
 
-// Empty when no result cache was consulted (none wired, or parse failure).
+// Empty when no result cache was consulted (parse failure).
 const char* solve_cache_label(const SolveResponse& r) {
   if (r.instance_hash.empty() || !r.result_cache_used) return "";
-  return r.result_cache_hit ? "hit" : "miss";
+  return tier_label(r.result_tier);
 }
 
 }  // namespace
@@ -177,10 +178,9 @@ void write_response_csv(std::ostream& out, const SolveResponse& r) {
 
 // ------------------------------------------------------------- execution ---
 
-SolveResponse run_parsed(const SolverRegistry& registry, ProfileCache& cache,
-                         ResultCache* results, const std::string& alg,
-                         const SolveOptions& solve, const ParsedInstance& parsed,
-                         SolveResult* full) {
+SolveResponse run_parsed(const SolverRegistry& registry, WarmState& warm,
+                         const std::string& alg, const SolveOptions& solve,
+                         const ParsedInstance& parsed, SolveResult* full) {
   SolveResponse row;
   Timer timer;
   if (!parsed.ok()) {
@@ -192,22 +192,22 @@ SolveResponse run_parsed(const SolverRegistry& registry, ProfileCache& cache,
   const auto dispatch = [&](const auto& inst) {
     row.jobs = inst.num_jobs();
     row.machines = inst.num_machines();
-    const CachedProfile cached = cache.profile(inst);
+    const CachedProfile cached = warm.profiles().profile(inst);
     row.instance_hash = hash_hex(cached.hash);
-    row.cache_hit = cached.hit;
-    const auto run = [&] {
-      return alg == "auto" ? solve_auto(registry, inst, solve, cached.profile)
-                           : solve_named(registry, alg, inst, solve, cached.profile);
-    };
-    if (results == nullptr) return run();
+    row.cache_tier = cached.tier;
     row.result_cache_used = true;
+    // The ONE key derivation every boundary shares (engine/store/codec.hpp):
+    // instance hash + alg + eps + run_all + budget_ms + key schema.
     const ResultKey key = make_result_key(cached.hash, alg, solve);
-    if (auto warm = results->lookup(key)) {
-      row.result_cache_hit = true;
-      return std::move(*warm);
+    CacheTier tier = CacheTier::kMiss;
+    if (auto hit = warm.results().lookup(key, &tier)) {
+      row.result_tier = tier;
+      return std::move(*hit);
     }
-    SolveResult fresh = run();
-    results->store(key, fresh);  // failures are not memoized
+    SolveResult fresh = alg == "auto"
+                            ? solve_auto(registry, inst, solve, cached.profile)
+                            : solve_named(registry, alg, inst, solve, cached.profile);
+    warm.results().store(key, fresh);  // failures are not memoized
     return fresh;
   };
   if (parsed.uniform.has_value()) {
@@ -232,9 +232,8 @@ SolveResponse run_parsed(const SolverRegistry& registry, ProfileCache& cache,
   return row;
 }
 
-SolveResponse run_request(const SolverRegistry& registry, ProfileCache& cache,
-                          ResultCache* results, const SolveRequest& req,
-                          const std::string& default_alg,
+SolveResponse run_request(const SolverRegistry& registry, WarmState& warm,
+                          const SolveRequest& req, const std::string& default_alg,
                           const SolveOptions& defaults, SolveResult* full) {
   const std::string& alg = req.alg.empty() ? default_alg : req.alg;
   const SolveOptions options = resolved_options(req, defaults);
@@ -250,16 +249,16 @@ SolveResponse run_request(const SolverRegistry& registry, ProfileCache& cache,
   } else if (options.budget_ms != 0 && !options.run_all) {
     r.error = "\"budget_ms\" requires \"all\" (it bounds the run-all portfolio)";
   } else if (req.parsed != nullptr) {
-    r = run_parsed(registry, cache, results, alg, options, *req.parsed, full);
+    r = run_parsed(registry, warm, alg, options, *req.parsed, full);
   } else if (req.has_inline_text) {
     std::istringstream text(req.inline_text);
-    r = run_parsed(registry, cache, results, alg, options, parse_instance(text), full);
+    r = run_parsed(registry, warm, alg, options, parse_instance(text), full);
   } else if (!req.path.empty()) {
     std::ifstream file(req.path);
     if (!file) {
       r.error = "cannot open file";
     } else {
-      r = run_parsed(registry, cache, results, alg, options, parse_instance(file), full);
+      r = run_parsed(registry, warm, alg, options, parse_instance(file), full);
     }
   } else {
     r.error = "no instance source in request";

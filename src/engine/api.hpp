@@ -19,9 +19,10 @@
 //
 //   response  {"v": 1, "id": ..., "seq": N, "file": ..., "status":
 //              "ok"|"error", "model": ..., "jobs": N, "machines": N,
-//              "hash": ..., "cache": "hit"|"miss"|"", "solve_cache": ...,
-//              "solver": ..., "guarantee": ..., "makespan": ...,
-//              "makespan_value": X, "wall_ms": X, "error": ...}
+//              "hash": ..., "cache": "hit-memory"|"hit-disk"|"miss"|"",
+//              "solve_cache": ..., "solver": ..., "guarantee": ...,
+//              "makespan": ..., "makespan_value": X, "wall_ms": X,
+//              "error": ...}
 //             `id` is present iff the request carried (or was assigned) an
 //             id; batch rows omit it. The field set is pinned by the golden
 //             wire-schema test (tests/engine/golden/solve_response_v1.json):
@@ -38,10 +39,9 @@
 #include <optional>
 #include <string>
 
-#include "engine/profile_cache.hpp"
 #include "engine/registry.hpp"
-#include "engine/result_cache.hpp"
 #include "engine/solver.hpp"
+#include "engine/store/warm_state.hpp"
 #include "io/format.hpp"
 
 namespace bisched::engine {
@@ -91,10 +91,12 @@ struct SolveResponse {
   int jobs = 0;
   int machines = 0;
   std::string instance_hash;  // 16-hex stable content hash ("" on parse failure)
-  bool cache_hit = false;     // profile served from the probe cache?
-  bool result_cache_used = false;  // was a result cache consulted?
-  bool result_cache_hit = false;   // full solve served warm?
-  std::string solver;              // winning solver (empty on failure)
+  // Provenance per layer, tiered since the warm-state store: which tier
+  // served the probe profile / the full solve (kMiss = computed fresh).
+  CacheTier cache_tier = CacheTier::kMiss;
+  bool result_cache_used = false;  // did the request reach the result cache?
+  CacheTier result_tier = CacheTier::kMiss;
+  std::string solver;  // winning solver (empty on failure)
   std::string guarantee;
   std::string makespan;  // exact rational string (empty on failure)
   double makespan_value = 0;
@@ -127,25 +129,24 @@ void write_response_csv(std::ostream& out, const SolveResponse& r);
 
 // ------------------------------------------------------------- execution ---
 
-// Solves one already-parsed instance through the caches + the portfolio.
-// `seq`, `id`, `file`, and parse errors are the caller's to fill in (a
-// !parsed.ok() input yields an error response). `results` may be null to
-// skip result memoization. If `full` is non-null it receives the complete
-// SolveResult (schedule included) on success — the CLI prints the schedule
-// from it. Thread-safe for concurrent calls sharing the caches.
-SolveResponse run_parsed(const SolverRegistry& registry, ProfileCache& cache,
-                         ResultCache* results, const std::string& alg,
-                         const SolveOptions& solve, const ParsedInstance& parsed,
-                         SolveResult* full = nullptr);
+// Solves one already-parsed instance through the warm state (probe cache +
+// result cache, each optionally disk-tiered) + the portfolio. `seq`, `id`,
+// `file`, and parse errors are the caller's to fill in (a !parsed.ok()
+// input yields an error response). If `full` is non-null it receives the
+// complete SolveResult (schedule included) on success — the CLI prints the
+// schedule from it. Thread-safe for concurrent calls sharing `warm`.
+SolveResponse run_parsed(const SolverRegistry& registry, WarmState& warm,
+                         const std::string& alg, const SolveOptions& solve,
+                         const ParsedInstance& parsed, SolveResult* full = nullptr);
 
 // Executes a full request: resolves its source (parsed > inline text > file
 // path), layers its option overrides over `defaults`, dispatches through
 // run_parsed, and stamps id/file. `default_alg` applies when req.alg is
 // empty. The one entry point CLI solve, batch workers, and serve sessions
-// all call.
-SolveResponse run_request(const SolverRegistry& registry, ProfileCache& cache,
-                          ResultCache* results, const SolveRequest& req,
-                          const std::string& default_alg,
+// all call — all three therefore share one WarmState vocabulary and one
+// result-key derivation (engine/store/codec.hpp).
+SolveResponse run_request(const SolverRegistry& registry, WarmState& warm,
+                          const SolveRequest& req, const std::string& default_alg,
                           const SolveOptions& defaults, SolveResult* full = nullptr);
 
 }  // namespace bisched::engine

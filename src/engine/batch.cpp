@@ -96,23 +96,18 @@ bool path_inside_directory(const std::string& path, const std::string& dir) {
 }
 
 BatchRunner::BatchRunner(const SolverRegistry& registry, BatchOptions options,
-                         ProfileCache* cache, ResultCache* results)
-    : registry_(registry), options_(std::move(options)), cache_(cache), results_(results) {
-  if (cache_ == nullptr) {
-    owned_cache_ = std::make_unique<ProfileCache>();
-    cache_ = owned_cache_.get();
-  }
-  if (results_ == nullptr) {
-    owned_results_ = std::make_unique<ResultCache>();
-    results_ = owned_results_.get();
+                         WarmState* warm)
+    : registry_(registry), options_(std::move(options)), warm_(warm) {
+  if (warm_ == nullptr) {
+    owned_warm_ = std::make_unique<WarmState>();
+    warm_ = owned_warm_.get();
   }
 }
 
 BatchRow BatchRunner::run_one(const std::string& path, std::int64_t seq) const {
   SolveRequest request;
   request.path = path;
-  BatchRow row = run_request(registry_, *cache_, results_, request, options_.alg,
-                             options_.solve);
+  BatchRow row = run_request(registry_, *warm_, request, options_.alg, options_.solve);
   row.seq = seq;
   if (options_.stable_output) row.wall_ms = 0;
   return row;

@@ -20,11 +20,13 @@
 // attribution vary (which duplicate probes first depends on worker
 // scheduling; the hash and every solver field still match).
 //
-// Probing goes through a ProfileCache (engine/profile_cache.hpp) and solving
-// through a ResultCache (engine/result_cache.hpp): each row records the
-// instance's stable content hash and whether its profile (`cache`) and its
-// full solve (`solve_cache`) were served warm, so repeated traffic — and what
-// it cost — is visible in the output.
+// Probing and solving go through one WarmState (engine/store/warm_state.hpp
+// — probe cache + result cache, optionally disk-tiered behind a --store
+// directory): each row records the instance's stable content hash and which
+// tier served its profile (`cache`) and its full solve (`solve_cache`) —
+// hit-memory / hit-disk / miss — so repeated traffic, and what it cost, is
+// visible in the output. A batch pointed at a populated store answers its
+// repeats from disk before solving anything.
 //
 // Sharding: `--shard=i/n` fleets split a corpus by taking every n-th entry
 // of the expanded path list (round-robin by index, after the deterministic
@@ -41,10 +43,9 @@
 #include <vector>
 
 #include "engine/api.hpp"
-#include "engine/profile_cache.hpp"
 #include "engine/registry.hpp"
-#include "engine/result_cache.hpp"
 #include "engine/solver.hpp"
+#include "engine/store/warm_state.hpp"
 #include "io/format.hpp"
 
 namespace bisched::engine {
@@ -98,23 +99,22 @@ std::size_t exclude_output_path(std::vector<std::string>& paths,
 // read last run's results as a (failing) instance.
 bool path_inside_directory(const std::string& path, const std::string& dir);
 
-// Solves one already-parsed instance into a row through the caches + the
-// portfolio — api::run_parsed under its historical batch-side name. `seq`,
-// `file`, and parse errors are the caller's to fill in. `results` may be
-// null to skip result memoization. Thread-safe for concurrent calls sharing
-// the caches.
-inline BatchRow solve_to_row(const SolverRegistry& registry, ProfileCache& cache,
-                             ResultCache* results, const std::string& alg,
-                             const SolveOptions& solve, const ParsedInstance& parsed) {
-  return run_parsed(registry, cache, results, alg, solve, parsed);
+// Solves one already-parsed instance into a row through the warm state +
+// the portfolio — api::run_parsed under its historical batch-side name.
+// `seq`, `file`, and parse errors are the caller's to fill in. Thread-safe
+// for concurrent calls sharing `warm`.
+inline BatchRow solve_to_row(const SolverRegistry& registry, WarmState& warm,
+                             const std::string& alg, const SolveOptions& solve,
+                             const ParsedInstance& parsed) {
+  return run_parsed(registry, warm, alg, solve, parsed);
 }
 
 class BatchRunner {
  public:
-  // `cache` / `results` may be shared with other runners / the serve loop;
-  // nullptr gives the runner private ones.
+  // `warm` may be shared with other runners / the serve loop (and may carry
+  // a persistent store); nullptr gives the runner a private memory-only one.
   BatchRunner(const SolverRegistry& registry, BatchOptions options,
-              ProfileCache* cache = nullptr, ResultCache* results = nullptr);
+              WarmState* warm = nullptr);
 
   // Streams each finished row to `sink` as it completes (arbitrary
   // completion order; `row.seq` is the input index). `sink` calls are
@@ -126,18 +126,17 @@ class BatchRunner {
   // collect-everything convenience built on run_streaming.
   std::vector<BatchRow> run(const std::vector<std::string>& paths) const;
 
-  const ProfileCache& cache() const { return *cache_; }
-  const ResultCache& results() const { return *results_; }
+  const WarmState& warm() const { return *warm_; }
+  const ProfileCache& cache() const { return warm_->profiles(); }
+  const ResultCache& results() const { return warm_->results(); }
 
  private:
   BatchRow run_one(const std::string& path, std::int64_t seq) const;
 
   const SolverRegistry& registry_;
   BatchOptions options_;
-  ProfileCache* cache_;                     // points at owned_cache_ or a shared one
-  ResultCache* results_;                    // likewise
-  std::unique_ptr<ProfileCache> owned_cache_;
-  std::unique_ptr<ResultCache> owned_results_;
+  WarmState* warm_;  // points at owned_warm_ or a shared one
+  std::unique_ptr<WarmState> owned_warm_;
 };
 
 // Streaming row serialization — thin historical names over the api codec

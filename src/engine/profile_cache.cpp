@@ -2,12 +2,13 @@
 
 #include <algorithm>
 
+#include "engine/store/codec.hpp"
 #include "sched/instance_hash.hpp"
 
 namespace bisched::engine {
 
-ProfileCache::ProfileCache(std::size_t max_entries)
-    : map_(std::max<std::size_t>(1, max_entries)) {}
+ProfileCache::ProfileCache(std::size_t max_entries, store::DiskTier* disk)
+    : map_(std::max<std::size_t>(1, max_entries)), disk_(disk) {}
 
 template <typename Instance>
 CachedProfile ProfileCache::lookup(const Instance& inst) {
@@ -18,8 +19,20 @@ CachedProfile ProfileCache::lookup(const Instance& inst) {
     if (const InstanceProfile* found = map_.get(out.hash)) {
       ++hits_;
       out.profile = *found;
-      out.hit = true;
+      out.tier = CacheTier::kMemory;
       return out;
+    }
+    if (disk_ != nullptr) {
+      if (const std::string* blob = disk_->get(store::encode_profile_key(out.hash))) {
+        InstanceProfile decoded;
+        if (store::decode_profile(*blob, &decoded)) {
+          ++disk_hits_;
+          map_.put(out.hash, decoded);  // promote: the next lookup is a memory hit
+          out.profile = std::move(decoded);
+          out.tier = CacheTier::kDisk;
+          return out;
+        }
+      }
     }
   }
   // Probe outside the lock: concurrent misses on the same instance race
@@ -30,6 +43,9 @@ CachedProfile ProfileCache::lookup(const Instance& inst) {
     std::lock_guard<std::mutex> lock(mu_);
     ++misses_;
     map_.put(out.hash, out.profile);
+    if (disk_ != nullptr) {
+      disk_->put(store::encode_profile_key(out.hash), store::encode_profile(out.profile));
+    }
   }
   return out;
 }
@@ -42,9 +58,11 @@ ProfileCache::Stats ProfileCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s;
   s.hits = hits_;
+  s.disk_hits = disk_hits_;
   s.misses = misses_;
   s.evictions = map_.evictions();
   s.entries = map_.size();
+  s.disk_entries = disk_ != nullptr ? disk_->entries() : 0;
   return s;
 }
 
@@ -52,7 +70,18 @@ void ProfileCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
   hits_ = 0;
+  disk_hits_ = 0;
   misses_ = 0;
+}
+
+void ProfileCache::flush_disk() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (disk_ != nullptr) disk_->flush();
+}
+
+bool ProfileCache::checkpoint_disk(std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_ == nullptr || disk_->compact(error);
 }
 
 }  // namespace bisched::engine

@@ -1,49 +1,37 @@
 #include "engine/result_cache.hpp"
 
-#include <bit>
-#include <functional>
+#include <utility>
+
+// The member function ResultCache::store shadows the `store` namespace
+// inside member bodies; the alias keeps the codec calls readable.
+namespace codec = bisched::engine::store;
 
 namespace bisched::engine {
 
-ResultKey make_result_key(std::uint64_t instance_hash, const std::string& alg,
-                          const SolveOptions& solve) {
-  ResultKey key;
-  key.hash = instance_hash;
-  key.alg = alg;
-  key.eps = solve.eps;
-  key.run_all = solve.run_all;
-  key.budget_ms = solve.budget_ms;
-  return key;
-}
+ResultCache::ResultCache(std::size_t max_entries, DiskTier* disk)
+    : map_(max_entries < 1 ? 1 : max_entries), disk_(disk) {}
 
-std::size_t ResultKeyHash::operator()(const ResultKey& k) const {
-  // splitmix64-style mixing over the fields; doubles hashed by bit pattern
-  // (the key compares them exactly, so NaN/-0.0 subtleties don't arise from
-  // the flag-parsed values that reach here).
-  auto mix = [](std::uint64_t x) {
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-  };
-  std::uint64_t h = mix(k.hash);
-  h = mix(h ^ std::hash<std::string>{}(k.alg));
-  h = mix(h ^ std::bit_cast<std::uint64_t>(k.eps));
-  h = mix(h ^ std::bit_cast<std::uint64_t>(k.budget_ms));
-  h = mix(h ^ static_cast<std::uint64_t>(k.run_all));
-  return static_cast<std::size_t>(h);
-}
-
-ResultCache::ResultCache(std::size_t max_entries)
-    : map_(max_entries < 1 ? 1 : max_entries) {}
-
-std::optional<SolveResult> ResultCache::lookup(const ResultKey& key) {
+std::optional<SolveResult> ResultCache::lookup(const ResultKey& key, CacheTier* tier) {
+  if (tier != nullptr) *tier = CacheTier::kMiss;
   std::shared_ptr<const SolveResult> found;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (const auto* entry = map_.get(key)) {
       ++hits_;
       found = *entry;
+      if (tier != nullptr) *tier = CacheTier::kMemory;
+    } else if (disk_ != nullptr) {
+      if (const std::string* blob = disk_->get(codec::encode_result_key(key))) {
+        SolveResult decoded;
+        if (codec::decode_result(*blob, &decoded)) {
+          ++disk_hits_;
+          auto entry = std::make_shared<const SolveResult>(std::move(decoded));
+          map_.put(key, entry);  // promote: the next lookup is a memory hit
+          found = std::move(entry);
+          if (tier != nullptr) *tier = CacheTier::kDisk;
+        }
+      }
+      if (found == nullptr) ++misses_;
     } else {
       ++misses_;
     }
@@ -56,6 +44,9 @@ void ResultCache::store(const ResultKey& key, const SolveResult& result) {
   if (!result.ok) return;
   auto entry = std::make_shared<const SolveResult>(result);
   std::lock_guard<std::mutex> lock(mu_);
+  if (disk_ != nullptr) {
+    disk_->put(codec::encode_result_key(key), codec::encode_result(*entry));
+  }
   map_.put(key, std::move(entry));
 }
 
@@ -63,9 +54,11 @@ ResultCache::Stats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s;
   s.hits = hits_;
+  s.disk_hits = disk_hits_;
   s.misses = misses_;
   s.evictions = map_.evictions();
   s.entries = map_.size();
+  s.disk_entries = disk_ != nullptr ? disk_->entries() : 0;
   return s;
 }
 
@@ -73,7 +66,18 @@ void ResultCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
   hits_ = 0;
+  disk_hits_ = 0;
   misses_ = 0;
+}
+
+void ResultCache::flush_disk() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (disk_ != nullptr) disk_->flush();
+}
+
+bool ResultCache::checkpoint_disk(std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_ == nullptr || disk_->compact(error);
 }
 
 }  // namespace bisched::engine

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <csignal>
 #include <memory>
 #include <sstream>
@@ -9,11 +10,17 @@
 #include <utility>
 #include <vector>
 
+#include "io/jsonl.hpp"
 #include "util/parallel.hpp"
+#include "util/table.hpp"
 
 namespace bisched::engine {
 
 namespace {
+
+// How often a listener loop pushes the warm state's journal appends to the
+// OS: a crash costs at most this much recent warmth.
+constexpr std::chrono::seconds kStoreFlushInterval(5);
 
 // Strips every character istream extraction also treats as whitespace
 // (\v and \f included), so a whitespace-only line is always classified as a
@@ -42,6 +49,13 @@ bool is_reserved_id(const std::string& id) {
   });
 }
 
+double hit_rate(std::uint64_t memory_hits, std::uint64_t disk_hits,
+                std::uint64_t misses) {
+  const std::uint64_t total = memory_hits + disk_hits + misses;
+  if (total == 0) return 0;
+  return static_cast<double>(memory_hits + disk_hits) / static_cast<double>(total);
+}
+
 }  // namespace
 
 // One admitted frame. The session thread decodes only what must come off the
@@ -51,7 +65,8 @@ bool is_reserved_id(const std::string& id) {
 struct Server::PendingRequest {
   SolveRequest req;
   std::int64_t seq = 0;
-  std::string bad;  // nonempty: malformed frame, answer with this error
+  bool stats = false;  // `stats [ID]` introspection frame, answered inline
+  std::string bad;     // nonempty: malformed frame, answer with this error
 };
 
 // Per-client state: the response stream lock and this session's share of the
@@ -63,15 +78,11 @@ struct Server::SessionState {
 };
 
 Server::Server(const SolverRegistry& registry, const ServeOptions& options,
-               ProfileCache* cache, ResultCache* results)
-    : registry_(registry), options_(options), cache_(cache), results_(results) {
-  if (cache_ == nullptr) {
-    owned_cache_ = std::make_unique<ProfileCache>();
-    cache_ = owned_cache_.get();
-  }
-  if (results_ == nullptr) {
-    owned_results_ = std::make_unique<ResultCache>();
-    results_ = owned_results_.get();
+               WarmState* warm)
+    : registry_(registry), options_(options), warm_(warm) {
+  if (warm_ == nullptr) {
+    owned_warm_ = std::make_unique<WarmState>();
+    warm_ = owned_warm_.get();
   }
   const unsigned threads =
       options_.threads != 0 ? options_.threads : default_thread_count();
@@ -81,6 +92,46 @@ Server::Server(const SolverRegistry& registry, const ServeOptions& options,
 
 Server::~Server() { pool_->wait_idle(); }
 
+std::string Server::stats_frame_json(const std::string& id, std::int64_t seq) const {
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t sessions = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    requests = requests_;
+    ok = ok_;
+    errors = errors_;
+    sessions = sessions_;
+  }
+  const auto profile = warm_->profiles().stats();
+  const auto result = warm_->results().stats();
+  std::ostringstream out;
+  out << "{\"v\": " << kApiVersion << ", \"id\": " << json_quote(id)
+      << ", \"seq\": " << seq << ", \"type\": \"stats\""
+      << ", \"requests\": " << requests << ", \"ok\": " << ok
+      << ", \"errors\": " << errors << ", \"sessions\": " << sessions
+      << ", \"store\": " << json_quote(warm_->store_dir())
+      << ", \"profile_entries\": " << profile.entries
+      << ", \"profile_disk_entries\": " << profile.disk_entries
+      << ", \"profile_hits_memory\": " << profile.hits
+      << ", \"profile_hits_disk\": " << profile.disk_hits
+      << ", \"profile_misses\": " << profile.misses
+      << ", \"profile_evictions\": " << profile.evictions
+      << ", \"profile_hit_rate\": "
+      << fmt_double_exact(hit_rate(profile.hits, profile.disk_hits, profile.misses))
+      << ", \"result_entries\": " << result.entries
+      << ", \"result_disk_entries\": " << result.disk_entries
+      << ", \"result_hits_memory\": " << result.hits
+      << ", \"result_hits_disk\": " << result.disk_hits
+      << ", \"result_misses\": " << result.misses
+      << ", \"result_evictions\": " << result.evictions
+      << ", \"result_hit_rate\": "
+      << fmt_double_exact(hit_rate(result.hits, result.disk_hits, result.misses))
+      << "}\n";
+  return out.str();
+}
+
 void Server::answer(Transport& transport, SessionState& state,
                     const PendingRequest& pending) {
   SolveResponse response;
@@ -88,18 +139,20 @@ void Server::answer(Transport& transport, SessionState& state,
     response.error = pending.bad;
     response.id = pending.req.id;
   } else {
-    response = run_request(registry_, *cache_, results_, pending.req, options_.alg,
+    response = run_request(registry_, *warm_, pending.req, options_.alg,
                            options_.solve);
   }
   response.seq = pending.seq;
   if (options_.stable_output) response.wall_ms = 0;
+  // Count BEFORE writing: a client that has read a response must find it
+  // reflected in the very next stats frame (the lockstep test pins this).
   {
-    std::lock_guard<std::mutex> out_lock(state.out_mu);
-    write_response_json(transport.out(), response);
-    transport.out().flush();
+    std::lock_guard<std::mutex> lock(mu_);
+    (response.ok ? ok_ : errors_) += 1;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  (response.ok ? ok_ : errors_) += 1;
+  std::lock_guard<std::mutex> out_lock(state.out_mu);
+  write_response_json(transport.out(), response);
+  transport.out().flush();
 }
 
 // Admission control: the session thread blocks once max_inflight_ requests
@@ -186,6 +239,10 @@ void Server::session(Transport& transport) {
           }
         }
         if (pending.bad.empty()) pending.req.parsed = std::move(parsed);
+      } else if (words[0] == "stats") {
+        if (words.size() == 2) pending.req.id = words[1];
+        if (words.size() > 2) pending.bad = "bad request: stats takes at most one id";
+        pending.stats = pending.bad.empty();
       } else {
         pending.bad = "bad request: unrecognized frame '" + words[0] + "'";
       }
@@ -199,6 +256,23 @@ void Server::session(Transport& transport) {
       pending.req.id.clear();
     }
     if (pending.req.id.empty()) pending.req.id = auto_id;
+
+    // Introspection is answered inline: a stats probe must not queue behind
+    // the heavy solves it is there to observe. (A stats frame that failed
+    // validation — reserved id — takes the error path below instead.)
+    if (pending.stats && pending.bad.empty()) {
+      // Snapshot first (a stats frame does not count itself), count second
+      // (the same read-implies-counted order answer() follows), write last.
+      const std::string stats_line = stats_frame_json(pending.req.id, pending.seq);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++ok_;
+      }
+      std::lock_guard<std::mutex> out_lock(state.out_mu);
+      transport.out() << stats_line;
+      transport.out().flush();
+      continue;
+    }
     submit(transport, state, std::move(pending));
   }
 
@@ -217,32 +291,30 @@ ServeStats Server::stats() const {
     stats.errors = errors_;
     stats.sessions = sessions_;
   }
-  stats.cache = cache_->stats();
-  stats.results = results_->stats();
+  stats.cache = warm_->profiles().stats();
+  stats.results = warm_->results().stats();
   return stats;
 }
 
 ServeStats serve(const SolverRegistry& registry, std::istream& in, std::ostream& out,
-                 const ServeOptions& options, ProfileCache* cache,
-                 ResultCache* results) {
-  Server server(registry, options, cache, results);
+                 const ServeOptions& options, WarmState* warm) {
+  Server server(registry, options, warm);
   IostreamTransport transport(in, out);
   server.session(transport);
+  server.warm().flush();
   return server.stats();
 }
 
-ServeStats serve_unix(const SolverRegistry& registry, const std::string& socket_path,
-                      const ServeOptions& options, std::string* error,
-                      ProfileCache* cache, ResultCache* results) {
+ServeStats serve_listener(const SolverRegistry& registry, Listener& listener,
+                          const ServeOptions& options, std::string* error,
+                          WarmState* warm) {
   // A client that disconnects mid-response must cost one session, not the
   // process: without this, the first write into its dead socket raises
   // SIGPIPE and kills the server. Ignored process-wide; the failed flush
   // surfaces as a stream error and the session ends on the EOF that follows.
   ::signal(SIGPIPE, SIG_IGN);
-  auto listener = UnixListener::open(socket_path, error);
-  if (listener == nullptr) return {};
 
-  Server server(registry, options, cache, results);
+  Server server(registry, options, warm);
   // Session threads are detached and tracked by a live count, not collected
   // in a vector: a long-lived server handling many short connections must
   // not accumulate one joinable zombie thread per client ever served. The
@@ -254,8 +326,17 @@ ServeStats serve_unix(const SolverRegistry& registry, const std::string& socket_
   std::condition_variable live_cv;
   std::size_t live_sessions = 0;
   std::vector<Transport*> live_transports;
-  while (!server.shutdown_requested() && listener->ok()) {
-    auto client = listener->accept(/*poll_ms=*/200);
+  auto last_flush = std::chrono::steady_clock::now();
+  while (!server.shutdown_requested() && listener.ok()) {
+    auto client = listener.accept(/*poll_ms=*/200);
+    // Periodic warmth durability: push buffered journal appends to the OS
+    // between accepts, so a crash loses at most kStoreFlushInterval of
+    // traffic. No-op for memory-only warm state.
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_flush >= kStoreFlushInterval) {
+      server.warm().flush();
+      last_flush = now;
+    }
     if (client == nullptr) continue;
     {
       std::lock_guard<std::mutex> lock(live_mu);
@@ -275,9 +356,9 @@ ServeStats serve_unix(const SolverRegistry& registry, const std::string& socket_
         std::erase(live_transports, client.get());
       }
       client.reset();
-      // Release the count only once teardown is complete (serve_unix — and
-      // the process — may proceed the moment it hits zero), and notify
-      // under the lock: serve_unix's locals (this cv included) may be
+      // Release the count only once teardown is complete (serve_listener —
+      // and the process — may proceed the moment it hits zero), and notify
+      // under the lock: serve_listener's locals (this cv included) may be
       // destroyed as soon as the waiter sees zero.
       std::lock_guard<std::mutex> lock(live_mu);
       --live_sessions;
@@ -291,10 +372,28 @@ ServeStats serve_unix(const SolverRegistry& registry, const std::string& socket_
     for (Transport* transport : live_transports) transport->interrupt();
     live_cv.wait(lock, [&] { return live_sessions == 0; });
   }
-  if (!listener->ok() && !server.shutdown_requested() && error != nullptr) {
-    *error = "listener on '" + socket_path + "' failed";
+  if (!listener.ok() && !server.shutdown_requested() && error != nullptr) {
+    *error = "listener on '" + listener.endpoint() + "' failed";
   }
+  server.warm().flush();
   return server.stats();
+}
+
+ServeStats serve_unix(const SolverRegistry& registry, const std::string& socket_path,
+                      const ServeOptions& options, std::string* error,
+                      WarmState* warm) {
+  auto listener = UnixListener::open(socket_path, error);
+  if (listener == nullptr) return {};
+  return serve_listener(registry, *listener, options, error, warm);
+}
+
+ServeStats serve_tcp(const SolverRegistry& registry, const std::string& host, int port,
+                     bool allow_remote, const ServeOptions& options, std::string* error,
+                     WarmState* warm, int* bound_port) {
+  auto listener = TcpListener::open(host, port, allow_remote, error);
+  if (listener == nullptr) return {};
+  if (bound_port != nullptr) *bound_port = listener->port();
+  return serve_listener(registry, *listener, options, error, warm);
 }
 
 }  // namespace bisched::engine

@@ -1,20 +1,28 @@
 // Long-lived serve mode: framed solve requests in, streamed v1 responses out.
 //
-// The resident state — one registry, one ProfileCache, one ResultCache, one
-// thread pool — lives in a transport-agnostic `Server`. A *session* is one
-// client's framed conversation over a `Transport` (engine/transport.hpp):
-// `Server::session` reads frames, decodes them through the engine/api v1
-// codec, fans the solves across the shared pool under a global in-flight
-// bound, and streams each response back on that client's transport as it
-// completes (one JSON Lines object per request, flushed per line). Sessions
-// may run concurrently — every client is answered from the same caches and
-// pool, so traffic from one client warms the next.
+// The resident state — one registry, one WarmState (probe + result caches,
+// optionally disk-tiered behind a store directory), one thread pool — lives
+// in a transport-agnostic `Server`. A *session* is one client's framed
+// conversation over a `Transport` (engine/transport.hpp): `Server::session`
+// reads frames, decodes them through the engine/api v1 codec, fans the
+// solves across the shared pool under a global in-flight bound, and streams
+// each response back on that client's transport as it completes (one JSON
+// Lines object per request, flushed per line). Sessions may run
+// concurrently — every client is answered from the same warm state and
+// pool, so traffic from one client warms the next, and a persistent store
+// warms the next *process*.
 //
-//   serve(...)       one session over borrowed iostreams — the classic
-//                    stdin/stdout framed loop, unchanged in behavior.
-//   serve_unix(...)  a unix-domain-socket listener: accepts any number of
-//                    concurrent clients (one session thread each) until a
-//                    client sends `shutdown`.
+//   serve(...)           one session over borrowed iostreams — the classic
+//                        stdin/stdout framed loop, unchanged in behavior.
+//   serve_listener(...)  accept loop over any Listener: any number of
+//                        concurrent clients (one session thread each) until
+//                        a client sends `shutdown`. Periodically flushes
+//                        the warm state's journals, so a crash loses at
+//                        most the last interval.
+//   serve_unix(...)      serve_listener over a unix-domain socket.
+//   serve_tcp(...)       serve_listener over an AF_INET/AF_INET6 socket
+//                        (loopback-only unless allow_remote — there is no
+//                        auth yet).
 //
 // Request framing (one frame per line unless noted; blank lines and `#`
 // comments are skipped):
@@ -26,12 +34,17 @@
 //   instance [ID]                            native instance text follows
 //                                            directly on the stream (the
 //                                            parser consumes one instance)
+//   stats [ID]                               one `"type": "stats"` frame:
+//                                            request counters, per-tier
+//                                            cache sizes / hit counts /
+//                                            evictions, store provenance
 //   quit                                     end THIS session; drain and
 //                                            close (the server keeps
 //                                            accepting other clients)
 //   shutdown                                 end this session AND stop the
-//                                            listener; serve_unix returns
-//                                            once active sessions drain
+//                                            listener; serve_listener
+//                                            returns once active sessions
+//                                            drain
 //
 // JSON requests may override "alg", "eps", "all", and "budget_ms" per
 // request (engine/api.hpp documents the full v1 schema). A malformed frame
@@ -56,9 +69,8 @@
 #include <string>
 
 #include "engine/api.hpp"
-#include "engine/profile_cache.hpp"
 #include "engine/registry.hpp"
-#include "engine/result_cache.hpp"
+#include "engine/store/warm_state.hpp"
 #include "engine/transport.hpp"
 
 namespace bisched {
@@ -76,7 +88,7 @@ struct ServeOptions {
 };
 
 struct ServeStats {
-  std::uint64_t requests = 0;
+  std::uint64_t requests = 0;  // solve frames + stats frames
   std::uint64_t ok = 0;
   std::uint64_t errors = 0;  // bad frames + failed solves
   std::uint64_t sessions = 0;
@@ -88,10 +100,10 @@ struct ServeStats {
 // per connected client (concurrently if desired); read stats() at the end.
 class Server {
  public:
-  // `cache` / `results` may be shared (e.g. pre-warmed by a batch run);
-  // nullptr uses private ones.
+  // `warm` may be shared (e.g. pre-warmed by a batch run, or carrying a
+  // persistent store); nullptr uses a private memory-only one.
   Server(const SolverRegistry& registry, const ServeOptions& options,
-         ProfileCache* cache = nullptr, ResultCache* results = nullptr);
+         WarmState* warm = nullptr);
   ~Server();
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -105,6 +117,7 @@ class Server {
   // Set once a session consumes a `shutdown` frame; the accept loop polls it.
   bool shutdown_requested() const { return shutdown_.load(); }
 
+  WarmState& warm() { return *warm_; }
   ServeStats stats() const;
 
  private:
@@ -113,14 +126,15 @@ class Server {
 
   void submit(Transport& transport, SessionState& state, PendingRequest pending);
   void answer(Transport& transport, SessionState& state, const PendingRequest& pending);
+  // The one non-solve frame: a flat JSON introspection line answered
+  // inline (no pool round trip), `"type": "stats"`.
+  std::string stats_frame_json(const std::string& id, std::int64_t seq) const;
 
   const SolverRegistry& registry_;
   ServeOptions options_;
   std::size_t max_inflight_;
-  ProfileCache* cache_;
-  ResultCache* results_;
-  std::unique_ptr<ProfileCache> owned_cache_;
-  std::unique_ptr<ResultCache> owned_results_;
+  WarmState* warm_;
+  std::unique_ptr<WarmState> owned_warm_;
   std::unique_ptr<ThreadPool> pool_;
 
   mutable std::mutex mu_;  // guards the counters below
@@ -137,15 +151,29 @@ class Server {
 // frame, drains, and returns the stats. The stdin/stdout framed loop and the
 // in-process tests/benches use this.
 ServeStats serve(const SolverRegistry& registry, std::istream& in, std::ostream& out,
-                 const ServeOptions& options, ProfileCache* cache = nullptr,
-                 ResultCache* results = nullptr);
+                 const ServeOptions& options, WarmState* warm = nullptr);
 
-// Listens on a unix-domain socket and serves concurrent clients from one
-// resident Server until a client sends `shutdown` (or the listener fails).
-// Returns aggregate stats; on listener setup failure returns zero stats with
-// *error set.
+// Accept loop over an already-open listener: serves concurrent clients from
+// one resident Server until a client sends `shutdown` (or the listener
+// fails). When `warm` is persistent its journals are flushed periodically
+// (and once more on return). Returns aggregate stats; on listener failure
+// returns the stats so far with *error set.
+ServeStats serve_listener(const SolverRegistry& registry, Listener& listener,
+                          const ServeOptions& options, std::string* error,
+                          WarmState* warm = nullptr);
+
+// serve_listener over a unix-domain socket at `socket_path`. On listener
+// setup failure returns zero stats with *error set.
 ServeStats serve_unix(const SolverRegistry& registry, const std::string& socket_path,
                       const ServeOptions& options, std::string* error,
-                      ProfileCache* cache = nullptr, ResultCache* results = nullptr);
+                      WarmState* warm = nullptr);
+
+// serve_listener over a TCP socket. `host` as in TcpListener::open —
+// non-loopback binds are refused unless allow_remote. `*bound_port` (if
+// non-null) receives the actual port before serving starts (useful with
+// port 0).
+ServeStats serve_tcp(const SolverRegistry& registry, const std::string& host, int port,
+                     bool allow_remote, const ServeOptions& options, std::string* error,
+                     WarmState* warm = nullptr, int* bound_port = nullptr);
 
 }  // namespace bisched::engine

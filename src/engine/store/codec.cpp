@@ -1,0 +1,128 @@
+#include "engine/store/codec.hpp"
+
+#include <functional>
+
+namespace bisched::engine::store {
+
+ResultKey make_result_key(std::uint64_t instance_hash, const std::string& alg,
+                          const SolveOptions& solve) {
+  ResultKey key;
+  key.hash = instance_hash;
+  key.alg = alg;
+  key.eps = solve.eps;
+  key.run_all = solve.run_all;
+  key.budget_ms = solve.budget_ms;
+  key.schema = kResultKeySchema;
+  return key;
+}
+
+std::size_t ResultKeyHash::operator()(const ResultKey& k) const {
+  // splitmix64-style mixing over the fields; doubles hashed by bit pattern
+  // (the key compares them exactly).
+  auto mix = [](std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  };
+  std::uint64_t h = mix(k.hash);
+  h = mix(h ^ std::hash<std::string>{}(k.alg));
+  h = mix(h ^ std::bit_cast<std::uint64_t>(k.eps));
+  h = mix(h ^ std::bit_cast<std::uint64_t>(k.budget_ms));
+  h = mix(h ^ static_cast<std::uint64_t>(k.run_all));
+  h = mix(h ^ k.schema);
+  return static_cast<std::size_t>(h);
+}
+
+std::string encode_profile_key(std::uint64_t instance_hash) {
+  ByteWriter w;
+  w.u64(instance_hash);
+  return w.take();
+}
+
+std::string encode_result_key(const ResultKey& key) {
+  ByteWriter w;
+  w.u64(key.hash);
+  w.str(key.alg);
+  w.f64(key.eps);
+  w.u8(key.run_all ? 1 : 0);
+  w.f64(key.budget_ms);
+  w.u32(key.schema);
+  return w.take();
+}
+
+std::string encode_profile(const InstanceProfile& profile) {
+  ByteWriter w;
+  w.u32(profile.model);
+  w.i32(profile.jobs);
+  w.i32(profile.machines);
+  w.i64(profile.num_edges);
+  w.u8(profile.unit_jobs ? 1 : 0);
+  w.u64(profile.graph_classes);
+  w.i64(profile.total_work);
+  w.i64(profile.speed_lcm);
+  return w.take();
+}
+
+bool decode_profile(std::string_view bytes, InstanceProfile* out) {
+  ByteReader r(bytes);
+  InstanceProfile p;
+  std::uint8_t unit = 0;
+  if (!(r.u32(&p.model) && r.i32(&p.jobs) && r.i32(&p.machines) &&
+        r.i64(&p.num_edges) && r.u8(&unit) && r.u64(&p.graph_classes) &&
+        r.i64(&p.total_work) && r.i64(&p.speed_lcm) && r.at_end())) {
+    return false;
+  }
+  p.unit_jobs = unit != 0;
+  *out = std::move(p);
+  return true;
+}
+
+std::string encode_result(const SolveResult& result) {
+  ByteWriter w;
+  w.u8(result.ok ? 1 : 0);
+  w.str(result.error);
+  w.str(result.solver);
+  w.str(result.guarantee);
+  w.u32(static_cast<std::uint32_t>(result.schedule.machine_of.size()));
+  for (const int machine : result.schedule.machine_of) w.i32(machine);
+  w.i64(result.cmax.num());
+  w.i64(result.cmax.den());
+  w.f64(result.wall_ms);
+  w.i32(result.solvers_tried);
+  return w.take();
+}
+
+bool decode_result(std::string_view bytes, SolveResult* out) {
+  ByteReader r(bytes);
+  SolveResult v;
+  std::uint8_t ok = 0;
+  std::uint32_t jobs = 0;
+  if (!(r.u8(&ok) && r.str(&v.error) && r.str(&v.solver) && r.str(&v.guarantee) &&
+        r.u32(&jobs))) {
+    return false;
+  }
+  // The length was bounds-checked only as a field; re-check against the
+  // remaining payload before reserving, so a corrupt count cannot trigger a
+  // huge allocation.
+  if (bytes.size() / 4 < jobs) return false;
+  v.schedule.machine_of.reserve(jobs);
+  for (std::uint32_t j = 0; j < jobs; ++j) {
+    std::int32_t machine = 0;
+    if (!r.i32(&machine)) return false;
+    v.schedule.machine_of.push_back(machine);
+  }
+  std::int64_t num = 0;
+  std::int64_t den = 0;
+  if (!(r.i64(&num) && r.i64(&den) && r.f64(&v.wall_ms) && r.i32(&v.solvers_tried) &&
+        r.at_end())) {
+    return false;
+  }
+  if (den <= 0) return false;  // Rational invariant; also rejects division by 0
+  v.ok = ok != 0;
+  v.cmax = Rational(num, den);
+  *out = std::move(v);
+  return true;
+}
+
+}  // namespace bisched::engine::store

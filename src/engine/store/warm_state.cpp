@@ -1,0 +1,64 @@
+#include "engine/store/warm_state.hpp"
+
+#include "engine/store/codec.hpp"
+
+namespace bisched::engine {
+
+namespace {
+
+// The namespace headers pin the value codecs; a schema bump (or a future
+// semantic flag) makes old files a clean cold start instead of a misread.
+store::NamespaceConfig profile_namespace() {
+  return {"profile", store::kProfileSchema, /*flags=*/0};
+}
+
+store::NamespaceConfig result_namespace() {
+  return {"result", store::kResultSchema, /*flags=*/0};
+}
+
+void append_message(std::string* message, const std::string& part) {
+  if (message == nullptr || part.empty()) return;
+  if (!message->empty()) *message += "; ";
+  *message += part;
+}
+
+}  // namespace
+
+WarmState::WarmState() : WarmState(WarmOptions{}) {}
+
+WarmState::WarmState(const WarmOptions& options, std::string* message) {
+  DiskTier* profile_tier = nullptr;
+  DiskTier* result_tier = nullptr;
+  if (!options.store_dir.empty()) {
+    std::string error;
+    store_ = store::CacheStore::open(options.store_dir, &error);
+    if (store_ == nullptr) {
+      append_message(message, error + " (running memory-only)");
+    } else {
+      profile_tier = store_->open_namespace(profile_namespace());
+      result_tier = store_->open_namespace(result_namespace());
+      append_message(message, profile_tier->load_report().message);
+      append_message(message, result_tier->load_report().message);
+    }
+  }
+  profiles_ = std::make_unique<ProfileCache>(options.profile_entries, profile_tier);
+  results_ = std::make_unique<ResultCache>(options.result_entries, result_tier);
+}
+
+const std::string& WarmState::store_dir() const {
+  static const std::string kEmpty;
+  return store_ != nullptr ? store_->dir() : kEmpty;
+}
+
+void WarmState::flush() {
+  profiles_->flush_disk();
+  results_->flush_disk();
+}
+
+bool WarmState::checkpoint(std::string* error) {
+  const bool profiles_ok = profiles_->checkpoint_disk(error);
+  const bool results_ok = results_->checkpoint_disk(profiles_ok ? error : nullptr);
+  return profiles_ok && results_ok;
+}
+
+}  // namespace bisched::engine

@@ -1,5 +1,7 @@
 #include "engine/transport.hpp"
 
+#include <netdb.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
@@ -169,6 +171,162 @@ std::unique_ptr<FdTransport> UnixListener::accept(int poll_ms) {
     return nullptr;
   }
   return std::make_unique<FdTransport>(client, "unix:" + std::to_string(++accepted_));
+}
+
+// ------------------------------------------------------------ TcpListener ---
+
+namespace {
+
+// Loopback test on a resolved address. v4: 127.0.0.0/8. v6: ::1, plus the
+// v4-mapped form of 127/8 (::ffff:127.x.y.z) so "localhost" resolving
+// through a mapped A record still counts as local.
+bool is_loopback(const sockaddr* addr) {
+  if (addr->sa_family == AF_INET) {
+    const auto* v4 = reinterpret_cast<const sockaddr_in*>(addr);
+    return (ntohl(v4->sin_addr.s_addr) >> 24) == 127;
+  }
+  if (addr->sa_family == AF_INET6) {
+    const auto* v6 = reinterpret_cast<const sockaddr_in6*>(addr);
+    if (IN6_IS_ADDR_LOOPBACK(&v6->sin6_addr)) return true;
+    if (IN6_IS_ADDR_V4MAPPED(&v6->sin6_addr)) {
+      return v6->sin6_addr.s6_addr[12] == 127;
+    }
+  }
+  return false;
+}
+
+// getaddrinfo over a possibly-bracketed host. `passive` = resolve for bind.
+addrinfo* resolve_tcp(const std::string& host, int port, bool passive,
+                      std::string* error) {
+  std::string bare = host;
+  if (bare.size() >= 2 && bare.front() == '[' && bare.back() == ']') {
+    bare = bare.substr(1, bare.size() - 2);
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  addrinfo* found = nullptr;
+  const int rc =
+      ::getaddrinfo(bare.c_str(), std::to_string(port).c_str(), &hints, &found);
+  if (rc != 0) {
+    if (error != nullptr) {
+      *error = "cannot resolve '" + host + "': " + ::gai_strerror(rc);
+    }
+    return nullptr;
+  }
+  return found;
+}
+
+}  // namespace
+
+std::unique_ptr<TcpListener> TcpListener::open(const std::string& host, int port,
+                                               bool allow_remote, std::string* error) {
+  addrinfo* addresses = resolve_tcp(host, port, /*passive=*/true, error);
+  if (addresses == nullptr) return nullptr;
+
+  int fd = -1;
+  std::string last_error = "no usable address for '" + host + "'";
+  for (const addrinfo* ai = addresses; ai != nullptr; ai = ai->ai_next) {
+    // The no-auth guard: every candidate address is checked, so a hostname
+    // that resolves to anything non-loopback cannot slip a public bind in.
+    if (!allow_remote && !is_loopback(ai->ai_addr)) {
+      last_error = "refusing non-loopback bind on '" + host +
+                   "' (serve has no auth; pass --allow-remote to expose it)";
+      continue;
+    }
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 || ::listen(fd, 64) != 0) {
+      last_error = "bind/listen '" + host + ":" + std::to_string(port) +
+                   "': " + std::strerror(errno);
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    break;
+  }
+  ::freeaddrinfo(addresses);
+  if (fd < 0) {
+    if (error != nullptr) *error = last_error;
+    return nullptr;
+  }
+
+  // Read the actual port back: with port 0 the kernel picked one, and the
+  // caller (CLI banner, tests, ci.sh) needs it to hand to clients.
+  sockaddr_storage bound{};
+  socklen_t bound_len = sizeof(bound);
+  int actual_port = port;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    if (bound.ss_family == AF_INET) {
+      actual_port = ntohs(reinterpret_cast<const sockaddr_in*>(&bound)->sin_port);
+    } else if (bound.ss_family == AF_INET6) {
+      actual_port = ntohs(reinterpret_cast<const sockaddr_in6*>(&bound)->sin6_port);
+    }
+  }
+  return std::unique_ptr<TcpListener>(new TcpListener(fd, host, actual_port));
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string TcpListener::endpoint() const {
+  return "tcp:" + host_ + ":" + std::to_string(port_);
+}
+
+std::unique_ptr<FdTransport> TcpListener::accept(int poll_ms) {
+  if (fd_ < 0) return nullptr;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, poll_ms);
+  if (ready <= 0) {
+    if (ready < 0 && errno != EINTR && errno != EAGAIN) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return nullptr;
+  }
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    if (errno != EINTR && errno != EAGAIN && errno != ECONNABORTED) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return nullptr;
+  }
+  return std::make_unique<FdTransport>(client, "tcp:" + std::to_string(++accepted_));
+}
+
+int tcp_connect(const std::string& host, int port, std::string* error) {
+  addrinfo* addresses = resolve_tcp(host, port, /*passive=*/false, error);
+  if (addresses == nullptr) return -1;
+  std::string last_error = "no usable address for '" + host + "'";
+  int fd = -1;
+  for (const addrinfo* ai = addresses; ai != nullptr && fd < 0; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    int rc;
+    do {
+      rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      last_error = "connect '" + host + ":" + std::to_string(port) +
+                   "': " + std::strerror(errno);
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  ::freeaddrinfo(addresses);
+  if (fd < 0 && error != nullptr) *error = last_error;
+  return fd;
 }
 
 int unix_connect(const std::string& path, std::string* error) {

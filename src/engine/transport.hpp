@@ -11,10 +11,16 @@
 //   FdTransport       — an owned POSIX fd (socket or pipe) grown into
 //                       streams by FdStreambuf; one per accepted client.
 //
-// UnixListener binds a unix-domain socket and accepts FdTransports; it polls
-// with a short timeout so the accept loop can observe a shutdown flag
-// without signals. unix_connect is the matching client side (CLI `client`,
-// tests, the CI smoke).
+// Listeners share one interface (`Listener`): bind a socket, accept
+// FdTransports, poll with a short timeout so the accept loop can observe a
+// shutdown flag without signals. Two implementations:
+//
+//   UnixListener — a unix-domain socket; unix_connect is the matching
+//                  client side (CLI `client`, tests, the CI smoke).
+//   TcpListener  — an AF_INET/AF_INET6 socket for `--listen=tcp:HOST:PORT`.
+//                  There is no auth yet, so non-loopback bind addresses are
+//                  REFUSED unless the caller passes allow_remote (the CLI's
+//                  --allow-remote). tcp_connect is the client side.
 //
 // Streams were chosen over a read(buf)/write(buf) interface deliberately:
 // the native `instance` frame hands the stream to the instance parser
@@ -108,22 +114,36 @@ class FdTransport final : public Transport {
   std::ostream out_;
 };
 
-class UnixListener {
+// What a serve accept loop needs from any bound socket, regardless of
+// address family. Implementations poll so callers can observe a stop flag.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  // Waits up to poll_ms for a connection. nullptr on timeout or transient
+  // error — callers loop on a stop flag. Fatal listener errors set ok() to
+  // false.
+  virtual std::unique_ptr<FdTransport> accept(int poll_ms) = 0;
+
+  virtual bool ok() const = 0;
+  // The bound address in --listen spelling ("unix:PATH", "tcp:HOST:PORT").
+  virtual std::string endpoint() const = 0;
+};
+
+class UnixListener final : public Listener {
  public:
   // Binds + listens on `path`. A stale socket file (bind says "in use" but
   // nothing answers a connect) is unlinked and rebound; a *live* one is an
   // error. Returns nullptr with *error set on failure.
   static std::unique_ptr<UnixListener> open(const std::string& path, std::string* error);
-  ~UnixListener();
+  ~UnixListener() override;
   UnixListener(const UnixListener&) = delete;
   UnixListener& operator=(const UnixListener&) = delete;
 
-  // Waits up to poll_ms for a connection. nullptr on timeout or transient
-  // error — callers loop on a stop flag. Fatal listener errors set ok() to
-  // false.
-  std::unique_ptr<FdTransport> accept(int poll_ms);
+  std::unique_ptr<FdTransport> accept(int poll_ms) override;
 
-  bool ok() const { return fd_ >= 0; }
+  bool ok() const override { return fd_ >= 0; }
+  std::string endpoint() const override { return "unix:" + path_; }
   const std::string& path() const { return path_; }
 
  private:
@@ -134,8 +154,41 @@ class UnixListener {
   std::uint64_t accepted_ = 0;
 };
 
+class TcpListener final : public Listener {
+ public:
+  // Resolves `host` (numeric or named, IPv4 or IPv6; brackets around a
+  // numeric IPv6 are accepted) and binds `port` (0 = ephemeral — read the
+  // chosen one back with port()). Serve mode has no auth yet, so a host
+  // that is not a loopback address is refused unless `allow_remote`.
+  // Returns nullptr with *error set on failure.
+  static std::unique_ptr<TcpListener> open(const std::string& host, int port,
+                                           bool allow_remote, std::string* error);
+  ~TcpListener() override;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::unique_ptr<FdTransport> accept(int poll_ms) override;
+
+  bool ok() const override { return fd_ >= 0; }
+  std::string endpoint() const override;
+  int port() const { return port_; }  // actual bound port (after port 0)
+
+ private:
+  TcpListener(int fd, std::string host, int port)
+      : fd_(fd), host_(std::move(host)), port_(port) {}
+
+  int fd_;
+  std::string host_;
+  int port_;
+  std::uint64_t accepted_ = 0;
+};
+
 // Client side: connects to a unix-domain socket; returns the fd, or -1 with
 // *error set.
 int unix_connect(const std::string& path, std::string* error);
+
+// Client side: connects to host:port over TCP (tries every resolved
+// address); returns the fd, or -1 with *error set.
+int tcp_connect(const std::string& host, int port, std::string* error);
 
 }  // namespace bisched::engine

@@ -128,9 +128,9 @@ SolveResponse golden_sample() {
   r.jobs = 5;
   r.machines = 2;
   r.instance_hash = "00000000deadbeef";
-  r.cache_hit = true;
+  r.cache_tier = engine::CacheTier::kMemory;
   r.result_cache_used = true;
-  r.result_cache_hit = false;
+  r.result_tier = engine::CacheTier::kMiss;
   r.solver = "q2exact";
   r.guarantee = "exact (Thm 4 DP)";
   r.makespan = "7/2";
@@ -188,15 +188,14 @@ TEST(ApiExecution, RunRequestResolvesEverySourceForm) {
   write_instance(text, inst);
 
   const auto& registry = engine::SolverRegistry::builtin();
-  engine::ProfileCache cache;
+  engine::WarmState warm;
 
   // Inline text source.
   SolveRequest by_text;
   by_text.inline_text = text.str();
   by_text.has_inline_text = true;
   by_text.id = "t";
-  const auto from_text =
-      engine::run_request(registry, cache, nullptr, by_text, "auto", {});
+  const auto from_text = engine::run_request(registry, warm, by_text, "auto", {});
   ASSERT_TRUE(from_text.ok) << from_text.error;
   EXPECT_EQ(from_text.id, "t");
 
@@ -209,11 +208,15 @@ TEST(ApiExecution, RunRequestResolvesEverySourceForm) {
   by_parsed.parsed = parsed;
   engine::SolveResult full;
   const auto from_parsed =
-      engine::run_request(registry, cache, nullptr, by_parsed, "auto", {}, &full);
+      engine::run_request(registry, warm, by_parsed, "auto", {}, &full);
   ASSERT_TRUE(from_parsed.ok) << from_parsed.error;
   EXPECT_EQ(from_parsed.makespan, from_text.makespan);
   EXPECT_EQ(from_parsed.solver, from_text.solver);
   EXPECT_FALSE(full.schedule.machine_of.empty());
+  // Same content solved twice through one warm state: the result cache
+  // served the repeat (memory tier — no store attached here).
+  EXPECT_TRUE(from_parsed.result_cache_used);
+  EXPECT_EQ(from_parsed.result_tier, engine::CacheTier::kMemory);
 
   // Portfolio-only options that cannot take effect are errors at the API
   // boundary, not silently-ignored successes — the same rule the CLI
@@ -224,8 +227,7 @@ TEST(ApiExecution, RunRequestResolvesEverySourceForm) {
   all_named.alg = "q2exact";
   all_named.has_run_all = true;
   all_named.run_all = true;
-  const auto all_err =
-      engine::run_request(registry, cache, nullptr, all_named, "auto", {});
+  const auto all_err = engine::run_request(registry, warm, all_named, "auto", {});
   EXPECT_FALSE(all_err.ok);
   EXPECT_NE(all_err.error.find("\"all\" requires alg \"auto\""), std::string::npos);
   SolveRequest budget_only;
@@ -233,18 +235,17 @@ TEST(ApiExecution, RunRequestResolvesEverySourceForm) {
   budget_only.has_inline_text = true;
   budget_only.has_budget_ms = true;
   budget_only.budget_ms = 50;
-  const auto budget_err =
-      engine::run_request(registry, cache, nullptr, budget_only, "auto", {});
+  const auto budget_err = engine::run_request(registry, warm, budget_only, "auto", {});
   EXPECT_FALSE(budget_err.ok);
   EXPECT_NE(budget_err.error.find("\"budget_ms\" requires \"all\""), std::string::npos);
 
   // Missing file and missing source both yield error responses, not crashes.
   SolveRequest missing;
   missing.path = "/nonexistent/x.inst";
-  EXPECT_EQ(engine::run_request(registry, cache, nullptr, missing, "auto", {}).error,
+  EXPECT_EQ(engine::run_request(registry, warm, missing, "auto", {}).error,
             "cannot open file");
   SolveRequest empty;
-  EXPECT_NE(engine::run_request(registry, cache, nullptr, empty, "auto", {}).error.find(
+  EXPECT_NE(engine::run_request(registry, warm, empty, "auto", {}).error.find(
                 "no instance source"),
             std::string::npos);
 }

@@ -206,8 +206,9 @@ TEST_F(BatchTest, RepeatedInstancesHitTheSharedProfileCache) {
   const auto rows = runner.run(paths);
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0].instance_hash, rows[1].instance_hash);
-  EXPECT_FALSE(rows[0].cache_hit);
-  EXPECT_TRUE(rows[1].cache_hit);  // content-addressed: the path is irrelevant
+  EXPECT_EQ(rows[0].cache_tier, engine::CacheTier::kMiss);
+  // Content-addressed: the path is irrelevant (memory tier — no store here).
+  EXPECT_EQ(rows[1].cache_tier, engine::CacheTier::kMemory);
   EXPECT_EQ(runner.cache().stats().hits, 1u);
   EXPECT_EQ(runner.cache().stats().misses, 1u);
 }
@@ -225,24 +226,21 @@ TEST_F(BatchTest, RepeatedInstancesHitTheResultCache) {
   const auto rows = runner.run(paths);
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_TRUE(rows[0].result_cache_used);
-  EXPECT_FALSE(rows[0].result_cache_hit);
-  EXPECT_TRUE(rows[1].result_cache_hit);  // full solve served warm
+  EXPECT_EQ(rows[0].result_tier, engine::CacheTier::kMiss);
+  EXPECT_EQ(rows[1].result_tier, engine::CacheTier::kMemory);  // served warm
   EXPECT_EQ(rows[1].solver, rows[0].solver);
   EXPECT_EQ(rows[1].makespan, rows[0].makespan);
   EXPECT_EQ(runner.results().stats().hits, 1u);
   EXPECT_EQ(runner.results().stats().misses, 1u);
 
-  // A shared cache carries warmth across runners, like the serve loop.
-  engine::ProfileCache shared_probes;
-  engine::ResultCache shared_results;
-  const BatchRunner first(SolverRegistry::builtin(), options, &shared_probes,
-                          &shared_results);
+  // A shared warm state carries warmth across runners, like the serve loop.
+  engine::WarmState shared_warm;
+  const BatchRunner first(SolverRegistry::builtin(), options, &shared_warm);
   (void)first.run(paths);
-  const BatchRunner second(SolverRegistry::builtin(), options, &shared_probes,
-                           &shared_results);
+  const BatchRunner second(SolverRegistry::builtin(), options, &shared_warm);
   const auto warm_rows = second.run(paths);
-  EXPECT_TRUE(warm_rows[0].result_cache_hit);
-  EXPECT_TRUE(warm_rows[1].result_cache_hit);
+  EXPECT_EQ(warm_rows[0].result_tier, engine::CacheTier::kMemory);
+  EXPECT_EQ(warm_rows[1].result_tier, engine::CacheTier::kMemory);
 }
 
 TEST_F(BatchTest, MalformedInstanceYieldsErrorRowNotCrash) {
@@ -344,9 +342,9 @@ TEST_F(BatchTest, CsvAndJsonSerializeAllRows) {
   ok_row.jobs = 4;
   ok_row.machines = 2;
   ok_row.instance_hash = "00000000deadbeef";
-  ok_row.cache_hit = true;
+  ok_row.cache_tier = engine::CacheTier::kMemory;
   ok_row.result_cache_used = true;
-  ok_row.result_cache_hit = true;
+  ok_row.result_tier = engine::CacheTier::kDisk;
   ok_row.solver = "alg1";
   ok_row.guarantee = "sqrt(sum p)";
   ok_row.makespan = "7/2";
@@ -362,7 +360,8 @@ TEST_F(BatchTest, CsvAndJsonSerializeAllRows) {
   const std::string csv_text = csv.str();
   EXPECT_NE(csv_text.find("\"with,comma.inst\""), std::string::npos);
   EXPECT_NE(csv_text.find("7/2"), std::string::npos);
-  EXPECT_NE(csv_text.find(",hit,hit,"), std::string::npos);  // cache + solve_cache
+  // cache + solve_cache carry their serving tier.
+  EXPECT_NE(csv_text.find(",hit-memory,hit-disk,"), std::string::npos);
   EXPECT_EQ(std::count(csv_text.begin(), csv_text.end(), '\n'), 3);  // header + 2 rows
 
   // JSON output is JSON Lines: one self-contained object per row, no array
@@ -373,8 +372,8 @@ TEST_F(BatchTest, CsvAndJsonSerializeAllRows) {
   EXPECT_EQ(json_text.front(), '{');
   EXPECT_EQ(std::count(json_text.begin(), json_text.end(), '\n'), 2);  // 2 rows
   EXPECT_NE(json_text.find("\"makespan\": \"7/2\""), std::string::npos);
-  EXPECT_NE(json_text.find("\"cache\": \"hit\""), std::string::npos);
-  EXPECT_NE(json_text.find("\"solve_cache\": \"hit\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"cache\": \"hit-memory\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"solve_cache\": \"hit-disk\""), std::string::npos);
   // The error row never reached the caches: both provenance fields stay "".
   EXPECT_NE(json_text.find("\"solve_cache\": \"\""), std::string::npos);
   EXPECT_NE(json_text.find("\\\"p\\\""), std::string::npos);  // escaped quotes

@@ -69,14 +69,14 @@ TEST(ProfileCache, MissThenHitReturnsTheProbedProfile) {
   const InstanceProfile direct = engine::probe(inst);
 
   const CachedProfile first = cache.profile(inst);
-  EXPECT_FALSE(first.hit);
+  EXPECT_FALSE(first.hit());
   EXPECT_EQ(first.hash, instance_hash(inst));
   EXPECT_EQ(first.profile.graph_classes, direct.graph_classes);
   EXPECT_EQ(first.profile.total_work, direct.total_work);
   EXPECT_EQ(first.profile.speed_lcm, direct.speed_lcm);
 
   const CachedProfile second = cache.profile(inst);
-  EXPECT_TRUE(second.hit);
+  EXPECT_TRUE(second.hit());
   EXPECT_EQ(second.hash, first.hash);
   EXPECT_EQ(second.profile.jobs, direct.jobs);
   EXPECT_EQ(second.profile.machines, direct.machines);
@@ -96,7 +96,7 @@ TEST(ProfileCache, DistinctInstancesDoNotAlias) {
   for (int trial = 0; trial < 10; ++trial) {
     const auto q = testing::random_uniform_instance(4, 4, 2, 5, 3, rng);
     const auto cached = cache.profile(q);
-    EXPECT_FALSE(cached.hit) << "trial " << trial;
+    EXPECT_FALSE(cached.hit()) << "trial " << trial;
     EXPECT_EQ(cached.profile.total_work, engine::probe(q).total_work);
   }
   EXPECT_EQ(cache.stats().misses, 10u);
@@ -109,14 +109,14 @@ TEST(ProfileCache, ServesBothModelsAndClearResets) {
   const auto r = make_unrelated_instance({{3, 1}, {2, 5}}, Graph(2));
   cache.profile(q);
   cache.profile(r);
-  EXPECT_TRUE(cache.profile(q).hit);
-  EXPECT_TRUE(cache.profile(r).hit);
+  EXPECT_TRUE(cache.profile(q).hit());
+  EXPECT_TRUE(cache.profile(r).hit());
   EXPECT_EQ(cache.stats().entries, 2u);
 
   cache.clear();
   EXPECT_EQ(cache.stats().hits, 0u);
   EXPECT_EQ(cache.stats().entries, 0u);
-  EXPECT_FALSE(cache.profile(q).hit);
+  EXPECT_FALSE(cache.profile(q).hit());
 }
 
 TEST(ProfileCache, CapacityBoundEvictsLeastRecentlyUsed) {
@@ -127,15 +127,15 @@ TEST(ProfileCache, CapacityBoundEvictsLeastRecentlyUsed) {
   const auto c = testing::random_uniform_instance(3, 3, 2, 3, 2, rng);
   cache.profile(a);
   cache.profile(b);
-  EXPECT_TRUE(cache.profile(a).hit);  // promotes a: b is now the LRU entry
+  EXPECT_TRUE(cache.profile(a).hit());  // promotes a: b is now the LRU entry
   cache.profile(c);                   // evicts b
   EXPECT_EQ(cache.stats().entries, 2u);
   EXPECT_EQ(cache.stats().evictions, 1u);
-  EXPECT_TRUE(cache.profile(a).hit);
-  EXPECT_TRUE(cache.profile(c).hit);
+  EXPECT_TRUE(cache.profile(a).hit());
+  EXPECT_TRUE(cache.profile(c).hit());
   // Correctness is unaffected by eviction — only hit rate.
   const auto again = cache.profile(b);
-  EXPECT_FALSE(again.hit);
+  EXPECT_FALSE(again.hit());
   EXPECT_EQ(again.profile.total_work, engine::probe(b).total_work);
 }
 

@@ -121,42 +121,35 @@ TEST(ResultCache, SolveToRowMemoizesRepeatedSolves) {
   std::ostringstream text;
   write_instance(text, inst);
 
-  engine::ProfileCache probes;
-  ResultCache results;
+  engine::WarmState warm_state;
   const auto solve_once = [&] {
     std::istringstream in(text.str());
-    return engine::solve_to_row(engine::SolverRegistry::builtin(), probes, &results,
-                                "auto", SolveOptions{}, parse_instance(in));
+    return engine::solve_to_row(engine::SolverRegistry::builtin(), warm_state, "auto",
+                                SolveOptions{}, parse_instance(in));
   };
 
   const auto cold = solve_once();
   ASSERT_TRUE(cold.ok) << cold.error;
   EXPECT_TRUE(cold.result_cache_used);
-  EXPECT_FALSE(cold.result_cache_hit);
+  EXPECT_EQ(cold.result_tier, engine::CacheTier::kMiss);
 
   const auto warm = solve_once();
   ASSERT_TRUE(warm.ok) << warm.error;
-  EXPECT_TRUE(warm.result_cache_hit);
+  EXPECT_EQ(warm.result_tier, engine::CacheTier::kMemory);
   EXPECT_EQ(warm.solver, cold.solver);
   EXPECT_EQ(warm.makespan, cold.makespan);
-  EXPECT_EQ(results.stats().hits, 1u);
-  EXPECT_EQ(results.stats().misses, 1u);
+  EXPECT_EQ(warm_state.results().stats().hits, 1u);
+  EXPECT_EQ(warm_state.results().stats().misses, 1u);
+  EXPECT_EQ(warm_state.results().stats().disk_hits, 0u);  // no store attached
 
   // A different eps is a different request: no false sharing.
   std::istringstream in(text.str());
   SolveOptions finer;
   finer.eps = 0.01;
-  const auto other = engine::solve_to_row(engine::SolverRegistry::builtin(), probes,
-                                          &results, "auto", finer, parse_instance(in));
+  const auto other = engine::solve_to_row(engine::SolverRegistry::builtin(), warm_state,
+                                          "auto", finer, parse_instance(in));
   ASSERT_TRUE(other.ok) << other.error;
-  EXPECT_FALSE(other.result_cache_hit);
-
-  // Without a cache the row reports that none was consulted.
-  std::istringstream in2(text.str());
-  const auto uncached = engine::solve_to_row(engine::SolverRegistry::builtin(), probes,
-                                             nullptr, "auto", SolveOptions{},
-                                             parse_instance(in2));
-  EXPECT_FALSE(uncached.result_cache_used);
+  EXPECT_EQ(other.result_tier, engine::CacheTier::kMiss);
 }
 
 }  // namespace

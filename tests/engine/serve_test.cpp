@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "io/format.hpp"
+#include "io/jsonl.hpp"
 #include "testing_util.hpp"
 #include "util/prng.hpp"
 
@@ -99,7 +100,7 @@ TEST(Serve, AnswersEveryFrameFormAndReusesTheCache) {
   ASSERT_FALSE(second.empty());
   ASSERT_FALSE(bogus.empty());
   EXPECT_NE(first.find("\"cache\": \"miss\""), std::string::npos);
-  EXPECT_NE(second.find("\"cache\": \"hit\""), std::string::npos);
+  EXPECT_NE(second.find("\"cache\": \"hit-memory\""), std::string::npos);
   EXPECT_NE(bogus.find("\"status\": \"error\""), std::string::npos);
 
   // Identical content: both responses carry the same hash and makespan.
@@ -260,6 +261,45 @@ TEST(Serve, RejectsClientIdsInTheReservedForm) {
   EXPECT_NE(text_out.find("\"status\": \"ok\"", legal), std::string::npos);
 }
 
+TEST(Serve, StatsFrameIsAnsweredInlineAndValidated) {
+  Rng rng(47);
+  const auto inst = testing::random_uniform_instance(4, 4, 2, 3, 3, rng);
+  std::ostringstream in_text;
+  in_text << "instance a\n" << instance_text(inst);
+  in_text << "stats s1\n";
+  in_text << "stats one two\n";  // malformed: at most one id
+  in_text << "stats #7\n";       // reserved id form: rejected like any frame
+  std::istringstream in(in_text.str());
+  std::ostringstream out;
+  ServeOptions options;
+  options.threads = 1;
+  const auto stats = engine::serve(SolverRegistry::builtin(), in, out, options);
+
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.ok, 2u);  // the solve + the well-formed stats frame
+  EXPECT_EQ(stats.errors, 2u);
+  const auto text = out.str();
+  const auto at = text.find("\"type\": \"stats\"");
+  ASSERT_NE(at, std::string::npos) << text;
+  EXPECT_NE(text.find("\"id\": \"s1\""), std::string::npos) << text;
+  // Structural fields (counter *values* race the pool, so only presence is
+  // pinned here; the lockstep subprocess test asserts exact numbers).
+  for (const char* key :
+       {"\"requests\": ", "\"store\": \"\"", "\"profile_entries\": ",
+        "\"profile_hits_disk\": ", "\"profile_hit_rate\": ", "\"result_entries\": ",
+        "\"result_hits_memory\": ", "\"result_evictions\": ", "\"result_hit_rate\": "}) {
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+  }
+  // And it is one parseable flat JSON line, like every other response.
+  const auto open_brace = text.rfind('{', at);
+  const std::string line = text.substr(open_brace, text.find('\n', at) - open_brace);
+  std::string parse_error;
+  EXPECT_TRUE(parse_flat_json_object(line, &parse_error).has_value())
+      << parse_error << " in " << line;
+  EXPECT_NE(text.find("stats takes at most one id"), std::string::npos);
+  EXPECT_NE(text.find("reserved #<digits> form"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Unix-socket transport: one in-process Server, a listener thread, and two
 // concurrent raw-socket clients — the multi-client proof the Transport
@@ -352,6 +392,77 @@ TEST(ServeUnix, TwoConcurrentClientsShareOneResidentServer) {
 }
 
 // ---------------------------------------------------------------------------
+// TCP transport: the same session machinery over an AF_INET listener, plus
+// the no-auth guard (non-loopback binds are refused without allow_remote).
+
+TEST(ServeTcp, LoopbackListenerServesAndPublicBindsNeedAllowRemote) {
+  Rng rng(48);
+  const auto inst = testing::random_uniform_instance(4, 4, 2, 3, 3, rng);
+  const std::string text = instance_text(inst);
+
+  std::string error;
+  auto listener = engine::TcpListener::open("127.0.0.1", /*port=*/0,
+                                            /*allow_remote=*/false, &error);
+  ASSERT_NE(listener, nullptr) << error;
+  const int port = listener->port();
+  ASSERT_GT(port, 0);  // port 0 resolved to the kernel's pick
+  EXPECT_EQ(listener->endpoint(), "tcp:127.0.0.1:" + std::to_string(port));
+
+  engine::ServeStats stats;
+  std::string serve_error;
+  ServeOptions options;
+  options.threads = 1;
+  options.stable_output = true;
+  std::thread server([&] {
+    stats = engine::serve_listener(SolverRegistry::builtin(), *listener, options,
+                                   &serve_error);
+  });
+
+  const auto connect_client = [&] {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      std::string connect_error;
+      const int fd = engine::tcp_connect("127.0.0.1", port, &connect_error);
+      if (fd >= 0) return fd;
+      ::usleep(10'000);
+    }
+    return -1;
+  };
+  const int c1 = connect_client();
+  ASSERT_GE(c1, 0);
+  const std::string frame = "instance over-tcp\n" + text;
+  size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(c1, frame.data() + off, frame.size() - off);
+    ASSERT_GT(n, 0);
+    off += static_cast<size_t>(n);
+  }
+  ::shutdown(c1, SHUT_WR);
+  std::string response;
+  char c = 0;
+  while (::read(c1, &c, 1) == 1) response += c;
+  ::close(c1);
+  EXPECT_NE(response.find("\"id\": \"over-tcp\""), std::string::npos) << response;
+  EXPECT_NE(response.find("\"status\": \"ok\""), std::string::npos) << response;
+
+  const int c2 = connect_client();
+  ASSERT_GE(c2, 0);
+  const char* bye = "shutdown\n";
+  ASSERT_EQ(::write(c2, bye, strlen(bye)), static_cast<ssize_t>(strlen(bye)));
+  ::close(c2);
+  server.join();
+  EXPECT_TRUE(serve_error.empty()) << serve_error;
+  EXPECT_EQ(stats.ok, 1u);
+
+  // The no-auth guard: a wildcard bind is refused...
+  EXPECT_EQ(engine::TcpListener::open("0.0.0.0", 0, /*allow_remote=*/false, &error),
+            nullptr);
+  EXPECT_NE(error.find("--allow-remote"), std::string::npos) << error;
+  // ...and allowed only with the explicit opt-in.
+  auto exposed = engine::TcpListener::open("0.0.0.0", 0, /*allow_remote=*/true, &error);
+  EXPECT_NE(exposed, nullptr) << error;
+}
+
+// ---------------------------------------------------------------------------
 // Subprocess round trip. BISCHED_CLI_PATH is injected by CMake as the
 // absolute path of the bisched_cli target.
 
@@ -435,7 +546,7 @@ TEST_F(ServeCliTest, TwoSequentialRequestsOneProcessWarmCacheHit) {
   const std::string second = read_line();
   ASSERT_NE(second.find("\"id\": \"r2\""), std::string::npos) << second;
   EXPECT_NE(second.find("\"status\": \"ok\""), std::string::npos) << second;
-  EXPECT_NE(second.find("\"cache\": \"hit\""), std::string::npos) << second;
+  EXPECT_NE(second.find("\"cache\": \"hit-memory\""), std::string::npos) << second;
 
   // Same content -> byte-identical result fields apart from id, seq, and
   // the cache provenances (both the probe and the solve were served warm the
@@ -444,17 +555,39 @@ TEST_F(ServeCliTest, TwoSequentialRequestsOneProcessWarmCacheHit) {
     const auto seq = line.find("\"seq\"");
     const auto comma = line.find(',', seq);
     line.erase(0, comma);  // drops {"id": ..., "seq": N
-    const auto solve_cache = line.find("\"solve_cache\": \"hit\"");
-    if (solve_cache != std::string::npos) {
-      line.replace(solve_cache, 20, "\"solve_cache\": \"miss\"");
-    }
-    const auto cache = line.find("\"cache\": \"hit\"");
-    if (cache != std::string::npos) line.replace(cache, 14, "\"cache\": \"miss\"");
+    const auto replace = [&line](const std::string& from, const std::string& to) {
+      const auto at = line.find(from);
+      if (at != std::string::npos) line.replace(at, from.size(), to);
+    };
+    replace("\"solve_cache\": \"hit-memory\"", "\"solve_cache\": \"miss\"");
+    replace("\"cache\": \"hit-memory\"", "\"cache\": \"miss\"");
     return line;
   };
   EXPECT_EQ(strip(first), strip(second));
 
   close_stdin();  // EOF: the server drains and exits
+}
+
+TEST_F(ServeCliTest, StatsFrameReportsExactCountersInLockstep) {
+  Rng rng(49);
+  const auto inst = testing::random_uniform_instance(5, 5, 2, 4, 3, rng);
+  const std::string text = instance_text(inst);
+  send("instance r1\n" + text);
+  (void)read_line();
+  send("instance r2\n" + text);
+  (void)read_line();
+  // Both responses are already streamed back, so every counter the stats
+  // frame reports is settled — exact values, no pool race.
+  send("stats s\n");
+  const std::string stats = read_line();
+  EXPECT_NE(stats.find("\"type\": \"stats\""), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"id\": \"s\""), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"requests\": 3"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"ok\": 2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"profile_hits_memory\": 1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"result_hits_memory\": 1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"result_hit_rate\": 0.5"), std::string::npos) << stats;
+  close_stdin();
 }
 
 #endif  // BISCHED_CLI_PATH

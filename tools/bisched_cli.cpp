@@ -2,19 +2,24 @@
 // engine (src/engine): the registry supplies every algorithm, `auto` picks
 // the strongest applicable one, `batch` streams a directory or manifest of
 // instances across a thread pool (sharded with --shard=i/n for fleets), and
-// `serve` keeps one registry + probe cache + pool alive answering framed
-// requests over stdin or a unix-domain socket. Every solve goes through the
-// engine/api v1 SolveRequest/SolveResponse boundary, so `solve --json`,
-// batch rows, and serve responses are the same schema.
+// `serve` keeps one registry + warm state + pool alive answering framed
+// requests over stdin, a unix-domain socket, or TCP. Every solve goes
+// through the engine/api v1 SolveRequest/SolveResponse boundary, so `solve
+// --json`, batch rows, and serve responses are the same schema — and every
+// mode takes `--store=DIR` to back its caches with the persistent warm-state
+// store (engine/store), so a fresh process pointed at a populated directory
+// answers repeats from disk instead of re-solving.
 //
 //   bisched_cli solve --alg=NAME|auto [--eps=E] [--all] [--budget-ms=B]
-//                     [--json] [FILE|-]
+//                     [--json] [--stable] [--store=DIR] [FILE|-]
 //   bisched_cli batch (--dir=D | --manifest=F) [--alg=NAME|auto] [--threads=N]
 //                     [--shard=i/n] [--format=csv|json] [--out=FILE] [--eps=E]
-//                     [--stable]
+//                     [--stable] [--store=DIR]
 //   bisched_cli serve [--alg=NAME|auto] [--threads=N] [--max-inflight=K]
-//                     [--eps=E] [--stable] [--listen=unix:PATH]
-//   bisched_cli client --connect=unix:PATH
+//                     [--eps=E] [--stable] [--store=DIR]
+//                     [--listen=unix:PATH | --listen=tcp:HOST:PORT]
+//                     [--allow-remote]
+//   bisched_cli client (--connect=unix:PATH | --connect=tcp:HOST:PORT)
 //   bisched_cli list-algs [--json]
 //   bisched_cli gen <family> [options]
 //   bisched_cli eval INSTANCE SCHEDULE
@@ -31,6 +36,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -60,14 +66,16 @@ int usage() {
   std::cerr <<
       "usage:\n"
       "  bisched_cli solve --alg=NAME|auto [--eps=E] [--all] [--budget-ms=B]\n"
-      "              [--json] [FILE|-]\n"
+      "              [--json] [--stable] [--store=DIR] [FILE|-]\n"
       "  bisched_cli batch (--dir=DIR | --manifest=FILE) [--alg=NAME|auto]\n"
       "              [--threads=N] [--shard=i/n] [--format=csv|json] [--out=FILE]\n"
-      "              [--eps=E] [--all] [--budget-ms=B] [--stable]\n"
+      "              [--eps=E] [--all] [--budget-ms=B] [--stable] [--store=DIR]\n"
       "  bisched_cli serve [--alg=NAME|auto] [--threads=N] [--max-inflight=K]\n"
-      "              [--eps=E] [--stable] [--listen=unix:PATH]\n"
+      "              [--eps=E] [--stable] [--store=DIR] [--allow-remote]\n"
+      "              [--listen=unix:PATH | --listen=tcp:HOST:PORT]\n"
       "              (framed requests on stdin or the socket; see docs/api.md)\n"
-      "  bisched_cli client --connect=unix:PATH   (frames on stdin -> responses)\n"
+      "  bisched_cli client (--connect=unix:PATH | --connect=tcp:HOST:PORT)\n"
+      "              (frames on stdin -> responses)\n"
       "  bisched_cli list-algs [--json]\n"
       "  bisched_cli gen gilbert --n=N --a=A --m=M [--smax=S] [--seed=SEED]\n"
       "  bisched_cli gen crown --n=N --m=M [--wmax=W] [--seed=SEED]\n"
@@ -145,6 +153,43 @@ unsigned flag_threads(int argc, char** argv) {
   return threads == 0 ? default_thread_count() : static_cast<unsigned>(threads);
 }
 
+// ------------------------------------------------------------- warm state ---
+
+// The process's WarmState from --store=DIR (memory-only without the flag).
+// Load anomalies — a rejected snapshot after a codec version bump, a torn
+// journal tail after a crash — are reported on stderr; the store recovers
+// and keeps working either way.
+std::unique_ptr<engine::WarmState> make_warm_state(int argc, char** argv) {
+  engine::WarmOptions options;
+  flag_value(argc, argv, "store", &options.store_dir);
+  std::string message;
+  auto warm = std::make_unique<engine::WarmState>(options, &message);
+  if (!message.empty()) std::cerr << "store: " << message << "\n";
+  return warm;
+}
+
+// Final durability for --store runs: compact both namespaces so the next
+// boot loads one snapshot per namespace instead of replaying a journal.
+void checkpoint_warm(engine::WarmState& warm) {
+  if (!warm.persistent()) return;
+  std::string error;
+  if (!warm.checkpoint(&error)) {
+    std::cerr << "store: checkpoint failed: " << error << "\n";
+  }
+}
+
+// One stderr vocabulary for both caches' counters across batch and serve.
+void print_cache_stats(const engine::ProfileCache::Stats& probe,
+                       const engine::ResultCache::Stats& result) {
+  std::cerr << "probe cache " << probe.hits << " hits / " << probe.disk_hits
+            << " disk hits / " << probe.misses << " misses / " << probe.evictions
+            << " evictions (" << probe.entries << " entries, " << probe.disk_entries
+            << " on disk), result cache " << result.hits << " hits / "
+            << result.disk_hits << " disk hits / " << result.misses << " misses / "
+            << result.evictions << " evictions (" << result.entries << " entries, "
+            << result.disk_entries << " on disk)";
+}
+
 // --------------------------------------------------------------------- io ---
 
 ParsedInstance read_instance(const std::string& path) {
@@ -170,6 +215,7 @@ int cmd_solve(int argc, char** argv) {
   request.has_budget_ms = true;
   request.budget_ms = flag_double(argc, argv, "budget-ms", 0);
   const bool json = flag_present(argc, argv, "json");
+  const bool stable = flag_present(argc, argv, "stable");
   // Portfolio-only flags must not be silently ignored on a named solver.
   if (request.run_all && request.alg != "auto") {
     std::cerr << "--all requires --alg=auto\n";
@@ -185,11 +231,13 @@ int cmd_solve(int argc, char** argv) {
   }
 
   // One request through the engine API — the same construct/execute/emit
-  // path batch rows and serve responses take. The instance is parsed up
-  // front (once) for the stderr summary line; the request carries the
-  // parsed form plus the path as its label.
+  // path batch rows and serve responses take, warm state included: with
+  // --store=DIR a repeated solve is answered from the disk tier of a
+  // previous process. The instance is parsed up front (once) for the stderr
+  // summary line; the request carries the parsed form plus the path as its
+  // label.
   const auto& registry = engine::SolverRegistry::builtin();
-  engine::ProfileCache cache;
+  const auto warm = make_warm_state(argc, argv);
   auto parsed = std::make_shared<ParsedInstance>(read_instance(path));
   request.parsed = parsed;
   if (path != "-" && !path.empty()) request.path = path;
@@ -210,8 +258,10 @@ int cmd_solve(int argc, char** argv) {
   // turns them into an error response, so --json always emits exactly one
   // v1 row — identical to what batch or serve would say about this input.
   engine::SolveResult result;
-  const engine::SolveResponse response = engine::run_request(
-      registry, cache, /*results=*/nullptr, request, "auto", {}, &result);
+  engine::SolveResponse response =
+      engine::run_request(registry, *warm, request, "auto", {}, &result);
+  checkpoint_warm(*warm);
+  if (stable) response.wall_ms = 0;
 
   if (json) {
     // The v1 response row, exactly as batch/serve would emit it.
@@ -326,7 +376,9 @@ int cmd_batch(int argc, char** argv) {
   // Rows stream to the output as each solve completes (row.seq is the
   // input-order id); nothing is collected. The sink runs under the runner's
   // serialization mutex, so the writes need no further locking.
-  const engine::BatchRunner runner(engine::SolverRegistry::builtin(), options);
+  const auto warm = make_warm_state(argc, argv);
+  const engine::BatchRunner runner(engine::SolverRegistry::builtin(), options,
+                                   warm.get());
   std::ostream& out = out_file.is_open() ? out_file : std::cout;
   const bool csv = format == "csv";
   if (csv) engine::write_row_header_csv(out);
@@ -352,30 +404,65 @@ int cmd_batch(int argc, char** argv) {
     return 1;
   }
 
-  const auto cache = runner.cache().stats();
-  const auto results = runner.results().stats();
+  // Final flush: the whole run's warmth becomes the durable artifact the
+  // next process (or fleet shard) boots from.
+  checkpoint_warm(*warm);
+
   std::cerr << "batch: " << total << " instances (shard " << options.shard.index << "/"
             << options.shard.count << "), " << failures << " failures, "
-            << options.threads << " threads, probe cache " << cache.hits << " hits / "
-            << cache.misses << " misses / " << cache.evictions << " evictions, "
-            << "result cache " << results.hits << " hits / " << results.misses
-            << " misses / " << results.evictions << " evictions\n";
+            << options.threads << " threads, ";
+  print_cache_stats(runner.cache().stats(), runner.results().stats());
+  std::cerr << "\n";
   return failures == 0 ? 0 : 1;
 }
 
 // ------------------------------------------------------------------ serve ---
 
-// Parses "--listen=unix:PATH" / "--connect=unix:PATH"; exits 2 on a value
-// with an unknown transport scheme.
-bool flag_unix_endpoint(int argc, char** argv, const char* name, std::string* path) {
+// A parsed --listen/--connect value: "unix:PATH" or "tcp:HOST:PORT" (HOST
+// may be a bracketed IPv6 literal: tcp:[::1]:9000).
+struct Endpoint {
+  enum class Kind { kNone, kUnix, kTcp };
+  Kind kind = Kind::kNone;
+  std::string path;  // unix
+  std::string host;  // tcp
+  int port = 0;      // tcp; 0 = ephemeral (serve prints the chosen one)
+};
+
+// Parses "--NAME=unix:PATH|tcp:HOST:PORT"; exits 2 on an unknown scheme or
+// a malformed tcp host/port.
+Endpoint flag_endpoint(int argc, char** argv, const char* name) {
+  Endpoint endpoint;
   std::string value;
-  if (!flag_value(argc, argv, name, &value)) return false;
-  const std::string prefix = "unix:";
-  if (value.rfind(prefix, 0) != 0 || value.size() == prefix.size()) {
-    flag_error(name, value, "unix:PATH");
+  if (!flag_value(argc, argv, name, &value)) return endpoint;
+  const auto expect = "unix:PATH or tcp:HOST:PORT";
+  if (value.rfind("unix:", 0) == 0) {
+    endpoint.path = value.substr(5);
+    if (endpoint.path.empty()) flag_error(name, value, expect);
+    endpoint.kind = Endpoint::Kind::kUnix;
+    return endpoint;
   }
-  *path = value.substr(prefix.size());
-  return true;
+  if (value.rfind("tcp:", 0) == 0) {
+    const std::string spec = value.substr(4);
+    // The LAST colon splits host from port, so bare IPv6 works either
+    // bracketed ([::1]:80) or raw (::1:80 — the trailing group is the port).
+    const auto colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+      flag_error(name, value, expect);
+    }
+    endpoint.host = spec.substr(0, colon);
+    const std::string port_text = spec.substr(colon + 1);
+    int port = -1;
+    const auto [ptr, ec] =
+        std::from_chars(port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc() || ptr != port_text.data() + port_text.size() || port < 0 ||
+        port > 65535) {
+      flag_error(name, value, "a tcp port in [0, 65535]");
+    }
+    endpoint.port = port;
+    endpoint.kind = Endpoint::Kind::kTcp;
+    return endpoint;
+  }
+  flag_error(name, value, expect);
 }
 
 int cmd_serve(int argc, char** argv) {
@@ -390,29 +477,43 @@ int cmd_serve(int argc, char** argv) {
   }
   options.max_inflight = static_cast<std::size_t>(inflight);
 
+  const auto warm = make_warm_state(argc, argv);
   engine::ServeStats stats;
-  std::string socket_path;
-  if (flag_unix_endpoint(argc, argv, "listen", &socket_path)) {
+  const Endpoint listen = flag_endpoint(argc, argv, "listen");
+  if (listen.kind != Endpoint::Kind::kNone) {
     // Socket mode: one resident Server, concurrent client sessions, until a
-    // client sends `shutdown`.
+    // client sends `shutdown`. The listener is opened here so the actual
+    // endpoint (tcp port 0 resolves to a real port) can be announced before
+    // the first client needs it.
     std::string error;
-    stats = engine::serve_unix(engine::SolverRegistry::builtin(), socket_path, options,
-                               &error);
+    std::unique_ptr<engine::Listener> listener;
+    if (listen.kind == Endpoint::Kind::kUnix) {
+      listener = engine::UnixListener::open(listen.path, &error);
+    } else {
+      listener = engine::TcpListener::open(listen.host, listen.port,
+                                           flag_present(argc, argv, "allow-remote"),
+                                           &error);
+    }
+    if (listener == nullptr) {
+      std::cerr << "serve: " << error << "\n";
+      return 1;
+    }
+    std::cerr << "serve: listening on " << listener->endpoint() << "\n";
+    stats = engine::serve_listener(engine::SolverRegistry::builtin(), *listener,
+                                   options, &error, warm.get());
     if (!error.empty()) {
       std::cerr << "serve: " << error << "\n";
       return 1;
     }
   } else {
-    stats = engine::serve(engine::SolverRegistry::builtin(), std::cin, std::cout, options);
+    stats = engine::serve(engine::SolverRegistry::builtin(), std::cin, std::cout,
+                          options, warm.get());
   }
+  checkpoint_warm(*warm);
   std::cerr << "serve: " << stats.requests << " requests, " << stats.ok << " ok, "
-            << stats.errors << " errors, " << stats.sessions << " sessions, "
-            << "probe cache " << stats.cache.hits << " hits / "
-            << stats.cache.misses << " misses / " << stats.cache.evictions
-            << " evictions (" << stats.cache.entries << " entries), result cache "
-            << stats.results.hits << " hits / " << stats.results.misses << " misses / "
-            << stats.results.evictions << " evictions (" << stats.results.entries
-            << " entries)\n";
+            << stats.errors << " errors, " << stats.sessions << " sessions, ";
+  print_cache_stats(stats.cache, stats.results);
+  std::cerr << "\n";
   return stats.errors == 0 ? 0 : 1;
 }
 
@@ -423,13 +524,15 @@ int cmd_serve(int argc, char** argv) {
 // the CI smoke and handy for manual poking; any language with a unix-socket
 // client can do the same.
 int cmd_client(int argc, char** argv) {
-  std::string socket_path;
-  if (!flag_unix_endpoint(argc, argv, "connect", &socket_path)) {
-    std::cerr << "client needs --connect=unix:PATH\n";
+  const Endpoint connect = flag_endpoint(argc, argv, "connect");
+  if (connect.kind == Endpoint::Kind::kNone) {
+    std::cerr << "client needs --connect=unix:PATH or --connect=tcp:HOST:PORT\n";
     return usage();
   }
   std::string error;
-  const int fd = engine::unix_connect(socket_path, &error);
+  const int fd = connect.kind == Endpoint::Kind::kUnix
+                     ? engine::unix_connect(connect.path, &error)
+                     : engine::tcp_connect(connect.host, connect.port, &error);
   if (fd < 0) {
     std::cerr << "client: " << error << "\n";
     return 1;
@@ -438,7 +541,7 @@ int cmd_client(int argc, char** argv) {
   // failure, not kill the client with SIGPIPE.
   ::signal(SIGPIPE, SIG_IGN);
 
-  engine::FdTransport transport(fd, "unix:" + socket_path);
+  engine::FdTransport transport(fd, "peer");
   // Responses complete in the server's order, not ours, so read and write
   // concurrently: a response-per-request peer would otherwise deadlock on
   // full pipes.

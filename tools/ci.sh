@@ -2,10 +2,12 @@
 # One-command tier-1 verify: configure the `ci` preset (-Wall -Wextra -Werror
 # plus ASan/UBSan), build everything, run the full ctest suite, then smoke
 # the streaming batch pipeline (sharded), the serve loop (probe + result
-# cache hits), the unix-socket serve mode (two concurrent clients), the
-# graph-class lattice via `list-algs --json`, and the hot-path bench's JSON
-# report end to end with the sanitized binaries. Single-threaded where it
-# matters: the CI runner has one CPU.
+# cache hits + the stats frame), the warm-state store (a second batch
+# process against the same --store dir must answer from the disk tier), the
+# unix-socket serve mode (two concurrent clients), the TCP serve mode, the
+# graph-class lattice via `list-algs --json`, and the hot-path + store
+# benches' JSON reports end to end with the sanitized binaries.
+# Single-threaded where it matters: the CI runner has one CPU.
 #
 #   $ tools/ci.sh [extra ctest args...]
 set -eu
@@ -41,16 +43,53 @@ rows1=$(($(wc -l < "$SMOKE/s1.csv") - 1))
 {
   printf 'solve %s warm-up\n' "$SMOKE/corpus/q1.inst"
   printf 'solve %s repeat\n' "$SMOKE/corpus/q1.inst"
+  printf 'stats probe\n'
   printf 'quit\n'
 } | "$CLI" serve --stable --threads=1 > "$SMOKE/serve.out"
-grep -q '"id": "repeat".*"cache": "hit"' "$SMOKE/serve.out" || {
+grep -q '"id": "repeat".*"cache": "hit-memory"' "$SMOKE/serve.out" || {
   echo "ci.sh: serve smoke failed: no warm probe-cache hit recorded" >&2
   cat "$SMOKE/serve.out" >&2
   exit 1
 }
-grep -q '"id": "repeat".*"solve_cache": "hit"' "$SMOKE/serve.out" || {
+grep -q '"id": "repeat".*"solve_cache": "hit-memory"' "$SMOKE/serve.out" || {
   echo "ci.sh: serve smoke failed: no warm result-cache hit recorded" >&2
   cat "$SMOKE/serve.out" >&2
+  exit 1
+}
+# The stats frame is answered inline (it deliberately overtakes queued
+# solves), so only the synchronously-counted field is asserted here; exact
+# hit counters are pinned by the lockstep subprocess test in engine_tests.
+grep -q '"id": "probe".*"type": "stats".*"requests": 3' "$SMOKE/serve.out" || {
+  echo "ci.sh: serve smoke failed: stats frame missing or wrong" >&2
+  cat "$SMOKE/serve.out" >&2
+  exit 1
+}
+
+# ----------------------------------------------------- warm-store smoke ---
+# Two batch PROCESSES against one --store directory: the first runs cold
+# and persists its warmth; the second must answer every row from the disk
+# tier — the "a fleet shard is warmed by pointing it at a directory" claim.
+STORE="$SMOKE/store"
+"$CLI" batch --dir="$SMOKE/corpus" --stable --threads=1 --store="$STORE" \
+  --out="$SMOKE/cold.csv"
+"$CLI" batch --dir="$SMOKE/corpus" --stable --threads=1 --store="$STORE" \
+  --out="$SMOKE/warm.csv"
+[ "$(grep -c 'hit-disk,hit-disk' "$SMOKE/warm.csv")" -eq 5 ] || {
+  echo "ci.sh: store smoke failed: second batch pass did not hit the disk tier" >&2
+  cat "$SMOKE/warm.csv" >&2
+  exit 1
+}
+if grep -q 'hit-disk' "$SMOKE/cold.csv"; then
+  echo "ci.sh: store smoke failed: cold pass reported disk hits" >&2
+  cat "$SMOKE/cold.csv" >&2
+  exit 1
+fi
+# Rows are identical apart from the provenance columns.
+sed 's/hit-disk/miss/g; s/hit-memory/miss/g' "$SMOKE/warm.csv" > "$SMOKE/warm.norm"
+sed 's/hit-disk/miss/g; s/hit-memory/miss/g' "$SMOKE/cold.csv" > "$SMOKE/cold.norm"
+cmp -s "$SMOKE/warm.norm" "$SMOKE/cold.norm" || {
+  echo "ci.sh: store smoke failed: warm rows differ from cold rows beyond provenance" >&2
+  diff "$SMOKE/cold.norm" "$SMOKE/warm.norm" >&2 || true
   exit 1
 }
 
@@ -103,6 +142,55 @@ SERVER_PID=
 grep -q '3 sessions' "$SMOKE/server.log" || {
   echo "ci.sh: socket smoke failed: expected 3 sessions in the stats line" >&2
   cat "$SMOKE/server.log" >&2
+  exit 1
+}
+
+# ------------------------------------------------------- tcp serve smoke ---
+# serve --listen=tcp:127.0.0.1:0 binds an ephemeral loopback port and
+# announces it; a client solves over TCP against the SAME --store dir, so
+# the answer comes off the disk tier warmed by the batch smoke above.
+"$CLI" serve --listen=tcp:127.0.0.1:0 --threads=1 --stable --store="$STORE" \
+  > "$SMOKE/tcp-server.out" 2> "$SMOKE/tcp-server.log" &
+SERVER_PID=$!
+tries=0
+PORT=
+while [ -z "$PORT" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || {
+    echo "ci.sh: tcp smoke failed: server never announced its port" >&2
+    cat "$SMOKE/tcp-server.log" >&2
+    exit 1
+  }
+  PORT=$(sed -n 's/.*listening on tcp:127.0.0.1:\([0-9][0-9]*\).*/\1/p' \
+    "$SMOKE/tcp-server.log")
+  [ -n "$PORT" ] || sleep 0.1
+done
+printf 'solve %s over-tcp\n' "$SMOKE/corpus/q1.inst" \
+  | "$CLI" client --connect="tcp:127.0.0.1:$PORT" > "$SMOKE/tcp-c1.out"
+grep -q '"id": "over-tcp".*"solve_cache": "hit-disk"' "$SMOKE/tcp-c1.out" || {
+  echo "ci.sh: tcp smoke failed: no disk-tier hit served over tcp" >&2
+  cat "$SMOKE/tcp-c1.out" "$SMOKE/tcp-server.log" >&2
+  exit 1
+}
+printf 'shutdown\n' | "$CLI" client --connect="tcp:127.0.0.1:$PORT" > /dev/null
+wait "$SERVER_PID" || {
+  echo "ci.sh: tcp smoke failed: server exited nonzero" >&2
+  cat "$SMOKE/tcp-server.log" >&2
+  exit 1
+}
+SERVER_PID=
+# The no-auth guard: a wildcard bind without --allow-remote must be refused.
+# Under `timeout`: if the guard ever regresses, serve would bind and sit in
+# its accept loop forever — CI must fail, not hang (124 lands in the else
+# branch, where the missing refusal message reports the regression).
+if timeout 10 "$CLI" serve --listen=tcp:0.0.0.0:0 --threads=1 \
+  2> "$SMOKE/tcp-refuse.log"; then
+  echo "ci.sh: tcp smoke failed: non-loopback bind was not refused" >&2
+  exit 1
+fi
+grep -q 'allow-remote' "$SMOKE/tcp-refuse.log" || {
+  echo "ci.sh: tcp smoke failed: refusal did not mention --allow-remote" >&2
+  cat "$SMOKE/tcp-refuse.log" >&2
   exit 1
 }
 
@@ -162,4 +250,38 @@ grep -q '"rows": \[' "$BENCH_JSON" && grep -q '"kernel": "r2_fptas"' "$BENCH_JSO
   cat "$BENCH_JSON" >&2
   exit 1
 }
-echo "ci.sh: batch --shard, serve, socket serve, lattice, and bench smoke OK"
+
+# ---------------------------------------------------- store bench smoke ---
+# The store trajectory must stay machine-readable too: the warm-up bench in
+# its CI shape emits BENCH_store.json with all three regimes, and the
+# cross-process warm row reports its speedup over cold. (Under ASan the
+# magnitude is meaningless; the bench itself asserts outputs are identical
+# and that every warm_disk solve came off the disk tier.)
+STORE_JSON="$SMOKE/BENCH_store.json"
+build-ci/bench/bench_store_warmup --quick --json-out="$STORE_JSON" \
+  > "$SMOKE/store-bench.out" || {
+  echo "ci.sh: store bench smoke failed: bench_store_warmup exited nonzero" >&2
+  cat "$SMOKE/store-bench.out" >&2
+  exit 1
+}
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$STORE_JSON" > /dev/null || {
+    echo "ci.sh: store bench smoke failed: $STORE_JSON is not valid JSON" >&2
+    cat "$STORE_JSON" >&2
+    exit 1
+  }
+fi
+for phase in cold warm_memory warm_disk; do
+  grep -q "\"phase\": \"$phase\"" "$STORE_JSON" || {
+    echo "ci.sh: store bench smoke failed: $STORE_JSON has no $phase row" >&2
+    cat "$STORE_JSON" >&2
+    exit 1
+  }
+done
+grep -q '"phase": "warm_disk".*"speedup_vs_cold"' "$STORE_JSON" || {
+  echo "ci.sh: store bench smoke failed: warm_disk row lacks speedup_vs_cold" >&2
+  cat "$STORE_JSON" >&2
+  exit 1
+}
+echo "ci.sh: batch --shard, serve+stats, store, socket serve, tcp serve, lattice," \
+  "and bench smoke OK"
