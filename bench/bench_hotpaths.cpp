@@ -7,9 +7,11 @@
 // tests prove it exhaustively, this is the tripwire in the timing loop.
 //
 // Emits BENCH_hotpaths.json (override with --json-out=PATH) with one row per
-// configuration: wall times, instance size, and the speedup — the repo's
-// perf trajectory, validated by tools/ci.sh. --quick shrinks sizes and
-// repetitions for the 1-CPU sanitized CI runner.
+// configuration: wall times, instance size, the speedup, and p50/p95/p99 of
+// the shipped kernel's per-trial latency from a telemetry histogram (the same
+// bucket ladder and percentile math the serve scrape path exposes) — the
+// repo's perf trajectory, validated by tools/ci.sh. --quick shrinks sizes
+// and repetitions for the 1-CPU sanitized CI runner.
 //
 //   --quick          CI-sized run (seconds, not minutes)
 //   --json-out=PATH  where to write the JSON report
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "engine/telemetry/metrics.hpp"
 #include "graph/maxflow.hpp"
 #include "random/generators.hpp"
 #include "reference_kernels.hpp"
@@ -26,6 +29,8 @@
 
 namespace bisched {
 namespace {
+
+namespace telemetry = engine::telemetry;
 
 std::vector<R2Job> random_r2_jobs(int n, std::int64_t tmax, Rng& rng) {
   std::vector<R2Job> jobs(static_cast<std::size_t>(n));
@@ -58,6 +63,7 @@ void r2_kernel_bench(bench::JsonReport& report, bool quick) {
     double seed_ms = 0;
     double opt_ms = 0;
     bool identical = true;
+    telemetry::Histogram latency(telemetry::Histogram::default_latency_bounds_ms());
     for (int trial = 0; trial < trials; ++trial) {
       Rng rng(derive_seed(bench::kBenchSeed + 17,
                           static_cast<std::uint64_t>(n) * 131 +
@@ -69,11 +75,14 @@ void r2_kernel_bench(bench::JsonReport& report, bool quick) {
       seed_ms += timer.millis();
       timer.reset();
       const R2Result after = r2_fptas(jobs, eps);
-      opt_ms += timer.millis();
+      const double trial_ms = timer.millis();
+      opt_ms += trial_ms;
+      latency.observe(trial_ms);
       identical = identical && before.cmax == after.cmax &&
                   before.on_machine2 == after.on_machine2;
     }
     const double speedup = opt_ms > 0 ? seed_ms / opt_ms : 0;
+    const auto lat = latency.snapshot();
     t.add_row({fmt_count(n), fmt_double(eps, 2), fmt_count(trials),
                fmt_double(seed_ms, 2), fmt_double(opt_ms, 2), fmt_ratio(speedup),
                fmt_bool(identical)});
@@ -83,6 +92,9 @@ void r2_kernel_bench(bench::JsonReport& report, bool quick) {
                 {"trials", trials},
                 {"seed_ms", seed_ms},
                 {"opt_ms", opt_ms},
+                {"p50_ms", lat.percentile(0.5)},
+                {"p95_ms", lat.percentile(0.95)},
+                {"p99_ms", lat.percentile(0.99)},
                 {"speedup", speedup},
                 {"identical", identical}});
   }
@@ -100,6 +112,7 @@ void r3_kernel_bench(bench::JsonReport& report, bool quick) {
     double seed_ms = 0;
     double opt_ms = 0;
     bool identical = true;
+    telemetry::Histogram latency(telemetry::Histogram::default_latency_bounds_ms());
     for (int trial = 0; trial < trials; ++trial) {
       Rng rng(derive_seed(bench::kBenchSeed + 23,
                           static_cast<std::uint64_t>(n) * 131 +
@@ -111,11 +124,14 @@ void r3_kernel_bench(bench::JsonReport& report, bool quick) {
       seed_ms += timer.millis();
       timer.reset();
       const R3Result after = r3_fptas(jobs, eps);
-      opt_ms += timer.millis();
+      const double trial_ms = timer.millis();
+      opt_ms += trial_ms;
+      latency.observe(trial_ms);
       identical = identical && before.cmax == after.cmax &&
                   before.machine_of == after.machine_of;
     }
     const double speedup = opt_ms > 0 ? seed_ms / opt_ms : 0;
+    const auto lat = latency.snapshot();
     t.add_row({fmt_count(n), fmt_double(eps, 2), fmt_count(trials),
                fmt_double(seed_ms, 2), fmt_double(opt_ms, 2), fmt_ratio(speedup),
                fmt_bool(identical)});
@@ -125,6 +141,9 @@ void r3_kernel_bench(bench::JsonReport& report, bool quick) {
                 {"trials", trials},
                 {"seed_ms", seed_ms},
                 {"opt_ms", opt_ms},
+                {"p50_ms", lat.percentile(0.5)},
+                {"p95_ms", lat.percentile(0.95)},
+                {"p99_ms", lat.percentile(0.99)},
                 {"speedup", speedup},
                 {"identical", identical}});
   }
@@ -178,16 +197,20 @@ void dinic_bench(bench::JsonReport& report, bool quick) {
     double seed_ms = 0;
     double opt_ms = 0;
     bool identical = true;
+    telemetry::Histogram latency(telemetry::Histogram::default_latency_bounds_ms());
     for (int rep = 0; rep < reps; ++rep) {
       Timer timer;
       const auto before = run_mincut<reference::Dinic>(g, a, w);
       seed_ms += timer.millis();
       timer.reset();
       const auto after = run_mincut<Dinic>(g, a, w);
-      opt_ms += timer.millis();
+      const double rep_ms = timer.millis();
+      opt_ms += rep_ms;
+      latency.observe(rep_ms);
       identical = identical && before == after;
     }
     const double speedup = opt_ms > 0 ? seed_ms / opt_ms : 0;
+    const auto lat = latency.snapshot();
     const auto edges = static_cast<long long>(g.num_edges());
     t.add_row({fmt_count(2 * a), fmt_count(edges), fmt_count(reps),
                fmt_double(seed_ms, 2), fmt_double(opt_ms, 2), fmt_ratio(speedup),
@@ -198,6 +221,9 @@ void dinic_bench(bench::JsonReport& report, bool quick) {
                 {"reps", reps},
                 {"seed_ms", seed_ms},
                 {"opt_ms", opt_ms},
+                {"p50_ms", lat.percentile(0.5)},
+                {"p95_ms", lat.percentile(0.95)},
+                {"p99_ms", lat.percentile(0.99)},
                 {"speedup", speedup},
                 {"identical", identical}});
   }

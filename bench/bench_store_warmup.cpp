@@ -20,7 +20,9 @@
 // Outputs are asserted identical across all three regimes (same solver,
 // same makespan per instance) — the store may only change WHERE an answer
 // comes from, never the answer. Emits BENCH_store.json (--json-out=PATH to
-// override) with one row per regime including req/s and speedup_vs_cold.
+// override) with one row per regime including req/s, speedup_vs_cold, and
+// p50/p95/p99 per-request latency from a telemetry histogram — the same
+// bucket ladder and percentile math the serve scrape path exposes.
 //
 //   --quick       CI-sized corpus (validates the harness, not the numbers)
 //   --requests=N  corpus size override
@@ -34,6 +36,7 @@
 #include "engine/api.hpp"
 #include "engine/registry.hpp"
 #include "engine/store/warm_state.hpp"
+#include "engine/telemetry/metrics.hpp"
 #include "io/format.hpp"
 #include "random/generators.hpp"
 #include "random/gilbert.hpp"
@@ -43,6 +46,7 @@ namespace bisched {
 namespace {
 
 namespace fs = std::filesystem;
+namespace telemetry = engine::telemetry;
 
 std::vector<ParsedInstance> build_corpus(int count, int n_half, std::uint64_t seed) {
   std::vector<ParsedInstance> corpus;
@@ -67,15 +71,19 @@ std::vector<ParsedInstance> build_corpus(int count, int n_half, std::uint64_t se
 struct Pass {
   double seconds = 0;
   std::vector<std::string> makespans;  // per-instance, for cross-regime equality
+  telemetry::HistogramSnapshot latency;  // per-request, serve's bucket ladder
 };
 
 Pass run_pass(const std::vector<ParsedInstance>& corpus, engine::WarmState& warm) {
   Pass pass;
   pass.makespans.reserve(corpus.size());
+  telemetry::Histogram latency(telemetry::Histogram::default_latency_bounds_ms());
   Timer timer;
   for (const auto& parsed : corpus) {
+    Timer per_request;
     const auto row = engine::run_parsed(engine::SolverRegistry::builtin(), warm, "auto",
                                         {}, parsed);
+    latency.observe(per_request.millis());
     if (!row.ok) {
       std::cerr << "store bench: solve failed: " << row.error << "\n";
       std::exit(1);
@@ -83,6 +91,7 @@ Pass run_pass(const std::vector<ParsedInstance>& corpus, engine::WarmState& warm
     pass.makespans.push_back(row.makespan);
   }
   pass.seconds = timer.seconds();
+  pass.latency = latency.snapshot();
   return pass;
 }
 
@@ -92,6 +101,7 @@ void report_row(bench::JsonReport& report, TextTable& t, const char* phase,
   const double req_s = static_cast<double>(requests) / pass.seconds;
   t.add_row({phase, fmt_count(static_cast<long long>(requests)),
              fmt_count(static_cast<long long>(req_s)), fmt_ratio(cold_s / pass.seconds),
+             fmt_double(pass.latency.percentile(0.95), 2),
              fmt_count(static_cast<long long>(results.hits)),
              fmt_count(static_cast<long long>(results.disk_hits))});
   report.add({{"bench_case", "store_warmup"},
@@ -100,6 +110,9 @@ void report_row(bench::JsonReport& report, TextTable& t, const char* phase,
               {"seconds", pass.seconds},
               {"req_per_s", req_s},
               {"speedup_vs_cold", cold_s / pass.seconds},
+              {"p50_ms", pass.latency.percentile(0.5)},
+              {"p95_ms", pass.latency.percentile(0.95)},
+              {"p99_ms", pass.latency.percentile(0.99)},
               {"result_hits_memory", results.hits},
               {"result_hits_disk", results.disk_hits},
               {"result_misses", results.misses}});
@@ -130,7 +143,7 @@ int main(int argc, char** argv) {
   const auto corpus = build_corpus(requests, n_half, bench::kBenchSeed);
   bench::JsonReport report("store", argc, argv);
   TextTable t("store warm-up: cold vs. warm-memory vs. cross-process warm-disk");
-  t.set_header({"phase", "requests", "req/s", "speedup", "mem hits", "disk hits"});
+  t.set_header({"phase", "requests", "req/s", "speedup", "p95 ms", "mem hits", "disk hits"});
 
   std::string message;
   Pass cold;

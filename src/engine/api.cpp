@@ -34,6 +34,7 @@ std::string encode_request_json(const SolveRequest& req) {
   if (req.has_eps) out << ", \"eps\": " << fmt_double_exact(req.eps);
   if (req.has_run_all) out << ", \"all\": " << (req.run_all ? "true" : "false");
   if (req.has_budget_ms) out << ", \"budget_ms\": " << fmt_double_exact(req.budget_ms);
+  if (req.want_spans) out << ", \"spans\": true";
   out << '}';
   return out.str();
 }
@@ -63,7 +64,8 @@ std::optional<SolveRequest> decode_request_json(const std::string& line,
   // would otherwise solve with defaults and report success.
   for (const auto& [key, value] : *object) {
     if (key != "v" && key != "id" && key != "path" && key != "instance" &&
-        key != "alg" && key != "eps" && key != "all" && key != "budget_ms") {
+        key != "alg" && key != "eps" && key != "all" && key != "budget_ms" &&
+        key != "spans") {
       err = "unknown key \"" + key + "\"";
       return std::nullopt;
     }
@@ -105,6 +107,13 @@ std::optional<SolveRequest> decode_request_json(const std::string& line,
     }
     req.has_budget_ms = true;
   }
+  if (const auto* spans = get("spans")) {
+    if (*spans != "true" && *spans != "false") {
+      err = "spans must be true or false";
+      return std::nullopt;
+    }
+    req.want_spans = *spans == "true";
+  }
   const auto* path = get("path");
   const auto* inline_text = get("instance");
   if ((path != nullptr) == (inline_text != nullptr)) {
@@ -120,22 +129,18 @@ std::optional<SolveRequest> decode_request_json(const std::string& line,
   return req;
 }
 
-namespace {
-
 // Empty when the instance never reached the cache (open/parse failure);
 // otherwise the serving tier: "hit-memory" / "hit-disk" / "miss".
-const char* cache_label(const SolveResponse& r) {
+const char* response_cache_label(const SolveResponse& r) {
   if (r.instance_hash.empty()) return "";
   return tier_label(r.cache_tier);
 }
 
 // Empty when no result cache was consulted (parse failure).
-const char* solve_cache_label(const SolveResponse& r) {
+const char* response_result_label(const SolveResponse& r) {
   if (r.instance_hash.empty() || !r.result_cache_used) return "";
   return tier_label(r.result_tier);
 }
-
-}  // namespace
 
 void write_response_json(std::ostream& out, const SolveResponse& r) {
   out << "{\"v\": " << kApiVersion;
@@ -145,14 +150,20 @@ void write_response_json(std::ostream& out, const SolveResponse& r) {
       << ", \"model\": " << json_quote(r.model) << ", \"jobs\": " << r.jobs
       << ", \"machines\": " << r.machines
       << ", \"hash\": " << json_quote(r.instance_hash)
-      << ", \"cache\": " << json_quote(cache_label(r))
-      << ", \"solve_cache\": " << json_quote(solve_cache_label(r))
+      << ", \"cache\": " << json_quote(response_cache_label(r))
+      << ", \"solve_cache\": " << json_quote(response_result_label(r))
       << ", \"solver\": " << json_quote(r.solver)
       << ", \"guarantee\": " << json_quote(r.guarantee)
       << ", \"makespan\": " << json_quote(r.makespan)
       << ", \"makespan_value\": " << fmt_double_exact(r.makespan_value)
       << ", \"wall_ms\": " << fmt_double_exact(r.wall_ms)
-      << ", \"error\": " << json_quote(r.error) << "}\n";
+      << ", \"elapsed_ms\": " << fmt_double_exact(r.elapsed_ms)
+      << ", \"error\": " << json_quote(r.error);
+  if (!r.trace_id.empty()) out << ", \"trace_id\": " << json_quote(r.trace_id);
+  if (r.show_spans && r.trace != nullptr) {
+    out << ", \"spans\": " << r.trace->spans_json(r.stable_timing);
+  }
+  out << "}\n";
 }
 
 std::string encode_response_json(const SolveResponse& r) {
@@ -163,24 +174,25 @@ std::string encode_response_json(const SolveResponse& r) {
 
 void write_response_header_csv(std::ostream& out) {
   out << "seq,file,status,model,jobs,machines,hash,cache,solve_cache,solver,guarantee,"
-         "makespan,makespan_value,wall_ms,error\n";
+         "makespan,makespan_value,wall_ms,elapsed_ms,error\n";
 }
 
 void write_response_csv(std::ostream& out, const SolveResponse& r) {
   out << r.seq << ',' << csv_quote(r.file) << ',' << (r.ok ? "ok" : "error") << ','
       << csv_quote(r.model) << ',' << r.jobs << ',' << r.machines << ','
-      << csv_quote(r.instance_hash) << ',' << cache_label(r) << ','
-      << solve_cache_label(r) << ',' << csv_quote(r.solver) << ','
+      << csv_quote(r.instance_hash) << ',' << response_cache_label(r) << ','
+      << response_result_label(r) << ',' << csv_quote(r.solver) << ','
       << csv_quote(r.guarantee) << ',' << csv_quote(r.makespan) << ','
       << fmt_double_exact(r.makespan_value) << ',' << fmt_double_exact(r.wall_ms)
-      << ',' << csv_quote(r.error) << '\n';
+      << ',' << fmt_double_exact(r.elapsed_ms) << ',' << csv_quote(r.error) << '\n';
 }
 
 // ------------------------------------------------------------- execution ---
 
 SolveResponse run_parsed(const SolverRegistry& registry, WarmState& warm,
                          const std::string& alg, const SolveOptions& solve,
-                         const ParsedInstance& parsed, SolveResult* full) {
+                         const ParsedInstance& parsed, SolveResult* full,
+                         telemetry::TraceSpan* parent) {
   SolveResponse row;
   Timer timer;
   if (!parsed.ok()) {
@@ -192,7 +204,13 @@ SolveResponse run_parsed(const SolverRegistry& registry, WarmState& warm,
   const auto dispatch = [&](const auto& inst) {
     row.jobs = inst.num_jobs();
     row.machines = inst.num_machines();
+    telemetry::TraceSpan* probe_span =
+        parent != nullptr ? parent->child("probe") : nullptr;
     const CachedProfile cached = warm.profiles().profile(inst);
+    if (probe_span != nullptr) {
+      probe_span->set_detail(tier_label(cached.tier));
+      probe_span->end();
+    }
     row.instance_hash = hash_hex(cached.hash);
     row.cache_tier = cached.tier;
     row.result_cache_used = true;
@@ -200,14 +218,32 @@ SolveResponse run_parsed(const SolverRegistry& registry, WarmState& warm,
     // instance hash + alg + eps + run_all + budget_ms + key schema.
     const ResultKey key = make_result_key(cached.hash, alg, solve);
     CacheTier tier = CacheTier::kMiss;
-    if (auto hit = warm.results().lookup(key, &tier)) {
+    telemetry::TraceSpan* result_span =
+        parent != nullptr ? parent->child("result") : nullptr;
+    auto hit = warm.results().lookup(key, &tier);
+    if (result_span != nullptr) {
+      result_span->set_detail(tier_label(tier));
+      result_span->end();
+    }
+    if (hit.has_value()) {
       row.result_tier = tier;
       return std::move(*hit);
     }
+    telemetry::TraceSpan* solve_span =
+        parent != nullptr ? parent->child("solve") : nullptr;
+    SolveOptions traced = solve;
+    traced.trace = solve_span;
     SolveResult fresh = alg == "auto"
-                            ? solve_auto(registry, inst, solve, cached.profile)
-                            : solve_named(registry, alg, inst, solve, cached.profile);
-    warm.results().store(key, fresh);  // failures are not memoized
+                            ? solve_auto(registry, inst, traced, cached.profile)
+                            : solve_named(registry, alg, inst, traced, cached.profile);
+    if (solve_span != nullptr) {
+      if (!fresh.solver.empty()) solve_span->set_detail(fresh.solver);
+      solve_span->end();
+    }
+    {
+      telemetry::ScopedSpan store_span(parent, "store");
+      warm.results().store(key, fresh);  // failures are not memoized
+    }
     return fresh;
   };
   if (parsed.uniform.has_value()) {
@@ -238,6 +274,12 @@ SolveResponse run_request(const SolverRegistry& registry, WarmState& warm,
   const std::string& alg = req.alg.empty() ? default_alg : req.alg;
   const SolveOptions options = resolved_options(req, defaults);
 
+  // Every request gets a trace, whether or not the client asked to see it:
+  // the serve slow log renders it after the fact, and collection costs a few
+  // clock reads next to a solve.
+  auto trace = std::make_shared<telemetry::Trace>();
+  Timer timer;
+
   SolveResponse r;
   // The portfolio-only options must not be silently ignored on a named
   // solver — the same rule the CLI enforces on its flags, applied here so
@@ -249,16 +291,23 @@ SolveResponse run_request(const SolverRegistry& registry, WarmState& warm,
   } else if (options.budget_ms != 0 && !options.run_all) {
     r.error = "\"budget_ms\" requires \"all\" (it bounds the run-all portfolio)";
   } else if (req.parsed != nullptr) {
-    r = run_parsed(registry, warm, alg, options, *req.parsed, full);
+    r = run_parsed(registry, warm, alg, options, *req.parsed, full, &trace->root());
   } else if (req.has_inline_text) {
     std::istringstream text(req.inline_text);
-    r = run_parsed(registry, warm, alg, options, parse_instance(text), full);
+    telemetry::TraceSpan* parse_span = trace->root().child("parse");
+    ParsedInstance parsed = parse_instance(text);
+    parse_span->end();
+    r = run_parsed(registry, warm, alg, options, parsed, full, &trace->root());
   } else if (!req.path.empty()) {
+    telemetry::TraceSpan* parse_span = trace->root().child("parse");
     std::ifstream file(req.path);
     if (!file) {
+      parse_span->end();
       r.error = "cannot open file";
     } else {
-      r = run_parsed(registry, warm, alg, options, parse_instance(file), full);
+      ParsedInstance parsed = parse_instance(file);
+      parse_span->end();
+      r = run_parsed(registry, warm, alg, options, parsed, full, &trace->root());
     }
   } else {
     r.error = "no instance source in request";
@@ -267,6 +316,15 @@ SolveResponse run_request(const SolverRegistry& registry, WarmState& warm,
   // (CLI solve parses up front for its summary line but still names the file).
   if (!req.path.empty()) r.file = req.path;
   r.id = req.id;
+
+  trace->finish();
+  r.elapsed_ms = timer.millis();
+  r.trace_id = trace->id();
+  r.show_spans = req.want_spans;
+  r.trace = std::move(trace);
+  telemetry::EngineMetrics& metrics = warm.telemetry();
+  metrics.solve_latency_ms().observe(r.elapsed_ms);
+  (r.ok ? metrics.solves_ok() : metrics.solves_error()).inc();
   return r;
 }
 

@@ -109,7 +109,7 @@ BatchRow BatchRunner::run_one(const std::string& path, std::int64_t seq) const {
   request.path = path;
   BatchRow row = run_request(registry_, *warm_, request, options_.alg, options_.solve);
   row.seq = seq;
-  if (options_.stable_output) row.wall_ms = 0;
+  if (options_.stable_output) row.strip_timing();
   return row;
 }
 

@@ -5,11 +5,30 @@
 #include <string>
 #include <utility>
 
+#include "engine/telemetry/trace.hpp"
 #include "util/timer.hpp"
 
 namespace bisched::engine {
 
 namespace {
+
+// Runs one solver under a child span of options.trace (named after the
+// solver — this IS the DP/flow kernel timing), with the span handed down via
+// options.trace so deeper layers could attach to it. Failed attempts keep
+// their span and annotate the outcome, so a run-all trace shows where the
+// budget went, not just who won.
+template <typename Instance>
+SolveResult timed_solve(const Solver& solver, const Instance& inst,
+                        const SolveOptions& options) {
+  if (options.trace == nullptr) return solver.solve(inst, options);
+  telemetry::TraceSpan* span = options.trace->child(solver.name());
+  SolveOptions traced = options;
+  traced.trace = span;
+  SolveResult r = solver.solve(inst, traced);
+  if (!r.ok) span->set_detail("failed");
+  span->end();
+  return r;
+}
 
 template <typename Instance>
 SolveResult solve_auto_impl(const SolverRegistry& registry, const Instance& inst,
@@ -46,7 +65,7 @@ SolveResult solve_auto_impl(const SolverRegistry& registry, const Instance& inst
         break;
       }
     }
-    SolveResult r = solver->solve(inst, per_solver);
+    SolveResult r = timed_solve(*solver, inst, per_solver);
     ++tried;
     if (r.ok && (!best.ok || r.cmax < best.cmax)) {
       best = std::move(r);
@@ -81,7 +100,7 @@ SolveResult solve_named_impl(const SolverRegistry& registry, std::string_view na
     r.error = "solver '" + std::string(name) + "' is not applicable: " + why;
     return r;
   }
-  return solver->solve(inst, options);
+  return timed_solve(*solver, inst, options);
 }
 
 }  // namespace

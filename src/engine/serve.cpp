@@ -4,6 +4,7 @@
 #include <cctype>
 #include <chrono>
 #include <csignal>
+#include <iostream>
 #include <memory>
 #include <sstream>
 #include <thread>
@@ -65,8 +66,9 @@ double hit_rate(std::uint64_t memory_hits, std::uint64_t disk_hits,
 struct Server::PendingRequest {
   SolveRequest req;
   std::int64_t seq = 0;
-  bool stats = false;  // `stats [ID]` introspection frame, answered inline
-  std::string bad;     // nonempty: malformed frame, answer with this error
+  bool stats = false;    // `stats [ID]` introspection frame, answered inline
+  bool metrics = false;  // `metrics [ID]` scrape frame, answered inline
+  std::string bad;       // nonempty: malformed frame, answer with this error
 };
 
 // Per-client state: the response stream lock and this session's share of the
@@ -88,29 +90,69 @@ Server::Server(const SolverRegistry& registry, const ServeOptions& options,
       options_.threads != 0 ? options_.threads : default_thread_count();
   max_inflight_ = options_.max_inflight != 0 ? options_.max_inflight : 4 * threads;
   pool_ = std::make_unique<ThreadPool>(threads);
+
+  // The serve series join the engine series (bisched_solves_total etc.) in
+  // the warm state's registry, so one scrape covers both.
+  telemetry::Registry& reg = warm_->telemetry().registry();
+  const char* frames_help = "Admitted frames by type";
+  frames_solve_ = &reg.counter("bisched_serve_frames_total", frames_help,
+                               "type=\"solve\"");
+  frames_stats_ = &reg.counter("bisched_serve_frames_total", frames_help,
+                               "type=\"stats\"");
+  frames_metrics_ = &reg.counter("bisched_serve_frames_total", frames_help,
+                                 "type=\"metrics\"");
+  frames_malformed_ = &reg.counter("bisched_serve_frames_total", frames_help,
+                                   "type=\"malformed\"");
+  const char* responses_help = "Responses written by status";
+  responses_ok_ = &reg.counter("bisched_serve_responses_total", responses_help,
+                               "status=\"ok\"");
+  responses_error_ = &reg.counter("bisched_serve_responses_total", responses_help,
+                                  "status=\"error\"");
+  sessions_total_ = &reg.counter("bisched_serve_sessions_total",
+                                 "Client sessions ever started");
+  sessions_active_ = &reg.gauge("bisched_serve_sessions_active",
+                                "Client sessions currently connected");
+  inflight_gauge_ = &reg.gauge("bisched_serve_inflight_requests",
+                               "Requests admitted but not yet answered");
+  uptime_gauge_ = &reg.gauge("bisched_uptime_seconds",
+                             "Seconds since this server was constructed");
 }
 
 Server::~Server() { pool_->wait_idle(); }
 
-std::string Server::stats_frame_json(const std::string& id, std::int64_t seq) const {
-  std::uint64_t requests = 0;
-  std::uint64_t ok = 0;
-  std::uint64_t errors = 0;
-  std::uint64_t sessions = 0;
+double Server::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+std::string Server::stats_frame_json(const std::string& id, std::int64_t seq,
+                                     std::size_t session_inflight) const {
+  const std::uint64_t solve_frames = frames_solve_->value();
+  const std::uint64_t stats_frames = frames_stats_->value();
+  const std::uint64_t metrics_frames = frames_metrics_->value();
+  const std::uint64_t malformed = frames_malformed_->value();
+  std::size_t inflight = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    requests = requests_;
-    ok = ok_;
-    errors = errors_;
-    sessions = sessions_;
+    inflight = inflight_;
   }
   const auto profile = warm_->profiles().stats();
   const auto result = warm_->results().stats();
   std::ostringstream out;
   out << "{\"v\": " << kApiVersion << ", \"id\": " << json_quote(id)
       << ", \"seq\": " << seq << ", \"type\": \"stats\""
-      << ", \"requests\": " << requests << ", \"ok\": " << ok
-      << ", \"errors\": " << errors << ", \"sessions\": " << sessions
+      << ", \"requests\": " << solve_frames + stats_frames + metrics_frames + malformed
+      << ", \"solve_frames\": " << solve_frames
+      << ", \"stats_frames\": " << stats_frames
+      << ", \"metrics_frames\": " << metrics_frames
+      << ", \"malformed\": " << malformed << ", \"ok\": " << responses_ok_->value()
+      << ", \"errors\": " << responses_error_->value()
+      << ", \"sessions\": " << sessions_total_->value()
+      << ", \"sessions_active\": "
+      << static_cast<std::uint64_t>(sessions_active_->value())
+      << ", \"inflight\": " << inflight
+      << ", \"session_inflight\": " << session_inflight
+      << ", \"uptime_s\": " << fmt_double_exact(uptime_seconds())
       << ", \"store\": " << json_quote(warm_->store_dir())
       << ", \"profile_entries\": " << profile.entries
       << ", \"profile_disk_entries\": " << profile.disk_entries
@@ -132,6 +174,46 @@ std::string Server::stats_frame_json(const std::string& id, std::int64_t seq) co
   return out.str();
 }
 
+std::string Server::metrics_text() const {
+  warm_->mirror_metrics();
+  uptime_gauge_->set(uptime_seconds());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_gauge_->set(static_cast<double>(inflight_));
+  }
+  return warm_->telemetry().registry().expose();
+}
+
+std::string Server::metrics_frame_json(const std::string& id, std::int64_t seq) const {
+  std::ostringstream out;
+  out << "{\"v\": " << kApiVersion << ", \"id\": " << json_quote(id)
+      << ", \"seq\": " << seq << ", \"type\": \"metrics\""
+      << ", \"content_type\": \"text/plain; version=0.0.4\""
+      << ", \"body\": " << json_quote(metrics_text()) << "}\n";
+  return out.str();
+}
+
+void Server::maybe_slow_log(const SolveResponse& response, double elapsed_ms,
+                            const std::shared_ptr<const telemetry::Trace>& trace) {
+  if (options_.slow_ms < 0 || elapsed_ms < options_.slow_ms) return;
+  // One structured line per slow request: correlation first (trace id, id,
+  // seq), then outcome and tiers hit, then the span breakdown — everything
+  // needed to decide "cache or solver?" without re-running the request.
+  std::ostringstream line;
+  line << "serve: slow-request trace=" << (trace != nullptr ? trace->id() : "-")
+       << " id=" << response.id << " seq=" << response.seq
+       << " status=" << (response.ok ? "ok" : "error")
+       << " elapsed_ms=" << fmt_double_exact(elapsed_ms)
+       << " cache=" << response_cache_label(response)
+       << " solve_cache=" << response_result_label(response)
+       << " solver=" << (response.solver.empty() ? "-" : response.solver)
+       << " spans="
+       << (trace != nullptr ? trace->compact(/*zero_ms=*/false) : "-") << "\n";
+  std::ostream& out = options_.slow_log != nullptr ? *options_.slow_log : std::cerr;
+  std::lock_guard<std::mutex> lock(slow_log_mu_);
+  out << line.str() << std::flush;
+}
+
 void Server::answer(Transport& transport, SessionState& state,
                     const PendingRequest& pending) {
   SolveResponse response;
@@ -143,16 +225,22 @@ void Server::answer(Transport& transport, SessionState& state,
                            options_.solve);
   }
   response.seq = pending.seq;
-  if (options_.stable_output) response.wall_ms = 0;
+  // Keep the real timing and trace for the slow log before --stable strips
+  // them from the wire form.
+  const double elapsed_ms = response.elapsed_ms;
+  const std::shared_ptr<const telemetry::Trace> trace = response.trace;
+  if (options_.stable_output) response.strip_timing();
   // Count BEFORE writing: a client that has read a response must find it
   // reflected in the very next stats frame (the lockstep test pins this).
+  (response.ok ? responses_ok_ : responses_error_)->inc();
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    (response.ok ? ok_ : errors_) += 1;
+    std::lock_guard<std::mutex> out_lock(state.out_mu);
+    write_response_json(transport.out(), response);
+    transport.out().flush();
   }
-  std::lock_guard<std::mutex> out_lock(state.out_mu);
-  write_response_json(transport.out(), response);
-  transport.out().flush();
+  // Only executed solves are slow-log candidates; malformed frames never
+  // reached the engine and have no timing to report.
+  if (pending.bad.empty()) maybe_slow_log(response, elapsed_ms, trace);
 }
 
 // Admission control: the session thread blocks once max_inflight_ requests
@@ -164,6 +252,7 @@ void Server::submit(Transport& transport, SessionState& state, PendingRequest pe
     cv_.wait(lock, [&] { return inflight_ < max_inflight_; });
     ++inflight_;
     ++state.inflight;
+    inflight_gauge_->set(static_cast<double>(inflight_));
   }
   pool_->submit([this, &transport, &state, pending = std::move(pending)] {
     answer(transport, state, pending);
@@ -171,16 +260,15 @@ void Server::submit(Transport& transport, SessionState& state, PendingRequest pe
       std::lock_guard<std::mutex> lock(mu_);
       --inflight_;
       --state.inflight;
+      inflight_gauge_->set(static_cast<double>(inflight_));
     }
     cv_.notify_all();
   });
 }
 
 void Server::session(Transport& transport) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++sessions_;
-  }
+  sessions_total_->inc();
+  sessions_active_->add(1);
   SessionState state;
   std::istream& in = transport.in();
   std::string line;
@@ -194,10 +282,7 @@ void Server::session(Transport& transport) {
     }
 
     PendingRequest pending;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      pending.seq = static_cast<std::int64_t>(requests_++);
-    }
+    pending.seq = seq_.fetch_add(1);
     const std::string auto_id = "#" + std::to_string(pending.seq);
 
     if (frame[0] == '{') {
@@ -243,6 +328,10 @@ void Server::session(Transport& transport) {
         if (words.size() == 2) pending.req.id = words[1];
         if (words.size() > 2) pending.bad = "bad request: stats takes at most one id";
         pending.stats = pending.bad.empty();
+      } else if (words[0] == "metrics") {
+        if (words.size() == 2) pending.req.id = words[1];
+        if (words.size() > 2) pending.bad = "bad request: metrics takes at most one id";
+        pending.metrics = pending.bad.empty();
       } else {
         pending.bad = "bad request: unrecognized frame '" + words[0] + "'";
       }
@@ -257,19 +346,40 @@ void Server::session(Transport& transport) {
     }
     if (pending.req.id.empty()) pending.req.id = auto_id;
 
-    // Introspection is answered inline: a stats probe must not queue behind
-    // the heavy solves it is there to observe. (A stats frame that failed
+    // Frame-type accounting at classification time, in admission order (the
+    // frame counts itself: a stats frame admitted as seq N reports N+1
+    // requests, matching the pre-registry requests_ counter it replaces).
+    // Malformed means rejected at the protocol layer — a well-formed frame
+    // whose solve fails still counts as a solve frame (its failure shows up
+    // in the response status counters instead).
+    if (!pending.bad.empty()) {
+      frames_malformed_->inc();
+    } else if (pending.stats) {
+      frames_stats_->inc();
+    } else if (pending.metrics) {
+      frames_metrics_->inc();
+    } else {
+      frames_solve_->inc();
+    }
+
+    // Introspection is answered inline: a stats/metrics probe must not queue
+    // behind the heavy solves it is there to observe. (One that failed
     // validation — reserved id — takes the error path below instead.)
-    if (pending.stats && pending.bad.empty()) {
-      // Snapshot first (a stats frame does not count itself), count second
-      // (the same read-implies-counted order answer() follows), write last.
-      const std::string stats_line = stats_frame_json(pending.req.id, pending.seq);
+    if ((pending.stats || pending.metrics) && pending.bad.empty()) {
+      // Snapshot first (the probe does not count itself as answered), count
+      // second (the same read-implies-counted order answer() follows),
+      // write last.
+      std::size_t session_inflight = 0;
       {
         std::lock_guard<std::mutex> lock(mu_);
-        ++ok_;
+        session_inflight = state.inflight;
       }
+      const std::string frame_line =
+          pending.stats ? stats_frame_json(pending.req.id, pending.seq, session_inflight)
+                        : metrics_frame_json(pending.req.id, pending.seq);
+      responses_ok_->inc();
       std::lock_guard<std::mutex> out_lock(state.out_mu);
-      transport.out() << stats_line;
+      transport.out() << frame_line;
       transport.out().flush();
       continue;
     }
@@ -278,19 +388,24 @@ void Server::session(Transport& transport) {
 
   // Drain THIS session's in-flight work before the caller may tear the
   // transport down; concurrent sessions keep running on the shared pool.
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return state.inflight == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return state.inflight == 0; });
+  }
+  sessions_active_->add(-1);
 }
 
 ServeStats Server::stats() const {
   ServeStats stats;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats.requests = requests_;
-    stats.ok = ok_;
-    stats.errors = errors_;
-    stats.sessions = sessions_;
-  }
+  stats.solve_frames = frames_solve_->value();
+  stats.stats_frames = frames_stats_->value();
+  stats.metrics_frames = frames_metrics_->value();
+  stats.malformed = frames_malformed_->value();
+  stats.requests =
+      stats.solve_frames + stats.stats_frames + stats.metrics_frames + stats.malformed;
+  stats.ok = responses_ok_->value();
+  stats.errors = responses_error_->value();
+  stats.sessions = sessions_total_->value();
   stats.cache = warm_->profiles().stats();
   stats.results = warm_->results().stats();
   return stats;

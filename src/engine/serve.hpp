@@ -35,9 +35,17 @@
 //                                            directly on the stream (the
 //                                            parser consumes one instance)
 //   stats [ID]                               one `"type": "stats"` frame:
-//                                            request counters, per-tier
+//                                            per-type frame counters, uptime
+//                                            and in-flight gauges, per-tier
 //                                            cache sizes / hit counts /
 //                                            evictions, store provenance
+//                                            (docs/api.md has the schema)
+//   metrics [ID]                             one `"type": "metrics"` frame:
+//                                            the full registry in Prometheus
+//                                            text exposition, JSON-escaped
+//                                            in the frame's "body" member
+//                                            (`bisched_cli metrics` decodes
+//                                            and prints it)
 //   quit                                     end THIS session; drain and
 //                                            close (the server keeps
 //                                            accepting other clients)
@@ -61,6 +69,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
@@ -84,11 +93,24 @@ struct ServeOptions {
   SolveOptions solve;
   unsigned threads = 0;          // 0 = default_thread_count()
   std::size_t max_inflight = 0;  // admission bound; 0 = 4 * threads
-  bool stable_output = false;    // zero wall_ms in responses
+  bool stable_output = false;    // strip timing from responses (byte-stable)
+  // Slow-request log: every solve whose end-to-end elapsed_ms is >= slow_ms
+  // emits one structured line (trace id, tiers hit, span timings) to
+  // `slow_log` (null = stderr). Negative = off; 0 logs every solve.
+  double slow_ms = -1;
+  std::ostream* slow_log = nullptr;
 };
 
 struct ServeStats {
-  std::uint64_t requests = 0;  // solve frames + stats frames
+  // Admitted frames by type; `requests` is their sum (every frame admitted).
+  // Split out so cache-hit-rate math over solve traffic is not skewed by
+  // monitoring frames (stats/metrics probes), and protocol-level garbage is
+  // visible as `malformed` rather than folded into solve errors.
+  std::uint64_t requests = 0;
+  std::uint64_t solve_frames = 0;
+  std::uint64_t stats_frames = 0;
+  std::uint64_t metrics_frames = 0;
+  std::uint64_t malformed = 0;  // frames rejected before reaching a solve
   std::uint64_t ok = 0;
   std::uint64_t errors = 0;  // bad frames + failed solves
   std::uint64_t sessions = 0;
@@ -120,15 +142,27 @@ class Server {
   WarmState& warm() { return *warm_; }
   ServeStats stats() const;
 
+  // The shared registry (engine solve series + this server's frame/session
+  // series) as Prometheus text exposition, cache stats mirrored and gauges
+  // refreshed first. What the `metrics` frame carries.
+  std::string metrics_text() const;
+
+  double uptime_seconds() const;
+
  private:
   struct SessionState;
   struct PendingRequest;
 
   void submit(Transport& transport, SessionState& state, PendingRequest pending);
   void answer(Transport& transport, SessionState& state, const PendingRequest& pending);
-  // The one non-solve frame: a flat JSON introspection line answered
-  // inline (no pool round trip), `"type": "stats"`.
-  std::string stats_frame_json(const std::string& id, std::int64_t seq) const;
+  // Introspection frames, answered inline (no pool round trip):
+  // `"type": "stats"` (flat counters) and `"type": "metrics"` (Prometheus
+  // exposition in the "body" member).
+  std::string stats_frame_json(const std::string& id, std::int64_t seq,
+                               std::size_t session_inflight) const;
+  std::string metrics_frame_json(const std::string& id, std::int64_t seq) const;
+  void maybe_slow_log(const SolveResponse& response, double elapsed_ms,
+                      const std::shared_ptr<const telemetry::Trace>& trace);
 
   const SolverRegistry& registry_;
   ServeOptions options_;
@@ -136,14 +170,30 @@ class Server {
   WarmState* warm_;
   std::unique_ptr<WarmState> owned_warm_;
   std::unique_ptr<ThreadPool> pool_;
+  const std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
 
-  mutable std::mutex mu_;  // guards the counters below
+  mutable std::mutex mu_;  // guards the admission state below
   std::condition_variable cv_;
   std::size_t inflight_ = 0;  // global admission bound across sessions
-  std::uint64_t requests_ = 0;
-  std::uint64_t ok_ = 0;
-  std::uint64_t errors_ = 0;
-  std::uint64_t sessions_ = 0;
+  std::atomic<std::int64_t> seq_{0};
+
+  // Counters/gauges live in warm_->telemetry()'s registry so one scrape sees
+  // engine and serve series together; updates are lock-free (the lockstep
+  // count-before-write invariant only needs the increment ordered before the
+  // response write, which an atomic inc is).
+  telemetry::Counter* frames_solve_ = nullptr;
+  telemetry::Counter* frames_stats_ = nullptr;
+  telemetry::Counter* frames_metrics_ = nullptr;
+  telemetry::Counter* frames_malformed_ = nullptr;
+  telemetry::Counter* responses_ok_ = nullptr;
+  telemetry::Counter* responses_error_ = nullptr;
+  telemetry::Counter* sessions_total_ = nullptr;
+  telemetry::Gauge* sessions_active_ = nullptr;
+  telemetry::Gauge* inflight_gauge_ = nullptr;
+  telemetry::Gauge* uptime_gauge_ = nullptr;
+
+  std::mutex slow_log_mu_;  // one slow-log line at a time
   std::atomic<bool> shutdown_{false};
 };
 

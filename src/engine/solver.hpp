@@ -23,6 +23,10 @@
 
 namespace bisched::engine {
 
+namespace telemetry {
+class TraceSpan;
+}  // namespace telemetry
+
 // Machine environments a solver accepts, as a mask: the branch-and-bound
 // oracle serves both models under one registry name.
 enum ModelMask : unsigned {
@@ -103,6 +107,12 @@ struct SolveOptions {
   // invoked past its deadline fails fast instead of starting.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  // When non-null, the dispatch layer records per-solver child spans here
+  // (engine/telemetry/trace.hpp) — the portfolio sets it to the request's
+  // `solve` span. Borrowed; single-request lifetime; never part of the
+  // result-cache key (engine/store/codec.hpp derives keys from the solve
+  // parameters only).
+  telemetry::TraceSpan* trace = nullptr;
 };
 
 struct SolveResult {

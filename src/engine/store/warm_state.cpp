@@ -43,6 +43,30 @@ WarmState::WarmState(const WarmOptions& options, std::string* message) {
   }
   profiles_ = std::make_unique<ProfileCache>(options.profile_entries, profile_tier);
   results_ = std::make_unique<ResultCache>(options.result_entries, result_tier);
+  telemetry_ = std::make_unique<telemetry::EngineMetrics>();
+}
+
+namespace {
+
+template <typename Stats>
+telemetry::CacheStatsView stats_view(const Stats& stats) {
+  telemetry::CacheStatsView view;
+  view.hits_memory = stats.hits;
+  view.hits_disk = stats.disk_hits;
+  view.misses = stats.misses;
+  view.evictions = stats.evictions;
+  view.entries_memory = stats.entries;
+  view.entries_disk = stats.disk_entries;
+  return view;
+}
+
+}  // namespace
+
+void WarmState::mirror_metrics() {
+  telemetry::EngineMetrics::mirror_cache(telemetry_->profile_cache(),
+                                         stats_view(profiles_->stats()));
+  telemetry::EngineMetrics::mirror_cache(telemetry_->result_cache(),
+                                         stats_view(results_->stats()));
 }
 
 const std::string& WarmState::store_dir() const {

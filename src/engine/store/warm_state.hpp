@@ -29,6 +29,7 @@
 #include "engine/profile_cache.hpp"
 #include "engine/result_cache.hpp"
 #include "engine/store/cache_store.hpp"
+#include "engine/telemetry/engine_metrics.hpp"
 
 namespace bisched::engine {
 
@@ -55,6 +56,14 @@ class WarmState {
   const ProfileCache& profiles() const { return *profiles_; }
   const ResultCache& results() const { return *results_; }
 
+  // The metric registry every boundary sharing this warm state records into
+  // (api::run_request per solve; serve adds its frame/session series). Owned
+  // here rather than process-global so embedded engines and tests stay
+  // isolated. mirror_metrics() ratchets the caches' own Stats counters into
+  // the registry — call it before scraping.
+  telemetry::EngineMetrics& telemetry() { return *telemetry_; }
+  void mirror_metrics();
+
   bool persistent() const { return store_ != nullptr; }
   // Empty when memory-only.
   const std::string& store_dir() const;
@@ -70,6 +79,7 @@ class WarmState {
   // destroyed first.
   std::unique_ptr<ProfileCache> profiles_;
   std::unique_ptr<ResultCache> results_;
+  std::unique_ptr<telemetry::EngineMetrics> telemetry_;
 };
 
 }  // namespace bisched::engine

@@ -1,0 +1,173 @@
+#include "engine/telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace bisched::engine::telemetry {
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based; q=0 asks for the first.
+  const double rank = std::max(1.0, q * static_cast<double>(count));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) {
+      // +Inf bucket: clamp to the largest finite bound.
+      return bounds.empty() ? 0 : bounds.back();
+    }
+    const double lower = i == 0 ? 0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const double fraction =
+        (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+    return lower + fraction * (upper - lower);
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  BISCHED_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bounds must be ascending");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::vector<double> Histogram::default_latency_bounds_ms() {
+  return {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000};
+}
+
+Registry::Family& Registry::family(const std::string& name, const std::string& help,
+                                   Type type) {
+  for (auto& fam : families_) {
+    if (fam->name == name) {
+      BISCHED_CHECK(fam->type == type,
+                    "metric registered twice with different types: " + name);
+      return *fam;
+    }
+  }
+  auto fam = std::make_unique<Family>();
+  fam->name = name;
+  fam->help = help;
+  fam->type = type;
+  families_.push_back(std::move(fam));
+  return *families_.back();
+}
+
+Registry::Sample& Registry::sample(Family& fam, const std::string& labels) {
+  for (auto& s : fam.samples) {
+    if (s->labels == labels) return *s;
+  }
+  auto s = std::make_unique<Sample>();
+  s->labels = labels;
+  fam.samples.push_back(std::move(s));
+  return *fam.samples.back();
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Sample& s = sample(family(name, help, Type::kCounter), labels);
+  if (s.counter == nullptr) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Sample& s = sample(family(name, help, Type::kGauge), labels);
+  if (s.gauge == nullptr) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::string& help,
+                               std::vector<double> bounds, const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Sample& s = sample(family(name, help, Type::kHistogram), labels);
+  if (s.histogram == nullptr) s.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *s.histogram;
+}
+
+namespace {
+
+// `name{labels}` or `name{labels,extra}`; empty pieces drop their braces.
+void append_series(std::ostream& out, const std::string& name,
+                   const std::string& labels, const std::string& extra = "") {
+  out << name;
+  if (labels.empty() && extra.empty()) return;
+  out << '{' << labels;
+  if (!labels.empty() && !extra.empty()) out << ',';
+  out << extra << '}';
+}
+
+}  // namespace
+
+std::string Registry::expose() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& fam : families_) {
+    out << "# HELP " << fam->name << ' ' << fam->help << '\n';
+    out << "# TYPE " << fam->name << ' '
+        << (fam->type == Type::kCounter   ? "counter"
+            : fam->type == Type::kGauge   ? "gauge"
+                                          : "histogram")
+        << '\n';
+    for (const auto& s : fam->samples) {
+      if (fam->type == Type::kCounter) {
+        append_series(out, fam->name, s->labels);
+        out << ' ' << s->counter->value() << '\n';
+      } else if (fam->type == Type::kGauge) {
+        append_series(out, fam->name, s->labels);
+        out << ' ' << fmt_double_exact(s->gauge->value()) << '\n';
+      } else {
+        const HistogramSnapshot snap = s->histogram->snapshot();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+          cumulative += snap.buckets[i];
+          append_series(out, fam->name + "_bucket", s->labels,
+                        "le=\"" + fmt_double_exact(snap.bounds[i]) + "\"");
+          out << ' ' << cumulative << '\n';
+        }
+        append_series(out, fam->name + "_bucket", s->labels, "le=\"+Inf\"");
+        out << ' ' << snap.count << '\n';
+        append_series(out, fam->name + "_sum", s->labels);
+        out << ' ' << fmt_double_exact(snap.sum) << '\n';
+        append_series(out, fam->name + "_count", s->labels);
+        out << ' ' << snap.count << '\n';
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace bisched::engine::telemetry

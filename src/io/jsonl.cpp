@@ -133,6 +133,40 @@ bool parse_string(Cursor& cur, std::string* out) {
   return cur.fail("unterminated string");
 }
 
+// Captures a nested array/object as its raw balanced text, verbatim. The
+// flat parser's callers treat values as opaque strings anyway; capturing the
+// source text (instead of recursing into a tree) keeps golden comparisons
+// byte-exact and the parser minimal. Strings inside the value are skipped
+// with escape awareness so a brace in a string cannot unbalance the scan.
+bool parse_raw_nested(Cursor& cur, std::string* out) {
+  cur.skip_space();
+  const std::size_t start = cur.pos;
+  int depth = 0;
+  bool in_string = false;
+  while (cur.pos < cur.text.size()) {
+    const char c = cur.text[cur.pos];
+    if (in_string) {
+      if (c == '\\') {
+        if (cur.pos + 1 >= cur.text.size()) return cur.fail("dangling escape");
+        cur.pos += 2;
+        continue;
+      }
+      if (c == '"') in_string = false;
+      ++cur.pos;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ++cur.pos;
+    if (depth == 0) {
+      *out = std::string(cur.text.substr(start, cur.pos - start));
+      return true;
+    }
+  }
+  return cur.fail("unterminated nested value");
+}
+
 bool parse_scalar(Cursor& cur, std::string* out) {
   cur.skip_space();
   out->clear();
@@ -164,8 +198,7 @@ std::optional<std::map<std::string, std::string>> parse_flat_json_object(
       if (cur.peek_is('"')) {
         if (!parse_string(cur, &value)) return std::nullopt;
       } else if (cur.peek_is('{') || cur.peek_is('[')) {
-        cur.fail("nested values are not supported");
-        return std::nullopt;
+        if (!parse_raw_nested(cur, &value)) return std::nullopt;
       } else {
         if (!parse_scalar(cur, &value)) return std::nullopt;
       }

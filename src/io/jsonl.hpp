@@ -6,9 +6,11 @@
 // repository goes through — batch rows and serve responses escape names,
 // paths, and error strings identically (the CSV side is util/table.hpp's
 // csv_quote). `parse_flat_json_object` is the deliberately minimal inverse
-// for the request side: one object, string/number/bool/null members, no
-// nesting — enough for `{"id": "x", "path": "a.inst", "eps": 0.2}` framed
-// requests without pulling in a JSON library.
+// for the request side: one object, string/number/bool/null members —
+// enough for `{"id": "x", "path": "a.inst", "eps": 0.2}` framed requests
+// without pulling in a JSON library. Nested array/object values are
+// captured as their raw balanced text (the telemetry `"spans"` member rides
+// the wire this way), not parsed into a tree.
 #pragma once
 
 #include <map>
@@ -23,8 +25,10 @@ namespace bisched {
 std::string json_quote(const std::string& s);
 
 // Parses a single flat JSON object. String values are unescaped; numbers,
-// true/false/null are returned as their literal text. Nested objects/arrays,
-// duplicate keys, and trailing garbage are errors (message in *error).
+// true/false/null are returned as their literal text; nested objects/arrays
+// are returned as their raw balanced source text (string-aware bracket
+// matching, no validation inside). Duplicate keys and trailing garbage are
+// errors (message in *error).
 std::optional<std::map<std::string, std::string>> parse_flat_json_object(
     std::string_view text, std::string* error);
 

@@ -136,6 +136,22 @@ SolveResponse golden_sample() {
   r.makespan = "7/2";
   r.makespan_value = 3.5;
   r.wall_ms = 0;
+  r.elapsed_ms = 0;
+  // The telemetry members, pinned deterministically: a fixed trace id and a
+  // hand-built span tree matching run_request's taxonomy, rendered with
+  // stable timing (every ms = 0) so the golden is byte-reproducible.
+  r.trace_id = "t-00000000-1";
+  auto trace = std::make_shared<engine::telemetry::Trace>("t-00000000-1");
+  engine::telemetry::TraceSpan& root = trace->root();
+  root.child("probe")->set_detail("hit-memory");
+  root.child("result")->set_detail("miss");
+  engine::telemetry::TraceSpan* solve = root.child("solve");
+  solve->set_detail("q2exact");
+  solve->child("q2exact");
+  root.child("store");
+  r.trace = std::move(trace);
+  r.show_spans = true;
+  r.stable_timing = true;
   return r;
 }
 

@@ -11,15 +11,16 @@
 // answers repeats from disk instead of re-solving.
 //
 //   bisched_cli solve --alg=NAME|auto [--eps=E] [--all] [--budget-ms=B]
-//                     [--json] [--stable] [--store=DIR] [FILE|-]
+//                     [--json] [--spans] [--stable] [--store=DIR] [FILE|-]
 //   bisched_cli batch (--dir=D | --manifest=F) [--alg=NAME|auto] [--threads=N]
 //                     [--shard=i/n] [--format=csv|json] [--out=FILE] [--eps=E]
 //                     [--stable] [--store=DIR]
 //   bisched_cli serve [--alg=NAME|auto] [--threads=N] [--max-inflight=K]
-//                     [--eps=E] [--stable] [--store=DIR]
+//                     [--eps=E] [--stable] [--store=DIR] [--slow-ms=MS]
 //                     [--listen=unix:PATH | --listen=tcp:HOST:PORT]
 //                     [--allow-remote]
 //   bisched_cli client (--connect=unix:PATH | --connect=tcp:HOST:PORT)
+//   bisched_cli metrics (--connect=unix:PATH | --connect=tcp:HOST:PORT)
 //   bisched_cli list-algs [--json]
 //   bisched_cli gen <family> [options]
 //   bisched_cli eval INSTANCE SCHEDULE
@@ -66,16 +67,19 @@ int usage() {
   std::cerr <<
       "usage:\n"
       "  bisched_cli solve --alg=NAME|auto [--eps=E] [--all] [--budget-ms=B]\n"
-      "              [--json] [--stable] [--store=DIR] [FILE|-]\n"
+      "              [--json] [--spans] [--stable] [--store=DIR] [FILE|-]\n"
       "  bisched_cli batch (--dir=DIR | --manifest=FILE) [--alg=NAME|auto]\n"
       "              [--threads=N] [--shard=i/n] [--format=csv|json] [--out=FILE]\n"
       "              [--eps=E] [--all] [--budget-ms=B] [--stable] [--store=DIR]\n"
       "  bisched_cli serve [--alg=NAME|auto] [--threads=N] [--max-inflight=K]\n"
       "              [--eps=E] [--stable] [--store=DIR] [--allow-remote]\n"
+      "              [--slow-ms=MS] (log solves slower than MS to stderr)\n"
       "              [--listen=unix:PATH | --listen=tcp:HOST:PORT]\n"
       "              (framed requests on stdin or the socket; see docs/api.md)\n"
       "  bisched_cli client (--connect=unix:PATH | --connect=tcp:HOST:PORT)\n"
       "              (frames on stdin -> responses)\n"
+      "  bisched_cli metrics (--connect=unix:PATH | --connect=tcp:HOST:PORT)\n"
+      "              (one Prometheus text-exposition scrape of a running serve)\n"
       "  bisched_cli list-algs [--json]\n"
       "  bisched_cli gen gilbert --n=N --a=A --m=M [--smax=S] [--seed=SEED]\n"
       "  bisched_cli gen crown --n=N --m=M [--wmax=W] [--seed=SEED]\n"
@@ -216,6 +220,7 @@ int cmd_solve(int argc, char** argv) {
   request.budget_ms = flag_double(argc, argv, "budget-ms", 0);
   const bool json = flag_present(argc, argv, "json");
   const bool stable = flag_present(argc, argv, "stable");
+  request.want_spans = flag_present(argc, argv, "spans");
   // Portfolio-only flags must not be silently ignored on a named solver.
   if (request.run_all && request.alg != "auto") {
     std::cerr << "--all requires --alg=auto\n";
@@ -261,7 +266,7 @@ int cmd_solve(int argc, char** argv) {
   engine::SolveResponse response =
       engine::run_request(registry, *warm, request, "auto", {}, &result);
   checkpoint_warm(*warm);
-  if (stable) response.wall_ms = 0;
+  if (stable) response.strip_timing();
 
   if (json) {
     // The v1 response row, exactly as batch/serve would emit it.
@@ -471,6 +476,7 @@ int cmd_serve(int argc, char** argv) {
   options.solve.eps = flag_double(argc, argv, "eps", 0.1);
   options.threads = flag_threads(argc, argv);
   options.stable_output = flag_present(argc, argv, "stable");
+  options.slow_ms = flag_double(argc, argv, "slow-ms", -1);
   const std::int64_t inflight = flag_int(argc, argv, "max-inflight", 0);
   if (inflight < 0 || inflight > 1 << 20) {
     flag_error("max-inflight", std::to_string(inflight), "a count in [0, 2^20]");
@@ -510,8 +516,11 @@ int cmd_serve(int argc, char** argv) {
                           options, warm.get());
   }
   checkpoint_warm(*warm);
-  std::cerr << "serve: " << stats.requests << " requests, " << stats.ok << " ok, "
-            << stats.errors << " errors, " << stats.sessions << " sessions, ";
+  std::cerr << "serve: " << stats.requests << " requests (" << stats.solve_frames
+            << " solve, " << stats.stats_frames << " stats, " << stats.metrics_frames
+            << " metrics, " << stats.malformed << " malformed), " << stats.ok
+            << " ok, " << stats.errors << " errors, " << stats.sessions
+            << " sessions, ";
   print_cache_stats(stats.cache, stats.results);
   std::cerr << "\n";
   return stats.errors == 0 ? 0 : 1;
@@ -561,6 +570,51 @@ int cmd_client(int argc, char** argv) {
   // socket — which ends the reader above.
   ::shutdown(fd, SHUT_WR);
   reader.join();
+  return 0;
+}
+
+// ---------------------------------------------------------------- metrics ---
+
+// One-shot Prometheus scrape: sends a `metrics` frame to a running socket
+// serve, decodes the JSON-escaped exposition out of the response's "body"
+// member, and prints it. `bisched_cli metrics --connect=... | promtool ...`
+// style consumers get plain text/plain;version=0.0.4 on stdout.
+int cmd_metrics(int argc, char** argv) {
+  const Endpoint connect = flag_endpoint(argc, argv, "connect");
+  if (connect.kind == Endpoint::Kind::kNone) {
+    std::cerr << "metrics needs --connect=unix:PATH or --connect=tcp:HOST:PORT\n";
+    return usage();
+  }
+  std::string error;
+  const int fd = connect.kind == Endpoint::Kind::kUnix
+                     ? engine::unix_connect(connect.path, &error)
+                     : engine::tcp_connect(connect.host, connect.port, &error);
+  if (fd < 0) {
+    std::cerr << "metrics: " << error << "\n";
+    return 1;
+  }
+  ::signal(SIGPIPE, SIG_IGN);
+  engine::FdTransport transport(fd, "peer");
+  transport.out() << "metrics\n";
+  transport.out().flush();
+  std::string line;
+  if (!std::getline(transport.in(), line)) {
+    std::cerr << "metrics: server closed the connection without responding\n";
+    return 1;
+  }
+  ::shutdown(fd, SHUT_WR);
+  const auto frame = parse_flat_json_object(line, &error);
+  if (!frame.has_value()) {
+    std::cerr << "metrics: malformed response frame: " << error << "\n";
+    return 1;
+  }
+  const auto body = frame->find("body");
+  if (frame->count("type") == 0 || frame->at("type") != "metrics" ||
+      body == frame->end()) {
+    std::cerr << "metrics: unexpected response: " << line << "\n";
+    return 1;
+  }
+  std::cout << body->second;  // already unescaped; ends with '\n' per exposition
   return 0;
 }
 
@@ -714,6 +768,7 @@ int main(int argc, char** argv) {
   if (command == "batch") return cmd_batch(argc, argv);
   if (command == "serve") return cmd_serve(argc, argv);
   if (command == "client") return cmd_client(argc, argv);
+  if (command == "metrics") return cmd_metrics(argc, argv);
   if (command == "list-algs") return cmd_list_algs(argc, argv);
   if (command == "gen") return cmd_gen(argc, argv);
   if (command == "eval") return cmd_eval(argc, argv);

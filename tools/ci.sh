@@ -4,9 +4,10 @@
 # the streaming batch pipeline (sharded), the serve loop (probe + result
 # cache hits + the stats frame), the warm-state store (a second batch
 # process against the same --store dir must answer from the disk tier), the
-# unix-socket serve mode (two concurrent clients), the TCP serve mode, the
-# graph-class lattice via `list-algs --json`, and the hot-path + store
-# benches' JSON reports end to end with the sanitized binaries.
+# unix-socket serve mode (two concurrent clients, then a Prometheus scrape
+# via `metrics --connect` and the --slow-ms slow-request log), the TCP serve
+# mode, the graph-class lattice via `list-algs --json`, and the hot-path +
+# store benches' JSON reports end to end with the sanitized binaries.
 # Single-threaded where it matters: the CI runner has one CPU.
 #
 #   $ tools/ci.sh [extra ctest args...]
@@ -97,9 +98,11 @@ cmp -s "$SMOKE/warm.norm" "$SMOKE/cold.norm" || {
 # serve --listen=unix:PATH must answer two CONCURRENT clients (both
 # connected via `client` before either finishes) from one resident server,
 # then exit cleanly on a `shutdown` frame. 1-CPU friendly: --threads=1, and
-# the whole exchange is a handful of tiny solves.
+# the whole exchange is a handful of tiny solves. --slow-ms=0 logs every
+# solve, so the slow-request log is validated on the same server.
 SOCK="$SMOKE/serve.sock"
-"$CLI" serve --listen="unix:$SOCK" --threads=1 --stable > "$SMOKE/server.log" 2>&1 &
+"$CLI" serve --listen="unix:$SOCK" --threads=1 --stable --slow-ms=0 \
+  > "$SMOKE/server.log" 2>&1 &
 SERVER_PID=$!
 tries=0
 while [ ! -S "$SOCK" ]; do
@@ -132,6 +135,43 @@ grep -q '"id": "c2".*"status": "ok"' "$SMOKE/c2.out" || {
   cat "$SMOKE/c2.out" "$SMOKE/server.log" >&2
   exit 1
 }
+
+# ------------------------------------------------------- metrics smoke ---
+# One-shot Prometheus scrape of the live server: both solves above are
+# settled (their clients exited), so the engine counters are deterministic.
+"$CLI" metrics --connect="unix:$SOCK" > "$SMOKE/metrics.out" || {
+  echo "ci.sh: metrics smoke failed: scrape exited nonzero" >&2
+  cat "$SMOKE/server.log" >&2
+  exit 1
+}
+grep -q '# TYPE bisched_solve_latency_ms histogram' "$SMOKE/metrics.out" || {
+  echo "ci.sh: metrics smoke failed: latency histogram missing" >&2
+  cat "$SMOKE/metrics.out" >&2
+  exit 1
+}
+grep -q 'bisched_solves_total{status="ok"} 2' "$SMOKE/metrics.out" || {
+  echo "ci.sh: metrics smoke failed: solve counter wrong" >&2
+  cat "$SMOKE/metrics.out" >&2
+  exit 1
+}
+grep -q 'bisched_serve_frames_total{type="solve"} 2' "$SMOKE/metrics.out" || {
+  echo "ci.sh: metrics smoke failed: per-type frame counter wrong" >&2
+  cat "$SMOKE/metrics.out" >&2
+  exit 1
+}
+grep -q 'bisched_cache_lookups_total{cache="profile",result="miss"} 2' \
+  "$SMOKE/metrics.out" || {
+  echo "ci.sh: metrics smoke failed: per-tier cache counter wrong" >&2
+  cat "$SMOKE/metrics.out" >&2
+  exit 1
+}
+# Exposition syntax: every non-comment, non-blank line is `series value`.
+if awk '/^#/ || /^$/ { next } NF != 2 { exit 1 }' "$SMOKE/metrics.out"; then :; else
+  echo "ci.sh: metrics smoke failed: malformed exposition line" >&2
+  cat "$SMOKE/metrics.out" >&2
+  exit 1
+fi
+
 printf 'shutdown\n' | "$CLI" client --connect="unix:$SOCK" > /dev/null
 wait "$SERVER_PID" || {
   echo "ci.sh: socket smoke failed: server exited nonzero" >&2
@@ -139,8 +179,20 @@ wait "$SERVER_PID" || {
   exit 1
 }
 SERVER_PID=
-grep -q '3 sessions' "$SMOKE/server.log" || {
-  echo "ci.sh: socket smoke failed: expected 3 sessions in the stats line" >&2
+grep -q '4 sessions' "$SMOKE/server.log" || {
+  echo "ci.sh: socket smoke failed: expected 4 sessions in the stats line" >&2
+  cat "$SMOKE/server.log" >&2
+  exit 1
+}
+# --slow-ms=0 must have logged each solve with its trace id and span tree.
+[ "$(grep -c 'serve: slow-request trace=t-' "$SMOKE/server.log")" -eq 2 ] || {
+  echo "ci.sh: slow-log smoke failed: expected 2 slow-request lines" >&2
+  cat "$SMOKE/server.log" >&2
+  exit 1
+}
+grep -q 'serve: slow-request trace=t-.* status=ok .* spans=request:' \
+  "$SMOKE/server.log" || {
+  echo "ci.sh: slow-log smoke failed: line lacks status or span breakdown" >&2
   cat "$SMOKE/server.log" >&2
   exit 1
 }
@@ -250,6 +302,11 @@ grep -q '"rows": \[' "$BENCH_JSON" && grep -q '"kernel": "r2_fptas"' "$BENCH_JSO
   cat "$BENCH_JSON" >&2
   exit 1
 }
+grep -q '"p95_ms"' "$BENCH_JSON" || {
+  echo "ci.sh: bench smoke failed: $BENCH_JSON rows lack registry percentiles" >&2
+  cat "$BENCH_JSON" >&2
+  exit 1
+}
 
 # ---------------------------------------------------- store bench smoke ---
 # The store trajectory must stay machine-readable too: the warm-up bench in
@@ -283,5 +340,10 @@ grep -q '"phase": "warm_disk".*"speedup_vs_cold"' "$STORE_JSON" || {
   cat "$STORE_JSON" >&2
   exit 1
 }
-echo "ci.sh: batch --shard, serve+stats, store, socket serve, tcp serve, lattice," \
-  "and bench smoke OK"
+grep -q '"p95_ms"' "$STORE_JSON" || {
+  echo "ci.sh: store bench smoke failed: rows lack registry percentiles" >&2
+  cat "$STORE_JSON" >&2
+  exit 1
+}
+echo "ci.sh: batch --shard, serve+stats, store, socket serve, metrics+slow-log," \
+  "tcp serve, lattice, and bench smoke OK"
