@@ -15,6 +15,7 @@
 //
 //   --quick          CI-sized run (seconds, not minutes)
 //   --json-out=PATH  where to write the JSON report
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -25,12 +26,29 @@
 #include "random/generators.hpp"
 #include "reference_kernels.hpp"
 #include "sched/makespan_solvers.hpp"
+#include "sched/simd_dispatch.hpp"
 #include "util/prng.hpp"
 
 namespace bisched {
 namespace {
 
 namespace telemetry = engine::telemetry;
+
+// Forces the R2 row kernels onto one ISA level for a scope (BISCHED_SIMD +
+// refresh), restoring detection-resolved dispatch on the way out.
+class ScopedSimd {
+ public:
+  explicit ScopedSimd(SimdLevel level) {
+    ::setenv("BISCHED_SIMD", to_string(level), 1);
+    simd_refresh_level();
+  }
+  ~ScopedSimd() {
+    ::unsetenv("BISCHED_SIMD");
+    simd_refresh_level();
+  }
+  ScopedSimd(const ScopedSimd&) = delete;
+  ScopedSimd& operator=(const ScopedSimd&) = delete;
+};
 
 std::vector<R2Job> random_r2_jobs(int n, std::int64_t tmax, Rng& rng) {
   std::vector<R2Job> jobs(static_cast<std::size_t>(n));
@@ -52,50 +70,173 @@ std::vector<R3Job> random_r3_jobs(int n, std::int64_t tmax, Rng& rng) {
 }
 
 void r2_kernel_bench(bench::JsonReport& report, bool quick) {
-  TextTable t("R2 FPTAS binary search: seed kernel vs arena + window pruning");
-  t.set_header({"n", "eps", "trials", "seed ms", "opt ms", "speedup", "identical"});
+  TextTable t("R2 FPTAS binary search: seed kernel vs arena + SIMD row, per ISA");
+  t.set_header(
+      {"isa", "n", "eps", "trials", "seed ms", "opt ms", "speedup", "identical"});
   const int trials = quick ? 2 : 5;
   const std::vector<std::pair<int, double>> configs =
       quick ? std::vector<std::pair<int, double>>{{60, 0.1}, {120, 0.05}}
             : std::vector<std::pair<int, double>>{
                   {200, 0.1}, {200, 0.05}, {400, 0.05}, {400, 0.02}};
-  for (const auto& [n, eps] : configs) {
-    double seed_ms = 0;
-    double opt_ms = 0;
+  // One axis per dispatch level this host can run: the scalar row is the
+  // portable floor, and the AVX2 vs AVX-512 rows isolate the lane-width win.
+  for (const SimdLevel level : simd_available_levels()) {
+    ScopedSimd forced(level);
+    const char* isa = to_string(level);
+    for (const auto& [n, eps] : configs) {
+      double seed_ms = 0;
+      double opt_ms = 0;
+      bool identical = true;
+      telemetry::Histogram latency(telemetry::Histogram::default_latency_bounds_ms());
+      for (int trial = 0; trial < trials; ++trial) {
+        Rng rng(derive_seed(bench::kBenchSeed + 17,
+                            static_cast<std::uint64_t>(n) * 131 +
+                                static_cast<std::uint64_t>(trial) * 7 +
+                                static_cast<std::uint64_t>(eps * 1e4)));
+        const auto jobs = random_r2_jobs(n, 1000, rng);
+        Timer timer;
+        const R2Result before = reference::r2_fptas(jobs, eps);
+        seed_ms += timer.millis();
+        timer.reset();
+        const R2Result after = r2_fptas(jobs, eps);
+        const double trial_ms = timer.millis();
+        opt_ms += trial_ms;
+        latency.observe(trial_ms);
+        identical = identical && before.cmax == after.cmax &&
+                    before.on_machine2 == after.on_machine2;
+      }
+      const double speedup = opt_ms > 0 ? seed_ms / opt_ms : 0;
+      const auto lat = latency.snapshot();
+      t.add_row({isa, fmt_count(n), fmt_double(eps, 2), fmt_count(trials),
+                 fmt_double(seed_ms, 2), fmt_double(opt_ms, 2), fmt_ratio(speedup),
+                 fmt_bool(identical)});
+      report.add({{"kernel", "r2_fptas"},
+                  {"isa", isa},
+                  {"mode", "value-only"},
+                  {"n", n},
+                  {"eps", eps},
+                  {"trials", trials},
+                  {"seed_ms", seed_ms},
+                  {"opt_ms", opt_ms},
+                  {"p50_ms", lat.percentile(0.5)},
+                  {"p95_ms", lat.percentile(0.95)},
+                  {"p99_ms", lat.percentile(0.99)},
+                  {"speedup", speedup},
+                  {"identical", identical}});
+    }
+  }
+  t.print(std::cout);
+}
+
+// The probe-mode ablation: identical instances solved with eager
+// (choice-writing) probes and with value-only probes + one terminal
+// materialization, at the host's resolved dispatch level. Isolates the
+// memory-traffic saving of skipping the choice matrix during the search.
+void probe_mode_bench(bench::JsonReport& report, bool quick) {
+  TextTable t("FPTAS probe modes: eager choice-writing vs value-only search");
+  t.set_header({"kernel", "n", "eps", "trials", "eager ms", "value-only ms",
+                "speedup", "identical"});
+  const char* isa = to_string(simd_level());
+  const int trials = quick ? 2 : 5;
+
+  {  // R2: the large shape — wide rows, many rejected probes.
+    const int n = quick ? 160 : 600;
+    const double eps = quick ? 0.05 : 0.02;
+    double eager_ms = 0;
+    double value_ms = 0;
     bool identical = true;
     telemetry::Histogram latency(telemetry::Histogram::default_latency_bounds_ms());
     for (int trial = 0; trial < trials; ++trial) {
-      Rng rng(derive_seed(bench::kBenchSeed + 17,
+      Rng rng(derive_seed(bench::kBenchSeed + 41,
                           static_cast<std::uint64_t>(n) * 131 +
-                              static_cast<std::uint64_t>(trial) * 7 +
-                              static_cast<std::uint64_t>(eps * 1e4)));
-      const auto jobs = random_r2_jobs(n, 1000, rng);
+                              static_cast<std::uint64_t>(trial) * 7));
+      const auto jobs = random_r2_jobs(n, 2000, rng);
       Timer timer;
-      const R2Result before = reference::r2_fptas(jobs, eps);
-      seed_ms += timer.millis();
+      const R2Result eager = r2_fptas(jobs, eps, ProbeMode::kEager);
+      eager_ms += timer.millis();
       timer.reset();
-      const R2Result after = r2_fptas(jobs, eps);
+      const R2Result value_only = r2_fptas(jobs, eps, ProbeMode::kValueOnly);
       const double trial_ms = timer.millis();
-      opt_ms += trial_ms;
+      value_ms += trial_ms;
       latency.observe(trial_ms);
-      identical = identical && before.cmax == after.cmax &&
-                  before.on_machine2 == after.on_machine2;
+      identical = identical && eager.cmax == value_only.cmax &&
+                  eager.on_machine2 == value_only.on_machine2;
     }
-    const double speedup = opt_ms > 0 ? seed_ms / opt_ms : 0;
+    const double speedup = value_ms > 0 ? eager_ms / value_ms : 0;
     const auto lat = latency.snapshot();
-    t.add_row({fmt_count(n), fmt_double(eps, 2), fmt_count(trials),
-               fmt_double(seed_ms, 2), fmt_double(opt_ms, 2), fmt_ratio(speedup),
+    t.add_row({"r2_fptas", fmt_count(n), fmt_double(eps, 2), fmt_count(trials),
+               fmt_double(eager_ms, 2), fmt_double(value_ms, 2), fmt_ratio(speedup),
                fmt_bool(identical)});
-    report.add({{"kernel", "r2_fptas"},
+    report.add({{"kernel", "r2_probe_mode"},
+                {"isa", isa},
+                {"mode", "eager"},
                 {"n", n},
                 {"eps", eps},
                 {"trials", trials},
-                {"seed_ms", seed_ms},
-                {"opt_ms", opt_ms},
+                {"opt_ms", eager_ms},
+                {"identical", identical}});
+    report.add({{"kernel", "r2_probe_mode"},
+                {"isa", isa},
+                {"mode", "value-only"},
+                {"n", n},
+                {"eps", eps},
+                {"trials", trials},
+                {"opt_ms", value_ms},
                 {"p50_ms", lat.percentile(0.5)},
                 {"p95_ms", lat.percentile(0.95)},
                 {"p99_ms", lat.percentile(0.99)},
-                {"speedup", speedup},
+                {"speedup_vs_eager", speedup},
+                {"identical", identical}});
+  }
+
+  {  // R3: the 2-D grid — the choice matrix is quadratic, so the saving is
+     // proportionally larger.
+    const int n = quick ? 16 : 32;
+    const double eps = quick ? 0.4 : 0.3;
+    double eager_ms = 0;
+    double value_ms = 0;
+    bool identical = true;
+    telemetry::Histogram latency(telemetry::Histogram::default_latency_bounds_ms());
+    for (int trial = 0; trial < trials; ++trial) {
+      Rng rng(derive_seed(bench::kBenchSeed + 43,
+                          static_cast<std::uint64_t>(n) * 131 +
+                              static_cast<std::uint64_t>(trial) * 7));
+      const auto jobs = random_r3_jobs(n, 200, rng);
+      Timer timer;
+      const R3Result eager = r3_fptas(jobs, eps, ProbeMode::kEager);
+      eager_ms += timer.millis();
+      timer.reset();
+      const R3Result value_only = r3_fptas(jobs, eps, ProbeMode::kValueOnly);
+      const double trial_ms = timer.millis();
+      value_ms += trial_ms;
+      latency.observe(trial_ms);
+      identical = identical && eager.cmax == value_only.cmax &&
+                  eager.machine_of == value_only.machine_of;
+    }
+    const double speedup = value_ms > 0 ? eager_ms / value_ms : 0;
+    const auto lat = latency.snapshot();
+    t.add_row({"r3_fptas", fmt_count(n), fmt_double(eps, 2), fmt_count(trials),
+               fmt_double(eager_ms, 2), fmt_double(value_ms, 2), fmt_ratio(speedup),
+               fmt_bool(identical)});
+    report.add({{"kernel", "r3_probe_mode"},
+                {"isa", isa},
+                {"mode", "eager"},
+                {"n", n},
+                {"eps", eps},
+                {"trials", trials},
+                {"opt_ms", eager_ms},
+                {"identical", identical}});
+    report.add({{"kernel", "r3_probe_mode"},
+                {"isa", isa},
+                {"mode", "value-only"},
+                {"n", n},
+                {"eps", eps},
+                {"trials", trials},
+                {"opt_ms", value_ms},
+                {"p50_ms", lat.percentile(0.5)},
+                {"p95_ms", lat.percentile(0.95)},
+                {"p99_ms", lat.percentile(0.99)},
+                {"speedup_vs_eager", speedup},
                 {"identical", identical}});
   }
   t.print(std::cout);
@@ -136,6 +277,7 @@ void r3_kernel_bench(bench::JsonReport& report, bool quick) {
                fmt_double(seed_ms, 2), fmt_double(opt_ms, 2), fmt_ratio(speedup),
                fmt_bool(identical)});
     report.add({{"kernel", "r3_fptas"},
+                {"mode", "value-only"},
                 {"n", n},
                 {"eps", eps},
                 {"trials", trials},
@@ -242,6 +384,7 @@ int main(int argc, char** argv) {
   bench::JsonReport report("hotpaths", argc, argv);
   r2_kernel_bench(report, quick);
   r3_kernel_bench(report, quick);
+  probe_mode_bench(report, quick);
   dinic_bench(report, quick);
   return report.write() ? 0 : 1;
 }

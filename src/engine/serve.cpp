@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "io/jsonl.hpp"
+#include "sched/simd_dispatch.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
@@ -154,6 +155,7 @@ std::string Server::stats_frame_json(const std::string& id, std::int64_t seq,
       << ", \"session_inflight\": " << session_inflight
       << ", \"uptime_s\": " << fmt_double_exact(uptime_seconds())
       << ", \"store\": " << json_quote(warm_->store_dir())
+      << ", \"simd\": " << json_quote(to_string(simd_level()))
       << ", \"profile_entries\": " << profile.entries
       << ", \"profile_disk_entries\": " << profile.disk_entries
       << ", \"profile_hits_memory\": " << profile.hits

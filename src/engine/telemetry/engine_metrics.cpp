@@ -1,5 +1,7 @@
 #include "engine/telemetry/engine_metrics.hpp"
 
+#include "sched/simd_dispatch.hpp"
+
 namespace bisched::engine::telemetry {
 
 namespace {
@@ -36,7 +38,13 @@ EngineMetrics::EngineMetrics()
           "End-to-end request latency (parse + probe + cache + solve) in ms",
           Histogram::default_latency_bounds_ms())),
       profile_(make_cache_series(registry_, "profile")),
-      result_(make_cache_series(registry_, "result")) {}
+      result_(make_cache_series(registry_, "result")),
+      simd_level_(registry_.gauge(
+          "bisched_simd_level",
+          "Resolved SIMD dispatch level for the DP row kernels (info gauge)",
+          std::string("level=\"") + to_string(bisched::simd_level()) + "\"")) {
+  simd_level_.set(1);
+}
 
 void EngineMetrics::mirror_cache(CacheSeries& series, const CacheStatsView& view) {
   series.hits_memory.mirror(view.hits_memory);

@@ -61,6 +61,11 @@ class EngineMetrics {
   CacheSeries& result_cache() { return result_; }
   static void mirror_cache(CacheSeries& series, const CacheStatsView& view);
 
+  // Info-style gauge: bisched_simd_level{level="<resolved>"} 1. The label is
+  // the dispatch level the DP kernels resolved to (sched/simd_dispatch.hpp),
+  // captured when this registry is built.
+  Gauge& simd_level() { return simd_level_; }
+
  private:
   Registry registry_;
   Counter& solves_ok_;
@@ -68,6 +73,7 @@ class EngineMetrics {
   Histogram& solve_latency_ms_;
   CacheSeries profile_;
   CacheSeries result_;
+  Gauge& simd_level_;
 };
 
 }  // namespace bisched::engine::telemetry

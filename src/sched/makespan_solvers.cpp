@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "sched/simd_dispatch.hpp"
 #include "util/check.hpp"
 
 namespace bisched {
@@ -35,8 +36,21 @@ struct DpArena {
 // clamped by the caller), so no liveness branch is needed; dead states store
 // back exactly kInf via the min. The choice bits of one word are accumulated
 // in a register and stored once.
+//
+// choice_j == nullptr is the value-only probe form: on a tie both candidates
+// carry the same load, so the stored values — and therefore feasibility —
+// are independent of the tie rule, and the row is a bare min with no
+// choice-matrix traffic at all.
 void r2_row_scalar(i64* cur, std::uint64_t* choice_j, std::size_t hi, std::size_t s1,
                    i64 s2, bool m1_wins_ties) {
+  if (choice_j == nullptr) {
+    for (std::size_t l1 = hi + 1; l1-- > 0;) {
+      const i64 via_m2 = cur[l1] + s2;
+      const i64 via_m1 = l1 >= s1 ? cur[l1 - s1] : kInf;
+      cur[l1] = via_m1 < via_m2 ? via_m1 : via_m2;
+    }
+    return;
+  }
   std::uint64_t word = choice_j[hi / 64];
   for (std::size_t l1 = hi + 1; l1-- > 0;) {
     const i64 via_m2 = cur[l1] + s2;
@@ -60,8 +74,9 @@ void r2_row_scalar(i64* cur, std::uint64_t* choice_j, std::size_t hi, std::size_
 // values and the lagged ones at -s1, both at indices <= the block top) happen
 // before its store, so in-place safety is preserved for every s1, including
 // 0. Compiled for AVX2 in this one function; callers dispatch at runtime via
-// cpu_supports, so the build stays baseline-x86-64 and non-AVX2 hosts take
-// the scalar row.
+// sched/simd_dispatch, so the build stays baseline-x86-64 and non-AVX2 hosts
+// take the scalar row. choice_j may be nullptr (value-only probe): the blend
+// is unchanged, the bit extraction and its word read-modify-write vanish.
 typedef i64 V4 __attribute__((vector_size(32)));
 
 __attribute__((target("avx2"))) void r2_row_avx2(i64* cur, std::uint64_t* choice_j,
@@ -80,9 +95,11 @@ __attribute__((target("avx2"))) void r2_row_avx2(i64* cur, std::uint64_t* choice
     const i64 via_m1 = cur[l1 - s1];
     const bool on_m1 = m1_wins_ties ? !(via_m2 < via_m1) : via_m1 < via_m2;
     cur[l1] = on_m1 ? via_m1 : via_m2;
-    const std::uint64_t mask = 1ULL << (l1 % 64);
-    std::uint64_t& word = choice_j[l1 / 64];
-    word = on_m1 ? (word | mask) : (word & ~mask);
+    if (choice_j != nullptr) {
+      const std::uint64_t mask = 1ULL << (l1 % 64);
+      std::uint64_t& word = choice_j[l1 / 64];
+      word = on_m1 ? (word | mask) : (word & ~mask);
+    }
   }
   const V4 s2v = {s2, s2, s2, s2};
   for (std::size_t base = top;; base -= 4) {
@@ -94,14 +111,16 @@ __attribute__((target("avx2"))) void r2_row_avx2(i64* cur, std::uint64_t* choice
     const V4 on_m1 = m1_wins_ties ? ~(via_m2 < lag) : (lag < via_m2);
     const V4 out = (lag & on_m1) | (via_m2 & ~on_m1);
     std::memcpy(cur + base, &out, sizeof(V4));
-    const std::uint64_t bits =
-        static_cast<std::uint64_t>(on_m1[0] & 1) |
-        (static_cast<std::uint64_t>(on_m1[1] & 1) << 1) |
-        (static_cast<std::uint64_t>(on_m1[2] & 1) << 2) |
-        (static_cast<std::uint64_t>(on_m1[3] & 1) << 3);
-    const std::size_t shift = base % 64;
-    choice_j[base / 64] =
-        (choice_j[base / 64] & ~(0xFULL << shift)) | (bits << shift);
+    if (choice_j != nullptr) {
+      const std::uint64_t bits =
+          static_cast<std::uint64_t>(on_m1[0] & 1) |
+          (static_cast<std::uint64_t>(on_m1[1] & 1) << 1) |
+          (static_cast<std::uint64_t>(on_m1[2] & 1) << 2) |
+          (static_cast<std::uint64_t>(on_m1[3] & 1) << 3);
+      const std::size_t shift = base % 64;
+      choice_j[base / 64] =
+          (choice_j[base / 64] & ~(0xFULL << shift)) | (bits << shift);
+    }
     if (base == lo_v) break;
   }
   for (std::size_t l1 = lo_v; l1-- > 0;) {  // tail below the lag-safe region
@@ -109,27 +128,104 @@ __attribute__((target("avx2"))) void r2_row_avx2(i64* cur, std::uint64_t* choice
     const i64 via_m1 = l1 >= s1 ? cur[l1 - s1] : kInf;
     const bool on_m1 = m1_wins_ties ? !(via_m2 < via_m1) : via_m1 < via_m2;
     cur[l1] = on_m1 ? via_m1 : via_m2;
-    const std::uint64_t mask = 1ULL << (l1 % 64);
-    std::uint64_t& word = choice_j[l1 / 64];
-    word = on_m1 ? (word | mask) : (word & ~mask);
+    if (choice_j != nullptr) {
+      const std::uint64_t mask = 1ULL << (l1 % 64);
+      std::uint64_t& word = choice_j[l1 / 64];
+      word = on_m1 ? (word | mask) : (word & ~mask);
+    }
   }
 }
 
-bool r2_row_use_avx2() {
-  static const bool supported = __builtin_cpu_supports("avx2") != 0;
-  return supported;
-}
-#endif  // __x86_64__
+// Eight-lane AVX-512F form of the same transition — the AVX2 kernel widened:
+// blocks are 8-aligned (one choice byte per block stays inside a word) and
+// walked top-down, so the in-place safety argument is unchanged — every load
+// a block performs (its own old values and the lagged ones at -s1) touches
+// indices at or below the block top and happens before that block's store;
+// lower blocks store strictly later. Small or lag-tight windows fall back to
+// the AVX2 kernel (which in turn falls back to scalar), so every row a
+// masked-tail 512-bit form can't cover still runs at the widest width that
+// can. On avx512f hardware the lane compares compile to mask-register ops
+// and the blend to vpblendmq; the 8 choice bits come straight off the mask
+// lanes, exactly like the 4-bit nibble in the AVX2 kernel.
+typedef i64 V8 __attribute__((vector_size(64)));
 
-void r2_row(i64* cur, std::uint64_t* choice_j, std::size_t hi, std::size_t s1, i64 s2,
-            bool m1_wins_ties) {
-#if defined(__x86_64__)
-  if (r2_row_use_avx2()) {
+__attribute__((target("avx512f"))) void r2_row_avx512(i64* cur, std::uint64_t* choice_j,
+                                                      std::size_t hi, std::size_t s1,
+                                                      i64 s2, bool m1_wins_ties) {
+  const std::size_t lo_v = (s1 + 7) & ~static_cast<std::size_t>(7);
+  if (hi < 7 || lo_v + 7 > hi) {
     r2_row_avx2(cur, choice_j, hi, s1, s2, m1_wins_ties);
     return;
   }
+  const std::size_t top = (hi - 7) & ~static_cast<std::size_t>(7);
+  for (std::size_t l1 = hi; l1 > top + 7; --l1) {  // unaligned head; l1 > s1 here
+    const i64 via_m2 = cur[l1] + s2;
+    const i64 via_m1 = cur[l1 - s1];
+    const bool on_m1 = m1_wins_ties ? !(via_m2 < via_m1) : via_m1 < via_m2;
+    cur[l1] = on_m1 ? via_m1 : via_m2;
+    if (choice_j != nullptr) {
+      const std::uint64_t mask = 1ULL << (l1 % 64);
+      std::uint64_t& word = choice_j[l1 / 64];
+      word = on_m1 ? (word | mask) : (word & ~mask);
+    }
+  }
+  const V8 s2v = {s2, s2, s2, s2, s2, s2, s2, s2};
+  for (std::size_t base = top;; base -= 8) {
+    V8 here;
+    V8 lag;
+    std::memcpy(&here, cur + base, sizeof(V8));
+    std::memcpy(&lag, cur + base - s1, sizeof(V8));
+    const V8 via_m2 = here + s2v;
+    const V8 on_m1 = m1_wins_ties ? ~(via_m2 < lag) : (lag < via_m2);
+    const V8 out = (lag & on_m1) | (via_m2 & ~on_m1);
+    std::memcpy(cur + base, &out, sizeof(V8));
+    if (choice_j != nullptr) {
+      const std::uint64_t bits =
+          static_cast<std::uint64_t>(on_m1[0] & 1) |
+          (static_cast<std::uint64_t>(on_m1[1] & 1) << 1) |
+          (static_cast<std::uint64_t>(on_m1[2] & 1) << 2) |
+          (static_cast<std::uint64_t>(on_m1[3] & 1) << 3) |
+          (static_cast<std::uint64_t>(on_m1[4] & 1) << 4) |
+          (static_cast<std::uint64_t>(on_m1[5] & 1) << 5) |
+          (static_cast<std::uint64_t>(on_m1[6] & 1) << 6) |
+          (static_cast<std::uint64_t>(on_m1[7] & 1) << 7);
+      const std::size_t shift = base % 64;
+      choice_j[base / 64] =
+          (choice_j[base / 64] & ~(0xFFULL << shift)) | (bits << shift);
+    }
+    if (base == lo_v) break;
+  }
+  for (std::size_t l1 = lo_v; l1-- > 0;) {  // tail below the lag-safe region
+    const i64 via_m2 = cur[l1] + s2;
+    const i64 via_m1 = l1 >= s1 ? cur[l1 - s1] : kInf;
+    const bool on_m1 = m1_wins_ties ? !(via_m2 < via_m1) : via_m1 < via_m2;
+    cur[l1] = on_m1 ? via_m1 : via_m2;
+    if (choice_j != nullptr) {
+      const std::uint64_t mask = 1ULL << (l1 % 64);
+      std::uint64_t& word = choice_j[l1 / 64];
+      word = on_m1 ? (word | mask) : (word & ~mask);
+    }
+  }
+}
+#endif  // __x86_64__
+
+using R2RowFn = void (*)(i64*, std::uint64_t*, std::size_t, std::size_t, i64, bool);
+
+// The row kernel for the resolved dispatch level (sched/simd_dispatch) —
+// re-read per probe (one relaxed atomic load), so a BISCHED_SIMD refresh
+// retargets the very next probe.
+R2RowFn r2_row_for_level() {
+#if defined(__x86_64__)
+  switch (simd_level()) {
+    case SimdLevel::kAvx512:
+      return r2_row_avx512;
+    case SimdLevel::kAvx2:
+      return r2_row_avx2;
+    case SimdLevel::kScalar:
+      break;
+  }
 #endif
-  r2_row_scalar(cur, choice_j, hi, s1, s2, m1_wins_ties);
+  return r2_row_scalar;
 }
 
 // DP feasibility oracle: is there an assignment with load1 <= budget and
@@ -149,9 +245,12 @@ void r2_row(i64* cur, std::uint64_t* choice_j, std::size_t hi, std::size_t s1, i
 // write into state l1 happened at origin l1 - s1[j] — *before* the machine-2
 // write at origin l1 — so machine 1 won ties unless s1[j] == 0, in which case
 // both writes happened at the same origin in body order (machine 2 first).
-// On success the assignment is reconstructed into arena.assignment.
-// O(n * hi) time, n * budget bits + O(budget) words of arena memory.
-bool scaled_feasible(DpArena& arena, i64 budget) {
+// On success with write_choices the assignment is reconstructed into
+// arena.assignment; a value-only probe (write_choices == false) never
+// touches the choice matrix — the dominant memory traffic of a probe — and
+// only answers feasibility. O(n * hi) time; n * budget bits of arena memory
+// are only committed by choice-writing probes.
+bool scaled_feasible(DpArena& arena, i64 budget, bool write_choices) {
   BISCHED_CHECK(budget >= 0, "negative DP budget");
   const std::size_t n = arena.s1.size();
   const auto width = static_cast<std::size_t>(budget) + 1;
@@ -160,13 +259,14 @@ bool scaled_feasible(DpArena& arena, i64 budget) {
 
   const std::size_t words = (width + 63) / 64;
   arena.cur.resize(width);
-  arena.choice.resize(n * words);
+  if (write_choices) arena.choice.resize(n * words);
   // No clearing: every state inside the window is written each row, and the
   // reconstruction only reads (job, state) pairs on the reachable path —
   // stale arena contents outside the window are never observed.
   i64* cur = arena.cur.data();
   cur[0] = 0;
   std::size_t hi = 0;
+  const R2RowFn row_fn = r2_row_for_level();
 
   for (std::size_t j = 0; j < n; ++j) {
     const auto s1 = static_cast<std::size_t>(arena.s1[j]);
@@ -174,7 +274,8 @@ bool scaled_feasible(DpArena& arena, i64 budget) {
     // infeasible for any budget the size guard admits.
     const i64 s2 = std::min(arena.s2[j], kInf);
     const std::size_t hi_next = std::min(width - 1, hi + s1);
-    std::uint64_t* choice_j = arena.choice.data() + j * words;
+    std::uint64_t* choice_j =
+        write_choices ? arena.choice.data() + j * words : nullptr;
 
     // States above the old window are reachable only via machine 1 (their
     // machine-2 origin was unreachable last row) — and only those with an
@@ -182,14 +283,14 @@ bool scaled_feasible(DpArena& arena, i64 budget) {
     // Nonempty only when s1 > 0.
     for (std::size_t l1 = hi_next; l1 > hi && l1 >= s1; --l1) {
       cur[l1] = cur[l1 - s1];
-      choice_j[l1 / 64] |= 1ULL << (l1 % 64);
+      if (choice_j != nullptr) choice_j[l1 / 64] |= 1ULL << (l1 % 64);
     }
     for (std::size_t l1 = std::min(hi_next, s1 - 1) + 1; l1 > hi + 1;) {
       cur[--l1] = kInf;
     }
     // Inside the old window both origins exist; r2_row_scalar documents the
-    // transition, r2_row_avx2 is its four-lane form.
-    r2_row(cur, choice_j, hi, s1, s2, /*m1_wins_ties=*/s1 > 0);
+    // transition, the AVX2/AVX-512 rows are its 4- and 8-lane forms.
+    row_fn(cur, choice_j, hi, s1, s2, /*m1_wins_ties=*/s1 > 0);
     hi = hi_next;
   }
 
@@ -201,6 +302,7 @@ bool scaled_feasible(DpArena& arena, i64 budget) {
     }
   }
   if (l1 == width) return false;
+  if (!write_choices) return true;
 
   arena.assignment.assign(n, 0);
   for (std::size_t j = n; j-- > 0;) {
@@ -240,7 +342,7 @@ R2Result r2_greedy(std::span<const R2Job> jobs) {
   return finalize(jobs, std::move(on_m2));
 }
 
-R2Result r2_exact(std::span<const R2Job> jobs) {
+R2Result r2_exact(std::span<const R2Job> jobs, ProbeMode mode) {
   for (const auto& job : jobs) BISCHED_CHECK(job.p1 >= 0 && job.p2 >= 0, "negative time");
   const R2Result ub = r2_greedy(jobs);
   if (ub.cmax == 0) return ub;
@@ -252,20 +354,27 @@ R2Result r2_exact(std::span<const R2Job> jobs) {
     arena.s1[j] = jobs[j].p1;
     arena.s2[j] = jobs[j].p2;
   }
-  // Exact binary search over the makespan with the delta = 1 oracle. Every
-  // accepted probe leaves its reconstruction in the arena, so the assignment
-  // for the final hi (== the optimum) is already in hand when the search
-  // ends — no extra DP pass.
+  // Exact binary search over the makespan with the delta = 1 oracle. Eager
+  // probes leave each acceptance's reconstruction in the arena, so the
+  // assignment for the final hi (== the optimum) is already in hand when the
+  // search ends; value-only probes answer feasibility alone, and one
+  // terminal choice-writing probe at lo — deterministically the same DP the
+  // last acceptance ran — materializes the identical assignment.
+  const bool eager = mode == ProbeMode::kEager;
   i64 lo = 0, hi = ub.cmax;
   bool accepted = false;
   while (lo < hi) {
     const i64 mid = lo + (hi - lo) / 2;
-    if (scaled_feasible(arena, mid)) {
+    if (scaled_feasible(arena, mid, /*write_choices=*/eager)) {
       hi = mid;
       accepted = true;
     } else {
       lo = mid + 1;
     }
+  }
+  if (accepted && !eager) {
+    const bool ok = scaled_feasible(arena, lo, /*write_choices=*/true);
+    BISCHED_CHECK(ok, "exact DP terminal materialization failed");
   }
   R2Result r = finalize(jobs, accepted ? std::move(arena.assignment)
                                        : std::vector<std::uint8_t>(ub.on_machine2));
@@ -273,7 +382,7 @@ R2Result r2_exact(std::span<const R2Job> jobs) {
   return r;
 }
 
-R2Result r2_fptas(std::span<const R2Job> jobs, double eps) {
+R2Result r2_fptas(std::span<const R2Job> jobs, double eps, ProbeMode mode) {
   BISCHED_CHECK(eps > 0, "eps must be positive");
   for (const auto& job : jobs) BISCHED_CHECK(job.p1 >= 0 && job.p2 >= 0, "negative time");
   const R2Result greedy = r2_greedy(jobs);
@@ -296,7 +405,7 @@ R2Result r2_fptas(std::span<const R2Job> jobs, double eps) {
   DpArena arena;
   arena.s1.resize(jobs.size());
   arena.s2.resize(jobs.size());
-  auto feasible = [&](i64 t) {
+  auto feasible = [&](i64 t, bool write_choices) {
     const i64 delta = std::max<i64>(
         1, static_cast<i64>(eps * static_cast<double>(t) / static_cast<double>(n)));
     const i64 budget = t / delta;
@@ -304,27 +413,31 @@ R2Result r2_fptas(std::span<const R2Job> jobs, double eps) {
       arena.s1[j] = jobs[j].p1 / delta;
       arena.s2[j] = jobs[j].p2 / delta;
     }
-    return scaled_feasible(arena, budget);
+    return scaled_feasible(arena, budget, write_choices);
   };
 
   // Invariant: lo <= OPT (every rejected mid has OPT > mid); hence the final
-  // accepted budget is <= OPT and the realized makespan <= (1+eps) OPT. The
-  // arena keeps the assignment of the last accepted probe — which is exactly
-  // feasible(lo)'s — so the terminal reconstruction probe only runs when the
-  // search never accepted (then lo is the untested initial hi).
+  // accepted budget is <= OPT and the realized makespan <= (1+eps) OPT.
+  // Eager probes keep the last acceptance's assignment in the arena — which
+  // is exactly feasible(lo)'s, since the last accepted mid becomes the final
+  // hi == lo — so no terminal probe is needed unless the search never
+  // accepted. Value-only probes skip the choice matrix during the whole
+  // search and always run the one terminal materializing probe at lo; the DP
+  // is deterministic per budget, so the assignment is bit-identical.
+  const bool eager = mode == ProbeMode::kEager;
   i64 lo = std::min(lb, greedy.cmax), hi = greedy.cmax;
   bool accepted = false;
   while (lo < hi) {
     const i64 mid = lo + (hi - lo) / 2;
-    if (feasible(mid)) {
+    if (feasible(mid, /*write_choices=*/eager)) {
       hi = mid;
       accepted = true;
     } else {
       lo = mid + 1;
     }
   }
-  if (!accepted) {
-    const bool ok = feasible(lo);
+  if (!eager || !accepted) {
+    const bool ok = feasible(lo, /*write_choices=*/true);
     BISCHED_CHECK(ok, "FPTAS terminal feasibility check failed");
   }
   return finalize(jobs, std::move(arena.assignment));
@@ -375,7 +488,10 @@ namespace {
 // (s1[j], s2[j]) per row instead of spanning the full budget² grid — and
 // choices are packed 2 bits per state (75% smaller, so more of the matrix
 // stays in cache). Write order is the seed's, so outputs are bit-identical.
-bool r3_scaled_feasible(DpArena& arena, i64 budget) {
+// write_choices == false is the value-only probe form: the 2-bit matrix is
+// neither allocated nor written and only feasibility is answered — values
+// and the reachable set are untouched, so the answer cannot differ.
+bool r3_scaled_feasible(DpArena& arena, i64 budget, bool write_choices) {
   const std::size_t n = arena.s1.size();
   const auto width = static_cast<std::size_t>(budget) + 1;
   BISCHED_CHECK(static_cast<double>(n) * static_cast<double>(width) * width <= 4e8,
@@ -385,11 +501,12 @@ bool r3_scaled_feasible(DpArena& arena, i64 budget) {
   const std::size_t words = (cells + 31) / 32;  // 2 bits per state
   arena.cur.resize(cells);
   arena.next.resize(cells);
-  arena.choice.resize(n * words);
+  if (write_choices) arena.choice.resize(n * words);
   arena.cur[0] = 0;
   std::size_t hi1 = 0, hi2 = 0;
 
   const auto set_choice = [](std::uint64_t* row, std::size_t state, std::uint64_t c) {
+    if (row == nullptr) return;
     const std::size_t shift = 2 * (state % 32);
     std::uint64_t& word = row[state / 32];
     word = (word & ~(3ULL << shift)) | (c << shift);
@@ -401,7 +518,8 @@ bool r3_scaled_feasible(DpArena& arena, i64 budget) {
     const i64 s3 = std::min(arena.s3[j], kInf);  // kInf + s3 must not overflow
     const std::size_t hi1n = std::min(width - 1, hi1 + s1);
     const std::size_t hi2n = std::min(width - 1, hi2 + s2);
-    std::uint64_t* choice_j = arena.choice.data() + j * words;
+    std::uint64_t* choice_j =
+        write_choices ? arena.choice.data() + j * words : nullptr;
     i64* cur = arena.cur.data();
     i64* next = arena.next.data();
 
@@ -456,6 +574,7 @@ bool r3_scaled_feasible(DpArena& arena, i64 budget) {
     }
   }
   if (best_l1 == width) return false;
+  if (!write_choices) return true;
 
   arena.assignment.assign(n, 0);
   std::size_t l1 = best_l1;
@@ -477,7 +596,7 @@ bool r3_scaled_feasible(DpArena& arena, i64 budget) {
 
 }  // namespace
 
-R3Result r3_fptas(std::span<const R3Job> jobs, double eps) {
+R3Result r3_fptas(std::span<const R3Job> jobs, double eps, ProbeMode mode) {
   BISCHED_CHECK(eps > 0, "eps must be positive");
   for (const auto& job : jobs) {
     BISCHED_CHECK(job.p1 >= 0 && job.p2 >= 0 && job.p3 >= 0, "negative time");
@@ -499,7 +618,7 @@ R3Result r3_fptas(std::span<const R3Job> jobs, double eps) {
   arena.s1.resize(jobs.size());
   arena.s2.resize(jobs.size());
   arena.s3.resize(jobs.size());
-  auto feasible = [&](i64 t) {
+  auto feasible = [&](i64 t, bool write_choices) {
     const i64 delta = std::max<i64>(
         1, static_cast<i64>(eps * static_cast<double>(t) / static_cast<double>(n)));
     const i64 budget = t / delta;
@@ -508,22 +627,26 @@ R3Result r3_fptas(std::span<const R3Job> jobs, double eps) {
       arena.s2[j] = jobs[j].p2 / delta;
       arena.s3[j] = jobs[j].p3 / delta;
     }
-    return r3_scaled_feasible(arena, budget);
+    return r3_scaled_feasible(arena, budget, write_choices);
   };
 
+  const bool eager = mode == ProbeMode::kEager;
   i64 lo = std::min(lb, greedy.cmax), hi = greedy.cmax;
   bool accepted = false;
   while (lo < hi) {
     const i64 mid = lo + (hi - lo) / 2;
-    if (feasible(mid)) {
+    if (feasible(mid, eager)) {
       hi = mid;
       accepted = true;
     } else {
       lo = mid + 1;
     }
   }
-  if (!accepted) {
-    const bool ok = feasible(lo);
+  // The last accepted probe (if any) was at t == lo, so materializing at lo
+  // replays it exactly — value-only search returns the eager-mode assignment
+  // bit for bit. Eager mode only re-probes when the search never accepted.
+  if (!eager || !accepted) {
+    const bool ok = feasible(lo, true);
     BISCHED_CHECK(ok, "R3 FPTAS terminal feasibility check failed");
   }
   return r3_finalize(jobs, std::move(arena.assignment));

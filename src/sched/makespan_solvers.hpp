@@ -14,8 +14,14 @@
 //
 // The binary searches share one scratch arena across all feasibility probes
 // (no per-probe allocation), the DP kernels run in place over the reachable
-// load window only, and the last accepted probe's reconstruction is returned
-// directly — see docs/perf.md for the kernel design and measurements.
+// load window only, and the R2 searches default to *value-only* probes: no
+// choice matrix is written while the search narrows, and one terminal probe
+// at the accepted makespan materializes the choices for reconstruction
+// (Hirschberg-style — recompute once for the answer instead of recording
+// always). The DP row kernels dispatch at runtime over
+// sched/simd_dispatch.hpp (scalar / AVX2 / AVX-512, `BISCHED_SIMD`
+// overridable); every level and both probe modes return bit-identical
+// results — see docs/perf.md for the kernel design and measurements.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +29,20 @@
 #include <vector>
 
 namespace bisched {
+
+// How the binary searches drive the DP feasibility probes.
+//   kValueOnly — search probes skip the choice matrix entirely (half the
+//                memory traffic in the dense R2 row); one terminal
+//                choice-writing probe at the accepted budget reconstructs.
+//   kEager     — every probe writes choices and the last accepted probe's
+//                reconstruction is returned directly (the PR-3 behavior).
+// Both modes return bit-identical results at every SIMD level (the
+// differential tests sweep the full matrix). Defaults are per solver, set
+// by measurement (bench_hotpaths probe-mode ablation): the R2 solvers
+// default to kValueOnly (the choice bits are ~half the row traffic), r3
+// defaults to kEager (2-bit packed writes in the sparse push loop are too
+// cheap to pay back the extra terminal probe) — see docs/perf.md.
+enum class ProbeMode { kValueOnly, kEager };
 
 struct R2Job {
   std::int64_t p1 = 0;  // processing time on machine 1
@@ -37,8 +57,10 @@ struct R2Result {
 };
 
 R2Result r2_greedy(std::span<const R2Job> jobs);
-R2Result r2_exact(std::span<const R2Job> jobs);
-R2Result r2_fptas(std::span<const R2Job> jobs, double eps);
+R2Result r2_exact(std::span<const R2Job> jobs,
+                  ProbeMode mode = ProbeMode::kValueOnly);
+R2Result r2_fptas(std::span<const R2Job> jobs, double eps,
+                  ProbeMode mode = ProbeMode::kValueOnly);
 
 // Optimal Rm||Cmax by branch and bound over job->machine assignments
 // (no incompatibility constraints); exponential, for tests and tiny m/n.
@@ -68,6 +90,7 @@ struct R3Result {
 // Each job on its fastest machine; makespan <= 3 * OPT.
 R3Result r3_greedy(std::span<const R3Job> jobs);
 // (1+eps)-approximate.
-R3Result r3_fptas(std::span<const R3Job> jobs, double eps);
+R3Result r3_fptas(std::span<const R3Job> jobs, double eps,
+                  ProbeMode mode = ProbeMode::kEager);
 
 }  // namespace bisched

@@ -1,0 +1,120 @@
+#include "sched/simd_dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace bisched {
+
+namespace {
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512f() {
+#if defined(__x86_64__)
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_always() { return true; }
+
+// The ISA registry, ascending. Adding a level (say AVX-512VBMI rows or SVE)
+// is one row here plus a kernel variant behind the same dispatch.
+struct IsaEntry {
+  SimdLevel level;
+  const char* name;
+  bool (*supported)();
+};
+
+constexpr IsaEntry kIsaRegistry[] = {
+    {SimdLevel::kScalar, "scalar", cpu_always},
+    {SimdLevel::kAvx2, "avx2", cpu_has_avx2},
+    {SimdLevel::kAvx512, "avx512", cpu_has_avx512f},
+};
+
+// -1 = not yet resolved. Relaxed everywhere: the resolved value is a pure
+// function of (env, cpu) at resolution time, so concurrent first calls
+// compute and publish the same thing.
+std::atomic<int> g_resolved{-1};
+
+// Override + detection in ONE ordering: the environment is consulted against
+// the hardware level inside a single resolution, so no cached detection can
+// predate the override.
+SimdLevel resolve_level() {
+  const SimdLevel hardware = simd_hardware_level();
+  const char* env = std::getenv("BISCHED_SIMD");
+  if (env == nullptr || *env == '\0') return hardware;
+  SimdLevel requested = hardware;
+  if (!parse_simd_level(env, &requested)) {
+    std::cerr << "BISCHED_SIMD: unknown level '" << env
+              << "' (expected scalar|avx2|avx512); using " << to_string(hardware)
+              << "\n";
+    return hardware;
+  }
+  if (requested > hardware) {
+    std::cerr << "BISCHED_SIMD: " << env << " not supported by this CPU; clamping to "
+              << to_string(hardware) << "\n";
+    return hardware;
+  }
+  return requested;
+}
+
+}  // namespace
+
+const char* to_string(SimdLevel level) {
+  for (const IsaEntry& entry : kIsaRegistry) {
+    if (entry.level == level) return entry.name;
+  }
+  return "scalar";
+}
+
+bool parse_simd_level(const std::string& text, SimdLevel* out) {
+  for (const IsaEntry& entry : kIsaRegistry) {
+    if (text == entry.name) {
+      *out = entry.level;
+      return true;
+    }
+  }
+  return false;
+}
+
+SimdLevel simd_hardware_level() {
+  SimdLevel best = SimdLevel::kScalar;
+  for (const IsaEntry& entry : kIsaRegistry) {
+    if (entry.supported()) best = entry.level;
+  }
+  return best;
+}
+
+std::vector<SimdLevel> simd_available_levels() {
+  std::vector<SimdLevel> levels;
+  for (const IsaEntry& entry : kIsaRegistry) {
+    if (entry.supported()) levels.push_back(entry.level);
+  }
+  return levels;
+}
+
+SimdLevel simd_level() {
+  int cached = g_resolved.load(std::memory_order_relaxed);
+  if (cached < 0) {
+    cached = static_cast<int>(resolve_level());
+    g_resolved.store(cached, std::memory_order_relaxed);
+  }
+  return static_cast<SimdLevel>(cached);
+}
+
+SimdLevel simd_refresh_level() {
+  const SimdLevel level = resolve_level();
+  g_resolved.store(static_cast<int>(level), std::memory_order_relaxed);
+  return level;
+}
+
+}  // namespace bisched

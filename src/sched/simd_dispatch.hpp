@@ -1,0 +1,60 @@
+// Runtime SIMD dispatch for the DP row kernels.
+//
+// A small registry of ISA levels (scalar / AVX2 / AVX-512) with one
+// resolution path: the highest level the CPU reports via
+// __builtin_cpu_supports, clamped by an optional `BISCHED_SIMD` environment
+// override (`scalar`, `avx2`, or `avx512`) for testing and reproducible
+// benching. Resolution happens once — override and detection are read
+// together, so there is no ordering hazard between "what the CPU has" and
+// "what the operator asked for" (the PR-3 `r2_row_use_avx2()` function-local
+// static baked the detection in before any override could apply; this layer
+// replaces it). The resolved level is cached in an atomic and surfaced to
+// operators as the `bisched_simd_level` info gauge, on the serve `stats`
+// frame, and in `list-algs --json`.
+//
+// The kernels consuming the level live in src/sched/makespan_solvers.cpp;
+// they re-read `simd_level()` per feasibility probe (one relaxed atomic
+// load), so a test or bench that calls `simd_refresh_level()` after changing
+// the environment retargets every subsequent probe.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bisched {
+
+// Ordered: each level strictly extends the previous one's instruction set.
+enum class SimdLevel : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,  // avx512f — 8-lane i64 rows with masked tails
+};
+
+// "scalar" / "avx2" / "avx512" — the spelling BISCHED_SIMD accepts and every
+// surface (metrics label, stats frame, list-algs, bench rows) emits.
+const char* to_string(SimdLevel level);
+
+// Parses a BISCHED_SIMD spelling; returns false (out untouched) on anything
+// unknown.
+bool parse_simd_level(const std::string& text, SimdLevel* out);
+
+// The highest level this CPU supports, ignoring any override. Always at
+// least kScalar; non-x86 builds report kScalar.
+SimdLevel simd_hardware_level();
+
+// Every level usable on this host, ascending (kScalar first). The
+// differential tests and the bench ISA axis iterate this.
+std::vector<SimdLevel> simd_available_levels();
+
+// The resolved dispatch level: BISCHED_SIMD if set, valid, and supported —
+// an unknown spelling or a level above the hardware's is reported on stderr
+// and clamped to hardware — else the hardware level. Resolved once on first
+// use and cached; one relaxed atomic load afterwards.
+SimdLevel simd_level();
+
+// Re-resolves from the current environment + CPU and replaces the cache;
+// returns the new level. For tests and benches that setenv("BISCHED_SIMD")
+// mid-process — production code never needs this.
+SimdLevel simd_refresh_level();
+
+}  // namespace bisched

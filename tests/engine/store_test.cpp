@@ -25,6 +25,7 @@
 #include "engine/store/codec.hpp"
 #include "engine/store/warm_state.hpp"
 #include "io/format.hpp"
+#include "sched/simd_dispatch.hpp"
 #include "testing_util.hpp"
 #include "util/prng.hpp"
 
@@ -488,6 +489,17 @@ TEST(StoreCli, SecondProcessHitsDiskWithResponsesBitIdenticalToStoreOff) {
   };
   EXPECT_EQ(normalized(second), without);
   EXPECT_EQ(first, without);
+}
+
+TEST(CliCatalog, ListAlgsJsonReportsResolvedSimdLevel) {
+  int exit_code = -1;
+  const std::string out = run_cli({"list-algs", "--json"}, &exit_code);
+  ASSERT_EQ(exit_code, 0) << out;
+  // The subprocess inherits this process's environment, so it resolves the
+  // same level simd_level() reports here (BISCHED_SIMD override included).
+  EXPECT_NE(out.find(std::string("\"simd\": \"") + to_string(simd_level()) + "\""),
+            std::string::npos)
+      << out;
 }
 
 #endif  // BISCHED_CLI_PATH

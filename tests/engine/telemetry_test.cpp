@@ -15,6 +15,7 @@
 
 #include "engine/serve.hpp"
 #include "engine/telemetry/trace.hpp"
+#include "sched/simd_dispatch.hpp"
 #include "io/format.hpp"
 #include "io/jsonl.hpp"
 #include "testing_util.hpp"
@@ -206,6 +207,11 @@ TEST(TelemetryServe, ResponsesCarryElapsedAndTraceAndMetricsFrameExposes) {
             std::string::npos);
   EXPECT_NE(body.find("bisched_serve_frames_total{type=\"solve\"} 1\n"),
             std::string::npos);
+  // Info gauge: the resolved SIMD dispatch level, value pinned to 1.
+  EXPECT_NE(body.find(std::string("bisched_simd_level{level=\"") +
+                      to_string(simd_level()) + "\"} 1\n"),
+            std::string::npos)
+      << body;
 }
 
 TEST(TelemetryServe, RequestedSpansRideTheWireAsNestedJson) {
@@ -322,6 +328,8 @@ TEST(TelemetryServe, StatsFrameCarriesFrameCountsUptimeAndInflight) {
   EXPECT_EQ(stats_obj->at("session_inflight"), "0");
   EXPECT_EQ(stats_obj->at("sessions_active"), "1");
   EXPECT_EQ(stats_obj->at("sessions"), "2");
+  // The resolved kernel dispatch level rides the stats frame for operators.
+  EXPECT_EQ(stats_obj->at("simd"), to_string(simd_level()));
 }
 
 }  // namespace

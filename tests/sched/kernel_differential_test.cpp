@@ -1,21 +1,60 @@
-// Differential tests for the PR-3 kernel rewrite: the arena-backed,
-// window-pruned R2/R3 DP kernels must return *bit-identical* results — same
-// cmax, same loads, same per-job assignment — as the seed kernels preserved
-// in tests/reference_kernels.hpp, across randomized instances that exercise
-// the rewrite's edge cases (zero processing times, which flip the tie-break
+// Differential tests for the optimized R2/R3 DP kernels: the arena-backed,
+// window-pruned, SIMD-dispatched kernels must return *bit-identical* results
+// — same cmax, same loads, same per-job assignment — as the seed kernels
+// preserved in tests/reference_kernels.hpp, across randomized instances that
+// exercise the edge cases (zero processing times, which flip the tie-break
 // priority; duplicate times, which create ties; tiny and empty instances;
 // and eps values from coarse to fine, which move the scaled-size-0
 // boundary).
+//
+// Every check runs at EVERY dispatch level this host supports (scalar, AVX2,
+// AVX-512 — forced through the BISCHED_SIMD override and a refresh) and in
+// BOTH probe modes (value-only search probes vs the eager choice-writing
+// probes), so the bit-identity contract covers the full dispatch × mode
+// matrix, not just whatever this CPU happens to resolve to.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <vector>
 
 #include "reference_kernels.hpp"
 #include "sched/makespan_solvers.hpp"
+#include "sched/simd_dispatch.hpp"
 #include "util/prng.hpp"
 
 namespace bisched {
 namespace {
+
+// Forces the dispatch level for a scope: sets BISCHED_SIMD and re-resolves,
+// restoring detection-only dispatch on the way out.
+class ForcedSimd {
+ public:
+  explicit ForcedSimd(SimdLevel level) {
+    ::setenv("BISCHED_SIMD", to_string(level), 1);
+    EXPECT_EQ(simd_refresh_level(), level);
+  }
+  ~ForcedSimd() {
+    ::unsetenv("BISCHED_SIMD");
+    simd_refresh_level();
+  }
+  ForcedSimd(const ForcedSimd&) = delete;
+  ForcedSimd& operator=(const ForcedSimd&) = delete;
+};
+
+// Runs `body` once per dispatch level this host can execute.
+template <typename Body>
+void for_each_simd_level(Body&& body) {
+  for (const SimdLevel level : simd_available_levels()) {
+    ForcedSimd forced(level);
+    body(to_string(level));
+  }
+}
+
+constexpr ProbeMode kModes[] = {ProbeMode::kValueOnly, ProbeMode::kEager};
+
+const char* mode_name(ProbeMode mode) {
+  return mode == ProbeMode::kValueOnly ? "value-only" : "eager";
+}
 
 std::vector<R2Job> random_r2_jobs(int n, std::int64_t tmin, std::int64_t tmax, Rng& rng) {
   std::vector<R2Job> jobs(static_cast<std::size_t>(n));
@@ -37,71 +76,124 @@ std::vector<R3Job> random_r3_jobs(int n, std::int64_t tmin, std::int64_t tmax, R
 }
 
 void expect_r2_identical(const R2Result& want, const R2Result& got, const char* what,
-                         int trial) {
-  EXPECT_EQ(want.cmax, got.cmax) << what << " trial " << trial;
-  EXPECT_EQ(want.load1, got.load1) << what << " trial " << trial;
-  EXPECT_EQ(want.load2, got.load2) << what << " trial " << trial;
-  EXPECT_EQ(want.on_machine2, got.on_machine2) << what << " trial " << trial;
+                         const char* isa, const char* mode, int trial) {
+  EXPECT_EQ(want.cmax, got.cmax) << what << " " << isa << " " << mode << " trial "
+                                 << trial;
+  EXPECT_EQ(want.load1, got.load1) << what << " " << isa << " " << mode << " trial "
+                                   << trial;
+  EXPECT_EQ(want.load2, got.load2) << what << " " << isa << " " << mode << " trial "
+                                   << trial;
+  EXPECT_EQ(want.on_machine2, got.on_machine2)
+      << what << " " << isa << " " << mode << " trial " << trial;
 }
 
-TEST(KernelDifferential, R2ExactMatchesSeedBitForBit) {
-  Rng rng(1001);
-  for (int trial = 0; trial < 60; ++trial) {
-    const int n = 1 + static_cast<int>(rng.uniform_int(0, 30));
-    // tmin 0 exercises zero-size jobs (the s1 == 0 tie-break flip); a small
-    // range forces many exact ties.
-    const std::int64_t tmax = 1 + rng.uniform_int(0, 40);
-    const auto jobs = random_r2_jobs(n, 0, tmax, rng);
-    expect_r2_identical(reference::r2_exact(jobs), r2_exact(jobs), "r2_exact", trial);
-  }
+void expect_r3_identical(const R3Result& want, const R3Result& got, const char* isa,
+                         const char* mode, int trial) {
+  EXPECT_EQ(want.cmax, got.cmax) << isa << " " << mode << " trial " << trial;
+  EXPECT_EQ(want.loads[0], got.loads[0]) << isa << " " << mode << " trial " << trial;
+  EXPECT_EQ(want.loads[1], got.loads[1]) << isa << " " << mode << " trial " << trial;
+  EXPECT_EQ(want.loads[2], got.loads[2]) << isa << " " << mode << " trial " << trial;
+  EXPECT_EQ(want.machine_of, got.machine_of)
+      << isa << " " << mode << " trial " << trial;
 }
 
-TEST(KernelDifferential, R2FptasMatchesSeedBitForBit) {
-  Rng rng(1002);
-  const double epsilons[] = {1.0, 0.5, 0.2, 0.1, 0.03};
-  for (int trial = 0; trial < 60; ++trial) {
-    const int n = 1 + static_cast<int>(rng.uniform_int(0, 40));
-    const std::int64_t tmax = 1 + rng.uniform_int(0, 200);
-    const auto jobs = random_r2_jobs(n, 0, tmax, rng);
-    const double eps = epsilons[trial % 5];
-    expect_r2_identical(reference::r2_fptas(jobs, eps), r2_fptas(jobs, eps), "r2_fptas",
-                        trial);
-  }
+TEST(KernelDifferential, R2ExactMatchesSeedBitForBitAtEveryLevel) {
+  for_each_simd_level([](const char* isa) {
+    Rng rng(1001);
+    for (int trial = 0; trial < 40; ++trial) {
+      const int n = 1 + static_cast<int>(rng.uniform_int(0, 30));
+      // tmin 0 exercises zero-size jobs (the s1 == 0 tie-break flip); a small
+      // range forces many exact ties.
+      const std::int64_t tmax = 1 + rng.uniform_int(0, 40);
+      const auto jobs = random_r2_jobs(n, 0, tmax, rng);
+      const R2Result want = reference::r2_exact(jobs);
+      for (const ProbeMode mode : kModes) {
+        expect_r2_identical(want, r2_exact(jobs, mode), "r2_exact", isa,
+                            mode_name(mode), trial);
+      }
+    }
+  });
 }
 
-TEST(KernelDifferential, R2EdgeCases) {
+TEST(KernelDifferential, R2FptasMatchesSeedBitForBitAtEveryLevel) {
+  for_each_simd_level([](const char* isa) {
+    Rng rng(1002);
+    const double epsilons[] = {1.0, 0.5, 0.2, 0.1, 0.03};
+    for (int trial = 0; trial < 40; ++trial) {
+      const int n = 1 + static_cast<int>(rng.uniform_int(0, 40));
+      const std::int64_t tmax = 1 + rng.uniform_int(0, 200);
+      const auto jobs = random_r2_jobs(n, 0, tmax, rng);
+      const double eps = epsilons[trial % 5];
+      const R2Result want = reference::r2_fptas(jobs, eps);
+      for (const ProbeMode mode : kModes) {
+        expect_r2_identical(want, r2_fptas(jobs, eps, mode), "r2_fptas", isa,
+                            mode_name(mode), trial);
+      }
+    }
+  });
+}
+
+TEST(KernelDifferential, R2WideRowsExerciseVectorBlocks) {
+  // Large processing times widen the scaled DP row past the 4- and 8-lane
+  // block thresholds so the AVX2/AVX-512 main loops (not just their scalar
+  // head/tail) run; fine eps keeps the budget — and therefore the row — wide.
+  for_each_simd_level([](const char* isa) {
+    Rng rng(1005);
+    for (int trial = 0; trial < 6; ++trial) {
+      const auto jobs = random_r2_jobs(48, 50, 3000, rng);
+      const R2Result want = reference::r2_fptas(jobs, 0.02);
+      for (const ProbeMode mode : kModes) {
+        expect_r2_identical(want, r2_fptas(jobs, 0.02, mode), "r2_wide", isa,
+                            mode_name(mode), trial);
+      }
+    }
+  });
+}
+
+TEST(KernelDifferential, R2EdgeCasesAtEveryLevel) {
   // Empty, single-job, all-zero, and identical-jobs instances.
-  const std::vector<R2Job> empty;
-  expect_r2_identical(reference::r2_fptas(empty, 0.1), r2_fptas(empty, 0.1), "empty", 0);
+  for_each_simd_level([](const char* isa) {
+    for (const ProbeMode mode : kModes) {
+      const char* m = mode_name(mode);
+      const std::vector<R2Job> empty;
+      expect_r2_identical(reference::r2_fptas(empty, 0.1), r2_fptas(empty, 0.1, mode),
+                          "empty", isa, m, 0);
 
-  const std::vector<R2Job> zeros(5, R2Job{0, 0});
-  expect_r2_identical(reference::r2_fptas(zeros, 0.1), r2_fptas(zeros, 0.1), "zeros", 0);
-  expect_r2_identical(reference::r2_exact(zeros), r2_exact(zeros), "zeros", 0);
+      const std::vector<R2Job> zeros(5, R2Job{0, 0});
+      expect_r2_identical(reference::r2_fptas(zeros, 0.1), r2_fptas(zeros, 0.1, mode),
+                          "zeros", isa, m, 0);
+      expect_r2_identical(reference::r2_exact(zeros), r2_exact(zeros, mode), "zeros",
+                          isa, m, 0);
 
-  const std::vector<R2Job> same(7, R2Job{4, 4});
-  expect_r2_identical(reference::r2_exact(same), r2_exact(same), "same", 0);
-  expect_r2_identical(reference::r2_fptas(same, 0.5), r2_fptas(same, 0.5), "same", 0);
+      const std::vector<R2Job> same(7, R2Job{4, 4});
+      expect_r2_identical(reference::r2_exact(same), r2_exact(same, mode), "same", isa,
+                          m, 0);
+      expect_r2_identical(reference::r2_fptas(same, 0.5), r2_fptas(same, 0.5, mode),
+                          "same", isa, m, 0);
 
-  const std::vector<R2Job> one = {{9, 2}};
-  expect_r2_identical(reference::r2_exact(one), r2_exact(one), "one", 0);
+      const std::vector<R2Job> one = {{9, 2}};
+      expect_r2_identical(reference::r2_exact(one), r2_exact(one, mode), "one", isa, m,
+                          0);
+    }
+  });
 }
 
-TEST(KernelDifferential, R3FptasMatchesSeedBitForBit) {
-  Rng rng(1003);
-  const double epsilons[] = {1.0, 0.6, 0.4, 0.25};
-  for (int trial = 0; trial < 40; ++trial) {
-    const int n = 1 + static_cast<int>(rng.uniform_int(0, 14));
-    const std::int64_t tmax = 1 + rng.uniform_int(0, 60);
-    const auto jobs = random_r3_jobs(n, 0, tmax, rng);
-    const double eps = epsilons[trial % 4];
-    const R3Result want = reference::r3_fptas(jobs, eps);
-    const R3Result got = r3_fptas(jobs, eps);
-    EXPECT_EQ(want.cmax, got.cmax) << "trial " << trial;
-    EXPECT_EQ(want.loads[0], got.loads[0]) << "trial " << trial;
-    EXPECT_EQ(want.loads[1], got.loads[1]) << "trial " << trial;
-    EXPECT_EQ(want.loads[2], got.loads[2]) << "trial " << trial;
-    EXPECT_EQ(want.machine_of, got.machine_of) << "trial " << trial;
-  }
+TEST(KernelDifferential, R3FptasMatchesSeedBitForBitAtEveryLevel) {
+  for_each_simd_level([](const char* isa) {
+    Rng rng(1003);
+    const double epsilons[] = {1.0, 0.6, 0.4, 0.25};
+    for (int trial = 0; trial < 30; ++trial) {
+      const int n = 1 + static_cast<int>(rng.uniform_int(0, 14));
+      const std::int64_t tmax = 1 + rng.uniform_int(0, 60);
+      const auto jobs = random_r3_jobs(n, 0, tmax, rng);
+      const double eps = epsilons[trial % 4];
+      const R3Result want = reference::r3_fptas(jobs, eps);
+      for (const ProbeMode mode : kModes) {
+        expect_r3_identical(want, r3_fptas(jobs, eps, mode), isa, mode_name(mode),
+                            trial);
+      }
+    }
+  });
 }
 
 TEST(KernelDifferential, R3ZeroSizeJobsFlipTieOrder) {
@@ -117,9 +209,22 @@ TEST(KernelDifferential, R3ZeroSizeJobsFlipTieOrder) {
       job.p3 = rng.uniform_int(0, 3);
     }
     const R3Result want = reference::r3_fptas(jobs, 0.3);
-    const R3Result got = r3_fptas(jobs, 0.3);
-    EXPECT_EQ(want.cmax, got.cmax) << "trial " << trial;
-    EXPECT_EQ(want.machine_of, got.machine_of) << "trial " << trial;
+    for (const ProbeMode mode : kModes) {
+      expect_r3_identical(want, r3_fptas(jobs, 0.3, mode), "default", mode_name(mode),
+                          trial);
+    }
+  }
+}
+
+TEST(KernelDifferential, ValueOnlyAndEagerAgreeOnLargeInstances) {
+  // The two probe modes must agree with each other (not just with the seed)
+  // on instances big enough that the binary search runs many rejected probes.
+  Rng rng(1006);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto jobs = random_r2_jobs(200, 1, 5000, rng);
+    const R2Result eager = r2_fptas(jobs, 0.05, ProbeMode::kEager);
+    const R2Result value_only = r2_fptas(jobs, 0.05, ProbeMode::kValueOnly);
+    expect_r2_identical(eager, value_only, "modes", "default", "cross", trial);
   }
 }
 

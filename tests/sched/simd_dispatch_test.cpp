@@ -1,0 +1,89 @@
+// Unit tests for the runtime SIMD dispatch layer: spelling round-trips, the
+// hardware level's monotone availability list, and the one-ordering override
+// resolution (BISCHED_SIMD read against the CPU in a single refresh — a
+// downlevel request wins, an unknown or above-hardware request clamps to
+// hardware).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sched/simd_dispatch.hpp"
+
+namespace bisched {
+namespace {
+
+// Saves/restores BISCHED_SIMD and re-resolves on the way out so these tests
+// cannot leak a forced level into the rest of the suite.
+class EnvGuard {
+ public:
+  EnvGuard() {
+    const char* cur = std::getenv("BISCHED_SIMD");
+    if (cur != nullptr) saved_ = cur;
+    had_ = cur != nullptr;
+  }
+  ~EnvGuard() {
+    if (had_) {
+      ::setenv("BISCHED_SIMD", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("BISCHED_SIMD");
+    }
+    simd_refresh_level();
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(SimdDispatch, SpellingsRoundTrip) {
+  for (const SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    SimdLevel parsed = SimdLevel::kScalar;
+    ASSERT_TRUE(parse_simd_level(to_string(level), &parsed)) << to_string(level);
+    EXPECT_EQ(parsed, level);
+  }
+  SimdLevel parsed = SimdLevel::kAvx2;
+  EXPECT_FALSE(parse_simd_level("sse9", &parsed));
+  EXPECT_FALSE(parse_simd_level("", &parsed));
+  EXPECT_FALSE(parse_simd_level("AVX2", &parsed));  // spellings are lowercase
+  EXPECT_EQ(parsed, SimdLevel::kAvx2);              // untouched on failure
+}
+
+TEST(SimdDispatch, AvailableLevelsAscendingAndCappedByHardware) {
+  const SimdLevel hw = simd_hardware_level();
+  const auto levels = simd_available_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), SimdLevel::kScalar);
+  EXPECT_EQ(levels.back(), hw);
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_LT(levels[i - 1], levels[i]);
+  }
+}
+
+TEST(SimdDispatch, OverrideForcesDownlevelAndRefreshRetargets) {
+  EnvGuard guard;
+  ::setenv("BISCHED_SIMD", "scalar", 1);
+  EXPECT_EQ(simd_refresh_level(), SimdLevel::kScalar);
+  EXPECT_EQ(simd_level(), SimdLevel::kScalar);
+
+  ::unsetenv("BISCHED_SIMD");
+  EXPECT_EQ(simd_refresh_level(), simd_hardware_level());
+  EXPECT_EQ(simd_level(), simd_hardware_level());
+}
+
+TEST(SimdDispatch, UnknownSpellingClampsToHardware) {
+  EnvGuard guard;
+  ::setenv("BISCHED_SIMD", "sse9", 1);
+  EXPECT_EQ(simd_refresh_level(), simd_hardware_level());
+}
+
+TEST(SimdDispatch, EveryAvailableLevelIsForcible) {
+  EnvGuard guard;
+  for (const SimdLevel level : simd_available_levels()) {
+    ::setenv("BISCHED_SIMD", to_string(level), 1);
+    EXPECT_EQ(simd_refresh_level(), level) << to_string(level);
+  }
+}
+
+}  // namespace
+}  // namespace bisched

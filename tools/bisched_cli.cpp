@@ -52,6 +52,7 @@
 #include "engine/transport.hpp"
 #include "io/format.hpp"
 #include "io/jsonl.hpp"
+#include "sched/simd_dispatch.hpp"
 #include "random/generators.hpp"
 #include "random/gilbert.hpp"
 #include "sched/lower_bounds.hpp"
@@ -635,7 +636,8 @@ int cmd_list_algs(int argc, char** argv) {
     // Machine-readable catalog: the graph-class lattice (names + subsumption
     // edges, straight from the detector registry) and every solver's
     // capability row. One JSON object on one line.
-    std::cout << "{\"v\": 1, \"graph_classes\": [";
+    std::cout << "{\"v\": 1, \"simd\": " << json_quote(to_string(simd_level()))
+              << ", \"graph_classes\": [";
     for (engine::GraphClassId id = 0; id < lattice.size(); ++id) {
       if (id != 0) std::cout << ", ";
       std::cout << "{\"name\": " << json_quote(lattice.name(id)) << ", \"parents\": [";

@@ -6,8 +6,10 @@
 # process against the same --store dir must answer from the disk tier), the
 # unix-socket serve mode (two concurrent clients, then a Prometheus scrape
 # via `metrics --connect` and the --slow-ms slow-request log), the TCP serve
-# mode, the graph-class lattice via `list-algs --json`, and the hot-path +
-# store benches' JSON reports end to end with the sanitized binaries.
+# mode, the graph-class lattice via `list-algs --json`, the SIMD dispatch
+# layer (a BISCHED_SIMD=scalar solve byte-diffed against default dispatch),
+# and the hot-path + store benches' JSON reports end to end with the
+# sanitized binaries.
 # Single-threaded where it matters: the CI runner has one CPU.
 #
 #   $ tools/ci.sh [extra ctest args...]
@@ -165,6 +167,11 @@ grep -q 'bisched_cache_lookups_total{cache="profile",result="miss"} 2' \
   cat "$SMOKE/metrics.out" >&2
   exit 1
 }
+grep -q 'bisched_simd_level{level="' "$SMOKE/metrics.out" || {
+  echo "ci.sh: metrics smoke failed: simd level info gauge missing" >&2
+  cat "$SMOKE/metrics.out" >&2
+  exit 1
+}
 # Exposition syntax: every non-comment, non-blank line is `series value`.
 if awk '/^#/ || /^$/ { next } NF != 2 { exit 1 }' "$SMOKE/metrics.out"; then :; else
   echo "ci.sh: metrics smoke failed: malformed exposition line" >&2
@@ -273,6 +280,27 @@ grep -q '"name": "kab".*"graph": "complete-bipartite"' "$SMOKE/algs.json" || {
   cat "$SMOKE/algs.json" >&2
   exit 1
 }
+grep -q '"simd": "' "$SMOKE/algs.json" || {
+  echo "ci.sh: lattice smoke failed: list-algs --json lacks the simd level" >&2
+  cat "$SMOKE/algs.json" >&2
+  exit 1
+}
+
+# ------------------------------------------------- simd dispatch smoke ---
+# Bit-identity across dispatch levels, end to end through the CLI: the same
+# instance solved with the kernels forced to scalar (BISCHED_SIMD=scalar)
+# and with default dispatch must produce byte-identical --stable JSON. On an
+# AVX-capable runner this diffs vectorized rows against scalar rows; on a
+# scalar-only runner it degenerates to a reproducibility check.
+"$CLI" solve --alg=auto --json --stable "$SMOKE/corpus/q1.inst" \
+  > "$SMOKE/solve-default.json"
+BISCHED_SIMD=scalar "$CLI" solve --alg=auto --json --stable \
+  "$SMOKE/corpus/q1.inst" > "$SMOKE/solve-scalar.json"
+cmp -s "$SMOKE/solve-default.json" "$SMOKE/solve-scalar.json" || {
+  echo "ci.sh: simd smoke failed: scalar and default dispatch outputs differ" >&2
+  diff "$SMOKE/solve-default.json" "$SMOKE/solve-scalar.json" >&2 || true
+  exit 1
+}
 
 # ---------------------------------------------------------- bench smoke ---
 # The perf trajectory must stay machine-readable: the hot-path microbench
@@ -304,6 +332,18 @@ grep -q '"rows": \[' "$BENCH_JSON" && grep -q '"kernel": "r2_fptas"' "$BENCH_JSO
 }
 grep -q '"p95_ms"' "$BENCH_JSON" || {
   echo "ci.sh: bench smoke failed: $BENCH_JSON rows lack registry percentiles" >&2
+  cat "$BENCH_JSON" >&2
+  exit 1
+}
+# The per-ISA axis (scalar always exists) and the probe-mode ablation rows.
+grep -q '"isa": "scalar"' "$BENCH_JSON" || {
+  echo "ci.sh: bench smoke failed: $BENCH_JSON lacks the per-ISA axis" >&2
+  cat "$BENCH_JSON" >&2
+  exit 1
+}
+grep -q '"mode": "value-only"' "$BENCH_JSON" \
+  && grep -q '"mode": "eager"' "$BENCH_JSON" || {
+  echo "ci.sh: bench smoke failed: $BENCH_JSON lacks probe-mode ablation rows" >&2
   cat "$BENCH_JSON" >&2
   exit 1
 }
