@@ -1,0 +1,33 @@
+#include "engine/fleet/health.hpp"
+
+namespace bisched::engine::fleet {
+
+HealthTracker::HealthTracker(std::size_t backends, int unhealthy_after)
+    : size_(backends),
+      unhealthy_after_(unhealthy_after < 1 ? 1 : unhealthy_after),
+      consecutive_failures_(new std::atomic<int>[backends]) {
+  for (std::size_t i = 0; i < size_; ++i) consecutive_failures_[i].store(0);
+}
+
+void HealthTracker::record_success(std::size_t i) {
+  if (i < size_) consecutive_failures_[i].store(0, std::memory_order_relaxed);
+}
+
+void HealthTracker::record_failure(std::size_t i) {
+  if (i < size_) consecutive_failures_[i].fetch_add(1, std::memory_order_relaxed);
+}
+
+void HealthTracker::reset(std::size_t i) { record_success(i); }
+
+bool HealthTracker::healthy(std::size_t i) const {
+  return i < size_ &&
+         consecutive_failures_[i].load(std::memory_order_relaxed) < unhealthy_after_;
+}
+
+std::size_t HealthTracker::healthy_count() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < size_; ++i) n += healthy(i) ? 1 : 0;
+  return n;
+}
+
+}  // namespace bisched::engine::fleet

@@ -1,0 +1,49 @@
+// Per-backend health from the router's point of view.
+//
+// Health is an *observation*, separate from process liveness (the
+// supervisor's business): a backend can be running yet useless — stalled in
+// a pathological solve, wedged on a full pipe, refusing connects. The
+// tracker keeps one consecutive-failure counter per backend, fed by both the
+// periodic `stats` probes and real request outcomes:
+//
+//   record_failure   one failed probe / connect / request. A backend is
+//                    unhealthy once `unhealthy_after` consecutive failures
+//                    accumulate — one lost race does not eject it.
+//   record_success   any successful exchange; re-admits immediately (the
+//                    counter resets to zero). Recovery needs no quarantine:
+//                    a respawned backend that answers one probe is back.
+//   reset            the supervisor respawned this slot — the new process
+//                    starts with a clean (optimistically healthy) record.
+//
+// Unhealthy backends are demoted, not removed: the router orders a key's
+// candidates healthy-first, so an unhealthy backend is still tried when
+// every healthy candidate has failed — better a slow answer than a degraded
+// error. All methods are lock-free atomics; readers may race one update,
+// which at worst reorders one request's candidates.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+namespace bisched::engine::fleet {
+
+class HealthTracker {
+ public:
+  HealthTracker(std::size_t backends, int unhealthy_after);
+
+  void record_success(std::size_t i);
+  void record_failure(std::size_t i);
+  void reset(std::size_t i);
+
+  bool healthy(std::size_t i) const;
+  std::size_t healthy_count() const;
+  std::size_t size() const { return size_; }
+
+ private:
+  std::size_t size_;
+  int unhealthy_after_;
+  std::unique_ptr<std::atomic<int>[]> consecutive_failures_;
+};
+
+}  // namespace bisched::engine::fleet

@@ -1,0 +1,176 @@
+// The fleet router: one front-end over N supervised backend serve processes.
+//
+// `bisched_cli route` speaks the exact serve frame grammar (engine/serve.hpp
+// — the two share parse_frame), so a client cannot tell a router from a
+// single server; what changes is what stands behind the socket:
+//
+//   placement   every solve is keyed by the instance content hash and routed
+//               over a consistent-hash ring (hash_ring.hpp), so one
+//               instance's repeat traffic always lands on the same backend
+//               and that backend's memory/disk warmth stays hot for its
+//               slice. Requests the router cannot key (unreadable file,
+//               unparseable text) hash their source string instead — still
+//               deterministic, and the backend owns producing the canonical
+//               error.
+//   failover    a failed attempt (connect refused/timed out, connection
+//               dropped mid-response, read deadline) moves to the next
+//               candidate in ring order, healthy candidates first, under one
+//               per-request deadline budget. Only when the budget is spent
+//               with no answer does the client see a structured
+//               `degraded:` error response.
+//   supervision backends are spawned and kept alive by supervisor.hpp
+//               (exponential-backoff respawn, restart-storm breaker);
+//               health.hpp tracks who is answering (periodic `stats` probes
+//               + live request outcomes) and feeds the candidate ordering.
+//
+// Responses stream back on the client's transport with the router's own
+// `seq` (admission order across all router sessions) spliced in; an
+// auto-assigned id is the router's `#<seq>`, never a backend's. `stats`
+// frames are answered by the ROUTER (role "router": backend/health/retry
+// counters), as is `metrics` (the fleet registry: bisched_fleet_* series).
+//
+// The router holds no warm state of its own — restarting it loses nothing
+// but connections; the warmth lives in the backends' stores.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/api.hpp"
+#include "engine/fleet/hash_ring.hpp"
+#include "engine/fleet/health.hpp"
+#include "engine/fleet/supervisor.hpp"
+#include "engine/telemetry/metrics.hpp"
+#include "engine/transport.hpp"
+
+namespace bisched {
+class ThreadPool;
+}  // namespace bisched
+
+namespace bisched::engine::fleet {
+
+struct RouterOptions {
+  std::size_t fleet = 2;       // backend count
+  std::string cli_path;        // serving binary; "" = /proc/self/exe
+  std::string store_dir;       // per-backend stores at <dir>/backend-<i>; "" = none
+  std::vector<std::string> serve_args;  // forwarded to every backend's serve
+
+  unsigned threads = 0;          // router session workers; 0 = 2 * fleet
+  std::size_t max_inflight = 0;  // admission bound; 0 = 4 * threads
+
+  int health_interval_ms = 250;  // stats-probe period
+  int unhealthy_after = 3;       // consecutive failures -> unhealthy
+  int connect_timeout_ms = 2000;
+  int attempt_timeout_ms = 10000;  // per-attempt read deadline
+  int deadline_ms = 30000;         // per-request budget across all retries
+
+  SupervisorOptions supervisor;  // backoff / breaker knobs (spawn fields filled in)
+};
+
+struct RouterStats {
+  std::uint64_t requests = 0;  // solve frames admitted
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;  // includes degraded
+  std::uint64_t retries = 0;
+  std::uint64_t failovers = 0;  // answered by a non-home backend
+  std::uint64_t degraded = 0;   // all candidates exhausted
+  std::uint64_t respawns = 0;
+  std::uint64_t breaker_trips = 0;
+  std::size_t backends = 0;
+  std::size_t healthy = 0;
+  std::size_t unhealthy = 0;  // running but failing probes
+  std::size_t down = 0;       // not running (respawning / broken / starting)
+};
+
+class Router {
+ public:
+  // Spawns and supervises the fleet; ok() is false (with *error set) when
+  // the backends failed to come up — destroy the router, nothing is leaked.
+  Router(const RouterOptions& options, std::string* error);
+  ~Router();
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  bool ok() const { return ok_; }
+
+  // One client session over the serve frame grammar; thread-safe, one
+  // transport per thread (run_accept_loop calls this).
+  void session(Transport& transport);
+
+  bool shutdown_requested() const { return shutdown_.load(); }
+
+  RouterStats stats() const;
+  std::string metrics_text() const;  // the fleet registry's exposition
+
+  // For benches/tests that kill a backend mid-run.
+  Supervisor& supervisor() { return *supervisor_; }
+
+ private:
+  struct SessionState;
+
+  void maintenance_loop();
+  void refresh_backend_gauges() const;
+  // Routes one solve to the fleet and returns the finished response LINE
+  // (newline included) — backend-served with seq/id spliced, or a locally
+  // built error/degraded response.
+  std::string route_one(const SolveRequest& req, std::int64_t seq);
+  bool try_backend(std::size_t backend, const std::string& frame_line,
+                   int budget_ms, std::string* response_line);
+  std::string stats_frame_json(const std::string& id, std::int64_t seq) const;
+  std::string metrics_frame_json(const std::string& id, std::int64_t seq) const;
+
+  RouterOptions options_;
+  bool ok_ = false;
+  std::unique_ptr<Supervisor> supervisor_;
+  std::unique_ptr<HealthTracker> health_;
+  std::unique_ptr<HashRing> ring_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::size_t max_inflight_ = 0;
+  const std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+
+  mutable std::mutex mu_;  // admission state
+  std::condition_variable cv_;
+  std::size_t inflight_ = 0;
+  std::atomic<std::int64_t> seq_{0};
+  std::atomic<bool> shutdown_{false};
+
+  std::thread maintenance_;
+  std::atomic<bool> stop_maintenance_{false};
+  std::vector<std::uint64_t> seen_generation_;  // health reset on respawn
+
+  // The fleet's own registry (bisched_fleet_* series), separate from any
+  // backend's engine registry — scrape the router for fleet state, a
+  // backend for solve state.
+  mutable telemetry::Registry registry_;
+  telemetry::Counter* requests_ok_ = nullptr;
+  telemetry::Counter* requests_error_ = nullptr;
+  telemetry::Counter* attempts_ = nullptr;
+  telemetry::Counter* retries_ = nullptr;
+  telemetry::Counter* failovers_ = nullptr;
+  telemetry::Counter* degraded_ = nullptr;
+  telemetry::Counter* respawns_ = nullptr;
+  telemetry::Counter* breaker_ = nullptr;
+  telemetry::Gauge* backends_healthy_ = nullptr;
+  telemetry::Gauge* backends_unhealthy_ = nullptr;
+  telemetry::Gauge* backends_down_ = nullptr;
+  std::vector<telemetry::Histogram*> backend_latency_;
+};
+
+// The CLI entry points, mirroring serve/serve_listener: one session over
+// borrowed streams, or an accept loop until `shutdown`/SIGTERM. Both return
+// the router's final stats; *error is set on startup/listener failure.
+RouterStats route_stdio(const RouterOptions& options, std::istream& in,
+                        std::ostream& out, std::string* error);
+RouterStats route_listener(const RouterOptions& options, Listener& listener,
+                           std::string* error);
+
+}  // namespace bisched::engine::fleet

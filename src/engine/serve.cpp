@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/fault.hpp"
 #include "io/jsonl.hpp"
 #include "sched/simd_dispatch.hpp"
 #include "util/parallel.hpp"
@@ -58,7 +59,107 @@ double hit_rate(std::uint64_t memory_hits, std::uint64_t disk_hits,
   return static_cast<double>(memory_hits + disk_hits) / static_cast<double>(total);
 }
 
+// Constant-time token comparison: the loop shape depends only on the
+// lengths, never on where the strings first differ, so response timing
+// cannot be used to guess a remote token byte by byte.
+bool token_equal(const std::string& a, const std::string& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  unsigned diff = static_cast<unsigned>(a.size() ^ b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned char ca = i < a.size() ? static_cast<unsigned char>(a[i]) : 0;
+    const unsigned char cb = i < b.size() ? static_cast<unsigned char>(b[i]) : 0;
+    diff |= static_cast<unsigned>(ca ^ cb);
+  }
+  return diff == 0;
+}
+
+// SIGTERM = graceful drain for any accept loop in this process: stop
+// accepting, interrupt idle sessions, finish in-flight work, flush. The
+// supervisor stops fleet backends this way.
+std::atomic<bool> g_drain{false};
+void drain_handler(int) { g_drain.store(true); }
+
 }  // namespace
+
+Frame parse_frame(const std::string& frame, std::istream& in) {
+  Frame out;
+  if (frame == "quit") {
+    out.kind = Frame::Kind::kQuit;
+    return out;
+  }
+  if (frame == "shutdown") {
+    out.kind = Frame::Kind::kShutdown;
+    return out;
+  }
+
+  if (frame[0] == '{') {
+    std::string error;
+    std::string salvaged_id;
+    if (auto decoded = decode_request_json(frame, &error, &salvaged_id)) {
+      out.req = std::move(*decoded);
+    } else {
+      out.bad = "bad request: " + error;
+      // Answer under the client's own id when the broken frame still
+      // yielded one — a client correlating strictly by its ids would
+      // otherwise never match the error to its request. (A salvaged id in
+      // the reserved form stays unused; the auto id applies.)
+      if (!is_reserved_id(salvaged_id)) out.req.id = std::move(salvaged_id);
+    }
+  } else {
+    const auto words = split_words(frame);
+    if (words[0] == "solve") {
+      if (words.size() == 2 || words.size() == 3) {
+        out.req.path = words[1];
+        if (words.size() == 3) out.req.id = words[2];
+      } else {
+        out.bad = "bad request: solve takes PATH [ID] (paths with spaces "
+                  "need the JSON form)";
+      }
+    } else if (words[0] == "instance") {
+      // The native text follows on the stream, so every `instance` header
+      // — even one with a malformed id list — must consume its body, or
+      // the body lines would be misread as frames. The parser consumes
+      // exactly one well-formed instance; on a parse error it stops
+      // mid-stream, so the damage is contained by discarding input up to
+      // the next blank line (instance bodies contain none).
+      if (words.size() == 2) out.req.id = words[1];
+      if (words.size() > 2) out.bad = "bad request: instance takes at most one id";
+      auto parsed = std::make_shared<ParsedInstance>(parse_instance(in));
+      if (!parsed->ok()) {
+        std::string skip;
+        while (std::getline(in, skip) && !trimmed(skip).empty()) {
+        }
+      }
+      if (out.bad.empty()) out.req.parsed = std::move(parsed);
+    } else if (words[0] == "stats") {
+      if (words.size() == 2) out.req.id = words[1];
+      if (words.size() > 2) out.bad = "bad request: stats takes at most one id";
+      out.kind = Frame::Kind::kStats;
+    } else if (words[0] == "metrics") {
+      if (words.size() == 2) out.req.id = words[1];
+      if (words.size() > 2) out.bad = "bad request: metrics takes at most one id";
+      out.kind = Frame::Kind::kMetrics;
+    } else if (words[0] == "auth") {
+      if (words.size() == 2) {
+        out.auth_token = words[1];
+      } else {
+        out.bad = "bad request: auth takes exactly one token";
+      }
+      out.kind = Frame::Kind::kAuth;
+    } else {
+      out.bad = "bad request: unrecognized frame '" + words[0] + "'";
+    }
+  }
+
+  // Client-supplied ids must stay out of the server's `#<seq>` namespace —
+  // a colliding correlation key is worse than an error response.
+  if (out.bad.empty() && is_reserved_id(out.req.id)) {
+    out.bad = "bad request: id '" + out.req.id +
+              "' uses the reserved #<digits> form (server-assigned ids)";
+    out.req.id.clear();
+  }
+  return out;
+}
 
 // One admitted frame. The session thread decodes only what must come off the
 // shared request stream: a native `instance` body is parsed in place (into
@@ -83,6 +184,11 @@ struct Server::SessionState {
 Server::Server(const SolverRegistry& registry, const ServeOptions& options,
                WarmState* warm)
     : registry_(registry), options_(options), warm_(warm) {
+  // A peer that disconnects mid-response must surface as a write error on
+  // that one session, never as SIGPIPE killing the process. Set here (not
+  // just in the listener loop) so stdio serve and in-process embedders get
+  // the same guarantee.
+  ::signal(SIGPIPE, SIG_IGN);
   if (warm_ == nullptr) {
     owned_warm_ = std::make_unique<WarmState>();
     warm_ = owned_warm_.get();
@@ -102,6 +208,8 @@ Server::Server(const SolverRegistry& registry, const ServeOptions& options,
                                "type=\"stats\"");
   frames_metrics_ = &reg.counter("bisched_serve_frames_total", frames_help,
                                  "type=\"metrics\"");
+  frames_auth_ = &reg.counter("bisched_serve_frames_total", frames_help,
+                              "type=\"auth\"");
   frames_malformed_ = &reg.counter("bisched_serve_frames_total", frames_help,
                                    "type=\"malformed\"");
   const char* responses_help = "Responses written by status";
@@ -109,6 +217,11 @@ Server::Server(const SolverRegistry& registry, const ServeOptions& options,
                                "status=\"ok\"");
   responses_error_ = &reg.counter("bisched_serve_responses_total", responses_help,
                                   "status=\"error\"");
+  const char* rejects_help = "Frames refused before execution (also counted as error responses)";
+  rejects_auth_ = &reg.counter("bisched_serve_rejects_total", rejects_help,
+                               "reason=\"auth\"");
+  rejects_quota_ = &reg.counter("bisched_serve_rejects_total", rejects_help,
+                                "reason=\"over-quota\"");
   sessions_total_ = &reg.counter("bisched_serve_sessions_total",
                                  "Client sessions ever started");
   sessions_active_ = &reg.gauge("bisched_serve_sessions_active",
@@ -131,6 +244,7 @@ std::string Server::stats_frame_json(const std::string& id, std::int64_t seq,
   const std::uint64_t solve_frames = frames_solve_->value();
   const std::uint64_t stats_frames = frames_stats_->value();
   const std::uint64_t metrics_frames = frames_metrics_->value();
+  const std::uint64_t auth_frames = frames_auth_->value();
   const std::uint64_t malformed = frames_malformed_->value();
   std::size_t inflight = 0;
   {
@@ -142,10 +256,12 @@ std::string Server::stats_frame_json(const std::string& id, std::int64_t seq,
   std::ostringstream out;
   out << "{\"v\": " << kApiVersion << ", \"id\": " << json_quote(id)
       << ", \"seq\": " << seq << ", \"type\": \"stats\""
-      << ", \"requests\": " << solve_frames + stats_frames + metrics_frames + malformed
+      << ", \"requests\": "
+      << solve_frames + stats_frames + metrics_frames + auth_frames + malformed
       << ", \"solve_frames\": " << solve_frames
       << ", \"stats_frames\": " << stats_frames
       << ", \"metrics_frames\": " << metrics_frames
+      << ", \"auth_frames\": " << auth_frames
       << ", \"malformed\": " << malformed << ", \"ok\": " << responses_ok_->value()
       << ", \"errors\": " << responses_error_->value()
       << ", \"sessions\": " << sessions_total_->value()
@@ -223,6 +339,7 @@ void Server::answer(Transport& transport, SessionState& state,
     response.error = pending.bad;
     response.id = pending.req.id;
   } else {
+    fault::maybe_stall();
     response = run_request(registry_, *warm_, pending.req, options_.alg,
                            options_.solve);
   }
@@ -272,81 +389,26 @@ void Server::session(Transport& transport) {
   sessions_total_->inc();
   sessions_active_->add(1);
   SessionState state;
+  bool authed = options_.auth_token.empty();
   std::istream& in = transport.in();
   std::string line;
   while (std::getline(in, line)) {
-    const std::string frame = trimmed(line);
-    if (frame.empty() || frame[0] == '#') continue;
-    if (frame == "quit") break;
-    if (frame == "shutdown") {
+    const std::string text = trimmed(line);
+    if (text.empty() || text[0] == '#') continue;
+    Frame frame = parse_frame(text, in);
+    if (frame.kind == Frame::Kind::kQuit) break;
+    if (frame.kind == Frame::Kind::kShutdown) {
       shutdown_.store(true);
       break;
     }
 
     PendingRequest pending;
     pending.seq = seq_.fetch_add(1);
-    const std::string auto_id = "#" + std::to_string(pending.seq);
-
-    if (frame[0] == '{') {
-      std::string error;
-      std::string salvaged_id;
-      if (auto decoded = decode_request_json(frame, &error, &salvaged_id)) {
-        pending.req = std::move(*decoded);
-      } else {
-        pending.bad = "bad request: " + error;
-        // Answer under the client's own id when the broken frame still
-        // yielded one — a client correlating strictly by its ids would
-        // otherwise never match the error to its request. (A salvaged id in
-        // the reserved form stays unused; the auto id applies.)
-        if (!is_reserved_id(salvaged_id)) pending.req.id = std::move(salvaged_id);
-      }
-    } else {
-      const auto words = split_words(frame);
-      if (words[0] == "solve") {
-        if (words.size() == 2 || words.size() == 3) {
-          pending.req.path = words[1];
-          if (words.size() == 3) pending.req.id = words[2];
-        } else {
-          pending.bad = "bad request: solve takes PATH [ID] (paths with spaces "
-                        "need the JSON form)";
-        }
-      } else if (words[0] == "instance") {
-        // The native text follows on the stream, so every `instance` header
-        // — even one with a malformed id list — must consume its body, or
-        // the body lines would be misread as frames. The parser consumes
-        // exactly one well-formed instance; on a parse error it stops
-        // mid-stream, so the damage is contained by discarding input up to
-        // the next blank line (instance bodies contain none).
-        if (words.size() == 2) pending.req.id = words[1];
-        if (words.size() > 2) pending.bad = "bad request: instance takes at most one id";
-        auto parsed = std::make_shared<ParsedInstance>(parse_instance(in));
-        if (!parsed->ok()) {
-          std::string skip;
-          while (std::getline(in, skip) && !trimmed(skip).empty()) {
-          }
-        }
-        if (pending.bad.empty()) pending.req.parsed = std::move(parsed);
-      } else if (words[0] == "stats") {
-        if (words.size() == 2) pending.req.id = words[1];
-        if (words.size() > 2) pending.bad = "bad request: stats takes at most one id";
-        pending.stats = pending.bad.empty();
-      } else if (words[0] == "metrics") {
-        if (words.size() == 2) pending.req.id = words[1];
-        if (words.size() > 2) pending.bad = "bad request: metrics takes at most one id";
-        pending.metrics = pending.bad.empty();
-      } else {
-        pending.bad = "bad request: unrecognized frame '" + words[0] + "'";
-      }
-    }
-
-    // Client-supplied ids must stay out of the server's `#<seq>` namespace —
-    // a colliding correlation key is worse than an error response.
-    if (pending.bad.empty() && is_reserved_id(pending.req.id)) {
-      pending.bad = "bad request: id '" + pending.req.id +
-                    "' uses the reserved #<digits> form (server-assigned ids)";
-      pending.req.id.clear();
-    }
-    if (pending.req.id.empty()) pending.req.id = auto_id;
+    pending.req = std::move(frame.req);
+    pending.bad = std::move(frame.bad);
+    pending.stats = pending.bad.empty() && frame.kind == Frame::Kind::kStats;
+    pending.metrics = pending.bad.empty() && frame.kind == Frame::Kind::kMetrics;
+    if (pending.req.id.empty()) pending.req.id = "#" + std::to_string(pending.seq);
 
     // Frame-type accounting at classification time, in admission order (the
     // frame counts itself: a stats frame admitted as seq N reports N+1
@@ -360,8 +422,42 @@ void Server::session(Transport& transport) {
       frames_stats_->inc();
     } else if (pending.metrics) {
       frames_metrics_->inc();
+    } else if (frame.kind == Frame::Kind::kAuth) {
+      frames_auth_->inc();
     } else {
       frames_solve_->inc();
+    }
+
+    // The auth gate. A valid token flips the session to authed silently (the
+    // next frame's response is the ack — no response traffic to time); a bad
+    // token or any pre-auth frame is answered with an error and the session
+    // closes, so an unauthenticated peer gets exactly one line out of us.
+    if (pending.bad.empty() && frame.kind == Frame::Kind::kAuth) {
+      if (authed || token_equal(frame.auth_token, options_.auth_token)) {
+        authed = true;  // re-auth / auth without a configured token: ignored
+        continue;
+      }
+      rejects_auth_->inc();
+      pending.bad = "auth failed: bad token";
+      answer(transport, state, pending);
+      break;
+    }
+    if (!authed) {
+      rejects_auth_->inc();
+      pending.bad = "auth required: present `auth TOKEN` as the first frame";
+      pending.stats = pending.metrics = false;
+      answer(transport, state, pending);
+      break;
+    }
+
+    // Fault injection (solve frames only; inert without BISCHED_FAULT):
+    // crash-after _exits inside the hook, drop-after ends the session with
+    // the response unsent — the client sees the connection die mid-request,
+    // which is exactly what the router's retry path must absorb.
+    if (pending.bad.empty() && !pending.stats && !pending.metrics &&
+        fault::on_solve_frame() == fault::Action::kDropConnection) {
+      transport.interrupt();
+      break;
     }
 
     // Introspection is answered inline: a stats/metrics probe must not queue
@@ -385,6 +481,26 @@ void Server::session(Transport& transport) {
       transport.out().flush();
       continue;
     }
+
+    // Per-session quota: answered inline as a structured error — the frame
+    // is refused a pool slot, the session stays open, and the client can
+    // resubmit once its own in-flight work drains. (The global bound below
+    // stays backpressure: it delays admission rather than refusing it.)
+    if (pending.bad.empty() && options_.session_max_inflight > 0) {
+      bool over = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        over = state.inflight >= options_.session_max_inflight;
+      }
+      if (over) {
+        rejects_quota_->inc();
+        pending.bad = "over-quota: session already has " +
+                      std::to_string(options_.session_max_inflight) +
+                      " requests in flight";
+        answer(transport, state, pending);
+        continue;
+      }
+    }
     submit(transport, state, std::move(pending));
   }
 
@@ -402,9 +518,10 @@ ServeStats Server::stats() const {
   stats.solve_frames = frames_solve_->value();
   stats.stats_frames = frames_stats_->value();
   stats.metrics_frames = frames_metrics_->value();
+  stats.auth_frames = frames_auth_->value();
   stats.malformed = frames_malformed_->value();
-  stats.requests =
-      stats.solve_frames + stats.stats_frames + stats.metrics_frames + stats.malformed;
+  stats.requests = stats.solve_frames + stats.stats_frames + stats.metrics_frames +
+                   stats.auth_frames + stats.malformed;
   stats.ok = responses_ok_->value();
   stats.errors = responses_error_->value();
   stats.sessions = sessions_total_->value();
@@ -422,16 +539,16 @@ ServeStats serve(const SolverRegistry& registry, std::istream& in, std::ostream&
   return server.stats();
 }
 
-ServeStats serve_listener(const SolverRegistry& registry, Listener& listener,
-                          const ServeOptions& options, std::string* error,
-                          WarmState* warm) {
-  // A client that disconnects mid-response must cost one session, not the
-  // process: without this, the first write into its dead socket raises
-  // SIGPIPE and kills the server. Ignored process-wide; the failed flush
-  // surfaces as a stream error and the session ends on the EOF that follows.
-  ::signal(SIGPIPE, SIG_IGN);
+void run_accept_loop(Listener& listener, const std::function<void(Transport&)>& session,
+                     const std::function<bool()>& stop,
+                     const std::function<void()>& tick) {
+  // SIGTERM means graceful drain: the loop below observes the flag at its
+  // next poll tick, stops accepting, and falls through to the same
+  // interrupt-and-drain teardown a `shutdown` frame takes. (poll() is never
+  // restarted after a signal handler, so a pending accept wakes promptly.)
+  ::signal(SIGTERM, drain_handler);
+  g_drain.store(false);
 
-  Server server(registry, options, warm);
   // Session threads are detached and tracked by a live count, not collected
   // in a vector: a long-lived server handling many short connections must
   // not accumulate one joinable zombie thread per client ever served. The
@@ -443,17 +560,9 @@ ServeStats serve_listener(const SolverRegistry& registry, Listener& listener,
   std::condition_variable live_cv;
   std::size_t live_sessions = 0;
   std::vector<Transport*> live_transports;
-  auto last_flush = std::chrono::steady_clock::now();
-  while (!server.shutdown_requested() && listener.ok()) {
+  while (!stop() && !g_drain.load() && listener.ok()) {
     auto client = listener.accept(/*poll_ms=*/200);
-    // Periodic warmth durability: push buffered journal appends to the OS
-    // between accepts, so a crash loses at most kStoreFlushInterval of
-    // traffic. No-op for memory-only warm state.
-    const auto now = std::chrono::steady_clock::now();
-    if (now - last_flush >= kStoreFlushInterval) {
-      server.warm().flush();
-      last_flush = now;
-    }
+    if (tick) tick();
     if (client == nullptr) continue;
     {
       std::lock_guard<std::mutex> lock(live_mu);
@@ -463,9 +572,9 @@ ServeStats serve_listener(const SolverRegistry& registry, Listener& listener,
     // The thread owns its transport: destroying it when the session drains
     // closes the fd, which is the client's cue that its conversation is
     // complete.
-    std::thread([&server, &live_mu, &live_cv, &live_sessions, &live_transports,
+    std::thread([&session, &live_mu, &live_cv, &live_sessions, &live_transports,
                  client = std::move(client)]() mutable {
-      server.session(*client);
+      session(*client);
       {
         // Deregister before destroying: past this block the shutdown path
         // can no longer reach the transport.
@@ -473,9 +582,9 @@ ServeStats serve_listener(const SolverRegistry& registry, Listener& listener,
         std::erase(live_transports, client.get());
       }
       client.reset();
-      // Release the count only once teardown is complete (serve_listener —
-      // and the process — may proceed the moment it hits zero), and notify
-      // under the lock: serve_listener's locals (this cv included) may be
+      // Release the count only once teardown is complete (the caller — and
+      // the process — may proceed the moment it hits zero), and notify
+      // under the lock: the caller's locals (this cv included) may be
       // destroyed as soon as the waiter sees zero.
       std::lock_guard<std::mutex> lock(live_mu);
       --live_sessions;
@@ -489,6 +598,33 @@ ServeStats serve_listener(const SolverRegistry& registry, Listener& listener,
     for (Transport* transport : live_transports) transport->interrupt();
     live_cv.wait(lock, [&] { return live_sessions == 0; });
   }
+}
+
+ServeStats serve_listener(const SolverRegistry& registry, Listener& listener,
+                          const ServeOptions& options, std::string* error,
+                          WarmState* warm) {
+  // A client that disconnects mid-response must cost one session, not the
+  // process: without this, the first write into its dead socket raises
+  // SIGPIPE and kills the server. Ignored process-wide; the failed flush
+  // surfaces as a stream error and the session ends on the EOF that follows.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  Server server(registry, options, warm);
+  auto last_flush = std::chrono::steady_clock::now();
+  run_accept_loop(
+      listener, [&server](Transport& transport) { server.session(transport); },
+      [&server] { return server.shutdown_requested(); },
+      [&server, &last_flush] {
+        // Periodic warmth durability: push buffered journal appends to the
+        // OS between accepts (and heartbeat the store's write lease), so a
+        // crash loses at most kStoreFlushInterval of traffic. No-op for
+        // memory-only warm state.
+        const auto now = std::chrono::steady_clock::now();
+        if (now - last_flush >= kStoreFlushInterval) {
+          server.warm().flush();
+          last_flush = now;
+        }
+      });
   if (!listener.ok() && !server.shutdown_requested() && error != nullptr) {
     *error = "listener on '" + listener.endpoint() + "' failed";
   }

@@ -21,8 +21,8 @@
 //                        most the last interval.
 //   serve_unix(...)      serve_listener over a unix-domain socket.
 //   serve_tcp(...)       serve_listener over an AF_INET/AF_INET6 socket
-//                        (loopback-only unless allow_remote — there is no
-//                        auth yet).
+//                        (loopback-only unless allow_remote; remote binds
+//                        require an auth token — see ServeOptions).
 //
 // Request framing (one frame per line unless noted; blank lines and `#`
 // comments are skipped):
@@ -34,6 +34,15 @@
 //   instance [ID]                            native instance text follows
 //                                            directly on the stream (the
 //                                            parser consumes one instance)
+//   auth TOKEN                               presents the session's auth
+//                                            token. Required as the first
+//                                            frame when the server was
+//                                            started with one; silent on
+//                                            success (the next frame's
+//                                            response is the ack), error +
+//                                            session close on mismatch.
+//                                            Ignored when no token is
+//                                            configured.
 //   stats [ID]                               one `"type": "stats"` frame:
 //                                            per-type frame counters, uptime
 //                                            and in-flight gauges, per-tier
@@ -72,6 +81,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -99,7 +109,34 @@ struct ServeOptions {
   // `slow_log` (null = stderr). Negative = off; 0 logs every solve.
   double slow_ms = -1;
   std::ostream* slow_log = nullptr;
+  // Nonempty: every session must present `auth TOKEN` (constant-time
+  // compared) before any other frame. The CLI requires one for
+  // --allow-remote TCP binds.
+  std::string auth_token;
+  // Per-session in-flight quota: a session holding this many unanswered
+  // solves gets a structured `over-quota` error response for the excess
+  // frame instead of a slot — one greedy client cannot starve the shared
+  // admission bound. 0 = no per-session quota (the global bound still
+  // applies, exerted as backpressure).
+  std::size_t session_max_inflight = 0;
 };
+
+// One classified request frame — the grammar in the header comment above,
+// shared by the serve session loop and the fleet router so the two
+// front-ends cannot drift. The caller strips blank/comment lines first; a
+// native `instance` frame parses its body from `in` (on a body parse error
+// input is discarded up to the next blank line). A frame with a malformed
+// shape or a reserved `#<digits>` id comes back with `bad` set; the caller
+// answers it as an error response.
+struct Frame {
+  enum class Kind { kSolve, kStats, kMetrics, kAuth, kQuit, kShutdown };
+  Kind kind = Kind::kSolve;
+  SolveRequest req;        // kSolve source/overrides; kStats/kMetrics id
+  std::string auth_token;  // kAuth: the presented token, verbatim
+  std::string bad;         // nonempty: malformed — answer with this error
+};
+
+Frame parse_frame(const std::string& frame, std::istream& in);
 
 struct ServeStats {
   // Admitted frames by type; `requests` is their sum (every frame admitted).
@@ -110,6 +147,7 @@ struct ServeStats {
   std::uint64_t solve_frames = 0;
   std::uint64_t stats_frames = 0;
   std::uint64_t metrics_frames = 0;
+  std::uint64_t auth_frames = 0;
   std::uint64_t malformed = 0;  // frames rejected before reaching a solve
   std::uint64_t ok = 0;
   std::uint64_t errors = 0;  // bad frames + failed solves
@@ -185,9 +223,12 @@ class Server {
   telemetry::Counter* frames_solve_ = nullptr;
   telemetry::Counter* frames_stats_ = nullptr;
   telemetry::Counter* frames_metrics_ = nullptr;
+  telemetry::Counter* frames_auth_ = nullptr;
   telemetry::Counter* frames_malformed_ = nullptr;
   telemetry::Counter* responses_ok_ = nullptr;
   telemetry::Counter* responses_error_ = nullptr;
+  telemetry::Counter* rejects_auth_ = nullptr;
+  telemetry::Counter* rejects_quota_ = nullptr;
   telemetry::Counter* sessions_total_ = nullptr;
   telemetry::Gauge* sessions_active_ = nullptr;
   telemetry::Gauge* inflight_gauge_ = nullptr;
@@ -211,6 +252,16 @@ ServeStats serve(const SolverRegistry& registry, std::istream& in, std::ostream&
 ServeStats serve_listener(const SolverRegistry& registry, Listener& listener,
                           const ServeOptions& options, std::string* error,
                           WarmState* warm = nullptr);
+
+// The accept loop under serve_listener, factored out so the fleet router
+// front-end can share it: accepts clients off `listener`, runs `session` on
+// a detached thread per connection (the thread owns its transport), calls
+// `tick()` between accepts (~every 200ms poll), and stops when `stop()`
+// turns true, the listener fails, or the process receives SIGTERM (graceful
+// drain: stop accepting, interrupt idle sessions, wait for in-flight work).
+void run_accept_loop(Listener& listener, const std::function<void(Transport&)>& session,
+                     const std::function<bool()>& stop,
+                     const std::function<void()>& tick);
 
 // serve_listener over a unix-domain socket at `socket_path`. On listener
 // setup failure returns zero stats with *error set.

@@ -1,13 +1,22 @@
 #include "engine/store/cache_store.hpp"
 
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <iostream>
 #include <sstream>
 #include <utility>
 
+#include "engine/fault.hpp"
 #include "engine/store/codec.hpp"
 
 namespace bisched::engine::store {
@@ -80,8 +89,8 @@ const char* tier_label(CacheTier tier) {
 
 // -------------------------------------------------------------- DiskTier ---
 
-DiskTier::DiskTier(std::string dir, NamespaceConfig config)
-    : dir_(std::move(dir)), config_(std::move(config)) {}
+DiskTier::DiskTier(std::string dir, NamespaceConfig config, bool writable)
+    : dir_(std::move(dir)), config_(std::move(config)), writable_(writable) {}
 
 std::string DiskTier::snapshot_path() const { return dir_ + "/" + config_.name + ".snap"; }
 
@@ -170,9 +179,13 @@ void DiskTier::load() {
     msg << config_.name << ": journal rejected (magic/schema/flags mismatch); ";
   }
   if (report.torn_bytes != 0) {
-    msg << config_.name << ": truncated " << report.torn_bytes << " torn journal bytes; ";
+    msg << config_.name << (writable_ ? ": truncated " : ": ignored ")
+        << report.torn_bytes << " torn journal bytes; ";
   }
-  if (!open_journal_at(report.journal_rejected ? 0 : journal_size)) {
+  // A read-only tier (lost write lease) must not touch the files at all —
+  // no journal truncation, no fresh header. The tear (if any) is repaired
+  // by the lease holder; entries past it are simply not loaded here.
+  if (writable_ && !open_journal_at(report.journal_rejected ? 0 : journal_size)) {
     msg << config_.name << ": cannot open journal for append (store is read-only); ";
   }
   report.message = msg.str();
@@ -188,7 +201,23 @@ const std::string* DiskTier::get(const std::string& key) const {
 void DiskTier::put(const std::string& key, std::string value) {
   if (journal_.is_open()) {
     const std::string record = record_bytes(key, value);
-    journal_.write(record.data(), static_cast<std::streamsize>(record.size()));
+    // Fault injection (inert without BISCHED_FAULT=torn-journal:K): the
+    // K+1th append writes HALF a record, flushes it, and dies — a real
+    // process death mid-append, so the crash-recovery tests exercise the
+    // torn-tail truncation against an actual kill, not a simulated file.
+    switch (fault::on_journal_append()) {
+      case fault::JournalAction::kTear:
+        journal_.write(record.data(), static_cast<std::streamsize>(record.size() / 2));
+        journal_.flush();
+        fault::torn_exit();
+      case fault::JournalAction::kAppendDurable:
+        journal_.write(record.data(), static_cast<std::streamsize>(record.size()));
+        journal_.flush();
+        break;
+      case fault::JournalAction::kNone:
+        journal_.write(record.data(), static_cast<std::streamsize>(record.size()));
+        break;
+    }
     ++journal_appends_;
     check_journal("append");
   }
@@ -217,6 +246,9 @@ void DiskTier::check_journal(const char* what) {
 }
 
 bool DiskTier::compact(std::string* error) {
+  // A read-only handle checkpoints as a successful no-op: the data is the
+  // lease holder's to persist.
+  if (!writable_) return true;
   const std::string tmp = snapshot_path() + ".tmp";
   {
     std::ofstream snap(tmp, std::ios::binary | std::ios::trunc);
@@ -260,11 +292,84 @@ std::unique_ptr<CacheStore> CacheStore::open(const std::string& dir, std::string
     if (error != nullptr) *error = "cannot create store directory '" + dir + "'";
     return nullptr;
   }
-  return std::unique_ptr<CacheStore>(new CacheStore(dir));
+  auto store = std::unique_ptr<CacheStore>(new CacheStore(dir));
+  store->acquire_lease();
+  return store;
+}
+
+CacheStore::~CacheStore() {
+  if (owns_lease_) ::unlink(lease_path().c_str());
+}
+
+std::string CacheStore::lease_path() const { return dir_ + "/LOCK"; }
+
+// Takes the single-writer lease, or degrades this handle to read-only.
+// O_EXCL is the atomic claim; the file body is the owner pid. A held lease
+// is broken only when the owner is provably gone: its pid no longer exists
+// (ESRCH — the common case after any crash on the same boot), or the
+// heartbeat mtime is over an hour stale (a pid-recycled survivor). A live
+// owner that simply predates us wins: we degrade rather than corrupt.
+void CacheStore::acquire_lease() {
+  const std::string path = lease_path();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      const std::string body = std::to_string(::getpid()) + "\n";
+      const ssize_t n = ::write(fd, body.data(), body.size());
+      (void)n;
+      ::close(fd);
+      owns_lease_ = true;
+      return;
+    }
+    if (errno != EEXIST) {
+      // Unexpected (permissions?): don't risk a second writer.
+      read_only_ = true;
+      lease_warning_ = "store '" + dir_ + "': cannot take write lease '" + path +
+                       "' (" + std::strerror(errno) + "); running read-only";
+      return;
+    }
+
+    // Lease held. Who by, and are they still alive?
+    std::ifstream lock_file(path);
+    long pid = 0;
+    const bool parsed = static_cast<bool>(lock_file >> pid) && pid > 0;
+    bool stale = !parsed;  // unreadable/garbage lock: a torn writer, take over
+    if (parsed && static_cast<pid_t>(pid) != ::getpid()) {
+      if (::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH) {
+        stale = true;
+      } else {
+        struct stat st{};
+        if (::stat(path.c_str(), &st) == 0) {
+          const auto age = std::time(nullptr) - st.st_mtime;
+          if (age > 3600) stale = true;  // heartbeat dead for an hour
+        }
+      }
+    }
+    if (!stale) {
+      read_only_ = true;
+      lease_warning_ = "store '" + dir_ + "': write lease held by pid " +
+                       std::to_string(pid) +
+                       "; this process runs READ-ONLY (cached entries are "
+                       "served, nothing new is persisted)";
+      return;
+    }
+    ::unlink(path.c_str());  // stale: break it and retry the O_EXCL claim
+  }
+  // Lost the post-unlink race to another claimant.
+  read_only_ = true;
+  lease_warning_ = "store '" + dir_ +
+                   "': lost the write-lease race; this process runs READ-ONLY";
+}
+
+void CacheStore::heartbeat() {
+  if (owns_lease_) {
+    ::utimensat(AT_FDCWD, lease_path().c_str(), nullptr, 0);
+  }
 }
 
 DiskTier* CacheStore::open_namespace(const NamespaceConfig& config) {
-  tiers_.push_back(std::unique_ptr<DiskTier>(new DiskTier(dir_, config)));
+  tiers_.push_back(
+      std::unique_ptr<DiskTier>(new DiskTier(dir_, config, !read_only_)));
   tiers_.back()->load();
   return tiers_.back().get();
 }

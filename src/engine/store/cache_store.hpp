@@ -25,6 +25,16 @@
 // already serializes every call under its mutex, exactly like LruMap.
 // Entries live in memory as encoded blobs (the decode cost is paid only on
 // a disk-tier hit, once, after which the value sits in the memory tier).
+//
+// Write lease: interleaved journal appends from two processes would corrupt
+// each other, so a store directory has ONE writer. open() takes a `LOCK`
+// file (O_EXCL, containing the owner pid; mtime refreshed by heartbeat(),
+// which WarmState::flush forwards). A second opener finds the lock held and
+// degrades to READ-ONLY — tiers load and serve disk hits, but journals are
+// never opened, snapshots never rewritten, and lease_warning() carries the
+// stderr-worthy explanation. A lease whose owner pid is dead (or whose
+// heartbeat is an hour stale — a survivor from SIGKILL on another boot) is
+// taken over. The owner releases the lease in the destructor.
 #pragma once
 
 #include <cstdint>
@@ -90,7 +100,7 @@ class DiskTier {
  private:
   friend class CacheStore;
 
-  DiskTier(std::string dir, NamespaceConfig config);
+  DiskTier(std::string dir, NamespaceConfig config, bool writable);
   void load();
 
   std::string snapshot_path() const;
@@ -106,6 +116,7 @@ class DiskTier {
 
   std::string dir_;
   NamespaceConfig config_;
+  bool writable_ = true;  // false under a lost lease: serve, never touch disk
   mutable std::unordered_map<std::string, std::string> map_;
   std::ofstream journal_;
   std::uint64_t journal_appends_ = 0;
@@ -119,21 +130,39 @@ class DiskTier {
 class CacheStore {
  public:
   static std::unique_ptr<CacheStore> open(const std::string& dir, std::string* error);
+  ~CacheStore();  // releases the write lease if this process holds it
 
   CacheStore(const CacheStore&) = delete;
   CacheStore& operator=(const CacheStore&) = delete;
 
   // Opens (and loads) a namespace; the returned tier is owned by the store
   // and lives until the store is destroyed. The load report describes any
-  // rejected/torn files.
+  // rejected/torn files. Tiers of a read-only store serve their loaded
+  // entries but never write.
   DiskTier* open_namespace(const NamespaceConfig& config);
 
   const std::string& dir() const { return dir_; }
 
+  // True when another live process held the write lease at open(): this
+  // handle serves reads but persists nothing. lease_warning() explains.
+  bool read_only() const { return read_only_; }
+  const std::string& lease_warning() const { return lease_warning_; }
+
+  // Refreshes the lease file's mtime — the liveness signal a *future*
+  // opener checks before declaring the lease stale. Called from
+  // WarmState::flush, i.e. at least once per serve flush interval. No-op
+  // without the lease.
+  void heartbeat();
+
  private:
   explicit CacheStore(std::string dir) : dir_(std::move(dir)) {}
+  void acquire_lease();
+  std::string lease_path() const;
 
   std::string dir_;
+  bool read_only_ = false;
+  bool owns_lease_ = false;
+  std::string lease_warning_;
   std::vector<std::unique_ptr<DiskTier>> tiers_;
 };
 

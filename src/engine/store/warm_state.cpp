@@ -35,6 +35,9 @@ WarmState::WarmState(const WarmOptions& options, std::string* message) {
     if (store_ == nullptr) {
       append_message(message, error + " (running memory-only)");
     } else {
+      // Surface a lost write lease FIRST: "read-only" reframes every later
+      // load-report line (nothing here will be repaired or persisted).
+      append_message(message, store_->lease_warning());
       profile_tier = store_->open_namespace(profile_namespace());
       result_tier = store_->open_namespace(result_namespace());
       append_message(message, profile_tier->load_report().message);
@@ -77,6 +80,8 @@ const std::string& WarmState::store_dir() const {
 void WarmState::flush() {
   profiles_->flush_disk();
   results_->flush_disk();
+  // The flush cadence doubles as the write-lease liveness signal.
+  if (store_ != nullptr) store_->heartbeat();
 }
 
 bool WarmState::checkpoint(std::string* error) {

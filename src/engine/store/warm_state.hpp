@@ -67,6 +67,9 @@ class WarmState {
   bool persistent() const { return store_ != nullptr; }
   // Empty when memory-only.
   const std::string& store_dir() const;
+  // True when the store is open but another process holds its write lease:
+  // disk-tier entries are served, nothing new is persisted.
+  bool store_read_only() const { return store_ != nullptr && store_->read_only(); }
 
   // Journal flush on both namespaces (cheap; safe from any thread).
   void flush();

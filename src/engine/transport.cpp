@@ -1,5 +1,6 @@
 #include "engine/transport.hpp"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <poll.h>
@@ -302,7 +303,51 @@ std::unique_ptr<FdTransport> TcpListener::accept(int poll_ms) {
   return std::make_unique<FdTransport>(client, "tcp:" + std::to_string(++accepted_));
 }
 
-int tcp_connect(const std::string& host, int port, std::string* error) {
+namespace {
+
+// One bounded connect attempt: nonblocking connect, poll for writability,
+// then read the outcome back with SO_ERROR. Restores blocking mode on
+// success so the FdStreambuf read/write loops behave as usual.
+int connect_with_timeout(int fd, const sockaddr* addr, socklen_t addrlen,
+                         int timeout_ms, std::string* why) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    *why = std::string("fcntl: ") + std::strerror(errno);
+    return -1;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, addr, addrlen);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != EINPROGRESS) {
+    *why = std::strerror(errno);
+    return -1;
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) {
+      *why = ready == 0 ? "timed out" : std::strerror(errno);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      *why = std::strerror(err != 0 ? err : errno);
+      return -1;
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    *why = std::string("fcntl: ") + std::strerror(errno);
+    return -1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int tcp_connect(const std::string& host, int port, std::string* error,
+                int connect_timeout_ms) {
   addrinfo* addresses = resolve_tcp(host, port, /*passive=*/false, error);
   if (addresses == nullptr) return -1;
   std::string last_error = "no usable address for '" + host + "'";
@@ -314,12 +359,18 @@ int tcp_connect(const std::string& host, int port, std::string* error) {
       continue;
     }
     int rc;
-    do {
-      rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
-    } while (rc != 0 && errno == EINTR);
+    std::string why;
+    if (connect_timeout_ms > 0) {
+      rc = connect_with_timeout(fd, ai->ai_addr, ai->ai_addrlen, connect_timeout_ms,
+                                &why);
+    } else {
+      do {
+        rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+      } while (rc != 0 && errno == EINTR);
+      if (rc != 0) why = std::strerror(errno);
+    }
     if (rc != 0) {
-      last_error = "connect '" + host + ":" + std::to_string(port) +
-                   "': " + std::strerror(errno);
+      last_error = "connect '" + host + ":" + std::to_string(port) + "': " + why;
       ::close(fd);
       fd = -1;
     }
@@ -349,6 +400,23 @@ int unix_connect(const std::string& path, std::string* error) {
     return -1;
   }
   return fd;
+}
+
+void set_io_timeout(int fd, int recv_ms, int send_ms) {
+  const auto to_timeval = [](int ms) {
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+    return tv;
+  };
+  if (recv_ms > 0) {
+    const timeval tv = to_timeval(recv_ms);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  if (send_ms > 0) {
+    const timeval tv = to_timeval(send_ms);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
 }
 
 }  // namespace bisched::engine

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <filesystem>
@@ -20,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/fault.hpp"
 #include "io/format.hpp"
 #include "io/jsonl.hpp"
 #include "testing_util.hpp"
@@ -460,6 +462,206 @@ TEST(ServeTcp, LoopbackListenerServesAndPublicBindsNeedAllowRemote) {
   // ...and allowed only with the explicit opt-in.
   auto exposed = engine::TcpListener::open("0.0.0.0", 0, /*allow_remote=*/true, &error);
   EXPECT_NE(exposed, nullptr) << error;
+}
+
+// ---------------------------------------------------------------------------
+// The auth gate: with a configured token, `auth TOKEN` must be the first
+// frame. A bad token or a pre-auth frame gets exactly one error line and the
+// session closes; a good token is acked silently by serving the next frame.
+
+TEST(ServeAuth, GateClosesUnauthedSessionsAndAdmitsTheRightToken) {
+  Rng rng(52);
+  const auto inst = testing::random_uniform_instance(4, 4, 2, 3, 3, rng);
+  const std::string text = instance_text(inst);
+
+  ServeOptions options;
+  options.threads = 1;
+  options.stable_output = true;
+  options.auth_token = "sesame";
+
+  const auto one_session = [&](const std::string& input) {
+    std::istringstream in(input);
+    std::ostringstream out;
+    const auto stats = engine::serve(SolverRegistry::builtin(), in, out, options);
+    return std::make_pair(stats, out.str());
+  };
+
+  // A pre-auth solve: one error line, then the session is CLOSED — the
+  // well-formed solve queued behind it is never read.
+  {
+    const auto [stats, out] = one_session("instance sneak\n" + text +
+                                          "instance sneak2\n" + text + "quit\n");
+    const auto lines = lines_of(out);
+    ASSERT_EQ(lines.size(), 1u) << out;
+    EXPECT_NE(lines[0].find("auth required"), std::string::npos) << out;
+    EXPECT_NE(lines[0].find("\"status\": \"error\""), std::string::npos) << out;
+    EXPECT_EQ(stats.ok, 0u);
+    EXPECT_EQ(stats.errors, 1u);
+  }
+
+  // A bad token (tokens are case-exact): same one-line contract.
+  {
+    const auto [stats, out] =
+        one_session("auth SESAME\ninstance x\n" + text + "quit\n");
+    const auto lines = lines_of(out);
+    ASSERT_EQ(lines.size(), 1u) << out;
+    EXPECT_NE(lines[0].find("auth failed: bad token"), std::string::npos) << out;
+    EXPECT_EQ(stats.ok, 0u);
+    EXPECT_EQ(stats.errors, 1u);
+  }
+
+  // The right token: the auth frame itself produces NO response line; the
+  // ack is the next frame being served normally.
+  {
+    const auto [stats, out] =
+        one_session("auth sesame\ninstance good\n" + text + "quit\n");
+    const auto lines = lines_of(out);
+    ASSERT_EQ(lines.size(), 1u) << out;
+    EXPECT_NE(lines[0].find("\"id\": \"good\""), std::string::npos) << out;
+    EXPECT_NE(lines[0].find("\"status\": \"ok\""), std::string::npos) << out;
+    EXPECT_EQ(stats.ok, 1u);
+    EXPECT_EQ(stats.errors, 0u);
+    EXPECT_EQ(stats.auth_frames, 1u);
+  }
+
+  // No configured token: an auth frame is counted and ignored, not an error.
+  {
+    ServeOptions open = options;
+    open.auth_token.clear();
+    std::istringstream in("auth whatever\ninstance open\n" + text + "quit\n");
+    std::ostringstream out;
+    const auto stats = engine::serve(SolverRegistry::builtin(), in, out, open);
+    EXPECT_EQ(stats.ok, 1u);
+    EXPECT_EQ(stats.errors, 0u);
+    EXPECT_EQ(stats.auth_frames, 1u);
+    EXPECT_NE(out.str().find("\"status\": \"ok\""), std::string::npos) << out.str();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-session quota: with session_max_inflight=1 and the worker stalled by
+// fault injection, the second frame arrives while the first is still in
+// flight and is refused inline with a structured over-quota error — the
+// session stays open and the first solve still completes.
+
+TEST(ServeQuota, ExcessInflightFrameIsRefusedInlineWithOverQuota) {
+  Rng rng(53);
+  const auto inst = testing::random_uniform_instance(4, 4, 2, 3, 3, rng);
+  const std::string text = instance_text(inst);
+
+  ASSERT_EQ(::setenv("BISCHED_FAULT", "stall-ms:200", 1), 0);
+  engine::fault::refresh_from_env();
+
+  ServeOptions options;
+  options.threads = 1;
+  options.stable_output = true;
+  options.session_max_inflight = 1;
+
+  std::istringstream in("instance slow\n" + text + "instance greedy\n" + text +
+                        "quit\n");
+  std::ostringstream out;
+  const auto stats = engine::serve(SolverRegistry::builtin(), in, out, options);
+
+  ::unsetenv("BISCHED_FAULT");
+  engine::fault::refresh_from_env();
+
+  EXPECT_EQ(stats.ok, 1u);
+  EXPECT_EQ(stats.errors, 1u);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u) << out.str();
+  std::string ok_line;
+  std::string quota_line;
+  for (const auto& line : lines) {
+    if (line.find("over-quota") != std::string::npos) quota_line = line;
+    if (line.find("\"status\": \"ok\"") != std::string::npos) ok_line = line;
+  }
+  ASSERT_FALSE(quota_line.empty()) << out.str();
+  ASSERT_FALSE(ok_line.empty()) << out.str();
+  EXPECT_NE(quota_line.find("\"id\": \"greedy\""), std::string::npos) << quota_line;
+  EXPECT_NE(ok_line.find("\"id\": \"slow\""), std::string::npos) << ok_line;
+}
+
+// ---------------------------------------------------------------------------
+// A client that vanishes mid-solve costs the server nothing but a failed
+// write: SIGPIPE is ignored, so the next client is served by the same
+// process instead of the whole server dying on the broken pipe.
+
+TEST(ServeUnix, ClientDisconnectMidSolveLeavesTheServerStanding) {
+  Rng rng(54);
+  const auto inst = testing::random_uniform_instance(5, 5, 2, 4, 3, rng);
+  const std::string text = instance_text(inst);
+
+  // Stall the solve so the response write happens strictly AFTER the ghost
+  // client has hung up.
+  ASSERT_EQ(::setenv("BISCHED_FAULT", "stall-ms:150", 1), 0);
+  engine::fault::refresh_from_env();
+
+  const auto dir = fs::temp_directory_path() / "bisched_serve_hangup";
+  fs::create_directories(dir);
+  const std::string socket_path = (dir / "serve.sock").string();
+
+  engine::ServeStats stats;
+  std::string serve_error;
+  ServeOptions options;
+  options.threads = 1;
+  options.stable_output = true;
+  std::thread server([&] {
+    stats = engine::serve_unix(SolverRegistry::builtin(), socket_path, options,
+                               &serve_error);
+  });
+
+  const auto connect_client = [&] {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      std::string error;
+      const int fd = engine::unix_connect(socket_path, &error);
+      if (fd >= 0) return fd;
+      ::usleep(10'000);
+    }
+    return -1;
+  };
+
+  // The ghost sends a full solve frame and hangs up without reading a byte.
+  const int ghost = connect_client();
+  ASSERT_GE(ghost, 0) << serve_error;
+  const std::string frame = "instance ghost\n" + text;
+  ASSERT_EQ(::write(ghost, frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+  ::close(ghost);
+
+  // Let the stalled solve finish and write into the dead socket.
+  ::usleep(400'000);
+
+  // The survivor is served by the SAME process.
+  const int fd = connect_client();
+  ASSERT_GE(fd, 0);
+  const std::string frame2 = "instance survivor\n" + text;
+  ASSERT_EQ(::write(fd, frame2.data(), frame2.size()),
+            static_cast<ssize_t>(frame2.size()));
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char c = 0;
+  while (::read(fd, &c, 1) == 1) response += c;
+  ::close(fd);
+
+  ::unsetenv("BISCHED_FAULT");
+  engine::fault::refresh_from_env();
+
+  EXPECT_NE(response.find("\"id\": \"survivor\""), std::string::npos) << response;
+  EXPECT_NE(response.find("\"status\": \"ok\""), std::string::npos) << response;
+
+  const int bye = connect_client();
+  ASSERT_GE(bye, 0);
+  const char* msg = "shutdown\n";
+  ASSERT_EQ(::write(bye, msg, strlen(msg)), static_cast<ssize_t>(strlen(msg)));
+  ::close(bye);
+  server.join();
+  fs::remove_all(dir);
+
+  EXPECT_TRUE(serve_error.empty()) << serve_error;
+  // Both solves executed and counted ok — the ghost's response was counted
+  // before its write failed into the closed socket.
+  EXPECT_EQ(stats.ok, 2u);
+  EXPECT_EQ(stats.errors, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -406,6 +407,77 @@ TEST(WarmStateStore, SecondHandleOverTheSameDirectoryServesDiskTierHits) {
   EXPECT_EQ(other.result_tier, CacheTier::kMiss);
 }
 
+// ------------------------------------------------------------ Write lease ---
+// One writer per store directory. A second opener against a LIVE lease
+// degrades to read-only (serves loaded entries, persists nothing, never
+// releases someone else's lock); a lease whose owner is provably gone —
+// garbage pid from a torn writer, or a pid the kernel no longer knows — is
+// broken and taken over.
+
+TEST(StoreLease, SecondLiveOpenerDegradesToReadOnlyAndStaleLeasesAreBroken) {
+  TempDir dir("bisched_store_lease");
+  const std::string lock = (dir.path / "LOCK").string();
+  std::string error;
+
+  auto owner = store::CacheStore::open(dir.path.string(), &error);
+  ASSERT_NE(owner, nullptr) << error;
+  EXPECT_FALSE(owner->read_only());
+  EXPECT_TRUE(owner->lease_warning().empty()) << owner->lease_warning();
+  auto* tier = owner->open_namespace(test_namespace());
+  tier->put("k1", "v1");
+  tier->flush();
+
+  {
+    // Held by a live pid (ours — exactly the case the pid-liveness check
+    // must NOT misread as stale): degrade, don't corrupt.
+    auto reader = store::CacheStore::open(dir.path.string(), &error);
+    ASSERT_NE(reader, nullptr) << error;
+    EXPECT_TRUE(reader->read_only());
+    EXPECT_NE(reader->lease_warning().find("READ-ONLY"), std::string::npos)
+        << reader->lease_warning();
+    auto* read_tier = reader->open_namespace(test_namespace());
+    ASSERT_NE(read_tier->get("k1"), nullptr);  // loaded entries still served
+    read_tier->put("k2", "v2");  // accepted in memory, never journaled
+    read_tier->flush();
+    EXPECT_EQ(read_tier->journal_appends(), 0u);
+  }
+  // The reader's destructor must not release the owner's lease.
+  EXPECT_TRUE(fs::exists(lock));
+
+  // Nothing the reader wrote reached disk: a fresh (read-only) load sees
+  // only the owner's entry.
+  {
+    auto check = store::CacheStore::open(dir.path.string(), &error);
+    auto* check_tier = check->open_namespace(test_namespace());
+    EXPECT_NE(check_tier->get("k1"), nullptr);
+    EXPECT_EQ(check_tier->get("k2"), nullptr);
+  }
+
+  // The owner releases on destruction.
+  owner.reset();
+  EXPECT_FALSE(fs::exists(lock));
+
+  // A garbage lock body is a torn writer: broken and taken over.
+  {
+    std::ofstream(lock) << "not-a-pid\n";
+    auto taker = store::CacheStore::open(dir.path.string(), &error);
+    ASSERT_NE(taker, nullptr) << error;
+    EXPECT_FALSE(taker->read_only()) << taker->lease_warning();
+  }
+
+  // A lease whose owner pid is dead (ESRCH) is broken and taken over.
+  {
+    const pid_t child = ::fork();
+    if (child == 0) ::_exit(0);
+    ASSERT_GT(child, 0);
+    ::waitpid(child, nullptr, 0);  // reaped: the pid is provably gone
+    std::ofstream(lock) << child << "\n";
+    auto taker = store::CacheStore::open(dir.path.string(), &error);
+    ASSERT_NE(taker, nullptr) << error;
+    EXPECT_FALSE(taker->read_only()) << taker->lease_warning();
+  }
+}
+
 // ---------------------------------------------------------------------------
 // The acceptance path, end to end through the real CLI: a second PROCESS
 // pointed at a populated --store serves result-cache hits from disk, with
@@ -489,6 +561,114 @@ TEST(StoreCli, SecondProcessHitsDiskWithResponsesBitIdenticalToStoreOff) {
   };
   EXPECT_EQ(normalized(second), without);
   EXPECT_EQ(first, without);
+}
+
+// Like run_cli, but with BISCHED_FAULT armed in the child and stderr
+// captured (the store's load/lease reports go there).
+std::string run_cli_fault(const std::vector<std::string>& args, const char* fault,
+                          int* exit_code, std::string* err_text) {
+  int out_pipe[2] = {-1, -1};
+  int err_pipe[2] = {-1, -1};
+  if (::pipe(out_pipe) != 0 || ::pipe(err_pipe) != 0) return {};
+  const pid_t pid = ::fork();
+  if (pid < 0) return {};
+  if (pid == 0) {
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::dup2(err_pipe[1], STDERR_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::close(err_pipe[0]);
+    ::close(err_pipe[1]);
+    if (fault != nullptr) {
+      ::setenv("BISCHED_FAULT", fault, 1);
+    } else {
+      ::unsetenv("BISCHED_FAULT");
+    }
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(BISCHED_CLI_PATH));
+    for (const auto& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
+    argv.push_back(nullptr);
+    ::execv(BISCHED_CLI_PATH, argv.data());
+    ::_exit(127);
+  }
+  ::close(out_pipe[1]);
+  ::close(err_pipe[1]);
+  const auto drain = [](int fd) {
+    std::string text;
+    char buf[4096];
+    ssize_t n = 0;
+    while ((n = ::read(fd, buf, sizeof buf)) > 0) text.append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+    return text;
+  };
+  const std::string out = drain(out_pipe[0]);
+  *err_text = drain(err_pipe[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  *exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return out;
+}
+
+// Process-granularity crash safety: a CLI process KILLED mid-journal-append
+// (BISCHED_FAULT=torn-journal — half a record flushed, then _exit) leaves a
+// store the next process repairs on load: the torn tail is truncated and
+// reported, everything persisted before the tear still serves from disk,
+// and the victim entry is simply gone.
+
+TEST(StoreCli, ProcessDeathMidJournalAppendIsRepairedOnTheNextOpen) {
+  TempDir dir("bisched_store_crash");
+  Rng rng(63);
+  const auto survivor = testing::random_uniform_instance(6, 6, 2, 4, 3, rng);
+  const auto victim = testing::random_uniform_instance(7, 7, 3, 4, 3, rng);
+  const std::string survivor_file = (dir.path / "survivor.inst").string();
+  const std::string victim_file = (dir.path / "victim.inst").string();
+  {
+    std::ofstream out(survivor_file);
+    write_instance(out, survivor);
+  }
+  {
+    std::ofstream out(victim_file);
+    write_instance(out, victim);
+  }
+  const std::string store_dir = (dir.path / "store").string();
+  const auto solve_args = [&](const std::string& file) {
+    return std::vector<std::string>{"solve", "--store=" + store_dir, "--alg=auto",
+                                    "--json", "--stable", file};
+  };
+
+  int exit_code = -1;
+  std::string err;
+  // Seed the store (clean exit): the survivor's entries are durable.
+  const std::string seeded =
+      run_cli_fault(solve_args(survivor_file), nullptr, &exit_code, &err);
+  ASSERT_EQ(exit_code, 0) << seeded << err;
+  EXPECT_NE(seeded.find("\"solve_cache\": \"miss\""), std::string::npos) << seeded;
+
+  // The victim run dies INSIDE its first journal append — a real process
+  // death with half a record flushed, not a simulated truncate.
+  run_cli_fault(solve_args(victim_file), "torn-journal:0", &exit_code, &err);
+  ASSERT_EQ(exit_code, 42) << err;
+
+  // Next process: the tear is repaired and reported on stderr; the
+  // survivor still answers from the disk tier.
+  const std::string recovered =
+      run_cli_fault(solve_args(survivor_file), nullptr, &exit_code, &err);
+  ASSERT_EQ(exit_code, 0) << recovered << err;
+  EXPECT_NE(err.find("torn"), std::string::npos) << err;
+  EXPECT_NE(recovered.find("\"cache\": \"hit-disk\""), std::string::npos) << recovered;
+  EXPECT_NE(recovered.find("\"solve_cache\": \"hit-disk\""), std::string::npos)
+      << recovered;
+
+  // The victim's own entry never made it in: it re-solves as a miss (and
+  // this clean run leaves a repaired store behind — no more warnings).
+  const std::string resolved =
+      run_cli_fault(solve_args(victim_file), nullptr, &exit_code, &err);
+  ASSERT_EQ(exit_code, 0) << resolved << err;
+  EXPECT_NE(resolved.find("\"solve_cache\": \"miss\""), std::string::npos) << resolved;
+  const std::string clean =
+      run_cli_fault(solve_args(victim_file), nullptr, &exit_code, &err);
+  ASSERT_EQ(exit_code, 0) << clean << err;
+  EXPECT_EQ(err.find("torn"), std::string::npos) << err;
 }
 
 TEST(CliCatalog, ListAlgsJsonReportsResolvedSimdLevel) {

@@ -33,6 +33,7 @@
 
 #include <charconv>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -45,6 +46,7 @@
 
 #include "engine/api.hpp"
 #include "engine/batch.hpp"
+#include "engine/fleet/router.hpp"
 #include "engine/graph_classes.hpp"
 #include "engine/portfolio.hpp"
 #include "engine/registry.hpp"
@@ -74,11 +76,20 @@ int usage() {
       "              [--eps=E] [--all] [--budget-ms=B] [--stable] [--store=DIR]\n"
       "  bisched_cli serve [--alg=NAME|auto] [--threads=N] [--max-inflight=K]\n"
       "              [--eps=E] [--stable] [--store=DIR] [--allow-remote]\n"
+      "              [--auth-token=T] [--session-max-inflight=K]\n"
       "              [--slow-ms=MS] (log solves slower than MS to stderr)\n"
       "              [--listen=unix:PATH | --listen=tcp:HOST:PORT]\n"
-      "              (framed requests on stdin or the socket; see docs/api.md)\n"
+      "              (framed requests on stdin or the socket; see docs/api.md;\n"
+      "               --allow-remote requires an auth token, also readable\n"
+      "               from $BISCHED_AUTH_TOKEN)\n"
+      "  bisched_cli route [--fleet=N] [--store=DIR] [--alg=NAME|auto] [--eps=E]\n"
+      "              [--stable] [--threads=N] (per-backend solve threads)\n"
+      "              [--route-threads=N] [--max-inflight=K] [--deadline-ms=MS]\n"
+      "              [--health-ms=MS] [--listen=unix:PATH | tcp:HOST:PORT]\n"
+      "              (supervised local serve fleet behind one routing\n"
+      "               front-end; see docs/fleet.md)\n"
       "  bisched_cli client (--connect=unix:PATH | --connect=tcp:HOST:PORT)\n"
-      "              (frames on stdin -> responses)\n"
+      "              [--auth-token=T] (frames on stdin -> responses)\n"
       "  bisched_cli metrics (--connect=unix:PATH | --connect=tcp:HOST:PORT)\n"
       "              (one Prometheus text-exposition scrape of a running serve)\n"
       "  bisched_cli list-algs [--json]\n"
@@ -483,6 +494,18 @@ int cmd_serve(int argc, char** argv) {
     flag_error("max-inflight", std::to_string(inflight), "a count in [0, 2^20]");
   }
   options.max_inflight = static_cast<std::size_t>(inflight);
+  const std::int64_t session_quota = flag_int(argc, argv, "session-max-inflight", 0);
+  if (session_quota < 0 || session_quota > 1 << 20) {
+    flag_error("session-max-inflight", std::to_string(session_quota),
+               "a count in [0, 2^20]");
+  }
+  options.session_max_inflight = static_cast<std::size_t>(session_quota);
+  // Token from the flag, else the environment — the env form keeps the
+  // secret out of `ps` output on shared hosts.
+  if (!flag_value(argc, argv, "auth-token", &options.auth_token)) {
+    const char* env_token = std::getenv("BISCHED_AUTH_TOKEN");
+    if (env_token != nullptr) options.auth_token = env_token;
+  }
 
   const auto warm = make_warm_state(argc, argv);
   engine::ServeStats stats;
@@ -497,8 +520,16 @@ int cmd_serve(int argc, char** argv) {
     if (listen.kind == Endpoint::Kind::kUnix) {
       listener = engine::UnixListener::open(listen.path, &error);
     } else {
-      listener = engine::TcpListener::open(listen.host, listen.port,
-                                           flag_present(argc, argv, "allow-remote"),
+      const bool allow_remote = flag_present(argc, argv, "allow-remote");
+      // A non-loopback bind without a token would take unauthenticated
+      // solves from the whole network segment; refuse outright rather than
+      // serve open.
+      if (allow_remote && options.auth_token.empty()) {
+        std::cerr << "serve: --allow-remote requires an auth token "
+                     "(--auth-token=T or $BISCHED_AUTH_TOKEN)\n";
+        return 2;
+      }
+      listener = engine::TcpListener::open(listen.host, listen.port, allow_remote,
                                            &error);
     }
     if (listener == nullptr) {
@@ -527,6 +558,93 @@ int cmd_serve(int argc, char** argv) {
   return stats.errors == 0 ? 0 : 1;
 }
 
+// ------------------------------------------------------------------ route ---
+
+// Fleet front-end: spawn + supervise N local serve backends, route framed
+// requests over them by instance content hash with health-checked
+// retry/failover (engine/fleet). Speaks the same frame grammar as serve, on
+// stdin or a loopback socket; remote exposure stays serve's business (the
+// router holds no auth).
+int cmd_route(int argc, char** argv) {
+  engine::fleet::RouterOptions options;
+  const std::int64_t fleet = flag_int(argc, argv, "fleet", 2);
+  if (fleet < 1 || fleet > 64) {
+    flag_error("fleet", std::to_string(fleet), "a backend count in [1, 64]");
+  }
+  options.fleet = static_cast<std::size_t>(fleet);
+  flag_value(argc, argv, "store", &options.store_dir);
+
+  // Solve-shaping flags are the BACKENDS' business; forward them verbatim.
+  std::string value;
+  if (flag_value(argc, argv, "alg", &value)) {
+    options.serve_args.push_back("--alg=" + value);
+  }
+  if (flag_value(argc, argv, "eps", &value)) {
+    options.serve_args.push_back("--eps=" + value);
+  }
+  if (flag_value(argc, argv, "threads", &value)) {
+    options.serve_args.push_back("--threads=" + value);
+  }
+  if (flag_present(argc, argv, "stable")) options.serve_args.push_back("--stable");
+
+  const std::int64_t route_threads = flag_int(argc, argv, "route-threads", 0);
+  if (route_threads < 0 || route_threads > 4096) {
+    flag_error("route-threads", std::to_string(route_threads),
+               "a count in [0, 4096]");
+  }
+  options.threads = static_cast<unsigned>(route_threads);
+  const std::int64_t inflight = flag_int(argc, argv, "max-inflight", 0);
+  if (inflight < 0 || inflight > 1 << 20) {
+    flag_error("max-inflight", std::to_string(inflight), "a count in [0, 2^20]");
+  }
+  options.max_inflight = static_cast<std::size_t>(inflight);
+  const std::int64_t deadline = flag_int(argc, argv, "deadline-ms", 30000);
+  if (deadline < 1 || deadline > 86400000) {
+    flag_error("deadline-ms", std::to_string(deadline), "ms in [1, 86400000]");
+  }
+  options.deadline_ms = static_cast<int>(deadline);
+  const std::int64_t health_ms = flag_int(argc, argv, "health-ms", 250);
+  if (health_ms < 1 || health_ms > 3600000) {
+    flag_error("health-ms", std::to_string(health_ms), "ms in [1, 3600000]");
+  }
+  options.health_interval_ms = static_cast<int>(health_ms);
+
+  std::string error;
+  engine::fleet::RouterStats stats;
+  const Endpoint listen = flag_endpoint(argc, argv, "listen");
+  if (listen.kind != Endpoint::Kind::kNone) {
+    std::unique_ptr<engine::Listener> listener;
+    if (listen.kind == Endpoint::Kind::kUnix) {
+      listener = engine::UnixListener::open(listen.path, &error);
+    } else {
+      // Loopback only: the router does not authenticate, so it must never
+      // face a network (front it with an authed serve or a tunnel instead).
+      listener = engine::TcpListener::open(listen.host, listen.port,
+                                           /*allow_remote=*/false, &error);
+    }
+    if (listener == nullptr) {
+      std::cerr << "route: " << error << "\n";
+      return 1;
+    }
+    std::cerr << "route: listening on " << listener->endpoint() << " ("
+              << options.fleet << " backends)\n";
+    stats = engine::fleet::route_listener(options, *listener, &error);
+  } else {
+    stats = engine::fleet::route_stdio(options, std::cin, std::cout, &error);
+  }
+  if (!error.empty()) {
+    std::cerr << "route: " << error << "\n";
+    return 1;
+  }
+  std::cerr << "route: " << stats.requests << " requests, " << stats.ok << " ok, "
+            << stats.errors << " errors (" << stats.degraded << " degraded), "
+            << stats.retries << " retries, " << stats.failovers << " failovers, "
+            << stats.respawns << " respawns, " << stats.breaker_trips
+            << " breaker trips, backends " << stats.healthy << " healthy / "
+            << stats.unhealthy << " unhealthy / " << stats.down << " down\n";
+  return stats.errors == 0 ? 0 : 1;
+}
+
 // ----------------------------------------------------------------- client ---
 
 // Minimal peer for socket serve: pumps stdin frames to the server and echoes
@@ -552,6 +670,18 @@ int cmd_client(int argc, char** argv) {
   ::signal(SIGPIPE, SIG_IGN);
 
   engine::FdTransport transport(fd, "peer");
+  // Authenticate first when a token is at hand (flag, else environment):
+  // an authed serve answers nothing before the `auth` frame, and a
+  // token-less serve ignores it.
+  std::string token;
+  if (!flag_value(argc, argv, "auth-token", &token)) {
+    const char* env_token = std::getenv("BISCHED_AUTH_TOKEN");
+    if (env_token != nullptr) token = env_token;
+  }
+  if (!token.empty()) {
+    transport.out() << "auth " << token << '\n';
+    transport.out().flush();
+  }
   // Responses complete in the server's order, not ours, so read and write
   // concurrently: a response-per-request peer would otherwise deadlock on
   // full pipes.
@@ -769,6 +899,7 @@ int main(int argc, char** argv) {
   if (command == "solve") return cmd_solve(argc, argv);
   if (command == "batch") return cmd_batch(argc, argv);
   if (command == "serve") return cmd_serve(argc, argv);
+  if (command == "route") return cmd_route(argc, argv);
   if (command == "client") return cmd_client(argc, argv);
   if (command == "metrics") return cmd_metrics(argc, argv);
   if (command == "list-algs") return cmd_list_algs(argc, argv);

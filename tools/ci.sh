@@ -6,10 +6,12 @@
 # process against the same --store dir must answer from the disk tier), the
 # unix-socket serve mode (two concurrent clients, then a Prometheus scrape
 # via `metrics --connect` and the --slow-ms slow-request log), the TCP serve
-# mode, the graph-class lattice via `list-algs --json`, the SIMD dispatch
-# layer (a BISCHED_SIMD=scalar solve byte-diffed against default dispatch),
-# and the hot-path + store benches' JSON reports end to end with the
-# sanitized binaries.
+# mode, the routed fleet (`route` over 2 supervised backends with a
+# fault-injected crash — zero client-visible errors, nonzero retry counter
+# in the scrape), the graph-class lattice via `list-algs --json`, the SIMD
+# dispatch layer (a BISCHED_SIMD=scalar solve byte-diffed against default
+# dispatch), and the hot-path + store + fleet benches' JSON reports end to
+# end with the sanitized binaries.
 # Single-threaded where it matters: the CI runner has one CPU.
 #
 #   $ tools/ci.sh [extra ctest args...]
@@ -253,6 +255,51 @@ grep -q 'allow-remote' "$SMOKE/tcp-refuse.log" || {
   exit 1
 }
 
+# --------------------------------------------------------- fleet smoke ---
+# The routed fleet end to end: `route` spawns 2 supervised backend serve
+# processes, backend 0 is armed (BISCHED_FAULT) to crash after its first
+# solve, and the framed batch must still complete with zero client-visible
+# errors. --max-inflight=1 serializes admission so every retry has settled
+# before the trailing stats/metrics probes read the counters: the scrape
+# MUST show a nonzero bisched_fleet_retries_total — proof the failover
+# actually happened rather than the fault never firing.
+{
+  for i in 1 2 3 4 5; do
+    printf 'solve %s f%s\n' "$SMOKE/corpus/q$i.inst" "$i"
+  done
+  printf 'stats fleet-stats\n'
+  printf 'metrics fleet-metrics\n'
+  printf 'quit\n'
+} | BISCHED_FAULT='backend=0;crash-after:1' \
+  "$CLI" route --fleet=2 --stable --route-threads=1 --max-inflight=1 \
+  --deadline-ms=60000 > "$SMOKE/route.out" 2> "$SMOKE/route.log" || {
+  echo "ci.sh: fleet smoke failed: route exited nonzero (client-visible errors)" >&2
+  cat "$SMOKE/route.out" "$SMOKE/route.log" >&2
+  exit 1
+}
+for i in 1 2 3 4 5; do
+  grep -q "\"id\": \"f$i\".*\"status\": \"ok\"" "$SMOKE/route.out" || {
+    echo "ci.sh: fleet smoke failed: request f$i did not come back ok" >&2
+    cat "$SMOKE/route.out" "$SMOKE/route.log" >&2
+    exit 1
+  }
+done
+grep -q '"id": "fleet-stats".*"role": "router".*"degraded": 0' "$SMOKE/route.out" || {
+  echo "ci.sh: fleet smoke failed: router stats frame missing or degraded != 0" >&2
+  cat "$SMOKE/route.out" >&2
+  exit 1
+}
+grep -q 'bisched_fleet_retries_total [1-9]' "$SMOKE/route.out" || {
+  echo "ci.sh: fleet smoke failed: no retries in the scrape (fault never fired?)" >&2
+  cat "$SMOKE/route.out" "$SMOKE/route.log" >&2
+  exit 1
+}
+grep -q 'bisched_fleet_backends{state="healthy"}' "$SMOKE/route.out" || {
+  echo "ci.sh: fleet smoke failed: backend state gauges missing from the scrape" >&2
+  cat "$SMOKE/route.out" >&2
+  exit 1
+}
+
 # ------------------------------------------------------- lattice smoke ---
 # The graph-class lattice must be what list-algs --json advertises: the new
 # complete-multipartite class with its subsumption edges, and solver rows
@@ -385,5 +432,37 @@ grep -q '"p95_ms"' "$STORE_JSON" || {
   cat "$STORE_JSON" >&2
   exit 1
 }
+# ---------------------------------------------------- fleet bench smoke ---
+# The fleet bench spawns real backends and SIGKILLs one mid-stream; its CI
+# shape must emit BENCH_fleet.json whose kill row completed with zero
+# client-visible errors. (Retry counts in that row are timing-dependent —
+# the deterministic retry assertion is the fleet smoke above.)
+FLEET_JSON="$SMOKE/BENCH_fleet.json"
+build-ci/bench/bench_fleet --quick --json-out="$FLEET_JSON" \
+  > "$SMOKE/fleet-bench.out" 2>&1 || {
+  echo "ci.sh: fleet bench smoke failed: bench_fleet exited nonzero" >&2
+  cat "$SMOKE/fleet-bench.out" >&2
+  exit 1
+}
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$FLEET_JSON" > /dev/null || {
+    echo "ci.sh: fleet bench smoke failed: $FLEET_JSON is not valid JSON" >&2
+    cat "$FLEET_JSON" >&2
+    exit 1
+  }
+fi
+for case_name in cold_1 warm_fleet kill_mid_stream; do
+  grep -q "\"bench_case\": \"$case_name\"" "$FLEET_JSON" || {
+    echo "ci.sh: fleet bench smoke failed: $FLEET_JSON has no $case_name row" >&2
+    cat "$FLEET_JSON" >&2
+    exit 1
+  }
+done
+grep -q '"bench_case": "kill_mid_stream".*"errors": 0' "$FLEET_JSON" || {
+  echo "ci.sh: fleet bench smoke failed: kill row saw client-visible errors" >&2
+  cat "$FLEET_JSON" >&2
+  exit 1
+}
+
 echo "ci.sh: batch --shard, serve+stats, store, socket serve, metrics+slow-log," \
-  "tcp serve, lattice, and bench smoke OK"
+  "tcp serve, fleet route+failover, lattice, and bench smoke OK"
