@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/store/bench_history.hpp"
 #include "io/jsonl.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -105,9 +106,14 @@ class JsonReport {
  public:
   // `name` is the bench's short name ("hotpaths" -> BENCH_hotpaths.json);
   // argv is scanned for a --json-out=PATH override.
+  // With --store=DIR the finished document is ALSO appended into that
+  // store's bench-history namespace (engine/store/bench_history.hpp), so
+  // one directory accumulates the perf trajectory alongside the cache
+  // warmth. `bisched_cli stats --store=DIR` lists what landed.
   JsonReport(std::string name, int argc, char** argv)
       : name_(std::move(name)),
-        path_(parse_flag(argc, argv, "json-out", "BENCH_" + name_ + ".json")) {}
+        path_(parse_flag(argc, argv, "json-out", "BENCH_" + name_ + ".json")),
+        store_(parse_flag(argc, argv, "store")) {}
 
   JsonReport(const JsonReport&) = delete;
   JsonReport& operator=(const JsonReport&) = delete;
@@ -123,23 +129,39 @@ class JsonReport {
     rows_.push_back(std::move(row));
   }
 
+  // The complete report file contents.
+  std::string document() const {
+    std::string out = "{\"bench\": " + json_quote(name_) + ", \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out += (i == 0 ? "\n  " : ",\n  ") + rows_[i];
+    }
+    out += "\n]}\n";
+    return out;
+  }
+
   // Writes the report; called by the destructor, exposed so mains can report
   // the path (and failures) before exiting.
   bool write() {
     if (written_) return true;
     written_ = true;
+    const std::string doc = document();
     std::ofstream out(path_);
     if (!out) {
       std::cerr << "cannot write bench report '" << path_ << "'\n";
       return false;
     }
-    out << "{\"bench\": " << json_quote(name_) << ", \"rows\": [";
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      out << (i == 0 ? "\n  " : ",\n  ") << rows_[i];
-    }
-    out << "\n]}\n";
+    out << doc;
     out.flush();
     if (out) std::cout << "wrote " << path_ << " (" << rows_.size() << " rows)\n";
+    if (!store_.empty()) {
+      std::string error;
+      if (engine::store::append_bench_history_at(store_, name_, doc, &error)) {
+        std::cout << "recorded " << name_ << " into " << store_
+                  << " bench-history\n";
+      } else {
+        std::cerr << "bench-history: " << error << "\n";
+      }
+    }
     return static_cast<bool>(out);
   }
 
@@ -148,6 +170,7 @@ class JsonReport {
  private:
   std::string name_;
   std::string path_;
+  std::string store_;  // empty = no bench-history append
   std::vector<std::string> rows_;
   bool written_ = false;
 };

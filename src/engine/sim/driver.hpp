@@ -1,0 +1,112 @@
+// The open-loop load driver: replays a trace against the engine.
+//
+// Open-loop means send times come from the TRACE, not from the server: a
+// request whose scheduled time has passed is sent immediately rather than
+// waiting its turn behind a slow response, and its latency is measured from
+// the *scheduled* send time. A closed-loop driver (send, wait, send) under a
+// stalled server measures only the requests it got around to sending — the
+// classic coordinated-omission blind spot; here a stall shows up as exactly
+// the latency a real arrival process would have observed. The gap between
+// scheduled and actual send (`send_delay`) is reported separately as the
+// backpressure signal: it grows when `--connections` sessions cannot keep up
+// with the offered rate.
+//
+// Two execution modes behind one result shape:
+//
+//   in-process  api::run_request against a caller-owned registry/WarmState —
+//               no sockets, no server; with connections=1 the replay is
+//               fully sequential and byte-deterministic (same trace -> same
+//               response lines, cache tiers included).
+//   live        the serve/route frame grammar over unix/tcp transports, one
+//               connection per session, depth-1 pipelining. Each attempt is
+//               bounded by set_io_timeout (the fleet's per-attempt deadline
+//               helper); a dropped/stalled connection is reconnected and the
+//               request re-sent up to max_attempts — the driver NEVER fails
+//               a run because requests failed, it records them. After the
+//               replay one extra connection scrapes the server's `stats`
+//               frame (a router answers with its retry/failover counters)
+//               into DriverResult::server_stats.
+//
+// Every outcome is recorded twice: into the caller's telemetry registry
+// (bisched_sim_* series, labelled per phase — the report's percentile
+// source) and as a per-request RequestSample (the report's time-series
+// source).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/registry.hpp"
+#include "engine/sim/scenario.hpp"
+#include "engine/store/warm_state.hpp"
+#include "engine/telemetry/metrics.hpp"
+
+namespace bisched::engine::sim {
+
+struct SimEndpoint {
+  enum class Kind { kInProcess, kUnix, kTcp };
+  Kind kind = Kind::kInProcess;
+  std::string path;        // unix socket path
+  std::string host;        // tcp
+  int port = 0;            // tcp
+  std::string auth_token;  // live: sent as the session's first frame
+};
+
+struct DriverOptions {
+  int connections = 4;     // concurrent sessions (in-process: worker threads)
+  double sla_ms = 50;      // latency budget a request must meet
+  int timeout_ms = 10000;  // live: per-attempt read deadline (set_io_timeout)
+  int connect_timeout_ms = 2000;
+  int max_attempts = 3;    // live: send attempts per request, reconnecting between
+  std::string default_alg = "auto";  // in-process solve defaults
+  bool has_eps = false;
+  double eps = 0.1;
+  bool stable_outputs = false;  // in-process: strip timing from recorded lines
+};
+
+// One replayed request. Written once by one worker; index = trace order.
+struct RequestSample {
+  std::int64_t sched_us = 0;   // scheduled send (trace t_us)
+  std::int64_t actual_us = 0;  // actual send of the first attempt
+  std::int64_t done_us = 0;    // completion (or final failure)
+  double latency_ms = 0;       // done - SCHEDULED: coordinated-omission-safe
+  double send_delay_ms = 0;    // actual - scheduled: the backpressure signal
+  int phase = 0;
+  bool ok = false;
+  int attempts = 1;            // 1 = first try answered
+  bool sla_miss = false;       // latency_ms > sla_ms
+  std::string cache;           // profile tier label ("" when unknown)
+  std::string result_cache;
+  std::string output;          // response line (no trailing newline)
+};
+
+struct DriverResult {
+  // False only on a setup failure (no connection could ever be made, bad
+  // options); per-request failures are samples with ok=false, never a
+  // driver error.
+  bool ok = false;
+  std::string error;
+  std::vector<RequestSample> samples;  // trace order
+  // The server's final `stats` frame, flattened (live modes; empty when the
+  // scrape failed or in-process). A router's frame carries
+  // retries/failovers/degraded — how the report proves a crash was absorbed.
+  std::map<std::string, std::string> server_stats;
+  double wall_ms = 0;
+};
+
+// In-process dependencies; ignored (may be empty) for live endpoints.
+struct InProcessEngine {
+  const SolverRegistry* registry = nullptr;
+  WarmState* warm = nullptr;
+};
+
+// Replays the trace. The registry receives the bisched_sim_* series
+// (registered per phase, in phase order, before any worker starts).
+DriverResult run_driver(const Trace& trace, const SimEndpoint& endpoint,
+                        const DriverOptions& options,
+                        telemetry::Registry& registry,
+                        const InProcessEngine& engine = {});
+
+}  // namespace bisched::engine::sim

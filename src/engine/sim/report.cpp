@@ -1,0 +1,383 @@
+#include "engine/sim/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "io/jsonl.hpp"
+#include "util/table.hpp"
+
+namespace bisched::engine::sim {
+
+namespace {
+
+// Time-bucketed view of the samples for the charts: per-bucket latency
+// quantiles (from the raw samples — the charts want time resolution the
+// registry histograms deliberately do not keep) and the tier mix.
+struct Bucket {
+  std::vector<double> latencies;
+  std::uint64_t tier_memory = 0;
+  std::uint64_t tier_disk = 0;
+  std::uint64_t tier_miss = 0;
+  std::uint64_t errors = 0;
+};
+
+double sample_quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+std::int64_t trace_span_us(const Trace& trace) {
+  if (trace.phases.empty()) return 1;
+  const TracePhase& last = trace.phases.back();
+  return std::max<std::int64_t>(last.start_us + last.duration_us, 1);
+}
+
+std::vector<Bucket> bucketize(const Trace& trace, const DriverResult& result,
+                              std::size_t count) {
+  std::vector<Bucket> buckets(count);
+  const std::int64_t span = trace_span_us(trace);
+  for (const RequestSample& s : result.samples) {
+    std::size_t b = static_cast<std::size_t>(
+        static_cast<double>(s.sched_us) / static_cast<double>(span) *
+        static_cast<double>(count));
+    b = std::min(b, count - 1);
+    buckets[b].latencies.push_back(s.latency_ms);
+    const std::string& label = !s.result_cache.empty() ? s.result_cache : s.cache;
+    if (label == "hit-memory") {
+      ++buckets[b].tier_memory;
+    } else if (label == "hit-disk") {
+      ++buckets[b].tier_disk;
+    } else if (label == "miss") {
+      ++buckets[b].tier_miss;
+    }
+    if (!s.ok) ++buckets[b].errors;
+  }
+  return buckets;
+}
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string svg_num(double v) { return fmt_double(v, 2); }
+
+}  // namespace
+
+std::vector<PhaseSummary> summarize(const Trace& trace, const DriverResult& /*result*/,
+                                    telemetry::Registry& registry) {
+  std::vector<PhaseSummary> out;
+  out.reserve(trace.phases.size());
+  for (const TracePhase& p : trace.phases) {
+    const std::string phase = "phase=\"" + p.name + "\"";
+    PhaseSummary s;
+    s.name = p.name;
+    // Re-registration returns the driver's existing objects; help/bounds are
+    // only used if the series were never registered (an empty run).
+    const auto latency =
+        registry
+            .histogram("bisched_sim_latency_ms", "Request latency (ms)",
+                       telemetry::Histogram::default_latency_bounds_ms(), phase)
+            .snapshot();
+    const auto delay =
+        registry
+            .histogram("bisched_sim_send_delay_ms", "Send delay (ms)",
+                       telemetry::Histogram::default_latency_bounds_ms(), phase)
+            .snapshot();
+    s.ok = registry.counter("bisched_sim_requests_total", "", phase + ",status=\"ok\"")
+               .value();
+    s.errors =
+        registry.counter("bisched_sim_requests_total", "", phase + ",status=\"error\"")
+            .value();
+    s.requests = s.ok + s.errors;
+    s.sla_miss = registry.counter("bisched_sim_sla_miss_total", "", phase).value();
+    s.retries = registry.counter("bisched_sim_retries_total", "", phase).value();
+    s.tier_memory =
+        registry.counter("bisched_sim_tier_total", "", phase + ",tier=\"memory\"").value();
+    s.tier_disk =
+        registry.counter("bisched_sim_tier_total", "", phase + ",tier=\"disk\"").value();
+    s.tier_miss =
+        registry.counter("bisched_sim_tier_total", "", phase + ",tier=\"miss\"").value();
+    s.p50_ms = latency.percentile(0.50);
+    s.p95_ms = latency.percentile(0.95);
+    s.p99_ms = latency.percentile(0.99);
+    s.mean_ms = latency.count > 0 ? latency.sum / static_cast<double>(latency.count) : 0;
+    s.send_delay_p95_ms = delay.percentile(0.95);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string render_report_json(const Trace& /*trace*/, const DriverResult& result,
+                               const std::vector<PhaseSummary>& phases,
+                               const ReportOptions& options) {
+  std::ostringstream out;
+  out << "{\"bench\": \"sim\", \"rows\": [";
+  bool first = true;
+  const auto row_head = [&](const char* phase) {
+    out << (first ? "\n  " : ",\n  ") << "{\"phase\": " << json_quote(phase);
+    first = false;
+  };
+  PhaseSummary total;
+  for (const PhaseSummary& p : phases) {
+    row_head(p.name.c_str());
+    out << ", \"requests\": " << p.requests << ", \"ok\": " << p.ok
+        << ", \"errors\": " << p.errors << ", \"retries\": " << p.retries
+        << ", \"sla_miss\": " << p.sla_miss
+        << ", \"p50_ms\": " << fmt_double_exact(p.p50_ms)
+        << ", \"p95_ms\": " << fmt_double_exact(p.p95_ms)
+        << ", \"p99_ms\": " << fmt_double_exact(p.p99_ms)
+        << ", \"mean_ms\": " << fmt_double_exact(p.mean_ms)
+        << ", \"send_delay_p95_ms\": " << fmt_double_exact(p.send_delay_p95_ms)
+        << ", \"hit_memory\": " << p.tier_memory << ", \"hit_disk\": " << p.tier_disk
+        << ", \"miss\": " << p.tier_miss << "}";
+    total.requests += p.requests;
+    total.ok += p.ok;
+    total.errors += p.errors;
+    total.retries += p.retries;
+    total.sla_miss += p.sla_miss;
+    total.tier_memory += p.tier_memory;
+    total.tier_disk += p.tier_disk;
+    total.tier_miss += p.tier_miss;
+  }
+  row_head("total");
+  out << ", \"scenario\": " << json_quote(options.scenario)
+      << ", \"seed\": " << options.seed << ", \"mode\": " << json_quote(options.mode)
+      << ", \"connections\": " << options.connections
+      << ", \"sla_ms\": " << fmt_double_exact(options.sla_ms)
+      << ", \"requests\": " << total.requests << ", \"ok\": " << total.ok
+      << ", \"errors\": " << total.errors << ", \"retries\": " << total.retries
+      << ", \"sla_miss\": " << total.sla_miss
+      << ", \"hit_memory\": " << total.tier_memory
+      << ", \"hit_disk\": " << total.tier_disk << ", \"miss\": " << total.tier_miss
+      << ", \"wall_ms\": "
+      << fmt_double_exact(options.stable ? 0.0 : result.wall_ms);
+  // The server's own view of the run, verbatim from its stats frame — a
+  // router's retries/degraded here are how the report proves a backend crash
+  // was absorbed rather than surfaced.
+  for (const char* key : {"role", "backends", "healthy", "requests", "ok", "errors",
+                          "retries", "failovers", "degraded", "respawns"}) {
+    const auto it = result.server_stats.find(key);
+    if (it == result.server_stats.end()) continue;
+    out << ", \"server_" << key << "\": ";
+    if (key == std::string("role")) {
+      out << json_quote(it->second);
+    } else {
+      out << it->second;
+    }
+  }
+  out << "}";
+  out << "\n]}\n";
+  return out.str();
+}
+
+// ------------------------------------------------------------------- html ---
+
+namespace {
+
+// Chart geometry shared by both SVGs.
+constexpr double kW = 860, kH = 240;          // plot area
+constexpr double kLeft = 60, kTop = 20, kBottom = 30;
+
+double x_of(std::size_t bucket, std::size_t count) {
+  return kLeft + kW * (static_cast<double>(bucket) + 0.5) / static_cast<double>(count);
+}
+
+void svg_open(std::ostringstream& out, const char* title) {
+  out << "<h2>" << title << "</h2>\n<svg viewBox=\"0 0 "
+      << svg_num(kLeft + kW + 20) << " " << svg_num(kTop + kH + kBottom)
+      << "\" width=\"100%\" style=\"max-width:940px\">\n";
+}
+
+// Phase windows as alternating background bands + labels, on either chart.
+void svg_phase_bands(std::ostringstream& out, const Trace& trace) {
+  const double span = static_cast<double>(trace_span_us(trace));
+  for (std::size_t i = 0; i < trace.phases.size(); ++i) {
+    const TracePhase& p = trace.phases[i];
+    const double x0 = kLeft + kW * static_cast<double>(p.start_us) / span;
+    const double w = kW * static_cast<double>(p.duration_us) / span;
+    if (i % 2 == 1) {
+      out << "<rect x=\"" << svg_num(x0) << "\" y=\"" << svg_num(kTop) << "\" width=\""
+          << svg_num(w) << "\" height=\"" << svg_num(kH)
+          << "\" fill=\"#000\" opacity=\"0.04\"/>\n";
+    }
+    out << "<text x=\"" << svg_num(x0 + w / 2) << "\" y=\"" << svg_num(kTop + kH + 20)
+        << "\" font-size=\"12\" text-anchor=\"middle\" fill=\"#555\">"
+        << html_escape(p.name) << "</text>\n";
+  }
+}
+
+void svg_latency_chart(std::ostringstream& out, const Trace& trace,
+                       const std::vector<Bucket>& buckets, double sla_ms) {
+  std::vector<double> p50(buckets.size()), p95(buckets.size());
+  double ymax = sla_ms;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    std::vector<double> sorted = buckets[b].latencies;
+    std::sort(sorted.begin(), sorted.end());
+    p50[b] = sample_quantile(sorted, 0.50);
+    p95[b] = sample_quantile(sorted, 0.95);
+    ymax = std::max(ymax, p95[b]);
+  }
+  ymax = std::max(ymax * 1.1, 1e-3);
+  const auto y_of = [&](double v) { return kTop + kH * (1.0 - v / ymax); };
+
+  svg_open(out, "Latency over time (per-bucket p50 / p95, ms)");
+  svg_phase_bands(out, trace);
+  // Axis + SLA line.
+  out << "<line x1=\"" << svg_num(kLeft) << "\" y1=\"" << svg_num(kTop) << "\" x2=\""
+      << svg_num(kLeft) << "\" y2=\"" << svg_num(kTop + kH)
+      << "\" stroke=\"#888\"/>\n";
+  out << "<line x1=\"" << svg_num(kLeft) << "\" y1=\"" << svg_num(kTop + kH)
+      << "\" x2=\"" << svg_num(kLeft + kW) << "\" y2=\"" << svg_num(kTop + kH)
+      << "\" stroke=\"#888\"/>\n";
+  for (const double frac : {0.0, 0.5, 1.0}) {
+    out << "<text x=\"" << svg_num(kLeft - 6) << "\" y=\""
+        << svg_num(y_of(ymax * frac) + 4)
+        << "\" font-size=\"11\" text-anchor=\"end\" fill=\"#555\">"
+        << fmt_double(ymax * frac, 1) << "</text>\n";
+  }
+  if (sla_ms > 0 && sla_ms <= ymax) {
+    out << "<line x1=\"" << svg_num(kLeft) << "\" y1=\"" << svg_num(y_of(sla_ms))
+        << "\" x2=\"" << svg_num(kLeft + kW) << "\" y2=\"" << svg_num(y_of(sla_ms))
+        << "\" stroke=\"#c0392b\" stroke-dasharray=\"6 4\"/>\n"
+        << "<text x=\"" << svg_num(kLeft + kW) << "\" y=\""
+        << svg_num(y_of(sla_ms) - 4)
+        << "\" font-size=\"11\" text-anchor=\"end\" fill=\"#c0392b\">SLA "
+        << fmt_double(sla_ms, 1) << " ms</text>\n";
+  }
+  const auto polyline = [&](const std::vector<double>& ys, const char* color,
+                            const char* label, double label_y) {
+    out << "<polyline fill=\"none\" stroke=\"" << color
+        << "\" stroke-width=\"1.8\" points=\"";
+    for (std::size_t b = 0; b < ys.size(); ++b) {
+      if (buckets[b].latencies.empty()) continue;
+      out << svg_num(x_of(b, ys.size())) << "," << svg_num(y_of(ys[b])) << " ";
+    }
+    out << "\"/>\n<text x=\"" << svg_num(kLeft + 8) << "\" y=\"" << svg_num(label_y)
+        << "\" font-size=\"12\" fill=\"" << color << "\">" << label << "</text>\n";
+  };
+  polyline(p95, "#e67e22", "p95", kTop + 14);
+  polyline(p50, "#2980b9", "p50", kTop + 30);
+  out << "</svg>\n";
+}
+
+void svg_tier_chart(std::ostringstream& out, const Trace& trace,
+                    const std::vector<Bucket>& buckets) {
+  svg_open(out, "Cache-tier mix over time (fraction of requests)");
+  const auto y_of = [&](double frac) { return kTop + kH * (1.0 - frac); };
+  // Painter's algorithm, back to front: the full stack (memory+disk+miss)
+  // first in the miss color, then memory+disk, then memory alone -- each
+  // cumulative area paints over its share of the one below, which yields a
+  // stacked area whose warmth story reads as the green band swallowing the
+  // chart.
+  struct Layer {
+    int depth;  // tiers from the bottom this cumulative area covers
+    const char* color;
+    const char* label;
+  };
+  const Layer layers[3] = {{3, "#95a5a6", "miss"},
+                           {2, "#2980b9", "hit-disk"},
+                           {1, "#27ae60", "hit-memory"}};
+  for (const Layer& layer : layers) {
+    out << "<polygon fill=\"" << layer.color << "\" points=\"";
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      const Bucket& bu = buckets[b];
+      const double total =
+          static_cast<double>(bu.tier_memory + bu.tier_disk + bu.tier_miss);
+      double frac = 0;
+      if (total > 0) {
+        double covered = static_cast<double>(bu.tier_memory);
+        if (layer.depth >= 2) covered += static_cast<double>(bu.tier_disk);
+        if (layer.depth >= 3) covered += static_cast<double>(bu.tier_miss);
+        frac = covered / total;
+      }
+      out << svg_num(x_of(b, buckets.size())) << "," << svg_num(y_of(frac)) << " ";
+    }
+    // Close along the baseline, right to left.
+    out << svg_num(x_of(buckets.size() - 1, buckets.size())) << ","
+        << svg_num(y_of(0)) << " " << svg_num(x_of(0, buckets.size())) << ","
+        << svg_num(y_of(0)) << "\"/>\n";
+  }
+  svg_phase_bands(out, trace);
+  double legend_x = kLeft + 8;
+  for (const Layer& layer : layers) {
+    out << "<rect x=\"" << svg_num(legend_x) << "\" y=\"" << svg_num(kTop + 6)
+        << "\" width=\"12\" height=\"12\" fill=\"" << layer.color << "\"/>"
+        << "<text x=\"" << svg_num(legend_x + 16) << "\" y=\"" << svg_num(kTop + 16)
+        << "\" font-size=\"12\" fill=\"#222\">" << layer.label << "</text>\n";
+    legend_x += 110;
+  }
+  out << "</svg>\n";
+}
+
+}  // namespace
+
+std::string render_report_html(const Trace& trace, const DriverResult& result,
+                               const std::vector<PhaseSummary>& phases,
+                               const ReportOptions& options) {
+  const std::size_t bucket_count =
+      std::max<std::size_t>(std::min<std::size_t>(result.samples.size(), 100), 1);
+  const std::vector<Bucket> buckets = bucketize(trace, result, bucket_count);
+
+  std::ostringstream out;
+  out << "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n<title>sim "
+      << html_escape(options.scenario) << "</title>\n"
+      << "<style>body{font:14px system-ui,sans-serif;margin:24px;color:#222}"
+         "table{border-collapse:collapse}td,th{border:1px solid #ccc;"
+         "padding:4px 10px;text-align:right}th{background:#f4f4f4}"
+         "td:first-child,th:first-child{text-align:left}</style></head>\n<body>\n";
+  out << "<h1>Scenario replay: " << html_escape(options.scenario) << "</h1>\n<p>seed "
+      << options.seed << " &middot; mode " << html_escape(options.mode)
+      << " &middot; " << options.connections << " connection"
+      << (options.connections == 1 ? "" : "s") << " &middot; SLA "
+      << fmt_double(options.sla_ms, 1) << " ms &middot; " << result.samples.size()
+      << " requests &middot; driver wall "
+      << fmt_double(options.stable ? 0.0 : result.wall_ms, 1) << " ms</p>\n";
+
+  svg_latency_chart(out, trace, buckets, options.sla_ms);
+  svg_tier_chart(out, trace, buckets);
+
+  out << "<h2>Per-phase summary</h2>\n<table>\n<tr><th>phase</th><th>requests</th>"
+         "<th>ok</th><th>errors</th><th>retries</th><th>SLA miss</th><th>p50 ms</th>"
+         "<th>p95 ms</th><th>p99 ms</th><th>mean ms</th><th>send-delay p95 ms</th>"
+         "<th>hit-memory</th><th>hit-disk</th><th>miss</th></tr>\n";
+  for (const PhaseSummary& p : phases) {
+    out << "<tr><td>" << html_escape(p.name) << "</td><td>" << p.requests << "</td><td>"
+        << p.ok << "</td><td>" << p.errors << "</td><td>" << p.retries << "</td><td>"
+        << p.sla_miss << "</td><td>" << fmt_double(p.p50_ms, 2) << "</td><td>"
+        << fmt_double(p.p95_ms, 2) << "</td><td>" << fmt_double(p.p99_ms, 2)
+        << "</td><td>" << fmt_double(p.mean_ms, 2) << "</td><td>"
+        << fmt_double(p.send_delay_p95_ms, 2) << "</td><td>" << p.tier_memory
+        << "</td><td>" << p.tier_disk << "</td><td>" << p.tier_miss << "</td></tr>\n";
+  }
+  out << "</table>\n";
+
+  if (!result.server_stats.empty()) {
+    out << "<h2>Server stats</h2>\n<table>\n<tr><th>key</th><th>value</th></tr>\n";
+    for (const auto& [key, value] : result.server_stats) {
+      if (key == "v" || key == "id" || key == "seq" || key == "type") continue;
+      out << "<tr><td>" << html_escape(key) << "</td><td>" << html_escape(value)
+          << "</td></tr>\n";
+    }
+    out << "</table>\n";
+  }
+  out << "</body></html>\n";
+  return out.str();
+}
+
+}  // namespace bisched::engine::sim

@@ -1,0 +1,519 @@
+#include "engine/sim/scenario.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "io/jsonl.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+namespace bisched::engine::sim {
+
+namespace {
+
+bool parse_double_field(const std::string& text, double* out) {
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool parse_int_field(const std::string& text, std::int64_t* out) {
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool parse_u64_field(const std::string& text, std::uint64_t* out) {
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+// One parsed JSON-lines object with typed, validated member access. Every
+// getter records the first failure; the caller checks once per line.
+struct Fields {
+  const std::map<std::string, std::string>& object;
+  std::string* error;
+
+  const std::string* raw(const char* key) const {
+    const auto it = object.find(key);
+    return it != object.end() ? &it->second : nullptr;
+  }
+  void fail(const std::string& message) const {
+    if (error->empty()) *error = message;
+  }
+  bool str(const char* key, std::string* out) const {
+    const auto* v = raw(key);
+    if (v != nullptr) *out = *v;
+    return v != nullptr;
+  }
+  bool num(const char* key, double* out) const {
+    const auto* v = raw(key);
+    if (v == nullptr) return false;
+    if (!parse_double_field(*v, out)) fail(std::string(key) + " is not a number");
+    return true;
+  }
+  bool integer(const char* key, std::int64_t* out) const {
+    const auto* v = raw(key);
+    if (v == nullptr) return false;
+    if (!parse_int_field(*v, out)) fail(std::string(key) + " is not an integer");
+    return true;
+  }
+  bool u64(const char* key, std::uint64_t* out) const {
+    const auto* v = raw(key);
+    if (v == nullptr) return false;
+    if (!parse_u64_field(*v, out)) {
+      fail(std::string(key) + " is not a non-negative integer");
+    }
+    return true;
+  }
+  bool boolean(const char* key, bool* out) const {
+    const auto* v = raw(key);
+    if (v == nullptr) return false;
+    if (*v != "true" && *v != "false") fail(std::string(key) + " must be true or false");
+    *out = *v == "true";
+    return true;
+  }
+};
+
+// Unknown keys are rejected like the engine API codec: a typo like
+// "rate_rsp" must not simulate a default and report success.
+bool check_keys(const std::map<std::string, std::string>& object,
+                std::initializer_list<const char*> allowed, std::string* error) {
+  for (const auto& [key, value] : object) {
+    bool known = false;
+    for (const char* name : allowed) known = known || key == name;
+    if (!known) {
+      *error = "unknown key \"" + key + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_phase_line(const std::map<std::string, std::string>& object, Phase* phase,
+                      std::string* error) {
+  if (!check_keys(object,
+                  {"phase", "arrival", "rate_rps", "rate_end_rps", "burst_size",
+                   "burst_every_ms", "duration_ms", "family", "n", "machines", "a",
+                   "smax", "wmax", "tmax", "edges", "repeat_p", "alg", "eps"},
+                  error)) {
+    return false;
+  }
+  const Fields f{object, error};
+  f.str("phase", &phase->name);
+  f.str("arrival", &phase->arrival);
+  f.num("rate_rps", &phase->rate_rps);
+  f.num("rate_end_rps", &phase->rate_end_rps);
+  f.integer("burst_size", &phase->burst_size);
+  f.num("burst_every_ms", &phase->burst_every_ms);
+  f.num("duration_ms", &phase->duration_ms);
+  f.str("family", &phase->mix.family);
+  std::int64_t n = phase->mix.n;
+  std::int64_t machines = phase->mix.machines;
+  f.integer("n", &n);
+  f.integer("machines", &machines);
+  phase->mix.n = static_cast<int>(n);
+  phase->mix.machines = static_cast<int>(machines);
+  f.num("a", &phase->mix.a);
+  f.integer("smax", &phase->mix.smax);
+  f.integer("wmax", &phase->mix.wmax);
+  f.integer("tmax", &phase->mix.tmax);
+  f.integer("edges", &phase->mix.edges);
+  f.num("repeat_p", &phase->repeat_p);
+  f.str("alg", &phase->alg);
+  phase->has_eps = f.num("eps", &phase->eps);
+  if (!error->empty()) return false;
+
+  // Phase names become telemetry label values and request-id prefixes, so
+  // they are identifiers, not free text.
+  bool name_ok = !phase->name.empty();
+  for (const char c : phase->name) {
+    name_ok = name_ok && (std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                          c == '-' || c == '_');
+  }
+  if (!name_ok) {
+    *error = "phase name must be nonempty [A-Za-z0-9_-]";
+    return false;
+  }
+  if (!(phase->duration_ms > 0) || phase->duration_ms > 3.6e6) {
+    *error = "duration_ms must be in (0, 3600000]";
+    return false;
+  }
+  if (phase->arrival == "poisson") {
+    if (!(phase->rate_rps > 0)) {
+      *error = "poisson arrival needs rate_rps > 0";
+      return false;
+    }
+  } else if (phase->arrival == "burst") {
+    if (phase->burst_size < 1 || phase->burst_size > 100000 ||
+        !(phase->burst_every_ms > 0)) {
+      *error = "burst arrival needs burst_size in [1, 100000] and burst_every_ms > 0";
+      return false;
+    }
+  } else if (phase->arrival == "ramp") {
+    if (phase->rate_rps < 0 || phase->rate_end_rps < 0 ||
+        !(std::max(phase->rate_rps, phase->rate_end_rps) > 0)) {
+      *error = "ramp arrival needs rate_rps/rate_end_rps >= 0, not both 0";
+      return false;
+    }
+  } else {
+    *error = "unknown arrival \"" + phase->arrival + "\" (poisson, burst, ramp)";
+    return false;
+  }
+  if (!mix_family_known(phase->mix.family)) {
+    *error = "unknown family \"" + phase->mix.family + "\" (gilbert, crown, r2)";
+    return false;
+  }
+  if (phase->repeat_p < 0 || phase->repeat_p > 1) {
+    *error = "repeat_p must be in [0, 1]";
+    return false;
+  }
+  return true;
+}
+
+// Splits into lines, skipping blanks and #-comments; yields (line_no, text).
+std::vector<std::pair<std::size_t, std::string>> content_lines(const std::string& text) {
+  std::vector<std::pair<std::size_t, std::string>> out;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '#') continue;
+    out.emplace_back(line_no, line);
+  }
+  return out;
+}
+
+std::string at_line(const char* what, std::size_t line_no, const std::string& message) {
+  return std::string(what) + " line " + std::to_string(line_no) + ": " + message;
+}
+
+}  // namespace
+
+std::optional<Scenario> parse_scenario(const std::string& text, std::string* error) {
+  std::string local;
+  std::string& err = error != nullptr ? *error : local;
+  const auto lines = content_lines(text);
+  if (lines.empty()) {
+    err = "scenario: empty file (need a header line and at least one phase)";
+    return std::nullopt;
+  }
+
+  Scenario scenario;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto& [line_no, line] = lines[i];
+    std::string line_err;
+    const auto object = parse_flat_json_object(line, &line_err);
+    if (!object.has_value()) {
+      err = at_line("scenario", line_no, line_err);
+      return std::nullopt;
+    }
+    if (i == 0) {
+      if (!check_keys(*object, {"v", "scenario", "seed"}, &line_err)) {
+        err = at_line("scenario", line_no, line_err + " (header is {\"v\", \"scenario\", \"seed\"})");
+        return std::nullopt;
+      }
+      const Fields f{*object, &line_err};
+      if (const auto* v = f.raw("v"); v != nullptr && *v != std::to_string(kScenarioVersion)) {
+        err = at_line("scenario", line_no, "unsupported version \"" + *v + "\"");
+        return std::nullopt;
+      }
+      f.str("scenario", &scenario.name);
+      f.u64("seed", &scenario.seed);
+      if (!line_err.empty() || scenario.name.empty()) {
+        err = at_line("scenario", line_no,
+                      line_err.empty() ? "header needs a \"scenario\" name" : line_err);
+        return std::nullopt;
+      }
+      continue;
+    }
+    Phase phase;
+    if (!parse_phase_line(*object, &phase, &line_err)) {
+      err = at_line("scenario", line_no, line_err);
+      return std::nullopt;
+    }
+    for (const Phase& seen : scenario.phases) {
+      if (seen.name == phase.name) {
+        err = at_line("scenario", line_no, "duplicate phase \"" + phase.name + "\"");
+        return std::nullopt;
+      }
+    }
+    scenario.phases.push_back(std::move(phase));
+  }
+  if (scenario.phases.empty()) {
+    err = "scenario: no phases after the header";
+    return std::nullopt;
+  }
+  return scenario;
+}
+
+std::optional<Scenario> load_scenario(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open scenario '" + path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_scenario(text.str(), error);
+}
+
+std::string encode_scenario(const Scenario& scenario) {
+  std::ostringstream out;
+  out << "{\"v\": " << kScenarioVersion
+      << ", \"scenario\": " << json_quote(scenario.name)
+      << ", \"seed\": " << scenario.seed << "}\n";
+  for (const Phase& p : scenario.phases) {
+    out << "{\"phase\": " << json_quote(p.name)
+        << ", \"arrival\": " << json_quote(p.arrival);
+    if (p.rate_rps != 0) out << ", \"rate_rps\": " << fmt_double_exact(p.rate_rps);
+    if (p.rate_end_rps != 0) {
+      out << ", \"rate_end_rps\": " << fmt_double_exact(p.rate_end_rps);
+    }
+    if (p.burst_size != 0) out << ", \"burst_size\": " << p.burst_size;
+    if (p.burst_every_ms != 0) {
+      out << ", \"burst_every_ms\": " << fmt_double_exact(p.burst_every_ms);
+    }
+    out << ", \"duration_ms\": " << fmt_double_exact(p.duration_ms)
+        << ", \"family\": " << json_quote(p.mix.family) << ", \"n\": " << p.mix.n
+        << ", \"machines\": " << p.mix.machines
+        << ", \"a\": " << fmt_double_exact(p.mix.a) << ", \"smax\": " << p.mix.smax
+        << ", \"wmax\": " << p.mix.wmax << ", \"tmax\": " << p.mix.tmax
+        << ", \"edges\": " << p.mix.edges;
+    if (p.repeat_p != 0) out << ", \"repeat_p\": " << fmt_double_exact(p.repeat_p);
+    if (!p.alg.empty()) out << ", \"alg\": " << json_quote(p.alg);
+    if (p.has_eps) out << ", \"eps\": " << fmt_double_exact(p.eps);
+    out << "}\n";
+  }
+  return out.str();
+}
+
+// ------------------------------------------------------------------ trace ---
+
+namespace {
+
+// Phase-local arrival offsets in microseconds, non-decreasing. All three
+// processes consume the rng in arrival order, so the draw sequence (and
+// therefore the trace) is pinned by (seed, phase index) alone.
+std::vector<std::int64_t> arrival_offsets(const Phase& p, Rng& rng) {
+  std::vector<std::int64_t> out;
+  const double dur_us = p.duration_ms * 1000.0;
+  if (p.arrival == "burst") {
+    for (double t = 0; t < dur_us; t += p.burst_every_ms * 1000.0) {
+      for (std::int64_t k = 0; k < p.burst_size; ++k) {
+        out.push_back(static_cast<std::int64_t>(t));
+      }
+      if (out.size() > kMaxTraceRequests) return out;
+    }
+    return out;
+  }
+  // Poisson by exponential inter-arrivals; ramp by thinning against the
+  // peak rate (accept with probability rate(t)/rate_max), which keeps the
+  // draw count itself a deterministic function of the rng stream.
+  const bool ramp = p.arrival == "ramp";
+  const double rate_max = ramp ? std::max(p.rate_rps, p.rate_end_rps) : p.rate_rps;
+  double t = 0;
+  for (;;) {
+    t += -std::log1p(-rng.uniform_real01()) / rate_max * 1e6;
+    if (t >= dur_us) break;
+    if (ramp) {
+      const double rate_t =
+          p.rate_rps + (p.rate_end_rps - p.rate_rps) * (t / dur_us);
+      if (rng.uniform_real01() * rate_max >= rate_t) continue;
+    }
+    out.push_back(static_cast<std::int64_t>(t));
+    if (out.size() > kMaxTraceRequests) return out;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<Trace> generate_trace(const Scenario& scenario, std::uint64_t seed,
+                                    std::string* error) {
+  std::string local;
+  std::string& err = error != nullptr ? *error : local;
+  Trace trace;
+  trace.scenario = scenario.name;
+  trace.seed = seed;
+
+  // The repeat pool is shared across phases: a warm phase can re-send
+  // instances a cold phase introduced, which is exactly the cross-phase
+  // cache-warmth dynamic the simulator exists to exercise.
+  std::vector<std::size_t> pool;  // indices into trace.entries
+  std::int64_t phase_start_us = 0;
+  for (std::size_t pi = 0; pi < scenario.phases.size(); ++pi) {
+    const Phase& p = scenario.phases[pi];
+    Rng rng(derive_seed(seed, pi));
+    TracePhase tp;
+    tp.name = p.name;
+    tp.start_us = phase_start_us;
+    tp.duration_us = static_cast<std::int64_t>(std::llround(p.duration_ms * 1000.0));
+    trace.phases.push_back(tp);
+
+    const auto offsets = arrival_offsets(p, rng);
+    if (trace.entries.size() + offsets.size() > kMaxTraceRequests) {
+      err = "trace for scenario \"" + scenario.name + "\" exceeds " +
+            std::to_string(kMaxTraceRequests) + " requests (check rate/duration)";
+      return std::nullopt;
+    }
+    std::size_t k = 0;
+    for (const std::int64_t offset : offsets) {
+      TraceEntry entry;
+      entry.t_us = phase_start_us + offset;
+      entry.phase = static_cast<int>(pi);
+      entry.id = p.name + "-" + std::to_string(k++);
+      entry.alg = p.alg;
+      entry.has_eps = p.has_eps;
+      entry.eps = p.eps;
+      if (!pool.empty() && rng.bernoulli(p.repeat_p)) {
+        entry.repeat = true;
+        entry.instance = trace.entries[pool[rng.uniform_u64(pool.size())]].instance;
+      } else {
+        std::string mix_error;
+        entry.instance = sample_mix_instance(p.mix, rng, &mix_error);
+        if (entry.instance.empty()) {
+          err = "phase \"" + p.name + "\": " + mix_error;
+          return std::nullopt;
+        }
+        pool.push_back(trace.entries.size());
+      }
+      trace.entries.push_back(std::move(entry));
+    }
+    phase_start_us += tp.duration_us;
+  }
+  return trace;
+}
+
+std::string encode_trace(const Trace& trace) {
+  std::ostringstream out;
+  out << "{\"v\": " << kScenarioVersion
+      << ", \"trace\": " << json_quote(trace.scenario)
+      << ", \"seed\": " << trace.seed << ", \"phases\": " << trace.phases.size()
+      << ", \"requests\": " << trace.entries.size() << "}\n";
+  for (const TracePhase& p : trace.phases) {
+    out << "{\"phase\": " << json_quote(p.name) << ", \"start_us\": " << p.start_us
+        << ", \"duration_us\": " << p.duration_us << "}\n";
+  }
+  for (const TraceEntry& e : trace.entries) {
+    out << "{\"t_us\": " << e.t_us
+        << ", \"phase\": " << json_quote(trace.phases[static_cast<std::size_t>(e.phase)].name)
+        << ", \"id\": " << json_quote(e.id);
+    if (e.repeat) out << ", \"repeat\": true";
+    if (!e.alg.empty()) out << ", \"alg\": " << json_quote(e.alg);
+    if (e.has_eps) out << ", \"eps\": " << fmt_double_exact(e.eps);
+    out << ", \"instance\": " << json_quote(e.instance) << "}\n";
+  }
+  return out.str();
+}
+
+std::optional<Trace> decode_trace(const std::string& text, std::string* error) {
+  std::string local;
+  std::string& err = error != nullptr ? *error : local;
+  const auto lines = content_lines(text);
+  if (lines.empty()) {
+    err = "trace: empty file";
+    return std::nullopt;
+  }
+
+  Trace trace;
+  std::uint64_t want_phases = 0;
+  std::uint64_t want_requests = 0;
+  std::map<std::string, int> phase_index;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto& [line_no, line] = lines[i];
+    std::string line_err;
+    const auto object = parse_flat_json_object(line, &line_err);
+    if (!object.has_value()) {
+      err = at_line("trace", line_no, line_err);
+      return std::nullopt;
+    }
+    if (i == 0) {
+      if (!check_keys(*object, {"v", "trace", "seed", "phases", "requests"}, &line_err)) {
+        err = at_line("trace", line_no, line_err);
+        return std::nullopt;
+      }
+      const Fields f{*object, &line_err};
+      if (const auto* v = f.raw("v"); v == nullptr || *v != std::to_string(kScenarioVersion)) {
+        err = at_line("trace", line_no, "missing or unsupported trace version");
+        return std::nullopt;
+      }
+      f.str("trace", &trace.scenario);
+      f.u64("seed", &trace.seed);
+      f.u64("phases", &want_phases);
+      f.u64("requests", &want_requests);
+      if (!line_err.empty()) {
+        err = at_line("trace", line_no, line_err);
+        return std::nullopt;
+      }
+      if (want_phases == 0 || want_requests > kMaxTraceRequests) {
+        err = at_line("trace", line_no, "header phase/request counts out of range");
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (trace.phases.size() < want_phases) {
+      if (!check_keys(*object, {"phase", "start_us", "duration_us"}, &line_err)) {
+        err = at_line("trace", line_no, line_err);
+        return std::nullopt;
+      }
+      const Fields f{*object, &line_err};
+      TracePhase p;
+      f.str("phase", &p.name);
+      f.integer("start_us", &p.start_us);
+      f.integer("duration_us", &p.duration_us);
+      if (!line_err.empty() || p.name.empty()) {
+        err = at_line("trace", line_no,
+                      line_err.empty() ? "phase line needs a name" : line_err);
+        return std::nullopt;
+      }
+      if (phase_index.count(p.name) != 0) {
+        err = at_line("trace", line_no, "duplicate phase \"" + p.name + "\"");
+        return std::nullopt;
+      }
+      phase_index[p.name] = static_cast<int>(trace.phases.size());
+      trace.phases.push_back(std::move(p));
+      continue;
+    }
+    if (!check_keys(*object, {"t_us", "phase", "id", "repeat", "alg", "eps", "instance"},
+                    &line_err)) {
+      err = at_line("trace", line_no, line_err);
+      return std::nullopt;
+    }
+    const Fields f{*object, &line_err};
+    TraceEntry e;
+    std::string phase_name;
+    f.integer("t_us", &e.t_us);
+    f.str("phase", &phase_name);
+    f.str("id", &e.id);
+    f.boolean("repeat", &e.repeat);
+    f.str("alg", &e.alg);
+    e.has_eps = f.num("eps", &e.eps);
+    const bool have_instance = f.str("instance", &e.instance);
+    if (!line_err.empty()) {
+      err = at_line("trace", line_no, line_err);
+      return std::nullopt;
+    }
+    const auto pi = phase_index.find(phase_name);
+    if (pi == phase_index.end() || e.id.empty() || !have_instance) {
+      err = at_line("trace", line_no, "entry needs a known phase, an id, and an instance");
+      return std::nullopt;
+    }
+    e.phase = pi->second;
+    trace.entries.push_back(std::move(e));
+  }
+  if (trace.phases.size() != want_phases || trace.entries.size() != want_requests) {
+    err = "trace: header counts (" + std::to_string(want_phases) + " phases, " +
+          std::to_string(want_requests) + " requests) do not match the body (" +
+          std::to_string(trace.phases.size()) + ", " +
+          std::to_string(trace.entries.size()) + ")";
+    return std::nullopt;
+  }
+  return trace;
+}
+
+}  // namespace bisched::engine::sim

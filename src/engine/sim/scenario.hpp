@@ -1,0 +1,126 @@
+// Scenario + trace: the deterministic half of the workload simulator.
+//
+// A *scenario* describes traffic as a sequence of phases — "Poisson arrivals
+// at 50 rps for 2 s, drawing gilbert instances at n=12 with 80% repeats" —
+// in the repository's flat JSON Lines dialect (io/jsonl.hpp): one header
+// object, then one object per phase. It is a description of a *process*, not
+// a corpus; the corpus is produced by expanding it.
+//
+// A *trace* is that expansion: the scenario sampled under one seed into a
+// concrete, replayable request stream — every arrival timestamped in integer
+// microseconds, every instance materialized as native instance text, every
+// repeat draw resolved. Generation is deterministic bit-for-bit: each phase
+// samples from Rng(derive_seed(seed, phase_index)), arrival draws and
+// instance draws consume the stream in a fixed order, and timestamps are
+// integers, so the same scenario + seed always encodes to the same bytes.
+// encode/decode round-trip byte-identically — a saved trace re-runs exactly,
+// which is what makes load results comparable across PRs.
+//
+// Scenario file (one JSON object per line; blank lines and #-comments
+// skipped; unknown keys rejected like the engine API codec):
+//
+//   {"v": 1, "scenario": "warmup", "seed": 7}
+//   {"phase": "cold", "arrival": "poisson", "rate_rps": 50,
+//    "duration_ms": 2000, "family": "gilbert", "n": 12, "machines": 3,
+//    "a": 2.0, "smax": 8, "repeat_p": 0}
+//   {"phase": "warm", "arrival": "burst", "burst_size": 20,
+//    "burst_every_ms": 250, "duration_ms": 1000, "family": "gilbert",
+//    "n": 12, "repeat_p": 0.8}
+//
+// Arrival processes: "poisson" (rate_rps), "burst" (burst_size requests
+// every burst_every_ms), "ramp" (rate_rps -> rate_end_rps linearly, sampled
+// by thinning). Instance knobs are random/workload_mix.hpp's MixSpec;
+// repeat_p is the probability an arrival re-sends a previously drawn
+// instance (from a pool shared across phases) instead of a fresh one — the
+// knob that exercises cache-warmth dynamics. Optional per-phase "alg"/"eps"
+// override the driver's solve defaults.
+//
+// Trace file: a header, one line per phase (its absolute time window), then
+// one line per request in send order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "random/workload_mix.hpp"
+
+namespace bisched::engine::sim {
+
+inline constexpr int kScenarioVersion = 1;
+
+// A hard cap on trace expansion, so a typo like rate_rps=5e7 is an error
+// message instead of an OOM.
+inline constexpr std::size_t kMaxTraceRequests = 1 << 20;
+
+struct Phase {
+  std::string name;
+  std::string arrival = "poisson";  // poisson | burst | ramp
+  double rate_rps = 0;              // poisson; ramp start rate
+  double rate_end_rps = 0;          // ramp end rate
+  std::int64_t burst_size = 0;      // burst: requests per burst
+  double burst_every_ms = 0;        // burst: period
+  double duration_ms = 0;
+  MixSpec mix;                      // instance family + knobs
+  double repeat_p = 0;              // P(arrival re-sends a pooled instance)
+  std::string alg;                  // optional solve overrides for the phase
+  bool has_eps = false;
+  double eps = 0;
+};
+
+struct Scenario {
+  std::string name;
+  std::uint64_t seed = 1;  // default seed; the CLI's --seed overrides
+  std::vector<Phase> phases;
+};
+
+// Parses the JSON-lines scenario text. nullopt + *error (with a line number)
+// on any malformed line, unknown key, or out-of-range knob.
+std::optional<Scenario> parse_scenario(const std::string& text, std::string* error);
+
+// Reads + parses a scenario file; nullopt + *error when unreadable.
+std::optional<Scenario> load_scenario(const std::string& path, std::string* error);
+
+// The canonical encoding: parse(encode(s)) == s and encode(parse(text)) is a
+// fixed point — what the golden test pins.
+std::string encode_scenario(const Scenario& scenario);
+
+// ------------------------------------------------------------------ trace ---
+
+struct TracePhase {
+  std::string name;
+  std::int64_t start_us = 0;     // absolute offset from trace start
+  std::int64_t duration_us = 0;
+};
+
+struct TraceEntry {
+  std::int64_t t_us = 0;  // scheduled send time, absolute from trace start
+  int phase = 0;          // index into Trace::phases
+  std::string id;         // "<phase>-<k>", unique within the trace
+  bool repeat = false;    // drawn from the repeat pool (cache-warmth traffic)
+  std::string alg;        // per-phase overrides, copied onto the request
+  bool has_eps = false;
+  double eps = 0;
+  std::string instance;   // native instance text (io/format)
+};
+
+struct Trace {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::vector<TracePhase> phases;
+  std::vector<TraceEntry> entries;  // non-decreasing t_us
+};
+
+// Expands the scenario under `seed` (overriding Scenario::seed). Entries are
+// in send order. nullopt + *error when a phase's mix rejects its knobs or
+// the expansion exceeds kMaxTraceRequests.
+std::optional<Trace> generate_trace(const Scenario& scenario, std::uint64_t seed,
+                                    std::string* error);
+
+// Canonical trace bytes; decode(encode(t)) reproduces `t` exactly and
+// encode(decode(text)) == text for any encoded trace.
+std::string encode_trace(const Trace& trace);
+std::optional<Trace> decode_trace(const std::string& text, std::string* error);
+
+}  // namespace bisched::engine::sim

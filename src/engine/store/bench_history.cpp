@@ -1,0 +1,95 @@
+#include "engine/store/bench_history.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+
+#include "engine/store/codec.hpp"
+
+namespace bisched::engine::store {
+
+NamespaceConfig bench_history_namespace() {
+  return {"bench-history", kBenchHistorySchema, /*flags=*/0};
+}
+
+namespace {
+
+// "<bench>/<epoch-ms, 13+ digits zero-padded>-<pid>": lexical order within a
+// bench is chronological, and the pid disambiguates two appends landing in
+// the same millisecond from different processes.
+std::string history_key(const std::string& bench, std::int64_t epoch_ms) {
+  std::string stamp = std::to_string(epoch_ms);
+  if (stamp.size() < 13) stamp.insert(0, 13 - stamp.size(), '0');
+  return bench + "/" + stamp + "-" + std::to_string(::getpid());
+}
+
+}  // namespace
+
+bool append_bench_history(DiskTier* tier, const std::string& bench,
+                          const std::string& json_document, std::string* error) {
+  if (tier == nullptr) {
+    if (error != nullptr) *error = "bench-history: no store";
+    return false;
+  }
+  if (!tier->writable()) {
+    // A read-only tier accepts put() into memory but persists nothing —
+    // refuse instead of pretending the row was recorded.
+    if (error != nullptr) {
+      *error = "bench-history: store is read-only (write lease held elsewhere)";
+    }
+    return false;
+  }
+  const std::int64_t epoch_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  tier->put(history_key(bench, epoch_ms), json_document);
+  tier->flush();
+  return true;
+}
+
+bool append_bench_history_at(const std::string& store_dir, const std::string& bench,
+                             const std::string& json_document, std::string* error) {
+  std::string open_error;
+  auto cache_store = CacheStore::open(store_dir, &open_error);
+  if (cache_store == nullptr) {
+    if (error != nullptr) *error = open_error;
+    return false;
+  }
+  if (cache_store->read_only()) {
+    if (error != nullptr) *error = cache_store->lease_warning();
+    return false;
+  }
+  DiskTier* tier = cache_store->open_namespace(bench_history_namespace());
+  if (!append_bench_history(tier, bench, json_document, error)) return false;
+  // One document per run: compacting here keeps the namespace a single
+  // snapshot file instead of an ever-growing journal.
+  return tier->compact(error);
+}
+
+std::vector<BenchHistoryEntry> list_bench_history(const DiskTier& tier) {
+  std::vector<BenchHistoryEntry> out;
+  tier.for_each([&](const std::string& key, const std::string& value) {
+    BenchHistoryEntry entry;
+    entry.key = key;
+    entry.bytes = value.size();
+    const auto slash = key.rfind('/');
+    if (slash != std::string::npos) {
+      entry.bench = key.substr(0, slash);
+      const auto dash = key.find('-', slash);
+      const char* begin = key.data() + slash + 1;
+      const char* end = key.data() + (dash == std::string::npos ? key.size() : dash);
+      std::from_chars(begin, end, entry.recorded_ms);
+    }
+    out.push_back(std::move(entry));
+  });
+  std::sort(out.begin(), out.end(),
+            [](const BenchHistoryEntry& a, const BenchHistoryEntry& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+}  // namespace bisched::engine::store

@@ -1,0 +1,52 @@
+// bench-history: perf trajectories as a warm-store namespace.
+//
+// The benches and the scenario simulator emit BENCH_<name>.json summaries —
+// the repository's perf trajectory — but until this module those files lived
+// and died in whatever cwd the run happened in. Appending each summary into
+// a `bench-history` namespace of the SAME store directory that carries the
+// caches makes one `--store=DIR` the complete serving artifact: what the
+// server knows (profile/result namespaces) and how fast it got there
+// (this one). A fleet shard's store tells you its warmth and its history;
+// `bisched_cli stats --store=DIR` lists both.
+//
+// Values are the raw JSON documents (the schema is the BENCH file dialect,
+// already golden-pinned at its producers); keys are
+// `<bench>/<epoch-ms, zero-padded>-<pid>` so a lexical walk is
+// chronological per bench and two processes never collide.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/store/cache_store.hpp"
+
+namespace bisched::engine::store {
+
+NamespaceConfig bench_history_namespace();
+
+// One recorded run, decoded from its key.
+struct BenchHistoryEntry {
+  std::string key;
+  std::string bench;              // producer name ("sim", "hotpaths", ...)
+  std::int64_t recorded_ms = 0;   // wall-clock epoch ms at append
+  std::size_t bytes = 0;          // document size
+};
+
+// Appends one BENCH_*.json document and flushes the journal. False + *error
+// on a read-only tier (another process holds the store's write lease) or a
+// journal failure.
+bool append_bench_history(DiskTier* tier, const std::string& bench,
+                          const std::string& json_document, std::string* error);
+
+// Standalone append for processes with no WarmState of their own (bench
+// binaries, live-mode sim): opens the store at `store_dir`, appends, and
+// closes. A store whose lease is held elsewhere refuses rather than
+// silently dropping the row.
+bool append_bench_history_at(const std::string& store_dir, const std::string& bench,
+                             const std::string& json_document, std::string* error);
+
+// Every recorded run, sorted by key (bench, then time).
+std::vector<BenchHistoryEntry> list_bench_history(const DiskTier& tier);
+
+}  // namespace bisched::engine::store

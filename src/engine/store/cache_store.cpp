@@ -368,6 +368,12 @@ void CacheStore::heartbeat() {
 }
 
 DiskTier* CacheStore::open_namespace(const NamespaceConfig& config) {
+  // Idempotent per name: a second open returns the SAME tier. Two tiers over
+  // one journal file would interleave their appends with each other, so the
+  // store never constructs them.
+  for (const auto& tier : tiers_) {
+    if (tier->config().name == config.name) return tier.get();
+  }
   tiers_.push_back(
       std::unique_ptr<DiskTier>(new DiskTier(dir_, config, !read_only_)));
   tiers_.back()->load();

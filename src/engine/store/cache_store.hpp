@@ -92,8 +92,19 @@ class DiskTier {
   // re-puts. Returns false with *error on I/O failure.
   bool compact(std::string* error = nullptr);
 
+  // Visits every entry, unordered. For introspection surfaces (`stats`
+  // listings), not the serving path — the serving tiers are looked up by
+  // key, never walked.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [key, value] : map_) fn(key, value);
+  }
+
   std::size_t entries() const { return map_.size(); }
   std::uint64_t journal_appends() const { return journal_appends_; }
+  // False when the store lost the write-lease race: entries serve, puts are
+  // memory-only and never persisted.
+  bool writable() const { return writable_; }
   const NamespaceConfig& config() const { return config_; }
   const LoadReport& load_report() const { return load_report_; }
 

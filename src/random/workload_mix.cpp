@@ -1,0 +1,77 @@
+#include "random/workload_mix.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "io/format.hpp"
+#include "random/generators.hpp"
+#include "random/gilbert.hpp"
+#include "sched/instance.hpp"
+
+namespace bisched {
+
+namespace {
+
+bool check(bool ok, const char* what, std::string* error) {
+  if (!ok && error != nullptr) *error = what;
+  return ok;
+}
+
+}  // namespace
+
+bool mix_family_known(const std::string& family) {
+  return family == "gilbert" || family == "crown" || family == "r2";
+}
+
+std::string sample_mix_instance(const MixSpec& spec, Rng& rng, std::string* error) {
+  if (!check(spec.n >= 1 && spec.n <= 100000, "mix: n must be in [1, 100000]", error) ||
+      !check(spec.machines >= 1 && spec.machines <= 4096,
+             "mix: machines must be in [1, 4096]", error)) {
+    return "";
+  }
+  std::ostringstream out;
+  if (spec.family == "gilbert") {
+    if (!check(spec.a > 0, "mix: gilbert needs a > 0", error) ||
+        !check(spec.smax >= 1, "mix: gilbert needs smax >= 1", error)) {
+      return "";
+    }
+    Graph g = gilbert_bipartite(spec.n, spec.a / spec.n, rng);
+    std::vector<std::int64_t> speeds(static_cast<std::size_t>(spec.machines));
+    for (auto& s : speeds) s = rng.uniform_int(1, spec.smax);
+    write_instance(out, make_uniform_instance(unit_weights(2 * spec.n),
+                                              std::move(speeds), std::move(g)));
+    return out.str();
+  }
+  if (spec.family == "crown") {
+    if (!check(spec.wmax >= 1, "mix: crown needs wmax >= 1", error)) return "";
+    write_instance(
+        out, make_uniform_instance(
+                 uniform_weights(2 * spec.n, 1, spec.wmax, rng),
+                 std::vector<std::int64_t>(static_cast<std::size_t>(spec.machines), 2),
+                 crown(spec.n)));
+    return out.str();
+  }
+  if (spec.family == "r2") {
+    if (!check(spec.tmax >= 0, "mix: r2 needs tmax >= 0", error)) return "";
+    const std::int64_t edges = spec.edges != 0 ? spec.edges : spec.n / 2;
+    if (!check(edges >= 0 && edges <= static_cast<std::int64_t>(spec.n) * spec.n,
+               "mix: r2 edges must fit a*b", error)) {
+      return "";
+    }
+    Graph g = random_bipartite_edges(spec.n, spec.n, edges, rng);
+    std::vector<std::vector<std::int64_t>> times(
+        2, std::vector<std::int64_t>(2 * static_cast<std::size_t>(spec.n)));
+    for (auto& row : times) {
+      for (auto& x : row) x = rng.uniform_int(0, spec.tmax);
+    }
+    write_instance(out, make_unrelated_instance(std::move(times), std::move(g)));
+    return out.str();
+  }
+  check(false, "mix: unknown family (gilbert, crown, r2)", error);
+  if (error != nullptr && !spec.family.empty()) {
+    *error = "mix: unknown family '" + spec.family + "' (gilbert, crown, r2)";
+  }
+  return "";
+}
+
+}  // namespace bisched

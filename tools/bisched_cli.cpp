@@ -51,6 +51,11 @@
 #include "engine/portfolio.hpp"
 #include "engine/registry.hpp"
 #include "engine/serve.hpp"
+#include "engine/sim/driver.hpp"
+#include "engine/sim/report.hpp"
+#include "engine/sim/scenario.hpp"
+#include "engine/store/bench_history.hpp"
+#include "engine/telemetry/metrics.hpp"
 #include "engine/transport.hpp"
 #include "io/format.hpp"
 #include "io/jsonl.hpp"
@@ -85,13 +90,25 @@ int usage() {
       "  bisched_cli route [--fleet=N] [--store=DIR] [--alg=NAME|auto] [--eps=E]\n"
       "              [--stable] [--threads=N] (per-backend solve threads)\n"
       "              [--route-threads=N] [--max-inflight=K] [--deadline-ms=MS]\n"
+      "              [--timeout-ms=MS] (per-attempt backend read deadline)\n"
       "              [--health-ms=MS] [--listen=unix:PATH | tcp:HOST:PORT]\n"
       "              (supervised local serve fleet behind one routing\n"
       "               front-end; see docs/fleet.md)\n"
       "  bisched_cli client (--connect=unix:PATH | --connect=tcp:HOST:PORT)\n"
-      "              [--auth-token=T] (frames on stdin -> responses)\n"
+      "              [--auth-token=T] [--timeout-ms=MS] (frames on stdin ->\n"
+      "              responses; the timeout bounds each read on the socket)\n"
       "  bisched_cli metrics (--connect=unix:PATH | --connect=tcp:HOST:PORT)\n"
+      "              [--timeout-ms=MS]\n"
       "              (one Prometheus text-exposition scrape of a running serve)\n"
+      "  bisched_cli sim (--scenario=FILE | --trace-in=FILE) [--seed=S]\n"
+      "              [--connect=unix:PATH | tcp:HOST:PORT] (default: in-process)\n"
+      "              [--connections=N] [--sla-ms=MS] [--timeout-ms=MS]\n"
+      "              [--max-attempts=K] [--alg=NAME|auto] [--eps=E] [--stable]\n"
+      "              [--store=DIR] [--json-out=FILE] [--html-out=FILE]\n"
+      "              [--trace-out=FILE] [--out=FILE] [--auth-token=T]\n"
+      "              (trace-driven open-loop load replay; see docs/sim.md)\n"
+      "  bisched_cli stats --store=DIR (what a warm store holds: cache\n"
+      "              namespaces and recorded bench-history runs)\n"
       "  bisched_cli list-algs [--json]\n"
       "  bisched_cli gen gilbert --n=N --a=A --m=M [--smax=S] [--seed=SEED]\n"
       "  bisched_cli gen crown --n=N --m=M [--wmax=W] [--seed=SEED]\n"
@@ -608,6 +625,12 @@ int cmd_route(int argc, char** argv) {
     flag_error("health-ms", std::to_string(health_ms), "ms in [1, 3600000]");
   }
   options.health_interval_ms = static_cast<int>(health_ms);
+  const std::int64_t attempt_ms =
+      flag_int(argc, argv, "timeout-ms", options.attempt_timeout_ms);
+  if (attempt_ms < 1 || attempt_ms > 86400000) {
+    flag_error("timeout-ms", std::to_string(attempt_ms), "ms in [1, 86400000]");
+  }
+  options.attempt_timeout_ms = static_cast<int>(attempt_ms);
 
   std::string error;
   engine::fleet::RouterStats stats;
@@ -668,6 +691,15 @@ int cmd_client(int argc, char** argv) {
   // A server that goes away mid-conversation should surface as EOF/write
   // failure, not kill the client with SIGPIPE.
   ::signal(SIGPIPE, SIG_IGN);
+  // --timeout-ms bounds every socket read/write (the fleet's per-attempt
+  // deadline helper): a stalled server becomes EOF here instead of a hang.
+  const std::int64_t read_ms = flag_int(argc, argv, "timeout-ms", 0);
+  if (read_ms < 0 || read_ms > 86400000) {
+    flag_error("timeout-ms", std::to_string(read_ms), "ms in [0, 86400000]");
+  }
+  if (read_ms > 0) {
+    engine::set_io_timeout(fd, static_cast<int>(read_ms), static_cast<int>(read_ms));
+  }
 
   engine::FdTransport transport(fd, "peer");
   // Authenticate first when a token is at hand (flag, else environment):
@@ -725,6 +757,13 @@ int cmd_metrics(int argc, char** argv) {
     return 1;
   }
   ::signal(SIGPIPE, SIG_IGN);
+  const std::int64_t read_ms = flag_int(argc, argv, "timeout-ms", 0);
+  if (read_ms < 0 || read_ms > 86400000) {
+    flag_error("timeout-ms", std::to_string(read_ms), "ms in [0, 86400000]");
+  }
+  if (read_ms > 0) {
+    engine::set_io_timeout(fd, static_cast<int>(read_ms), static_cast<int>(read_ms));
+  }
   engine::FdTransport transport(fd, "peer");
   transport.out() << "metrics\n";
   transport.out().flush();
@@ -746,6 +785,256 @@ int cmd_metrics(int argc, char** argv) {
     return 1;
   }
   std::cout << body->second;  // already unescaped; ends with '\n' per exposition
+  return 0;
+}
+
+// -------------------------------------------------------------------- sim ---
+
+// Trace-driven load replay (engine/sim): expand a scenario (or re-run a
+// saved trace) through the open-loop driver, then render the BENCH_sim.json
+// and HTML reports. Per-request failures are *recorded*, never fatal — the
+// exit code distinguishes "the run could not happen" (1) from "the run
+// happened and here is what it measured" (0), so a fault-injection run that
+// absorbed a backend crash still exits 0 with retries>0 in the report.
+int cmd_sim(int argc, char** argv) {
+  std::string scenario_path;
+  std::string trace_in;
+  const bool have_scenario = flag_value(argc, argv, "scenario", &scenario_path);
+  const bool have_trace_in = flag_value(argc, argv, "trace-in", &trace_in);
+  if (!have_scenario && !have_trace_in) {
+    std::cerr << "sim needs --scenario=FILE or --trace-in=FILE\n";
+    return usage();
+  }
+
+  std::string error;
+  engine::sim::Trace trace;
+  if (have_trace_in) {
+    // A saved trace replays byte-identically; --scenario/--seed are ignored.
+    std::ifstream file(trace_in);
+    if (!file) {
+      std::cerr << "sim: cannot open '" << trace_in << "'\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    auto decoded = engine::sim::decode_trace(buffer.str(), &error);
+    if (!decoded.has_value()) {
+      std::cerr << "sim: " << trace_in << ": " << error << "\n";
+      return 1;
+    }
+    trace = std::move(*decoded);
+  } else {
+    auto scenario = engine::sim::load_scenario(scenario_path, &error);
+    if (!scenario.has_value()) {
+      std::cerr << "sim: " << error << "\n";
+      return 1;
+    }
+    const std::uint64_t seed = static_cast<std::uint64_t>(
+        flag_int(argc, argv, "seed", static_cast<std::int64_t>(scenario->seed)));
+    auto generated = engine::sim::generate_trace(*scenario, seed, &error);
+    if (!generated.has_value()) {
+      std::cerr << "sim: " << error << "\n";
+      return 1;
+    }
+    trace = std::move(*generated);
+  }
+
+  std::string trace_out;
+  if (flag_value(argc, argv, "trace-out", &trace_out)) {
+    std::ofstream out(trace_out);
+    if (out) out << engine::sim::encode_trace(trace);
+    if (!out || !out.flush()) {
+      std::cerr << "sim: cannot write trace '" << trace_out << "'\n";
+      return 1;
+    }
+    std::cerr << "sim: wrote trace " << trace_out << " (" << trace.entries.size()
+              << " requests)\n";
+  }
+
+  engine::sim::DriverOptions options;
+  const std::int64_t connections = flag_int(argc, argv, "connections", 4);
+  if (connections < 1 || connections > 256) {
+    flag_error("connections", std::to_string(connections), "a count in [1, 256]");
+  }
+  options.connections = static_cast<int>(connections);
+  options.sla_ms = flag_double(argc, argv, "sla-ms", 50);
+  if (!(options.sla_ms > 0)) {
+    flag_error("sla-ms", std::to_string(options.sla_ms), "a positive latency budget");
+  }
+  const std::int64_t timeout = flag_int(argc, argv, "timeout-ms", 10000);
+  if (timeout < 1 || timeout > 86400000) {
+    flag_error("timeout-ms", std::to_string(timeout), "ms in [1, 86400000]");
+  }
+  options.timeout_ms = static_cast<int>(timeout);
+  const std::int64_t attempts = flag_int(argc, argv, "max-attempts", 3);
+  if (attempts < 1 || attempts > 100) {
+    flag_error("max-attempts", std::to_string(attempts), "a count in [1, 100]");
+  }
+  options.max_attempts = static_cast<int>(attempts);
+  flag_value(argc, argv, "alg", &options.default_alg);
+  std::string value;
+  if (flag_value(argc, argv, "eps", &value)) {
+    options.has_eps = true;
+    options.eps = flag_double(argc, argv, "eps", 0.1);
+  }
+  options.stable_outputs = flag_present(argc, argv, "stable");
+
+  // In-process unless --connect points at a live serve/route.
+  engine::sim::SimEndpoint endpoint;
+  engine::sim::InProcessEngine in_process;
+  std::unique_ptr<engine::WarmState> warm;
+  std::string mode = "in-process";
+  const Endpoint connect = flag_endpoint(argc, argv, "connect");
+  if (connect.kind == Endpoint::Kind::kUnix) {
+    endpoint.kind = engine::sim::SimEndpoint::Kind::kUnix;
+    endpoint.path = connect.path;
+    mode = "unix";
+  } else if (connect.kind == Endpoint::Kind::kTcp) {
+    endpoint.kind = engine::sim::SimEndpoint::Kind::kTcp;
+    endpoint.host = connect.host;
+    endpoint.port = connect.port;
+    mode = "tcp";
+  } else {
+    warm = make_warm_state(argc, argv);
+    in_process.registry = &engine::SolverRegistry::builtin();
+    in_process.warm = warm.get();
+  }
+  if (!flag_value(argc, argv, "auth-token", &endpoint.auth_token)) {
+    const char* env_token = std::getenv("BISCHED_AUTH_TOKEN");
+    if (env_token != nullptr) endpoint.auth_token = env_token;
+  }
+
+  engine::telemetry::Registry registry;
+  const engine::sim::DriverResult result =
+      engine::sim::run_driver(trace, endpoint, options, registry, in_process);
+  if (!result.ok) {
+    std::cerr << "sim: " << result.error << "\n";
+    return 1;
+  }
+
+  const auto phases = engine::sim::summarize(trace, result, registry);
+  engine::sim::ReportOptions report;
+  report.scenario = trace.scenario;
+  report.seed = trace.seed;
+  report.mode = mode;
+  report.connections = options.connections;
+  report.sla_ms = options.sla_ms;
+  report.stable = options.stable_outputs;
+  const std::string json =
+      engine::sim::render_report_json(trace, result, phases, report);
+
+  const std::string json_out = [&] {
+    std::string path;
+    if (!flag_value(argc, argv, "json-out", &path)) path = "BENCH_sim.json";
+    return path;
+  }();
+  {
+    std::ofstream out(json_out);
+    if (out) out << json;
+    if (!out || !out.flush()) {
+      std::cerr << "sim: cannot write report '" << json_out << "'\n";
+      return 1;
+    }
+  }
+  std::string html_out;
+  if (flag_value(argc, argv, "html-out", &html_out)) {
+    std::ofstream out(html_out);
+    if (out) out << engine::sim::render_report_html(trace, result, phases, report);
+    if (!out || !out.flush()) {
+      std::cerr << "sim: cannot write report '" << html_out << "'\n";
+      return 1;
+    }
+  }
+  // --out captures the raw response lines in trace order — the determinism
+  // artifact (two --connections=1 --stable runs of one trace compare equal).
+  std::string out_path;
+  if (flag_value(argc, argv, "out", &out_path)) {
+    std::ofstream out(out_path);
+    for (const auto& sample : result.samples) out << sample.output << '\n';
+    if (!out || !out.flush()) {
+      std::cerr << "sim: cannot write outputs '" << out_path << "'\n";
+      return 1;
+    }
+  }
+
+  // The run also lands in the store's bench-history when --store is given:
+  // through the warm state's own handle in-process (no lease race with the
+  // caches), through a standalone open for live runs.
+  std::string store_dir;
+  if (flag_value(argc, argv, "store", &store_dir) && !store_dir.empty()) {
+    std::string hist_error;
+    bool recorded = false;
+    if (warm != nullptr) {
+      recorded = warm->persistent() &&
+                 engine::store::append_bench_history(warm->bench_history(), "sim",
+                                                     json, &hist_error);
+    } else {
+      recorded =
+          engine::store::append_bench_history_at(store_dir, "sim", json, &hist_error);
+    }
+    if (recorded) {
+      std::cerr << "sim: recorded run into " << store_dir << " bench-history\n";
+    } else if (!hist_error.empty()) {
+      std::cerr << "sim: bench-history: " << hist_error << "\n";
+    }
+  }
+
+  // Human-facing summary on stdout; the JSON/HTML carry the full detail.
+  TextTable table("sim: " + trace.scenario + " (seed " + std::to_string(trace.seed) +
+                  ", " + mode + ", " + std::to_string(options.connections) +
+                  " connections)");
+  table.set_header({"phase", "requests", "ok", "errors", "retries", "sla_miss",
+                    "p50_ms", "p95_ms", "p99_ms", "hit_mem", "hit_disk", "miss"});
+  for (const auto& p : phases) {
+    table.add_row({p.name, std::to_string(p.requests), std::to_string(p.ok),
+                   std::to_string(p.errors), std::to_string(p.retries),
+                   std::to_string(p.sla_miss), fmt_double(p.p50_ms),
+                   fmt_double(p.p95_ms), fmt_double(p.p99_ms),
+                   std::to_string(p.tier_memory), std::to_string(p.tier_disk),
+                   std::to_string(p.tier_miss)});
+  }
+  table.print(std::cout);
+  std::cout << "wrote " << json_out << (html_out.empty() ? "" : " and " + html_out)
+            << "\n";
+  if (warm != nullptr) checkpoint_warm(*warm);
+  return 0;
+}
+
+// ------------------------------------------------------------------ stats ---
+
+// What a --store=DIR directory holds: both cache namespaces' entry counts
+// and every recorded bench-history run. Read-only degrade (another process
+// holding the write lease) still lists everything.
+int cmd_stats(int argc, char** argv) {
+  std::string store_dir;
+  if (!flag_value(argc, argv, "store", &store_dir) || store_dir.empty()) {
+    std::cerr << "stats needs --store=DIR\n";
+    return usage();
+  }
+  const auto warm = make_warm_state(argc, argv);
+  if (!warm->persistent()) {
+    std::cerr << "stats: cannot open store '" << store_dir << "'\n";
+    return 1;
+  }
+  std::cout << "store: " << warm->store_dir()
+            << (warm->store_read_only() ? " (read-only: write lease held elsewhere)"
+                                        : "")
+            << "\n";
+  const auto probe = warm->profiles().stats();
+  const auto result = warm->results().stats();
+  std::cout << "profile namespace: " << probe.disk_entries << " entries\n";
+  std::cout << "result namespace: " << result.disk_entries << " entries\n";
+  const auto history = engine::store::list_bench_history(*warm->bench_history());
+  std::cout << "bench-history: " << history.size() << " recorded runs\n";
+  if (!history.empty()) {
+    TextTable table;
+    table.set_header({"bench", "recorded_ms", "bytes", "key"});
+    for (const auto& entry : history) {
+      table.add_row({entry.bench, std::to_string(entry.recorded_ms),
+                     std::to_string(entry.bytes), entry.key});
+    }
+    table.print(std::cout);
+  }
   return 0;
 }
 
@@ -902,6 +1191,8 @@ int main(int argc, char** argv) {
   if (command == "route") return cmd_route(argc, argv);
   if (command == "client") return cmd_client(argc, argv);
   if (command == "metrics") return cmd_metrics(argc, argv);
+  if (command == "sim") return cmd_sim(argc, argv);
+  if (command == "stats") return cmd_stats(argc, argv);
   if (command == "list-algs") return cmd_list_algs(argc, argv);
   if (command == "gen") return cmd_gen(argc, argv);
   if (command == "eval") return cmd_eval(argc, argv);

@@ -294,7 +294,8 @@ grep -q 'bisched_fleet_retries_total [1-9]' "$SMOKE/route.out" || {
   cat "$SMOKE/route.out" "$SMOKE/route.log" >&2
   exit 1
 }
-grep -q 'bisched_fleet_backends{state="healthy"}' "$SMOKE/route.out" || {
+# The scrape rides inside a JSON metrics frame, so its quotes arrive escaped.
+grep -qF 'bisched_fleet_backends{state=\"healthy\"}' "$SMOKE/route.out" || {
   echo "ci.sh: fleet smoke failed: backend state gauges missing from the scrape" >&2
   cat "$SMOKE/route.out" >&2
   exit 1
@@ -464,5 +465,150 @@ grep -q '"bench_case": "kill_mid_stream".*"errors": 0' "$FLEET_JSON" || {
   exit 1
 }
 
+# ------------------------------------------------------------ sim smoke ---
+# The scenario simulator end to end (docs/sim.md). In-process first: the
+# same 2-phase scenario expanded and replayed twice with --connections=1
+# --stable must produce byte-identical traces AND byte-identical response
+# lines (the report's latency fields are timing and legitimately differ);
+# BENCH_sim.json must carry the per-phase rows with a warmer second phase,
+# and the HTML report must be a self-contained document. 1-CPU friendly:
+# ~110 tiny n=8 requests per replay.
+cat > "$SMOKE/scenario.jsonl" <<'SCEN'
+{"v": 1, "scenario": "ci-smoke", "seed": 7}
+{"phase": "cold", "arrival": "poisson", "rate_rps": 300, "duration_ms": 200, "family": "gilbert", "n": 8, "machines": 3, "repeat_p": 0}
+{"phase": "warm", "arrival": "burst", "burst_size": 10, "burst_every_ms": 40, "duration_ms": 200, "family": "gilbert", "n": 8, "machines": 3, "repeat_p": 0.9}
+SCEN
+"$CLI" sim --scenario="$SMOKE/scenario.jsonl" --seed=7 --connections=1 --stable \
+  --trace-out="$SMOKE/trace1.txt" --out="$SMOKE/sim1.out" \
+  --json-out="$SMOKE/BENCH_sim.json" --html-out="$SMOKE/sim.html" \
+  > "$SMOKE/sim.log" 2>&1 || {
+  echo "ci.sh: sim smoke failed: in-process run exited nonzero" >&2
+  cat "$SMOKE/sim.log" >&2
+  exit 1
+}
+"$CLI" sim --scenario="$SMOKE/scenario.jsonl" --seed=7 --connections=1 --stable \
+  --trace-out="$SMOKE/trace2.txt" --out="$SMOKE/sim2.out" \
+  --json-out="$SMOKE/sim2.json" > /dev/null 2>&1 || {
+  echo "ci.sh: sim smoke failed: second in-process run exited nonzero" >&2
+  exit 1
+}
+cmp -s "$SMOKE/trace1.txt" "$SMOKE/trace2.txt" || {
+  echo "ci.sh: sim smoke failed: same scenario+seed produced different traces" >&2
+  exit 1
+}
+cmp -s "$SMOKE/sim1.out" "$SMOKE/sim2.out" || {
+  echo "ci.sh: sim smoke failed: sequential replays produced different outputs" >&2
+  diff "$SMOKE/sim1.out" "$SMOKE/sim2.out" | head >&2 || true
+  exit 1
+}
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$SMOKE/BENCH_sim.json" <<'PY' || exit 1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "sim", doc
+rows = {r["phase"]: r for r in doc["rows"]}
+assert set(rows) == {"cold", "warm", "total"}, sorted(rows)
+for name in ("cold", "warm"):
+    row = rows[name]
+    for key in ("requests", "ok", "errors", "retries", "sla_miss", "p50_ms",
+                "p95_ms", "p99_ms", "mean_ms", "send_delay_p95_ms",
+                "hit_memory", "hit_disk", "miss"):
+        assert key in row, (name, key)
+    assert row["errors"] == 0, row
+    assert row["requests"] > 0 and row["ok"] == row["requests"], row
+total = rows["total"]
+for key in ("scenario", "seed", "mode", "connections", "sla_ms", "wall_ms"):
+    assert key in total, key
+assert total["scenario"] == "ci-smoke" and total["mode"] == "in-process", total
+# The repeat_p=0.9 phase must be served warmer than the all-miss cold one.
+assert rows["cold"]["hit_memory"] == 0, rows["cold"]
+assert rows["warm"]["hit_memory"] > rows["warm"]["requests"] // 2, rows["warm"]
+PY
+fi
+[ -s "$SMOKE/sim.html" ] && grep -q '<svg' "$SMOKE/sim.html" \
+  && grep -q '</html>' "$SMOKE/sim.html" || {
+  echo "ci.sh: sim smoke failed: HTML report missing, empty, or chartless" >&2
+  exit 1
+}
+
+# The same saved trace against a routed 2-backend fleet with backend 0
+# armed to crash mid-replay: the driver must exit 0 (failures are the
+# router's to absorb) while the report's scraped server_* counters admit
+# the retries/respawns happened.
+FLEET_SOCK="$SMOKE/sim-fleet.sock"
+BISCHED_FAULT='backend=0;crash-after:5' \
+  "$CLI" route --fleet=2 --stable --deadline-ms=60000 \
+  --listen="unix:$FLEET_SOCK" > "$SMOKE/sim-fleet.log" 2>&1 &
+SERVER_PID=$!
+tries=0
+while [ ! -S "$FLEET_SOCK" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 200 ] || {
+    echo "ci.sh: sim smoke failed: fleet socket never appeared" >&2
+    cat "$SMOKE/sim-fleet.log" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+"$CLI" sim --trace-in="$SMOKE/trace1.txt" --connect="unix:$FLEET_SOCK" \
+  --connections=2 --max-attempts=5 --timeout-ms=60000 \
+  --json-out="$SMOKE/sim-fleet.json" > "$SMOKE/sim-live.log" 2>&1 || {
+  echo "ci.sh: sim smoke failed: fleet-backed replay exited nonzero" >&2
+  cat "$SMOKE/sim-live.log" "$SMOKE/sim-fleet.log" >&2
+  exit 1
+}
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$SMOKE/sim-fleet.json" <<'PY' || { cat "$SMOKE/sim-fleet.log" >&2; exit 1; }
+import json, sys
+doc = json.load(open(sys.argv[1]))
+total = next(r for r in doc["rows"] if r["phase"] == "total")
+assert total["mode"] == "unix", total
+assert total["errors"] == 0 and total["ok"] == total["requests"], total
+assert total["server_role"] == "router", total
+assert total["server_retries"] > 0, total
+assert total["server_respawns"] > 0, total
+assert total["server_errors"] == 0, total
+PY
+else
+  grep -q '"errors": 0' "$SMOKE/sim-fleet.json" \
+    && grep -q '"server_role": "router"' "$SMOKE/sim-fleet.json" || {
+    echo "ci.sh: sim smoke failed: fleet report lacks router counters" >&2
+    cat "$SMOKE/sim-fleet.json" >&2
+    exit 1
+  }
+fi
+printf 'shutdown\n' | "$CLI" client --connect="unix:$FLEET_SOCK" > /dev/null
+wait "$SERVER_PID" || {
+  echo "ci.sh: sim smoke failed: fleet exited nonzero" >&2
+  cat "$SMOKE/sim-fleet.log" >&2
+  exit 1
+}
+SERVER_PID=
+
+# --store=DIR trajectories: a sim run and a bench run append into one
+# store's bench-history namespace, and `stats --store` lists both.
+TRAJ="$SMOKE/traj-store"
+"$CLI" sim --scenario="$SMOKE/scenario.jsonl" --seed=7 --connections=1 \
+  --stable --store="$TRAJ" --json-out="$SMOKE/sim3.json" > /dev/null 2>&1 || {
+  echo "ci.sh: sim smoke failed: --store run exited nonzero" >&2
+  exit 1
+}
+build-ci/bench/bench_hotpaths --quick --json-out="$SMOKE/hp2.json" \
+  --store="$TRAJ" > /dev/null || {
+  echo "ci.sh: sim smoke failed: bench --store run exited nonzero" >&2
+  exit 1
+}
+"$CLI" stats --store="$TRAJ" > "$SMOKE/stats.out" || {
+  echo "ci.sh: sim smoke failed: stats --store exited nonzero" >&2
+  exit 1
+}
+grep -q 'bench-history: 2 recorded runs' "$SMOKE/stats.out" \
+  && grep -q '| sim ' "$SMOKE/stats.out" \
+  && grep -q '| hotpaths ' "$SMOKE/stats.out" || {
+  echo "ci.sh: sim smoke failed: stats does not list both recorded runs" >&2
+  cat "$SMOKE/stats.out" >&2
+  exit 1
+}
+
 echo "ci.sh: batch --shard, serve+stats, store, socket serve, metrics+slow-log," \
-  "tcp serve, fleet route+failover, lattice, and bench smoke OK"
+  "tcp serve, fleet route+failover, lattice, bench, and sim smoke OK"
