@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "engine/fault.hpp"
+#include "engine/serve/event_loop.hpp"
 #include "io/jsonl.hpp"
 #include "sched/simd_dispatch.hpp"
 #include "util/parallel.hpp"
@@ -59,6 +60,16 @@ double hit_rate(std::uint64_t memory_hits, std::uint64_t disk_hits,
   return static_cast<double>(memory_hits + disk_hits) / static_cast<double>(total);
 }
 
+// SIGTERM = graceful drain for any accept loop in this process: stop
+// accepting, interrupt idle sessions, finish in-flight work, flush. The
+// supervisor stops fleet backends this way.
+std::atomic<bool> g_drain{false};
+void drain_handler(int) { g_drain.store(true); }
+
+}  // namespace
+
+namespace detail {
+
 // Constant-time token comparison: the loop shape depends only on the
 // lengths, never on where the strings first differ, so response timing
 // cannot be used to guess a remote token byte by byte.
@@ -73,16 +84,11 @@ bool token_equal(const std::string& a, const std::string& b) {
   return diff == 0;
 }
 
-// SIGTERM = graceful drain for any accept loop in this process: stop
-// accepting, interrupt idle sessions, finish in-flight work, flush. The
-// supervisor stops fleet backends this way.
-std::atomic<bool> g_drain{false};
-void drain_handler(int) { g_drain.store(true); }
+}  // namespace detail
 
-}  // namespace
-
-Frame parse_frame(const std::string& frame, std::istream& in) {
+Frame classify_frame(const std::string& frame, bool* needs_body) {
   Frame out;
+  *needs_body = false;
   if (frame == "quit") {
     out.kind = Frame::Kind::kQuit;
     return out;
@@ -116,21 +122,14 @@ Frame parse_frame(const std::string& frame, std::istream& in) {
                   "need the JSON form)";
       }
     } else if (words[0] == "instance") {
-      // The native text follows on the stream, so every `instance` header
-      // — even one with a malformed id list — must consume its body, or
-      // the body lines would be misread as frames. The parser consumes
-      // exactly one well-formed instance; on a parse error it stops
-      // mid-stream, so the damage is contained by discarding input up to
-      // the next blank line (instance bodies contain none).
+      // The native text follows the header: the caller owns consuming the
+      // body (parse_frame reads it off the live stream below; the async
+      // core scans it incrementally from its read buffer). A header with a
+      // malformed id list still gets *needs_body — the body must be
+      // consumed either way, or its lines would be misread as frames.
       if (words.size() == 2) out.req.id = words[1];
       if (words.size() > 2) out.bad = "bad request: instance takes at most one id";
-      auto parsed = std::make_shared<ParsedInstance>(parse_instance(in));
-      if (!parsed->ok()) {
-        std::string skip;
-        while (std::getline(in, skip) && !trimmed(skip).empty()) {
-        }
-      }
-      if (out.bad.empty()) out.req.parsed = std::move(parsed);
+      *needs_body = true;
     } else if (words[0] == "stats") {
       if (words.size() == 2) out.req.id = words[1];
       if (words.size() > 2) out.bad = "bad request: stats takes at most one id";
@@ -161,17 +160,23 @@ Frame parse_frame(const std::string& frame, std::istream& in) {
   return out;
 }
 
-// One admitted frame. The session thread decodes only what must come off the
-// shared request stream: a native `instance` body is parsed in place (into
-// req.parsed), while file requests and inline instance text defer their
-// IO/parse work to the worker so the session keeps admitting frames.
-struct Server::PendingRequest {
-  SolveRequest req;
-  std::int64_t seq = 0;
-  bool stats = false;    // `stats [ID]` introspection frame, answered inline
-  bool metrics = false;  // `metrics [ID]` scrape frame, answered inline
-  std::string bad;       // nonempty: malformed frame, answer with this error
-};
+Frame parse_frame(const std::string& frame, std::istream& in) {
+  bool needs_body = false;
+  Frame out = classify_frame(frame, &needs_body);
+  if (needs_body) {
+    // The parser consumes exactly one well-formed instance; on a parse
+    // error it stops mid-stream, so the damage is contained by discarding
+    // input up to the next blank line (instance bodies contain none).
+    auto parsed = std::make_shared<ParsedInstance>(parse_instance(in));
+    if (!parsed->ok()) {
+      std::string skip;
+      while (std::getline(in, skip) && !trimmed(skip).empty()) {
+      }
+    }
+    if (out.bad.empty()) out.req.parsed = std::move(parsed);
+  }
+  return out;
+}
 
 // Per-client state: the response stream lock and this session's share of the
 // in-flight count (so `quit`/EOF drains one client without waiting on the
@@ -222,12 +227,22 @@ Server::Server(const SolverRegistry& registry, const ServeOptions& options,
                                "reason=\"auth\"");
   rejects_quota_ = &reg.counter("bisched_serve_rejects_total", rejects_help,
                                 "reason=\"over-quota\"");
+  rejects_idle_ = &reg.counter("bisched_serve_rejects_total", rejects_help,
+                               "reason=\"idle-timeout\"");
   sessions_total_ = &reg.counter("bisched_serve_sessions_total",
                                  "Client sessions ever started");
   sessions_active_ = &reg.gauge("bisched_serve_sessions_active",
                                 "Client sessions currently connected");
   inflight_gauge_ = &reg.gauge("bisched_serve_inflight_requests",
                                "Requests admitted but not yet answered");
+  open_sessions_ = &reg.gauge("bisched_serve_open_sessions",
+                              "Sessions registered on the async event loop");
+  parked_sessions_ = &reg.gauge("bisched_serve_parked_sessions",
+                                "Sessions with reads parked by backpressure");
+  pipeline_peak_ = &reg.gauge("bisched_serve_pipeline_depth_peak",
+                              "Deepest per-session solve pipeline observed");
+  loop_wakeups_ = &reg.counter("bisched_serve_loop_wakeups_total",
+                               "Event loop wakeups (epoll_wait returns)");
   uptime_gauge_ = &reg.gauge("bisched_uptime_seconds",
                              "Seconds since this server was constructed");
 }
@@ -332,9 +347,9 @@ void Server::maybe_slow_log(const SolveResponse& response, double elapsed_ms,
   out << line.str() << std::flush;
 }
 
-void Server::answer(Transport& transport, SessionState& state,
-                    const PendingRequest& pending) {
-  SolveResponse response;
+Server::RenderedResponse Server::execute_and_render(const PendingRequest& pending) {
+  RenderedResponse rendered;
+  SolveResponse& response = rendered.response;
   if (!pending.bad.empty()) {
     response.error = pending.bad;
     response.id = pending.req.id;
@@ -342,24 +357,37 @@ void Server::answer(Transport& transport, SessionState& state,
     fault::maybe_stall();
     response = run_request(registry_, *warm_, pending.req, options_.alg,
                            options_.solve);
+    rendered.executed = true;
   }
   response.seq = pending.seq;
   // Keep the real timing and trace for the slow log before --stable strips
   // them from the wire form.
-  const double elapsed_ms = response.elapsed_ms;
-  const std::shared_ptr<const telemetry::Trace> trace = response.trace;
+  rendered.elapsed_ms = response.elapsed_ms;
+  rendered.trace = response.trace;
   if (options_.stable_output) response.strip_timing();
-  // Count BEFORE writing: a client that has read a response must find it
-  // reflected in the very next stats frame (the lockstep test pins this).
+  // Count BEFORE the caller writes: a client that has read a response must
+  // find it reflected in the very next stats frame (the lockstep test pins
+  // this).
   (response.ok ? responses_ok_ : responses_error_)->inc();
+  std::ostringstream line;
+  write_response_json(line, response);
+  rendered.line = line.str();
+  return rendered;
+}
+
+void Server::answer(Transport& transport, SessionState& state,
+                    const PendingRequest& pending) {
+  const RenderedResponse rendered = execute_and_render(pending);
   {
     std::lock_guard<std::mutex> out_lock(state.out_mu);
-    write_response_json(transport.out(), response);
+    transport.out() << rendered.line;
     transport.out().flush();
   }
   // Only executed solves are slow-log candidates; malformed frames never
   // reached the engine and have no timing to report.
-  if (pending.bad.empty()) maybe_slow_log(response, elapsed_ms, trace);
+  if (rendered.executed) {
+    maybe_slow_log(rendered.response, rendered.elapsed_ms, rendered.trace);
+  }
 }
 
 // Admission control: the session thread blocks once max_inflight_ requests
@@ -433,7 +461,7 @@ void Server::session(Transport& transport) {
     // token or any pre-auth frame is answered with an error and the session
     // closes, so an unauthenticated peer gets exactly one line out of us.
     if (pending.bad.empty() && frame.kind == Frame::Kind::kAuth) {
-      if (authed || token_equal(frame.auth_token, options_.auth_token)) {
+      if (authed || detail::token_equal(frame.auth_token, options_.auth_token)) {
         authed = true;  // re-auth / auth without a configured token: ignored
         continue;
       }
@@ -610,22 +638,32 @@ ServeStats serve_listener(const SolverRegistry& registry, Listener& listener,
   ::signal(SIGPIPE, SIG_IGN);
 
   Server server(registry, options, warm);
-  auto last_flush = std::chrono::steady_clock::now();
-  run_accept_loop(
-      listener, [&server](Transport& transport) { server.session(transport); },
-      [&server] { return server.shutdown_requested(); },
-      [&server, &last_flush] {
-        // Periodic warmth durability: push buffered journal appends to the
-        // OS between accepts (and heartbeat the store's write lease), so a
-        // crash loses at most kStoreFlushInterval of traffic. No-op for
-        // memory-only warm state.
-        const auto now = std::chrono::steady_clock::now();
-        if (now - last_flush >= kStoreFlushInterval) {
-          server.warm().flush();
-          last_flush = now;
-        }
-      });
-  if (!listener.ok() && !server.shutdown_requested() && error != nullptr) {
+  bool loop_ok = true;
+  if (options.core == ServeOptions::Core::kAsync && listener.fd() >= 0) {
+    // The epoll readiness core: sessions are heap state on one loop thread,
+    // the solver pool stays the only real compute pool. It owns the same
+    // periodic-flush / SIGTERM-drain duties the thread-per-client path has.
+    EventLoop loop(server, listener);
+    loop_ok = loop.run();
+  } else {
+    auto last_flush = std::chrono::steady_clock::now();
+    run_accept_loop(
+        listener, [&server](Transport& transport) { server.session(transport); },
+        [&server] { return server.shutdown_requested(); },
+        [&server, &last_flush] {
+          // Periodic warmth durability: push buffered journal appends to the
+          // OS between accepts (and heartbeat the store's write lease), so a
+          // crash loses at most kStoreFlushInterval of traffic. No-op for
+          // memory-only warm state.
+          const auto now = std::chrono::steady_clock::now();
+          if (now - last_flush >= kStoreFlushInterval) {
+            server.warm().flush();
+            last_flush = now;
+          }
+        });
+  }
+  if ((!listener.ok() || !loop_ok) && !server.shutdown_requested() &&
+      error != nullptr) {
     *error = "listener on '" + listener.endpoint() + "' failed";
   }
   server.warm().flush();

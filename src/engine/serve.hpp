@@ -98,6 +98,8 @@ class ThreadPool;
 
 namespace bisched::engine {
 
+class EventLoop;
+
 struct ServeOptions {
   std::string alg = "auto";  // default per-request algorithm
   SolveOptions solve;
@@ -119,6 +121,24 @@ struct ServeOptions {
   // admission bound. 0 = no per-session quota (the global bound still
   // applies, exerted as backpressure).
   std::size_t session_max_inflight = 0;
+  // Which session engine a socket listener runs. kAsync is the epoll
+  // readiness loop (engine/serve/event_loop.hpp): a session is cheap heap
+  // state, requests pipeline within a connection, and admission is exerted
+  // by parking reads. kThreads is the legacy thread-per-client core, kept
+  // for the old-vs-new differential tests and as an escape hatch. Stdio
+  // serve always runs the blocking session loop — borrowed iostreams cannot
+  // be epoll'd.
+  enum class Core { kAsync, kThreads };
+  Core core = Core::kAsync;
+  // Async core only: a session that has completed no frame for this long is
+  // closed without a response (slowloris guard), counted as
+  // bisched_serve_rejects_total{reason="idle-timeout"}. 0 = never reap.
+  int idle_timeout_ms = 0;
+  // Async core only: per-session pipelining bound — a session with this many
+  // solve frames in flight has its reads parked (pure backpressure; the
+  // frames are answered, unlike the `over-quota` refusal above) until
+  // completions drain. 0 = 64.
+  std::size_t pipeline_depth = 0;
 };
 
 // One classified request frame — the grammar in the header comment above,
@@ -137,6 +157,18 @@ struct Frame {
 };
 
 Frame parse_frame(const std::string& frame, std::istream& in);
+
+// The line-level half of parse_frame, with no stream access: a native
+// `instance` header comes back classified (id validated, kind kSolve) with
+// *needs_body set and req.parsed still empty — the async core scans the body
+// incrementally from its read buffer, where parse_frame consumes it from the
+// live stream on the spot. For every other frame the two are identical.
+Frame classify_frame(const std::string& frame, bool* needs_body);
+
+namespace detail {
+// Constant-time token comparison (timing-safe auth), shared by both cores.
+bool token_equal(const std::string& a, const std::string& b);
+}  // namespace detail
 
 struct ServeStats {
   // Admitted frames by type; `requests` is their sum (every frame admitted).
@@ -188,8 +220,40 @@ class Server {
   double uptime_seconds() const;
 
  private:
+  friend class EventLoop;  // the async core drives the same pipeline
+
   struct SessionState;
-  struct PendingRequest;
+
+  // One admitted frame. The session loop decodes only what must come off the
+  // shared request stream: a native `instance` body is parsed in place (into
+  // req.parsed), while file requests and inline instance text defer their
+  // IO/parse work to the worker so the loop keeps admitting frames.
+  struct PendingRequest {
+    SolveRequest req;
+    std::int64_t seq = 0;
+    bool stats = false;    // `stats [ID]` introspection frame, answered inline
+    bool metrics = false;  // `metrics [ID]` scrape frame, answered inline
+    std::string bad;       // nonempty: malformed frame, answer with this error
+  };
+
+  // What execute_and_render hands back: the wire bytes plus the pre-strip
+  // timing/trace the slow log wants (the caller logs after the write, keeping
+  // the blocking core's write-then-log order; the async worker logs at
+  // completion time).
+  struct RenderedResponse {
+    std::string line;       // one JSON Lines response, '\n'-terminated
+    SolveResponse response; // post-strip, for the slow-log line's fields
+    double elapsed_ms = 0;
+    std::shared_ptr<const telemetry::Trace> trace;
+    bool executed = false;  // false: malformed frame, never reached the engine
+  };
+
+  // Runs (or rejects) one pending frame and renders the response line. The
+  // ok/error response counter is bumped here, BEFORE the caller writes — a
+  // client that has read a response must find it reflected in the very next
+  // stats frame (the lockstep test pins this). Both cores answer through
+  // this one path so their bytes cannot drift.
+  RenderedResponse execute_and_render(const PendingRequest& pending);
 
   void submit(Transport& transport, SessionState& state, PendingRequest pending);
   void answer(Transport& transport, SessionState& state, const PendingRequest& pending);
@@ -229,9 +293,17 @@ class Server {
   telemetry::Counter* responses_error_ = nullptr;
   telemetry::Counter* rejects_auth_ = nullptr;
   telemetry::Counter* rejects_quota_ = nullptr;
+  telemetry::Counter* rejects_idle_ = nullptr;
   telemetry::Counter* sessions_total_ = nullptr;
   telemetry::Gauge* sessions_active_ = nullptr;
   telemetry::Gauge* inflight_gauge_ = nullptr;
+  // Async-core series: sessions registered on the event loop, how many of
+  // them are read-parked by backpressure, the deepest per-session pipeline
+  // ever observed, and loop wakeups (epoll_wait returns).
+  telemetry::Gauge* open_sessions_ = nullptr;
+  telemetry::Gauge* parked_sessions_ = nullptr;
+  telemetry::Gauge* pipeline_peak_ = nullptr;
+  telemetry::Counter* loop_wakeups_ = nullptr;
   telemetry::Gauge* uptime_gauge_ = nullptr;
 
   std::mutex slow_log_mu_;  // one slow-log line at a time

@@ -1,0 +1,74 @@
+// Async serve core: one epoll readiness loop instead of a thread per client.
+//
+// The thread-per-client core (Server::session + run_accept_loop) is honest
+// but hits a wall at thousands of connections: every idle session costs a
+// stack, a blocked read, and two 64 KiB stream buffers. This loop makes a
+// session *cheap heap state* — an fd, a read buffer, a write buffer, and a
+// tiny frame state machine — so tens of thousands of open connections cost
+// megabytes, not gigabytes, and exactly one thread does all the IO:
+//
+//   epoll_wait ─┬─ listener readable  → accept4(NONBLOCK), register session
+//               ├─ session readable   → append to rbuf → frame state machine
+//               │                       (line mode | instance-body scan |
+//               │                        malformed-body discard) → dispatch
+//               ├─ completion eventfd → drain the finished-response queue,
+//               │                       flush responses in per-session seq
+//               │                       order, unpark readers
+//               └─ session writable   → resume a partial response write
+//
+// The solver ThreadPool stays the only real compute pool: the loop decodes a
+// frame, stamps the server-wide seq, and submits the work; the worker runs
+// Server::execute_and_render (the same path the blocking core answers
+// through, so the bytes cannot drift) and hands the rendered line back over
+// an eventfd. Because the loop never blocks on one client, a client may
+// PIPELINE requests — send many frames before reading — and responses come
+// back in send order: solve responses are reordered per session by a ticket
+// sequence; stats/metrics probes, auth errors, and over-quota refusals stay
+// inline and may overtake queued solves, exactly like the blocking core.
+//
+// Admission is backpressure, not a session cap: when global in-flight
+// reaches max_inflight, or one session exceeds its pipeline depth, or a
+// peer stops reading its responses, that session's reads are PARKED (its
+// EPOLLIN interest dropped, bytes left in the kernel buffer) until
+// completions drain — the TCP window does the rest. Robustness extras the
+// blocking core lacks: EMFILE/ENFILE on accept backs off and sheds via a
+// reserve fd instead of exiting, and --idle-timeout-ms reaps sessions that
+// never complete a frame (slowloris), counted as
+// bisched_serve_rejects_total{reason="idle-timeout"}.
+//
+// Everything else is surface-preserving: auth-first frames, per-session
+// quota answered inline, fault injection, slow-log, periodic warm-state
+// flush, SIGTERM drain, `quit`/`shutdown` frames. docs/serve.md walks the
+// architecture; tests/engine/serve_async_test.cpp pins old-vs-new byte
+// equality on a shared request stream.
+#pragma once
+
+#include <memory>
+
+namespace bisched::engine {
+
+class Listener;
+class Server;
+
+class EventLoop {
+ public:
+  // Serves `listener` from `server`'s pool/warm state. The listener must
+  // expose its fd (Listener::fd() >= 0); serve_listener falls back to the
+  // thread-per-client core otherwise.
+  EventLoop(Server& server, Listener& listener);
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Runs until a `shutdown` frame, SIGTERM, or listener failure; drains
+  // in-flight work and flushes session write queues before returning.
+  // False = the loop stopped because the listener (or the loop's own epoll
+  // plumbing) failed, not because shutdown was requested.
+  bool run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bisched::engine

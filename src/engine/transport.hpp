@@ -105,6 +105,9 @@ class FdTransport final : public Transport {
   // shutdown(SHUT_RD): a blocked read returns 0 (EOF); pending writes still
   // flush. Safe to call from another thread while the session reads.
   void interrupt() override;
+  // The owned fd, for callers doing raw readiness IO (the async serve core
+  // and the pipelining client). The transport still owns and closes it.
+  int fd() const { return fd_; }
 
  private:
   int fd_;
@@ -128,6 +131,9 @@ class Listener {
   virtual bool ok() const = 0;
   // The bound address in --listen spelling ("unix:PATH", "tcp:HOST:PORT").
   virtual std::string endpoint() const = 0;
+  // The listening fd for readiness-loop callers (epoll registration + raw
+  // accept); -1 when the listener cannot expose one. Ownership stays here.
+  virtual int fd() const { return -1; }
 };
 
 class UnixListener final : public Listener {
@@ -144,6 +150,7 @@ class UnixListener final : public Listener {
 
   bool ok() const override { return fd_ >= 0; }
   std::string endpoint() const override { return "unix:" + path_; }
+  int fd() const override { return fd_; }
   const std::string& path() const { return path_; }
 
  private:
@@ -171,6 +178,7 @@ class TcpListener final : public Listener {
 
   bool ok() const override { return fd_ >= 0; }
   std::string endpoint() const override;
+  int fd() const override { return fd_; }
   int port() const { return port_; }  // actual bound port (after port 0)
 
  private:

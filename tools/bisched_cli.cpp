@@ -83,6 +83,11 @@ int usage() {
       "              [--eps=E] [--stable] [--store=DIR] [--allow-remote]\n"
       "              [--auth-token=T] [--session-max-inflight=K]\n"
       "              [--slow-ms=MS] (log solves slower than MS to stderr)\n"
+      "              [--serve-core=async|threads] (socket session engine;\n"
+      "               default async = epoll readiness loop, see docs/serve.md)\n"
+      "              [--idle-timeout-ms=MS] (async: reap sessions idle > MS)\n"
+      "              [--pipeline-depth=K] (async: park reads past K in-flight\n"
+      "               frames per session; default 64)\n"
       "              [--listen=unix:PATH | --listen=tcp:HOST:PORT]\n"
       "              (framed requests on stdin or the socket; see docs/api.md;\n"
       "               --allow-remote requires an auth token, also readable\n"
@@ -97,6 +102,8 @@ int usage() {
       "  bisched_cli client (--connect=unix:PATH | --connect=tcp:HOST:PORT)\n"
       "              [--auth-token=T] [--timeout-ms=MS] (frames on stdin ->\n"
       "              responses; the timeout bounds each read on the socket)\n"
+      "              [--pipeline=N] (keep up to N single-line frames in\n"
+      "              flight; asserts responses come back in send order)\n"
       "  bisched_cli metrics (--connect=unix:PATH | --connect=tcp:HOST:PORT)\n"
       "              [--timeout-ms=MS]\n"
       "              (one Prometheus text-exposition scrape of a running serve)\n"
@@ -517,6 +524,27 @@ int cmd_serve(int argc, char** argv) {
                "a count in [0, 2^20]");
   }
   options.session_max_inflight = static_cast<std::size_t>(session_quota);
+  std::string core;
+  if (flag_value(argc, argv, "serve-core", &core)) {
+    if (core == "async") {
+      options.core = engine::ServeOptions::Core::kAsync;
+    } else if (core == "threads") {
+      options.core = engine::ServeOptions::Core::kThreads;
+    } else {
+      flag_error("serve-core", core, "async or threads");
+    }
+  }
+  const std::int64_t idle_ms = flag_int(argc, argv, "idle-timeout-ms", 0);
+  if (idle_ms < 0 || idle_ms > 86400000) {
+    flag_error("idle-timeout-ms", std::to_string(idle_ms), "ms in [0, 86400000]");
+  }
+  options.idle_timeout_ms = static_cast<int>(idle_ms);
+  const std::int64_t pipeline_depth = flag_int(argc, argv, "pipeline-depth", 0);
+  if (pipeline_depth < 0 || pipeline_depth > 1 << 20) {
+    flag_error("pipeline-depth", std::to_string(pipeline_depth),
+               "a count in [0, 2^20]");
+  }
+  options.pipeline_depth = static_cast<std::size_t>(pipeline_depth);
   // Token from the flag, else the environment — the env form keeps the
   // secret out of `ps` output on shared hosts.
   if (!flag_value(argc, argv, "auth-token", &options.auth_token)) {
@@ -670,6 +698,88 @@ int cmd_route(int argc, char** argv) {
 
 // ----------------------------------------------------------------- client ---
 
+// Pulls the integer value of a top-level `"seq"` member out of one JSON
+// response line; -1 when absent. Enough JSON for an ordering assertion — the
+// serializer always emits `"seq": <digits>` with exactly this spacing.
+std::int64_t response_seq(const std::string& line) {
+  const auto at = line.find("\"seq\": ");
+  if (at == std::string::npos) return -1;
+  std::int64_t seq = 0;
+  const char* begin = line.data() + at + 7;
+  const auto [ptr, ec] = std::from_chars(begin, line.data() + line.size(), seq);
+  if (ec != std::errc() || ptr == begin) return -1;
+  return seq;
+}
+
+// --pipeline=N: keep up to N frames in flight on the socket and check the
+// server's per-session ordering contract — solve responses come back in send
+// order (seq strictly increasing), no matter how the pool interleaves the
+// work. Single-line frames only (JSON / `solve PATH` / probes); a native
+// `instance` body spans lines and cannot be windowed line-by-line.
+int run_pipelined_client(engine::FdTransport& transport, int fd,
+                         std::size_t window) {
+  struct Outgoing {
+    std::string line;
+    bool expects_response = true;
+  };
+  std::vector<Outgoing> frames;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::string text = line;
+    const auto start = text.find_first_not_of(" \t\r");
+    text = start == std::string::npos ? "" : text.substr(start);
+    if (text.empty() || text[0] == '#') continue;
+    // auth is answered only on failure, quit/shutdown never: none of them
+    // holds a window slot (a failure response still drains at EOF below).
+    const bool silent = text.rfind("auth ", 0) == 0 || text == "quit" ||
+                        text == "shutdown";
+    frames.push_back({std::move(line), !silent});
+  }
+
+  std::size_t outstanding = 0;
+  std::size_t responses = 0;
+  std::int64_t last_seq = -1;
+  bool ordered = true;
+  bool open = true;
+  const auto read_one = [&] {
+    std::string resp;
+    if (!std::getline(transport.in(), resp)) {
+      open = false;
+      return;
+    }
+    std::cout << resp << '\n';
+    std::cout.flush();
+    ++responses;
+    if (outstanding > 0) --outstanding;
+    // Introspection frames ("type": stats/metrics) are answered inline by
+    // the server and may legally overtake queued solves — only solve/error
+    // responses carry the ordering contract.
+    if (resp.find("\"type\"") != std::string::npos) return;
+    const std::int64_t seq = response_seq(resp);
+    if (seq < 0) return;
+    if (seq <= last_seq) {
+      std::cerr << "client: ordering violation: seq " << seq << " after "
+                << last_seq << "\n";
+      ordered = false;
+    }
+    last_seq = seq;
+  };
+
+  for (const Outgoing& frame : frames) {
+    while (open && outstanding >= window) read_one();
+    if (!open) break;
+    transport.out() << frame.line << '\n';
+    transport.out().flush();
+    if (!transport.out()) break;
+    if (frame.expects_response) ++outstanding;
+  }
+  ::shutdown(fd, SHUT_WR);
+  while (open) read_one();  // drain until the server closes the session
+  std::cerr << "client: " << responses << " responses over a window of "
+            << window << (ordered ? ", seq-ordered" : "") << "\n";
+  return ordered ? 0 : 1;
+}
+
 // Minimal peer for socket serve: pumps stdin frames to the server and echoes
 // response lines to stdout until the server closes the connection. Used by
 // the CI smoke and handy for manual poking; any language with a unix-socket
@@ -713,6 +823,13 @@ int cmd_client(int argc, char** argv) {
   if (!token.empty()) {
     transport.out() << "auth " << token << '\n';
     transport.out().flush();
+  }
+  const std::int64_t pipeline = flag_int(argc, argv, "pipeline", 0);
+  if (pipeline < 0 || pipeline > 1 << 20) {
+    flag_error("pipeline", std::to_string(pipeline), "a window in [0, 2^20]");
+  }
+  if (pipeline > 0) {
+    return run_pipelined_client(transport, fd, static_cast<std::size_t>(pipeline));
   }
   // Responses complete in the server's order, not ours, so read and write
   // concurrently: a response-per-request peer would otherwise deadlock on

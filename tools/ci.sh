@@ -10,8 +10,10 @@
 # fault-injected crash — zero client-visible errors, nonzero retry counter
 # in the scrape), the graph-class lattice via `list-algs --json`, the SIMD
 # dispatch layer (a BISCHED_SIMD=scalar solve byte-diffed against default
-# dispatch), and the hot-path + store + fleet benches' JSON reports end to
-# end with the sanitized binaries.
+# dispatch), the hot-path + store + fleet benches' JSON reports end to
+# end with the sanitized binaries, and the epoll serve core (a 64-connection
+# sim replay over TCP with zero errors, a pipelined client answered in send
+# order, and the event-loop gauges in the scrape).
 # Single-threaded where it matters: the CI runner has one CPU.
 #
 #   $ tools/ci.sh [extra ctest args...]
@@ -610,5 +612,96 @@ grep -q 'bench-history: 2 recorded runs' "$SMOKE/stats.out" \
   exit 1
 }
 
+# ------------------------------------------------- async serve smoke ---
+# The epoll serve core (docs/serve.md) under real concurrency: one async
+# TCP server replays the saved sim trace over 64 concurrent connections
+# with zero errors, answers a pipelined client in send order, and exposes
+# the event-loop gauges in its scrape. (--serve-core=async is the socket
+# default; it is spelled out here so this smoke keeps covering the epoll
+# core even if that default ever changes.)
+"$CLI" serve --listen=tcp:127.0.0.1:0 --serve-core=async --threads=1 --stable \
+  > "$SMOKE/async-server.out" 2> "$SMOKE/async-server.log" &
+SERVER_PID=$!
+tries=0
+PORT=
+while [ -z "$PORT" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || {
+    echo "ci.sh: async smoke failed: server never announced its port" >&2
+    cat "$SMOKE/async-server.log" >&2
+    exit 1
+  }
+  PORT=$(sed -n 's/.*listening on tcp:127.0.0.1:\([0-9][0-9]*\).*/\1/p' \
+    "$SMOKE/async-server.log")
+  [ -n "$PORT" ] || sleep 0.1
+done
+"$CLI" sim --trace-in="$SMOKE/trace1.txt" --connect="tcp:127.0.0.1:$PORT" \
+  --connections=64 --timeout-ms=60000 --json-out="$SMOKE/sim-async.json" \
+  > "$SMOKE/sim-async.log" 2>&1 || {
+  echo "ci.sh: async smoke failed: 64-connection replay exited nonzero" >&2
+  cat "$SMOKE/sim-async.log" "$SMOKE/async-server.log" >&2
+  exit 1
+}
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$SMOKE/sim-async.json" <<'PY' || { cat "$SMOKE/async-server.log" >&2; exit 1; }
+import json, sys
+doc = json.load(open(sys.argv[1]))
+total = next(r for r in doc["rows"] if r["phase"] == "total")
+assert total["mode"] == "tcp", total
+assert total["connections"] == 64, total
+assert total["errors"] == 0 and total["ok"] == total["requests"], total
+PY
+else
+  grep -q '"errors": 0' "$SMOKE/sim-async.json" || {
+    echo "ci.sh: async smoke failed: replay report shows errors" >&2
+    cat "$SMOKE/sim-async.json" >&2
+    exit 1
+  }
+fi
+# A pipelined client: 5 frames sent 4 ahead of the reads must come back
+# seq-ordered (the loop's per-session ordering guarantee, docs/serve.md).
+for i in 1 2 3 4 5; do
+  printf 'solve %s p%s\n' "$SMOKE/corpus/q$i.inst" "$i"
+done | "$CLI" client --connect="tcp:127.0.0.1:$PORT" --pipeline=4 \
+  > "$SMOKE/pipe.out" 2> "$SMOKE/pipe.log" || {
+  echo "ci.sh: async smoke failed: pipelined client exited nonzero" >&2
+  cat "$SMOKE/pipe.out" "$SMOKE/pipe.log" >&2
+  exit 1
+}
+grep -q 'client: 5 responses over a window of 4, seq-ordered' "$SMOKE/pipe.log" || {
+  echo "ci.sh: async smoke failed: pipelined client summary missing or unordered" >&2
+  cat "$SMOKE/pipe.out" "$SMOKE/pipe.log" >&2
+  exit 1
+}
+for i in 1 2 3 4 5; do
+  grep -q "\"id\": \"p$i\".*\"status\": \"ok\"" "$SMOKE/pipe.out" || {
+    echo "ci.sh: async smoke failed: pipelined request p$i did not come back ok" >&2
+    cat "$SMOKE/pipe.out" >&2
+    exit 1
+  }
+done
+# The event-loop gauges ride the same Prometheus scrape as everything else.
+"$CLI" metrics --connect="tcp:127.0.0.1:$PORT" > "$SMOKE/async-metrics.out" || {
+  echo "ci.sh: async smoke failed: scrape exited nonzero" >&2
+  cat "$SMOKE/async-server.log" >&2
+  exit 1
+}
+for series in bisched_serve_open_sessions bisched_serve_parked_sessions \
+  bisched_serve_pipeline_depth_peak bisched_serve_loop_wakeups_total; do
+  grep -q "^$series " "$SMOKE/async-metrics.out" || {
+    echo "ci.sh: async smoke failed: $series missing from the scrape" >&2
+    cat "$SMOKE/async-metrics.out" >&2
+    exit 1
+  }
+done
+printf 'shutdown\n' | "$CLI" client --connect="tcp:127.0.0.1:$PORT" > /dev/null
+wait "$SERVER_PID" || {
+  echo "ci.sh: async smoke failed: server exited nonzero" >&2
+  cat "$SMOKE/async-server.log" >&2
+  exit 1
+}
+SERVER_PID=
+
 echo "ci.sh: batch --shard, serve+stats, store, socket serve, metrics+slow-log," \
-  "tcp serve, fleet route+failover, lattice, bench, and sim smoke OK"
+  "tcp serve, fleet route+failover, lattice, bench, sim, and async serve" \
+  "smoke OK"
